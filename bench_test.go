@@ -1,0 +1,346 @@
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (§5). Each data point deploys the architecture on a scaled
+// ACE fabric (same capacity ratios as the paper's testbed, lower absolute
+// rates) and runs the corresponding messaging pattern, reporting the
+// paper's metrics via b.ReportMetric:
+//
+//	msgs_per_sec  aggregate consumer throughput (Figures 4 and 7a)
+//	median_ms     median round-trip time (Figures 6 and 7b)
+//	p80_ms        80th percentile RTT (the CDF figures 5 and 8)
+//	overhead_x    throughput overhead relative to DTS (§5.3 text)
+//
+// Absolute numbers differ from the paper (scaled fabric, loopback TCP);
+// the comparative shape — who wins, by roughly what factor, where the
+// curves flatten — is the reproduction target. Run with:
+//
+//	go test -bench=. -benchmem
+package ds2hpc
+
+import (
+	"testing"
+	"time"
+
+	"ds2hpc/internal/core"
+	"ds2hpc/internal/fabric"
+	"ds2hpc/internal/metrics"
+	"ds2hpc/internal/sim"
+	"ds2hpc/internal/workload"
+)
+
+// benchScale shrinks the fabric (and payloads via benchWorkload) so a full
+// `go test -bench=.` pass completes in minutes on a laptop while keeping
+// every capacity ratio of the paper's testbed.
+const benchScale = 0.1
+
+// benchConsumerCounts samples the paper's 1-64 consumer x-axis.
+var benchConsumerCounts = []int{1, 4, 16}
+
+// payloadDivisor shrinks workload payloads in proportion to benchScale.
+const payloadDivisor = 8
+
+func benchOptions() core.Options {
+	return core.Options{
+		Nodes:       3,
+		Profile:     fabric.ACE(benchScale),
+		MemoryLimit: 1 << 30,
+	}
+}
+
+func benchWorkload(w workload.Workload) workload.Workload {
+	return w.Scaled(payloadDivisor)
+}
+
+// messagesFor keeps per-point message counts roughly proportional to the
+// paper's ratio between workload sizes without taking minutes per point.
+func messagesFor(w workload.Workload) int {
+	switch w.Name {
+	case "Dstream":
+		return 48
+	case "Lstream":
+		return 8
+	default: // generic
+		return 6
+	}
+}
+
+// runPoint executes one experiment data point inside a benchmark.
+func runPoint(b *testing.B, exp sim.Experiment) *metrics.Result {
+	b.Helper()
+	var last *metrics.Result
+	for i := 0; i < b.N; i++ {
+		pt, err := sim.Run(exp)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if pt.Infeasible {
+			b.Skip("infeasible for this architecture (paper: no data point)")
+		}
+		last = pt.Result
+	}
+	if last != nil {
+		b.ReportMetric(last.Throughput, "msgs_per_sec")
+		if len(last.RTTs) > 0 {
+			b.ReportMetric(float64(last.MedianRTT())/1e6, "median_ms")
+			b.ReportMetric(float64(last.PercentileRTT(80))/1e6, "p80_ms")
+		}
+	}
+	return last
+}
+
+func baseExperiment(arch core.ArchitectureName, w workload.Workload, pat sim.PatternName, consumers int) sim.Experiment {
+	exp := sim.Experiment{
+		Architecture:        arch,
+		Workload:            benchWorkload(w),
+		Pattern:             pat,
+		Consumers:           consumers,
+		Producers:           consumers,
+		MessagesPerProducer: messagesFor(w),
+		Runs:                1,
+		Options:             benchOptions(),
+		Window:              4,
+		Timeout:             90 * time.Second,
+	}
+	if pat == sim.PatternBroadcast || pat == sim.PatternBroadcastGather {
+		exp.Producers = 1
+	}
+	if pat == sim.PatternFeedback {
+		// The feedback pattern is a closed loop (each reply gates the
+		// next request); a shallow window keeps the offered load in the
+		// regime the paper measured, where RTT rather than saturation
+		// dominates.
+		exp.Window = 2
+	}
+	return exp
+}
+
+// --------------------------------------------------------------- Table 1
+
+// BenchmarkTable1Workloads measures payload generation and verification
+// for the three Table 1 workloads at full payload size, checking that the
+// generators sustain rates far above the emulated links.
+func BenchmarkTable1Workloads(b *testing.B) {
+	for _, w := range workload.All {
+		b.Run(w.Name, func(b *testing.B) {
+			gen := workload.NewGenerator(w, 0)
+			b.SetBytes(int64(w.PayloadBytes))
+			for i := 0; i < b.N; i++ {
+				body, err := gen.Payload(uint64(i))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := w.Verify(body); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --------------------------------------------------------------- Figure 4
+
+func benchWorkSharing(b *testing.B, w workload.Workload) {
+	for _, arch := range core.AllArchitectures {
+		for _, n := range benchConsumerCounts {
+			b.Run(string(arch)+"/cons="+itoa(n), func(b *testing.B) {
+				runPoint(b, baseExperiment(arch, w, sim.PatternWorkSharing, n))
+			})
+		}
+	}
+}
+
+// BenchmarkFig4aDstreamWorkSharing reproduces Figure 4a: Dstream
+// throughput under work sharing across all five architecture variants.
+func BenchmarkFig4aDstreamWorkSharing(b *testing.B) {
+	benchWorkSharing(b, workload.Dstream)
+}
+
+// BenchmarkFig4bLstreamWorkSharing reproduces Figure 4b: Lstream
+// throughput under work sharing.
+func BenchmarkFig4bLstreamWorkSharing(b *testing.B) {
+	benchWorkSharing(b, workload.Lstream)
+}
+
+// --------------------------------------------------------------- Figure 5
+
+// fig56Architectures are the variants shown in Figures 5 and 6 (Stunnel is
+// excluded after its poor work-sharing results, §5.4).
+var fig56Architectures = []core.ArchitectureName{
+	core.DTS, core.PRSHAProxy, core.PRSHAProxy4Conns, core.MSS,
+}
+
+// BenchmarkFig5RTTCDF reproduces Figure 5: per-message RTT distributions
+// under work sharing with feedback. The p80_ms metric is the CDF's 80th
+// percentile (the paper's headline CDF statistic).
+func BenchmarkFig5RTTCDF(b *testing.B) {
+	for _, w := range []workload.Workload{workload.Dstream, workload.Lstream} {
+		for _, arch := range fig56Architectures {
+			b.Run(w.Name+"/"+string(arch)+"/cons=16", func(b *testing.B) {
+				res := runPoint(b, baseExperiment(arch, w, sim.PatternFeedback, 16))
+				if res != nil && len(res.RTTs) > 0 {
+					// Emit three CDF probes so the distribution shape is
+					// visible in the bench output.
+					b.ReportMetric(float64(res.PercentileRTT(50))/1e6, "p50_ms")
+					b.ReportMetric(float64(res.PercentileRTT(95))/1e6, "p95_ms")
+				}
+			})
+		}
+	}
+}
+
+// --------------------------------------------------------------- Figure 6
+
+func benchFeedback(b *testing.B, w workload.Workload) {
+	for _, arch := range fig56Architectures {
+		for _, n := range benchConsumerCounts {
+			b.Run(string(arch)+"/cons="+itoa(n), func(b *testing.B) {
+				runPoint(b, baseExperiment(arch, w, sim.PatternFeedback, n))
+			})
+		}
+	}
+}
+
+// BenchmarkFig6aDstreamFeedbackRTT reproduces Figure 6a: Dstream median
+// RTT under work sharing with feedback.
+func BenchmarkFig6aDstreamFeedbackRTT(b *testing.B) {
+	benchFeedback(b, workload.Dstream)
+}
+
+// BenchmarkFig6bLstreamFeedbackRTT reproduces Figure 6b: Lstream median
+// RTT under work sharing with feedback.
+func BenchmarkFig6bLstreamFeedbackRTT(b *testing.B) {
+	benchFeedback(b, workload.Lstream)
+}
+
+// --------------------------------------------------------------- Figure 7
+
+// fig78Architectures are the variants shown in Figures 7 and 8.
+var fig78Architectures = []core.ArchitectureName{
+	core.DTS, core.PRSHAProxy, core.MSS,
+}
+
+// BenchmarkFig7aBroadcastThroughput reproduces Figure 7a: generic-workload
+// broadcast throughput, one producer fanning out to N consumers.
+func BenchmarkFig7aBroadcastThroughput(b *testing.B) {
+	for _, arch := range fig78Architectures {
+		for _, n := range benchConsumerCounts {
+			b.Run(string(arch)+"/cons="+itoa(n), func(b *testing.B) {
+				runPoint(b, baseExperiment(arch, workload.Generic, sim.PatternBroadcast, n))
+			})
+		}
+	}
+}
+
+// BenchmarkFig7bBroadcastGatherRTT reproduces Figure 7b: median RTT when
+// the producer also gathers one reply per consumer per broadcast.
+func BenchmarkFig7bBroadcastGatherRTT(b *testing.B) {
+	for _, arch := range fig78Architectures {
+		for _, n := range benchConsumerCounts {
+			b.Run(string(arch)+"/cons="+itoa(n), func(b *testing.B) {
+				runPoint(b, baseExperiment(arch, workload.Generic, sim.PatternBroadcastGather, n))
+			})
+		}
+	}
+}
+
+// --------------------------------------------------------------- Figure 8
+
+// BenchmarkFig8BroadcastGatherCDF reproduces Figure 8: RTT distributions
+// for broadcast and gather at a high consumer count.
+func BenchmarkFig8BroadcastGatherCDF(b *testing.B) {
+	for _, arch := range fig78Architectures {
+		b.Run(string(arch)+"/cons=16", func(b *testing.B) {
+			res := runPoint(b, baseExperiment(arch, workload.Generic, sim.PatternBroadcastGather, 16))
+			if res != nil && len(res.RTTs) > 0 {
+				b.ReportMetric(float64(res.PercentileRTT(50))/1e6, "p50_ms")
+				b.ReportMetric(float64(res.PercentileRTT(95))/1e6, "p95_ms")
+			}
+		})
+	}
+}
+
+// --------------------------------------------------------------- ablations
+
+// BenchmarkAblationWorkQueues compares one vs two shared work queues
+// (§5.2 adopts two, citing the messaging trade-off study [26]).
+func BenchmarkAblationWorkQueues(b *testing.B) {
+	for _, queues := range []int{1, 2} {
+		b.Run("queues="+itoa(queues), func(b *testing.B) {
+			exp := baseExperiment(core.DTS, workload.Dstream, sim.PatternWorkSharing, 8)
+			exp.WorkQueues = queues
+			runPoint(b, exp)
+		})
+	}
+}
+
+// BenchmarkAblationAckBatching compares per-message and batch-wise
+// consumer acknowledgements (§5.2 enables batch acks).
+func BenchmarkAblationAckBatching(b *testing.B) {
+	for _, batch := range []int{1, 4, 16} {
+		b.Run("ackbatch="+itoa(batch), func(b *testing.B) {
+			exp := baseExperiment(core.DTS, workload.Dstream, sim.PatternWorkSharing, 8)
+			exp.AckBatch = batch
+			// The prefetch window must cover the batch or the batch can
+			// never fill (see pattern.Config).
+			exp.Prefetch = 2 * batch
+			runPoint(b, exp)
+		})
+	}
+}
+
+// BenchmarkAblationPrefetch sweeps the consumer QoS prefetch window.
+func BenchmarkAblationPrefetch(b *testing.B) {
+	for _, prefetch := range []int{1, 8, 64} {
+		b.Run("prefetch="+itoa(prefetch), func(b *testing.B) {
+			exp := baseExperiment(core.DTS, workload.Dstream, sim.PatternWorkSharing, 8)
+			exp.Prefetch = prefetch
+			runPoint(b, exp)
+		})
+	}
+}
+
+// BenchmarkAblationMSSBypass measures the §6 improvement proposal: letting
+// facility-internal consumers bypass the load balancer.
+func BenchmarkAblationMSSBypass(b *testing.B) {
+	for _, bypass := range []bool{false, true} {
+		name := "front-door"
+		if bypass {
+			name = "bypass-lb"
+		}
+		b.Run(name, func(b *testing.B) {
+			exp := baseExperiment(core.MSS, workload.Dstream, sim.PatternWorkSharing, 8)
+			exp.Options.BypassLB = bypass
+			runPoint(b, exp)
+		})
+	}
+}
+
+// BenchmarkOverheadVsDTS reproduces the §5.3 overhead numbers: PRS and MSS
+// throughput overhead relative to the DTS baseline at 8 consumers.
+func BenchmarkOverheadVsDTS(b *testing.B) {
+	base, err := sim.Run(baseExperiment(core.DTS, workload.Dstream, sim.PatternWorkSharing, 8))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, arch := range []core.ArchitectureName{core.PRSHAProxy, core.MSS} {
+		b.Run(string(arch), func(b *testing.B) {
+			res := runPoint(b, baseExperiment(arch, workload.Dstream, sim.PatternWorkSharing, 8))
+			if res != nil {
+				b.ReportMetric(metrics.Overhead(base.Result.Throughput, res.Throughput), "overhead_x")
+			}
+		})
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,289 @@
+// Command expdriver reruns the paper's complete evaluation (§5) and prints
+// one table per figure: throughput for the work-sharing pattern (Figure 4),
+// median RTT and CDF probes for work sharing with feedback (Figures 5-6),
+// and broadcast / broadcast-and-gather results (Figures 7-8), plus the
+// derived overhead-vs-DTS numbers quoted in the text.
+//
+// Usage:
+//
+//	expdriver [-scale 0.1] [-cons 1,4,16] [-msgs 48] [-runs 1] [-fig all]
+//
+// Larger -scale and -msgs approach the paper's full-size configuration at
+// the cost of wall-clock time.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"ds2hpc/internal/core"
+	"ds2hpc/internal/fabric"
+	"ds2hpc/internal/metrics"
+	"ds2hpc/internal/sim"
+	"ds2hpc/internal/workload"
+)
+
+var (
+	scaleFlag = flag.Float64("scale", 0.1, "fabric scale factor (1.0 = paper testbed rates)")
+	consFlag  = flag.String("cons", "1,4,16", "comma-separated consumer counts")
+	msgsFlag  = flag.Int("msgs", 48, "messages per producer (Dstream; others scaled down)")
+	runsFlag  = flag.Int("runs", 1, "runs per data point (paper: 3)")
+	figFlag   = flag.String("fig", "all", "which figure to run: 4a,4b,5,6a,6b,7a,7b,8,overhead,all")
+)
+
+func main() {
+	flag.Parse()
+	counts, err := parseCounts(*consFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "expdriver:", err)
+		os.Exit(1)
+	}
+	d := &driver{counts: counts}
+	want := func(f string) bool { return *figFlag == "all" || *figFlag == f }
+
+	if want("4a") {
+		d.figure("Figure 4a: Dstream throughput, work sharing (msgs/sec)",
+			workload.Dstream, sim.PatternWorkSharing, core.AllArchitectures, false)
+	}
+	if want("4b") {
+		d.figure("Figure 4b: Lstream throughput, work sharing (msgs/sec)",
+			workload.Lstream, sim.PatternWorkSharing, core.AllArchitectures, false)
+	}
+	if want("5") {
+		d.cdf("Figure 5: RTT CDF probes, work sharing with feedback")
+	}
+	if want("6a") {
+		d.figure("Figure 6a: Dstream median RTT, work sharing with feedback (ms)",
+			workload.Dstream, sim.PatternFeedback, fig56Archs, true)
+	}
+	if want("6b") {
+		d.figure("Figure 6b: Lstream median RTT, work sharing with feedback (ms)",
+			workload.Lstream, sim.PatternFeedback, fig56Archs, true)
+	}
+	if want("7a") {
+		d.figure("Figure 7a: generic broadcast throughput (msgs/sec)",
+			workload.Generic, sim.PatternBroadcast, fig78Archs, false)
+	}
+	if want("7b") {
+		d.figure("Figure 7b: generic broadcast+gather median RTT (ms)",
+			workload.Generic, sim.PatternBroadcastGather, fig78Archs, true)
+	}
+	if want("8") {
+		d.fig8()
+	}
+	if want("overhead") {
+		d.overhead()
+	}
+	if d.failed {
+		os.Exit(1)
+	}
+}
+
+var fig56Archs = []core.ArchitectureName{core.DTS, core.PRSHAProxy, core.PRSHAProxy4Conns, core.MSS}
+var fig78Archs = []core.ArchitectureName{core.DTS, core.PRSHAProxy, core.MSS}
+
+type driver struct {
+	counts []int
+	failed bool
+}
+
+func (d *driver) options() core.Options {
+	return core.Options{
+		Nodes:       3,
+		Profile:     fabric.ACE(*scaleFlag),
+		MemoryLimit: 1 << 30,
+	}
+}
+
+func (d *driver) experiment(w workload.Workload, pat sim.PatternName, arch core.ArchitectureName) sim.Experiment {
+	msgs := *msgsFlag
+	switch w.Name {
+	case "Lstream":
+		msgs = max(2, msgs/6)
+	case "generic":
+		msgs = max(2, msgs/8)
+	}
+	exp := sim.Experiment{
+		Architecture:        arch,
+		Workload:            w.Scaled(8),
+		Pattern:             pat,
+		MessagesPerProducer: msgs,
+		Runs:                *runsFlag,
+		Options:             d.options(),
+		Window:              4,
+		Timeout:             5 * time.Minute,
+	}
+	if pat == sim.PatternFeedback {
+		exp.Window = 2
+	}
+	return exp
+}
+
+// figure runs one throughput or RTT sweep and prints the paper-style table:
+// architectures as rows, consumer counts as columns.
+func (d *driver) figure(title string, w workload.Workload, pat sim.PatternName,
+	archs []core.ArchitectureName, rtt bool) {
+	fmt.Println("==", title)
+	header := []string{"architecture"}
+	for _, n := range d.counts {
+		header = append(header, fmt.Sprintf("cons=%d", n))
+	}
+	rows := [][]string{header}
+	for _, arch := range archs {
+		row := []string{string(arch)}
+		points, err := sim.Sweep(d.experiment(w, pat, arch), d.counts)
+		for _, pt := range points {
+			switch {
+			case pt.Infeasible:
+				row = append(row, "-")
+			case rtt:
+				row = append(row, fmt.Sprintf("%.1f", float64(pt.Result.MedianRTT())/1e6))
+			default:
+				row = append(row, fmt.Sprintf("%.0f", pt.Result.Throughput))
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "expdriver: %s/%s: %v\n", title, arch, err)
+			d.failed = true
+			for len(row) < len(header) {
+				row = append(row, "ERR")
+			}
+		}
+		rows = append(rows, row)
+	}
+	printTable(rows)
+	fmt.Println()
+}
+
+// cdf prints Figure 5's distribution probes at a high consumer count.
+func (d *driver) cdf(title string) {
+	fmt.Println("==", title)
+	n := d.counts[len(d.counts)-1]
+	rows := [][]string{{"workload", "architecture", "p50_ms", "p80_ms", "p95_ms", "frac<2*p50"}}
+	for _, w := range []workload.Workload{workload.Dstream, workload.Lstream} {
+		for _, arch := range fig56Archs {
+			exp := d.experiment(w, sim.PatternFeedback, arch)
+			exp.Consumers = n
+			exp.Producers = n
+			pt, err := sim.Run(exp)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "expdriver: fig5 %s/%s: %v\n", w.Name, arch, err)
+				d.failed = true
+				continue
+			}
+			r := pt.Result
+			rows = append(rows, []string{
+				w.Name, string(arch),
+				fmt.Sprintf("%.1f", float64(r.PercentileRTT(50))/1e6),
+				fmt.Sprintf("%.1f", float64(r.PercentileRTT(80))/1e6),
+				fmt.Sprintf("%.1f", float64(r.PercentileRTT(95))/1e6),
+				fmt.Sprintf("%.2f", r.FractionUnder(2*r.MedianRTT())),
+			})
+		}
+	}
+	printTable(rows)
+	fmt.Println()
+}
+
+func (d *driver) fig8() {
+	fmt.Println("== Figure 8: broadcast+gather RTT CDF probes")
+	n := d.counts[len(d.counts)-1]
+	rows := [][]string{{"architecture", "p50_ms", "p80_ms", "p95_ms"}}
+	for _, arch := range fig78Archs {
+		exp := d.experiment(workload.Generic, sim.PatternBroadcastGather, arch)
+		exp.Consumers = n
+		exp.Producers = 1
+		pt, err := sim.Run(exp)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "expdriver: fig8 %s: %v\n", arch, err)
+			d.failed = true
+			continue
+		}
+		r := pt.Result
+		rows = append(rows, []string{
+			string(arch),
+			fmt.Sprintf("%.1f", float64(r.PercentileRTT(50))/1e6),
+			fmt.Sprintf("%.1f", float64(r.PercentileRTT(80))/1e6),
+			fmt.Sprintf("%.1f", float64(r.PercentileRTT(95))/1e6),
+		})
+	}
+	printTable(rows)
+	fmt.Println()
+}
+
+// overhead prints the §5.3 derived metric at the mid consumer count.
+func (d *driver) overhead() {
+	fmt.Println("== Streaming overhead vs DTS (work sharing, Dstream)")
+	n := d.counts[len(d.counts)/2]
+	base := d.point(core.DTS, n)
+	if base == nil {
+		return
+	}
+	rows := [][]string{{"architecture", "throughput", "overhead_x"}}
+	rows = append(rows, []string{"DTS", fmt.Sprintf("%.0f", base.Throughput), "1.00"})
+	for _, arch := range []core.ArchitectureName{core.PRSHAProxy, core.MSS} {
+		r := d.point(arch, n)
+		if r == nil {
+			continue
+		}
+		rows = append(rows, []string{string(arch),
+			fmt.Sprintf("%.0f", r.Throughput),
+			fmt.Sprintf("%.2f", metrics.Overhead(base.Throughput, r.Throughput))})
+	}
+	printTable(rows)
+	fmt.Println()
+}
+
+func (d *driver) point(arch core.ArchitectureName, consumers int) *metrics.Result {
+	exp := d.experiment(workload.Dstream, sim.PatternWorkSharing, arch)
+	exp.Consumers = consumers
+	exp.Producers = consumers
+	pt, err := sim.Run(exp)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "expdriver: overhead %s: %v\n", arch, err)
+		d.failed = true
+		return nil
+	}
+	return pt.Result
+}
+
+func printTable(rows [][]string) {
+	widths := make([]int, len(rows[0]))
+	for _, row := range rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	for _, row := range rows {
+		var b strings.Builder
+		for i, cell := range row {
+			fmt.Fprintf(&b, "%-*s  ", widths[i], cell)
+		}
+		fmt.Println(strings.TrimRight(b.String(), " "))
+	}
+}
+
+func parseCounts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad consumer count %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,77 @@
+// Command rmq-server runs one ds2hpc broker node (or an n-node cluster),
+// the RabbitMQ-equivalent streaming service deployed on the paper's Data
+// Streaming Nodes. With -tls it serves AMQPS like the DTS deployment's
+// node-exposed port 30671.
+//
+// Usage:
+//
+//	rmq-server [-addr 127.0.0.1:5672] [-nodes 1] [-tls] [-mem-gb 4] [-rate-mbps 0]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"ds2hpc/internal/broker"
+	"ds2hpc/internal/cluster"
+	"ds2hpc/internal/netem"
+	"ds2hpc/internal/tlsutil"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:5672", "listen address (first node; :0 for ephemeral)")
+		nodes    = flag.Int("nodes", 1, "number of broker nodes")
+		withTLS  = flag.Bool("tls", false, "serve AMQPS with a self-signed certificate")
+		memGB    = flag.Float64("mem-gb", 4, "memory limit per vhost in GiB (80% goes to payload queues)")
+		rateMbps = flag.Float64("rate-mbps", 0, "emulated per-node link rate in Mbps (0 = unshaped)")
+	)
+	flag.Parse()
+
+	cfg := broker.Config{
+		MemoryLimit: int64(*memGB * float64(1<<30) * 0.8),
+	}
+	if *withTLS {
+		id, err := tlsutil.SelfSigned("rmq-server", "127.0.0.1", "localhost")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rmq-server:", err)
+			os.Exit(1)
+		}
+		cfg.TLS = id.ServerConfig()
+		if err := os.WriteFile("rmq-server-ca.pem", id.CertPEM, 0o644); err == nil {
+			fmt.Println("wrote rmq-server-ca.pem (client trust root)")
+		}
+	}
+	cl, err := cluster.StartWith(*nodes, func(i int) broker.Config {
+		c := cfg
+		if i == 0 {
+			c.Addr = *addr
+		} else {
+			c.Addr = "127.0.0.1:0"
+		}
+		if *rateMbps > 0 {
+			c.Link = netem.NewLink(fmt.Sprintf("dsn-%d", i), netem.Mbps(*rateMbps), 0)
+		}
+		return c
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rmq-server:", err)
+		os.Exit(1)
+	}
+	defer cl.Close()
+	scheme := "amqp"
+	if *withTLS {
+		scheme = "amqps"
+	}
+	for i, a := range cl.Addrs() {
+		fmt.Printf("node %d listening on %s://%s\n", i, scheme, a)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	fmt.Println("shutting down")
+}

@@ -1,0 +1,86 @@
+// Command s3m runs the Managed Service Streaming front door: route
+// controller, ingress controller, TLS-terminating load balancer, and the
+// S3M provisioning API from the paper's §4.5. Clients provision a broker
+// cluster with a POST (exactly the curl shown in the paper) and then dial
+// the returned FQDN through the load balancer.
+//
+// Usage:
+//
+//	s3m [-api 127.0.0.1:8443] [-token TOKEN] [-workers 16]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"ds2hpc/internal/mss"
+	"ds2hpc/internal/tlsutil"
+)
+
+func main() {
+	var (
+		apiAddr = flag.String("api", "127.0.0.1:0", "S3M API listen address")
+		lbAddr  = flag.String("lb", "127.0.0.1:0", "load balancer listen address")
+		token   = flag.String("token", "TOKEN", "authorization token for the API")
+		workers = flag.Int("workers", 16, "LB connection-setup worker pool size")
+	)
+	flag.Parse()
+
+	routes := mss.NewRouteController()
+	ingress, err := mss.NewIngress(mss.IngressConfig{Routes: routes})
+	if err != nil {
+		die(err)
+	}
+	defer ingress.Close()
+
+	id, err := tlsutil.SelfSigned("mss-lb", "127.0.0.1", "*.apps.olivine.local")
+	if err != nil {
+		die(err)
+	}
+	lb, err := mss.NewLoadBalancer(mss.LBConfig{
+		Addr:        *lbAddr,
+		Identity:    id,
+		IngressAddr: ingress.Addr(),
+		Workers:     *workers,
+	})
+	if err != nil {
+		die(err)
+	}
+	defer lb.Close()
+	if err := os.WriteFile("mss-lb-ca.pem", id.CertPEM, 0o644); err == nil {
+		fmt.Println("wrote mss-lb-ca.pem (client trust root)")
+	}
+
+	api, err := mss.NewS3M(mss.S3MConfig{
+		Addr:   *apiAddr,
+		Token:  *token,
+		Routes: routes,
+		LBAddr: lb.Addr(),
+	})
+	if err != nil {
+		die(err)
+	}
+	defer api.Close()
+
+	fmt.Printf("S3M API:       http://%s\n", api.Addr())
+	fmt.Printf("load balancer: %s (TLS, SNI-routed)\n", lb.Addr())
+	fmt.Printf("ingress:       %s\n", ingress.Addr())
+	fmt.Println()
+	fmt.Println("provision a cluster with:")
+	fmt.Printf(`  curl -X POST "http://%s/olcf/v1alpha/streaming/rabbitmq/provision_cluster" \
+    -H "Authorization: %s" -H "Content-Type: application/json" \
+    -d '{"kind":"general","name":"rabbitmq","resourceSettings":{"cpus":12,"ram-gbs":32,"nodes":3,"max-msg-size":536870912}}'
+`, api.Addr(), *token)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+}
+
+func die(err error) {
+	fmt.Fprintln(os.Stderr, "s3m:", err)
+	os.Exit(1)
+}

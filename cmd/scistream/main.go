@@ -1,0 +1,123 @@
+// Command scistream runs the SciStream components: `s2cs` starts a control
+// server on a gateway node; `session` acts as the user client (S2UC),
+// issuing the inbound-request/outbound-request pair from the paper's §4.4
+// and printing the resulting connection map.
+//
+// Usage:
+//
+//	scistream s2cs [-addr 127.0.0.1:5000] [-cert-out s2cs.crt]
+//	scistream session -prod-s2cs HOST:PORT -cons-s2cs HOST:PORT \
+//	    -receiver_ports HOST:PORT[,HOST:PORT...] \
+//	    [-prod-cert prod.crt] [-cons-cert cons.crt] \
+//	    [-tunnel haproxy|stunnel] [-num_conn 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"ds2hpc/internal/scistream"
+	"ds2hpc/internal/tlsutil"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "s2cs":
+		runS2CS(os.Args[2:])
+	case "session":
+		runSession(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: scistream {s2cs|session} [flags]")
+	os.Exit(2)
+}
+
+func runS2CS(args []string) {
+	fs := flag.NewFlagSet("s2cs", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:0", "control listen address")
+	certOut := fs.String("cert-out", "s2cs.crt", "file to write the server certificate to")
+	fs.Parse(args)
+
+	// The container process generates a self-signed TLS certificate on
+	// startup and launches S2CS with TLS enabled (§4.4).
+	id, err := tlsutil.SelfSigned("s2cs", "127.0.0.1", "localhost")
+	if err != nil {
+		die(err)
+	}
+	cs, err := scistream.NewS2CS(scistream.S2CSConfig{
+		Addr:       *addr,
+		Identity:   id,
+		ServerName: "127.0.0.1",
+	})
+	if err != nil {
+		die(err)
+	}
+	defer cs.Close()
+	if err := os.WriteFile(*certOut, id.CertPEM, 0o644); err != nil {
+		die(err)
+	}
+	fmt.Printf("S2CS listening on %s (cert: %s)\n", cs.Addr(), *certOut)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+}
+
+func runSession(args []string) {
+	fs := flag.NewFlagSet("session", flag.ExitOnError)
+	prodCS := fs.String("prod-s2cs", "", "producer-side S2CS control address")
+	consCS := fs.String("cons-s2cs", "", "consumer-side S2CS control address")
+	receivers := fs.String("receiver_ports", "", "streaming-service endpoints (comma separated)")
+	prodCert := fs.String("prod-cert", "", "producer S2CS certificate PEM file")
+	consCert := fs.String("cons-cert", "", "consumer S2CS certificate PEM file")
+	tunnel := fs.String("tunnel", "haproxy", "tunnel driver: haproxy or stunnel")
+	numConn := fs.Int("num_conn", 1, "parallel tunnel connections")
+	fs.Parse(args)
+	if *prodCS == "" || *consCS == "" || *receivers == "" {
+		fs.Usage()
+		os.Exit(2)
+	}
+	readCert := func(path string) []byte {
+		if path == "" {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			die(err)
+		}
+		return data
+	}
+	uc := &scistream.S2UC{}
+	sess, err := uc.CreateSession(scistream.SessionRequest{
+		ProducerS2CS: *prodCS,
+		ConsumerS2CS: *consCS,
+		ProducerCert: readCert(*prodCert),
+		ConsumerCert: readCert(*consCert),
+		Targets:      strings.Split(*receivers, ","),
+		Tunnel:       scistream.Tunnel(*tunnel),
+		NumConn:      *numConn,
+	})
+	if err != nil {
+		die(err)
+	}
+	fmt.Printf("UID:          %s\n", sess.UID)
+	fmt.Printf("PROXY (WAN):  %s\n", sess.RemoteProxyAddr)
+	fmt.Printf("client addr:  %s\n", sess.ClientAddr)
+	fmt.Println("point producers at the client addr; data flows through the overlay tunnel")
+}
+
+func die(err error) {
+	fmt.Fprintln(os.Stderr, "scistream:", err)
+	os.Exit(1)
+}

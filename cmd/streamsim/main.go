@@ -1,0 +1,222 @@
+// Command streamsim is the Golang streaming simulator of the paper's §5.2.
+// It runs in two modes:
+//
+//   - local: deploy an architecture in-process and run a full experiment
+//     (pattern × workload × producer/consumer counts), printing throughput
+//     and RTT statistics. This is the mode behind every figure.
+//
+//   - distributed: a `coordinator` role assigns queues to remote `producer`
+//     and `consumer` processes (which may run on other hosts against a
+//     shared broker started with rmq-server) and aggregates their metrics,
+//     matching the coordinator component described in the paper.
+//
+// Examples:
+//
+//	streamsim local -arch DTS -workload Dstream -pattern work-sharing \
+//	    -producers 4 -consumers 4 -msgs 64 -scale 0.1
+//	streamsim coordinator -participants 4 -endpoint amqp://127.0.0.1:5672 -msgs 100
+//	streamsim producer -coord 127.0.0.1:9000 -id 0
+//	streamsim consumer -coord 127.0.0.1:9000 -id 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"ds2hpc/internal/amqp"
+	"ds2hpc/internal/core"
+	"ds2hpc/internal/fabric"
+	"ds2hpc/internal/sim"
+	"ds2hpc/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "local":
+		runLocal(os.Args[2:])
+	case "coordinator":
+		runCoordinator(os.Args[2:])
+	case "producer":
+		runParticipant(os.Args[2:], "producer")
+	case "consumer":
+		runParticipant(os.Args[2:], "consumer")
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: streamsim {local|coordinator|producer|consumer} [flags]")
+	os.Exit(2)
+}
+
+func runLocal(args []string) {
+	fs := flag.NewFlagSet("local", flag.ExitOnError)
+	arch := fs.String("arch", "DTS", "architecture: DTS, PRS(Stunnel), PRS(HAProxy), PRS(HAProxy,4conns), MSS")
+	wl := fs.String("workload", "Dstream", "workload: Dstream, Lstream, generic")
+	pat := fs.String("pattern", "work-sharing", "pattern: work-sharing, work-sharing-feedback, broadcast, broadcast-gather")
+	producers := fs.Int("producers", 2, "producer count")
+	consumers := fs.Int("consumers", 2, "consumer count")
+	msgs := fs.Int("msgs", 32, "messages per producer")
+	runs := fs.Int("runs", 3, "runs per data point")
+	scale := fs.Float64("scale", 0.1, "fabric scale (1.0 = paper rates)")
+	payloadDiv := fs.Int("payload-div", 8, "payload shrink divisor (1 = full size)")
+	fs.Parse(args)
+
+	w, err := workload.ByName(*wl)
+	if err != nil {
+		die(err)
+	}
+	exp := sim.Experiment{
+		Architecture:        core.ArchitectureName(*arch),
+		Workload:            w.Scaled(*payloadDiv),
+		Pattern:             sim.PatternName(*pat),
+		Producers:           *producers,
+		Consumers:           *consumers,
+		MessagesPerProducer: *msgs,
+		Runs:                *runs,
+		Options: core.Options{
+			Nodes:       3,
+			Profile:     fabric.ACE(*scale),
+			MemoryLimit: 1 << 30,
+		},
+		Timeout: 5 * time.Minute,
+	}
+	pt, err := sim.Run(exp)
+	if err != nil {
+		die(err)
+	}
+	if pt.Infeasible {
+		fmt.Printf("%s with %d producers is infeasible (tunnel connection limit)\n",
+			*arch, *producers)
+		return
+	}
+	r := pt.Result
+	fmt.Printf("architecture:   %s\n", *arch)
+	fmt.Printf("workload:       %s (%d B payloads)\n", w.Name, exp.Workload.PayloadBytes)
+	fmt.Printf("pattern:        %s\n", *pat)
+	fmt.Printf("consumed:       %d msgs over %d run(s)\n", r.Consumed, *runs)
+	fmt.Printf("throughput:     %.1f msgs/sec (aggregate)\n", r.Throughput)
+	if len(r.RTTs) > 0 {
+		fmt.Printf("median RTT:     %v\n", r.MedianRTT())
+		fmt.Printf("p80 / p95 RTT:  %v / %v\n", r.PercentileRTT(80), r.PercentileRTT(95))
+	}
+	if r.Errors > 0 {
+		fmt.Printf("backpressure:   %d rejected publishes retried\n", r.Errors)
+	}
+}
+
+func runCoordinator(args []string) {
+	fs := flag.NewFlagSet("coordinator", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:0", "coordinator listen address")
+	participants := fs.Int("participants", 2, "number of producers+consumers to expect")
+	endpoint := fs.String("endpoint", "amqp://127.0.0.1:5672", "broker URL participants should use")
+	msgs := fs.Int("msgs", 100, "messages per producer")
+	queues := fs.Int("queues", 2, "shared work queues")
+	timeout := fs.Duration("timeout", 10*time.Minute, "experiment deadline")
+	fs.Parse(args)
+
+	coord, err := sim.NewCoordinator(*addr, *participants, func(h sim.HelloMsg) sim.AssignMsg {
+		return sim.AssignMsg{
+			Queue:    fmt.Sprintf("ws-q-%d", h.ID%*queues),
+			Endpoint: *endpoint,
+			Messages: *msgs,
+		}
+	})
+	if err != nil {
+		die(err)
+	}
+	defer coord.Close()
+	fmt.Printf("coordinator listening on %s (expecting %d participants)\n",
+		coord.Addr(), *participants)
+	res, err := coord.Wait(*timeout)
+	if err != nil {
+		die(err)
+	}
+	fmt.Printf("aggregate: %s\n", res)
+}
+
+func runParticipant(args []string, role string) {
+	fs := flag.NewFlagSet(role, flag.ExitOnError)
+	coord := fs.String("coord", "", "coordinator address")
+	id := fs.Int("id", 0, "participant id")
+	fs.Parse(args)
+	if *coord == "" {
+		fs.Usage()
+		os.Exit(2)
+	}
+	p, assign, err := sim.Join(*coord, sim.HelloMsg{Role: role, ID: *id})
+	if err != nil {
+		die(err)
+	}
+	conn, err := amqp.Dial(assign.Endpoint)
+	if err != nil {
+		die(err)
+	}
+	defer conn.Close()
+	ch, err := conn.Channel()
+	if err != nil {
+		die(err)
+	}
+	if _, err := ch.QueueDeclare(assign.Queue, true, false, false, false, nil); err != nil {
+		die(err)
+	}
+
+	report := sim.ReportMsg{Role: role, ID: *id}
+	switch role {
+	case "producer":
+		gen := workload.NewGenerator(workload.Dstream, *id)
+		for seq := 0; seq < assign.Messages; seq++ {
+			body, err := gen.Payload(uint64(seq))
+			if err != nil {
+				die(err)
+			}
+			if err := ch.Publish("", assign.Queue, false, false, amqp.Publishing{
+				Timestamp: uint64(time.Now().UnixNano()),
+				Body:      body,
+			}); err != nil {
+				die(err)
+			}
+			report.Count++
+		}
+	case "consumer":
+		if err := ch.Qos(8, 0, false); err != nil {
+			die(err)
+		}
+		deliveries, err := ch.Consume(assign.Queue, "", false, false, false, false, nil)
+		if err != nil {
+			die(err)
+		}
+		for report.Count < int64(assign.Messages) {
+			select {
+			case d := <-deliveries:
+				if d.Timestamp > 0 {
+					report.RTTNanos = append(report.RTTNanos,
+						time.Now().UnixNano()-int64(d.Timestamp))
+				}
+				d.Ack(false)
+				report.Count++
+			case <-time.After(time.Minute):
+				fmt.Fprintf(os.Stderr, "%s %d: timed out at %d/%d\n",
+					role, *id, report.Count, assign.Messages)
+				report.Errors++
+				goto done
+			}
+		}
+	}
+done:
+	if err := p.Report(report); err != nil {
+		die(err)
+	}
+	fmt.Printf("%s %d: done (%d messages)\n", role, *id, report.Count)
+}
+
+func die(err error) {
+	fmt.Fprintln(os.Stderr, "streamsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,11 @@
+// Package ds2hpc reproduces "From Edge to HPC: Investigating Cross-Facility
+// Data Streaming Architectures" (George et al., INDIS/SC 2025): three
+// streaming architectures (DTS, PRS, MSS) built on a from-scratch AMQP
+// broker, SciStream-style proxies, an MSS load-balancer stack, and a
+// network-emulation fabric, evaluated with the paper's three workloads and
+// messaging patterns.
+//
+// The root package holds the benchmark harness (bench_test.go), one
+// benchmark per table and figure in the paper's evaluation. The library
+// lives under internal/; runnable entry points under cmd/ and examples/.
+package ds2hpc

@@ -1,0 +1,220 @@
+// LCLS example: an LCLStream-style edge-to-HPC analysis loop (paper §5.1).
+//
+// MPI-launched detector producers stream 1 MiB HDF5 frame files through the
+// Direct Streaming architecture into shared work queues; MPI-launched
+// analysis ranks decode the frames, run a mock Bragg-peak segmentation, and
+// send steering feedback (parameter recommendations) back to the producers
+// through per-producer reply queues — the LCLS workflow where "AI models
+// identify Bragg peaks and recommend parameter changes while the sample is
+// still in the beam".
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+	"sync/atomic"
+	"time"
+
+	"ds2hpc/internal/amqp"
+	"ds2hpc/internal/core"
+	"ds2hpc/internal/fabric"
+	"ds2hpc/internal/payload/h5lite"
+	"ds2hpc/internal/ranks"
+)
+
+const (
+	producerRanks = 4
+	consumerRanks = 4
+	framesPerRank = 6
+	frameBytes    = 256 * 1024 // scaled-down 1 MiB frames for a fast demo
+	workQueue     = "lcls-frames"
+)
+
+func main() {
+	// Deploy DTS on a scaled ACE fabric: producers/consumers connect to
+	// node-exposed AMQPS ports.
+	p := fabric.ACE(0.2)
+	dep, err := core.Deploy(core.DTS, core.Options{Nodes: 3, Profile: p})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer dep.Close()
+	fmt.Println("DTS deployment up (AMQPS node ports)")
+
+	// Declare the shared frame queue and per-producer steering queues
+	// (co-located with the frame queue so consumers reply over their
+	// existing connection).
+	declare(dep, workQueue)
+	steering := make([]string, producerRanks)
+	for i := range steering {
+		steering[i] = coLocated(dep, fmt.Sprintf("lcls-steer-%d", i), workQueue)
+		declare(dep, steering[i])
+	}
+
+	var peaks, framesDone atomic.Int64
+	start := time.Now()
+
+	// Analysis ranks (MPI-style) consume frames and send steering.
+	go func() {
+		err := ranks.NewGroup(consumerRanks).Run(func(r *ranks.Rank) error {
+			r.Barrier()
+			return analysisRank(dep, r, &peaks, &framesDone)
+		})
+		if err != nil {
+			log.Print("analysis group:", err)
+		}
+	}()
+	time.Sleep(200 * time.Millisecond) // consumers first (§5.2)
+
+	// Detector ranks stream frames and collect steering feedback.
+	err = ranks.NewGroup(producerRanks).Run(func(r *ranks.Rank) error {
+		r.Barrier() // synchronized beam start
+		return detectorRank(dep, r, steering[r.ID()])
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	total := int64(producerRanks * framesPerRank)
+	fmt.Printf("streamed and analyzed %d frames (%d KiB each) in %v\n",
+		total, frameBytes/1024, elapsed.Round(time.Millisecond))
+	fmt.Printf("throughput: %.1f frames/sec, %.1f MiB/sec\n",
+		float64(total)/elapsed.Seconds(),
+		float64(total*frameBytes)/elapsed.Seconds()/(1<<20))
+	fmt.Printf("mock Bragg peaks found: %d\n", peaks.Load())
+}
+
+func detectorRank(dep core.Deployment, r *ranks.Rank, steerQ string) error {
+	conn, err := dep.ProducerEndpoint(workQueue).Connect()
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	ch, err := conn.Channel()
+	if err != nil {
+		return err
+	}
+	steerCh, err := conn.Channel()
+	if err != nil {
+		return err
+	}
+	steer, err := steerCh.Consume(steerQ, "", true, false, false, false, nil)
+	if err != nil {
+		return err
+	}
+
+	for f := 0; f < framesPerRank; f++ {
+		frame, err := h5lite.NewFrameFile(uint64(r.ID()*1000+f), frameBytes)
+		if err != nil {
+			return err
+		}
+		body, err := frame.Encode()
+		if err != nil {
+			return err
+		}
+		if err := ch.Publish("", workQueue, false, false, amqp.Publishing{
+			ContentType: "application/x-hdf5",
+			ReplyTo:     steerQ,
+			MessageID:   fmt.Sprintf("run7-det%d-frame%d", r.ID(), f),
+			Timestamp:   uint64(time.Now().UnixNano()),
+			Body:        body,
+		}); err != nil {
+			return err
+		}
+		// Wait for the steering recommendation before the next exposure
+		// — the experiment-steering loop.
+		select {
+		case rec := <-steer:
+			_ = rec // e.g. adjust beam attenuation
+		case <-time.After(30 * time.Second):
+			return fmt.Errorf("detector %d: no steering for frame %d", r.ID(), f)
+		}
+	}
+	return nil
+}
+
+func analysisRank(dep core.Deployment, r *ranks.Rank, peaks, framesDone *atomic.Int64) error {
+	conn, err := dep.ConsumerEndpoint(workQueue).Connect()
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	ch, err := conn.Channel()
+	if err != nil {
+		return err
+	}
+	if err := ch.Qos(2, 0, false); err != nil {
+		return err
+	}
+	deliveries, err := ch.Consume(workQueue, fmt.Sprintf("analysis-%d", r.ID()), false, false, false, false, nil)
+	if err != nil {
+		return err
+	}
+	total := int64(producerRanks * framesPerRank)
+	for d := range deliveries {
+		file, err := h5lite.Decode(d.Body)
+		if err != nil {
+			d.Nack(false, false)
+			continue
+		}
+		n := segmentPeaks(file)
+		peaks.Add(int64(n))
+		if d.ReplyTo != "" {
+			rec := fmt.Sprintf(`{"recommendation":"keep","peaks":%d}`, n)
+			if err := ch.Publish("", d.ReplyTo, false, false, amqp.Publishing{
+				ContentType:   "application/json",
+				CorrelationID: d.MessageID,
+				Body:          []byte(rec),
+			}); err != nil {
+				return err
+			}
+		}
+		d.Ack(false)
+		if framesDone.Add(1) >= total {
+			return nil
+		}
+	}
+	return nil
+}
+
+// segmentPeaks is a stand-in for the Bragg-peak segmentation model: it
+// counts 16-bit pixels above a threshold in the frame dataset.
+func segmentPeaks(f *h5lite.File) int {
+	ds, ok := f.Dataset("entry/data/frame")
+	if !ok {
+		return 0
+	}
+	count := 0
+	for i := 0; i+1 < len(ds.Data); i += 2 {
+		if binary.LittleEndian.Uint16(ds.Data[i:]) > 0xFF00 {
+			count++
+		}
+	}
+	return count
+}
+
+func declare(dep core.Deployment, queue string) {
+	conn, err := dep.ConsumerEndpoint(queue).Connect()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer conn.Close()
+	ch, _ := conn.Channel()
+	if _, err := ch.QueueDeclare(queue, true, false, false, false, amqp.Table{
+		"x-overflow": "reject-publish",
+	}); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// coLocated derives a queue name sharing ref's master node.
+func coLocated(dep core.Deployment, base, ref string) string {
+	cl := dep.Cluster()
+	want := cl.OwnerOf(ref)
+	name := base
+	for i := 0; cl.OwnerOf(name) != want; i++ {
+		name = fmt.Sprintf("%s~%d", base, i)
+	}
+	return name
+}

@@ -1,0 +1,551 @@
+package amqp
+
+import (
+	"fmt"
+	"sync"
+
+	"ds2hpc/internal/wire"
+)
+
+// Channel is a client channel: the unit of declaration, publishing, and
+// consuming. One outstanding synchronous call is allowed at a time; content
+// flows (deliveries, confirms, returns) are asynchronous.
+type Channel struct {
+	conn *Connection
+	id   uint16
+
+	callMu sync.Mutex
+	rpc    chan wire.Method
+	gets   chan getResult
+
+	mu            sync.Mutex
+	consumers     map[string]chan Delivery
+	consumerSeq   int
+	confirms      []chan Confirmation
+	returns       []chan Return
+	notifyCls     []chan *Error
+	confirmMode   bool
+	publishSeq    uint64
+	confirmExpect uint64
+	closed        bool
+
+	// incoming content assembly
+	pendKind    pendKind
+	pendDeliver *wire.BasicDeliver
+	pendGetOk   *wire.BasicGetOk
+	pendReturn  *wire.BasicReturn
+	pendHeader  *wire.ContentHeader
+	pendBody    []byte
+}
+
+type pendKind int
+
+const (
+	pendNone pendKind = iota
+	pendDeliverKind
+	pendGetOkKind
+	pendReturnKind
+)
+
+type getResult struct {
+	d     *Delivery
+	empty bool
+}
+
+func newChannel(c *Connection, id uint16) *Channel {
+	return &Channel{
+		conn:      c,
+		id:        id,
+		rpc:       make(chan wire.Method, 8),
+		gets:      make(chan getResult, 1),
+		consumers: map[string]chan Delivery{},
+	}
+}
+
+// call sends a synchronous method and waits for its -ok response.
+func (ch *Channel) call(m wire.Method) (wire.Method, error) {
+	ch.callMu.Lock()
+	defer ch.callMu.Unlock()
+	ch.mu.Lock()
+	if ch.closed {
+		ch.mu.Unlock()
+		return nil, ErrClosed
+	}
+	ch.mu.Unlock()
+	if err := ch.conn.writeMethod(ch.id, m); err != nil {
+		return nil, err
+	}
+	resp, ok := <-ch.rpc
+	if !ok {
+		return nil, ErrClosed
+	}
+	return resp, nil
+}
+
+// shutdown terminates the channel, notifying consumers and listeners.
+func (ch *Channel) shutdown(err *Error) {
+	ch.mu.Lock()
+	if ch.closed {
+		ch.mu.Unlock()
+		return
+	}
+	ch.closed = true
+	consumers := ch.consumers
+	ch.consumers = map[string]chan Delivery{}
+	confirms := ch.confirms
+	ch.confirms = nil
+	returns := ch.returns
+	ch.returns = nil
+	notify := ch.notifyCls
+	ch.notifyCls = nil
+	ch.mu.Unlock()
+
+	close(ch.rpc)
+	for _, dc := range consumers {
+		close(dc)
+	}
+	for _, cc := range confirms {
+		close(cc)
+	}
+	for _, rc := range returns {
+		close(rc)
+	}
+	for _, n := range notify {
+		if err != nil {
+			select {
+			case n <- err:
+			default:
+			}
+		}
+		close(n)
+	}
+}
+
+// Close performs an orderly channel shutdown.
+func (ch *Channel) Close() error {
+	ch.mu.Lock()
+	if ch.closed {
+		ch.mu.Unlock()
+		return nil
+	}
+	ch.mu.Unlock()
+	_, err := ch.call(&wire.ChannelClose{ReplyCode: wire.ReplySuccess, ReplyText: "bye"})
+	ch.conn.removeChannel(ch.id)
+	ch.shutdown(nil)
+	return err
+}
+
+// NotifyClose registers a listener for channel exceptions.
+func (ch *Channel) NotifyClose(c chan *Error) chan *Error {
+	ch.mu.Lock()
+	defer ch.mu.Unlock()
+	if ch.closed {
+		close(c)
+		return c
+	}
+	ch.notifyCls = append(ch.notifyCls, c)
+	return c
+}
+
+// --- reader-side dispatch (called from the connection read loop) ---
+
+func (ch *Channel) onMethod(m wire.Method) {
+	switch x := m.(type) {
+	case *wire.ChannelClose:
+		ch.conn.writeMethod(ch.id, &wire.ChannelCloseOk{})
+		ch.conn.removeChannel(ch.id)
+		ch.shutdown(&Error{Code: x.ReplyCode, Reason: x.ReplyText})
+	case *wire.BasicDeliver:
+		ch.mu.Lock()
+		ch.pendKind = pendDeliverKind
+		ch.pendDeliver = x
+		ch.mu.Unlock()
+	case *wire.BasicGetOk:
+		ch.mu.Lock()
+		ch.pendKind = pendGetOkKind
+		ch.pendGetOk = x
+		ch.mu.Unlock()
+	case *wire.BasicGetEmpty:
+		select {
+		case ch.gets <- getResult{empty: true}:
+		default:
+		}
+	case *wire.BasicReturn:
+		ch.mu.Lock()
+		ch.pendKind = pendReturnKind
+		ch.pendReturn = x
+		ch.mu.Unlock()
+	case *wire.BasicAck:
+		ch.dispatchConfirm(x.DeliveryTag, x.Multiple, true)
+	case *wire.BasicNack:
+		ch.dispatchConfirm(x.DeliveryTag, x.Multiple, false)
+	default:
+		select {
+		case ch.rpc <- m:
+		default:
+			// No waiter; drop (e.g. late -ok after timeout).
+		}
+	}
+}
+
+func (ch *Channel) dispatchConfirm(tag uint64, multiple, ack bool) {
+	ch.mu.Lock()
+	listeners := append([]chan Confirmation(nil), ch.confirms...)
+	var tags []uint64
+	if multiple {
+		for t := ch.confirmExpect + 1; t <= tag; t++ {
+			tags = append(tags, t)
+		}
+	} else {
+		tags = []uint64{tag}
+	}
+	if tag > ch.confirmExpect {
+		ch.confirmExpect = tag
+	}
+	ch.mu.Unlock()
+	for _, t := range tags {
+		for _, l := range listeners {
+			l <- Confirmation{DeliveryTag: t, Ack: ack}
+		}
+	}
+}
+
+func (ch *Channel) onHeader(h *wire.ContentHeader) {
+	ch.mu.Lock()
+	ch.pendHeader = h
+	ch.pendBody = make([]byte, 0, h.BodySize)
+	complete := h.BodySize == 0
+	ch.mu.Unlock()
+	if complete {
+		ch.completeContent()
+	}
+}
+
+func (ch *Channel) onBody(b []byte) {
+	ch.mu.Lock()
+	if ch.pendHeader == nil {
+		ch.mu.Unlock()
+		return
+	}
+	ch.pendBody = append(ch.pendBody, b...)
+	complete := uint64(len(ch.pendBody)) >= ch.pendHeader.BodySize
+	ch.mu.Unlock()
+	if complete {
+		ch.completeContent()
+	}
+}
+
+func (ch *Channel) completeContent() {
+	ch.mu.Lock()
+	kind := ch.pendKind
+	header := ch.pendHeader
+	body := ch.pendBody
+	deliver := ch.pendDeliver
+	getOk := ch.pendGetOk
+	ret := ch.pendReturn
+	ch.pendKind = pendNone
+	ch.pendHeader = nil
+	ch.pendBody = nil
+	ch.pendDeliver = nil
+	ch.pendGetOk = nil
+	ch.pendReturn = nil
+	ch.mu.Unlock()
+	if header == nil {
+		return
+	}
+
+	switch kind {
+	case pendDeliverKind:
+		d := deliveryFromProps(&header.Properties)
+		d.Acknowledger = ch
+		d.ConsumerTag = deliver.ConsumerTag
+		d.DeliveryTag = deliver.DeliveryTag
+		d.Redelivered = deliver.Redelivered
+		d.Exchange = deliver.Exchange
+		d.RoutingKey = deliver.RoutingKey
+		d.Body = body
+		ch.mu.Lock()
+		dc := ch.consumers[deliver.ConsumerTag]
+		ch.mu.Unlock()
+		if dc != nil {
+			// Blocking here applies natural backpressure to the socket,
+			// like a TCP receive window filling up.
+			func() {
+				defer func() { recover() }() // tolerate a channel closed mid-send
+				dc <- d
+			}()
+		}
+	case pendGetOkKind:
+		d := deliveryFromProps(&header.Properties)
+		d.Acknowledger = ch
+		d.DeliveryTag = getOk.DeliveryTag
+		d.Redelivered = getOk.Redelivered
+		d.Exchange = getOk.Exchange
+		d.RoutingKey = getOk.RoutingKey
+		d.MessageCount = getOk.MessageCount
+		d.Body = body
+		select {
+		case ch.gets <- getResult{d: &d}:
+		default:
+		}
+	case pendReturnKind:
+		ch.mu.Lock()
+		listeners := append([]chan Return(nil), ch.returns...)
+		ch.mu.Unlock()
+		for _, l := range listeners {
+			l <- Return{
+				ReplyCode:  ret.ReplyCode,
+				ReplyText:  ret.ReplyText,
+				Exchange:   ret.Exchange,
+				RoutingKey: ret.RoutingKey,
+				Body:       body,
+			}
+		}
+	}
+}
+
+// --- declarations ---
+
+// QueueDeclare declares a queue.
+func (ch *Channel) QueueDeclare(name string, durable, autoDelete, exclusive, noWait bool, args Table) (Queue, error) {
+	m := &wire.QueueDeclare{
+		Queue: name, Durable: durable, AutoDelete: autoDelete,
+		Exclusive: exclusive, NoWait: noWait, Arguments: args,
+	}
+	if noWait {
+		ch.callMu.Lock()
+		err := ch.conn.writeMethod(ch.id, m)
+		ch.callMu.Unlock()
+		return Queue{Name: name}, err
+	}
+	resp, err := ch.call(m)
+	if err != nil {
+		return Queue{}, err
+	}
+	ok, good := resp.(*wire.QueueDeclareOk)
+	if !good {
+		return Queue{}, fmt.Errorf("amqp: unexpected response %T", resp)
+	}
+	return Queue{Name: ok.Queue, Messages: int(ok.MessageCount), Consumers: int(ok.ConsumerCount)}, nil
+}
+
+// QueueBind binds a queue to an exchange.
+func (ch *Channel) QueueBind(name, key, exchange string, noWait bool, args Table) error {
+	_, err := ch.call(&wire.QueueBind{Queue: name, Exchange: exchange, RoutingKey: key, Arguments: args})
+	return err
+}
+
+// QueueUnbind removes a binding.
+func (ch *Channel) QueueUnbind(name, key, exchange string, args Table) error {
+	_, err := ch.call(&wire.QueueUnbind{Queue: name, Exchange: exchange, RoutingKey: key, Arguments: args})
+	return err
+}
+
+// QueuePurge drops all ready messages, reporting how many.
+func (ch *Channel) QueuePurge(name string, noWait bool) (int, error) {
+	resp, err := ch.call(&wire.QueuePurge{Queue: name})
+	if err != nil {
+		return 0, err
+	}
+	ok, good := resp.(*wire.QueuePurgeOk)
+	if !good {
+		return 0, fmt.Errorf("amqp: unexpected response %T", resp)
+	}
+	return int(ok.MessageCount), nil
+}
+
+// QueueDelete removes a queue.
+func (ch *Channel) QueueDelete(name string, ifUnused, ifEmpty, noWait bool) (int, error) {
+	resp, err := ch.call(&wire.QueueDelete{Queue: name, IfUnused: ifUnused, IfEmpty: ifEmpty})
+	if err != nil {
+		return 0, err
+	}
+	ok, good := resp.(*wire.QueueDeleteOk)
+	if !good {
+		return 0, fmt.Errorf("amqp: unexpected response %T", resp)
+	}
+	return int(ok.MessageCount), nil
+}
+
+// ExchangeDeclare declares an exchange of the given kind.
+func (ch *Channel) ExchangeDeclare(name, kind string, durable, autoDelete, internal, noWait bool, args Table) error {
+	_, err := ch.call(&wire.ExchangeDeclare{
+		Exchange: name, Type: kind, Durable: durable,
+		AutoDelete: autoDelete, Internal: internal, Arguments: args,
+	})
+	return err
+}
+
+// ExchangeDelete removes an exchange.
+func (ch *Channel) ExchangeDelete(name string, ifUnused, noWait bool) error {
+	_, err := ch.call(&wire.ExchangeDelete{Exchange: name, IfUnused: ifUnused})
+	return err
+}
+
+// --- QoS / confirm ---
+
+// Qos sets the prefetch window applied to subsequent consumers.
+func (ch *Channel) Qos(prefetchCount, prefetchSize int, global bool) error {
+	_, err := ch.call(&wire.BasicQos{
+		PrefetchSize: uint32(prefetchSize), PrefetchCount: uint16(prefetchCount), Global: global,
+	})
+	return err
+}
+
+// Confirm puts the channel into publisher-confirm mode.
+func (ch *Channel) Confirm(noWait bool) error {
+	if noWait {
+		ch.mu.Lock()
+		ch.confirmMode = true
+		ch.mu.Unlock()
+		ch.callMu.Lock()
+		defer ch.callMu.Unlock()
+		return ch.conn.writeMethod(ch.id, &wire.ConfirmSelect{NoWait: true})
+	}
+	_, err := ch.call(&wire.ConfirmSelect{})
+	if err == nil {
+		ch.mu.Lock()
+		ch.confirmMode = true
+		ch.mu.Unlock()
+	}
+	return err
+}
+
+// NotifyPublish registers a confirm listener. The channel must be in
+// confirm mode. Listeners must be drained promptly.
+func (ch *Channel) NotifyPublish(c chan Confirmation) chan Confirmation {
+	ch.mu.Lock()
+	defer ch.mu.Unlock()
+	if ch.closed {
+		close(c)
+		return c
+	}
+	ch.confirms = append(ch.confirms, c)
+	return c
+}
+
+// NotifyReturn registers a listener for unroutable mandatory messages.
+func (ch *Channel) NotifyReturn(c chan Return) chan Return {
+	ch.mu.Lock()
+	defer ch.mu.Unlock()
+	if ch.closed {
+		close(c)
+		return c
+	}
+	ch.returns = append(ch.returns, c)
+	return c
+}
+
+// GetNextPublishSeqNo returns the sequence number the next Publish will use
+// in confirm mode.
+func (ch *Channel) GetNextPublishSeqNo() uint64 {
+	ch.mu.Lock()
+	defer ch.mu.Unlock()
+	return ch.publishSeq + 1
+}
+
+// --- publish / consume ---
+
+// Publish sends a message to an exchange.
+func (ch *Channel) Publish(exchange, key string, mandatory, immediate bool, msg Publishing) error {
+	ch.mu.Lock()
+	if ch.closed {
+		ch.mu.Unlock()
+		return ErrClosed
+	}
+	if ch.confirmMode {
+		ch.publishSeq++
+	}
+	ch.mu.Unlock()
+	props := msg.properties()
+	return ch.conn.writeContent(ch.id, &wire.BasicPublish{
+		Exchange: exchange, RoutingKey: key, Mandatory: mandatory, Immediate: immediate,
+	}, &props, msg.Body)
+}
+
+// Consume starts a consumer and returns its delivery channel.
+func (ch *Channel) Consume(queue, consumerTag string, autoAck, exclusive, noLocal, noWait bool, args Table) (<-chan Delivery, error) {
+	ch.mu.Lock()
+	if consumerTag == "" {
+		ch.consumerSeq++
+		consumerTag = fmt.Sprintf("ctag-%d-%d", ch.id, ch.consumerSeq)
+	}
+	if _, dup := ch.consumers[consumerTag]; dup {
+		ch.mu.Unlock()
+		return nil, fmt.Errorf("amqp: duplicate consumer tag %q", consumerTag)
+	}
+	dc := make(chan Delivery, 16)
+	ch.consumers[consumerTag] = dc
+	ch.mu.Unlock()
+
+	_, err := ch.call(&wire.BasicConsume{
+		Queue: queue, ConsumerTag: consumerTag,
+		NoAck: autoAck, Exclusive: exclusive, NoLocal: noLocal, Arguments: args,
+	})
+	if err != nil {
+		ch.mu.Lock()
+		delete(ch.consumers, consumerTag)
+		ch.mu.Unlock()
+		return nil, err
+	}
+	return dc, nil
+}
+
+// Cancel stops a consumer and closes its delivery channel.
+func (ch *Channel) Cancel(consumerTag string, noWait bool) error {
+	_, err := ch.call(&wire.BasicCancel{ConsumerTag: consumerTag})
+	ch.mu.Lock()
+	dc, ok := ch.consumers[consumerTag]
+	delete(ch.consumers, consumerTag)
+	ch.mu.Unlock()
+	if ok {
+		close(dc)
+	}
+	return err
+}
+
+// Get synchronously fetches one message; ok is false if the queue is empty.
+func (ch *Channel) Get(queue string, autoAck bool) (Delivery, bool, error) {
+	ch.callMu.Lock()
+	defer ch.callMu.Unlock()
+	ch.mu.Lock()
+	if ch.closed {
+		ch.mu.Unlock()
+		return Delivery{}, false, ErrClosed
+	}
+	ch.mu.Unlock()
+	// Drain any stale result.
+	select {
+	case <-ch.gets:
+	default:
+	}
+	if err := ch.conn.writeMethod(ch.id, &wire.BasicGet{Queue: queue, NoAck: autoAck}); err != nil {
+		return Delivery{}, false, err
+	}
+	select {
+	case res := <-ch.gets:
+		if res.empty {
+			return Delivery{}, false, nil
+		}
+		return *res.d, true, nil
+	case <-ch.conn.done:
+		return Delivery{}, false, ErrClosed
+	}
+}
+
+// --- Acknowledger ---
+
+// Ack acknowledges a delivery tag.
+func (ch *Channel) Ack(tag uint64, multiple bool) error {
+	return ch.conn.writeMethod(ch.id, &wire.BasicAck{DeliveryTag: tag, Multiple: multiple})
+}
+
+// Nack negatively acknowledges a delivery tag.
+func (ch *Channel) Nack(tag uint64, multiple, requeue bool) error {
+	return ch.conn.writeMethod(ch.id, &wire.BasicNack{DeliveryTag: tag, Multiple: multiple, Requeue: requeue})
+}
+
+// Reject rejects a delivery tag.
+func (ch *Channel) Reject(tag uint64, requeue bool) error {
+	return ch.conn.writeMethod(ch.id, &wire.BasicReject{DeliveryTag: tag, Requeue: requeue})
+}

@@ -1,0 +1,403 @@
+package amqp
+
+import (
+	"crypto/tls"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"ds2hpc/internal/wire"
+)
+
+// Config controls connection establishment.
+type Config struct {
+	// VHost overrides the vhost from the URI when non-empty.
+	VHost string
+	// TLS enables AMQPS with the given client configuration.
+	TLS *tls.Config
+	// Dial overrides the transport dialer (used to route through netem
+	// links, SciStream proxies, or the MSS load balancer).
+	Dial func(network, addr string) (net.Conn, error)
+	// FrameMax caps the negotiated frame size; zero accepts the server's.
+	FrameMax uint32
+	// Heartbeat requests a heartbeat interval; zero disables.
+	Heartbeat time.Duration
+	// Properties are reported to the server during negotiation.
+	Properties Table
+}
+
+// Connection is a client connection multiplexing channels over one socket.
+type Connection struct {
+	conn net.Conn
+	fr   *wire.FrameReader
+
+	writeMu sync.Mutex
+
+	mu        sync.Mutex
+	channels  map[uint16]*Channel
+	nextCh    uint16
+	closed    bool
+	closeErr  error
+	notifyCls []chan *Error
+
+	frameMax uint32
+	done     chan struct{}
+	hbStop   chan struct{}
+}
+
+// Error is a connection or channel exception.
+type Error struct {
+	Code   uint16
+	Reason string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("amqp: exception %d: %s", e.Code, e.Reason) }
+
+// Dial connects using the default configuration.
+func Dial(url string) (*Connection, error) { return DialConfig(url, Config{}) }
+
+// DialTLS connects with AMQPS.
+func DialTLS(url string, tlsCfg *tls.Config) (*Connection, error) {
+	return DialConfig(url, Config{TLS: tlsCfg})
+}
+
+// DialConfig connects with explicit configuration.
+func DialConfig(url string, cfg Config) (*Connection, error) {
+	u, err := ParseURI(url)
+	if err != nil {
+		return nil, err
+	}
+	vhost := u.VHost
+	if cfg.VHost != "" {
+		vhost = cfg.VHost
+	}
+	dial := cfg.Dial
+	if dial == nil {
+		dial = func(network, addr string) (net.Conn, error) {
+			return net.DialTimeout(network, addr, 10*time.Second)
+		}
+	}
+	raw, err := dial("tcp", u.Host)
+	if err != nil {
+		return nil, err
+	}
+	if u.Scheme == "amqps" || cfg.TLS != nil {
+		tcfg := cfg.TLS
+		if tcfg == nil {
+			tcfg = &tls.Config{InsecureSkipVerify: true}
+		}
+		tlsConn := tls.Client(raw, tcfg)
+		if err := tlsConn.Handshake(); err != nil {
+			raw.Close()
+			return nil, fmt.Errorf("amqp: tls handshake: %w", err)
+		}
+		raw = tlsConn
+	}
+	c := &Connection{
+		conn:     raw,
+		fr:       wire.NewFrameReader(raw, 0),
+		channels: map[uint16]*Channel{},
+		frameMax: wire.DefaultFrameMax,
+		done:     make(chan struct{}),
+		hbStop:   make(chan struct{}),
+	}
+	if err := c.handshake(vhost, cfg); err != nil {
+		raw.Close()
+		return nil, err
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+func (c *Connection) handshake(vhost string, cfg Config) error {
+	if err := wire.WriteProtocolHeader(c.conn); err != nil {
+		return err
+	}
+	m, err := c.readMethod()
+	if err != nil {
+		return err
+	}
+	if _, ok := m.(*wire.ConnectionStart); !ok {
+		return fmt.Errorf("amqp: expected connection.start, got %T", m)
+	}
+	props := cfg.Properties
+	if props == nil {
+		props = Table{"product": "ds2hpc-client"}
+	}
+	if err := c.writeMethod(0, &wire.ConnectionStartOk{
+		ClientProperties: props,
+		Mechanism:        "PLAIN",
+		Response:         []byte("\x00guest\x00guest"),
+		Locale:           "en_US",
+	}); err != nil {
+		return err
+	}
+	m, err = c.readMethod()
+	if err != nil {
+		return err
+	}
+	tune, ok := m.(*wire.ConnectionTune)
+	if !ok {
+		return fmt.Errorf("amqp: expected connection.tune, got %T", m)
+	}
+	frameMax := tune.FrameMax
+	if cfg.FrameMax > 0 && cfg.FrameMax < frameMax {
+		frameMax = cfg.FrameMax
+	}
+	c.frameMax = frameMax
+	c.fr.SetFrameMax(frameMax + 1024)
+	hb := uint16(cfg.Heartbeat / time.Second)
+	if tune.Heartbeat < hb {
+		hb = tune.Heartbeat
+	}
+	if err := c.writeMethod(0, &wire.ConnectionTuneOk{
+		ChannelMax: tune.ChannelMax, FrameMax: frameMax, Heartbeat: hb,
+	}); err != nil {
+		return err
+	}
+	if hb > 0 {
+		go c.heartbeatLoop(time.Duration(hb) * time.Second)
+	}
+	if err := c.writeMethod(0, &wire.ConnectionOpen{VirtualHost: vhost}); err != nil {
+		return err
+	}
+	m, err = c.readMethod()
+	if err != nil {
+		return err
+	}
+	if _, ok := m.(*wire.ConnectionOpenOk); !ok {
+		return fmt.Errorf("amqp: expected connection.open-ok, got %T", m)
+	}
+	return nil
+}
+
+func (c *Connection) readMethod() (wire.Method, error) {
+	for {
+		f, err := c.fr.ReadFrame()
+		if err != nil {
+			return nil, err
+		}
+		if f.Type == wire.FrameHeartbeat {
+			continue
+		}
+		if f.Type != wire.FrameMethod || f.Channel != 0 {
+			return nil, fmt.Errorf("amqp: unexpected frame during handshake")
+		}
+		return wire.ParseMethod(f.Payload)
+	}
+}
+
+func (c *Connection) heartbeatLoop(interval time.Duration) {
+	t := time.NewTicker(interval / 2)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.hbStop:
+			return
+		case <-t.C:
+			c.writeFrame(wire.Frame{Type: wire.FrameHeartbeat})
+		}
+	}
+}
+
+// Channel opens a new channel.
+func (c *Connection) Channel() (*Channel, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	c.nextCh++
+	id := c.nextCh
+	ch := newChannel(c, id)
+	c.channels[id] = ch
+	c.mu.Unlock()
+
+	if _, err := ch.call(&wire.ChannelOpen{}); err != nil {
+		c.mu.Lock()
+		delete(c.channels, id)
+		c.mu.Unlock()
+		return nil, err
+	}
+	return ch, nil
+}
+
+// NotifyClose registers a listener for abnormal connection shutdown.
+func (c *Connection) NotifyClose(ch chan *Error) chan *Error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		close(ch)
+		return ch
+	}
+	c.notifyCls = append(c.notifyCls, ch)
+	return ch
+}
+
+// Close performs an orderly shutdown.
+func (c *Connection) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.mu.Unlock()
+	// Best-effort close handshake; tolerate a dead peer.
+	c.writeMethod(0, &wire.ConnectionClose{ReplyCode: wire.ReplySuccess, ReplyText: "bye"})
+	c.shutdown(nil)
+	return nil
+}
+
+// IsClosed reports whether the connection is terminated.
+func (c *Connection) IsClosed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.closed
+}
+
+func (c *Connection) shutdown(err *Error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	if err != nil {
+		c.closeErr = err
+	}
+	chans := make([]*Channel, 0, len(c.channels))
+	for _, ch := range c.channels {
+		chans = append(chans, ch)
+	}
+	c.channels = map[uint16]*Channel{}
+	notify := c.notifyCls
+	c.notifyCls = nil
+	c.mu.Unlock()
+
+	close(c.done)
+	close(c.hbStop)
+	c.conn.Close()
+	for _, ch := range chans {
+		ch.shutdown(err)
+	}
+	for _, n := range notify {
+		if err != nil {
+			select {
+			case n <- err:
+			default:
+			}
+		}
+		close(n)
+	}
+}
+
+func (c *Connection) readLoop() {
+	for {
+		f, err := c.fr.ReadFrame()
+		if err != nil {
+			var e *Error
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				e = &Error{Code: wire.ReplyInternalError, Reason: err.Error()}
+			}
+			c.shutdown(e)
+			return
+		}
+		switch f.Type {
+		case wire.FrameHeartbeat:
+			continue
+		case wire.FrameMethod:
+			m, err := wire.ParseMethod(f.Payload)
+			if err != nil {
+				c.shutdown(&Error{Code: wire.ReplySyntaxError, Reason: err.Error()})
+				return
+			}
+			if f.Channel == 0 {
+				if cl, ok := m.(*wire.ConnectionClose); ok {
+					c.writeMethod(0, &wire.ConnectionCloseOk{})
+					c.shutdown(&Error{Code: cl.ReplyCode, Reason: cl.ReplyText})
+					return
+				}
+				continue
+			}
+			if ch := c.channelByID(f.Channel); ch != nil {
+				ch.onMethod(m)
+			}
+		case wire.FrameHeader:
+			if ch := c.channelByID(f.Channel); ch != nil {
+				h, err := wire.ParseContentHeader(f.Payload)
+				if err == nil {
+					ch.onHeader(h)
+				}
+			}
+		case wire.FrameBody:
+			if ch := c.channelByID(f.Channel); ch != nil {
+				ch.onBody(f.Payload)
+			}
+		}
+	}
+}
+
+func (c *Connection) channelByID(id uint16) *Channel {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.channels[id]
+}
+
+func (c *Connection) removeChannel(id uint16) {
+	c.mu.Lock()
+	delete(c.channels, id)
+	c.mu.Unlock()
+}
+
+func (c *Connection) writeFrame(f wire.Frame) error {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	return wire.WriteFrame(c.conn, f)
+}
+
+func (c *Connection) writeMethod(channel uint16, m wire.Method) error {
+	payload, err := wire.EncodeMethod(m)
+	if err != nil {
+		return err
+	}
+	return c.writeFrame(wire.Frame{Type: wire.FrameMethod, Channel: channel, Payload: payload})
+}
+
+// writeContent writes method+header+body atomically with respect to other
+// writers on this connection.
+func (c *Connection) writeContent(channel uint16, m wire.Method, props *wire.Properties, body []byte) error {
+	methodPayload, err := wire.EncodeMethod(m)
+	if err != nil {
+		return err
+	}
+	headerPayload, err := wire.EncodeContentHeader(&wire.ContentHeader{
+		ClassID:    wire.ClassBasic,
+		BodySize:   uint64(len(body)),
+		Properties: *props,
+	})
+	if err != nil {
+		return err
+	}
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	if err := wire.WriteFrame(c.conn, wire.Frame{Type: wire.FrameMethod, Channel: channel, Payload: methodPayload}); err != nil {
+		return err
+	}
+	if err := wire.WriteFrame(c.conn, wire.Frame{Type: wire.FrameHeader, Channel: channel, Payload: headerPayload}); err != nil {
+		return err
+	}
+	max := int(c.frameMax)
+	for off := 0; off < len(body); off += max {
+		end := off + max
+		if end > len(body) {
+			end = len(body)
+		}
+		if err := wire.WriteFrame(c.conn, wire.Frame{Type: wire.FrameBody, Channel: channel, Payload: body[off:end]}); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,53 @@
+package amqp
+
+import (
+	"fmt"
+	"strings"
+)
+
+// URI is a parsed amqp:// or amqps:// endpoint.
+type URI struct {
+	Scheme string // "amqp" or "amqps"
+	Host   string // host:port
+	VHost  string
+}
+
+// ParseURI parses "amqp://host:port/vhost". The vhost defaults to "/";
+// user:password segments are accepted and ignored (the broker uses PLAIN
+// with no verification, like the paper's internal deployments).
+func ParseURI(raw string) (URI, error) {
+	u := URI{VHost: "/"}
+	rest := raw
+	switch {
+	case strings.HasPrefix(rest, "amqp://"):
+		u.Scheme = "amqp"
+		rest = rest[len("amqp://"):]
+	case strings.HasPrefix(rest, "amqps://"):
+		u.Scheme = "amqps"
+		rest = rest[len("amqps://"):]
+	default:
+		return u, fmt.Errorf("amqp: unsupported scheme in %q", raw)
+	}
+	if at := strings.LastIndex(rest, "@"); at >= 0 {
+		rest = rest[at+1:]
+	}
+	if slash := strings.Index(rest, "/"); slash >= 0 {
+		vh := rest[slash+1:]
+		rest = rest[:slash]
+		if vh != "" {
+			u.VHost = vh
+		}
+	}
+	if rest == "" {
+		return u, fmt.Errorf("amqp: missing host in %q", raw)
+	}
+	if !strings.Contains(rest, ":") {
+		if u.Scheme == "amqps" {
+			rest += ":5671"
+		} else {
+			rest += ":5672"
+		}
+	}
+	u.Host = rest
+	return u, nil
+}

@@ -1,0 +1,487 @@
+package broker
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"ds2hpc/internal/wire"
+)
+
+// srvChannel is the server-side state of one client channel: consumers,
+// unacknowledged deliveries, confirm mode, and in-flight publish assembly.
+type srvChannel struct {
+	id   uint16
+	conn *srvConn
+
+	mu          sync.Mutex
+	prefetch    int
+	confirm     bool
+	publishSeq  uint64
+	deliveryTag uint64
+	consumers   map[string]*consumerEntry
+	unacked     map[uint64]*unackedEntry
+	pending     *pendingPublish
+	closed      bool
+}
+
+// consumerEntry pairs a queue consumer with its writer goroutine state.
+type consumerEntry struct {
+	tag   string
+	queue *Queue
+	cons  *consumer
+	noAck bool
+}
+
+// unackedEntry tracks one outstanding delivery awaiting acknowledgement.
+type unackedEntry struct {
+	queue *Queue
+	cons  *consumer // nil for basic.get deliveries
+	msg   *Message
+}
+
+// pendingPublish accumulates a basic.publish across method/header/body.
+type pendingPublish struct {
+	method *wire.BasicPublish
+	header *wire.ContentHeader
+	body   []byte
+	seq    uint64
+}
+
+func newSrvChannel(sc *srvConn, id uint16) *srvChannel {
+	return &srvChannel{
+		id:        id,
+		conn:      sc,
+		consumers: map[string]*consumerEntry{},
+		unacked:   map[uint64]*unackedEntry{},
+	}
+}
+
+// teardown cancels consumers and requeues unacked messages (connection or
+// channel close).
+func (ch *srvChannel) teardown() {
+	ch.mu.Lock()
+	if ch.closed {
+		ch.mu.Unlock()
+		return
+	}
+	ch.closed = true
+	consumers := ch.consumers
+	unacked := ch.unacked
+	ch.consumers = map[string]*consumerEntry{}
+	ch.unacked = map[uint64]*unackedEntry{}
+	ch.mu.Unlock()
+
+	for _, ce := range consumers {
+		ce.queue.RemoveConsumer(ce.cons)
+	}
+	for _, ua := range unacked {
+		if ua.cons != nil {
+			ua.queue.Release(ua.cons)
+		}
+		ua.queue.Requeue(ua.msg)
+	}
+}
+
+// exception sends a channel.close to the client and tears the channel down.
+func (ch *srvChannel) exception(code uint16, text string, m wire.Method) error {
+	classID, methodID := uint16(0), uint16(0)
+	if m != nil {
+		classID, methodID = m.ID()
+	}
+	ch.teardown()
+	ch.conn.removeChannel(ch.id)
+	return ch.conn.writeMethod(ch.id, &wire.ChannelClose{
+		ReplyCode: code, ReplyText: text, ClassID: classID, MethodID: methodID,
+	})
+}
+
+func errorCode(err error) uint16 {
+	switch {
+	case errors.Is(err, ErrNotFound):
+		return wire.ReplyNotFound
+	case errors.Is(err, ErrPreconditionFailed):
+		return wire.ReplyPreconditionFailed
+	case errors.Is(err, ErrMemoryAlarm), errors.Is(err, ErrQueueFull):
+		return wire.ReplyResourceError
+	default:
+		return wire.ReplyInternalError
+	}
+}
+
+func (ch *srvChannel) onMethod(m wire.Method) error {
+	vh := ch.conn.vh
+	switch x := m.(type) {
+	case *wire.ChannelClose:
+		ch.teardown()
+		ch.conn.removeChannel(ch.id)
+		return ch.conn.writeMethod(ch.id, &wire.ChannelCloseOk{})
+	case *wire.ChannelCloseOk:
+		return nil
+	case *wire.ChannelFlow:
+		return ch.conn.writeMethod(ch.id, &wire.ChannelFlowOk{Active: x.Active})
+
+	case *wire.ExchangeDeclare:
+		if _, err := vh.DeclareExchange(x.Exchange, x.Type, x.Passive); err != nil {
+			return ch.exception(errorCode(err), err.Error(), m)
+		}
+		if x.NoWait {
+			return nil
+		}
+		return ch.conn.writeMethod(ch.id, &wire.ExchangeDeclareOk{})
+	case *wire.ExchangeDelete:
+		if err := vh.DeleteExchange(x.Exchange, x.IfUnused); err != nil {
+			return ch.exception(errorCode(err), err.Error(), m)
+		}
+		if x.NoWait {
+			return nil
+		}
+		return ch.conn.writeMethod(ch.id, &wire.ExchangeDeleteOk{})
+
+	case *wire.QueueDeclare:
+		q, err := vh.DeclareQueue(x.Queue, x.Exclusive, x.AutoDelete, x.Passive, x.Arguments)
+		if err != nil {
+			return ch.exception(errorCode(err), err.Error(), m)
+		}
+		if x.NoWait {
+			return nil
+		}
+		return ch.conn.writeMethod(ch.id, &wire.QueueDeclareOk{
+			Queue:         q.Name,
+			MessageCount:  uint32(q.Len()),
+			ConsumerCount: uint32(q.ConsumerCount()),
+		})
+	case *wire.QueueBind:
+		q, ok := vh.Queue(x.Queue)
+		if !ok {
+			return ch.exception(wire.ReplyNotFound, fmt.Sprintf("no queue %q", x.Queue), m)
+		}
+		e, ok := vh.Exchange(x.Exchange)
+		if !ok {
+			return ch.exception(wire.ReplyNotFound, fmt.Sprintf("no exchange %q", x.Exchange), m)
+		}
+		e.Bind(q, x.RoutingKey)
+		if x.NoWait {
+			return nil
+		}
+		return ch.conn.writeMethod(ch.id, &wire.QueueBindOk{})
+	case *wire.QueueUnbind:
+		q, ok := vh.Queue(x.Queue)
+		if !ok {
+			return ch.exception(wire.ReplyNotFound, fmt.Sprintf("no queue %q", x.Queue), m)
+		}
+		if e, ok := vh.Exchange(x.Exchange); ok {
+			e.Unbind(q, x.RoutingKey)
+		}
+		return ch.conn.writeMethod(ch.id, &wire.QueueUnbindOk{})
+	case *wire.QueuePurge:
+		q, ok := vh.Queue(x.Queue)
+		if !ok {
+			return ch.exception(wire.ReplyNotFound, fmt.Sprintf("no queue %q", x.Queue), m)
+		}
+		n := q.Purge()
+		if x.NoWait {
+			return nil
+		}
+		return ch.conn.writeMethod(ch.id, &wire.QueuePurgeOk{MessageCount: uint32(n)})
+	case *wire.QueueDelete:
+		n, err := vh.DeleteQueue(x.Queue, x.IfUnused, x.IfEmpty)
+		if err != nil {
+			return ch.exception(errorCode(err), err.Error(), m)
+		}
+		// Drop consumer entries that pointed at the deleted queue.
+		ch.mu.Lock()
+		for tag, ce := range ch.consumers {
+			if ce.queue.Name == x.Queue {
+				delete(ch.consumers, tag)
+			}
+		}
+		ch.mu.Unlock()
+		if x.NoWait {
+			return nil
+		}
+		return ch.conn.writeMethod(ch.id, &wire.QueueDeleteOk{MessageCount: uint32(n)})
+
+	case *wire.BasicQos:
+		ch.mu.Lock()
+		ch.prefetch = int(x.PrefetchCount)
+		ch.mu.Unlock()
+		return ch.conn.writeMethod(ch.id, &wire.BasicQosOk{})
+	case *wire.BasicConsume:
+		return ch.basicConsume(x)
+	case *wire.BasicCancel:
+		ch.mu.Lock()
+		ce, ok := ch.consumers[x.ConsumerTag]
+		delete(ch.consumers, x.ConsumerTag)
+		ch.mu.Unlock()
+		if ok {
+			ce.queue.RemoveConsumer(ce.cons)
+		}
+		if x.NoWait {
+			return nil
+		}
+		return ch.conn.writeMethod(ch.id, &wire.BasicCancelOk{ConsumerTag: x.ConsumerTag})
+	case *wire.BasicPublish:
+		ch.mu.Lock()
+		var seq uint64
+		if ch.confirm {
+			ch.publishSeq++
+			seq = ch.publishSeq
+		}
+		ch.pending = &pendingPublish{method: x, seq: seq}
+		ch.mu.Unlock()
+		return nil
+	case *wire.BasicGet:
+		return ch.basicGet(x)
+	case *wire.BasicAck:
+		return ch.basicAck(x.DeliveryTag, x.Multiple, true, false)
+	case *wire.BasicNack:
+		return ch.basicAck(x.DeliveryTag, x.Multiple, false, x.Requeue)
+	case *wire.BasicReject:
+		return ch.basicAck(x.DeliveryTag, false, false, x.Requeue)
+
+	case *wire.ConfirmSelect:
+		ch.mu.Lock()
+		ch.confirm = true
+		ch.mu.Unlock()
+		if x.NoWait {
+			return nil
+		}
+		return ch.conn.writeMethod(ch.id, &wire.ConfirmSelectOk{})
+	default:
+		return ch.exception(wire.ReplyNotImplemented, fmt.Sprintf("method %T", m), m)
+	}
+}
+
+func (ch *srvChannel) basicConsume(x *wire.BasicConsume) error {
+	vh := ch.conn.vh
+	q, ok := vh.Queue(x.Queue)
+	if !ok {
+		return ch.exception(wire.ReplyNotFound, fmt.Sprintf("no queue %q", x.Queue), x)
+	}
+	tag := x.ConsumerTag
+	ch.mu.Lock()
+	if tag == "" {
+		tag = fmt.Sprintf("ctag-%d-%d", ch.id, len(ch.consumers)+1)
+	}
+	if _, dup := ch.consumers[tag]; dup {
+		ch.mu.Unlock()
+		return ch.exception(wire.ReplyNotAllowed, fmt.Sprintf("duplicate consumer tag %q", tag), x)
+	}
+	prefetch := ch.prefetch
+	ch.mu.Unlock()
+
+	cons, err := q.AddConsumer(tag, x.NoAck, prefetch)
+	if err != nil {
+		return ch.exception(errorCode(err), err.Error(), x)
+	}
+	ce := &consumerEntry{tag: tag, queue: q, cons: cons, noAck: x.NoAck}
+	ch.mu.Lock()
+	ch.consumers[tag] = ce
+	ch.mu.Unlock()
+
+	// Writer goroutine: serializes this consumer's deliveries to the wire.
+	go ch.consumerWriter(ce)
+
+	if x.NoWait {
+		return nil
+	}
+	return ch.conn.writeMethod(ch.id, &wire.BasicConsumeOk{ConsumerTag: tag})
+}
+
+func (ch *srvChannel) consumerWriter(ce *consumerEntry) {
+	for {
+		select {
+		case <-ce.cons.closed:
+			// Drain anything already queued back to the queue.
+			for {
+				select {
+				case d := <-ce.cons.outbox:
+					ce.queue.Requeue(d.msg)
+				default:
+					return
+				}
+			}
+		case d := <-ce.cons.outbox:
+			ch.sendDeliver(ce, d.msg)
+			ce.queue.DeliveryDone(ce.cons)
+		}
+	}
+}
+
+func (ch *srvChannel) sendDeliver(ce *consumerEntry, msg *Message) {
+	ch.mu.Lock()
+	if ch.closed {
+		ch.mu.Unlock()
+		ce.queue.Requeue(msg)
+		return
+	}
+	ch.deliveryTag++
+	tag := ch.deliveryTag
+	if !ce.noAck {
+		ch.unacked[tag] = &unackedEntry{queue: ce.queue, cons: ce.cons, msg: msg}
+	}
+	ch.mu.Unlock()
+
+	err := ch.conn.writeContent(ch.id, &wire.BasicDeliver{
+		ConsumerTag: ce.tag,
+		DeliveryTag: tag,
+		Redelivered: msg.Redelivered,
+		Exchange:    msg.Exchange,
+		RoutingKey:  msg.RoutingKey,
+	}, &msg.Props, msg.Body)
+	if err != nil {
+		// Connection is going away; teardown will requeue unacked.
+		return
+	}
+	if ce.noAck {
+		// noAck consumers complete the delivery immediately.
+		ce.queue.Ack(ce.cons)
+	}
+}
+
+func (ch *srvChannel) basicGet(x *wire.BasicGet) error {
+	vh := ch.conn.vh
+	q, ok := vh.Queue(x.Queue)
+	if !ok {
+		return ch.exception(wire.ReplyNotFound, fmt.Sprintf("no queue %q", x.Queue), x)
+	}
+	msg, remaining, ok := q.Get()
+	if !ok {
+		return ch.conn.writeMethod(ch.id, &wire.BasicGetEmpty{})
+	}
+	ch.mu.Lock()
+	ch.deliveryTag++
+	tag := ch.deliveryTag
+	if !x.NoAck {
+		ch.unacked[tag] = &unackedEntry{queue: q, msg: msg}
+	}
+	ch.mu.Unlock()
+	return ch.conn.writeContent(ch.id, &wire.BasicGetOk{
+		DeliveryTag:  tag,
+		Redelivered:  msg.Redelivered,
+		Exchange:     msg.Exchange,
+		RoutingKey:   msg.RoutingKey,
+		MessageCount: uint32(remaining),
+	}, &msg.Props, msg.Body)
+}
+
+// basicAck resolves unacked deliveries. ack=true acknowledges; ack=false
+// with requeue returns messages to their queues; ack=false without requeue
+// discards them (dead-lettering is out of scope).
+func (ch *srvChannel) basicAck(tag uint64, multiple, ack, requeue bool) error {
+	ch.mu.Lock()
+	var entries []*unackedEntry
+	if multiple {
+		for t, ua := range ch.unacked {
+			if t <= tag || tag == 0 {
+				entries = append(entries, ua)
+				delete(ch.unacked, t)
+			}
+		}
+	} else if ua, ok := ch.unacked[tag]; ok {
+		entries = append(entries, ua)
+		delete(ch.unacked, tag)
+	}
+	ch.mu.Unlock()
+	for _, ua := range entries {
+		switch {
+		case ack:
+			if ua.cons != nil {
+				ua.queue.Ack(ua.cons)
+			}
+		case requeue:
+			if ua.cons != nil {
+				ua.queue.Release(ua.cons)
+			}
+			ua.queue.Requeue(ua.msg)
+		default:
+			if ua.cons != nil {
+				ua.queue.Release(ua.cons)
+			}
+		}
+	}
+	return nil
+}
+
+// onHeader receives the content header of an in-flight publish.
+func (ch *srvChannel) onHeader(h *wire.ContentHeader) error {
+	ch.mu.Lock()
+	p := ch.pending
+	if p != nil {
+		p.header = h
+		if h.BodySize == 0 {
+			ch.pending = nil
+		}
+	}
+	ch.mu.Unlock()
+	if p == nil {
+		return fmt.Errorf("broker: header frame without publish on channel %d", ch.id)
+	}
+	if h.BodySize == 0 {
+		return ch.completePublish(p)
+	}
+	return nil
+}
+
+// onBody receives a body frame of an in-flight publish.
+func (ch *srvChannel) onBody(b []byte) error {
+	ch.mu.Lock()
+	p := ch.pending
+	if p == nil || p.header == nil {
+		ch.mu.Unlock()
+		return fmt.Errorf("broker: body frame without header on channel %d", ch.id)
+	}
+	p.body = append(p.body, b...)
+	complete := uint64(len(p.body)) >= p.header.BodySize
+	if complete {
+		ch.pending = nil
+	}
+	ch.mu.Unlock()
+	if complete {
+		return ch.completePublish(p)
+	}
+	return nil
+}
+
+func (ch *srvChannel) completePublish(p *pendingPublish) error {
+	ch.conn.srv.Stats.MessagesIn.Add(1)
+	ch.conn.srv.Stats.BytesIn.Add(uint64(len(p.body)))
+	msg := &Message{
+		Exchange:   p.method.Exchange,
+		RoutingKey: p.method.RoutingKey,
+		Props:      p.header.Properties,
+		Body:       p.body,
+	}
+	routed, err := ch.conn.vh.Publish(p.method.Exchange, p.method.RoutingKey, msg)
+	switch {
+	case err != nil && errors.Is(err, ErrNotFound):
+		return ch.exception(wire.ReplyNotFound, err.Error(), p.method)
+	case err != nil:
+		// Backpressure (queue full / memory alarm): reject-publish shows
+		// up as a basic.nack in confirm mode so the producer can retry.
+		if ch.isConfirm() {
+			return ch.conn.writeMethod(ch.id, &wire.BasicNack{DeliveryTag: p.seq})
+		}
+		return nil
+	case routed == 0 && p.method.Mandatory:
+		if err := ch.conn.writeContent(ch.id, &wire.BasicReturn{
+			ReplyCode:  wire.ReplyNoRoute,
+			ReplyText:  "NO_ROUTE",
+			Exchange:   p.method.Exchange,
+			RoutingKey: p.method.RoutingKey,
+		}, &msg.Props, msg.Body); err != nil {
+			return err
+		}
+	}
+	if ch.isConfirm() {
+		return ch.conn.writeMethod(ch.id, &wire.BasicAck{DeliveryTag: p.seq})
+	}
+	return nil
+}
+
+func (ch *srvChannel) isConfirm() bool {
+	ch.mu.Lock()
+	defer ch.mu.Unlock()
+	return ch.confirm
+}

@@ -1,0 +1,304 @@
+package broker
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"ds2hpc/internal/wire"
+)
+
+// srvConn is the server side of one client connection: it owns the frame
+// reader loop, the shared writer, and the channel map.
+type srvConn struct {
+	srv *Server
+	c   net.Conn
+	fr  *wire.FrameReader
+
+	writeMu sync.Mutex
+
+	vh *VHost
+
+	chMu     sync.Mutex
+	channels map[uint16]*srvChannel
+
+	frameMax  uint32
+	heartbeat time.Duration
+
+	closeOnce sync.Once
+	done      chan struct{}
+}
+
+func newSrvConn(s *Server, c net.Conn) *srvConn {
+	return &srvConn{
+		srv:      s,
+		c:        c,
+		fr:       wire.NewFrameReader(c, s.cfg.FrameMax+1024),
+		channels: map[uint16]*srvChannel{},
+		frameMax: s.cfg.FrameMax,
+		done:     make(chan struct{}),
+	}
+}
+
+// shutdown tears the connection down and requeues unacked deliveries.
+func (sc *srvConn) shutdown() {
+	sc.closeOnce.Do(func() {
+		close(sc.done)
+		sc.c.Close()
+		sc.chMu.Lock()
+		chans := make([]*srvChannel, 0, len(sc.channels))
+		for _, ch := range sc.channels {
+			chans = append(chans, ch)
+		}
+		sc.channels = map[uint16]*srvChannel{}
+		sc.chMu.Unlock()
+		for _, ch := range chans {
+			ch.teardown()
+		}
+	})
+}
+
+func (sc *srvConn) serve() {
+	defer sc.shutdown()
+	if err := sc.handshake(); err != nil {
+		sc.srv.logf("broker: handshake with %s failed: %v", sc.c.RemoteAddr(), err)
+		return
+	}
+	for {
+		if sc.heartbeat > 0 {
+			sc.c.SetReadDeadline(time.Now().Add(2 * sc.heartbeat))
+		}
+		f, err := sc.fr.ReadFrame()
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				sc.srv.logf("broker: read from %s: %v", sc.c.RemoteAddr(), err)
+			}
+			return
+		}
+		if err := sc.dispatch(f); err != nil {
+			if errors.Is(err, errConnClosed) {
+				return
+			}
+			sc.srv.logf("broker: dispatch: %v", err)
+			return
+		}
+	}
+}
+
+var errConnClosed = errors.New("broker: connection closed by client")
+
+func (sc *srvConn) handshake() error {
+	if err := wire.ReadProtocolHeader(sc.c); err != nil {
+		return err
+	}
+	start := &wire.ConnectionStart{
+		VersionMajor: 0, VersionMinor: 9,
+		ServerProperties: wire.Table{
+			"product": "ds2hpc-broker",
+			"version": "1.0",
+			"capabilities": wire.Table{
+				"publisher_confirms": true,
+				"basic.nack":         true,
+			},
+		},
+		Mechanisms: "PLAIN",
+		Locales:    "en_US",
+	}
+	if err := sc.writeMethod(0, start); err != nil {
+		return err
+	}
+	if _, err := sc.expectMethod(0); err != nil { // start-ok
+		return err
+	}
+	hb := uint16(sc.srv.cfg.Heartbeat / time.Second)
+	tune := &wire.ConnectionTune{ChannelMax: 2047, FrameMax: sc.frameMax, Heartbeat: hb}
+	if err := sc.writeMethod(0, tune); err != nil {
+		return err
+	}
+	m, err := sc.expectMethod(0)
+	if err != nil {
+		return err
+	}
+	tok, ok := m.(*wire.ConnectionTuneOk)
+	if !ok {
+		return fmt.Errorf("broker: expected tune-ok, got %T", m)
+	}
+	if tok.FrameMax > 0 && tok.FrameMax < sc.frameMax {
+		sc.frameMax = tok.FrameMax
+	}
+	sc.fr.SetFrameMax(sc.frameMax + 1024)
+	if tok.Heartbeat > 0 && hb > 0 {
+		sc.heartbeat = time.Duration(tok.Heartbeat) * time.Second
+		go sc.heartbeatLoop()
+	}
+	m, err = sc.expectMethod(0)
+	if err != nil {
+		return err
+	}
+	open, ok := m.(*wire.ConnectionOpen)
+	if !ok {
+		return fmt.Errorf("broker: expected connection.open, got %T", m)
+	}
+	sc.vh = sc.srv.VHost(open.VirtualHost)
+	return sc.writeMethod(0, &wire.ConnectionOpenOk{})
+}
+
+// expectMethod reads one method frame on the given channel.
+func (sc *srvConn) expectMethod(channel uint16) (wire.Method, error) {
+	f, err := sc.fr.ReadFrame()
+	if err != nil {
+		return nil, err
+	}
+	if f.Type != wire.FrameMethod || f.Channel != channel {
+		return nil, fmt.Errorf("broker: unexpected frame type=%d channel=%d", f.Type, f.Channel)
+	}
+	return wire.ParseMethod(f.Payload)
+}
+
+func (sc *srvConn) heartbeatLoop() {
+	t := time.NewTicker(sc.heartbeat / 2)
+	defer t.Stop()
+	for {
+		select {
+		case <-sc.done:
+			return
+		case <-t.C:
+			sc.writeFrame(wire.Frame{Type: wire.FrameHeartbeat, Channel: 0})
+		}
+	}
+}
+
+func (sc *srvConn) dispatch(f wire.Frame) error {
+	switch f.Type {
+	case wire.FrameHeartbeat:
+		return nil
+	case wire.FrameMethod:
+		m, err := wire.ParseMethod(f.Payload)
+		if err != nil {
+			return err
+		}
+		if f.Channel == 0 {
+			return sc.connectionMethod(m)
+		}
+		return sc.channelMethod(f.Channel, m)
+	case wire.FrameHeader:
+		ch := sc.channel(f.Channel)
+		if ch == nil {
+			return fmt.Errorf("broker: header frame on unknown channel %d", f.Channel)
+		}
+		h, err := wire.ParseContentHeader(f.Payload)
+		if err != nil {
+			return err
+		}
+		return ch.onHeader(h)
+	case wire.FrameBody:
+		ch := sc.channel(f.Channel)
+		if ch == nil {
+			return fmt.Errorf("broker: body frame on unknown channel %d", f.Channel)
+		}
+		return ch.onBody(f.Payload)
+	default:
+		return fmt.Errorf("broker: unknown frame type %d", f.Type)
+	}
+}
+
+func (sc *srvConn) connectionMethod(m wire.Method) error {
+	switch m.(type) {
+	case *wire.ConnectionClose:
+		sc.writeMethod(0, &wire.ConnectionCloseOk{})
+		return errConnClosed
+	case *wire.ConnectionCloseOk:
+		return errConnClosed
+	default:
+		return fmt.Errorf("broker: unexpected connection method %T", m)
+	}
+}
+
+func (sc *srvConn) channel(id uint16) *srvChannel {
+	sc.chMu.Lock()
+	defer sc.chMu.Unlock()
+	return sc.channels[id]
+}
+
+func (sc *srvConn) channelMethod(id uint16, m wire.Method) error {
+	if _, ok := m.(*wire.ChannelOpen); ok {
+		ch := newSrvChannel(sc, id)
+		sc.chMu.Lock()
+		sc.channels[id] = ch
+		sc.chMu.Unlock()
+		return sc.writeMethod(id, &wire.ChannelOpenOk{})
+	}
+	ch := sc.channel(id)
+	if ch == nil {
+		// A late close-ok for a channel the server already closed.
+		if _, ok := m.(*wire.ChannelCloseOk); ok {
+			return nil
+		}
+		return fmt.Errorf("broker: method %T on unknown channel %d", m, id)
+	}
+	return ch.onMethod(m)
+}
+
+// removeChannel drops a channel from the map (after close).
+func (sc *srvConn) removeChannel(id uint16) {
+	sc.chMu.Lock()
+	delete(sc.channels, id)
+	sc.chMu.Unlock()
+}
+
+// writeFrame serializes a frame onto the wire.
+func (sc *srvConn) writeFrame(f wire.Frame) error {
+	sc.writeMu.Lock()
+	defer sc.writeMu.Unlock()
+	return wire.WriteFrame(sc.c, f)
+}
+
+// writeMethod encodes and writes a method frame.
+func (sc *srvConn) writeMethod(channel uint16, m wire.Method) error {
+	payload, err := wire.EncodeMethod(m)
+	if err != nil {
+		return err
+	}
+	return sc.writeFrame(wire.Frame{Type: wire.FrameMethod, Channel: channel, Payload: payload})
+}
+
+// writeContent writes method + header + body frames as one atomic sequence
+// so frames from concurrent deliveries never interleave within a message.
+func (sc *srvConn) writeContent(channel uint16, m wire.Method, props *wire.Properties, body []byte) error {
+	methodPayload, err := wire.EncodeMethod(m)
+	if err != nil {
+		return err
+	}
+	headerPayload, err := wire.EncodeContentHeader(&wire.ContentHeader{
+		ClassID:    wire.ClassBasic,
+		BodySize:   uint64(len(body)),
+		Properties: *props,
+	})
+	if err != nil {
+		return err
+	}
+	sc.writeMu.Lock()
+	defer sc.writeMu.Unlock()
+	if err := wire.WriteFrame(sc.c, wire.Frame{Type: wire.FrameMethod, Channel: channel, Payload: methodPayload}); err != nil {
+		return err
+	}
+	if err := wire.WriteFrame(sc.c, wire.Frame{Type: wire.FrameHeader, Channel: channel, Payload: headerPayload}); err != nil {
+		return err
+	}
+	max := int(sc.frameMax)
+	for off := 0; off < len(body); off += max {
+		end := off + max
+		if end > len(body) {
+			end = len(body)
+		}
+		if err := wire.WriteFrame(sc.c, wire.Frame{Type: wire.FrameBody, Channel: channel, Payload: body[off:end]}); err != nil {
+			return err
+		}
+	}
+	sc.srv.Stats.MessagesOut.Add(1)
+	sc.srv.Stats.BytesOut.Add(uint64(len(body)))
+	return nil
+}

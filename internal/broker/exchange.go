@@ -1,0 +1,139 @@
+package broker
+
+import (
+	"strings"
+	"sync"
+)
+
+// Exchange kinds.
+const (
+	KindDirect = "direct"
+	KindFanout = "fanout"
+	KindTopic  = "topic"
+)
+
+// binding associates a queue with a routing pattern on an exchange.
+type binding struct {
+	queue *Queue
+	key   string
+}
+
+// Exchange routes published messages to bound queues.
+type Exchange struct {
+	Name string
+	Kind string
+
+	mu       sync.RWMutex
+	bindings []binding
+}
+
+// NewExchange creates an exchange of the given kind.
+func NewExchange(name, kind string) *Exchange {
+	return &Exchange{Name: name, Kind: kind}
+}
+
+// Bind adds a queue binding. Duplicate (queue, key) pairs are idempotent.
+func (e *Exchange) Bind(q *Queue, key string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, b := range e.bindings {
+		if b.queue == q && b.key == key {
+			return
+		}
+	}
+	e.bindings = append(e.bindings, binding{queue: q, key: key})
+}
+
+// Unbind removes a queue binding.
+func (e *Exchange) Unbind(q *Queue, key string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := e.bindings[:0]
+	for _, b := range e.bindings {
+		if !(b.queue == q && b.key == key) {
+			out = append(out, b)
+		}
+	}
+	e.bindings = out
+}
+
+// UnbindQueue removes every binding that targets q (used on queue delete).
+func (e *Exchange) UnbindQueue(q *Queue) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := e.bindings[:0]
+	for _, b := range e.bindings {
+		if b.queue != q {
+			out = append(out, b)
+		}
+	}
+	e.bindings = out
+}
+
+// BindingCount reports the number of bindings (for IfUnused checks).
+func (e *Exchange) BindingCount() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return len(e.bindings)
+}
+
+// Route returns the set of queues a message with the given routing key
+// should be delivered to. Duplicates are removed so a queue bound twice
+// receives one copy, matching AMQP semantics.
+func (e *Exchange) Route(routingKey string) []*Queue {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	var out []*Queue
+	seen := map[*Queue]bool{}
+	for _, b := range e.bindings {
+		var match bool
+		switch e.Kind {
+		case KindFanout:
+			match = true
+		case KindDirect:
+			match = b.key == routingKey
+		case KindTopic:
+			match = topicMatch(b.key, routingKey)
+		}
+		if match && !seen[b.queue] {
+			seen[b.queue] = true
+			out = append(out, b.queue)
+		}
+	}
+	return out
+}
+
+// topicMatch implements AMQP topic matching: patterns are dot-separated
+// words where "*" matches exactly one word and "#" matches zero or more.
+func topicMatch(pattern, key string) bool {
+	return topicMatchWords(splitTopic(pattern), splitTopic(key))
+}
+
+func splitTopic(s string) []string {
+	if s == "" {
+		return nil
+	}
+	return strings.Split(s, ".")
+}
+
+func topicMatchWords(pat, key []string) bool {
+	if len(pat) == 0 {
+		return len(key) == 0
+	}
+	switch pat[0] {
+	case "#":
+		// "#" can match zero words…
+		if topicMatchWords(pat[1:], key) {
+			return true
+		}
+		// …or one-or-more words.
+		if len(key) > 0 {
+			return topicMatchWords(pat, key[1:])
+		}
+		return false
+	case "*":
+		return len(key) > 0 && topicMatchWords(pat[1:], key[1:])
+	default:
+		return len(key) > 0 && pat[0] == key[0] && topicMatchWords(pat[1:], key[1:])
+	}
+}

@@ -1,0 +1,32 @@
+// Package broker implements the ds2hpc message broker: a from-scratch,
+// RabbitMQ-like AMQP 0-9-1 server that acts as the streaming service in all
+// three cross-facility architectures studied by the paper (DTS, PRS, MSS).
+//
+// Supported features are the ones the paper's evaluation exercises:
+// exchanges (default, direct, fanout, topic), classic queues with
+// length/byte limits and "reject-publish"/"drop-head" overflow policies,
+// prefetch-aware round-robin delivery, consumer acknowledgements (single,
+// multiple/batch, nack/reject with requeue), publisher confirms, mandatory
+// returns, basic.get, heartbeats, and TLS (AMQPS) listeners.
+package broker
+
+import (
+	"ds2hpc/internal/wire"
+)
+
+// Message is a routed message held by queues and delivered to consumers.
+type Message struct {
+	Exchange   string
+	RoutingKey string
+	Props      wire.Properties
+	Body       []byte
+
+	// Redelivered is set when the message is requeued after a nack,
+	// reject, consumer cancellation, or channel close.
+	Redelivered bool
+}
+
+// size returns the number of body bytes the message accounts against queue
+// and broker memory limits. Header overhead is ignored, matching how the
+// paper sizes queue memory by payload.
+func (m *Message) size() int64 { return int64(len(m.Body)) }

@@ -1,0 +1,197 @@
+package broker_test
+
+// Protocol-level tests drive the broker with raw frames rather than the
+// client library, checking the negotiation sequence and the broker's
+// behaviour under protocol violations.
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"ds2hpc/internal/broker"
+	"ds2hpc/internal/wire"
+)
+
+func rawConn(t *testing.T) (net.Conn, *wire.FrameReader, *broker.Server) {
+	t.Helper()
+	s, err := broker.Listen(broker.Config{Addr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	c, err := net.DialTimeout("tcp", s.Addr(), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	c.SetDeadline(time.Now().Add(10 * time.Second))
+	return c, wire.NewFrameReader(c, 0), s
+}
+
+func sendMethod(t *testing.T, c net.Conn, channel uint16, m wire.Method) {
+	t.Helper()
+	payload, err := wire.EncodeMethod(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wire.WriteFrame(c, wire.Frame{Type: wire.FrameMethod, Channel: channel, Payload: payload}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func readMethod(t *testing.T, fr *wire.FrameReader) wire.Method {
+	t.Helper()
+	for {
+		f, err := fr.ReadFrame()
+		if err != nil {
+			t.Fatalf("read frame: %v", err)
+		}
+		if f.Type == wire.FrameHeartbeat {
+			continue
+		}
+		m, err := wire.ParseMethod(f.Payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+}
+
+// handshake completes the negotiation and returns the ready connection.
+func handshake(t *testing.T) (net.Conn, *wire.FrameReader) {
+	t.Helper()
+	c, fr, _ := rawConn(t)
+	if err := wire.WriteProtocolHeader(c); err != nil {
+		t.Fatal(err)
+	}
+	start, ok := readMethod(t, fr).(*wire.ConnectionStart)
+	if !ok {
+		t.Fatal("expected connection.start")
+	}
+	if start.VersionMajor != 0 || start.VersionMinor != 9 {
+		t.Fatalf("version %d.%d", start.VersionMajor, start.VersionMinor)
+	}
+	if start.ServerProperties.String("product", "") != "ds2hpc-broker" {
+		t.Fatalf("server properties %v", start.ServerProperties)
+	}
+	sendMethod(t, c, 0, &wire.ConnectionStartOk{Mechanism: "PLAIN", Locale: "en_US"})
+	tune, ok := readMethod(t, fr).(*wire.ConnectionTune)
+	if !ok {
+		t.Fatal("expected connection.tune")
+	}
+	sendMethod(t, c, 0, &wire.ConnectionTuneOk{
+		ChannelMax: tune.ChannelMax, FrameMax: tune.FrameMax,
+	})
+	sendMethod(t, c, 0, &wire.ConnectionOpen{VirtualHost: "/"})
+	if _, ok := readMethod(t, fr).(*wire.ConnectionOpenOk); !ok {
+		t.Fatal("expected connection.open-ok")
+	}
+	return c, fr
+}
+
+func TestHandshakeSequence(t *testing.T) {
+	c, fr := handshake(t)
+	sendMethod(t, c, 1, &wire.ChannelOpen{})
+	if _, ok := readMethod(t, fr).(*wire.ChannelOpenOk); !ok {
+		t.Fatal("expected channel.open-ok")
+	}
+}
+
+func TestBadProtocolHeaderDropsConnection(t *testing.T) {
+	c, fr, _ := rawConn(t)
+	if _, err := c.Write([]byte("GET / HTTP/1.1\r\n")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fr.ReadFrame(); err == nil {
+		t.Fatal("broker answered a non-AMQP client")
+	}
+}
+
+func TestMethodOnUnopenedChannelFailsConnection(t *testing.T) {
+	c, fr := handshake(t)
+	// queue.declare on channel 5 without channel.open is a hard error.
+	sendMethod(t, c, 5, &wire.QueueDeclare{Queue: "x"})
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		f, err := fr.ReadFrame()
+		if err != nil {
+			return // connection torn down, as expected
+		}
+		if f.Type == wire.FrameHeartbeat {
+			continue
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("broker kept the connection alive after the violation")
+		}
+	}
+}
+
+func TestOrderlyConnectionClose(t *testing.T) {
+	c, fr := handshake(t)
+	sendMethod(t, c, 0, &wire.ConnectionClose{ReplyCode: wire.ReplySuccess, ReplyText: "done"})
+	if _, ok := readMethod(t, fr).(*wire.ConnectionCloseOk); !ok {
+		t.Fatal("expected connection.close-ok")
+	}
+}
+
+func TestPublishViaRawFrames(t *testing.T) {
+	c, fr := handshake(t)
+	sendMethod(t, c, 1, &wire.ChannelOpen{})
+	readMethod(t, fr) // open-ok
+	sendMethod(t, c, 1, &wire.QueueDeclare{Queue: "raw-q"})
+	readMethod(t, fr) // declare-ok
+
+	// Publish = method + header + body frames.
+	sendMethod(t, c, 1, &wire.BasicPublish{RoutingKey: "raw-q"})
+	body := []byte("raw frame publish")
+	header, err := wire.EncodeContentHeader(&wire.ContentHeader{
+		ClassID: wire.ClassBasic, BodySize: uint64(len(body)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wire.WriteFrame(c, wire.Frame{Type: wire.FrameHeader, Channel: 1, Payload: header}); err != nil {
+		t.Fatal(err)
+	}
+	if err := wire.WriteFrame(c, wire.Frame{Type: wire.FrameBody, Channel: 1, Payload: body}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fetch it back with basic.get.
+	sendMethod(t, c, 1, &wire.BasicGet{Queue: "raw-q", NoAck: true})
+	if _, ok := readMethod(t, fr).(*wire.BasicGetOk); !ok {
+		t.Fatal("expected get-ok")
+	}
+	f, err := fr.ReadFrame()
+	if err != nil || f.Type != wire.FrameHeader {
+		t.Fatalf("expected header frame, got type %d err %v", f.Type, err)
+	}
+	f, err = fr.ReadFrame()
+	if err != nil || f.Type != wire.FrameBody {
+		t.Fatalf("expected body frame, got type %d err %v", f.Type, err)
+	}
+	if string(f.Payload) != string(body) {
+		t.Fatalf("body %q", f.Payload)
+	}
+}
+
+func TestBodyWithoutHeaderIsViolation(t *testing.T) {
+	c, fr := handshake(t)
+	sendMethod(t, c, 1, &wire.ChannelOpen{})
+	readMethod(t, fr)
+	// A body frame with no preceding publish/header must kill the
+	// connection (frame sequencing violation).
+	if err := wire.WriteFrame(c, wire.Frame{Type: wire.FrameBody, Channel: 1, Payload: []byte("orphan")}); err != nil {
+		t.Fatal(err)
+	}
+	for {
+		f, err := fr.ReadFrame()
+		if err != nil {
+			return // dropped, as expected
+		}
+		if f.Type == wire.FrameHeartbeat {
+			continue
+		}
+	}
+}

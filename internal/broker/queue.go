@@ -1,0 +1,357 @@
+package broker
+
+import (
+	"errors"
+	"sync"
+)
+
+// Overflow policies (RabbitMQ classic-queue x-overflow argument). The paper
+// sets "reject-publish" so producers can detect backpressure and republish.
+const (
+	OverflowDropHead      = "drop-head"
+	OverflowRejectPublish = "reject-publish"
+)
+
+// ErrQueueFull is reported to publishers when a reject-publish queue is at
+// capacity. With publisher confirms enabled this surfaces as a basic.nack.
+var ErrQueueFull = errors.New("broker: queue full (reject-publish)")
+
+// QueueLimits captures the classic-queue resource arguments.
+type QueueLimits struct {
+	// MaxLen bounds the number of ready messages; 0 means unlimited.
+	MaxLen int
+	// MaxBytes bounds the total ready-message payload bytes; 0 = unlimited.
+	MaxBytes int64
+	// Overflow is OverflowDropHead (default) or OverflowRejectPublish.
+	Overflow string
+}
+
+// delivery is a message en route to one consumer.
+type delivery struct {
+	msg *Message
+}
+
+// consumer is a registered basic.consume subscription. Deliveries flow
+// through outbox to a per-consumer writer goroutine owned by the channel
+// layer, so one slow connection does not stall the queue's other consumers.
+type consumer struct {
+	tag    string
+	noAck  bool
+	outbox chan delivery
+	closed chan struct{}
+
+	// credit is the number of additional messages that may be pushed
+	// before an ack returns a slot. creditUnlimited when prefetch is 0.
+	credit int
+
+	// owner is invoked by the channel layer; the queue only needs the
+	// drain notification hook.
+	q *Queue
+}
+
+const creditUnlimited = int(^uint(0) >> 1) // max int
+
+// outboxCap bounds in-flight deliveries per consumer when prefetch is
+// unlimited; it provides flow control in lieu of credit.
+const outboxCap = 64
+
+// Queue is a classic queue: an in-memory FIFO of ready messages plus a set
+// of consumers served round-robin subject to prefetch credit.
+type Queue struct {
+	Name       string
+	Durable    bool
+	Exclusive  bool
+	AutoDelete bool
+	Limits     QueueLimits
+
+	mu        sync.Mutex
+	ready     []*Message // FIFO; head at index 0 (amortized via headIdx)
+	headIdx   int
+	bytes     int64
+	consumers []*consumer
+	rr        int
+	deleted   bool
+
+	// onDequeue, if set, is called with the payload size whenever ready
+	// bytes shrink; used for broker-wide memory accounting.
+	onBytes func(deltaBytes int64)
+
+	stats QueueStats
+}
+
+// QueueStats are cumulative counters exposed for tests and metrics.
+type QueueStats struct {
+	Published uint64
+	Delivered uint64
+	Acked     uint64
+	Requeued  uint64
+	Dropped   uint64
+	Rejected  uint64
+}
+
+// NewQueue creates a queue.
+func NewQueue(name string, limits QueueLimits) *Queue {
+	if limits.Overflow == "" {
+		limits.Overflow = OverflowDropHead
+	}
+	return &Queue{Name: name, Limits: limits}
+}
+
+// Len reports the number of ready messages.
+func (q *Queue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.ready) - q.headIdx
+}
+
+// Bytes reports the total ready payload bytes.
+func (q *Queue) Bytes() int64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.bytes
+}
+
+// ConsumerCount reports the number of active consumers.
+func (q *Queue) ConsumerCount() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.consumers)
+}
+
+// Stats returns a copy of the queue counters.
+func (q *Queue) Stats() QueueStats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.stats
+}
+
+// Publish routes one message into the queue, delivering immediately if a
+// consumer has credit. It returns ErrQueueFull when the reject-publish
+// overflow policy denies the message.
+func (q *Queue) Publish(m *Message) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.deleted {
+		return errors.New("broker: queue deleted")
+	}
+	if q.overLimitLocked(m) {
+		if q.Limits.Overflow == OverflowRejectPublish {
+			q.stats.Rejected++
+			return ErrQueueFull
+		}
+		// drop-head: evict from the front until the new message fits.
+		for q.overLimitLocked(m) && q.lenLocked() > 0 {
+			dropped := q.popLocked()
+			q.stats.Dropped++
+			_ = dropped
+		}
+	}
+	q.pushLocked(m)
+	q.stats.Published++
+	q.pumpLocked()
+	return nil
+}
+
+// Get synchronously pops one ready message (basic.get). ok is false when
+// the queue is empty. remaining is the ready count after the pop.
+func (q *Queue) Get() (m *Message, remaining int, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.lenLocked() == 0 {
+		return nil, 0, false
+	}
+	m = q.popLocked()
+	q.stats.Delivered++
+	return m, q.lenLocked(), true
+}
+
+// Purge drops all ready messages, returning how many were removed.
+func (q *Queue) Purge() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	n := q.lenLocked()
+	for q.lenLocked() > 0 {
+		q.popLocked()
+	}
+	return n
+}
+
+// Requeue returns a message to the head of the queue (nack/reject requeue,
+// channel close). The redelivered flag is set.
+func (q *Queue) Requeue(m *Message) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	m.Redelivered = true
+	// Insert at the head.
+	if q.headIdx > 0 {
+		q.headIdx--
+		q.ready[q.headIdx] = m
+	} else {
+		q.ready = append([]*Message{m}, q.ready...)
+	}
+	q.bytes += m.size()
+	if q.onBytes != nil {
+		q.onBytes(m.size())
+	}
+	q.stats.Requeued++
+	q.pumpLocked()
+}
+
+// AddConsumer registers a consumer with the given prefetch limit (0 means
+// unlimited) and returns it. The channel layer must run a goroutine that
+// drains c.outbox and calls q.DeliveryDone(c) after each send.
+func (q *Queue) AddConsumer(tag string, noAck bool, prefetch int) (*consumer, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.deleted {
+		return nil, errors.New("broker: queue deleted")
+	}
+	credit := prefetch
+	if credit <= 0 {
+		credit = creditUnlimited
+	}
+	c := &consumer{
+		tag:    tag,
+		noAck:  noAck,
+		credit: credit,
+		outbox: make(chan delivery, outboxCap),
+		closed: make(chan struct{}),
+		q:      q,
+	}
+	q.consumers = append(q.consumers, c)
+	q.pumpLocked()
+	return c, nil
+}
+
+// RemoveConsumer cancels a consumer.
+func (q *Queue) RemoveConsumer(c *consumer) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for i, x := range q.consumers {
+		if x == c {
+			q.consumers = append(q.consumers[:i], q.consumers[i+1:]...)
+			close(c.closed)
+			break
+		}
+	}
+	if q.rr >= len(q.consumers) {
+		q.rr = 0
+	}
+}
+
+// Ack returns one prefetch slot to the consumer and pumps the queue.
+func (q *Queue) Ack(c *consumer) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if c.credit != creditUnlimited {
+		c.credit++
+	}
+	q.stats.Acked++
+	q.pumpLocked()
+}
+
+// Release returns one prefetch slot without counting an acknowledgement
+// (nack/reject paths and channel teardown).
+func (q *Queue) Release(c *consumer) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if c.credit != creditUnlimited {
+		c.credit++
+	}
+	q.pumpLocked()
+}
+
+// DeliveryDone signals that a consumer's writer drained one delivery from
+// its outbox, freeing buffer room; the queue may be able to push more.
+func (q *Queue) DeliveryDone(c *consumer) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.pumpLocked()
+}
+
+// markDeleted flags the queue as gone and cancels all consumers, returning
+// the consumers so the channel layer can clean up.
+func (q *Queue) markDeleted() []*consumer {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.deleted = true
+	cs := q.consumers
+	q.consumers = nil
+	for _, c := range cs {
+		close(c.closed)
+	}
+	for q.lenLocked() > 0 {
+		q.popLocked()
+	}
+	return cs
+}
+
+// --- internal (callers hold q.mu) ---
+
+func (q *Queue) lenLocked() int { return len(q.ready) - q.headIdx }
+
+func (q *Queue) overLimitLocked(m *Message) bool {
+	if q.Limits.MaxLen > 0 && q.lenLocked()+1 > q.Limits.MaxLen {
+		return true
+	}
+	if q.Limits.MaxBytes > 0 && q.bytes+m.size() > q.Limits.MaxBytes {
+		return true
+	}
+	return false
+}
+
+func (q *Queue) pushLocked(m *Message) {
+	q.ready = append(q.ready, m)
+	q.bytes += m.size()
+	if q.onBytes != nil {
+		q.onBytes(m.size())
+	}
+}
+
+func (q *Queue) popLocked() *Message {
+	m := q.ready[q.headIdx]
+	q.ready[q.headIdx] = nil
+	q.headIdx++
+	q.bytes -= m.size()
+	if q.onBytes != nil {
+		q.onBytes(-m.size())
+	}
+	// Compact once the dead prefix dominates.
+	if q.headIdx > 64 && q.headIdx*2 >= len(q.ready) {
+		q.ready = append([]*Message(nil), q.ready[q.headIdx:]...)
+		q.headIdx = 0
+	}
+	return m
+}
+
+// pumpLocked delivers ready messages round-robin to consumers that have
+// both prefetch credit and outbox room. It never blocks: outbox sends are
+// guaranteed by the room check under q.mu (the queue is the only sender).
+func (q *Queue) pumpLocked() {
+	for q.lenLocked() > 0 && len(q.consumers) > 0 {
+		c := q.nextConsumerLocked()
+		if c == nil {
+			return
+		}
+		m := q.popLocked()
+		if c.credit != creditUnlimited {
+			c.credit--
+		}
+		q.stats.Delivered++
+		c.outbox <- delivery{msg: m}
+	}
+}
+
+// nextConsumerLocked picks the next round-robin consumer that can accept a
+// delivery, or nil if none can.
+func (q *Queue) nextConsumerLocked() *consumer {
+	n := len(q.consumers)
+	for i := 0; i < n; i++ {
+		c := q.consumers[(q.rr+i)%n]
+		if (c.credit == creditUnlimited || c.credit > 0) && len(c.outbox) < cap(c.outbox) {
+			q.rr = (q.rr + i + 1) % n
+			return c
+		}
+	}
+	return nil
+}

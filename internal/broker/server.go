@@ -1,0 +1,156 @@
+package broker
+
+import (
+	"crypto/tls"
+	"log"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ds2hpc/internal/netem"
+	"ds2hpc/internal/wire"
+)
+
+// Config configures a broker server (one RabbitMQ-like node).
+type Config struct {
+	// Addr is the TCP listen address, e.g. "127.0.0.1:0".
+	Addr string
+	// TLS, if non-nil, serves AMQPS (the DTS deployment's node-exposed
+	// TLS port 30671 in the paper).
+	TLS *tls.Config
+	// Link shapes all accepted connections (the DSN's network interface).
+	Link *netem.Link
+	// FrameMax is the advertised maximum frame payload size.
+	FrameMax uint32
+	// Heartbeat is the advertised heartbeat interval; zero disables.
+	Heartbeat time.Duration
+	// MemoryLimit bounds ready bytes per vhost (80% of broker RAM in the
+	// paper's configuration). Zero means unlimited.
+	MemoryLimit int64
+	// Logger receives connection errors; nil discards them.
+	Logger *log.Logger
+}
+
+// Stats are server-wide cumulative counters.
+type Stats struct {
+	ConnectionsAccepted atomic.Uint64
+	MessagesIn          atomic.Uint64
+	MessagesOut         atomic.Uint64
+	BytesIn             atomic.Uint64
+	BytesOut            atomic.Uint64
+}
+
+// Server is one broker node.
+type Server struct {
+	cfg Config
+	ln  net.Listener
+
+	mu     sync.Mutex
+	vhosts map[string]*VHost
+	conns  map[*srvConn]struct{}
+	closed bool
+
+	Stats Stats
+	wg    sync.WaitGroup
+}
+
+// Listen starts a broker node and its accept loop.
+func Listen(cfg Config) (*Server, error) {
+	if cfg.FrameMax == 0 {
+		cfg.FrameMax = wire.DefaultFrameMax
+	}
+	var ln net.Listener
+	var err error
+	if cfg.TLS != nil {
+		ln, err = tls.Listen("tcp", cfg.Addr, cfg.TLS)
+	} else {
+		ln, err = net.Listen("tcp", cfg.Addr)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Link != nil {
+		ln = netem.WrapListener(ln, cfg.Link)
+	}
+	s := &Server{
+		cfg:    cfg,
+		ln:     ln,
+		vhosts: map[string]*VHost{},
+		conns:  map[*srvConn]struct{}{},
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// VHost returns (creating on demand) the named vhost.
+func (s *Server) VHost(name string) *VHost {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	vh, ok := s.vhosts[name]
+	if !ok {
+		vh = NewVHost(name)
+		vh.MemoryLimit = s.cfg.MemoryLimit
+		s.vhosts[name] = vh
+	}
+	return vh
+}
+
+// Close stops the listener and terminates all connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	conns := make([]*srvConn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	for _, c := range conns {
+		c.shutdown()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		c, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.Stats.ConnectionsAccepted.Add(1)
+		sc := newSrvConn(s, c)
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			c.Close()
+			return
+		}
+		s.conns[sc] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			sc.serve()
+			s.mu.Lock()
+			delete(s.conns, sc)
+			s.mu.Unlock()
+		}()
+	}
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logger != nil {
+		s.cfg.Logger.Printf(format, args...)
+	}
+}

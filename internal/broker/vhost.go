@@ -1,0 +1,217 @@
+package broker
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"ds2hpc/internal/wire"
+)
+
+// Errors surfaced as channel exceptions.
+var (
+	ErrNotFound           = errors.New("broker: not found")
+	ErrPreconditionFailed = errors.New("broker: precondition failed")
+	ErrMemoryAlarm        = errors.New("broker: memory high watermark reached")
+)
+
+// VHost is an isolated namespace of exchanges and queues. The paper's
+// deployments use a single vhost per broker; multiple vhosts let several
+// users share one MSS-provisioned service.
+type VHost struct {
+	Name string
+
+	// MemoryLimit bounds the total ready bytes across all queues; when
+	// exceeded, publishes are rejected (the broker's memory alarm).
+	// Zero means unlimited. The paper reserves 80% of broker RAM for
+	// payload queues.
+	MemoryLimit int64
+
+	mu        sync.RWMutex
+	exchanges map[string]*Exchange
+	queues    map[string]*Queue
+
+	totalBytes atomic.Int64
+}
+
+// NewVHost creates a vhost containing the default exchanges.
+func NewVHost(name string) *VHost {
+	vh := &VHost{
+		Name:      name,
+		exchanges: map[string]*Exchange{},
+		queues:    map[string]*Queue{},
+	}
+	// Default (nameless direct) exchange plus the standard pre-declared
+	// exchanges clients expect.
+	vh.exchanges[""] = NewExchange("", KindDirect)
+	vh.exchanges["amq.direct"] = NewExchange("amq.direct", KindDirect)
+	vh.exchanges["amq.fanout"] = NewExchange("amq.fanout", KindFanout)
+	vh.exchanges["amq.topic"] = NewExchange("amq.topic", KindTopic)
+	return vh
+}
+
+// TotalBytes reports ready payload bytes across all queues.
+func (vh *VHost) TotalBytes() int64 { return vh.totalBytes.Load() }
+
+// DeclareExchange creates (or verifies, if passive) an exchange.
+func (vh *VHost) DeclareExchange(name, kind string, passive bool) (*Exchange, error) {
+	vh.mu.Lock()
+	defer vh.mu.Unlock()
+	if e, ok := vh.exchanges[name]; ok {
+		if e.Kind != kind && !passive {
+			return nil, fmt.Errorf("%w: exchange %q exists with kind %q", ErrPreconditionFailed, name, e.Kind)
+		}
+		return e, nil
+	}
+	if passive {
+		return nil, fmt.Errorf("%w: exchange %q", ErrNotFound, name)
+	}
+	switch kind {
+	case KindDirect, KindFanout, KindTopic:
+	default:
+		return nil, fmt.Errorf("%w: unknown exchange kind %q", ErrPreconditionFailed, kind)
+	}
+	e := NewExchange(name, kind)
+	vh.exchanges[name] = e
+	return e, nil
+}
+
+// Exchange looks up an exchange.
+func (vh *VHost) Exchange(name string) (*Exchange, bool) {
+	vh.mu.RLock()
+	defer vh.mu.RUnlock()
+	e, ok := vh.exchanges[name]
+	return e, ok
+}
+
+// DeleteExchange removes an exchange.
+func (vh *VHost) DeleteExchange(name string, ifUnused bool) error {
+	vh.mu.Lock()
+	defer vh.mu.Unlock()
+	e, ok := vh.exchanges[name]
+	if !ok {
+		return fmt.Errorf("%w: exchange %q", ErrNotFound, name)
+	}
+	if ifUnused && e.BindingCount() > 0 {
+		return fmt.Errorf("%w: exchange %q in use", ErrPreconditionFailed, name)
+	}
+	if name == "" {
+		return fmt.Errorf("%w: cannot delete default exchange", ErrPreconditionFailed)
+	}
+	delete(vh.exchanges, name)
+	return nil
+}
+
+// DeclareQueue creates (or verifies, if passive) a queue. Anonymous names
+// are generated. The default-exchange binding (queue name as routing key)
+// is implicit via Route on the default exchange.
+func (vh *VHost) DeclareQueue(name string, exclusive, autoDelete, passive bool, args wire.Table) (*Queue, error) {
+	vh.mu.Lock()
+	defer vh.mu.Unlock()
+	if name == "" {
+		name = fmt.Sprintf("amq.gen-%d", len(vh.queues)+1)
+		for vh.queues[name] != nil {
+			name += "x"
+		}
+	}
+	if q, ok := vh.queues[name]; ok {
+		return q, nil
+	}
+	if passive {
+		return nil, fmt.Errorf("%w: queue %q", ErrNotFound, name)
+	}
+	limits := QueueLimits{
+		MaxLen:   int(args.Int("x-max-length", 0)),
+		MaxBytes: args.Int("x-max-length-bytes", 0),
+		Overflow: args.String("x-overflow", OverflowDropHead),
+	}
+	q := NewQueue(name, limits)
+	q.Exclusive = exclusive
+	q.AutoDelete = autoDelete
+	q.onBytes = func(d int64) { vh.totalBytes.Add(d) }
+	vh.queues[name] = q
+	// Implicit default-exchange binding.
+	vh.exchanges[""].Bind(q, name)
+	return q, nil
+}
+
+// Queue looks up a queue by name.
+func (vh *VHost) Queue(name string) (*Queue, bool) {
+	vh.mu.RLock()
+	defer vh.mu.RUnlock()
+	q, ok := vh.queues[name]
+	return q, ok
+}
+
+// DeleteQueue removes a queue and all its bindings, returning the purged
+// message count.
+func (vh *VHost) DeleteQueue(name string, ifUnused, ifEmpty bool) (int, error) {
+	vh.mu.Lock()
+	defer vh.mu.Unlock()
+	q, ok := vh.queues[name]
+	if !ok {
+		return 0, fmt.Errorf("%w: queue %q", ErrNotFound, name)
+	}
+	if ifUnused && q.ConsumerCount() > 0 {
+		return 0, fmt.Errorf("%w: queue %q has consumers", ErrPreconditionFailed, name)
+	}
+	if ifEmpty && q.Len() > 0 {
+		return 0, fmt.Errorf("%w: queue %q not empty", ErrPreconditionFailed, name)
+	}
+	n := q.Len()
+	delete(vh.queues, name)
+	for _, e := range vh.exchanges {
+		e.UnbindQueue(q)
+	}
+	q.markDeleted()
+	return n, nil
+}
+
+// Publish routes a message through an exchange into zero or more queues.
+// It returns the number of queues the message reached. With a reject-publish
+// queue at capacity or the vhost memory alarm raised, the error reports the
+// rejection so confirm mode can nack the publisher.
+func (vh *VHost) Publish(exchange, routingKey string, m *Message) (int, error) {
+	vh.mu.RLock()
+	e, ok := vh.exchanges[exchange]
+	vh.mu.RUnlock()
+	if !ok {
+		return 0, fmt.Errorf("%w: exchange %q", ErrNotFound, exchange)
+	}
+	if vh.MemoryLimit > 0 && vh.totalBytes.Load() >= vh.MemoryLimit {
+		return 0, ErrMemoryAlarm
+	}
+	queues := e.Route(routingKey)
+	routed := 0
+	var rejectErr error
+	for _, q := range queues {
+		// Fanout and multi-binding routes copy the message so per-queue
+		// Redelivered flags do not interfere.
+		msg := m
+		if len(queues) > 1 {
+			cp := *m
+			msg = &cp
+		}
+		if err := q.Publish(msg); err != nil {
+			rejectErr = err
+			continue
+		}
+		routed++
+	}
+	if rejectErr != nil && routed == 0 {
+		return 0, rejectErr
+	}
+	return routed, nil
+}
+
+// QueueNames returns the declared queue names (stable order not guaranteed).
+func (vh *VHost) QueueNames() []string {
+	vh.mu.RLock()
+	defer vh.mu.RUnlock()
+	out := make([]string, 0, len(vh.queues))
+	for n := range vh.queues {
+		out = append(out, n)
+	}
+	return out
+}

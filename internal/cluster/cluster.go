@@ -1,0 +1,222 @@
+// Package cluster assembles multiple broker nodes into the three-server
+// RabbitMQ cluster deployed on the paper's Data Streaming Nodes (RMQS1-3 on
+// DSN1-3, §4.2). Classic queues live on exactly one node (the queue master);
+// queue placement uses a stable hash of the queue name, and clients are
+// directed to the master node for each queue — the same client-side routing
+// RabbitMQ documentation recommends for classic queues to avoid intra-cluster
+// forwarding hops.
+//
+// A Shovel component moves messages between queues on different nodes (the
+// RabbitMQ shovel plugin equivalent), which the Deleria example uses to link
+// its forward buffer and event builder.
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"net"
+	"time"
+
+	"ds2hpc/internal/amqp"
+	"ds2hpc/internal/broker"
+)
+
+// Cluster is a set of broker nodes with deterministic queue placement.
+type Cluster struct {
+	nodes []*broker.Server
+}
+
+// Start launches n broker nodes with the shared configuration. Each node
+// gets its own listener; cfg.Addr must be empty or a ":0" pattern.
+func Start(n int, cfg broker.Config) (*Cluster, error) {
+	return StartWith(n, func(int) broker.Config { return cfg })
+}
+
+// StartWith launches n broker nodes, asking configFor for each node's
+// configuration — used to give every node its own emulated DSN link.
+func StartWith(n int, configFor func(i int) broker.Config) (*Cluster, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("cluster: need at least one node, got %d", n)
+	}
+	c := &Cluster{}
+	for i := 0; i < n; i++ {
+		nodeCfg := configFor(i)
+		if nodeCfg.Addr == "" {
+			nodeCfg.Addr = "127.0.0.1:0"
+		}
+		s, err := broker.Listen(nodeCfg)
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("cluster: node %d: %w", i, err)
+		}
+		c.nodes = append(c.nodes, s)
+	}
+	return c, nil
+}
+
+// Close stops all nodes.
+func (c *Cluster) Close() error {
+	var first error
+	for _, s := range c.nodes {
+		if err := s.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Size reports the number of nodes.
+func (c *Cluster) Size() int { return len(c.nodes) }
+
+// Node returns node i.
+func (c *Cluster) Node(i int) *broker.Server { return c.nodes[i] }
+
+// Addrs returns every node's listen address.
+func (c *Cluster) Addrs() []string {
+	out := make([]string, len(c.nodes))
+	for i, s := range c.nodes {
+		out[i] = s.Addr()
+	}
+	return out
+}
+
+// OwnerOf returns the index of the node that masters the named queue.
+func (c *Cluster) OwnerOf(queue string) int {
+	h := fnv.New32a()
+	h.Write([]byte(queue))
+	return int(h.Sum32() % uint32(len(c.nodes)))
+}
+
+// AddrFor returns the listen address of the queue's master node.
+func (c *Cluster) AddrFor(queue string) string {
+	return c.nodes[c.OwnerOf(queue)].Addr()
+}
+
+// Shovel continuously moves messages from a source queue to a destination
+// queue, acknowledging each message only after it has been republished —
+// the at-least-once contract of the RabbitMQ shovel plugin.
+type Shovel struct {
+	srcConn *amqp.Connection
+	dstConn *amqp.Connection
+	done    chan struct{}
+	stopped chan struct{}
+	moved   chan int64
+}
+
+// ShovelConfig names the endpoints and queues to bridge.
+type ShovelConfig struct {
+	SourceURL  string
+	SourceQ    string
+	DestURL    string
+	DestQ      string
+	Prefetch   int // source prefetch; default 32
+	DialSource func(network, addr string) (net.Conn, error)
+	DialDest   func(network, addr string) (net.Conn, error)
+}
+
+// NewShovel starts a shovel. Both queues must already exist.
+func NewShovel(cfg ShovelConfig) (*Shovel, error) {
+	if cfg.Prefetch <= 0 {
+		cfg.Prefetch = 32
+	}
+	srcConn, err := amqp.DialConfig(cfg.SourceURL, amqp.Config{Dial: cfg.DialSource})
+	if err != nil {
+		return nil, fmt.Errorf("cluster: shovel source dial: %w", err)
+	}
+	dstConn, err := amqp.DialConfig(cfg.DestURL, amqp.Config{Dial: cfg.DialDest})
+	if err != nil {
+		srcConn.Close()
+		return nil, fmt.Errorf("cluster: shovel dest dial: %w", err)
+	}
+	srcCh, err := srcConn.Channel()
+	if err != nil {
+		srcConn.Close()
+		dstConn.Close()
+		return nil, err
+	}
+	if err := srcCh.Qos(cfg.Prefetch, 0, false); err != nil {
+		srcConn.Close()
+		dstConn.Close()
+		return nil, err
+	}
+	deliveries, err := srcCh.Consume(cfg.SourceQ, "shovel", false, false, false, false, nil)
+	if err != nil {
+		srcConn.Close()
+		dstConn.Close()
+		return nil, err
+	}
+	dstCh, err := dstConn.Channel()
+	if err != nil {
+		srcConn.Close()
+		dstConn.Close()
+		return nil, err
+	}
+
+	s := &Shovel{
+		srcConn: srcConn,
+		dstConn: dstConn,
+		done:    make(chan struct{}),
+		stopped: make(chan struct{}),
+		moved:   make(chan int64, 1),
+	}
+	go s.run(deliveries, dstCh, cfg.DestQ)
+	return s, nil
+}
+
+func (s *Shovel) run(deliveries <-chan amqp.Delivery, dstCh *amqp.Channel, destQ string) {
+	defer close(s.stopped)
+	var moved int64
+	for {
+		select {
+		case <-s.done:
+			return
+		case d, ok := <-deliveries:
+			if !ok {
+				return
+			}
+			err := dstCh.Publish("", destQ, false, false, amqp.Publishing{
+				ContentType:   d.ContentType,
+				Headers:       d.Headers,
+				CorrelationID: d.CorrelationID,
+				ReplyTo:       d.ReplyTo,
+				MessageID:     d.MessageID,
+				Timestamp:     d.Timestamp,
+				AppID:         d.AppID,
+				Body:          d.Body,
+			})
+			if err != nil {
+				d.Nack(false, true)
+				return
+			}
+			d.Ack(false)
+			moved++
+			select {
+			case <-s.moved:
+			default:
+			}
+			s.moved <- moved
+		}
+	}
+}
+
+// Moved reports how many messages the shovel has transferred so far.
+func (s *Shovel) Moved() int64 {
+	select {
+	case n := <-s.moved:
+		s.moved <- n
+		return n
+	default:
+		return 0
+	}
+}
+
+// Stop terminates the shovel and closes its connections.
+func (s *Shovel) Stop() {
+	close(s.done)
+	s.srcConn.Close()
+	s.dstConn.Close()
+	select {
+	case <-s.stopped:
+	case <-time.After(2 * time.Second):
+	}
+}

@@ -1,0 +1,155 @@
+// Package core composes the substrates (broker cluster, netem fabric,
+// SciStream proxies, MSS stack) into the three cross-facility data
+// streaming architectures the paper investigates:
+//
+//   - DTS (Direct Streaming): clients connect to node-exposed AMQPS ports
+//     on the broker cluster — the minimal-hop baseline.
+//   - PRS (Proxied Streaming): producers connect through SciStream S2DS
+//     proxies and a TLS overlay tunnel; consumers, being inside the HPC
+//     facility, attach directly to the service (paper Figure 3b).
+//   - MSS (Managed Service Streaming): both producers and consumers
+//     connect to a facility-managed FQDN that terminates at a load
+//     balancer and is routed by an ingress controller (Figure 3c).
+//
+// Each deployment exposes per-queue endpoints so clients attach to the
+// master node of their queue, and reports connection-feasibility limits
+// (the Stunnel 16-connection ceiling from §5.3).
+package core
+
+import (
+	"fmt"
+	"net"
+
+	"ds2hpc/internal/amqp"
+	"ds2hpc/internal/cluster"
+	"ds2hpc/internal/fabric"
+	"ds2hpc/internal/netem"
+	"ds2hpc/internal/scistream"
+)
+
+// ArchitectureName identifies one of the studied architectures.
+type ArchitectureName string
+
+// The architectures under study, with the PRS tunnel variants evaluated in
+// the paper's figures.
+const (
+	DTS              ArchitectureName = "DTS"
+	PRSStunnel       ArchitectureName = "PRS(Stunnel)"
+	PRSHAProxy       ArchitectureName = "PRS(HAProxy)"
+	PRSHAProxy4Conns ArchitectureName = "PRS(HAProxy,4conns)"
+	MSS              ArchitectureName = "MSS"
+)
+
+// AllArchitectures lists every variant in figure order.
+var AllArchitectures = []ArchitectureName{DTS, PRSStunnel, PRSHAProxy, PRSHAProxy4Conns, MSS}
+
+// Options configure a deployment.
+type Options struct {
+	// Nodes is the broker cluster size (default 3, as deployed on DSNs).
+	Nodes int
+	// Profile is the emulated network capacity plan.
+	Profile fabric.Profile
+	// MemoryLimit bounds ready bytes per broker vhost; zero uses 512 MiB
+	// scaled by the profile (80% payload reservation is applied by the
+	// caller when modeling the paper's RAM split).
+	MemoryLimit int64
+	// DisableClientShaping turns off per-connection client NIC links
+	// (useful for pure-protocol unit tests).
+	DisableClientShaping bool
+	// BypassLB, for MSS only, lets consumers inside the facility skip
+	// the load balancer and dial broker pods directly — the improvement
+	// proposed in the paper's §6 discussion.
+	BypassLB bool
+}
+
+func (o *Options) defaults() {
+	if o.Nodes <= 0 {
+		o.Nodes = 3
+	}
+	if o.Profile.Scale == 0 {
+		o.Profile = fabric.ACE(1.0)
+	}
+	if o.MemoryLimit == 0 {
+		o.MemoryLimit = 512 << 20
+	}
+}
+
+// Endpoint is a ready-to-dial AMQP endpoint for one queue.
+type Endpoint struct {
+	// URL is the amqp:// or amqps:// URL to dial.
+	URL string
+	// Config carries the transport dialer and TLS settings.
+	Config amqp.Config
+}
+
+// Connect opens an AMQP connection to the endpoint.
+func (e Endpoint) Connect() (*amqp.Connection, error) {
+	return amqp.DialConfig(e.URL, e.Config)
+}
+
+// Deployment is a running architecture instance.
+type Deployment interface {
+	// Name reports which architecture variant this is.
+	Name() ArchitectureName
+	// ProducerEndpoint returns the endpoint a producer should use to
+	// publish to the given queue.
+	ProducerEndpoint(queue string) Endpoint
+	// ConsumerEndpoint returns the endpoint a consumer should use to
+	// consume from the given queue.
+	ConsumerEndpoint(queue string) Endpoint
+	// Cluster exposes the underlying broker cluster.
+	Cluster() *cluster.Cluster
+	// MaxProducerConns reports the architecture's concurrent producer
+	// connection ceiling; zero means unlimited. PRS with Stunnel is
+	// capped at 16 (§5.3).
+	MaxProducerConns() int
+	// Close tears the deployment down.
+	Close() error
+}
+
+// Deploy builds the named architecture.
+func Deploy(name ArchitectureName, opts Options) (Deployment, error) {
+	opts.defaults()
+	switch name {
+	case DTS:
+		return DeployDTS(opts)
+	case PRSStunnel:
+		return DeployPRS(opts, scistream.TunnelStunnel, 1)
+	case PRSHAProxy:
+		return DeployPRS(opts, scistream.TunnelHAProxy, 1)
+	case PRSHAProxy4Conns:
+		return DeployPRS(opts, scistream.TunnelHAProxy, 4)
+	case MSS:
+		return DeployMSS(opts)
+	default:
+		return nil, fmt.Errorf("core: unknown architecture %q", name)
+	}
+}
+
+// clientDial returns a transport dialer that gives every connection its own
+// emulated client NIC link (an Andes node's 1 Gbps interface).
+func clientDial(opts Options) func(network, addr string) (net.Conn, error) {
+	if opts.DisableClientShaping {
+		return nil
+	}
+	p := opts.Profile
+	return func(network, addr string) (net.Conn, error) {
+		d := &netem.Dialer{Link: p.ClientLink("andes-nic")}
+		return d.Dial(network, addr)
+	}
+}
+
+// wrapDial layers per-connection client shaping over an existing dialer.
+func wrapDial(opts Options, inner func(network, addr string) (net.Conn, error)) func(network, addr string) (net.Conn, error) {
+	if opts.DisableClientShaping {
+		return inner
+	}
+	p := opts.Profile
+	return func(network, addr string) (net.Conn, error) {
+		c, err := inner(network, addr)
+		if err != nil {
+			return nil, err
+		}
+		return netem.Wrap(c, p.ClientLink("andes-nic")), nil
+	}
+}

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"ds2hpc/internal/amqp"
+	"ds2hpc/internal/fabric"
+)
+
+// testOptions keeps deployments fast: tiny scaled links, no client shaping.
+func testOptions() Options {
+	p := fabric.ACE(0.05) // 50 Mbps DSN links: fast but still shaped
+	p.LBSetupCost = 0
+	p.RouteLookupLatency = 0
+	return Options{Nodes: 3, Profile: p}
+}
+
+func roundTrip(t *testing.T, d Deployment) {
+	t.Helper()
+	const queue = "arch-check"
+	prodEp := d.ProducerEndpoint(queue)
+	consEp := d.ConsumerEndpoint(queue)
+
+	pc, err := prodEp.Connect()
+	if err != nil {
+		t.Fatalf("%s producer connect: %v", d.Name(), err)
+	}
+	defer pc.Close()
+	pch, err := pc.Channel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pch.QueueDeclare(queue, false, false, false, false, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	cc, err := consEp.Connect()
+	if err != nil {
+		t.Fatalf("%s consumer connect: %v", d.Name(), err)
+	}
+	defer cc.Close()
+	cch, err := cc.Channel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cch.QueueDeclare(queue, false, false, false, false, nil); err != nil {
+		t.Fatal(err)
+	}
+	dc, err := cch.Consume(queue, "", true, false, false, false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pch.Publish("", queue, false, false, amqp.Publishing{Body: []byte("arch payload")}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case got := <-dc:
+		if string(got.Body) != "arch payload" {
+			t.Fatalf("%s: body %q", d.Name(), got.Body)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatalf("%s: no delivery", d.Name())
+	}
+}
+
+func TestDeployDTS(t *testing.T) {
+	d, err := Deploy(DTS, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if d.Name() != DTS || d.MaxProducerConns() != 0 {
+		t.Fatalf("identity: %s %d", d.Name(), d.MaxProducerConns())
+	}
+	if d.Cluster().Size() != 3 {
+		t.Fatalf("cluster size %d", d.Cluster().Size())
+	}
+	roundTrip(t, d)
+}
+
+func TestDeployPRSHAProxy(t *testing.T) {
+	d, err := Deploy(PRSHAProxy, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if d.Name() != PRSHAProxy || d.MaxProducerConns() != 0 {
+		t.Fatalf("identity: %s %d", d.Name(), d.MaxProducerConns())
+	}
+	roundTrip(t, d)
+}
+
+func TestDeployPRSHAProxy4Conns(t *testing.T) {
+	d, err := Deploy(PRSHAProxy4Conns, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if d.Name() != PRSHAProxy4Conns {
+		t.Fatalf("name %s", d.Name())
+	}
+	roundTrip(t, d)
+}
+
+func TestDeployPRSStunnel(t *testing.T) {
+	d, err := Deploy(PRSStunnel, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if d.MaxProducerConns() != 16 {
+		t.Fatalf("stunnel cap = %d, want 16", d.MaxProducerConns())
+	}
+	roundTrip(t, d)
+}
+
+func TestDeployMSS(t *testing.T) {
+	d, err := Deploy(MSS, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if d.Name() != MSS {
+		t.Fatalf("name %s", d.Name())
+	}
+	roundTrip(t, d)
+}
+
+func TestDeployMSSBypassLB(t *testing.T) {
+	opts := testOptions()
+	opts.BypassLB = true
+	d, err := Deploy(MSS, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	roundTrip(t, d)
+}
+
+func TestDeployUnknown(t *testing.T) {
+	if _, err := Deploy("NOPE", testOptions()); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestQueueMasterAffinity(t *testing.T) {
+	d, err := Deploy(DTS, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	// Producer and consumer endpoints for the same queue must target the
+	// same broker node.
+	for _, q := range []string{"work-0", "work-1", "reply-3"} {
+		p := d.ProducerEndpoint(q)
+		c := d.ConsumerEndpoint(q)
+		if p.URL != c.URL {
+			t.Errorf("queue %s: producer %s != consumer %s", q, p.URL, c.URL)
+		}
+	}
+}

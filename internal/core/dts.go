@@ -1,0 +1,59 @@
+package core
+
+import (
+	"fmt"
+
+	"ds2hpc/internal/amqp"
+	"ds2hpc/internal/broker"
+	"ds2hpc/internal/cluster"
+	"ds2hpc/internal/tlsutil"
+)
+
+// dtsDeployment exposes the broker cluster's node ports directly with TLS
+// (AMQPS), matching the paper's §4.3: NodePorts 30672/30671 opened on each
+// DSN, producers and consumers connecting straight to them.
+type dtsDeployment struct {
+	opts     Options
+	cl       *cluster.Cluster
+	identity *tlsutil.Identity
+}
+
+// DeployDTS starts the Direct Streaming architecture.
+func DeployDTS(opts Options) (Deployment, error) {
+	opts.defaults()
+	identity, err := tlsutil.SelfSigned("dts-broker", "127.0.0.1", "localhost")
+	if err != nil {
+		return nil, fmt.Errorf("core: dts certificates: %w", err)
+	}
+	cl, err := cluster.StartWith(opts.Nodes, func(i int) broker.Config {
+		return broker.Config{
+			TLS:         identity.ServerConfig(),
+			Link:        opts.Profile.DSNLink(fmt.Sprintf("dsn-%d", i)),
+			MemoryLimit: opts.MemoryLimit,
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &dtsDeployment{opts: opts, cl: cl, identity: identity}, nil
+}
+
+func (d *dtsDeployment) Name() ArchitectureName { return DTS }
+func (d *dtsDeployment) Cluster() *cluster.Cluster {
+	return d.cl
+}
+func (d *dtsDeployment) MaxProducerConns() int { return 0 }
+func (d *dtsDeployment) Close() error          { return d.cl.Close() }
+
+func (d *dtsDeployment) endpoint(queue string) Endpoint {
+	return Endpoint{
+		URL: "amqps://" + d.cl.AddrFor(queue),
+		Config: amqp.Config{
+			TLS:  d.identity.ClientConfig("127.0.0.1"),
+			Dial: clientDial(d.opts),
+		},
+	}
+}
+
+func (d *dtsDeployment) ProducerEndpoint(queue string) Endpoint { return d.endpoint(queue) }
+func (d *dtsDeployment) ConsumerEndpoint(queue string) Endpoint { return d.endpoint(queue) }

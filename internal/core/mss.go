@@ -1,0 +1,174 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"ds2hpc/internal/amqp"
+	"ds2hpc/internal/broker"
+	"ds2hpc/internal/cluster"
+	"ds2hpc/internal/mss"
+	"ds2hpc/internal/tlsutil"
+)
+
+// mssDeployment is the Managed Service Streaming architecture: an S3M API
+// provisions the broker cluster, a route controller maps the returned FQDN
+// (and per-pod node FQDNs) to broker endpoints, and both producers and
+// consumers dial the load balancer with the FQDN as SNI (Figure 3c).
+type mssDeployment struct {
+	opts    Options
+	routes  *mss.RouteController
+	ingress *mss.Ingress
+	lb      *mss.LoadBalancer
+	s3m     *mss.S3M
+	lbID    *tlsutil.Identity
+	fqdn    string
+	cl      *cluster.Cluster
+}
+
+// s3mToken is the project-scoped token used by the in-process deployment.
+const s3mToken = "ds2hpc-project-token"
+
+// DeployMSS starts the Managed Service Streaming architecture.
+func DeployMSS(opts Options) (Deployment, error) {
+	opts.defaults()
+	routes := mss.NewRouteController()
+	routes.LookupLatency = opts.Profile.RouteLookupLatency
+
+	ingress, err := mss.NewIngress(mss.IngressConfig{
+		Routes:   routes,
+		ProcLink: opts.Profile.IngressProcLink(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	lbID, err := tlsutil.SelfSigned("mss-lb", "127.0.0.1", "*.apps.olivine.local")
+	if err != nil {
+		ingress.Close()
+		return nil, err
+	}
+	lb, err := mss.NewLoadBalancer(mss.LBConfig{
+		Identity:    lbID,
+		IngressAddr: ingress.Addr(),
+		Workers:     opts.Profile.LBWorkers,
+		SetupCost:   opts.Profile.LBSetupCost,
+		ProcLink:    opts.Profile.LBProcLink(),
+	})
+	if err != nil {
+		ingress.Close()
+		return nil, err
+	}
+	s3m, err := mss.NewS3M(mss.S3MConfig{
+		Token:  s3mToken,
+		Routes: routes,
+		LBAddr: lb.Addr(),
+		BrokerConfig: broker.Config{
+			MemoryLimit: opts.MemoryLimit,
+		},
+	})
+	if err != nil {
+		lb.Close()
+		ingress.Close()
+		return nil, err
+	}
+
+	d := &mssDeployment{
+		opts: opts, routes: routes, ingress: ingress, lb: lb, s3m: s3m, lbID: lbID,
+	}
+	// Provision the cluster through the API, as a user would (§4.5).
+	fqdn, err := d.provision(opts.Nodes)
+	if err != nil {
+		d.Close()
+		return nil, err
+	}
+	d.fqdn = fqdn
+	cl, ok := s3m.Cluster(fqdn)
+	if !ok {
+		d.Close()
+		return nil, fmt.Errorf("core: provisioned cluster missing")
+	}
+	d.cl = cl
+	return d, nil
+}
+
+func (d *mssDeployment) provision(nodes int) (string, error) {
+	body, err := json.Marshal(mss.ProvisionRequest{
+		Kind: "general",
+		Name: "rabbitmq",
+		ResourceSettings: mss.ResourceSettings{
+			CPUs: 12, RAMGBs: 32, Nodes: nodes, MaxMsgSize: 536870912,
+		},
+	})
+	if err != nil {
+		return "", err
+	}
+	req, err := http.NewRequest(http.MethodPost,
+		"http://"+d.s3m.Addr()+"/olcf/v1alpha/streaming/rabbitmq/provision_cluster",
+		bytes.NewReader(body))
+	if err != nil {
+		return "", err
+	}
+	req.Header.Set("Authorization", s3mToken)
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("core: provision status %d", resp.StatusCode)
+	}
+	var pr mss.ProvisionResponse
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		return "", err
+	}
+	return pr.FQDN, nil
+}
+
+func (d *mssDeployment) Name() ArchitectureName    { return MSS }
+func (d *mssDeployment) Cluster() *cluster.Cluster { return d.cl }
+func (d *mssDeployment) MaxProducerConns() int     { return 0 }
+
+func (d *mssDeployment) Close() error {
+	if d.s3m != nil {
+		d.s3m.Close()
+	}
+	if d.lb != nil {
+		d.lb.Close()
+	}
+	if d.ingress != nil {
+		d.ingress.Close()
+	}
+	return nil
+}
+
+// LoadBalancer exposes the LB for metrics (queue wait inspection).
+func (d *mssDeployment) LoadBalancer() *mss.LoadBalancer { return d.lb }
+
+// endpoint dials through the front door with the per-pod FQDN of the
+// queue's master node as SNI.
+func (d *mssDeployment) endpoint(queue string) Endpoint {
+	nodeFQDN := mss.NodeFQDN(d.cl.OwnerOf(queue), d.fqdn)
+	dial := mss.Dialer(d.lb.Addr(), nodeFQDN, d.lbID.ClientConfig(nodeFQDN))
+	return Endpoint{
+		// The LB terminates TLS; inside the connection is plain AMQP.
+		URL:    "amqp://" + d.fqdn + ":443",
+		Config: amqp.Config{Dial: wrapDial(d.opts, dial)},
+	}
+}
+
+func (d *mssDeployment) ProducerEndpoint(queue string) Endpoint { return d.endpoint(queue) }
+
+// ConsumerEndpoint honours the BypassLB ablation from the paper's §6
+// discussion: facility-internal consumers connect straight to broker pods.
+func (d *mssDeployment) ConsumerEndpoint(queue string) Endpoint {
+	if d.opts.BypassLB {
+		return Endpoint{
+			URL:    "amqp://" + d.cl.AddrFor(queue),
+			Config: amqp.Config{Dial: clientDial(d.opts)},
+		}
+	}
+	return d.endpoint(queue)
+}

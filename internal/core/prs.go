@@ -1,0 +1,168 @@
+package core
+
+import (
+	"fmt"
+
+	"ds2hpc/internal/amqp"
+	"ds2hpc/internal/broker"
+	"ds2hpc/internal/cluster"
+	"ds2hpc/internal/scistream"
+	"ds2hpc/internal/tlsutil"
+)
+
+// prsDeployment routes producers through SciStream: producer → outbound
+// S2DS on the producer-facility gateway → TLS overlay tunnel → inbound S2DS
+// on the HPC gateway → broker node. One session is created per broker node
+// so producers keep queue-master affinity (the paper's S2DS exposes a port
+// range, 5100-5110, for the same reason). Consumers are inside the HPC
+// facility and attach directly via NodePort, per Figure 3b.
+//
+// Matching §4.4, the broker speaks plain AMQP: SciStream's tunnel already
+// provides TLS, so broker-side encryption would be redundant.
+type prsDeployment struct {
+	opts     Options
+	name     ArchitectureName
+	tunnel   scistream.Tunnel
+	cl       *cluster.Cluster
+	prodCS   *scistream.S2CS
+	consCS   *scistream.S2CS
+	sessions []*scistream.Session // one per broker node
+}
+
+// DeployPRS starts the Proxied Streaming architecture with the given
+// tunnel driver and parallel-connection count.
+func DeployPRS(opts Options, tunnel scistream.Tunnel, numConn int) (Deployment, error) {
+	opts.defaults()
+	cl, err := cluster.StartWith(opts.Nodes, func(i int) broker.Config {
+		return broker.Config{
+			Link:        opts.Profile.DSNLink(fmt.Sprintf("dsn-%d", i)),
+			MemoryLimit: opts.MemoryLimit,
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	fail := func(err error) (Deployment, error) {
+		cl.Close()
+		return nil, err
+	}
+
+	// Each S2CS generates its own self-signed certificate on startup;
+	// the tunnel identity is shared so both S2DS peers trust each other.
+	tunnelID, err := tlsutil.SelfSigned("s2ds-tunnel", "127.0.0.1")
+	if err != nil {
+		return fail(err)
+	}
+	prodID, err := tlsutil.SelfSigned("prod-s2cs", "127.0.0.1")
+	if err != nil {
+		return fail(err)
+	}
+	consID, err := tlsutil.SelfSigned("cons-s2cs", "127.0.0.1")
+	if err != nil {
+		return fail(err)
+	}
+
+	wan := opts.Profile.WANLink("overlay-wan")
+	prodCS, err := scistream.NewS2CS(scistream.S2CSConfig{
+		Identity:       prodID,
+		TunnelIdentity: tunnelID,
+		ServerName:     "127.0.0.1",
+		WANLink:        wan,
+		ProcLink:       opts.Profile.ProxyProcLink("ps2ds-proc"),
+		TunnelFlowRate: opts.Profile.TunnelFlowBps,
+	})
+	if err != nil {
+		return fail(err)
+	}
+	consCS, err := scistream.NewS2CS(scistream.S2CSConfig{
+		Identity:       consID,
+		TunnelIdentity: tunnelID,
+		ServerName:     "127.0.0.1",
+		WANLink:        wan,
+		ProcLink:       opts.Profile.ProxyProcLink("cs2ds-proc"),
+		TunnelFlowRate: opts.Profile.TunnelFlowBps,
+	})
+	if err != nil {
+		prodCS.Close()
+		return fail(err)
+	}
+
+	d := &prsDeployment{
+		opts:   opts,
+		tunnel: tunnel,
+		cl:     cl,
+		prodCS: prodCS,
+		consCS: consCS,
+	}
+	switch {
+	case tunnel == scistream.TunnelStunnel:
+		d.name = PRSStunnel
+	case numConn > 1:
+		d.name = PRSHAProxy4Conns
+	default:
+		d.name = PRSHAProxy
+	}
+
+	// One session per broker node for queue-master affinity.
+	uc := &scistream.S2UC{}
+	for i := 0; i < cl.Size(); i++ {
+		sess, err := uc.CreateSession(scistream.SessionRequest{
+			ProducerS2CS: prodCS.Addr(),
+			ConsumerS2CS: consCS.Addr(),
+			ProducerCert: prodID.CertPEM,
+			ConsumerCert: consID.CertPEM,
+			Targets:      []string{cl.Node(i).Addr()},
+			Tunnel:       tunnel,
+			NumConn:      numConn,
+		})
+		if err != nil {
+			d.Close()
+			return nil, fmt.Errorf("core: prs session for node %d: %w", i, err)
+		}
+		d.sessions = append(d.sessions, sess)
+	}
+	return d, nil
+}
+
+func (d *prsDeployment) Name() ArchitectureName    { return d.name }
+func (d *prsDeployment) Cluster() *cluster.Cluster { return d.cl }
+
+// MaxProducerConns reports the Stunnel concurrent-stream ceiling. The cap
+// applies per shared tunnel; sessions to different nodes have independent
+// tunnels, but the paper's work-sharing workload concentrates producers on
+// two shared queues, so the per-tunnel limit is the binding one.
+func (d *prsDeployment) MaxProducerConns() int {
+	if d.tunnel == scistream.TunnelStunnel {
+		return scistream.StunnelMaxStreams
+	}
+	return 0
+}
+
+func (d *prsDeployment) Close() error {
+	if d.prodCS != nil {
+		d.prodCS.Close()
+	}
+	if d.consCS != nil {
+		d.consCS.Close()
+	}
+	return d.cl.Close()
+}
+
+// ProducerEndpoint routes through the SciStream session whose target is the
+// queue's master node.
+func (d *prsDeployment) ProducerEndpoint(queue string) Endpoint {
+	sess := d.sessions[d.cl.OwnerOf(queue)]
+	return Endpoint{
+		URL:    "amqp://" + sess.ClientAddr,
+		Config: amqp.Config{Dial: clientDial(d.opts)},
+	}
+}
+
+// ConsumerEndpoint attaches directly to the queue's master node (consumers
+// are facility-internal in the PRS deployment).
+func (d *prsDeployment) ConsumerEndpoint(queue string) Endpoint {
+	return Endpoint{
+		URL:    "amqp://" + d.cl.AddrFor(queue),
+		Config: amqp.Config{Dial: clientDial(d.opts)},
+	}
+}

@@ -1,0 +1,210 @@
+// Package metrics collects and summarizes the two quantities the paper
+// reports — aggregate consumer throughput (messages per second) and
+// per-message round-trip time — plus the derived streaming overhead of an
+// architecture relative to the DTS baseline and the RTT CDFs of Figures 5
+// and 8.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// RTTSample is one per-message round-trip measurement.
+type RTTSample = time.Duration
+
+// Collector accumulates RTT samples and message counts concurrently.
+type Collector struct {
+	mu       sync.Mutex
+	rtts     []time.Duration
+	consumed int64
+	produced int64
+	errors   int64
+	start    time.Time
+	end      time.Time
+}
+
+// NewCollector creates an empty collector.
+func NewCollector() *Collector { return &Collector{} }
+
+// Start marks the experiment start time.
+func (c *Collector) Start() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.start = time.Now()
+}
+
+// Stop marks the experiment end time.
+func (c *Collector) Stop() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.end = time.Now()
+}
+
+// AddRTT records one round-trip sample.
+func (c *Collector) AddRTT(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.rtts = append(c.rtts, d)
+}
+
+// AddConsumed counts delivered messages.
+func (c *Collector) AddConsumed(n int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.consumed += n
+}
+
+// AddProduced counts published messages.
+func (c *Collector) AddProduced(n int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.produced += n
+}
+
+// AddError counts failures (rejected publishes, timeouts).
+func (c *Collector) AddError() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.errors++
+}
+
+// Snapshot freezes the collector into a Result.
+func (c *Collector) Snapshot() *Result {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	end := c.end
+	if end.IsZero() {
+		end = time.Now()
+	}
+	dur := end.Sub(c.start)
+	r := &Result{
+		Duration: dur,
+		Consumed: c.consumed,
+		Produced: c.produced,
+		Errors:   c.errors,
+		RTTs:     append([]time.Duration(nil), c.rtts...),
+	}
+	if dur > 0 {
+		r.Throughput = float64(c.consumed) / dur.Seconds()
+	}
+	sort.Slice(r.RTTs, func(i, j int) bool { return r.RTTs[i] < r.RTTs[j] })
+	return r
+}
+
+// Result is one experiment run's summary.
+type Result struct {
+	Duration   time.Duration
+	Consumed   int64
+	Produced   int64
+	Errors     int64
+	Throughput float64         // aggregate msgs/sec across all consumers
+	RTTs       []time.Duration // sorted ascending
+}
+
+// MedianRTT returns the 50th percentile RTT (0 if no samples).
+func (r *Result) MedianRTT() time.Duration { return r.PercentileRTT(50) }
+
+// PercentileRTT returns the p-th percentile RTT using nearest-rank.
+func (r *Result) PercentileRTT(p float64) time.Duration {
+	if len(r.RTTs) == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return r.RTTs[0]
+	}
+	if p >= 100 {
+		return r.RTTs[len(r.RTTs)-1]
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(r.RTTs))))
+	if rank < 1 {
+		rank = 1
+	}
+	return r.RTTs[rank-1]
+}
+
+// CDFPoint is one point of an empirical CDF.
+type CDFPoint struct {
+	RTT time.Duration
+	P   float64 // cumulative probability in (0, 1]
+}
+
+// CDF returns up to points evenly spaced points of the RTT CDF, as plotted
+// in the paper's Figures 5 and 8.
+func (r *Result) CDF(points int) []CDFPoint {
+	n := len(r.RTTs)
+	if n == 0 || points <= 0 {
+		return nil
+	}
+	if points > n {
+		points = n
+	}
+	out := make([]CDFPoint, 0, points)
+	for i := 1; i <= points; i++ {
+		idx := i*n/points - 1
+		out = append(out, CDFPoint{
+			RTT: r.RTTs[idx],
+			P:   float64(idx+1) / float64(n),
+		})
+	}
+	return out
+}
+
+// FractionUnder reports the fraction of RTTs at or below the threshold
+// (e.g. the paper's "PRS keeps 80% of message RTTs under 0.7 seconds").
+func (r *Result) FractionUnder(d time.Duration) float64 {
+	if len(r.RTTs) == 0 {
+		return 0
+	}
+	idx := sort.Search(len(r.RTTs), func(i int) bool { return r.RTTs[i] > d })
+	return float64(idx) / float64(len(r.RTTs))
+}
+
+// Overhead is the paper's derived metric: how much worse `other` is than
+// the DTS baseline. For throughput it is base/other (2.0 = "2x overhead",
+// i.e. half the baseline's throughput); for RTT it is other/base.
+func Overhead(baseThroughput, otherThroughput float64) float64 {
+	if otherThroughput <= 0 {
+		return math.Inf(1)
+	}
+	return baseThroughput / otherThroughput
+}
+
+// RTTOverhead computes latency overhead relative to baseline.
+func RTTOverhead(baseRTT, otherRTT time.Duration) float64 {
+	if baseRTT <= 0 {
+		return math.Inf(1)
+	}
+	return float64(otherRTT) / float64(baseRTT)
+}
+
+// Merge combines run results (averaging throughput, pooling RTTs), used to
+// aggregate the paper's three runs per data point.
+func Merge(runs []*Result) *Result {
+	if len(runs) == 0 {
+		return &Result{}
+	}
+	out := &Result{}
+	var tp float64
+	for _, r := range runs {
+		out.Consumed += r.Consumed
+		out.Produced += r.Produced
+		out.Errors += r.Errors
+		out.Duration += r.Duration
+		tp += r.Throughput
+		out.RTTs = append(out.RTTs, r.RTTs...)
+	}
+	out.Throughput = tp / float64(len(runs))
+	out.Duration /= time.Duration(len(runs))
+	sort.Slice(out.RTTs, func(i, j int) bool { return out.RTTs[i] < out.RTTs[j] })
+	return out
+}
+
+// String summarizes the result on one line.
+func (r *Result) String() string {
+	return fmt.Sprintf("consumed=%d throughput=%.1f msg/s median_rtt=%v errors=%d",
+		r.Consumed, r.Throughput, r.MedianRTT(), r.Errors)
+}

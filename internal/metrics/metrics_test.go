@@ -1,0 +1,186 @@
+package metrics
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestCollectorBasics(t *testing.T) {
+	c := NewCollector()
+	c.Start()
+	c.AddConsumed(10)
+	c.AddProduced(12)
+	c.AddError()
+	c.AddRTT(30 * time.Millisecond)
+	c.AddRTT(10 * time.Millisecond)
+	c.AddRTT(20 * time.Millisecond)
+	time.Sleep(10 * time.Millisecond)
+	c.Stop()
+	r := c.Snapshot()
+	if r.Consumed != 10 || r.Produced != 12 || r.Errors != 1 {
+		t.Fatalf("counters %+v", r)
+	}
+	if r.Throughput <= 0 {
+		t.Fatal("throughput not computed")
+	}
+	if r.MedianRTT() != 20*time.Millisecond {
+		t.Fatalf("median = %v", r.MedianRTT())
+	}
+	// RTTs must be sorted.
+	for i := 1; i < len(r.RTTs); i++ {
+		if r.RTTs[i] < r.RTTs[i-1] {
+			t.Fatal("RTTs not sorted")
+		}
+	}
+}
+
+func TestCollectorConcurrent(t *testing.T) {
+	c := NewCollector()
+	c.Start()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				c.AddConsumed(1)
+				c.AddRTT(time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+	r := c.Snapshot()
+	if r.Consumed != 800 || len(r.RTTs) != 800 {
+		t.Fatalf("lost samples: %d %d", r.Consumed, len(r.RTTs))
+	}
+}
+
+func TestPercentiles(t *testing.T) {
+	r := &Result{}
+	for i := 1; i <= 100; i++ {
+		r.RTTs = append(r.RTTs, time.Duration(i)*time.Millisecond)
+	}
+	if got := r.PercentileRTT(50); got != 50*time.Millisecond {
+		t.Errorf("p50 = %v", got)
+	}
+	if got := r.PercentileRTT(99); got != 99*time.Millisecond {
+		t.Errorf("p99 = %v", got)
+	}
+	if got := r.PercentileRTT(0); got != time.Millisecond {
+		t.Errorf("p0 = %v", got)
+	}
+	if got := r.PercentileRTT(100); got != 100*time.Millisecond {
+		t.Errorf("p100 = %v", got)
+	}
+}
+
+func TestPercentileEmpty(t *testing.T) {
+	r := &Result{}
+	if r.MedianRTT() != 0 {
+		t.Fatal("empty median should be zero")
+	}
+	if r.CDF(10) != nil {
+		t.Fatal("empty CDF should be nil")
+	}
+}
+
+func TestCDFMonotonic(t *testing.T) {
+	r := &Result{}
+	for i := 0; i < 1000; i++ {
+		r.RTTs = append(r.RTTs, time.Duration(i)*time.Microsecond)
+	}
+	cdf := r.CDF(20)
+	if len(cdf) != 20 {
+		t.Fatalf("points = %d", len(cdf))
+	}
+	for i := 1; i < len(cdf); i++ {
+		if cdf[i].P < cdf[i-1].P || cdf[i].RTT < cdf[i-1].RTT {
+			t.Fatal("CDF not monotonic")
+		}
+	}
+	if last := cdf[len(cdf)-1]; last.P != 1.0 {
+		t.Fatalf("CDF must reach 1.0, got %f", last.P)
+	}
+}
+
+func TestFractionUnder(t *testing.T) {
+	r := &Result{RTTs: []time.Duration{
+		100 * time.Millisecond, 200 * time.Millisecond,
+		300 * time.Millisecond, 400 * time.Millisecond,
+	}}
+	if got := r.FractionUnder(250 * time.Millisecond); got != 0.5 {
+		t.Fatalf("FractionUnder = %f", got)
+	}
+	if got := r.FractionUnder(time.Second); got != 1.0 {
+		t.Fatalf("FractionUnder(max) = %f", got)
+	}
+}
+
+func TestOverhead(t *testing.T) {
+	if got := Overhead(39000, 19000); math.Abs(got-2.05) > 0.01 {
+		t.Errorf("overhead = %f", got)
+	}
+	if !math.IsInf(Overhead(100, 0), 1) {
+		t.Error("zero throughput should be infinite overhead")
+	}
+	if got := RTTOverhead(100*time.Millisecond, 690*time.Millisecond); math.Abs(got-6.9) > 0.01 {
+		t.Errorf("rtt overhead = %f", got)
+	}
+}
+
+func TestMergeAveragesThroughput(t *testing.T) {
+	runs := []*Result{
+		{Throughput: 100, Consumed: 10, Duration: time.Second,
+			RTTs: []time.Duration{3 * time.Millisecond}},
+		{Throughput: 200, Consumed: 20, Duration: 3 * time.Second,
+			RTTs: []time.Duration{time.Millisecond, 2 * time.Millisecond}},
+	}
+	m := Merge(runs)
+	if m.Throughput != 150 {
+		t.Errorf("avg throughput = %f", m.Throughput)
+	}
+	if m.Consumed != 30 {
+		t.Errorf("consumed = %d", m.Consumed)
+	}
+	if m.Duration != 2*time.Second {
+		t.Errorf("duration = %v", m.Duration)
+	}
+	if len(m.RTTs) != 3 || m.RTTs[0] != time.Millisecond {
+		t.Errorf("pooled RTTs = %v", m.RTTs)
+	}
+	if Merge(nil).Throughput != 0 {
+		t.Error("empty merge should be zero")
+	}
+}
+
+func TestQuickPercentileWithinRange(t *testing.T) {
+	f := func(samples []int16, p uint8) bool {
+		if len(samples) == 0 {
+			return true
+		}
+		r := &Result{}
+		for _, s := range samples {
+			d := time.Duration(int(s)+40000) * time.Microsecond
+			r.RTTs = append(r.RTTs, d)
+		}
+		// Percentile must always return one of the samples.
+		c := NewCollector()
+		c.Start()
+		for _, d := range r.RTTs {
+			c.AddRTT(d)
+		}
+		got := c.Snapshot().PercentileRTT(float64(p % 101))
+		for _, d := range r.RTTs {
+			if got == d {
+				return true
+			}
+		}
+		return false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

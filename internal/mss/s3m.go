@@ -1,0 +1,229 @@
+package mss
+
+import (
+	"crypto/tls"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+
+	"ds2hpc/internal/broker"
+	"ds2hpc/internal/cluster"
+)
+
+// ProvisionRequest is the body of the S3M provisioning call from §4.5:
+//
+//	curl -X POST .../streaming/rabbitmq/provision_cluster
+//	  -H "Authorization: TOKEN"
+//	  -d '{"kind":"general","name":"rabbitmq",
+//	       "resourceSettings":{"cpus":12,"ram-gbs":32,"nodes":3,
+//	                           "max-msg-size":536870912}}'
+type ProvisionRequest struct {
+	Kind             string           `json:"kind"`
+	Name             string           `json:"name"`
+	ResourceSettings ResourceSettings `json:"resourceSettings"`
+}
+
+// ResourceSettings sizes the provisioned cluster.
+type ResourceSettings struct {
+	CPUs       int   `json:"cpus"`
+	RAMGBs     int   `json:"ram-gbs"`
+	Nodes      int   `json:"nodes"`
+	MaxMsgSize int64 `json:"max-msg-size"`
+}
+
+// ProvisionResponse returns the FQDN-based AMQPS URL users hand to their
+// client connection API.
+type ProvisionResponse struct {
+	URL  string `json:"url"`
+	FQDN string `json:"fqdn"`
+	UID  string `json:"uid"`
+}
+
+// S3MConfig configures the provisioning API server.
+type S3MConfig struct {
+	// Addr is the API listen address.
+	Addr string
+	// Token is the project-scoped bearer token requests must present.
+	Token string
+	// Routes is the route controller new clusters register with.
+	Routes *RouteController
+	// LBAddr is the public load-balancer address returned in URLs.
+	LBAddr string
+	// Domain suffixes provisioned FQDNs (default "apps.olivine.local").
+	Domain string
+	// BrokerConfig templates the broker nodes of provisioned clusters.
+	BrokerConfig broker.Config
+}
+
+// S3M is the Secure Scientific Service Mesh streaming API: it provisions
+// broker clusters on demand and wires them into the MSS routing fabric.
+type S3M struct {
+	cfg S3MConfig
+	srv *http.Server
+	ln  net.Listener
+
+	mu       sync.Mutex
+	clusters map[string]*cluster.Cluster
+	nextUID  int
+}
+
+// NewS3M starts the API server.
+func NewS3M(cfg S3MConfig) (*S3M, error) {
+	if cfg.Routes == nil {
+		return nil, fmt.Errorf("mss: S3M needs a route controller")
+	}
+	if cfg.Domain == "" {
+		cfg.Domain = "apps.olivine.local"
+	}
+	addr := cfg.Addr
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &S3M{cfg: cfg, ln: ln, clusters: map[string]*cluster.Cluster{}}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/olcf/v1alpha/streaming/rabbitmq/provision_cluster", s.provision)
+	mux.HandleFunc("/olcf/v1alpha/streaming/rabbitmq/deprovision_cluster", s.deprovision)
+	s.srv = &http.Server{Handler: mux}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Addr is the API endpoint address.
+func (s *S3M) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the API server and every cluster it provisioned.
+func (s *S3M) Close() error {
+	s.mu.Lock()
+	cs := s.clusters
+	s.clusters = map[string]*cluster.Cluster{}
+	s.mu.Unlock()
+	for _, c := range cs {
+		c.Close()
+	}
+	return s.srv.Close()
+}
+
+// Cluster returns a provisioned cluster by FQDN (for tests/metrics).
+func (s *S3M) Cluster(fqdn string) (*cluster.Cluster, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.clusters[fqdn]
+	return c, ok
+}
+
+func (s *S3M) authorized(r *http.Request) bool {
+	if s.cfg.Token == "" {
+		return true
+	}
+	return r.Header.Get("Authorization") == s.cfg.Token
+}
+
+func (s *S3M) provision(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	if !s.authorized(r) {
+		http.Error(w, "invalid token", http.StatusUnauthorized)
+		return
+	}
+	var req ProvisionRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	nodes := req.ResourceSettings.Nodes
+	if nodes <= 0 {
+		nodes = 3
+	}
+	bcfg := s.cfg.BrokerConfig
+	if req.ResourceSettings.RAMGBs > 0 {
+		// 80% of broker RAM is reserved for payload queues (§5.2).
+		bcfg.MemoryLimit = int64(req.ResourceSettings.RAMGBs) << 30 * 8 / 10
+	}
+	c, err := cluster.Start(nodes, bcfg)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	s.mu.Lock()
+	s.nextUID++
+	fqdn := fmt.Sprintf("%s-%d.%s", req.Name, s.nextUID, s.cfg.Domain)
+	uid := fmt.Sprintf("stream-%d", s.nextUID)
+	s.clusters[fqdn] = c
+	s.mu.Unlock()
+	s.cfg.Routes.Register(fqdn, c.Addrs())
+	// Per-pod routes (StatefulSet style) give clients queue-master
+	// affinity: node-<i>.<fqdn> always reaches broker node i.
+	for i, addr := range c.Addrs() {
+		s.cfg.Routes.Register(NodeFQDN(i, fqdn), []string{addr})
+	}
+	json.NewEncoder(w).Encode(ProvisionResponse{
+		URL:  fmt.Sprintf("amqps://%s:443", fqdn),
+		FQDN: fqdn,
+		UID:  uid,
+	})
+}
+
+func (s *S3M) deprovision(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	if !s.authorized(r) {
+		http.Error(w, "invalid token", http.StatusUnauthorized)
+		return
+	}
+	var req struct {
+		FQDN string `json:"fqdn"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.mu.Lock()
+	c, ok := s.clusters[req.FQDN]
+	delete(s.clusters, req.FQDN)
+	s.mu.Unlock()
+	if !ok {
+		http.Error(w, "unknown cluster", http.StatusNotFound)
+		return
+	}
+	s.cfg.Routes.Unregister(req.FQDN)
+	c.Close()
+	w.WriteHeader(http.StatusOK)
+}
+
+// NodeFQDN names the per-pod route for broker node i of a provisioned
+// cluster. The node prefix stays within the cluster FQDN's first label so a
+// single-label wildcard certificate (*.apps.olivine.local) still covers it.
+func NodeFQDN(i int, fqdn string) string {
+	return fmt.Sprintf("node-%d-%s", i, fqdn)
+}
+
+// Dialer returns a dial function that connects through the MSS front door:
+// TLS to the load balancer with the provisioned FQDN as SNI. The returned
+// connection carries plaintext AMQP (the LB terminated TLS), so it is used
+// as amqp.Config.Dial with an "amqp://" URL.
+func Dialer(lbAddr, fqdn string, rootPEMPool *tls.Config) func(network, addr string) (net.Conn, error) {
+	return func(network, _ string) (net.Conn, error) {
+		raw, err := net.Dial(network, lbAddr)
+		if err != nil {
+			return nil, err
+		}
+		cfg := rootPEMPool.Clone()
+		cfg.ServerName = fqdn
+		tc := tls.Client(raw, cfg)
+		if err := tc.Handshake(); err != nil {
+			raw.Close()
+			return nil, err
+		}
+		return tc, nil
+	}
+}

@@ -1,0 +1,298 @@
+// Package pattern implements the three messaging patterns of the paper's
+// evaluation (§5.1): work sharing (shared work queues), work sharing with
+// feedback (work queues plus direct-routed per-producer reply queues), and
+// broadcast and gather (pub-sub fan-out with a reply queue drained by the
+// single producer).
+//
+// Messaging parameters follow §5.2: two shared work queues, classic queues
+// with the "reject-publish" overflow policy so producers observe
+// backpressure and republish, and batch-wise acknowledgements.
+package pattern
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ds2hpc/internal/amqp"
+	"ds2hpc/internal/core"
+	"ds2hpc/internal/ranks"
+	"ds2hpc/internal/workload"
+)
+
+// ErrInfeasible reports configurations an architecture cannot run — the
+// paper's "no data points shown" cases (Stunnel beyond 16 connections).
+var ErrInfeasible = errors.New("pattern: configuration infeasible for architecture")
+
+// Config parameterizes one experiment run.
+type Config struct {
+	// Deployment is the architecture under test.
+	Deployment core.Deployment
+	// Workload selects payloads (Table 1 row).
+	Workload workload.Workload
+	// Producers and Consumers are the client counts. Broadcast/gather
+	// forces one producer.
+	Producers int
+	Consumers int
+	// MessagesPerProducer is the per-producer message budget.
+	MessagesPerProducer int
+	// WorkQueues is the number of shared work queues (default 2, §5.2).
+	WorkQueues int
+	// Prefetch is the consumer QoS window (default 8).
+	Prefetch int
+	// AckBatch acknowledges every n-th delivery with multiple=true
+	// (default 4; 1 disables batching).
+	AckBatch int
+	// Window bounds a producer's in-flight unconfirmed publishes
+	// (default 8).
+	Window int
+	// QueueBytes caps each queue's ready bytes with reject-publish
+	// (default 32 MiB).
+	QueueBytes int64
+	// Timeout aborts a stuck run (default 120 s).
+	Timeout time.Duration
+}
+
+func (c *Config) defaults() error {
+	if c.Deployment == nil {
+		return errors.New("pattern: Config.Deployment required")
+	}
+	if c.Producers <= 0 {
+		c.Producers = 1
+	}
+	if c.Consumers <= 0 {
+		c.Consumers = 1
+	}
+	if c.MessagesPerProducer <= 0 {
+		c.MessagesPerProducer = 16
+	}
+	if c.WorkQueues <= 0 {
+		c.WorkQueues = 2
+	}
+	if c.Prefetch <= 0 {
+		c.Prefetch = 8
+	}
+	if c.AckBatch <= 0 {
+		c.AckBatch = 4
+	}
+	// A batch larger than the prefetch window can never fill: the broker
+	// stops delivering once prefetch messages are unacknowledged, so the
+	// consumer would wait forever for the rest of its batch. Clamp, as a
+	// RabbitMQ operator must.
+	if c.AckBatch > c.Prefetch {
+		c.AckBatch = c.Prefetch
+	}
+	if c.Window <= 0 {
+		c.Window = 8
+	}
+	if c.QueueBytes <= 0 {
+		c.QueueBytes = 32 << 20
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 120 * time.Second
+	}
+	return nil
+}
+
+// queueArgs are the §5.2 classic-queue settings.
+func (c *Config) queueArgs() amqp.Table {
+	return amqp.Table{
+		"x-overflow":         "reject-publish",
+		"x-max-length-bytes": c.QueueBytes,
+	}
+}
+
+// nameOnSameNode derives a queue name that hashes to the same cluster node
+// as ref, so direct-routed replies can be published over the same
+// connection as the work queue (classic queues live on one master node).
+func nameOnSameNode(d core.Deployment, base, ref string) string {
+	return nameOnNode(d, base, d.Cluster().OwnerOf(ref))
+}
+
+// nameOnNode derives a queue name that hashes to the given cluster node.
+func nameOnNode(d core.Deployment, base string, node int) string {
+	cl := d.Cluster()
+	name := base
+	for i := 0; cl.OwnerOf(name) != node; i++ {
+		name = fmt.Sprintf("%s~%d", base, i)
+	}
+	return name
+}
+
+// declareQueue declares a queue through the given endpoint.
+func declareQueue(ep core.Endpoint, name string, args amqp.Table) error {
+	conn, err := ep.Connect()
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	ch, err := conn.Channel()
+	if err != nil {
+		return err
+	}
+	_, err = ch.QueueDeclare(name, true, false, false, false, args)
+	return err
+}
+
+// batchAcker acknowledges every n-th delivery with multiple=true and
+// flushes the tail on Close.
+type batchAcker struct {
+	n       int
+	pending int
+	last    amqp.Delivery
+	has     bool
+}
+
+func (b *batchAcker) add(d amqp.Delivery) error {
+	b.pending++
+	b.last = d
+	b.has = true
+	if b.pending >= b.n {
+		b.pending = 0
+		b.has = false
+		return d.Ack(true)
+	}
+	return nil
+}
+
+func (b *batchAcker) flush() error {
+	if b.has {
+		b.has = false
+		b.pending = 0
+		return b.last.Ack(true)
+	}
+	return nil
+}
+
+// confirmWindow tracks in-flight publishes on a confirm-mode channel and
+// reports nacked sequence numbers for retry.
+type confirmWindow struct {
+	ch       *amqp.Channel
+	confirms <-chan amqp.Confirmation
+	window   int
+
+	mu       sync.Mutex
+	inflight map[uint64]uint64 // publish seq -> message seq
+	nacked   []uint64
+	slots    chan struct{}
+	closed   chan struct{}
+	wg       sync.WaitGroup
+}
+
+func newConfirmWindow(ch *amqp.Channel, window int) (*confirmWindow, error) {
+	if err := ch.Confirm(false); err != nil {
+		return nil, err
+	}
+	cw := &confirmWindow{
+		ch:       ch,
+		confirms: ch.NotifyPublish(make(chan amqp.Confirmation, 2*window)),
+		window:   window,
+		inflight: map[uint64]uint64{},
+		slots:    make(chan struct{}, window),
+		closed:   make(chan struct{}),
+	}
+	cw.wg.Add(1)
+	go cw.listen()
+	return cw, nil
+}
+
+func (cw *confirmWindow) listen() {
+	defer cw.wg.Done()
+	for conf := range cw.confirms {
+		cw.mu.Lock()
+		msgSeq, ok := cw.inflight[conf.DeliveryTag]
+		delete(cw.inflight, conf.DeliveryTag)
+		if ok && !conf.Ack {
+			cw.nacked = append(cw.nacked, msgSeq)
+		}
+		cw.mu.Unlock()
+		if ok {
+			<-cw.slots
+		}
+	}
+}
+
+// publish sends one message, blocking while the window is full. It returns
+// any message sequence numbers that were nacked and must be resent.
+func (cw *confirmWindow) publish(queue string, msgSeq uint64, pub amqp.Publishing) error {
+	cw.slots <- struct{}{}
+	cw.mu.Lock()
+	seq := cw.ch.GetNextPublishSeqNo()
+	cw.inflight[seq] = msgSeq
+	cw.mu.Unlock()
+	if err := cw.ch.Publish("", queue, false, false, pub); err != nil {
+		cw.mu.Lock()
+		delete(cw.inflight, seq)
+		cw.mu.Unlock()
+		<-cw.slots
+		return err
+	}
+	return nil
+}
+
+// takeNacked drains the retry list.
+func (cw *confirmWindow) takeNacked() []uint64 {
+	cw.mu.Lock()
+	defer cw.mu.Unlock()
+	out := cw.nacked
+	cw.nacked = nil
+	return out
+}
+
+// drain waits until no publishes are in flight.
+func (cw *confirmWindow) drain(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		cw.mu.Lock()
+		n := len(cw.inflight)
+		cw.mu.Unlock()
+		if n == 0 {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("pattern: %d publishes unconfirmed after %v", n, timeout)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// runClients launches n clients either as plain goroutines (Deleria-style)
+// or under an MPI-like rank group (Lstream/generic), per Table 1.
+func runClients(n int, mpi bool, f func(id int) error) error {
+	if mpi {
+		return ranks.NewGroup(n).Run(func(r *ranks.Rank) error {
+			r.Barrier() // mpirun-style synchronized start
+			return f(r.ID())
+		})
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = f(i)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// waitCount polls until counter reaches want or the deadline passes.
+func waitCount(counter *atomic.Int64, want int64, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for counter.Load() < want {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("pattern: timeout with %d/%d messages", counter.Load(), want)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return nil
+}

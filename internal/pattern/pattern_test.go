@@ -1,0 +1,229 @@
+package pattern
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"ds2hpc/internal/core"
+	"ds2hpc/internal/fabric"
+	"ds2hpc/internal/workload"
+)
+
+// fastOptions deploys small, fast architectures for pattern tests.
+func fastOptions() core.Options {
+	p := fabric.ACE(0.2) // 200 Mbps DSN links
+	p.LBSetupCost = 0
+	p.RouteLookupLatency = 0
+	return core.Options{Nodes: 3, Profile: p, DisableClientShaping: true}
+}
+
+// smallWorkload is Dstream with a shrunken payload for fast tests.
+func smallWorkload() workload.Workload {
+	w := workload.Dstream
+	w.PayloadBytes = 2048
+	return w
+}
+
+func deployDTS(t *testing.T) core.Deployment {
+	t.Helper()
+	d, err := core.Deploy(core.DTS, fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { d.Close() })
+	return d
+}
+
+func TestWorkSharingDelivery(t *testing.T) {
+	d := deployDTS(t)
+	res, err := WorkSharing(Config{
+		Deployment:          d,
+		Workload:            smallWorkload(),
+		Producers:           2,
+		Consumers:           4,
+		MessagesPerProducer: 20,
+		Timeout:             30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Consumed != 40 {
+		t.Fatalf("consumed %d, want 40", res.Consumed)
+	}
+	if res.Throughput <= 0 {
+		t.Fatal("no throughput recorded")
+	}
+}
+
+func TestWorkSharingMPIWorkload(t *testing.T) {
+	d := deployDTS(t)
+	w := workload.Lstream
+	w.PayloadBytes = 16 * 1024 // shrink the 1 MiB payload for the test
+	res, err := WorkSharing(Config{
+		Deployment:          d,
+		Workload:            w,
+		Producers:           2,
+		Consumers:           2,
+		MessagesPerProducer: 6,
+		Timeout:             30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Consumed != 12 {
+		t.Fatalf("consumed %d", res.Consumed)
+	}
+}
+
+func TestWorkSharingInfeasibleOnStunnel(t *testing.T) {
+	d, err := core.Deploy(core.PRSStunnel, fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	_, err = WorkSharing(Config{
+		Deployment:          d,
+		Workload:            smallWorkload(),
+		Producers:           32, // beyond the 16-stream Stunnel cap
+		Consumers:           32,
+		MessagesPerProducer: 1,
+	})
+	if !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestWorkSharingFeedbackRTTs(t *testing.T) {
+	d := deployDTS(t)
+	res, err := WorkSharingFeedback(Config{
+		Deployment:          d,
+		Workload:            smallWorkload(),
+		Producers:           2,
+		Consumers:           2,
+		MessagesPerProducer: 15,
+		Window:              4,
+		Timeout:             30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.RTTs) != 30 {
+		t.Fatalf("RTT samples = %d, want 30", len(res.RTTs))
+	}
+	if res.MedianRTT() <= 0 {
+		t.Fatal("median RTT must be positive")
+	}
+	if res.PercentileRTT(99) < res.MedianRTT() {
+		t.Fatal("p99 < median")
+	}
+}
+
+func TestBroadcastAllConsumersReceive(t *testing.T) {
+	d := deployDTS(t)
+	w := workload.Generic
+	w.PayloadBytes = 8 * 1024
+	res, err := Broadcast(Config{
+		Deployment:          d,
+		Workload:            w,
+		Consumers:           3,
+		MessagesPerProducer: 10,
+		Timeout:             30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Consumed != 30 {
+		t.Fatalf("consumed %d, want 10 msgs x 3 consumers", res.Consumed)
+	}
+}
+
+func TestBroadcastGatherRepliesAndRTTs(t *testing.T) {
+	d := deployDTS(t)
+	w := workload.Generic
+	w.PayloadBytes = 8 * 1024
+	res, err := BroadcastGather(Config{
+		Deployment:          d,
+		Workload:            w,
+		Consumers:           3,
+		MessagesPerProducer: 8,
+		Window:              2,
+		Timeout:             30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.RTTs) != 24 {
+		t.Fatalf("RTT samples = %d, want 24", len(res.RTTs))
+	}
+}
+
+func TestFeedbackThroughPRS(t *testing.T) {
+	d, err := core.Deploy(core.PRSHAProxy, fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	res, err := WorkSharingFeedback(Config{
+		Deployment:          d,
+		Workload:            smallWorkload(),
+		Producers:           2,
+		Consumers:           2,
+		MessagesPerProducer: 8,
+		Window:              2,
+		Timeout:             30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.RTTs) != 16 {
+		t.Fatalf("RTTs = %d", len(res.RTTs))
+	}
+}
+
+func TestWorkSharingThroughMSS(t *testing.T) {
+	d, err := core.Deploy(core.MSS, fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	res, err := WorkSharing(Config{
+		Deployment:          d,
+		Workload:            smallWorkload(),
+		Producers:           2,
+		Consumers:           2,
+		MessagesPerProducer: 10,
+		Timeout:             30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Consumed != 20 {
+		t.Fatalf("consumed %d", res.Consumed)
+	}
+}
+
+func TestNameOnSameNode(t *testing.T) {
+	d := deployDTS(t)
+	cl := d.Cluster()
+	ref := "ws-q-0"
+	name := nameOnSameNode(d, "reply-7", ref)
+	if cl.OwnerOf(name) != cl.OwnerOf(ref) {
+		t.Fatalf("%s not co-located with %s", name, ref)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}
+	if err := c.defaults(); err == nil {
+		t.Fatal("nil deployment must be rejected")
+	}
+	d := deployDTS(t)
+	c = Config{Deployment: d}
+	if err := c.defaults(); err != nil {
+		t.Fatal(err)
+	}
+	if c.WorkQueues != 2 || c.Prefetch != 8 || c.AckBatch != 4 || c.Window != 8 {
+		t.Fatalf("defaults: %+v", c)
+	}
+}

@@ -1,0 +1,176 @@
+// Package ranks provides an MPI-like process group for launching the
+// paper's MPI-based producers and consumers (the Lstream and generic
+// workloads, Table 1). Ranks run as goroutines with the collective
+// operations the simulator needs: Barrier, Broadcast, and Gather.
+package ranks
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Group is a fixed-size rank group.
+type Group struct {
+	size int
+
+	barrierMu  sync.Mutex
+	barrierCnt int
+	barrierGen int
+	barrierC   *sync.Cond
+
+	bcastMu   sync.Mutex
+	bcastGen  map[string][]byte
+	bcastDone map[string]int
+	bcastCond *sync.Cond
+
+	gatherMu   sync.Mutex
+	gatherGen  int
+	gatherBuf  map[int][][]byte
+	gatherCnt  map[int]int
+	gatherCond *sync.Cond
+}
+
+// NewGroup creates a group of n ranks.
+func NewGroup(n int) *Group {
+	if n <= 0 {
+		panic("ranks: group size must be positive")
+	}
+	g := &Group{
+		size:      n,
+		bcastGen:  map[string][]byte{},
+		bcastDone: map[string]int{},
+		gatherBuf: map[int][][]byte{},
+		gatherCnt: map[int]int{},
+	}
+	g.barrierC = sync.NewCond(&g.barrierMu)
+	g.bcastCond = sync.NewCond(&g.bcastMu)
+	g.gatherCond = sync.NewCond(&g.gatherMu)
+	return g
+}
+
+// Size reports the group size.
+func (g *Group) Size() int { return g.size }
+
+// Run launches f once per rank and waits for all ranks to return. Errors
+// from ranks are collected and joined.
+func (g *Group) Run(f func(r *Rank) error) error {
+	var wg sync.WaitGroup
+	errs := make([]error, g.size)
+	for i := 0; i < g.size; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = f(&Rank{g: g, id: i, bcastEpoch: map[string]int{}})
+		}(i)
+	}
+	wg.Wait()
+	var first error
+	count := 0
+	for _, err := range errs {
+		if err != nil {
+			count++
+			if first == nil {
+				first = err
+			}
+		}
+	}
+	if first != nil {
+		return fmt.Errorf("ranks: %d rank(s) failed, first: %w", count, first)
+	}
+	return nil
+}
+
+// Rank is one member of a group.
+type Rank struct {
+	g          *Group
+	id         int
+	gatherGen  int
+	bcastEpoch map[string]int
+}
+
+// ID returns the rank number in [0, Size).
+func (r *Rank) ID() int { return r.id }
+
+// Size returns the group size.
+func (r *Rank) Size() int { return r.g.size }
+
+// Barrier blocks until every rank has entered it.
+func (r *Rank) Barrier() {
+	g := r.g
+	g.barrierMu.Lock()
+	defer g.barrierMu.Unlock()
+	gen := g.barrierGen
+	g.barrierCnt++
+	if g.barrierCnt == g.size {
+		g.barrierCnt = 0
+		g.barrierGen++
+		g.barrierC.Broadcast()
+		return
+	}
+	for g.barrierGen == gen {
+		g.barrierC.Wait()
+	}
+}
+
+// Broadcast sends data from root to every rank; all ranks receive the
+// root's buffer. Every rank must call it with the same root, and each
+// rank's n-th Broadcast call for a given root pairs with every other
+// rank's n-th call (MPI collective-ordering semantics).
+func (r *Rank) Broadcast(root int, data []byte) []byte {
+	g := r.g
+	key := fmt.Sprintf("%d/%d", root, r.bcastEpoch[fmt.Sprint(root)])
+	r.bcastEpoch[fmt.Sprint(root)]++
+	g.bcastMu.Lock()
+	defer g.bcastMu.Unlock()
+	if r.id == root {
+		g.bcastGen[key] = data
+		g.bcastCond.Broadcast()
+	}
+	for {
+		if d, ok := g.bcastGen[key]; ok {
+			g.bcastDone[key]++
+			if g.bcastDone[key] == g.size {
+				delete(g.bcastGen, key)
+				delete(g.bcastDone, key)
+			}
+			return d
+		}
+		g.bcastCond.Wait()
+	}
+}
+
+// Gather collects each rank's buffer at the root. The root receives a
+// slice indexed by rank id; other ranks receive nil. Each rank's n-th
+// Gather call pairs with every other rank's n-th call.
+func (r *Rank) Gather(root int, data []byte) [][]byte {
+	g := r.g
+	g.gatherMu.Lock()
+	defer g.gatherMu.Unlock()
+	gen := r.gatherGen
+	r.gatherGen++
+	buf, ok := g.gatherBuf[gen]
+	if !ok {
+		buf = make([][]byte, g.size)
+		g.gatherBuf[gen] = buf
+	}
+	buf[r.id] = data
+	g.gatherCnt[gen]++
+	if g.gatherCnt[gen] == g.size {
+		g.gatherCond.Broadcast()
+	}
+	for g.gatherCnt[gen] < g.size {
+		g.gatherCond.Wait()
+	}
+	var out [][]byte
+	if r.id == root {
+		out = g.gatherBuf[gen]
+	}
+	// Count exits; the last rank out tears the epoch down so waiters
+	// never observe a deleted counter.
+	g.gatherCnt[gen]++
+	if g.gatherCnt[gen] == 2*g.size {
+		delete(g.gatherBuf, gen)
+		delete(g.gatherCnt, gen)
+	}
+	return out
+}

@@ -1,0 +1,176 @@
+package ranks
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRunAllRanks(t *testing.T) {
+	g := NewGroup(8)
+	var count atomic.Int32
+	seen := make([]bool, 8)
+	err := g.Run(func(r *Rank) error {
+		count.Add(1)
+		seen[r.ID()] = true
+		if r.Size() != 8 {
+			return errors.New("bad size")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count.Load() != 8 {
+		t.Fatalf("ran %d ranks", count.Load())
+	}
+	for i, s := range seen {
+		if !s {
+			t.Errorf("rank %d never ran", i)
+		}
+	}
+}
+
+func TestRunPropagatesErrors(t *testing.T) {
+	g := NewGroup(4)
+	err := g.Run(func(r *Rank) error {
+		if r.ID() == 2 {
+			return errors.New("boom")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	g := NewGroup(4)
+	var before, after atomic.Int32
+	err := g.Run(func(r *Rank) error {
+		if r.ID() == 0 {
+			time.Sleep(50 * time.Millisecond)
+		}
+		before.Add(1)
+		r.Barrier()
+		// At this point every rank must have passed "before".
+		if before.Load() != 4 {
+			return fmt.Errorf("rank %d passed barrier with before=%d", r.ID(), before.Load())
+		}
+		after.Add(1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBarrierReusable(t *testing.T) {
+	g := NewGroup(3)
+	err := g.Run(func(r *Rank) error {
+		for i := 0; i < 50; i++ {
+			r.Barrier()
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBroadcastDeliversRootData(t *testing.T) {
+	g := NewGroup(5)
+	payload := []byte("model weights shard")
+	err := g.Run(func(r *Rank) error {
+		var mine []byte
+		if r.ID() == 2 {
+			mine = payload
+		}
+		got := r.Broadcast(2, mine)
+		if !bytes.Equal(got, payload) {
+			return fmt.Errorf("rank %d got %q", r.ID(), got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBroadcastSequential(t *testing.T) {
+	g := NewGroup(3)
+	err := g.Run(func(r *Rank) error {
+		for i := 0; i < 20; i++ {
+			want := []byte(fmt.Sprintf("iter-%d", i))
+			var mine []byte
+			if r.ID() == 0 {
+				mine = want
+			}
+			got := r.Broadcast(0, mine)
+			if !bytes.Equal(got, want) {
+				return fmt.Errorf("rank %d iter %d got %q", r.ID(), i, got)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGatherCollectsAtRoot(t *testing.T) {
+	g := NewGroup(6)
+	err := g.Run(func(r *Rank) error {
+		data := []byte(fmt.Sprintf("metrics-from-%d", r.ID()))
+		got := r.Gather(0, data)
+		if r.ID() == 0 {
+			if len(got) != 6 {
+				return fmt.Errorf("root gathered %d", len(got))
+			}
+			for i, b := range got {
+				want := fmt.Sprintf("metrics-from-%d", i)
+				if string(b) != want {
+					return fmt.Errorf("slot %d = %q", i, b)
+				}
+			}
+		} else if got != nil {
+			return fmt.Errorf("non-root rank %d got data", r.ID())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGatherSequentialEpochs(t *testing.T) {
+	g := NewGroup(4)
+	err := g.Run(func(r *Rank) error {
+		for i := 0; i < 25; i++ {
+			got := r.Gather(1, []byte{byte(r.ID()), byte(i)})
+			if r.ID() == 1 {
+				for j, b := range got {
+					if int(b[0]) != j || int(b[1]) != i {
+						return fmt.Errorf("epoch %d slot %d corrupt", i, j)
+					}
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewGroupPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewGroup(0)
+}

@@ -1,0 +1,242 @@
+package scistream
+
+import (
+	"crypto/tls"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+
+	"ds2hpc/internal/netem"
+	"ds2hpc/internal/tlsutil"
+)
+
+// ControlRequest is the JSON message S2UC sends to an S2CS instance. It
+// corresponds to the `s2uc inbound-request` / `s2uc outbound-request`
+// commands shown in the paper's §4.4 deployment.
+type ControlRequest struct {
+	// Type is "inbound" (consumer side: expose a WAN proxy in front of
+	// the streaming service) or "outbound" (producer side: expose a local
+	// proxy that tunnels to the remote WAN proxy).
+	Type string `json:"type"`
+	// UID identifies the session; assigned by the inbound request and
+	// echoed by the outbound request.
+	UID string `json:"uid,omitempty"`
+	// Tunnel selects the driver ("stunnel" or "haproxy").
+	Tunnel string `json:"tunnel"`
+	// NumConn is the number of parallel tunnel connections.
+	NumConn int `json:"num_conn"`
+	// ReceiverPorts are the streaming-service endpoints (inbound) —
+	// the paper's --receiver_ports option.
+	ReceiverPorts []string `json:"receiver_ports,omitempty"`
+	// RemoteProxy is the WAN address of the inbound proxy (outbound).
+	RemoteProxy string `json:"remote_proxy,omitempty"`
+}
+
+// ControlResponse reports the created proxy endpoint.
+type ControlResponse struct {
+	UID       string `json:"uid"`
+	ProxyAddr string `json:"proxy_addr"`
+	Err       string `json:"err,omitempty"`
+}
+
+// S2CSConfig configures a control server for one facility side.
+type S2CSConfig struct {
+	// Addr is the control listen address.
+	Addr string
+	// Identity is the facility's certificate: it secures the control
+	// channel and is reused as the tunnel mTLS identity, mirroring the
+	// self-signed certificate the S2CS container generates on startup.
+	Identity *tlsutil.Identity
+	// TunnelIdentity, if set, overrides the identity used on the data
+	// tunnel (both sides must share a trust root).
+	TunnelIdentity *tlsutil.Identity
+	// ServerName for outbound tunnel verification.
+	ServerName string
+	// WANLink shapes the overlay tunnel.
+	WANLink *netem.Link
+	// ClientLink shapes the facility-internal hop to applications.
+	ClientLink *netem.Link
+	// ProcLink models per-proxy processing capacity.
+	ProcLink *netem.Link
+	// TunnelFlowRate caps this relay's aggregate Stunnel flow (bps);
+	// one shared link models the single stunnel process's throughput.
+	TunnelFlowRate int64
+	// DialTarget dials the streaming service from the inbound proxy.
+	DialTarget DialFunc
+}
+
+// S2CS is a running control server. One instance runs on each facility's
+// gateway node in the paper's deployment (PS2CS and CS2CS pods).
+type S2CS struct {
+	cfg      S2CSConfig
+	ln       net.Listener
+	flowLink *netem.Link // shared across all stunnel tunnels
+
+	mu        sync.Mutex
+	inbounds  map[string]*Inbound
+	outbounds map[string]*Outbound
+	nextUID   int
+	closed    bool
+}
+
+// NewS2CS starts a control server.
+func NewS2CS(cfg S2CSConfig) (*S2CS, error) {
+	if cfg.Identity == nil {
+		return nil, fmt.Errorf("scistream: S2CS needs a TLS identity")
+	}
+	addr := cfg.Addr
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	ln, err := tls.Listen("tcp", addr, cfg.Identity.ServerConfig())
+	if err != nil {
+		return nil, err
+	}
+	s := &S2CS{
+		cfg:       cfg,
+		ln:        ln,
+		inbounds:  map[string]*Inbound{},
+		outbounds: map[string]*Outbound{},
+	}
+	if cfg.TunnelFlowRate > 0 {
+		s.flowLink = netem.NewLink("stunnel-flow", cfg.TunnelFlowRate, 0)
+	}
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr is the control endpoint address.
+func (s *S2CS) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the control server and all proxies it launched.
+func (s *S2CS) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	ins := s.inbounds
+	outs := s.outbounds
+	s.inbounds = map[string]*Inbound{}
+	s.outbounds = map[string]*Outbound{}
+	s.mu.Unlock()
+	for _, in := range ins {
+		in.Close()
+	}
+	for _, o := range outs {
+		o.Close()
+	}
+	return s.ln.Close()
+}
+
+// Inbound returns the inbound proxy for a session UID (for tests/metrics).
+func (s *S2CS) Inbound(uid string) (*Inbound, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	in, ok := s.inbounds[uid]
+	return in, ok
+}
+
+func (s *S2CS) acceptLoop() {
+	for {
+		c, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		go s.serve(c)
+	}
+}
+
+func (s *S2CS) serve(c net.Conn) {
+	defer c.Close()
+	var req ControlRequest
+	if err := json.NewDecoder(c).Decode(&req); err != nil {
+		return
+	}
+	resp := s.handle(&req)
+	json.NewEncoder(c).Encode(resp)
+}
+
+func (s *S2CS) handle(req *ControlRequest) *ControlResponse {
+	switch req.Type {
+	case "inbound":
+		return s.handleInbound(req)
+	case "outbound":
+		return s.handleOutbound(req)
+	default:
+		return &ControlResponse{Err: fmt.Sprintf("unknown request type %q", req.Type)}
+	}
+}
+
+func (s *S2CS) tunnelIdentity() *tlsutil.Identity {
+	if s.cfg.TunnelIdentity != nil {
+		return s.cfg.TunnelIdentity
+	}
+	return s.cfg.Identity
+}
+
+func (s *S2CS) handleInbound(req *ControlRequest) *ControlResponse {
+	if len(req.ReceiverPorts) == 0 {
+		return &ControlResponse{Err: "inbound request needs receiver_ports"}
+	}
+	in, err := NewInbound(InboundConfig{
+		Targets:    req.ReceiverPorts,
+		Tunnel:     Tunnel(req.Tunnel),
+		Identity:   s.tunnelIdentity(),
+		WANLink:    s.cfg.WANLink,
+		ProcLink:   s.cfg.ProcLink,
+		FlowLink:   s.flowLink,
+		DialTarget: s.cfg.DialTarget,
+	})
+	if err != nil {
+		return &ControlResponse{Err: err.Error()}
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		in.Close()
+		return &ControlResponse{Err: "control server closed"}
+	}
+	s.nextUID++
+	uid := fmt.Sprintf("s2-session-%d", s.nextUID)
+	s.inbounds[uid] = in
+	s.mu.Unlock()
+	return &ControlResponse{UID: uid, ProxyAddr: in.Addr()}
+}
+
+func (s *S2CS) handleOutbound(req *ControlRequest) *ControlResponse {
+	if req.RemoteProxy == "" {
+		return &ControlResponse{Err: "outbound request needs remote_proxy"}
+	}
+	dialWAN := DialFunc(net.Dial)
+	if s.cfg.WANLink != nil {
+		d := &netem.Dialer{Link: s.cfg.WANLink}
+		dialWAN = d.Dial
+	}
+	out, err := NewOutbound(OutboundConfig{
+		RemoteProxy: req.RemoteProxy,
+		Tunnel:      Tunnel(req.Tunnel),
+		NumConns:    req.NumConn,
+		Identity:    s.tunnelIdentity(),
+		ServerName:  s.cfg.ServerName,
+		ClientLink:  s.cfg.ClientLink,
+		ProcLink:    s.cfg.ProcLink,
+		FlowLink:    s.flowLink,
+		DialWAN:     dialWAN,
+	})
+	if err != nil {
+		return &ControlResponse{Err: err.Error()}
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		out.Close()
+		return &ControlResponse{Err: "control server closed"}
+	}
+	uid := req.UID
+	if uid == "" {
+		s.nextUID++
+		uid = fmt.Sprintf("s2-session-%d", s.nextUID)
+	}
+	s.outbounds[uid] = out
+	s.mu.Unlock()
+	return &ControlResponse{UID: uid, ProxyAddr: out.Addr()}
+}

@@ -1,0 +1,127 @@
+package scistream
+
+import (
+	"crypto/tls"
+	"crypto/x509"
+	"encoding/json"
+	"fmt"
+	"net"
+	"time"
+
+	"ds2hpc/internal/tlsutil"
+)
+
+// SessionRequest describes the streaming session the user client should
+// broker between the two facilities' control servers.
+type SessionRequest struct {
+	// ProducerS2CS and ConsumerS2CS are the control endpoints of the two
+	// facility gateway nodes.
+	ProducerS2CS string
+	ConsumerS2CS string
+	// ProducerCert and ConsumerCert are the PEM server certificates used
+	// to trust each control endpoint (`--server_cert` in the paper).
+	ProducerCert []byte
+	ConsumerCert []byte
+	// Targets are the streaming-service endpoints behind the consumer
+	// side (`--receiver_ports`).
+	Targets []string
+	// Tunnel selects the overlay driver.
+	Tunnel Tunnel
+	// NumConn is the parallel-connection option (`--num_conn`).
+	NumConn int
+}
+
+// Session is an established overlay: applications connect to ClientAddr and
+// their bytes arrive at the streaming service through the tunnel.
+type Session struct {
+	UID string
+	// ClientAddr is the producer-facility address applications dial.
+	ClientAddr string
+	// RemoteProxyAddr is the consumer-side WAN proxy address.
+	RemoteProxyAddr string
+}
+
+// S2UC is the SciStream user client. It brokers requests and carries the
+// short-lived credentials (here: the facility server certificates).
+type S2UC struct {
+	Timeout time.Duration
+}
+
+// CreateSession performs the inbound-request / outbound-request pair from
+// the paper's §4.4 and returns the resulting connection map.
+func (u *S2UC) CreateSession(req SessionRequest) (*Session, error) {
+	if req.NumConn <= 0 {
+		req.NumConn = 1
+	}
+	if req.Tunnel == "" {
+		req.Tunnel = TunnelHAProxy
+	}
+	// Step 1: inbound request to the consumer-side S2CS creates the
+	// WAN-facing proxy (PROXY) and the session UID.
+	inResp, err := u.control(req.ConsumerS2CS, req.ConsumerCert, &ControlRequest{
+		Type:          "inbound",
+		Tunnel:        string(req.Tunnel),
+		NumConn:       req.NumConn,
+		ReceiverPorts: req.Targets,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("scistream: inbound request: %w", err)
+	}
+	// Step 2: outbound request to the producer-side S2CS creates the
+	// application-facing proxy tunneled to PROXY.
+	outResp, err := u.control(req.ProducerS2CS, req.ProducerCert, &ControlRequest{
+		Type:        "outbound",
+		UID:         inResp.UID,
+		Tunnel:      string(req.Tunnel),
+		NumConn:     req.NumConn,
+		RemoteProxy: inResp.ProxyAddr,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("scistream: outbound request: %w", err)
+	}
+	return &Session{
+		UID:             inResp.UID,
+		ClientAddr:      outResp.ProxyAddr,
+		RemoteProxyAddr: inResp.ProxyAddr,
+	}, nil
+}
+
+func (u *S2UC) control(addr string, certPEM []byte, req *ControlRequest) (*ControlResponse, error) {
+	timeout := u.Timeout
+	if timeout == 0 {
+		timeout = 10 * time.Second
+	}
+	var pool *x509.CertPool
+	if certPEM != nil {
+		p, err := tlsutil.PoolFromPEM(certPEM)
+		if err != nil {
+			return nil, err
+		}
+		pool = p
+	}
+	raw, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	host, _, _ := net.SplitHostPort(addr)
+	cfg := &tls.Config{ServerName: host}
+	if pool != nil {
+		cfg.RootCAs = pool
+	} else {
+		cfg.InsecureSkipVerify = true
+	}
+	c := tls.Client(raw, cfg)
+	defer c.Close()
+	c.SetDeadline(time.Now().Add(timeout))
+	if err := json.NewEncoder(c).Encode(req); err != nil {
+		return nil, err
+	}
+	var resp ControlResponse
+	if err := json.NewDecoder(c).Decode(&resp); err != nil {
+		return nil, err
+	}
+	if resp.Err != "" {
+		return nil, fmt.Errorf("scistream: control error: %s", resp.Err)
+	}
+	return &resp, nil
+}

@@ -1,0 +1,154 @@
+// Package sim is the streaming simulator of the paper's §5.2: it runs a
+// messaging pattern over a deployed architecture with a given workload and
+// experiment configuration, averages multiple runs per data point, and
+// produces the sweeps behind each figure. A TCP coordinator component (see
+// coordinator.go) mirrors the paper's simulator layout, where a dedicated
+// coordinator node tells producers and consumers which queues to use and
+// aggregates their metrics.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"ds2hpc/internal/core"
+	"ds2hpc/internal/metrics"
+	"ds2hpc/internal/pattern"
+	"ds2hpc/internal/workload"
+)
+
+// PatternName selects a messaging pattern.
+type PatternName string
+
+// The three patterns of §5.1 (broadcast with and without gather are
+// reported separately in Figure 7).
+const (
+	PatternWorkSharing     PatternName = "work-sharing"
+	PatternFeedback        PatternName = "work-sharing-feedback"
+	PatternBroadcast       PatternName = "broadcast"
+	PatternBroadcastGather PatternName = "broadcast-gather"
+)
+
+// Experiment is one data point's configuration.
+type Experiment struct {
+	Architecture core.ArchitectureName
+	Workload     workload.Workload
+	Pattern      PatternName
+	Producers    int
+	Consumers    int
+	// MessagesPerProducer per run (the paper streams up to 128K per run;
+	// scaled-down runs use less).
+	MessagesPerProducer int
+	// Runs averaged per data point (paper: 3).
+	Runs int
+	// Options configure the deployment (nodes, fabric profile).
+	Options core.Options
+	// Tuning mirrors pattern.Config knobs; zero values use defaults.
+	WorkQueues int
+	Prefetch   int
+	AckBatch   int
+	Window     int
+	Timeout    time.Duration
+}
+
+// Point is one measured data point.
+type Point struct {
+	Experiment Experiment
+	Result     *metrics.Result
+	// Infeasible marks configurations the architecture cannot run (the
+	// paper's missing Stunnel points beyond 16 consumers).
+	Infeasible bool
+}
+
+// Run executes the experiment: deploy once, run Runs times, merge.
+func Run(exp Experiment) (*Point, error) {
+	if exp.Runs <= 0 {
+		exp.Runs = 3
+	}
+	dep, err := core.Deploy(exp.Architecture, exp.Options)
+	if err != nil {
+		return nil, fmt.Errorf("sim: deploy %s: %w", exp.Architecture, err)
+	}
+	defer dep.Close()
+	return RunOn(dep, exp)
+}
+
+// RunOn executes the experiment on an existing deployment (reused across
+// points of a sweep to avoid redeploy cost).
+func RunOn(dep core.Deployment, exp Experiment) (*Point, error) {
+	if exp.Runs <= 0 {
+		exp.Runs = 3
+	}
+	var runs []*metrics.Result
+	for r := 0; r < exp.Runs; r++ {
+		cfg := pattern.Config{
+			Deployment:          dep,
+			Workload:            exp.Workload,
+			Producers:           exp.Producers,
+			Consumers:           exp.Consumers,
+			MessagesPerProducer: exp.MessagesPerProducer,
+			WorkQueues:          exp.WorkQueues,
+			Prefetch:            exp.Prefetch,
+			AckBatch:            exp.AckBatch,
+			Window:              exp.Window,
+			Timeout:             exp.Timeout,
+		}
+		var res *metrics.Result
+		var err error
+		switch exp.Pattern {
+		case PatternWorkSharing:
+			res, err = pattern.WorkSharing(cfg)
+		case PatternFeedback:
+			res, err = pattern.WorkSharingFeedback(cfg)
+		case PatternBroadcast:
+			res, err = pattern.Broadcast(cfg)
+		case PatternBroadcastGather:
+			res, err = pattern.BroadcastGather(cfg)
+		default:
+			return nil, fmt.Errorf("sim: unknown pattern %q", exp.Pattern)
+		}
+		if errors.Is(err, pattern.ErrInfeasible) {
+			return &Point{Experiment: exp, Infeasible: true}, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("sim: %s/%s run %d: %w", exp.Architecture, exp.Pattern, r, err)
+		}
+		runs = append(runs, res)
+	}
+	return &Point{Experiment: exp, Result: metrics.Merge(runs)}, nil
+}
+
+// ConsumerCounts is the x-axis of every figure: 1-64 consumers.
+var ConsumerCounts = []int{1, 2, 4, 8, 16, 32, 64}
+
+// Sweep runs the experiment across consumer counts for one architecture,
+// reusing a single deployment. Except for the broadcast patterns (single
+// producer), producers scale with consumers, matching §5.2 ("all other
+// tests were performed with an equal number of producers and consumers").
+func Sweep(exp Experiment, consumerCounts []int) ([]*Point, error) {
+	if len(consumerCounts) == 0 {
+		consumerCounts = ConsumerCounts
+	}
+	dep, err := core.Deploy(exp.Architecture, exp.Options)
+	if err != nil {
+		return nil, err
+	}
+	defer dep.Close()
+	var points []*Point
+	for _, n := range consumerCounts {
+		e := exp
+		e.Consumers = n
+		if e.Pattern == PatternBroadcast || e.Pattern == PatternBroadcastGather {
+			e.Producers = 1
+		} else {
+			e.Producers = n
+		}
+		p, err := RunOn(dep, e)
+		if err != nil {
+			return points, err
+		}
+		points = append(points, p)
+	}
+	return points, nil
+}

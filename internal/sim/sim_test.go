@@ -1,0 +1,162 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"ds2hpc/internal/core"
+	"ds2hpc/internal/fabric"
+	"ds2hpc/internal/workload"
+)
+
+func testExperiment(pat PatternName) Experiment {
+	p := fabric.ACE(0.2)
+	p.LBSetupCost = 0
+	p.RouteLookupLatency = 0
+	w := workload.Dstream
+	w.PayloadBytes = 2048
+	return Experiment{
+		Architecture:        core.DTS,
+		Workload:            w,
+		Pattern:             pat,
+		Producers:           2,
+		Consumers:           2,
+		MessagesPerProducer: 8,
+		Runs:                2,
+		Options:             core.Options{Nodes: 3, Profile: p, DisableClientShaping: true},
+		Timeout:             30 * time.Second,
+	}
+}
+
+func TestRunWorkSharing(t *testing.T) {
+	pt, err := Run(testExperiment(PatternWorkSharing))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.Infeasible {
+		t.Fatal("DTS must be feasible")
+	}
+	// Two runs of 2x8 messages merged.
+	if pt.Result.Consumed != 32 {
+		t.Fatalf("consumed %d", pt.Result.Consumed)
+	}
+}
+
+func TestRunFeedbackCollectsRTTs(t *testing.T) {
+	pt, err := Run(testExperiment(PatternFeedback))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pt.Result.RTTs) != 32 {
+		t.Fatalf("RTTs %d", len(pt.Result.RTTs))
+	}
+}
+
+func TestRunUnknownPattern(t *testing.T) {
+	e := testExperiment("nope")
+	if _, err := Run(e); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestStunnelSweepMarksInfeasible(t *testing.T) {
+	e := testExperiment(PatternWorkSharing)
+	e.Architecture = core.PRSStunnel
+	e.Runs = 1
+	e.MessagesPerProducer = 2
+	points, err := Sweep(e, []int{1, 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points %d", len(points))
+	}
+	if points[0].Infeasible {
+		t.Fatal("1 consumer must be feasible on stunnel")
+	}
+	if !points[1].Infeasible {
+		t.Fatal("32 consumers must be infeasible on stunnel")
+	}
+}
+
+func TestSweepScalesProducersWithConsumers(t *testing.T) {
+	e := testExperiment(PatternWorkSharing)
+	e.Runs = 1
+	e.MessagesPerProducer = 2
+	points, err := Sweep(e, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pt := range points {
+		if pt.Experiment.Producers != pt.Experiment.Consumers {
+			t.Fatalf("producers %d != consumers %d",
+				pt.Experiment.Producers, pt.Experiment.Consumers)
+		}
+	}
+}
+
+func TestCoordinatorProtocol(t *testing.T) {
+	const participants = 4
+	coord, err := NewCoordinator("", participants, func(h HelloMsg) AssignMsg {
+		return AssignMsg{
+			Queue:    fmt.Sprintf("q-%d", h.ID%2),
+			Endpoint: "amqp://127.0.0.1:5672",
+			Messages: 10,
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	var wg sync.WaitGroup
+	for i := 0; i < participants; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			role := "producer"
+			if i%2 == 1 {
+				role = "consumer"
+			}
+			p, assign, err := Join(coord.Addr(), HelloMsg{Role: role, ID: i})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if assign.Queue == "" || assign.Messages != 10 {
+				t.Errorf("assignment %+v", assign)
+			}
+			report := ReportMsg{Role: role, ID: i, Count: 10}
+			if role == "consumer" {
+				report.RTTNanos = []int64{1000000, 2000000}
+			}
+			if err := p.Report(report); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	res, err := coord.Wait(5 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Consumed != 20 || res.Produced != 20 {
+		t.Fatalf("aggregate %+v", res)
+	}
+	if len(res.RTTs) != 4 {
+		t.Fatalf("RTTs %d", len(res.RTTs))
+	}
+}
+
+func TestCoordinatorTimeout(t *testing.T) {
+	coord, err := NewCoordinator("", 1, func(h HelloMsg) AssignMsg { return AssignMsg{} })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	if _, err := coord.Wait(50 * time.Millisecond); err == nil {
+		t.Fatal("expected timeout")
+	}
+}

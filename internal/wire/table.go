@@ -1,0 +1,160 @@
+package wire
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Table is a field table carried in method arguments and content headers,
+// mapping short-string keys to typed values. Supported value types mirror
+// the subset of AMQP 0-9-1 used by RabbitMQ clients:
+//
+//	bool, int8, int16, int32, int64, float64, string, []byte, Table, nil
+type Table map[string]any
+
+// WriteTable encodes t as a longstr-framed sequence of key/value pairs.
+// Keys are emitted in sorted order so encoding is deterministic.
+func (w *Writer) WriteTable(t Table) {
+	inner := NewWriter()
+	keys := make([]string, 0, len(t))
+	for k := range t {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		inner.ShortStr(k)
+		inner.writeValue(t[k])
+	}
+	if inner.err != nil && w.err == nil {
+		w.err = inner.err
+	}
+	w.LongStr(inner.Bytes())
+}
+
+func (w *Writer) writeValue(v any) {
+	switch x := v.(type) {
+	case nil:
+		w.Octet('V')
+	case bool:
+		w.Octet('t')
+		w.Bool(x)
+	case int8:
+		w.Octet('b')
+		w.Octet(byte(x))
+	case int16:
+		w.Octet('s')
+		w.Short(uint16(x))
+	case int32:
+		w.Octet('I')
+		w.Long(uint32(x))
+	case int:
+		w.Octet('l')
+		w.LongLong(uint64(int64(x)))
+	case int64:
+		w.Octet('l')
+		w.LongLong(uint64(x))
+	case float64:
+		w.Octet('d')
+		w.Float64(x)
+	case string:
+		w.Octet('S')
+		w.LongStr([]byte(x))
+	case []byte:
+		w.Octet('x')
+		w.LongStr(x)
+	case Table:
+		w.Octet('F')
+		w.WriteTable(x)
+	default:
+		if w.err == nil {
+			w.err = fmt.Errorf("wire: unsupported table value type %T", v)
+		}
+		w.Octet('V')
+	}
+}
+
+// ReadTable decodes a field table.
+func (r *Reader) ReadTable() Table {
+	raw := r.LongStr()
+	if r.err != nil {
+		return nil
+	}
+	inner := NewReader(raw)
+	t := Table{}
+	for inner.Remaining() > 0 && inner.err == nil {
+		k := inner.ShortStr()
+		v := inner.readValue()
+		if inner.err != nil {
+			break
+		}
+		t[k] = v
+	}
+	if inner.err != nil && r.err == nil {
+		r.err = inner.err
+	}
+	return t
+}
+
+func (r *Reader) readValue() any {
+	switch c := r.Octet(); c {
+	case 'V':
+		return nil
+	case 't':
+		return r.Bool()
+	case 'b':
+		return int8(r.Octet())
+	case 's':
+		return int16(r.Short())
+	case 'I':
+		return int32(r.Long())
+	case 'l':
+		return int64(r.LongLong())
+	case 'd':
+		return r.Float64()
+	case 'S':
+		return string(r.LongStr())
+	case 'x':
+		b := r.LongStr()
+		out := make([]byte, len(b))
+		copy(out, b)
+		return out
+	case 'F':
+		return r.ReadTable()
+	default:
+		r.fail("wire: unknown table value tag %q", c)
+		return nil
+	}
+}
+
+// String returns t[key] if present and a string, else def.
+func (t Table) String(key, def string) string {
+	if v, ok := t[key].(string); ok {
+		return v
+	}
+	return def
+}
+
+// Int returns t[key] coerced to int64 if it is any integer type, else def.
+func (t Table) Int(key string, def int64) int64 {
+	switch v := t[key].(type) {
+	case int8:
+		return int64(v)
+	case int16:
+		return int64(v)
+	case int32:
+		return int64(v)
+	case int64:
+		return v
+	case int:
+		return int64(v)
+	}
+	return def
+}
+
+// Bool returns t[key] if present and a bool, else def.
+func (t Table) Bool(key string, def bool) bool {
+	if v, ok := t[key].(bool); ok {
+		return v
+	}
+	return def
+}

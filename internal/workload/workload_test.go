@@ -1,0 +1,135 @@
+package workload
+
+import (
+	"testing"
+
+	"ds2hpc/internal/payload/deleria"
+)
+
+func TestTable1Characteristics(t *testing.T) {
+	// The three rows of Table 1.
+	if Dstream.PayloadBytes != 16*1024 {
+		t.Errorf("Dstream payload = %d, want 16 KiB", Dstream.PayloadBytes)
+	}
+	if Dstream.EventsPerMsg != 8 {
+		t.Errorf("Dstream events/msg = %d, want 8", Dstream.EventsPerMsg)
+	}
+	if Dstream.MPI {
+		t.Error("Dstream must be non-MPI")
+	}
+	if Dstream.DataRateBps != 32_000_000_000 {
+		t.Errorf("Dstream rate = %d, want 32 Gbps", Dstream.DataRateBps)
+	}
+	if Lstream.PayloadBytes != 1<<20 {
+		t.Errorf("Lstream payload = %d, want 1 MiB", Lstream.PayloadBytes)
+	}
+	if !Lstream.MPI || Lstream.Format != FormatHDF5 {
+		t.Error("Lstream must be MPI with HDF5 payloads")
+	}
+	if Lstream.DataRateBps != 30_000_000_000 {
+		t.Errorf("Lstream rate = %d, want 30 Gbps", Lstream.DataRateBps)
+	}
+	if Generic.PayloadBytes != 4<<20 || Generic.EventsPerMsg != 1 {
+		t.Errorf("Generic = %d bytes x%d, want 4 MiB x1", Generic.PayloadBytes, Generic.EventsPerMsg)
+	}
+	if Generic.DataRateBps != 25_000_000_000 {
+		t.Errorf("Generic rate = %d, want 25 Gbps", Generic.DataRateBps)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, w := range All {
+		got, err := ByName(w.Name)
+		if err != nil || got.Name != w.Name {
+			t.Errorf("ByName(%s): %v", w.Name, err)
+		}
+	}
+	if _, err := ByName("bogus"); err == nil {
+		t.Error("expected error")
+	}
+}
+
+func TestGeneratorDstream(t *testing.T) {
+	g := NewGenerator(Dstream, 0)
+	body, err := g.Payload(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := deleria.DecodeBatch(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 8 {
+		t.Fatalf("events = %d", len(events))
+	}
+	if err := Dstream.Verify(body); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGeneratorLstream(t *testing.T) {
+	g := NewGenerator(Lstream, 1)
+	body, err := g.Payload(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Encoded HDF5-lite container should be ~1 MiB.
+	if len(body) < Lstream.PayloadBytes*8/10 || len(body) > Lstream.PayloadBytes*11/10 {
+		t.Fatalf("payload = %d bytes", len(body))
+	}
+	if err := Lstream.Verify(body); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGeneratorGeneric(t *testing.T) {
+	g := NewGenerator(Generic, 2)
+	body, err := g.Payload(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(body) != Generic.PayloadBytes {
+		t.Fatalf("payload = %d", len(body))
+	}
+	if err := Generic.Verify(body); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyRejectsGarbage(t *testing.T) {
+	if err := Dstream.Verify([]byte("junk")); err == nil {
+		t.Error("Dstream should reject junk")
+	}
+	if err := Lstream.Verify([]byte("junk")); err == nil {
+		t.Error("Lstream should reject junk")
+	}
+	if err := Generic.Verify(nil); err == nil {
+		t.Error("Generic should reject empty")
+	}
+}
+
+func TestScaled(t *testing.T) {
+	s := Lstream.Scaled(16)
+	if s.PayloadBytes != (1<<20)/16 {
+		t.Fatalf("scaled payload = %d", s.PayloadBytes)
+	}
+	if s.Name != Lstream.Name {
+		t.Fatal("scaling must preserve identity")
+	}
+	if Lstream.Scaled(0).PayloadBytes != Lstream.PayloadBytes {
+		t.Fatal("divisor<=1 must be identity")
+	}
+	// Floor at 1 KiB.
+	if tiny := Dstream.Scaled(1 << 20); tiny.PayloadBytes != 1024 {
+		t.Fatalf("floor = %d", tiny.PayloadBytes)
+	}
+}
+
+func TestGeneratorCachesPayload(t *testing.T) {
+	g := NewGenerator(Generic, 3)
+	a, _ := g.Payload(0)
+	b, _ := g.Payload(1)
+	if &a[0] != &b[0] {
+		t.Error("generic generator should reuse its payload buffer")
+	}
+}
