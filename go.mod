@@ -1,0 +1,3 @@
+module ds2hpc
+
+go 1.22
