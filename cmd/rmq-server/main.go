@@ -9,8 +9,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"syscall"
@@ -22,14 +24,33 @@ import (
 )
 
 func main() {
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	if err := run(os.Args[1:], sig, os.Stdout, nil); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return
+		}
+		fmt.Fprintln(os.Stderr, "rmq-server:", err)
+		os.Exit(1)
+	}
+}
+
+// run parses flags, starts the broker cluster, reports the listen
+// addresses, and blocks until a signal arrives. started, if non-nil, is
+// invoked with the node addresses once every node is listening (tests use
+// it to learn the ephemeral ports).
+func run(args []string, sig <-chan os.Signal, out io.Writer, started func(addrs []string)) error {
+	fs := flag.NewFlagSet("rmq-server", flag.ContinueOnError)
 	var (
-		addr     = flag.String("addr", "127.0.0.1:5672", "listen address (first node; :0 for ephemeral)")
-		nodes    = flag.Int("nodes", 1, "number of broker nodes")
-		withTLS  = flag.Bool("tls", false, "serve AMQPS with a self-signed certificate")
-		memGB    = flag.Float64("mem-gb", 4, "memory limit per vhost in GiB (80% goes to payload queues)")
-		rateMbps = flag.Float64("rate-mbps", 0, "emulated per-node link rate in Mbps (0 = unshaped)")
+		addr     = fs.String("addr", "127.0.0.1:5672", "listen address (first node; :0 for ephemeral)")
+		nodes    = fs.Int("nodes", 1, "number of broker nodes")
+		withTLS  = fs.Bool("tls", false, "serve AMQPS with a self-signed certificate")
+		memGB    = fs.Float64("mem-gb", 4, "memory limit per vhost in GiB (80% goes to payload queues)")
+		rateMbps = fs.Float64("rate-mbps", 0, "emulated per-node link rate in Mbps (0 = unshaped)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	cfg := broker.Config{
 		MemoryLimit: int64(*memGB * float64(1<<30) * 0.8),
@@ -37,12 +58,11 @@ func main() {
 	if *withTLS {
 		id, err := tlsutil.SelfSigned("rmq-server", "127.0.0.1", "localhost")
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "rmq-server:", err)
-			os.Exit(1)
+			return err
 		}
 		cfg.TLS = id.ServerConfig()
 		if err := os.WriteFile("rmq-server-ca.pem", id.CertPEM, 0o644); err == nil {
-			fmt.Println("wrote rmq-server-ca.pem (client trust root)")
+			fmt.Fprintln(out, "wrote rmq-server-ca.pem (client trust root)")
 		}
 	}
 	cl, err := cluster.StartWith(*nodes, func(i int) broker.Config {
@@ -58,8 +78,7 @@ func main() {
 		return c
 	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "rmq-server:", err)
-		os.Exit(1)
+		return err
 	}
 	defer cl.Close()
 	scheme := "amqp"
@@ -67,11 +86,13 @@ func main() {
 		scheme = "amqps"
 	}
 	for i, a := range cl.Addrs() {
-		fmt.Printf("node %d listening on %s://%s\n", i, scheme, a)
+		fmt.Fprintf(out, "node %d listening on %s://%s\n", i, scheme, a)
+	}
+	if started != nil {
+		started(cl.Addrs())
 	}
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
-	fmt.Println("shutting down")
+	fmt.Fprintln(out, "shutting down")
+	return nil
 }

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"ds2hpc/internal/amqp"
+)
+
+// TestServerStartPublishShutdown smoke-tests the binary's full lifecycle:
+// start on an ephemeral port, serve a real client round-trip, and shut
+// down cleanly on a signal.
+func TestServerStartPublishShutdown(t *testing.T) {
+	sig := make(chan os.Signal, 1)
+	addrs := make(chan []string, 1)
+	var out bytes.Buffer
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0", "-nodes", "2"}, sig, &out,
+			func(a []string) { addrs <- a })
+	}()
+
+	var nodes []string
+	select {
+	case nodes = <-addrs:
+	case err := <-done:
+		t.Fatalf("server exited early: %v (output: %s)", err, out.String())
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not start listening")
+	}
+	if len(nodes) != 2 {
+		t.Fatalf("addrs = %v, want 2 nodes", nodes)
+	}
+
+	conn, err := amqp.Dial(fmt.Sprintf("amqp://%s/", nodes[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	ch, err := conn.Channel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ch.QueueDeclare("smoke", false, false, false, false, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := ch.Publish("", "smoke", false, false, amqp.Publishing{Body: []byte("ping")}); err != nil {
+		t.Fatal(err)
+	}
+	d, ok, err := ch.Get("smoke", true)
+	if err != nil || !ok {
+		t.Fatalf("get: ok=%v err=%v", ok, err)
+	}
+	if string(d.Body) != "ping" {
+		t.Fatalf("body %q", d.Body)
+	}
+
+	sig <- os.Interrupt
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not shut down on signal")
+	}
+	if !strings.Contains(out.String(), "listening on amqp://") {
+		t.Fatalf("missing listen banner in output: %s", out.String())
+	}
+	if !strings.Contains(out.String(), "shutting down") {
+		t.Fatalf("missing shutdown message in output: %s", out.String())
+	}
+}
+
+// TestBadFlagRejected checks flag parsing surfaces errors instead of
+// exiting the process.
+func TestBadFlagRejected(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-no-such-flag"}, nil, &out, nil); err == nil {
+		t.Fatal("unknown flag must be rejected")
+	}
+}
+
+// TestBadAddrRejected checks an unbindable address becomes an error.
+func TestBadAddrRejected(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-addr", "256.0.0.1:bogus"}, nil, &out, nil); err == nil {
+		t.Fatal("bad listen address must be rejected")
+	}
+}

@@ -1,0 +1,9 @@
+package main
+
+import "ds2hpc/internal/broker"
+
+// newTestBroker starts a single ephemeral-port broker node for the
+// distributed-mode smoke test.
+func newTestBroker() (*broker.Server, error) {
+	return broker.Listen(broker.Config{Addr: "127.0.0.1:0"})
+}

@@ -20,6 +20,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -36,17 +37,24 @@ func main() {
 	if len(os.Args) < 2 {
 		usage()
 	}
+	var err error
 	switch os.Args[1] {
 	case "local":
-		runLocal(os.Args[2:])
+		err = runLocal(os.Args[2:])
 	case "coordinator":
-		runCoordinator(os.Args[2:])
+		err = runCoordinator(os.Args[2:])
 	case "producer":
-		runParticipant(os.Args[2:], "producer")
+		err = runParticipant(os.Args[2:], "producer")
 	case "consumer":
-		runParticipant(os.Args[2:], "consumer")
+		err = runParticipant(os.Args[2:], "consumer")
 	default:
 		usage()
+	}
+	if err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return
+		}
+		die(err)
 	}
 }
 
@@ -55,8 +63,8 @@ func usage() {
 	os.Exit(2)
 }
 
-func runLocal(args []string) {
-	fs := flag.NewFlagSet("local", flag.ExitOnError)
+func runLocal(args []string) error {
+	fs := flag.NewFlagSet("local", flag.ContinueOnError)
 	arch := fs.String("arch", "DTS", "architecture: DTS, PRS(Stunnel), PRS(HAProxy), PRS(HAProxy,4conns), MSS")
 	wl := fs.String("workload", "Dstream", "workload: Dstream, Lstream, generic")
 	pat := fs.String("pattern", "work-sharing", "pattern: work-sharing, work-sharing-feedback, broadcast, broadcast-gather")
@@ -66,11 +74,13 @@ func runLocal(args []string) {
 	runs := fs.Int("runs", 3, "runs per data point")
 	scale := fs.Float64("scale", 0.1, "fabric scale (1.0 = paper rates)")
 	payloadDiv := fs.Int("payload-div", 8, "payload shrink divisor (1 = full size)")
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	w, err := workload.ByName(*wl)
 	if err != nil {
-		die(err)
+		return err
 	}
 	exp := sim.Experiment{
 		Architecture:        core.ArchitectureName(*arch),
@@ -89,12 +99,12 @@ func runLocal(args []string) {
 	}
 	pt, err := sim.Run(exp)
 	if err != nil {
-		die(err)
+		return err
 	}
 	if pt.Infeasible {
 		fmt.Printf("%s with %d producers is infeasible (tunnel connection limit)\n",
 			*arch, *producers)
-		return
+		return nil
 	}
 	r := pt.Result
 	fmt.Printf("architecture:   %s\n", *arch)
@@ -109,17 +119,20 @@ func runLocal(args []string) {
 	if r.Errors > 0 {
 		fmt.Printf("backpressure:   %d rejected publishes retried\n", r.Errors)
 	}
+	return nil
 }
 
-func runCoordinator(args []string) {
-	fs := flag.NewFlagSet("coordinator", flag.ExitOnError)
+func runCoordinator(args []string) error {
+	fs := flag.NewFlagSet("coordinator", flag.ContinueOnError)
 	addr := fs.String("addr", "127.0.0.1:0", "coordinator listen address")
 	participants := fs.Int("participants", 2, "number of producers+consumers to expect")
 	endpoint := fs.String("endpoint", "amqp://127.0.0.1:5672", "broker URL participants should use")
 	msgs := fs.Int("msgs", 100, "messages per producer")
 	queues := fs.Int("queues", 2, "shared work queues")
 	timeout := fs.Duration("timeout", 10*time.Minute, "experiment deadline")
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	coord, err := sim.NewCoordinator(*addr, *participants, func(h sim.HelloMsg) sim.AssignMsg {
 		return sim.AssignMsg{
@@ -129,42 +142,45 @@ func runCoordinator(args []string) {
 		}
 	})
 	if err != nil {
-		die(err)
+		return err
 	}
 	defer coord.Close()
 	fmt.Printf("coordinator listening on %s (expecting %d participants)\n",
 		coord.Addr(), *participants)
 	res, err := coord.Wait(*timeout)
 	if err != nil {
-		die(err)
+		return err
 	}
 	fmt.Printf("aggregate: %s\n", res)
+	return nil
 }
 
-func runParticipant(args []string, role string) {
-	fs := flag.NewFlagSet(role, flag.ExitOnError)
+func runParticipant(args []string, role string) error {
+	fs := flag.NewFlagSet(role, flag.ContinueOnError)
 	coord := fs.String("coord", "", "coordinator address")
 	id := fs.Int("id", 0, "participant id")
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	if *coord == "" {
 		fs.Usage()
-		os.Exit(2)
+		return fmt.Errorf("%s: -coord is required", role)
 	}
 	p, assign, err := sim.Join(*coord, sim.HelloMsg{Role: role, ID: *id})
 	if err != nil {
-		die(err)
+		return err
 	}
 	conn, err := amqp.Dial(assign.Endpoint)
 	if err != nil {
-		die(err)
+		return err
 	}
 	defer conn.Close()
 	ch, err := conn.Channel()
 	if err != nil {
-		die(err)
+		return err
 	}
 	if _, err := ch.QueueDeclare(assign.Queue, true, false, false, false, nil); err != nil {
-		die(err)
+		return err
 	}
 
 	report := sim.ReportMsg{Role: role, ID: *id}
@@ -174,23 +190,23 @@ func runParticipant(args []string, role string) {
 		for seq := 0; seq < assign.Messages; seq++ {
 			body, err := gen.Payload(uint64(seq))
 			if err != nil {
-				die(err)
+				return err
 			}
 			if err := ch.Publish("", assign.Queue, false, false, amqp.Publishing{
 				Timestamp: uint64(time.Now().UnixNano()),
 				Body:      body,
 			}); err != nil {
-				die(err)
+				return err
 			}
 			report.Count++
 		}
 	case "consumer":
 		if err := ch.Qos(8, 0, false); err != nil {
-			die(err)
+			return err
 		}
 		deliveries, err := ch.Consume(assign.Queue, "", false, false, false, false, nil)
 		if err != nil {
-			die(err)
+			return err
 		}
 		for report.Count < int64(assign.Messages) {
 			select {
@@ -211,9 +227,10 @@ func runParticipant(args []string, role string) {
 	}
 done:
 	if err := p.Report(report); err != nil {
-		die(err)
+		return err
 	}
 	fmt.Printf("%s %d: done (%d messages)\n", role, *id, report.Count)
+	return nil
 }
 
 func die(err error) {

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"ds2hpc/internal/sim"
+)
+
+// TestLocalExperiment smoke-tests the `streamsim local` mode end to end: a
+// tiny in-process DTS experiment must deploy, stream, and report cleanly.
+func TestLocalExperiment(t *testing.T) {
+	err := runLocal([]string{
+		"-arch", "DTS", "-workload", "Dstream", "-pattern", "work-sharing",
+		"-producers", "1", "-consumers", "1", "-msgs", "2", "-runs", "1",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLocalBadWorkloadRejected checks flag validation surfaces errors
+// instead of exiting the process.
+func TestLocalBadWorkloadRejected(t *testing.T) {
+	if err := runLocal([]string{"-workload", "no-such-workload"}); err == nil {
+		t.Fatal("unknown workload must be rejected")
+	}
+	if err := runLocal([]string{"-no-such-flag"}); err == nil {
+		t.Fatal("unknown flag must be rejected")
+	}
+}
+
+// TestParticipantRequiresCoordinator checks the distributed roles reject a
+// missing -coord instead of exiting.
+func TestParticipantRequiresCoordinator(t *testing.T) {
+	if err := runParticipant(nil, "producer"); err == nil {
+		t.Fatal("missing -coord must be rejected")
+	}
+}
+
+// TestCoordinatorAggregatesParticipants drives the distributed mode
+// in-process: a coordinator assigns queues to one producer and one
+// consumer running against an rmq-server-equivalent broker.
+func TestCoordinatorAggregatesParticipants(t *testing.T) {
+	endpoint := brokerURL(t)
+	coord, err := sim.NewCoordinator("127.0.0.1:0", 2, func(h sim.HelloMsg) sim.AssignMsg {
+		return sim.AssignMsg{Queue: "ws-q-0", Endpoint: endpoint, Messages: 3}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	errc := make(chan error, 2)
+	go func() { errc <- runParticipant([]string{"-coord", coord.Addr(), "-id", "0"}, "producer") }()
+	go func() { errc <- runParticipant([]string{"-coord", coord.Addr(), "-id", "1"}, "consumer") }()
+
+	res, err := coord.Wait(30 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := <-errc; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if res.Consumed != 3 {
+		t.Fatalf("aggregate consumed = %d, want 3", res.Consumed)
+	}
+}
+
+// brokerURL starts a one-node broker and returns its amqp:// URL.
+func brokerURL(t *testing.T) string {
+	t.Helper()
+	s, err := newTestBroker()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return fmt.Sprintf("amqp://%s/", s.Addr())
+}

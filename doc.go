@@ -5,7 +5,42 @@
 // network-emulation fabric, evaluated with the paper's three workloads and
 // messaging patterns.
 //
-// The root package holds the benchmark harness (bench_test.go), one
-// benchmark per table and figure in the paper's evaluation. The library
-// lives under internal/; runnable entry points under cmd/ and examples/.
+// The root package holds the paper-figure harness: bench_test.go has one
+// benchmark per table and figure in the paper's evaluation, and
+// figures_test.go has a short deterministic Test* counterpart for each
+// scenario so `go test ./...` regression-guards the whole stack.
+//
+// # Module layout
+//
+//	internal/wire       AMQP 0-9-1 framing codec: pooled frame/body
+//	                    buffers, coalescing frame builder, method and
+//	                    content-header encodings
+//	internal/broker     the broker: sharded exchange routing and queue
+//	                    registries, prefetch-aware queues, batched
+//	                    delivery writers and multiple-ack resolution
+//	internal/amqp       client library (connections, channels, confirms)
+//	internal/metrics    experiment metrics (throughput, RTT CDFs) plus
+//	                    the hot-path counter registry
+//	internal/core       architecture deployments (DTS, PRS variants, MSS)
+//	internal/pattern    messaging patterns: work sharing, feedback,
+//	                    broadcast, broadcast-gather
+//	internal/sim        experiment runner and distributed coordinator
+//	internal/fabric     emulated ACE testbed capacities
+//	internal/netem      link shaping (rate, latency)
+//	internal/workload   Table 1 payload generators (Dstream, Lstream,
+//	                    generic)
+//	internal/scistream  SciStream-style control/data proxies
+//	internal/mss        MSS load balancer and S3M control plane
+//	internal/cluster    multi-node broker clusters
+//	cmd/                rmq-server, streamsim, scistream, s3m, expdriver
+//	examples/           runnable end-to-end scenarios
+//
+// # Running the suite
+//
+// Tier-1 verification is `go build ./... && go test ./...`; CI adds -race.
+// Reproduce a paper figure by running its benchmark, e.g.
+//
+//	go test -bench BenchmarkFig4aDstreamWorkSharing -benchmem .
+//
+// See README.md for the figure-to-benchmark map.
 package ds2hpc

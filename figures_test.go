@@ -1,0 +1,293 @@
+// Deterministic test wrappers around the paper-figure benchmark harness.
+// Every Benchmark* scenario in bench_test.go has a short single-iteration
+// Test* counterpart here, so `go test ./...` exercises the full
+// publish→route→deliver plumbing behind each figure (architectures,
+// patterns, workloads, ablation knobs) and guards it against regressions.
+//
+// Budgets are deliberately small — a handful of messages and two consumers
+// per point — so the whole suite stays well under a minute; `-short` trims
+// the architecture sweeps to the DTS baseline.
+package ds2hpc
+
+import (
+	"testing"
+	"time"
+
+	"ds2hpc/internal/core"
+	"ds2hpc/internal/metrics"
+	"ds2hpc/internal/sim"
+	"ds2hpc/internal/workload"
+)
+
+// testMessages is the per-producer message budget of one test data point.
+const testMessages = 4
+
+// testConsumers is the consumer (and, outside broadcast, producer) count.
+const testConsumers = 2
+
+// testExperiment shrinks a benchmark experiment to test size.
+func testExperiment(arch core.ArchitectureName, w workload.Workload, pat sim.PatternName, consumers int) sim.Experiment {
+	exp := baseExperiment(arch, w, pat, consumers)
+	exp.MessagesPerProducer = testMessages
+	exp.Timeout = 30 * time.Second
+	return exp
+}
+
+// testPoint runs one data point, failing the test on error and skipping
+// configurations the architecture cannot run (the paper's missing points).
+func testPoint(t *testing.T, exp sim.Experiment) *metrics.Result {
+	t.Helper()
+	pt, err := sim.Run(exp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.Infeasible {
+		t.Skip("infeasible for this architecture (paper: no data point)")
+	}
+	r := pt.Result
+	if r.Consumed == 0 {
+		t.Fatal("no messages consumed")
+	}
+	if r.Throughput <= 0 {
+		t.Fatal("no throughput recorded")
+	}
+	return r
+}
+
+// shortArchs trims an architecture sweep to its first entry (the DTS
+// baseline) under -short.
+func shortArchs(archs []core.ArchitectureName) []core.ArchitectureName {
+	if testing.Short() {
+		return archs[:1]
+	}
+	return archs
+}
+
+// --------------------------------------------------------------- Table 1
+
+func TestTable1Workloads(t *testing.T) {
+	for _, w := range workload.All {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			gen := workload.NewGenerator(w, 0)
+			for seq := uint64(0); seq < 2; seq++ {
+				body, err := gen.Payload(seq)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := w.Verify(body); err != nil {
+					t.Fatalf("payload %d: %v", seq, err)
+				}
+			}
+		})
+	}
+}
+
+// --------------------------------------------------------------- Figure 4
+
+func testWorkSharing(t *testing.T, w workload.Workload) {
+	for _, arch := range shortArchs(core.AllArchitectures) {
+		arch := arch
+		t.Run(string(arch), func(t *testing.T) {
+			res := testPoint(t, testExperiment(arch, w, sim.PatternWorkSharing, testConsumers))
+			want := int64(testConsumers * testMessages)
+			if res.Consumed != want {
+				t.Fatalf("consumed %d, want %d", res.Consumed, want)
+			}
+		})
+	}
+}
+
+func TestFig4aDstreamWorkSharing(t *testing.T) { testWorkSharing(t, workload.Dstream) }
+
+func TestFig4bLstreamWorkSharing(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Lstream sweep covered by Fig6b in short mode")
+	}
+	testWorkSharing(t, workload.Lstream)
+}
+
+// --------------------------------------------------------------- Figure 5
+
+func TestFig5RTTCDF(t *testing.T) {
+	for _, arch := range shortArchs(fig56Architectures) {
+		arch := arch
+		t.Run(string(arch), func(t *testing.T) {
+			res := testPoint(t, testExperiment(arch, workload.Dstream, sim.PatternFeedback, testConsumers))
+			want := testConsumers * testMessages
+			if len(res.RTTs) != want {
+				t.Fatalf("RTT samples = %d, want %d", len(res.RTTs), want)
+			}
+			cdf := res.CDF(4)
+			if len(cdf) == 0 {
+				t.Fatal("empty CDF")
+			}
+			for i := 1; i < len(cdf); i++ {
+				if cdf[i].P < cdf[i-1].P || cdf[i].RTT < cdf[i-1].RTT {
+					t.Fatalf("CDF not monotonic at %d: %+v", i, cdf)
+				}
+			}
+			if last := cdf[len(cdf)-1].P; last != 1 {
+				t.Fatalf("CDF must end at 1, got %v", last)
+			}
+		})
+	}
+}
+
+// --------------------------------------------------------------- Figure 6
+
+func testFeedback(t *testing.T, w workload.Workload) {
+	for _, arch := range shortArchs(fig56Architectures) {
+		arch := arch
+		t.Run(string(arch), func(t *testing.T) {
+			res := testPoint(t, testExperiment(arch, w, sim.PatternFeedback, testConsumers))
+			if res.MedianRTT() <= 0 {
+				t.Fatal("median RTT must be positive")
+			}
+			if res.PercentileRTT(99) < res.MedianRTT() {
+				t.Fatal("p99 < median")
+			}
+		})
+	}
+}
+
+func TestFig6aDstreamFeedbackRTT(t *testing.T) { testFeedback(t, workload.Dstream) }
+
+func TestFig6bLstreamFeedbackRTT(t *testing.T) { testFeedback(t, workload.Lstream) }
+
+// --------------------------------------------------------------- Figure 7
+
+func TestFig7aBroadcastThroughput(t *testing.T) {
+	for _, arch := range shortArchs(fig78Architectures) {
+		arch := arch
+		t.Run(string(arch), func(t *testing.T) {
+			res := testPoint(t, testExperiment(arch, workload.Generic, sim.PatternBroadcast, testConsumers))
+			// Every consumer receives every broadcast message.
+			want := int64(testConsumers * testMessages)
+			if res.Consumed != want {
+				t.Fatalf("consumed %d, want %d", res.Consumed, want)
+			}
+		})
+	}
+}
+
+func TestFig7bBroadcastGatherRTT(t *testing.T) {
+	for _, arch := range shortArchs(fig78Architectures) {
+		arch := arch
+		t.Run(string(arch), func(t *testing.T) {
+			res := testPoint(t, testExperiment(arch, workload.Generic, sim.PatternBroadcastGather, testConsumers))
+			// One gathered reply (and one RTT sample) per consumer per msg.
+			want := testConsumers * testMessages
+			if len(res.RTTs) != want {
+				t.Fatalf("RTT samples = %d, want %d", len(res.RTTs), want)
+			}
+		})
+	}
+}
+
+// --------------------------------------------------------------- Figure 8
+
+func TestFig8BroadcastGatherCDF(t *testing.T) {
+	res := testPoint(t, testExperiment(core.DTS, workload.Generic, sim.PatternBroadcastGather, testConsumers))
+	if res.FractionUnder(res.PercentileRTT(80)) < 0.75 {
+		t.Fatalf("p80 fraction inconsistent: %v", res.FractionUnder(res.PercentileRTT(80)))
+	}
+}
+
+// --------------------------------------------------------------- ablations
+
+func TestAblationWorkQueues(t *testing.T) {
+	for _, queues := range []int{1, 2} {
+		queues := queues
+		t.Run("queues="+itoa(queues), func(t *testing.T) {
+			exp := testExperiment(core.DTS, workload.Dstream, sim.PatternWorkSharing, testConsumers)
+			exp.WorkQueues = queues
+			res := testPoint(t, exp)
+			if want := int64(testConsumers * testMessages); res.Consumed != want {
+				t.Fatalf("consumed %d, want %d", res.Consumed, want)
+			}
+		})
+	}
+}
+
+func TestAblationAckBatching(t *testing.T) {
+	for _, batch := range []int{1, 4} {
+		batch := batch
+		t.Run("ackbatch="+itoa(batch), func(t *testing.T) {
+			exp := testExperiment(core.DTS, workload.Dstream, sim.PatternWorkSharing, testConsumers)
+			exp.AckBatch = batch
+			exp.Prefetch = 2 * batch
+			res := testPoint(t, exp)
+			if want := int64(testConsumers * testMessages); res.Consumed != want {
+				t.Fatalf("consumed %d, want %d", res.Consumed, want)
+			}
+		})
+	}
+}
+
+func TestAblationPrefetch(t *testing.T) {
+	for _, prefetch := range []int{1, 8} {
+		prefetch := prefetch
+		t.Run("prefetch="+itoa(prefetch), func(t *testing.T) {
+			exp := testExperiment(core.DTS, workload.Dstream, sim.PatternWorkSharing, testConsumers)
+			exp.Prefetch = prefetch
+			testPoint(t, exp)
+		})
+	}
+}
+
+func TestAblationMSSBypass(t *testing.T) {
+	if testing.Short() {
+		t.Skip("MSS deploys are the slowest; skipped under -short")
+	}
+	for _, bypass := range []bool{false, true} {
+		bypass := bypass
+		name := "front-door"
+		if bypass {
+			name = "bypass-lb"
+		}
+		t.Run(name, func(t *testing.T) {
+			exp := testExperiment(core.MSS, workload.Dstream, sim.PatternWorkSharing, testConsumers)
+			exp.Options.BypassLB = bypass
+			testPoint(t, exp)
+		})
+	}
+}
+
+func TestOverheadVsDTS(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross-architecture comparison skipped under -short")
+	}
+	base := testPoint(t, testExperiment(core.DTS, workload.Dstream, sim.PatternWorkSharing, testConsumers))
+	for _, arch := range []core.ArchitectureName{core.PRSHAProxy, core.MSS} {
+		arch := arch
+		t.Run(string(arch), func(t *testing.T) {
+			res := testPoint(t, testExperiment(arch, workload.Dstream, sim.PatternWorkSharing, testConsumers))
+			ov := metrics.Overhead(base.Throughput, res.Throughput)
+			if ov <= 0 {
+				t.Fatalf("overhead %v must be positive", ov)
+			}
+		})
+	}
+}
+
+// TestHotPathCounters locks in that one experiment moves the tentpole's
+// wire/broker instrumentation: buffers recycle through the pool, frame
+// writes coalesce, and deliveries batch.
+func TestHotPathCounters(t *testing.T) {
+	before := metrics.Default.Snapshot()
+	testPoint(t, testExperiment(core.DTS, workload.Dstream, sim.PatternWorkSharing, testConsumers))
+	d := metrics.Delta(before, metrics.Default.Snapshot())
+	if d["wire.bufpool_hits"] == 0 {
+		t.Error("buffer pool recorded no hits")
+	}
+	if d["wire.coalesced_writes"] == 0 {
+		t.Error("no coalesced frame writes recorded")
+	}
+	if d["wire.frames_coalesced"] == 0 {
+		t.Error("no frames coalesced into shared writes")
+	}
+	if d["broker.delivery_batches"] == 0 {
+		t.Error("no delivery batches recorded")
+	}
+}

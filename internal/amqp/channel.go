@@ -190,20 +190,22 @@ func (ch *Channel) onMethod(m wire.Method) {
 
 func (ch *Channel) dispatchConfirm(tag uint64, multiple, ack bool) {
 	ch.mu.Lock()
-	listeners := append([]chan Confirmation(nil), ch.confirms...)
-	var tags []uint64
+	from := tag
 	if multiple {
-		for t := ch.confirmExpect + 1; t <= tag; t++ {
-			tags = append(tags, t)
-		}
-	} else {
-		tags = []uint64{tag}
+		from = ch.confirmExpect + 1
 	}
 	if tag > ch.confirmExpect {
 		ch.confirmExpect = tag
 	}
+	if len(ch.confirms) == 0 {
+		// No listeners registered: nothing to fan out (the common
+		// fire-and-forget publisher), skip the listener-slice copy.
+		ch.mu.Unlock()
+		return
+	}
+	listeners := append([]chan Confirmation(nil), ch.confirms...)
 	ch.mu.Unlock()
-	for _, t := range tags {
+	for t := from; t <= tag; t++ {
 		for _, l := range listeners {
 			l <- Confirmation{DeliveryTag: t, Ack: ack}
 		}

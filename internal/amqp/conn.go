@@ -353,51 +353,40 @@ func (c *Connection) removeChannel(id uint16) {
 }
 
 func (c *Connection) writeFrame(f wire.Frame) error {
+	w := wire.GetWriter()
+	w.AppendRawFrame(f.Type, f.Channel, f.Payload)
 	c.writeMu.Lock()
-	defer c.writeMu.Unlock()
-	return wire.WriteFrame(c.conn, f)
+	err := w.FlushFrames(c.conn, 1)
+	c.writeMu.Unlock()
+	wire.PutWriter(w)
+	return err
 }
 
 func (c *Connection) writeMethod(channel uint16, m wire.Method) error {
-	payload, err := wire.EncodeMethod(m)
-	if err != nil {
+	w := wire.GetWriter()
+	w.AppendMethodFrame(channel, m)
+	if err := w.Err(); err != nil {
+		wire.PutWriter(w)
 		return err
 	}
-	return c.writeFrame(wire.Frame{Type: wire.FrameMethod, Channel: channel, Payload: payload})
+	c.writeMu.Lock()
+	err := w.FlushFrames(c.conn, 1)
+	c.writeMu.Unlock()
+	wire.PutWriter(w)
+	return err
 }
 
-// writeContent writes method+header+body atomically with respect to other
-// writers on this connection.
+// writeContent coalesces a publish's method+header+body frames into one
+// buffered write, atomic with respect to other writers on this connection:
+// one syscall per message instead of one per frame.
 func (c *Connection) writeContent(channel uint16, m wire.Method, props *wire.Properties, body []byte) error {
-	methodPayload, err := wire.EncodeMethod(m)
-	if err != nil {
-		return err
-	}
-	headerPayload, err := wire.EncodeContentHeader(&wire.ContentHeader{
-		ClassID:    wire.ClassBasic,
-		BodySize:   uint64(len(body)),
-		Properties: *props,
-	})
-	if err != nil {
+	w := wire.GetWriter()
+	defer wire.PutWriter(w)
+	frames := w.AppendContentFrames(channel, m, props, body, c.frameMax)
+	if err := w.Err(); err != nil {
 		return err
 	}
 	c.writeMu.Lock()
 	defer c.writeMu.Unlock()
-	if err := wire.WriteFrame(c.conn, wire.Frame{Type: wire.FrameMethod, Channel: channel, Payload: methodPayload}); err != nil {
-		return err
-	}
-	if err := wire.WriteFrame(c.conn, wire.Frame{Type: wire.FrameHeader, Channel: channel, Payload: headerPayload}); err != nil {
-		return err
-	}
-	max := int(c.frameMax)
-	for off := 0; off < len(body); off += max {
-		end := off + max
-		if end > len(body) {
-			end = len(body)
-		}
-		if err := wire.WriteFrame(c.conn, wire.Frame{Type: wire.FrameBody, Channel: channel, Payload: body[off:end]}); err != nil {
-			return err
-		}
-	}
-	return nil
+	return w.FlushFrames(c.conn, frames)
 }

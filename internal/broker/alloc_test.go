@@ -1,0 +1,100 @@
+package broker
+
+import (
+	"testing"
+)
+
+// TestAllocsQueuePublishGet locks in the queue hot path: a steady-state
+// publish→pop cycle reuses the ready ring and allocates nothing.
+func TestAllocsQueuePublishGet(t *testing.T) {
+	q := NewQueue("q", QueueLimits{})
+	msg := &Message{RoutingKey: "q", Body: make([]byte, 2048)}
+	// Warm the ready slice.
+	for i := 0; i < 8; i++ {
+		if err := q.Publish(msg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for {
+		if _, _, ok := q.Get(); !ok {
+			break
+		}
+	}
+	got := testing.AllocsPerRun(200, func() {
+		if err := q.Publish(msg); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, ok := q.Get(); !ok {
+			t.Fatal("queue empty after publish")
+		}
+	})
+	if got > 0 {
+		t.Fatalf("queue publish/get allocates %.1f objects/op, want 0", got)
+	}
+}
+
+// TestAllocsVHostPublish locks in the sharded-routing win: routing a
+// message through the default direct exchange resolves via the per-shard
+// index and pooled scratch, allocating nothing per publish.
+func TestAllocsVHostPublish(t *testing.T) {
+	vh := NewVHost("/")
+	if _, err := vh.DeclareQueue("ws-q-0", false, false, false, nil); err != nil {
+		t.Fatal(err)
+	}
+	q, _ := vh.Queue("ws-q-0")
+	msg := &Message{RoutingKey: "ws-q-0", Body: make([]byte, 2048)}
+	// Warm the route scratch pool and the ready slice.
+	for i := 0; i < 8; i++ {
+		if _, err := vh.Publish("", "ws-q-0", msg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for {
+		if _, _, ok := q.Get(); !ok {
+			break
+		}
+	}
+	got := testing.AllocsPerRun(200, func() {
+		routed, err := vh.Publish("", "ws-q-0", msg)
+		if err != nil || routed != 1 {
+			t.Fatalf("routed=%d err=%v", routed, err)
+		}
+		if _, _, ok := q.Get(); !ok {
+			t.Fatal("queue empty after publish")
+		}
+	})
+	if got > 0 {
+		t.Fatalf("vhost publish allocates %.1f objects/op, want 0", got)
+	}
+}
+
+// TestAllocsConsumerDeliveryCycle bounds the publish→pump→ack cycle with a
+// live consumer: one pooled unacked-entry reuse aside, pushing a message
+// through a consumer's outbox and acknowledging it must not allocate.
+func TestAllocsConsumerDeliveryCycle(t *testing.T) {
+	q := NewQueue("q", QueueLimits{})
+	cons, err := q.AddConsumer("ctag", false, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := &Message{RoutingKey: "q", Body: make([]byte, 2048)}
+	cycle := func() {
+		if err := q.Publish(msg); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case <-cons.outbox:
+		default:
+			t.Fatal("no delivery pumped")
+		}
+		q.DeliveryDoneN(cons, 1)
+		q.AckN(cons, 1)
+	}
+	for i := 0; i < 8; i++ {
+		cycle() // warm-up
+	}
+	got := testing.AllocsPerRun(200, cycle)
+	if got > 0 {
+		t.Fatalf("delivery cycle allocates %.1f objects/op, want 0", got)
+	}
+}

@@ -3,8 +3,10 @@ package broker
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 
+	"ds2hpc/internal/metrics"
 	"ds2hpc/internal/wire"
 )
 
@@ -40,6 +42,22 @@ type unackedEntry struct {
 	msg   *Message
 }
 
+// unackedPool recycles unacked-delivery entries; an entry is owned by
+// exactly one map slot, so whoever deletes it (ack/nack/teardown) releases
+// it once resolved.
+var unackedPool = sync.Pool{New: func() any { return new(unackedEntry) }}
+
+func newUnacked(q *Queue, c *consumer, m *Message) *unackedEntry {
+	ua := unackedPool.Get().(*unackedEntry)
+	ua.queue, ua.cons, ua.msg = q, c, m
+	return ua
+}
+
+func releaseUnacked(ua *unackedEntry) {
+	*ua = unackedEntry{}
+	unackedPool.Put(ua)
+}
+
 // pendingPublish accumulates a basic.publish across method/header/body.
 type pendingPublish struct {
 	method *wire.BasicPublish
@@ -47,6 +65,10 @@ type pendingPublish struct {
 	body   []byte
 	seq    uint64
 }
+
+// pendingPool recycles publish-assembly state across messages; the body
+// slice is not reused (its ownership moves into the routed Message).
+var pendingPool = sync.Pool{New: func() any { return new(pendingPublish) }}
 
 func newSrvChannel(sc *srvConn, id uint16) *srvChannel {
 	return &srvChannel{
@@ -80,6 +102,7 @@ func (ch *srvChannel) teardown() {
 			ua.queue.Release(ua.cons)
 		}
 		ua.queue.Requeue(ua.msg)
+		releaseUnacked(ua)
 	}
 }
 
@@ -222,13 +245,14 @@ func (ch *srvChannel) onMethod(m wire.Method) error {
 		}
 		return ch.conn.writeMethod(ch.id, &wire.BasicCancelOk{ConsumerTag: x.ConsumerTag})
 	case *wire.BasicPublish:
+		p := pendingPool.Get().(*pendingPublish)
+		p.method, p.header, p.body, p.seq = x, nil, nil, 0
 		ch.mu.Lock()
-		var seq uint64
 		if ch.confirm {
 			ch.publishSeq++
-			seq = ch.publishSeq
+			p.seq = ch.publishSeq
 		}
-		ch.pending = &pendingPublish{method: x, seq: seq}
+		ch.pending = p
 		ch.mu.Unlock()
 		return nil
 	case *wire.BasicGet:
@@ -289,7 +313,16 @@ func (ch *srvChannel) basicConsume(x *wire.BasicConsume) error {
 	return ch.conn.writeMethod(ch.id, &wire.BasicConsumeOk{ConsumerTag: tag})
 }
 
+// maxDeliveryBatch caps how many queued deliveries one writer drains into a
+// single coalesced write (and one queue-lock round-trip of completions).
+const maxDeliveryBatch = 16
+
+// consumerWriter serializes one consumer's deliveries to the wire. It
+// drains whatever has accumulated in the outbox (up to maxDeliveryBatch)
+// and emits the whole batch with one flush, instead of one write — and one
+// queue-lock acquisition — per message.
 func (ch *srvChannel) consumerWriter(ce *consumerEntry) {
+	var batch []*Message
 	for {
 		select {
 		case <-ce.cons.closed:
@@ -303,40 +336,60 @@ func (ch *srvChannel) consumerWriter(ce *consumerEntry) {
 				}
 			}
 		case d := <-ce.cons.outbox:
-			ch.sendDeliver(ce, d.msg)
-			ce.queue.DeliveryDone(ce.cons)
+			batch = append(batch[:0], d.msg)
+			for len(batch) < maxDeliveryBatch {
+				select {
+				case more := <-ce.cons.outbox:
+					batch = append(batch, more.msg)
+				default:
+					goto full
+				}
+			}
+		full:
+			ch.sendDeliverBatch(ce, batch)
+			ce.queue.DeliveryDoneN(ce.cons, len(batch))
 		}
 	}
 }
 
-func (ch *srvChannel) sendDeliver(ce *consumerEntry, msg *Message) {
+var (
+	deliveryBatches   = metrics.Default.Counter("broker.delivery_batches")
+	deliveriesBatched = metrics.Default.Counter("broker.deliveries_batched")
+)
+
+// sendDeliverBatch assigns delivery tags to a batch of messages under one
+// channel-lock hold and writes all their frames as one coalesced batch.
+// Redelivered flags are captured under the lock: the moment an unacked
+// entry exists, a concurrent teardown may requeue the message and flip the
+// flag while the frames are still being serialized.
+func (ch *srvChannel) sendDeliverBatch(ce *consumerEntry, msgs []*Message) {
+	var tags [maxDeliveryBatch]uint64
+	var redeliv [maxDeliveryBatch]bool
 	ch.mu.Lock()
 	if ch.closed {
 		ch.mu.Unlock()
-		ce.queue.Requeue(msg)
+		ce.queue.RequeueAll(msgs)
 		return
 	}
-	ch.deliveryTag++
-	tag := ch.deliveryTag
-	if !ce.noAck {
-		ch.unacked[tag] = &unackedEntry{queue: ce.queue, cons: ce.cons, msg: msg}
+	for i, msg := range msgs {
+		ch.deliveryTag++
+		tags[i] = ch.deliveryTag
+		redeliv[i] = msg.Redelivered
+		if !ce.noAck {
+			ch.unacked[tags[i]] = newUnacked(ce.queue, ce.cons, msg)
+		}
 	}
 	ch.mu.Unlock()
 
-	err := ch.conn.writeContent(ch.id, &wire.BasicDeliver{
-		ConsumerTag: ce.tag,
-		DeliveryTag: tag,
-		Redelivered: msg.Redelivered,
-		Exchange:    msg.Exchange,
-		RoutingKey:  msg.RoutingKey,
-	}, &msg.Props, msg.Body)
-	if err != nil {
+	deliveryBatches.Inc()
+	deliveriesBatched.Add(uint64(len(msgs)))
+	if err := ch.conn.writeDeliveries(ch.id, ce.tag, msgs, tags[:len(msgs)], redeliv[:len(msgs)]); err != nil {
 		// Connection is going away; teardown will requeue unacked.
 		return
 	}
 	if ce.noAck {
-		// noAck consumers complete the delivery immediately.
-		ce.queue.Ack(ce.cons)
+		// noAck consumers complete their deliveries immediately.
+		ce.queue.AckN(ce.cons, len(msgs))
 	}
 }
 
@@ -353,55 +406,151 @@ func (ch *srvChannel) basicGet(x *wire.BasicGet) error {
 	ch.mu.Lock()
 	ch.deliveryTag++
 	tag := ch.deliveryTag
+	// Capture before the unacked entry exists; once it does, a concurrent
+	// teardown may requeue the message and flip the flag mid-write.
+	redelivered := msg.Redelivered
 	if !x.NoAck {
-		ch.unacked[tag] = &unackedEntry{queue: q, msg: msg}
+		ch.unacked[tag] = newUnacked(q, nil, msg)
 	}
 	ch.mu.Unlock()
 	return ch.conn.writeContent(ch.id, &wire.BasicGetOk{
 		DeliveryTag:  tag,
-		Redelivered:  msg.Redelivered,
+		Redelivered:  redelivered,
 		Exchange:     msg.Exchange,
 		RoutingKey:   msg.RoutingKey,
 		MessageCount: uint32(remaining),
 	}, &msg.Props, msg.Body)
 }
 
+var (
+	ackBatches  = metrics.Default.Counter("broker.ack_batches")
+	acksBatched = metrics.Default.Counter("broker.acks_batched")
+)
+
+// ackGroup accumulates the resolutions of a multiple-ack that target the
+// same queue and consumer, so credit is restored (and the queue re-pumped)
+// in one lock acquisition per group instead of one per message.
+type ackGroup struct {
+	queue *Queue
+	cons  *consumer
+	n     int        // deliveries resolved for cons
+	msgs  []*Message // messages to requeue, in delivery-tag order
+}
+
 // basicAck resolves unacked deliveries. ack=true acknowledges; ack=false
 // with requeue returns messages to their queues; ack=false without requeue
-// discards them (dead-lettering is out of scope).
+// discards them (dead-lettering is out of scope). Multiple-ack paths batch
+// per-queue work: one credit restore and one pump per (queue, consumer).
 func (ch *srvChannel) basicAck(tag uint64, multiple, ack, requeue bool) error {
-	ch.mu.Lock()
-	var entries []*unackedEntry
-	if multiple {
-		for t, ua := range ch.unacked {
-			if t <= tag || tag == 0 {
-				entries = append(entries, ua)
-				delete(ch.unacked, t)
-			}
-		}
-	} else if ua, ok := ch.unacked[tag]; ok {
-		entries = append(entries, ua)
+	if !multiple {
+		// Fast path: a single-tag resolution needs no batching machinery
+		// (and no slice allocations).
+		ch.mu.Lock()
+		ua, ok := ch.unacked[tag]
 		delete(ch.unacked, tag)
+		ch.mu.Unlock()
+		if !ok {
+			return nil
+		}
+		ch.resolveEntry(ua, ack, requeue)
+		releaseUnacked(ua)
+		return nil
+	}
+	ch.mu.Lock()
+	var tags []uint64
+	var entries []*unackedEntry
+	for t, ua := range ch.unacked {
+		if t <= tag || tag == 0 {
+			tags = append(tags, t)
+			entries = append(entries, ua)
+			delete(ch.unacked, t)
+		}
 	}
 	ch.mu.Unlock()
+	if len(entries) == 0 {
+		return nil
+	}
+	if len(entries) == 1 {
+		ch.resolveEntry(entries[0], ack, requeue)
+		releaseUnacked(entries[0])
+		return nil
+	}
+	// Resolve in delivery-tag order so batch requeues restore queue order.
+	sort.Sort(byTag{tags, entries})
+	ackBatches.Inc()
+	acksBatched.Add(uint64(len(entries)))
+
+	var groups []ackGroup
 	for _, ua := range entries {
+		var g *ackGroup
+		for i := range groups {
+			if groups[i].queue == ua.queue && groups[i].cons == ua.cons {
+				g = &groups[i]
+				break
+			}
+		}
+		if g == nil {
+			groups = append(groups, ackGroup{queue: ua.queue, cons: ua.cons})
+			g = &groups[len(groups)-1]
+		}
+		if ua.cons != nil {
+			g.n++
+		}
+		if !ack && requeue {
+			g.msgs = append(g.msgs, ua.msg)
+		}
+	}
+	for i := range groups {
+		g := &groups[i]
 		switch {
 		case ack:
-			if ua.cons != nil {
-				ua.queue.Ack(ua.cons)
+			if g.cons != nil {
+				g.queue.AckN(g.cons, g.n)
 			}
 		case requeue:
-			if ua.cons != nil {
-				ua.queue.Release(ua.cons)
+			if g.cons != nil {
+				g.queue.ReleaseN(g.cons, g.n)
 			}
-			ua.queue.Requeue(ua.msg)
+			g.queue.RequeueAll(g.msgs)
 		default:
-			if ua.cons != nil {
-				ua.queue.Release(ua.cons)
+			if g.cons != nil {
+				g.queue.ReleaseN(g.cons, g.n)
 			}
 		}
 	}
 	return nil
+}
+
+// resolveEntry applies a single delivery resolution (the non-batched path).
+func (ch *srvChannel) resolveEntry(ua *unackedEntry, ack, requeue bool) {
+	switch {
+	case ack:
+		if ua.cons != nil {
+			ua.queue.Ack(ua.cons)
+		}
+	case requeue:
+		if ua.cons != nil {
+			ua.queue.Release(ua.cons)
+		}
+		ua.queue.Requeue(ua.msg)
+	default:
+		if ua.cons != nil {
+			ua.queue.Release(ua.cons)
+		}
+	}
+}
+
+// byTag sorts parallel tag/entry slices by delivery tag.
+type byTag struct {
+	tags    []uint64
+	entries []*unackedEntry
+}
+
+func (s byTag) Len() int           { return len(s.tags) }
+func (s byTag) Less(i, j int) bool { return s.tags[i] < s.tags[j] }
+func (s byTag) Swap(i, j int) {
+	s.tags[i], s.tags[j] = s.tags[j], s.tags[i]
+	s.entries[i], s.entries[j] = s.entries[j], s.entries[i]
 }
 
 // onHeader receives the content header of an in-flight publish.
@@ -445,6 +594,10 @@ func (ch *srvChannel) onBody(b []byte) error {
 }
 
 func (ch *srvChannel) completePublish(p *pendingPublish) error {
+	defer func() {
+		*p = pendingPublish{}
+		pendingPool.Put(p)
+	}()
 	ch.conn.srv.Stats.MessagesIn.Add(1)
 	ch.conn.srv.Stats.BytesIn.Add(uint64(len(p.body)))
 	msg := &Message{

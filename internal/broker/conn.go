@@ -249,56 +249,96 @@ func (sc *srvConn) removeChannel(id uint16) {
 	sc.chMu.Unlock()
 }
 
-// writeFrame serializes a frame onto the wire.
+// writeFrame serializes a frame onto the wire with a single write.
 func (sc *srvConn) writeFrame(f wire.Frame) error {
+	w := wire.GetWriter()
+	w.AppendRawFrame(f.Type, f.Channel, f.Payload)
 	sc.writeMu.Lock()
-	defer sc.writeMu.Unlock()
-	return wire.WriteFrame(sc.c, f)
+	err := w.FlushFrames(sc.c, 1)
+	sc.writeMu.Unlock()
+	wire.PutWriter(w)
+	return err
 }
 
-// writeMethod encodes and writes a method frame.
+// writeMethod encodes and writes a method frame with a single write.
 func (sc *srvConn) writeMethod(channel uint16, m wire.Method) error {
-	payload, err := wire.EncodeMethod(m)
-	if err != nil {
-		return err
-	}
-	return sc.writeFrame(wire.Frame{Type: wire.FrameMethod, Channel: channel, Payload: payload})
-}
-
-// writeContent writes method + header + body frames as one atomic sequence
-// so frames from concurrent deliveries never interleave within a message.
-func (sc *srvConn) writeContent(channel uint16, m wire.Method, props *wire.Properties, body []byte) error {
-	methodPayload, err := wire.EncodeMethod(m)
-	if err != nil {
-		return err
-	}
-	headerPayload, err := wire.EncodeContentHeader(&wire.ContentHeader{
-		ClassID:    wire.ClassBasic,
-		BodySize:   uint64(len(body)),
-		Properties: *props,
-	})
-	if err != nil {
+	w := wire.GetWriter()
+	w.AppendMethodFrame(channel, m)
+	if err := w.Err(); err != nil {
+		wire.PutWriter(w)
 		return err
 	}
 	sc.writeMu.Lock()
-	defer sc.writeMu.Unlock()
-	if err := wire.WriteFrame(sc.c, wire.Frame{Type: wire.FrameMethod, Channel: channel, Payload: methodPayload}); err != nil {
+	err := w.FlushFrames(sc.c, 1)
+	sc.writeMu.Unlock()
+	wire.PutWriter(w)
+	return err
+}
+
+// writeContent coalesces the method + header + body frame triplet of one
+// message into a single write, so frames from concurrent deliveries never
+// interleave within a message and each message costs one syscall.
+func (sc *srvConn) writeContent(channel uint16, m wire.Method, props *wire.Properties, body []byte) error {
+	w := wire.GetWriter()
+	defer wire.PutWriter(w)
+	frames := w.AppendContentFrames(channel, m, props, body, sc.frameMax)
+	if err := w.Err(); err != nil {
 		return err
 	}
-	if err := wire.WriteFrame(sc.c, wire.Frame{Type: wire.FrameHeader, Channel: channel, Payload: headerPayload}); err != nil {
+	sc.writeMu.Lock()
+	err := w.FlushFrames(sc.c, frames)
+	sc.writeMu.Unlock()
+	if err != nil {
 		return err
-	}
-	max := int(sc.frameMax)
-	for off := 0; off < len(body); off += max {
-		end := off + max
-		if end > len(body) {
-			end = len(body)
-		}
-		if err := wire.WriteFrame(sc.c, wire.Frame{Type: wire.FrameBody, Channel: channel, Payload: body[off:end]}); err != nil {
-			return err
-		}
 	}
 	sc.srv.Stats.MessagesOut.Add(1)
 	sc.srv.Stats.BytesOut.Add(uint64(len(body)))
+	return nil
+}
+
+// deliveryFlushBytes bounds how many coalesced bytes accumulate across
+// messages before the batch writer flushes mid-batch. Together with one
+// maximum-size message it stays under the pooled-writer retention cap, so
+// batches of large bodies keep recycling their writers (a single body far
+// beyond frameMax can still overshoot; such writers are dropped for GC).
+const deliveryFlushBytes = 256 * 1024
+
+// writeDeliveries emits one basic.deliver frame triplet per message as a
+// single batched write (flushing early if the batch outgrows the pooled
+// buffer classes). All frames are written under one writer-lock hold, so
+// the batch stays atomic with respect to other writers on this connection.
+func (sc *srvConn) writeDeliveries(channel uint16, consumerTag string, msgs []*Message, tags []uint64, redelivered []bool) error {
+	w := wire.GetWriter()
+	defer wire.PutWriter(w)
+	sc.writeMu.Lock()
+	defer sc.writeMu.Unlock()
+	frames := 0
+	var bytesOut uint64
+	deliver := wire.BasicDeliver{ConsumerTag: consumerTag}
+	for i, msg := range msgs {
+		deliver.DeliveryTag = tags[i]
+		deliver.Redelivered = redelivered[i]
+		deliver.Exchange = msg.Exchange
+		deliver.RoutingKey = msg.RoutingKey
+		frames += w.AppendContentFrames(channel, &deliver, &msg.Props, msg.Body, sc.frameMax)
+		bytesOut += uint64(len(msg.Body))
+		if w.Len() >= deliveryFlushBytes {
+			if err := w.Err(); err != nil {
+				return err
+			}
+			if err := w.FlushFrames(sc.c, frames); err != nil {
+				return err
+			}
+			frames = 0
+		}
+	}
+	if err := w.Err(); err != nil {
+		return err
+	}
+	if err := w.FlushFrames(sc.c, frames); err != nil {
+		return err
+	}
+	sc.srv.Stats.MessagesOut.Add(uint64(len(msgs)))
+	sc.srv.Stats.BytesOut.Add(bytesOut)
 	return nil
 }

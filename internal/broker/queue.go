@@ -181,8 +181,27 @@ func (q *Queue) Purge() int {
 func (q *Queue) Requeue(m *Message) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
+	q.requeueLocked(m)
+	q.pumpLocked()
+}
+
+// RequeueAll returns a batch of messages to the head of the queue in one
+// lock acquisition, preserving their order (msgs[0] ends up at the head).
+func (q *Queue) RequeueAll(msgs []*Message) {
+	if len(msgs) == 0 {
+		return
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for i := len(msgs) - 1; i >= 0; i-- {
+		q.requeueLocked(msgs[i])
+	}
+	q.pumpLocked()
+}
+
+// requeueLocked inserts m at the head (caller holds q.mu).
+func (q *Queue) requeueLocked(m *Message) {
 	m.Redelivered = true
-	// Insert at the head.
 	if q.headIdx > 0 {
 		q.headIdx--
 		q.ready[q.headIdx] = m
@@ -194,7 +213,6 @@ func (q *Queue) Requeue(m *Message) {
 		q.onBytes(m.size())
 	}
 	q.stats.Requeued++
-	q.pumpLocked()
 }
 
 // AddConsumer registers a consumer with the given prefetch limit (0 means
@@ -240,30 +258,48 @@ func (q *Queue) RemoveConsumer(c *consumer) {
 }
 
 // Ack returns one prefetch slot to the consumer and pumps the queue.
-func (q *Queue) Ack(c *consumer) {
+func (q *Queue) Ack(c *consumer) { q.AckN(c, 1) }
+
+// AckN acknowledges n deliveries for consumer c, restoring n prefetch slots
+// and re-pumping in a single lock acquisition (multiple-ack batching).
+func (q *Queue) AckN(c *consumer, n int) {
+	if n <= 0 {
+		return
+	}
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if c.credit != creditUnlimited {
-		c.credit++
+		c.credit += n
 	}
-	q.stats.Acked++
+	q.stats.Acked += uint64(n)
 	q.pumpLocked()
 }
 
 // Release returns one prefetch slot without counting an acknowledgement
 // (nack/reject paths and channel teardown).
-func (q *Queue) Release(c *consumer) {
+func (q *Queue) Release(c *consumer) { q.ReleaseN(c, 1) }
+
+// ReleaseN returns n prefetch slots without counting acknowledgements, in a
+// single lock acquisition.
+func (q *Queue) ReleaseN(c *consumer, n int) {
+	if n <= 0 {
+		return
+	}
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if c.credit != creditUnlimited {
-		c.credit++
+		c.credit += n
 	}
 	q.pumpLocked()
 }
 
 // DeliveryDone signals that a consumer's writer drained one delivery from
 // its outbox, freeing buffer room; the queue may be able to push more.
-func (q *Queue) DeliveryDone(c *consumer) {
+func (q *Queue) DeliveryDone(c *consumer) { q.DeliveryDoneN(c, 1) }
+
+// DeliveryDoneN signals that a consumer's writer drained n deliveries from
+// its outbox, re-pumping once for the whole batch.
+func (q *Queue) DeliveryDoneN(c *consumer, n int) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	q.pumpLocked()

@@ -16,6 +16,22 @@ var (
 	ErrMemoryAlarm        = errors.New("broker: memory high watermark reached")
 )
 
+// registryShards spreads a vhost's exchange and queue registries across
+// independently locked shards so concurrent publishers and declarers on
+// different names do not contend on a single vhost-wide lock. Must be a
+// power of two.
+const registryShards = 16
+
+type exchangeShard struct {
+	mu sync.RWMutex
+	m  map[string]*Exchange
+}
+
+type queueShard struct {
+	mu sync.RWMutex
+	m  map[string]*Queue
+}
+
 // VHost is an isolated namespace of exchanges and queues. The paper's
 // deployments use a single vhost per broker; multiple vhosts let several
 // users share one MSS-provisioned service.
@@ -28,26 +44,45 @@ type VHost struct {
 	// payload queues.
 	MemoryLimit int64
 
-	mu        sync.RWMutex
-	exchanges map[string]*Exchange
-	queues    map[string]*Queue
+	exchanges [registryShards]exchangeShard
+	queues    [registryShards]queueShard
 
+	anonSeq    atomic.Uint64
 	totalBytes atomic.Int64
+}
+
+func registryShardIdx(name string) uint32 {
+	return fnvHash(name) & (registryShards - 1)
+}
+
+func (vh *VHost) exchangeShard(name string) *exchangeShard {
+	return &vh.exchanges[registryShardIdx(name)]
+}
+
+func (vh *VHost) queueShard(name string) *queueShard {
+	return &vh.queues[registryShardIdx(name)]
 }
 
 // NewVHost creates a vhost containing the default exchanges.
 func NewVHost(name string) *VHost {
-	vh := &VHost{
-		Name:      name,
-		exchanges: map[string]*Exchange{},
-		queues:    map[string]*Queue{},
+	vh := &VHost{Name: name}
+	for i := range vh.exchanges {
+		vh.exchanges[i].m = map[string]*Exchange{}
+	}
+	for i := range vh.queues {
+		vh.queues[i].m = map[string]*Queue{}
 	}
 	// Default (nameless direct) exchange plus the standard pre-declared
 	// exchanges clients expect.
-	vh.exchanges[""] = NewExchange("", KindDirect)
-	vh.exchanges["amq.direct"] = NewExchange("amq.direct", KindDirect)
-	vh.exchanges["amq.fanout"] = NewExchange("amq.fanout", KindFanout)
-	vh.exchanges["amq.topic"] = NewExchange("amq.topic", KindTopic)
+	for _, e := range []*Exchange{
+		NewExchange("", KindDirect),
+		NewExchange("amq.direct", KindDirect),
+		NewExchange("amq.fanout", KindFanout),
+		NewExchange("amq.topic", KindTopic),
+	} {
+		s := vh.exchangeShard(e.Name)
+		s.m[e.Name] = e
+	}
 	return vh
 }
 
@@ -56,9 +91,10 @@ func (vh *VHost) TotalBytes() int64 { return vh.totalBytes.Load() }
 
 // DeclareExchange creates (or verifies, if passive) an exchange.
 func (vh *VHost) DeclareExchange(name, kind string, passive bool) (*Exchange, error) {
-	vh.mu.Lock()
-	defer vh.mu.Unlock()
-	if e, ok := vh.exchanges[name]; ok {
+	s := vh.exchangeShard(name)
+	lockShard(&s.mu)
+	defer s.mu.Unlock()
+	if e, ok := s.m[name]; ok {
 		if e.Kind != kind && !passive {
 			return nil, fmt.Errorf("%w: exchange %q exists with kind %q", ErrPreconditionFailed, name, e.Kind)
 		}
@@ -73,23 +109,25 @@ func (vh *VHost) DeclareExchange(name, kind string, passive bool) (*Exchange, er
 		return nil, fmt.Errorf("%w: unknown exchange kind %q", ErrPreconditionFailed, kind)
 	}
 	e := NewExchange(name, kind)
-	vh.exchanges[name] = e
+	s.m[name] = e
 	return e, nil
 }
 
 // Exchange looks up an exchange.
 func (vh *VHost) Exchange(name string) (*Exchange, bool) {
-	vh.mu.RLock()
-	defer vh.mu.RUnlock()
-	e, ok := vh.exchanges[name]
+	s := vh.exchangeShard(name)
+	rlockShard(&s.mu)
+	e, ok := s.m[name]
+	s.mu.RUnlock()
 	return e, ok
 }
 
 // DeleteExchange removes an exchange.
 func (vh *VHost) DeleteExchange(name string, ifUnused bool) error {
-	vh.mu.Lock()
-	defer vh.mu.Unlock()
-	e, ok := vh.exchanges[name]
+	s := vh.exchangeShard(name)
+	lockShard(&s.mu)
+	defer s.mu.Unlock()
+	e, ok := s.m[name]
 	if !ok {
 		return fmt.Errorf("%w: exchange %q", ErrNotFound, name)
 	}
@@ -99,7 +137,7 @@ func (vh *VHost) DeleteExchange(name string, ifUnused bool) error {
 	if name == "" {
 		return fmt.Errorf("%w: cannot delete default exchange", ErrPreconditionFailed)
 	}
-	delete(vh.exchanges, name)
+	delete(s.m, name)
 	return nil
 }
 
@@ -107,18 +145,22 @@ func (vh *VHost) DeleteExchange(name string, ifUnused bool) error {
 // are generated. The default-exchange binding (queue name as routing key)
 // is implicit via Route on the default exchange.
 func (vh *VHost) DeclareQueue(name string, exclusive, autoDelete, passive bool, args wire.Table) (*Queue, error) {
-	vh.mu.Lock()
-	defer vh.mu.Unlock()
 	if name == "" {
-		name = fmt.Sprintf("amq.gen-%d", len(vh.queues)+1)
-		for vh.queues[name] != nil {
-			name += "x"
+		for {
+			name = fmt.Sprintf("amq.gen-%d", vh.anonSeq.Add(1))
+			if _, taken := vh.Queue(name); !taken {
+				break
+			}
 		}
 	}
-	if q, ok := vh.queues[name]; ok {
+	s := vh.queueShard(name)
+	lockShard(&s.mu)
+	if q, ok := s.m[name]; ok {
+		s.mu.Unlock()
 		return q, nil
 	}
 	if passive {
+		s.mu.Unlock()
 		return nil, fmt.Errorf("%w: queue %q", ErrNotFound, name)
 	}
 	limits := QueueLimits{
@@ -130,59 +172,83 @@ func (vh *VHost) DeclareQueue(name string, exclusive, autoDelete, passive bool, 
 	q.Exclusive = exclusive
 	q.AutoDelete = autoDelete
 	q.onBytes = func(d int64) { vh.totalBytes.Add(d) }
-	vh.queues[name] = q
-	// Implicit default-exchange binding.
-	vh.exchanges[""].Bind(q, name)
+	s.m[name] = q
+	// Implicit default-exchange binding, under the registry shard lock so
+	// a concurrent DeleteQueue cannot slip between insert and bind and
+	// leave a dangling binding to a deleted queue. Lock order (queue
+	// shard → exchange shard → binding shard) matches DeleteQueue, which
+	// releases the registry lock before unbinding.
+	if def, ok := vh.Exchange(""); ok {
+		def.Bind(q, name)
+	}
+	s.mu.Unlock()
 	return q, nil
 }
 
 // Queue looks up a queue by name.
 func (vh *VHost) Queue(name string) (*Queue, bool) {
-	vh.mu.RLock()
-	defer vh.mu.RUnlock()
-	q, ok := vh.queues[name]
+	s := vh.queueShard(name)
+	rlockShard(&s.mu)
+	q, ok := s.m[name]
+	s.mu.RUnlock()
 	return q, ok
 }
 
 // DeleteQueue removes a queue and all its bindings, returning the purged
 // message count.
 func (vh *VHost) DeleteQueue(name string, ifUnused, ifEmpty bool) (int, error) {
-	vh.mu.Lock()
-	defer vh.mu.Unlock()
-	q, ok := vh.queues[name]
+	s := vh.queueShard(name)
+	lockShard(&s.mu)
+	q, ok := s.m[name]
 	if !ok {
+		s.mu.Unlock()
 		return 0, fmt.Errorf("%w: queue %q", ErrNotFound, name)
 	}
 	if ifUnused && q.ConsumerCount() > 0 {
+		s.mu.Unlock()
 		return 0, fmt.Errorf("%w: queue %q has consumers", ErrPreconditionFailed, name)
 	}
 	if ifEmpty && q.Len() > 0 {
+		s.mu.Unlock()
 		return 0, fmt.Errorf("%w: queue %q not empty", ErrPreconditionFailed, name)
 	}
 	n := q.Len()
-	delete(vh.queues, name)
-	for _, e := range vh.exchanges {
-		e.UnbindQueue(q)
+	delete(s.m, name)
+	s.mu.Unlock()
+	for i := range vh.exchanges {
+		es := &vh.exchanges[i]
+		rlockShard(&es.mu)
+		exchanges := make([]*Exchange, 0, len(es.m))
+		for _, e := range es.m {
+			exchanges = append(exchanges, e)
+		}
+		es.mu.RUnlock()
+		for _, e := range exchanges {
+			e.UnbindQueue(q)
+		}
 	}
 	q.markDeleted()
 	return n, nil
 }
+
+// routeScratch pools the per-publish queue slice so steady-state routing
+// does not allocate.
+var routeScratch = sync.Pool{New: func() any { return new([]*Queue) }}
 
 // Publish routes a message through an exchange into zero or more queues.
 // It returns the number of queues the message reached. With a reject-publish
 // queue at capacity or the vhost memory alarm raised, the error reports the
 // rejection so confirm mode can nack the publisher.
 func (vh *VHost) Publish(exchange, routingKey string, m *Message) (int, error) {
-	vh.mu.RLock()
-	e, ok := vh.exchanges[exchange]
-	vh.mu.RUnlock()
+	e, ok := vh.Exchange(exchange)
 	if !ok {
 		return 0, fmt.Errorf("%w: exchange %q", ErrNotFound, exchange)
 	}
 	if vh.MemoryLimit > 0 && vh.totalBytes.Load() >= vh.MemoryLimit {
 		return 0, ErrMemoryAlarm
 	}
-	queues := e.Route(routingKey)
+	sp := routeScratch.Get().(*[]*Queue)
+	queues := e.routeAppend(routingKey, (*sp)[:0])
 	routed := 0
 	var rejectErr error
 	for _, q := range queues {
@@ -199,6 +265,11 @@ func (vh *VHost) Publish(exchange, routingKey string, m *Message) (int, error) {
 		}
 		routed++
 	}
+	for i := range queues {
+		queues[i] = nil // do not pin queues in the pool
+	}
+	*sp = queues[:0]
+	routeScratch.Put(sp)
 	if rejectErr != nil && routed == 0 {
 		return 0, rejectErr
 	}
@@ -207,11 +278,14 @@ func (vh *VHost) Publish(exchange, routingKey string, m *Message) (int, error) {
 
 // QueueNames returns the declared queue names (stable order not guaranteed).
 func (vh *VHost) QueueNames() []string {
-	vh.mu.RLock()
-	defer vh.mu.RUnlock()
-	out := make([]string, 0, len(vh.queues))
-	for n := range vh.queues {
-		out = append(out, n)
+	var out []string
+	for i := range vh.queues {
+		s := &vh.queues[i]
+		rlockShard(&s.mu)
+		for n := range s.m {
+			out = append(out, n)
+		}
+		s.mu.RUnlock()
 	}
 	return out
 }

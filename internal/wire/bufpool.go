@@ -1,0 +1,108 @@
+package wire
+
+import (
+	"sync"
+
+	"ds2hpc/internal/metrics"
+)
+
+// Buffer pooling for the streaming hot path. Every frame read and every
+// coalesced frame write works out of a size-classed sync.Pool so that
+// steady-state publish/deliver traffic with payloads under a pooled size
+// class performs zero per-message heap allocations in the codec.
+//
+// Pool effectiveness is observable through the metrics registry:
+//
+//	wire.bufpool_hits    buffer requests served from a pool
+//	wire.bufpool_misses  requests allocating fresh (cold pool or oversize)
+
+var (
+	bufPoolHits   = metrics.Default.Counter("wire.bufpool_hits")
+	bufPoolMisses = metrics.Default.Counter("wire.bufpool_misses")
+)
+
+// bufClassSizes are the pooled capacity classes, smallest first. The top
+// class covers a full default-size frame plus framing overhead; larger
+// requests fall through to plain allocation.
+var bufClassSizes = [...]int{1 << 10, 1 << 13, 1 << 16, DefaultFrameMax + 4096}
+
+var bufPools [len(bufClassSizes)]sync.Pool
+
+// bufClass returns the index of the smallest class with capacity >= n, or
+// -1 when n exceeds every class.
+func bufClass(n int) int {
+	for i, size := range bufClassSizes {
+		if n <= size {
+			return i
+		}
+	}
+	return -1
+}
+
+// getBuf returns a pointer to a zero-length buffer with capacity at least n.
+// The pointer (not the slice) is what cycles through the pool so that
+// recycling does not re-box the slice header on every put.
+func getBuf(n int) *[]byte {
+	class := bufClass(n)
+	if class < 0 {
+		bufPoolMisses.Inc()
+		b := make([]byte, 0, n)
+		return &b
+	}
+	if p, ok := bufPools[class].Get().(*[]byte); ok {
+		bufPoolHits.Inc()
+		*p = (*p)[:0]
+		return p
+	}
+	bufPoolMisses.Inc()
+	b := make([]byte, 0, bufClassSizes[class])
+	return &b
+}
+
+// putBuf recycles a buffer obtained from getBuf. Buffers that outgrew every
+// class (or were allocated oversize) are dropped for the GC.
+func putBuf(p *[]byte) {
+	if p == nil {
+		return
+	}
+	class := -1
+	for i, size := range bufClassSizes {
+		if cap(*p) == size {
+			class = i
+			break
+		}
+	}
+	if class < 0 {
+		return
+	}
+	bufPools[class].Put(p)
+}
+
+// writerPool recycles frame-building Writers across messages. Writers whose
+// buffers grew beyond maxPooledWriterBytes are dropped rather than pinned.
+var writerPool = sync.Pool{
+	New: func() any { return &Writer{buf: make([]byte, 0, 4096)} },
+}
+
+// maxPooledWriterBytes caps the buffer capacity a recycled Writer may keep.
+// It must comfortably exceed a batch writer's flush threshold plus one
+// maximum-size frame, so the delivery batching path — the workload writer
+// pooling exists for — still recycles its writers.
+const maxPooledWriterBytes = 1 << 20
+
+// GetWriter returns a reset Writer from the pool. Callers must return it
+// with PutWriter once the encoded bytes have been flushed to the wire; the
+// returned buffer from Bytes is invalid after PutWriter.
+func GetWriter() *Writer {
+	w := writerPool.Get().(*Writer)
+	w.Reset()
+	return w
+}
+
+// PutWriter recycles a Writer obtained from GetWriter.
+func PutWriter(w *Writer) {
+	if w == nil || cap(w.buf) > maxPooledWriterBytes {
+		return
+	}
+	writerPool.Put(w)
+}

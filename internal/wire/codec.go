@@ -34,6 +34,9 @@ func NewWriter() *Writer { return &Writer{buf: make([]byte, 0, 64)} }
 // Bytes returns the encoded payload.
 func (w *Writer) Bytes() []byte { return w.buf }
 
+// Len reports the number of buffered bytes.
+func (w *Writer) Len() int { return len(w.buf) }
+
 // Err returns the first encoding error, if any.
 func (w *Writer) Err() error { return w.err }
 
@@ -161,15 +164,36 @@ func (r *Reader) Float64() float64 { return math.Float64frombits(r.LongLong()) }
 // Bool reads a boolean octet.
 func (r *Reader) Bool() bool { return r.Octet() != 0 }
 
+// internTable maps well-known protocol strings to canonical instances so
+// per-message parsing of constant values (content types, exchange kinds,
+// standard exchange names) does not allocate. The keyed-by-conversion map
+// lookup itself is allocation-free.
+var internTable = map[string]string{
+	"application/octet-stream": "application/octet-stream",
+	"text/plain":               "text/plain",
+	"application/json":         "application/json",
+	"amq.direct":               "amq.direct",
+	"amq.fanout":               "amq.fanout",
+	"amq.topic":                "amq.topic",
+	"direct":                   "direct",
+	"fanout":                   "fanout",
+	"topic":                    "topic",
+	"PLAIN":                    "PLAIN",
+	"en_US":                    "en_US",
+}
+
 // ShortStr reads a length-prefixed string of at most 255 bytes.
 func (r *Reader) ShortStr() string {
 	n := int(r.Octet())
 	if !r.need(n) {
 		return ""
 	}
-	s := string(r.buf[r.pos : r.pos+n])
+	b := r.buf[r.pos : r.pos+n]
 	r.pos += n
-	return s
+	if s, ok := internTable[string(b)]; ok {
+		return s
+	}
+	return string(b)
 }
 
 // LongStr reads a 32-bit length-prefixed byte string. The returned slice

@@ -47,9 +47,11 @@ func WriteFrame(w io.Writer, f Frame) error {
 			return err
 		}
 	}
-	_, err := w.Write([]byte{FrameEnd})
+	_, err := w.Write(frameEndOctet[:])
 	return err
 }
+
+var frameEndOctet = [1]byte{FrameEnd}
 
 // FrameReader reads frames from a buffered stream, enforcing a maximum
 // payload size.
@@ -57,6 +59,10 @@ type FrameReader struct {
 	br       *bufio.Reader
 	frameMax uint32
 	scratch  [7]byte
+
+	// loan backs the payload of the most recently returned frame; it is
+	// recycled into the buffer pool at the start of the next ReadFrame.
+	loan *[]byte
 }
 
 // NewFrameReader wraps r. frameMax of 0 means DefaultFrameMax.
@@ -74,8 +80,15 @@ func (fr *FrameReader) SetFrameMax(max uint32) {
 	}
 }
 
-// ReadFrame reads the next frame. The returned payload is freshly allocated.
+// ReadFrame reads the next frame. The returned payload is loaned from a
+// buffer pool: it stays valid only until the next ReadFrame call on this
+// reader, so callers that retain payload bytes past one dispatch must copy
+// them (method parsing and content assembly already copy).
 func (fr *FrameReader) ReadFrame() (Frame, error) {
+	if fr.loan != nil {
+		putBuf(fr.loan)
+		fr.loan = nil
+	}
 	if _, err := io.ReadFull(fr.br, fr.scratch[:]); err != nil {
 		return Frame{}, err
 	}
@@ -87,9 +100,12 @@ func (fr *FrameReader) ReadFrame() (Frame, error) {
 	if size > fr.frameMax {
 		return Frame{}, fmt.Errorf("%w: %d > %d", ErrFrameTooLarge, size, fr.frameMax)
 	}
-	f.Payload = make([]byte, size)
-	if _, err := io.ReadFull(fr.br, f.Payload); err != nil {
-		return Frame{}, err
+	if size > 0 {
+		fr.loan = getBuf(int(size))
+		f.Payload = (*fr.loan)[:size]
+		if _, err := io.ReadFull(fr.br, f.Payload); err != nil {
+			return Frame{}, err
+		}
 	}
 	end, err := fr.br.ReadByte()
 	if err != nil {

@@ -1,0 +1,103 @@
+package wire
+
+import (
+	"encoding/binary"
+	"io"
+
+	"ds2hpc/internal/metrics"
+)
+
+// Frame building: hot-path senders encode complete frames — header, payload
+// and frame-end — directly into one Writer buffer and emit the whole batch
+// with a single Write call, instead of one write syscall per frame section.
+// Effectiveness is observable through the metrics registry:
+//
+//	wire.frames_coalesced  frames that shared a Write with other frames
+//	wire.coalesced_writes  batched Write calls issued via FlushFrames
+
+var (
+	framesCoalesced = metrics.Default.Counter("wire.frames_coalesced")
+	coalescedWrites = metrics.Default.Counter("wire.coalesced_writes")
+)
+
+// StartFrame begins a frame of the given type, leaving the 32-bit payload
+// size zero until EndFrame patches it. It returns the payload start offset
+// to pass to EndFrame. Between the two calls the caller appends the frame
+// payload with the Writer's encoding methods.
+func (w *Writer) StartFrame(ftype byte, channel uint16) int {
+	w.Octet(ftype)
+	w.Short(channel)
+	w.Long(0)
+	return len(w.buf)
+}
+
+// EndFrame patches the payload size of the frame begun at payloadStart and
+// appends the frame-end octet.
+func (w *Writer) EndFrame(payloadStart int) {
+	size := len(w.buf) - payloadStart
+	binary.BigEndian.PutUint32(w.buf[payloadStart-4:payloadStart], uint32(size))
+	w.Octet(FrameEnd)
+}
+
+// AppendRawFrame appends one complete frame with a verbatim payload.
+func (w *Writer) AppendRawFrame(ftype byte, channel uint16, payload []byte) {
+	off := w.StartFrame(ftype, channel)
+	w.buf = append(w.buf, payload...)
+	w.EndFrame(off)
+}
+
+// AppendMethodFrame appends one complete method frame, encoding the method
+// arguments in place (no intermediate payload slice).
+func (w *Writer) AppendMethodFrame(channel uint16, m Method) {
+	off := w.StartFrame(FrameMethod, channel)
+	c, id := m.ID()
+	w.Short(c)
+	w.Short(id)
+	m.Marshal(w)
+	w.EndFrame(off)
+}
+
+// AppendContentFrames appends the full method + content-header + body frame
+// sequence for one content-bearing basic-class method (basic.publish,
+// basic.deliver, basic.get-ok, basic.return), splitting the body at
+// frameMax. It returns the number of frames appended.
+func (w *Writer) AppendContentFrames(channel uint16, m Method, props *Properties, body []byte, frameMax uint32) int {
+	w.AppendMethodFrame(channel, m)
+	off := w.StartFrame(FrameHeader, channel)
+	marshalContentHeader(w, ClassBasic, uint64(len(body)), props)
+	w.EndFrame(off)
+	frames := 2
+	max := int(frameMax)
+	if max <= 0 {
+		max = DefaultFrameMax
+	}
+	for start := 0; start < len(body); start += max {
+		end := start + max
+		if end > len(body) {
+			end = len(body)
+		}
+		w.AppendRawFrame(FrameBody, channel, body[start:end])
+		frames++
+	}
+	return frames
+}
+
+// FlushFrames emits every frame accumulated in the Writer with a single
+// Write call, resets the buffer, and records the coalescing counters.
+// frames is the number of frames in the buffer (counted by the caller or
+// returned from AppendContentFrames).
+func (w *Writer) FlushFrames(dst io.Writer, frames int) error {
+	if w.err != nil {
+		return w.err
+	}
+	if len(w.buf) == 0 {
+		return nil
+	}
+	_, err := dst.Write(w.buf)
+	w.buf = w.buf[:0]
+	coalescedWrites.Inc()
+	if frames > 1 {
+		framesCoalesced.Add(uint64(frames))
+	}
+	return err
+}

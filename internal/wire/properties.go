@@ -52,12 +52,19 @@ type ContentHeader struct {
 // EncodeContentHeader serializes h into a header-frame payload.
 func EncodeContentHeader(h *ContentHeader) ([]byte, error) {
 	w := NewWriter()
-	w.Short(h.ClassID)
+	marshalContentHeader(w, h.ClassID, h.BodySize, &h.Properties)
+	return w.Bytes(), w.Err()
+}
+
+// marshalContentHeader appends a header-frame payload to w (shared by the
+// standalone encoder and the coalescing frame builder; taking the fields
+// rather than a *ContentHeader keeps hot-path callers allocation-free).
+func marshalContentHeader(w *Writer, classID uint16, bodySize uint64, p *Properties) {
+	w.Short(classID)
 	w.Short(0) // weight, always zero
-	w.LongLong(h.BodySize)
+	w.LongLong(bodySize)
 
 	var flags uint16
-	p := &h.Properties
 	if p.ContentType != "" {
 		flags |= flagContentType
 	}
@@ -138,7 +145,6 @@ func EncodeContentHeader(h *ContentHeader) ([]byte, error) {
 	if flags&flagAppID != 0 {
 		w.ShortStr(p.AppID)
 	}
-	return w.Bytes(), w.Err()
 }
 
 // ParseContentHeader decodes a header-frame payload.
