@@ -1,0 +1,37 @@
+# Developer entry points. Tier-1 verification matches CI: build, vet,
+# race-tested unit suite, and the short paper-figure suite.
+
+# bench-snapshot pipes `go test` into benchsnap; pipefail keeps a failing
+# bench run from being masked by a successful parse of its partial output.
+SHELL := /bin/bash
+.SHELLFLAGS := -o pipefail -c
+
+GO ?= go
+# PR labels the bench snapshot file (BENCH_<PR>.json).
+PR ?= dev
+
+# BENCH_PATTERN selects the snapshot benchmarks: the ablation and
+# overhead benches (the figure harness hot paths) plus the resilience
+# fault-rate sweep introduced with the transport hop stack.
+BENCH_PATTERN ?= BenchmarkAblationAckBatching|BenchmarkAblationWorkQueues|BenchmarkOverheadVsDTS|BenchmarkResilienceFaultRate
+
+.PHONY: test race short bench-snapshot
+
+test:
+	$(GO) build ./...
+	$(GO) test ./...
+
+race:
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+short:
+	$(GO) test -short -count=1 .
+
+# bench-snapshot runs the short figure benchmarks once with -benchmem and
+# writes BENCH_$(PR).json — the machine-readable perf trajectory point for
+# this PR. Keep -benchtime 1x: the goal is a comparable snapshot per PR,
+# not statistical precision.
+bench-snapshot:
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime 1x -benchmem . \
+		| $(GO) run ./cmd/benchsnap -out BENCH_$(PR).json

@@ -1,0 +1,100 @@
+// Command benchsnap converts `go test -bench` output on stdin into a
+// machine-readable JSON snapshot, seeding the repo's performance
+// trajectory: the bench-snapshot make target runs the short figure
+// benchmarks with -benchmem and writes BENCH_<pr>.json, so successive
+// PRs can be diffed metric-by-metric instead of eyeballing bench logs.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchtime 1x -benchmem . | benchsnap -out BENCH_dev.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	Name    string             `json:"name"`
+	Iters   int64              `json:"iters"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Snapshot is the full bench run.
+type Snapshot struct {
+	GoOS       string      `json:"goos"`
+	GoArch     string      `json:"goarch"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// parseBenchLine parses one "BenchmarkX-8  N  v unit  v unit ..." line,
+// returning ok=false for non-benchmark lines.
+func parseBenchLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Benchmark{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: fields[0], Iters: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	return b, true
+}
+
+// parse reads bench output and collects benchmark lines.
+func parse(r io.Reader) (Snapshot, error) {
+	snap := Snapshot{GoOS: runtime.GOOS, GoArch: runtime.GOARCH}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		if b, ok := parseBenchLine(sc.Text()); ok {
+			snap.Benchmarks = append(snap.Benchmarks, b)
+		}
+	}
+	return snap, sc.Err()
+}
+
+func main() {
+	out := flag.String("out", "", "output JSON path (default stdout)")
+	flag.Parse()
+	snap, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchsnap:", err)
+		os.Exit(1)
+	}
+	if len(snap.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchsnap: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchsnap:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchsnap:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchsnap: wrote %d benchmarks to %s\n", len(snap.Benchmarks), *out)
+}

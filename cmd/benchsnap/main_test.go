@@ -1,0 +1,55 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleBenchOutput = `goos: linux
+goarch: amd64
+pkg: ds2hpc
+BenchmarkAblationAckBatching/ackbatch=1-8         	       1	  56789012 ns/op	      4567 B/op	      89 allocs/op	     123.4 msgs_per_sec
+BenchmarkAblationAckBatching/ackbatch=4-8         	       2	  34567890 ns/op	      2345 B/op	      45 allocs/op	     234.5 msgs_per_sec	       0.9876 bufpool_hit_rate
+BenchmarkResilienceFaultRate/DTS/flaps=1-8        	       1	 123456789 ns/op	     345.6 msgs_per_sec	       4.000 reconnects/op
+PASS
+ok  	ds2hpc	12.345s
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	snap, err := parse(strings.NewReader(sampleBenchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(snap.Benchmarks))
+	}
+	b := snap.Benchmarks[1]
+	if b.Name != "BenchmarkAblationAckBatching/ackbatch=4-8" || b.Iters != 2 {
+		t.Fatalf("benchmark %+v", b)
+	}
+	for unit, want := range map[string]float64{
+		"ns/op":            34567890,
+		"B/op":             2345,
+		"allocs/op":        45,
+		"msgs_per_sec":     234.5,
+		"bufpool_hit_rate": 0.9876,
+	} {
+		if got := b.Metrics[unit]; got != want {
+			t.Fatalf("%s = %v, want %v", unit, got, want)
+		}
+	}
+	r := snap.Benchmarks[2]
+	if r.Metrics["reconnects/op"] != 4 {
+		t.Fatalf("reconnects/op = %v", r.Metrics["reconnects/op"])
+	}
+}
+
+func TestParseIgnoresNonBenchLines(t *testing.T) {
+	snap, err := parse(strings.NewReader("PASS\nok ds2hpc 1.2s\nBenchmarkBroken x y\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Benchmarks) != 0 {
+		t.Fatalf("parsed %d benchmarks from noise", len(snap.Benchmarks))
+	}
+}

@@ -145,6 +145,10 @@ func runCoordinator(args []string) error {
 		return err
 	}
 	defer coord.Close()
+	// Participants legitimately stay silent between hello and report for
+	// as long as the experiment runs; the per-participant read deadline
+	// must cover the whole deadline, not its 60s default.
+	coord.SetReadTimeout(*timeout)
 	fmt.Printf("coordinator listening on %s (expecting %d participants)\n",
 		coord.Addr(), *participants)
 	res, err := coord.Wait(*timeout)

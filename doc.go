@@ -19,9 +19,14 @@
 //	                    registries, prefetch-aware queues, batched
 //	                    delivery writers and multiple-ack resolution
 //	internal/amqp       client library (connections, channels, confirms)
+//	                    with bounded auto-reconnect and publish replay
+//	internal/transport  the client→service hop stack: Path/Hop dial
+//	                    composition, shared half-close-correct Relay,
+//	                    admission gates, and the WAN fault injector
 //	internal/metrics    experiment metrics (throughput, RTT CDFs) plus
 //	                    the hot-path counter registry
-//	internal/core       architecture deployments (DTS, PRS variants, MSS)
+//	internal/core       architecture deployments (DTS, PRS variants,
+//	                    MSS), each a transport.Path hop composition
 //	internal/pattern    messaging patterns: work sharing, feedback,
 //	                    broadcast, broadcast-gather
 //	internal/sim        experiment runner and distributed coordinator
@@ -32,8 +37,21 @@
 //	internal/scistream  SciStream-style control/data proxies
 //	internal/mss        MSS load balancer and S3M control plane
 //	internal/cluster    multi-node broker clusters
-//	cmd/                rmq-server, streamsim, scistream, s3m, expdriver
+//	cmd/                rmq-server, streamsim, scistream, s3m,
+//	                    expdriver, benchsnap
 //	examples/           runnable end-to-end scenarios
+//
+// # Connection paths
+//
+// A client→service connection is an ordered transport.Path of hops,
+// matching the paper's Figure 3: DTS is fault→link→TLS straight to a
+// broker NodePort; PRS inserts the SciStream S2DS pair and its mTLS
+// overlay tunnel; MSS redirects to the load balancer's front door with
+// the service FQDN as SNI, through LB admission and the ingress. The
+// deployments in internal/core only compose hops — there is no
+// per-architecture dial or relay code — and resilience scenarios
+// (resilience_test.go) script WAN faults into the same paths while
+// clients ride them out via amqp.Config.Reconnect.
 //
 // # Running the suite
 //

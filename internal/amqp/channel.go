@@ -1,8 +1,11 @@
 package amqp
 
 import (
+	"errors"
 	"fmt"
+	"sort"
 	"sync"
+	"time"
 
 	"ds2hpc/internal/wire"
 )
@@ -29,6 +32,28 @@ type Channel struct {
 	confirmExpect uint64
 	closed        bool
 
+	// Reconnect replay state (nil maps on legacy connections). pending
+	// holds confirm-mode publishes the broker has not yet resolved,
+	// keyed by client sequence number; pubMap maps the current
+	// transport's broker confirm tags back onto those sequence numbers;
+	// qosSpec and consumeSpecs record declarations to re-apply.
+	pending   map[uint64]*pendingPublish
+	pubMap    map[uint64]uint64
+	brokerSeq uint64
+	mapEpoch  uint64 // transport epoch pubMap/brokerSeq are valid for
+	// replayedThrough is the highest client sequence number covered by a
+	// resume's replay: every publish at or below it was either already
+	// resolved or republished by the replay, so its own (blocked) write
+	// must not also reach the wire.
+	replayedThrough uint64
+	qosSpec         *wire.BasicQos
+	consumeSpecs    map[string]*wire.BasicConsume
+	// consumeEpochs records, per consumer tag, the transport epoch its
+	// basic.consume last landed on, so overlapping replay passes never
+	// subscribe a tag twice on the same transport.
+	consumeEpochs map[string]uint64
+	acker         Acknowledger // epoch-scoped acker; nil = the channel itself
+
 	// incoming content assembly
 	pendKind    pendKind
 	pendDeliver *wire.BasicDeliver
@@ -53,33 +78,116 @@ type getResult struct {
 }
 
 func newChannel(c *Connection, id uint16) *Channel {
-	return &Channel{
+	ch := &Channel{
 		conn:      c,
 		id:        id,
 		rpc:       make(chan wire.Method, 8),
 		gets:      make(chan getResult, 1),
 		consumers: map[string]chan Delivery{},
 	}
+	if c.reconnectEnabled() {
+		ch.consumeSpecs = map[string]*wire.BasicConsume{}
+		ch.consumeEpochs = map[string]uint64{}
+		// The caller (Connection.Channel) holds c.mu, so read the epoch
+		// field directly rather than through currentEpoch.
+		ch.acker = &epochAcker{ch: ch, epoch: c.epoch}
+		ch.mapEpoch = c.epoch
+	}
+	return ch
 }
 
-// call sends a synchronous method and waits for its -ok response.
+// pendingPublish is one confirm-mode publish awaiting broker resolution,
+// retained so a reconnect can replay it.
+type pendingPublish struct {
+	exchange, key        string
+	mandatory, immediate bool
+	msg                  Publishing
+}
+
+// retriable reports whether a synchronous method is safe to re-issue
+// after a transport loss that may or may not have executed it. Deletes
+// and purges are not: a retried delete of an already-deleted queue
+// raises a channel-closing NOT_FOUND on the broker.
+func retriable(m wire.Method) bool {
+	switch m.(type) {
+	case *wire.QueueDelete, *wire.ExchangeDelete, *wire.QueuePurge:
+		return false
+	}
+	return true
+}
+
+// call sends a synchronous method and waits for its -ok response. On a
+// reconnecting connection a call interrupted by a transport loss waits
+// for the resume and re-issues itself — for idempotent methods only
+// (declarations re-apply cleanly, a freshly-created channel re-opens
+// empty, consume specs are only recorded — and hence only auto-replayed
+// — after a successful call; deletes and purges instead surface the
+// interruption). Without a policy the call fails fast, as before.
 func (ch *Channel) call(m wire.Method) (wire.Method, error) {
+	resp, _, err := ch.callE(m)
+	return resp, err
+}
+
+// callE is call, additionally reporting the transport epoch the
+// successful attempt landed on.
+func (ch *Channel) callE(m wire.Method) (wire.Method, uint64, error) {
+	for {
+		resp, epoch, err := ch.callOnce(m)
+		if err == nil || !ch.conn.reconnectEnabled() ||
+			!errors.Is(err, errSuspended) || !retriable(m) {
+			return resp, epoch, err
+		}
+		// Transport loss mid-call: wait out the reconnect and re-issue.
+		if !ch.conn.awaitResume() {
+			return nil, 0, ErrClosed
+		}
+	}
+}
+
+// callOnce is a single call attempt; it fails with errSuspended when a
+// transport loss interrupts it, and on success reports the transport
+// epoch the method landed on (the write is generation-validated, so the
+// captured epoch is exact).
+func (ch *Channel) callOnce(m wire.Method) (wire.Method, uint64, error) {
 	ch.callMu.Lock()
 	defer ch.callMu.Unlock()
 	ch.mu.Lock()
 	if ch.closed {
 		ch.mu.Unlock()
-		return nil, ErrClosed
+		return nil, 0, ErrClosed
 	}
 	ch.mu.Unlock()
-	if err := ch.conn.writeMethod(ch.id, m); err != nil {
-		return nil, err
+	gen, suspended, epoch := ch.conn.genState()
+	if suspended {
+		return nil, 0, errSuspended
 	}
-	resp, ok := <-ch.rpc
-	if !ok {
-		return nil, ErrClosed
+	if err := ch.conn.writeMethodGen(gen, ch.id, m); err != nil {
+		if err == errSuspended {
+			// The read loop may not have noticed the dead socket yet;
+			// don't spin against it.
+			time.Sleep(time.Millisecond)
+		}
+		return nil, 0, err
 	}
-	return resp, nil
+	select {
+	case resp, ok := <-ch.rpc:
+		if !ok {
+			return nil, 0, ErrClosed
+		}
+		return resp, epoch, nil
+	case <-gen:
+		// The transport died mid-call. The reply may have raced in just
+		// before the read loop exited; prefer it if so.
+		select {
+		case resp, ok := <-ch.rpc:
+			if !ok {
+				return nil, 0, ErrClosed
+			}
+			return resp, epoch, nil
+		default:
+			return nil, 0, errSuspended
+		}
+	}
 }
 
 // shutdown terminates the channel, notifying consumers and listeners.
@@ -190,6 +298,35 @@ func (ch *Channel) onMethod(m wire.Method) {
 
 func (ch *Channel) dispatchConfirm(tag uint64, multiple, ack bool) {
 	ch.mu.Lock()
+	if ch.pending != nil {
+		// Reconnect-tracked channel: broker tags are per-transport, so
+		// translate them through pubMap back to client sequence numbers
+		// and release the resolved publishes from the replay set.
+		from := tag
+		if multiple {
+			from = ch.confirmExpect + 1
+		}
+		if tag > ch.confirmExpect {
+			ch.confirmExpect = tag
+		}
+		var seqs []uint64
+		for t := from; t <= tag; t++ {
+			if s, ok := ch.pubMap[t]; ok {
+				delete(ch.pubMap, t)
+				delete(ch.pending, s)
+				seqs = append(seqs, s)
+			}
+		}
+		listeners := append([]chan Confirmation(nil), ch.confirms...)
+		ch.mu.Unlock()
+		sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+		for _, s := range seqs {
+			for _, l := range listeners {
+				l <- Confirmation{DeliveryTag: s, Ack: ack}
+			}
+		}
+		return
+	}
 	from := tag
 	if multiple {
 		from = ch.confirmExpect + 1
@@ -259,7 +396,7 @@ func (ch *Channel) completeContent() {
 	switch kind {
 	case pendDeliverKind:
 		d := deliveryFromProps(&header.Properties)
-		d.Acknowledger = ch
+		d.Acknowledger = ch.currentAcker()
 		d.ConsumerTag = deliver.ConsumerTag
 		d.DeliveryTag = deliver.DeliveryTag
 		d.Redelivered = deliver.Redelivered
@@ -279,7 +416,7 @@ func (ch *Channel) completeContent() {
 		}
 	case pendGetOkKind:
 		d := deliveryFromProps(&header.Properties)
-		d.Acknowledger = ch
+		d.Acknowledger = ch.currentAcker()
 		d.DeliveryTag = getOk.DeliveryTag
 		d.Redelivered = getOk.Redelivered
 		d.Exchange = getOk.Exchange
@@ -388,9 +525,16 @@ func (ch *Channel) ExchangeDelete(name string, ifUnused, noWait bool) error {
 
 // Qos sets the prefetch window applied to subsequent consumers.
 func (ch *Channel) Qos(prefetchCount, prefetchSize int, global bool) error {
-	_, err := ch.call(&wire.BasicQos{
+	m := &wire.BasicQos{
 		PrefetchSize: uint32(prefetchSize), PrefetchCount: uint16(prefetchCount), Global: global,
-	})
+	}
+	_, err := ch.call(m)
+	if err == nil && ch.conn.reconnectEnabled() {
+		spec := *m
+		ch.mu.Lock()
+		ch.qosSpec = &spec
+		ch.mu.Unlock()
+	}
 	return err
 }
 
@@ -399,6 +543,10 @@ func (ch *Channel) Confirm(noWait bool) error {
 	if noWait {
 		ch.mu.Lock()
 		ch.confirmMode = true
+		if ch.conn.reconnectEnabled() && ch.pending == nil {
+			ch.pending = map[uint64]*pendingPublish{}
+			ch.pubMap = map[uint64]uint64{}
+		}
 		ch.mu.Unlock()
 		ch.callMu.Lock()
 		defer ch.callMu.Unlock()
@@ -408,6 +556,10 @@ func (ch *Channel) Confirm(noWait bool) error {
 	if err == nil {
 		ch.mu.Lock()
 		ch.confirmMode = true
+		if ch.conn.reconnectEnabled() && ch.pending == nil {
+			ch.pending = map[uint64]*pendingPublish{}
+			ch.pubMap = map[uint64]uint64{}
+		}
 		ch.mu.Unlock()
 	}
 	return err
@@ -448,21 +600,48 @@ func (ch *Channel) GetNextPublishSeqNo() uint64 {
 
 // --- publish / consume ---
 
-// Publish sends a message to an exchange.
+// Publish sends a message to an exchange. On a reconnecting connection
+// in confirm mode the publish is tracked until the broker resolves it:
+// if the transport dies first, the message is queued and replayed by the
+// reconnect, so Publish reports success and the confirm (or the closed
+// confirm channel, if the reconnect budget runs out) carries the final
+// verdict — the same contract as a confirm-mode publish that made it
+// onto the wire.
 func (ch *Channel) Publish(exchange, key string, mandatory, immediate bool, msg Publishing) error {
 	ch.mu.Lock()
 	if ch.closed {
 		ch.mu.Unlock()
 		return ErrClosed
 	}
+	track := false
+	var seq uint64
 	if ch.confirmMode {
 		ch.publishSeq++
+		if ch.pending != nil {
+			track = true
+			seq = ch.publishSeq
+			ch.pending[seq] = &pendingPublish{
+				exchange: exchange, key: key,
+				mandatory: mandatory, immediate: immediate, msg: msg,
+			}
+		}
 	}
 	ch.mu.Unlock()
 	props := msg.properties()
-	return ch.conn.writeContent(ch.id, &wire.BasicPublish{
+	m := &wire.BasicPublish{
 		Exchange: exchange, RoutingKey: key, Mandatory: mandatory, Immediate: immediate,
-	}, &props, msg.Body)
+	}
+	if track {
+		// The broker confirm tag is assigned inside the write lock
+		// (writeContentTracked), so tag order always matches wire order
+		// even with concurrent publishers on this channel; a publish that
+		// cannot reach the live transport stays in pending for the
+		// reconnect replay, and the confirm (or the closed confirm
+		// channel, if the reconnect budget runs out) carries the final
+		// verdict.
+		return ch.conn.writeContentTracked(ch, seq, m, &props, msg.Body)
+	}
+	return ch.conn.writeContent(ch.id, m, &props, msg.Body)
 }
 
 // Consume starts a consumer and returns its delivery channel.
@@ -480,15 +659,23 @@ func (ch *Channel) Consume(queue, consumerTag string, autoAck, exclusive, noLoca
 	ch.consumers[consumerTag] = dc
 	ch.mu.Unlock()
 
-	_, err := ch.call(&wire.BasicConsume{
+	m := &wire.BasicConsume{
 		Queue: queue, ConsumerTag: consumerTag,
 		NoAck: autoAck, Exclusive: exclusive, NoLocal: noLocal, Arguments: args,
-	})
+	}
+	_, epoch, err := ch.callE(m)
 	if err != nil {
 		ch.mu.Lock()
 		delete(ch.consumers, consumerTag)
 		ch.mu.Unlock()
 		return nil, err
+	}
+	if ch.conn.reconnectEnabled() {
+		spec := *m
+		ch.mu.Lock()
+		ch.consumeSpecs[consumerTag] = &spec
+		ch.consumeEpochs[consumerTag] = epoch
+		ch.mu.Unlock()
 	}
 	return dc, nil
 }
@@ -499,6 +686,8 @@ func (ch *Channel) Cancel(consumerTag string, noWait bool) error {
 	ch.mu.Lock()
 	dc, ok := ch.consumers[consumerTag]
 	delete(ch.consumers, consumerTag)
+	delete(ch.consumeSpecs, consumerTag)
+	delete(ch.consumeEpochs, consumerTag)
 	ch.mu.Unlock()
 	if ok {
 		close(dc)
@@ -506,8 +695,22 @@ func (ch *Channel) Cancel(consumerTag string, noWait bool) error {
 	return err
 }
 
-// Get synchronously fetches one message; ok is false if the queue is empty.
+// Get synchronously fetches one message; ok is false if the queue is
+// empty. Like call, a Get interrupted by a transport loss on a
+// reconnecting connection waits out the resume and re-issues itself.
 func (ch *Channel) Get(queue string, autoAck bool) (Delivery, bool, error) {
+	for {
+		d, ok, err := ch.getOnce(queue, autoAck)
+		if err == nil || !ch.conn.reconnectEnabled() || !errors.Is(err, errSuspended) {
+			return d, ok, err
+		}
+		if !ch.conn.awaitResume() {
+			return Delivery{}, false, ErrClosed
+		}
+	}
+}
+
+func (ch *Channel) getOnce(queue string, autoAck bool) (Delivery, bool, error) {
 	ch.callMu.Lock()
 	defer ch.callMu.Unlock()
 	ch.mu.Lock()
@@ -521,7 +724,14 @@ func (ch *Channel) Get(queue string, autoAck bool) (Delivery, bool, error) {
 	case <-ch.gets:
 	default:
 	}
-	if err := ch.conn.writeMethod(ch.id, &wire.BasicGet{Queue: queue, NoAck: autoAck}); err != nil {
+	gen, suspended, _ := ch.conn.genState()
+	if suspended {
+		return Delivery{}, false, errSuspended
+	}
+	if err := ch.conn.writeMethodGen(gen, ch.id, &wire.BasicGet{Queue: queue, NoAck: autoAck}); err != nil {
+		if err == errSuspended {
+			time.Sleep(time.Millisecond)
+		}
 		return Delivery{}, false, err
 	}
 	select {
@@ -530,6 +740,16 @@ func (ch *Channel) Get(queue string, autoAck bool) (Delivery, bool, error) {
 			return Delivery{}, false, nil
 		}
 		return *res.d, true, nil
+	case <-gen:
+		select {
+		case res := <-ch.gets:
+			if res.empty {
+				return Delivery{}, false, nil
+			}
+			return *res.d, true, nil
+		default:
+			return Delivery{}, false, errSuspended
+		}
 	case <-ch.conn.done:
 		return Delivery{}, false, ErrClosed
 	}
@@ -550,4 +770,158 @@ func (ch *Channel) Nack(tag uint64, multiple, requeue bool) error {
 // Reject rejects a delivery tag.
 func (ch *Channel) Reject(tag uint64, requeue bool) error {
 	return ch.conn.writeMethod(ch.id, &wire.BasicReject{DeliveryTag: tag, Requeue: requeue})
+}
+
+// --- reconnect replay ---
+
+// currentAcker returns the acknowledger deliveries should carry: the
+// channel itself on legacy connections, or the transport-epoch-scoped
+// acker on reconnecting connections (so acknowledgements for deliveries
+// of a dead transport are dropped instead of misapplied to tags the new
+// transport reassigned).
+func (ch *Channel) currentAcker() Acknowledger {
+	ch.mu.Lock()
+	defer ch.mu.Unlock()
+	if ch.acker != nil {
+		return ch.acker
+	}
+	return ch
+}
+
+// epochAcker resolves deliveries only while the transport epoch they
+// were delivered on is still current. After a reconnect the broker has
+// requeued those deliveries, so stale acknowledgements become no-ops.
+type epochAcker struct {
+	ch    *Channel
+	epoch uint64
+}
+
+func (a *epochAcker) Ack(tag uint64, multiple bool) error {
+	return a.ch.conn.writeMethodEpoch(a.epoch, a.ch.id, &wire.BasicAck{DeliveryTag: tag, Multiple: multiple})
+}
+
+func (a *epochAcker) Nack(tag uint64, multiple, requeue bool) error {
+	return a.ch.conn.writeMethodEpoch(a.epoch, a.ch.id, &wire.BasicNack{DeliveryTag: tag, Multiple: multiple, Requeue: requeue})
+}
+
+func (a *epochAcker) Reject(tag uint64, requeue bool) error {
+	return a.ch.conn.writeMethodEpoch(a.epoch, a.ch.id, &wire.BasicReject{DeliveryTag: tag, Requeue: requeue})
+}
+
+// replayState re-establishes this channel on a fresh transport during
+// resume: channel.open, QoS, confirm mode, and every pending
+// confirm-mode publish, republished in client sequence order so the new
+// transport's broker confirm tags (1..n) map back onto the original
+// sequence numbers. The caller holds the connection's writeMu and owns
+// the frame reader; consumers are replayed separately once the read
+// loop is live (replayConsumers).
+func (ch *Channel) replayState(fr *wire.FrameReader) error {
+	ch.mu.Lock()
+	if ch.closed {
+		ch.mu.Unlock()
+		return nil
+	}
+	// Drop any content assembly that was cut off mid-message.
+	ch.pendKind = pendNone
+	ch.pendHeader = nil
+	ch.pendBody = nil
+	ch.pendDeliver = nil
+	ch.pendGetOk = nil
+	ch.pendReturn = nil
+	epoch := ch.conn.currentEpoch()
+	ch.acker = &epochAcker{ch: ch, epoch: epoch}
+	qos := ch.qosSpec
+	confirm := ch.confirmMode
+	// Rebuild the confirm-tag mapping: the broker numbers publishes per
+	// transport, and the replay below re-publishes every pending message
+	// in ascending sequence order. Marking the map current for the new
+	// epoch reopens direct publishing (writes queue on writeMu until the
+	// resume releases it).
+	ch.mapEpoch = epoch
+	ch.replayedThrough = ch.publishSeq
+	ch.confirmExpect = 0
+	ch.brokerSeq = 0
+	var pend []*pendingPublish
+	if ch.pending != nil {
+		seqs := make([]uint64, 0, len(ch.pending))
+		for s := range ch.pending {
+			seqs = append(seqs, s)
+		}
+		sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+		ch.pubMap = make(map[uint64]uint64, len(seqs))
+		pend = make([]*pendingPublish, 0, len(seqs))
+		for _, s := range seqs {
+			ch.brokerSeq++
+			ch.pubMap[ch.brokerSeq] = s
+			pend = append(pend, ch.pending[s])
+		}
+	}
+	ch.mu.Unlock()
+
+	if _, err := ch.conn.replayCall(fr, ch.id, &wire.ChannelOpen{}); err != nil {
+		return err
+	}
+	if qos != nil {
+		spec := *qos
+		if _, err := ch.conn.replayCall(fr, ch.id, &spec); err != nil {
+			return err
+		}
+	}
+	if confirm {
+		if _, err := ch.conn.replayCall(fr, ch.id, &wire.ConfirmSelect{}); err != nil {
+			return err
+		}
+	}
+	for _, p := range pend {
+		props := p.msg.properties()
+		err := ch.conn.writeContentRaw(ch.id, &wire.BasicPublish{
+			Exchange: p.exchange, RoutingKey: p.key,
+			Mandatory: p.mandatory, Immediate: p.immediate,
+		}, &props, p.msg.Body)
+		if err != nil {
+			return err
+		}
+		replayedPublishes.Inc()
+	}
+	return nil
+}
+
+// replayConsumers re-issues basic.consume, through the normal
+// synchronous path (the read loop routes the -ok and the redeliveries
+// that follow), for every registered consumer whose subscription has not
+// already landed on the target transport epoch or later. It uses the
+// single-attempt call and aborts quietly on a further fault: the
+// reconnect that follows kicks another replay pass, and the landing
+// epoch records keep any overlap from double-subscribing a tag on one
+// transport (which the broker rejects).
+func (ch *Channel) replayConsumers(target uint64) {
+	ch.mu.Lock()
+	if ch.closed {
+		ch.mu.Unlock()
+		return
+	}
+	tags := make([]string, 0, len(ch.consumeSpecs))
+	for tag := range ch.consumeSpecs {
+		if ch.consumeEpochs[tag] < target {
+			tags = append(tags, tag)
+		}
+	}
+	sort.Strings(tags)
+	specs := make([]*wire.BasicConsume, 0, len(tags))
+	for _, tag := range tags {
+		spec := *ch.consumeSpecs[tag]
+		specs = append(specs, &spec)
+	}
+	ch.mu.Unlock()
+	for _, spec := range specs {
+		_, epoch, err := ch.callOnce(spec)
+		if err != nil {
+			return
+		}
+		ch.mu.Lock()
+		if _, still := ch.consumeSpecs[spec.ConsumerTag]; still && epoch > ch.consumeEpochs[spec.ConsumerTag] {
+			ch.consumeEpochs[spec.ConsumerTag] = epoch
+		}
+		ch.mu.Unlock()
+	}
 }

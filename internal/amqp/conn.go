@@ -6,11 +6,80 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"ds2hpc/internal/metrics"
 	"ds2hpc/internal/wire"
 )
+
+var (
+	reconnectsTotal   = metrics.Default.Counter("amqp.reconnects")
+	reconnectFailures = metrics.Default.Counter("amqp.reconnect_failures")
+	replayedPublishes = metrics.Default.Counter("amqp.replayed_publishes")
+	staleAcksDropped  = metrics.Default.Counter("amqp.stale_acks_dropped")
+)
+
+// errSuspended reports a synchronous call interrupted by a transport loss
+// while the connection reconnects. The operation may or may not have
+// executed; idempotent declarations can simply be retried.
+var errSuspended = errors.New("amqp: connection lost mid-call (reconnecting)")
+
+// ReconnectPolicy bounds automatic reconnection after an abnormal
+// transport loss. While reconnecting, confirm-mode publishes are queued
+// and replayed, consumers are re-established, and deliveries left
+// unacknowledged on the dead transport are requeued by the broker; the
+// connection shuts down for good once MaxAttempts dials fail.
+type ReconnectPolicy struct {
+	// MaxAttempts bounds redial attempts per outage (default 8).
+	MaxAttempts int
+	// Delay is the backoff before the second attempt (default 50ms); it
+	// doubles per attempt up to MaxDelay (default 2s). The first attempt
+	// is immediate.
+	Delay time.Duration
+	// MaxDelay caps the backoff.
+	MaxDelay time.Duration
+}
+
+func (p ReconnectPolicy) withDefaults() ReconnectPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 8
+	}
+	if p.Delay <= 0 {
+		p.Delay = 50 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 2 * time.Second
+	}
+	return p
+}
+
+// retry runs attempt up to MaxAttempts times under the policy's backoff
+// schedule (immediate first try, then Delay doubling to MaxDelay),
+// stopping early when attempt reports success or stop asks to abort. It
+// is the single backoff implementation shared by the initial dial and
+// the mid-run reconnect loop.
+func (p ReconnectPolicy) retry(stop func() bool, attempt func() bool) bool {
+	delay := p.Delay
+	for i := 0; i < p.MaxAttempts; i++ {
+		if i > 0 {
+			time.Sleep(delay)
+			delay *= 2
+			if delay > p.MaxDelay {
+				delay = p.MaxDelay
+			}
+		}
+		if stop != nil && stop() {
+			return false
+		}
+		if attempt() {
+			return true
+		}
+	}
+	return false
+}
 
 // Config controls connection establishment.
 type Config struct {
@@ -19,7 +88,8 @@ type Config struct {
 	// TLS enables AMQPS with the given client configuration.
 	TLS *tls.Config
 	// Dial overrides the transport dialer (used to route through netem
-	// links, SciStream proxies, or the MSS load balancer).
+	// links, SciStream proxies, or the MSS load balancer — typically a
+	// transport.Path composition).
 	Dial func(network, addr string) (net.Conn, error)
 	// FrameMax caps the negotiated frame size; zero accepts the server's.
 	FrameMax uint32
@@ -27,10 +97,15 @@ type Config struct {
 	Heartbeat time.Duration
 	// Properties are reported to the server during negotiation.
 	Properties Table
+	// Reconnect enables bounded auto-reconnect with unconfirmed-publish
+	// replay; nil keeps the legacy fail-fast behaviour.
+	Reconnect *ReconnectPolicy
 }
 
 // Connection is a client connection multiplexing channels over one socket.
 type Connection struct {
+	// conn and fr are the live transport; both are replaced on reconnect
+	// (conn under mu+writeMu, fr under mu with no read loop running).
 	conn net.Conn
 	fr   *wire.FrameReader
 
@@ -42,10 +117,37 @@ type Connection struct {
 	closed    bool
 	closeErr  error
 	notifyCls []chan *Error
+	suspended bool
+	epoch     uint64        // bumped per successful reconnect
+	genCh     chan struct{} // closed when the current transport dies
+	resumedCh chan struct{} // closed when a suspension ends (resume/shutdown)
+	// replayActive/replayAgain serialize consumer replay: one replayer
+	// goroutine at a time, re-running while reconnects keep landing.
+	replayActive bool
+	replayAgain  bool
 
-	frameMax uint32
-	done     chan struct{}
-	hbStop   chan struct{}
+	uri   URI
+	vhost string
+	cfg   Config
+
+	// deferredConfirms collects confirmations read during a resume (only
+	// the resume goroutine touches it); they are delivered to listeners
+	// after writeMu is released, so a listener's drainer blocked on a
+	// write can never deadlock the resume.
+	deferredConfirms []deferredConfirm
+
+	frameMax   atomic.Uint32
+	reconnects atomic.Uint64
+	done       chan struct{}
+	hbStop     chan struct{}
+}
+
+// deferredConfirm is one broker confirmation buffered during resume.
+type deferredConfirm struct {
+	channel  uint16
+	tag      uint64
+	multiple bool
+	ack      bool
 }
 
 // Error is a connection or channel exception.
@@ -64,16 +166,9 @@ func DialTLS(url string, tlsCfg *tls.Config) (*Connection, error) {
 	return DialConfig(url, Config{TLS: tlsCfg})
 }
 
-// DialConfig connects with explicit configuration.
-func DialConfig(url string, cfg Config) (*Connection, error) {
-	u, err := ParseURI(url)
-	if err != nil {
-		return nil, err
-	}
-	vhost := u.VHost
-	if cfg.VHost != "" {
-		vhost = cfg.VHost
-	}
+// dialTransport dials the raw transport for u, applying TLS when the
+// scheme or configuration asks for it.
+func dialTransport(u URI, cfg Config) (net.Conn, error) {
 	dial := cfg.Dial
 	if dial == nil {
 		dial = func(network, addr string) (net.Conn, error) {
@@ -96,87 +191,148 @@ func DialConfig(url string, cfg Config) (*Connection, error) {
 		}
 		raw = tlsConn
 	}
+	return raw, nil
+}
+
+// DialConfig connects with explicit configuration. When a reconnect
+// policy is set, the initial dial retries under the same schedule, so a
+// client starting during a path outage rides it out like an established
+// one would.
+func DialConfig(url string, cfg Config) (*Connection, error) {
+	u, err := ParseURI(url)
+	if err != nil {
+		return nil, err
+	}
+	vhost := u.VHost
+	if cfg.VHost != "" {
+		vhost = cfg.VHost
+	}
+	if cfg.Reconnect == nil {
+		return dialOnce(u, vhost, cfg)
+	}
+	var c *Connection
+	var lastErr error
+	cfg.Reconnect.withDefaults().retry(nil, func() bool {
+		c, lastErr = dialOnce(u, vhost, cfg)
+		return lastErr == nil
+	})
+	if lastErr != nil {
+		return nil, lastErr
+	}
+	return c, nil
+}
+
+// dialOnce performs one dial + protocol handshake and starts the
+// connection's background loops.
+func dialOnce(u URI, vhost string, cfg Config) (*Connection, error) {
+	raw, err := dialTransport(u, cfg)
+	if err != nil {
+		return nil, err
+	}
 	c := &Connection{
 		conn:     raw,
 		fr:       wire.NewFrameReader(raw, 0),
 		channels: map[uint16]*Channel{},
-		frameMax: wire.DefaultFrameMax,
+		uri:      u,
+		vhost:    vhost,
+		cfg:      cfg,
+		genCh:    make(chan struct{}),
 		done:     make(chan struct{}),
 		hbStop:   make(chan struct{}),
 	}
-	if err := c.handshake(vhost, cfg); err != nil {
+	c.frameMax.Store(wire.DefaultFrameMax)
+	hb, err := c.handshake(c.fr)
+	if err != nil {
 		raw.Close()
 		return nil, err
 	}
-	go c.readLoop()
+	if hb > 0 {
+		go c.heartbeatLoop(hb)
+	}
+	go c.readLoop(c.fr)
 	return c, nil
 }
 
-func (c *Connection) handshake(vhost string, cfg Config) error {
+// reconnectEnabled reports whether this connection tracks reconnect state.
+func (c *Connection) reconnectEnabled() bool { return c.cfg.Reconnect != nil }
+
+// currentEpoch returns the transport epoch (bumped per reconnect).
+func (c *Connection) currentEpoch() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.epoch
+}
+
+// Reconnects reports how many times the connection has reconnected.
+func (c *Connection) Reconnects() uint64 { return c.reconnects.Load() }
+
+// handshake negotiates the protocol on the current transport. Writes go
+// straight to the socket: at dial time the connection is not yet shared,
+// and at resume time the caller holds writeMu. It returns the negotiated
+// heartbeat interval (zero when disabled).
+func (c *Connection) handshake(fr *wire.FrameReader) (time.Duration, error) {
+	cfg := c.cfg
 	if err := wire.WriteProtocolHeader(c.conn); err != nil {
-		return err
+		return 0, err
 	}
-	m, err := c.readMethod()
+	m, err := c.readMethod(fr)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	if _, ok := m.(*wire.ConnectionStart); !ok {
-		return fmt.Errorf("amqp: expected connection.start, got %T", m)
+		return 0, fmt.Errorf("amqp: expected connection.start, got %T", m)
 	}
 	props := cfg.Properties
 	if props == nil {
 		props = Table{"product": "ds2hpc-client"}
 	}
-	if err := c.writeMethod(0, &wire.ConnectionStartOk{
+	if err := c.writeMethodRaw(0, &wire.ConnectionStartOk{
 		ClientProperties: props,
 		Mechanism:        "PLAIN",
 		Response:         []byte("\x00guest\x00guest"),
 		Locale:           "en_US",
 	}); err != nil {
-		return err
+		return 0, err
 	}
-	m, err = c.readMethod()
+	m, err = c.readMethod(fr)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	tune, ok := m.(*wire.ConnectionTune)
 	if !ok {
-		return fmt.Errorf("amqp: expected connection.tune, got %T", m)
+		return 0, fmt.Errorf("amqp: expected connection.tune, got %T", m)
 	}
 	frameMax := tune.FrameMax
 	if cfg.FrameMax > 0 && cfg.FrameMax < frameMax {
 		frameMax = cfg.FrameMax
 	}
-	c.frameMax = frameMax
-	c.fr.SetFrameMax(frameMax + 1024)
+	c.frameMax.Store(frameMax)
+	fr.SetFrameMax(frameMax + 1024)
 	hb := uint16(cfg.Heartbeat / time.Second)
 	if tune.Heartbeat < hb {
 		hb = tune.Heartbeat
 	}
-	if err := c.writeMethod(0, &wire.ConnectionTuneOk{
+	if err := c.writeMethodRaw(0, &wire.ConnectionTuneOk{
 		ChannelMax: tune.ChannelMax, FrameMax: frameMax, Heartbeat: hb,
 	}); err != nil {
-		return err
+		return 0, err
 	}
-	if hb > 0 {
-		go c.heartbeatLoop(time.Duration(hb) * time.Second)
+	if err := c.writeMethodRaw(0, &wire.ConnectionOpen{VirtualHost: c.vhost}); err != nil {
+		return 0, err
 	}
-	if err := c.writeMethod(0, &wire.ConnectionOpen{VirtualHost: vhost}); err != nil {
-		return err
-	}
-	m, err = c.readMethod()
+	m, err = c.readMethod(fr)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	if _, ok := m.(*wire.ConnectionOpenOk); !ok {
-		return fmt.Errorf("amqp: expected connection.open-ok, got %T", m)
+		return 0, fmt.Errorf("amqp: expected connection.open-ok, got %T", m)
 	}
-	return nil
+	return time.Duration(hb) * time.Second, nil
 }
 
-func (c *Connection) readMethod() (wire.Method, error) {
+func (c *Connection) readMethod(fr *wire.FrameReader) (wire.Method, error) {
 	for {
-		f, err := c.fr.ReadFrame()
+		f, err := fr.ReadFrame()
 		if err != nil {
 			return nil, err
 		}
@@ -268,6 +424,11 @@ func (c *Connection) shutdown(err *Error) {
 	if err != nil {
 		c.closeErr = err
 	}
+	if c.resumedCh != nil {
+		close(c.resumedCh) // release awaitResume waiters; they see closed
+		c.resumedCh = nil
+	}
+	conn := c.conn
 	chans := make([]*Channel, 0, len(c.channels))
 	for _, ch := range c.channels {
 		chans = append(chans, ch)
@@ -279,7 +440,7 @@ func (c *Connection) shutdown(err *Error) {
 
 	close(c.done)
 	close(c.hbStop)
-	c.conn.Close()
+	conn.Close()
 	for _, ch := range chans {
 		ch.shutdown(err)
 	}
@@ -294,10 +455,202 @@ func (c *Connection) shutdown(err *Error) {
 	}
 }
 
-func (c *Connection) readLoop() {
-	for {
-		f, err := c.fr.ReadFrame()
+// beginReconnect suspends the connection after a transport loss when the
+// configuration allows reconnecting: in-flight synchronous calls are
+// failed (they select on the generation channel), writers queue
+// confirm-tracked publishes, and a background loop redials. It reports
+// whether reconnection was started.
+func (c *Connection) beginReconnect() bool {
+	c.mu.Lock()
+	if c.closed || !c.reconnectEnabled() || c.suspended {
+		c.mu.Unlock()
+		return false
+	}
+	c.suspended = true
+	close(c.genCh)
+	c.resumedCh = make(chan struct{})
+	conn := c.conn
+	c.mu.Unlock()
+	conn.Close() // writers fail fast on the dead socket
+	go c.reconnectLoop()
+	return true
+}
+
+func (c *Connection) reconnectLoop() {
+	closed := func() bool {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return c.closed // user Close won the race; shutdown already ran
+	}
+	ok := c.cfg.Reconnect.withDefaults().retry(closed, func() bool {
+		raw, err := dialTransport(c.uri, c.cfg)
 		if err != nil {
+			return false
+		}
+		if err := c.resume(raw); err != nil {
+			raw.Close()
+			return false
+		}
+		return true
+	})
+	if ok {
+		c.reconnects.Add(1)
+		reconnectsTotal.Inc()
+		return
+	}
+	if closed() {
+		return
+	}
+	reconnectFailures.Inc()
+	c.shutdown(&Error{Code: wire.ReplyInternalError, Reason: "amqp: reconnect attempts exhausted"})
+}
+
+// resume installs the new transport, redoes the protocol handshake, and
+// replays channel state: channel.open, QoS, confirm mode, and every
+// unconfirmed confirm-mode publish (in sequence order, so broker confirm
+// tags map back onto the original client sequence numbers). Consumers are
+// re-established through the normal RPC path once the read loop is live.
+// It holds writeMu throughout, so no application write can interleave
+// with the replay, and is the sole frame reader until the new read loop
+// starts.
+func (c *Connection) resume(raw net.Conn) error {
+	c.writeMu.Lock()
+
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		c.writeMu.Unlock()
+		return ErrClosed
+	}
+	c.conn = raw
+	fr := wire.NewFrameReader(raw, 0)
+	c.fr = fr
+	c.epoch++
+	chans := make([]*Channel, 0, len(c.channels))
+	for _, ch := range c.channels {
+		chans = append(chans, ch)
+	}
+	c.mu.Unlock()
+	sort.Slice(chans, func(i, j int) bool { return chans[i].id < chans[j].id })
+	c.deferredConfirms = c.deferredConfirms[:0]
+
+	if _, err := c.handshake(fr); err != nil {
+		c.writeMu.Unlock()
+		return err
+	}
+	for _, ch := range chans {
+		if err := ch.replayState(fr); err != nil {
+			c.writeMu.Unlock()
+			return err
+		}
+	}
+	c.mu.Lock()
+	c.suspended = false
+	c.genCh = make(chan struct{})
+	if c.resumedCh != nil {
+		close(c.resumedCh)
+		c.resumedCh = nil
+	}
+	c.mu.Unlock()
+	c.writeMu.Unlock()
+
+	// Deliver confirmations that arrived during the replay now that the
+	// write lock is free (their listeners' drainers may themselves be
+	// blocked on writes), and before the read loop can deliver newer
+	// ones, preserving per-channel confirm order.
+	deferred := c.deferredConfirms
+	c.deferredConfirms = nil
+	for _, dc := range deferred {
+		if ch := c.channelByID(dc.channel); ch != nil {
+			ch.dispatchConfirm(dc.tag, dc.multiple, dc.ack)
+		}
+	}
+	go c.readLoop(fr)
+	// Consumers go through the regular synchronous path: the read loop
+	// must be live to route their -ok replies (and the deliveries that
+	// follow immediately behind them).
+	c.kickConsumerReplay()
+	return nil
+}
+
+// kickConsumerReplay runs consumer re-subscription on a single replayer
+// goroutine, re-running while further reconnects land. Serializing the
+// passes (plus the per-consumer landing-epoch records in the channels)
+// guarantees a consumer tag is never subscribed twice on one transport,
+// which the broker would reject as a duplicate.
+func (c *Connection) kickConsumerReplay() {
+	c.mu.Lock()
+	if c.replayActive {
+		c.replayAgain = true
+		c.mu.Unlock()
+		return
+	}
+	c.replayActive = true
+	c.mu.Unlock()
+	go func() {
+		for {
+			c.mu.Lock()
+			target := c.epoch
+			chans := make([]*Channel, 0, len(c.channels))
+			for _, ch := range c.channels {
+				chans = append(chans, ch)
+			}
+			c.mu.Unlock()
+			sort.Slice(chans, func(i, j int) bool { return chans[i].id < chans[j].id })
+			for _, ch := range chans {
+				ch.replayConsumers(target)
+			}
+			c.mu.Lock()
+			if !c.replayAgain {
+				c.replayActive = false
+				c.mu.Unlock()
+				return
+			}
+			c.replayAgain = false
+			c.mu.Unlock()
+		}
+	}()
+}
+
+// replayCall performs one synchronous method call during resume: the
+// caller holds writeMu and owns the frame reader. Unrelated frames that
+// arrive first (confirms for channels replayed earlier) are dispatched
+// like the read loop would.
+func (c *Connection) replayCall(fr *wire.FrameReader, channel uint16, m wire.Method) (wire.Method, error) {
+	if err := c.writeMethodRaw(channel, m); err != nil {
+		return nil, err
+	}
+	for {
+		f, err := fr.ReadFrame()
+		if err != nil {
+			return nil, err
+		}
+		if f.Type == wire.FrameMethod && f.Channel == channel {
+			resp, err := wire.ParseMethod(f.Payload)
+			if err != nil {
+				return nil, err
+			}
+			if cl, ok := resp.(*wire.ChannelClose); ok {
+				return nil, &Error{Code: cl.ReplyCode, Reason: cl.ReplyText}
+			}
+			return resp, nil
+		}
+		if stop, e := c.dispatchFrame(f, true); stop {
+			if e != nil {
+				return nil, e
+			}
+			return nil, ErrClosed
+		}
+	}
+}
+
+func (c *Connection) readLoop(fr *wire.FrameReader) {
+	for {
+		f, err := fr.ReadFrame()
+		if err != nil {
+			if c.beginReconnect() {
+				return
+			}
 			var e *Error
 			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
 				e = &Error{Code: wire.ReplyInternalError, Reason: err.Error()}
@@ -305,39 +658,77 @@ func (c *Connection) readLoop() {
 			c.shutdown(e)
 			return
 		}
-		switch f.Type {
-		case wire.FrameHeartbeat:
-			continue
-		case wire.FrameMethod:
-			m, err := wire.ParseMethod(f.Payload)
-			if err != nil {
-				c.shutdown(&Error{Code: wire.ReplySyntaxError, Reason: err.Error()})
-				return
-			}
-			if f.Channel == 0 {
-				if cl, ok := m.(*wire.ConnectionClose); ok {
-					c.writeMethod(0, &wire.ConnectionCloseOk{})
-					c.shutdown(&Error{Code: cl.ReplyCode, Reason: cl.ReplyText})
-					return
-				}
-				continue
-			}
-			if ch := c.channelByID(f.Channel); ch != nil {
-				ch.onMethod(m)
-			}
-		case wire.FrameHeader:
-			if ch := c.channelByID(f.Channel); ch != nil {
-				h, err := wire.ParseContentHeader(f.Payload)
-				if err == nil {
-					ch.onHeader(h)
-				}
-			}
-		case wire.FrameBody:
-			if ch := c.channelByID(f.Channel); ch != nil {
-				ch.onBody(f.Payload)
-			}
+		if stop, e := c.dispatchFrame(f, false); stop {
+			c.shutdown(e)
+			return
 		}
 	}
+}
+
+// dispatchFrame routes one inbound frame to its channel. raw marks calls
+// from the resume path, where writeMu is already held and protocol
+// replies must bypass it. It reports whether the connection must stop,
+// with the exception to surface.
+func (c *Connection) dispatchFrame(f wire.Frame, raw bool) (stop bool, e *Error) {
+	switch f.Type {
+	case wire.FrameHeartbeat:
+	case wire.FrameMethod:
+		m, err := wire.ParseMethod(f.Payload)
+		if err != nil {
+			return true, &Error{Code: wire.ReplySyntaxError, Reason: err.Error()}
+		}
+		if f.Channel == 0 {
+			if cl, ok := m.(*wire.ConnectionClose); ok {
+				if raw {
+					c.writeMethodRaw(0, &wire.ConnectionCloseOk{})
+				} else {
+					c.writeMethod(0, &wire.ConnectionCloseOk{})
+				}
+				return true, &Error{Code: cl.ReplyCode, Reason: cl.ReplyText}
+			}
+			return false, nil
+		}
+		if raw {
+			// Resume-path dispatch holds writeMu, so protocol replies
+			// bypass it and confirmations — whose listeners may be
+			// drained by a goroutine blocked on a write — are buffered
+			// for delivery after the lock is released.
+			switch x := m.(type) {
+			case *wire.ChannelClose:
+				c.writeMethodRaw(f.Channel, &wire.ChannelCloseOk{})
+				if ch := c.channelByID(f.Channel); ch != nil {
+					c.removeChannel(f.Channel)
+					ch.shutdown(&Error{Code: x.ReplyCode, Reason: x.ReplyText})
+				}
+				return false, nil
+			case *wire.BasicAck:
+				c.deferredConfirms = append(c.deferredConfirms, deferredConfirm{
+					channel: f.Channel, tag: x.DeliveryTag, multiple: x.Multiple, ack: true,
+				})
+				return false, nil
+			case *wire.BasicNack:
+				c.deferredConfirms = append(c.deferredConfirms, deferredConfirm{
+					channel: f.Channel, tag: x.DeliveryTag, multiple: x.Multiple, ack: false,
+				})
+				return false, nil
+			}
+		}
+		if ch := c.channelByID(f.Channel); ch != nil {
+			ch.onMethod(m)
+		}
+	case wire.FrameHeader:
+		if ch := c.channelByID(f.Channel); ch != nil {
+			h, err := wire.ParseContentHeader(f.Payload)
+			if err == nil {
+				ch.onHeader(h)
+			}
+		}
+	case wire.FrameBody:
+		if ch := c.channelByID(f.Channel); ch != nil {
+			ch.onBody(f.Payload)
+		}
+	}
+	return false, nil
 }
 
 func (c *Connection) channelByID(id uint16) *Channel {
@@ -350,6 +741,40 @@ func (c *Connection) removeChannel(id uint16) {
 	c.mu.Lock()
 	delete(c.channels, id)
 	c.mu.Unlock()
+}
+
+// genState snapshots the current transport generation for synchronous
+// calls — the channel closes if the transport dies — together with the
+// matching epoch: a write validated against the generation (writeMethodGen)
+// is guaranteed to land on exactly that epoch's transport.
+func (c *Connection) genState() (chan struct{}, bool, uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.genCh, c.suspended, c.epoch
+}
+
+// awaitResume blocks while the connection is suspended, reporting true
+// once it is live again and false once it is closed for good. Waiters
+// park on the per-outage resumed channel rather than polling.
+func (c *Connection) awaitResume() bool {
+	for {
+		c.mu.Lock()
+		closed, suspended, wait := c.closed, c.suspended, c.resumedCh
+		c.mu.Unlock()
+		if closed {
+			return false
+		}
+		if !suspended {
+			return true
+		}
+		if wait == nil {
+			// Suspension without a wait channel cannot normally happen;
+			// degrade to a short sleep rather than spinning.
+			time.Sleep(time.Millisecond)
+			continue
+		}
+		<-wait
+	}
 }
 
 func (c *Connection) writeFrame(f wire.Frame) error {
@@ -376,17 +801,145 @@ func (c *Connection) writeMethod(channel uint16, m wire.Method) error {
 	return err
 }
 
+// writeMethodRaw writes without taking writeMu: used during handshake
+// (no concurrent writers yet) and resume (writeMu already held).
+func (c *Connection) writeMethodRaw(channel uint16, m wire.Method) error {
+	w := wire.GetWriter()
+	w.AppendMethodFrame(channel, m)
+	if err := w.Err(); err != nil {
+		wire.PutWriter(w)
+		return err
+	}
+	err := w.FlushFrames(c.conn, 1)
+	wire.PutWriter(w)
+	return err
+}
+
+// writeMethodGen writes a synchronous method only if the transport
+// generation still matches gen, so a call never lands on a transport
+// whose reply would go to a different waiter. Socket failures on a
+// reconnecting connection surface as errSuspended (the read loop flips
+// to suspension moments later); marshal errors stay as-is — they are
+// permanent and must not be retried.
+func (c *Connection) writeMethodGen(gen chan struct{}, channel uint16, m wire.Method) error {
+	w := wire.GetWriter()
+	w.AppendMethodFrame(channel, m)
+	if err := w.Err(); err != nil {
+		wire.PutWriter(w)
+		return err
+	}
+	c.writeMu.Lock()
+	c.mu.Lock()
+	ok := !c.suspended && c.genCh == gen
+	c.mu.Unlock()
+	var err error
+	if ok {
+		err = w.FlushFrames(c.conn, 1)
+		if err != nil && c.reconnectEnabled() {
+			err = errSuspended
+		}
+	} else {
+		err = errSuspended
+	}
+	c.writeMu.Unlock()
+	wire.PutWriter(w)
+	return err
+}
+
+// writeMethodEpoch writes an acknowledgement-class method only while the
+// transport epoch still matches: after a reconnect the broker has
+// requeued the deliveries those tags named, so stale acks are dropped
+// rather than misapplied to new deliveries.
+func (c *Connection) writeMethodEpoch(epoch uint64, channel uint16, m wire.Method) error {
+	w := wire.GetWriter()
+	w.AppendMethodFrame(channel, m)
+	if err := w.Err(); err != nil {
+		wire.PutWriter(w)
+		return err
+	}
+	c.writeMu.Lock()
+	c.mu.Lock()
+	stale := c.epoch != epoch || c.suspended
+	c.mu.Unlock()
+	var err error
+	if stale {
+		staleAcksDropped.Inc()
+	} else {
+		err = w.FlushFrames(c.conn, 1)
+	}
+	c.writeMu.Unlock()
+	wire.PutWriter(w)
+	if err != nil && c.reconnectEnabled() {
+		// Transport died mid-ack: the broker requeues the delivery when
+		// it notices, so the ack is simply dropped.
+		staleAcksDropped.Inc()
+		return nil
+	}
+	return err
+}
+
 // writeContent coalesces a publish's method+header+body frames into one
 // buffered write, atomic with respect to other writers on this connection:
 // one syscall per message instead of one per frame.
 func (c *Connection) writeContent(channel uint16, m wire.Method, props *wire.Properties, body []byte) error {
 	w := wire.GetWriter()
 	defer wire.PutWriter(w)
-	frames := w.AppendContentFrames(channel, m, props, body, c.frameMax)
+	frames := w.AppendContentFrames(channel, m, props, body, c.frameMax.Load())
 	if err := w.Err(); err != nil {
 		return err
 	}
 	c.writeMu.Lock()
 	defer c.writeMu.Unlock()
+	return w.FlushFrames(c.conn, frames)
+}
+
+// writeContentTracked writes a confirm-mode publish on a reconnecting
+// connection. The broker confirm tag is assigned inside writeMu, so tag
+// order always matches the order frames reach the wire; the epoch check
+// happens under the same lock, so a publish never races the resume
+// path's map rebuild — when the transport is suspended or the tag map
+// belongs to an older epoch, the publish stays in pending (already
+// recorded by the caller) and the replay owns it. Marshal errors are
+// permanent and propagate; socket errors mean the reconnect replay will
+// resend, so they report success.
+func (c *Connection) writeContentTracked(ch *Channel, seq uint64, m wire.Method, props *wire.Properties, body []byte) error {
+	w := wire.GetWriter()
+	defer wire.PutWriter(w)
+	frames := w.AppendContentFrames(ch.id, m, props, body, c.frameMax.Load())
+	if err := w.Err(); err != nil {
+		return err
+	}
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	c.mu.Lock()
+	epoch, suspended := c.epoch, c.suspended
+	c.mu.Unlock()
+	ch.mu.Lock()
+	// Skip the write when the replay owns this publish: the transport is
+	// suspended, the tag map belongs to another epoch, or a resume ran
+	// between this publish's bookkeeping and its (writeMu-blocked) write
+	// — the rebuild snapshot included it, so writing here too would put
+	// it on the wire twice and shift every later confirm mapping.
+	if suspended || epoch != ch.mapEpoch || seq <= ch.replayedThrough {
+		ch.mu.Unlock()
+		return nil
+	}
+	ch.brokerSeq++
+	ch.pubMap[ch.brokerSeq] = seq
+	ch.mu.Unlock()
+	if err := w.FlushFrames(c.conn, frames); err != nil {
+		return nil // transport died mid-write; the replay resends it
+	}
+	return nil
+}
+
+// writeContentRaw writes content during resume (writeMu held).
+func (c *Connection) writeContentRaw(channel uint16, m wire.Method, props *wire.Properties, body []byte) error {
+	w := wire.GetWriter()
+	defer wire.PutWriter(w)
+	frames := w.AppendContentFrames(channel, m, props, body, c.frameMax.Load())
+	if err := w.Err(); err != nil {
+		return err
+	}
 	return w.FlushFrames(c.conn, frames)
 }

@@ -1,0 +1,280 @@
+package amqp_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"ds2hpc/internal/amqp"
+	"ds2hpc/internal/broker"
+	"ds2hpc/internal/metrics"
+	"ds2hpc/internal/transport"
+)
+
+// testPolicy is a fast retry schedule suited to in-process brokers.
+func testPolicy() *amqp.ReconnectPolicy {
+	return &amqp.ReconnectPolicy{MaxAttempts: 50, Delay: 5 * time.Millisecond, MaxDelay: 50 * time.Millisecond}
+}
+
+// dialFaulted connects through a fault injector with reconnect enabled.
+func dialFaulted(t *testing.T, s *broker.Server, in *transport.Injector) *amqp.Connection {
+	t.Helper()
+	c, err := amqp.DialConfig("amqp://"+s.Addr(), amqp.Config{
+		Dial:      transport.Path{in.Hop()}.Dial(),
+		Reconnect: testPolicy(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// TestReconnectResumesPublishAndConsume cuts the transport mid-run and
+// checks the full contract: the connection redials, channel state (QoS,
+// confirm mode, consumer) is replayed, unconfirmed publishes are resent,
+// confirms keep arriving with the original client sequence numbers, and
+// every message is eventually delivered.
+func TestReconnectResumesPublishAndConsume(t *testing.T) {
+	s := startBroker(t, broker.Config{})
+	in := transport.NewInjector()
+	conn := dialFaulted(t, s, in)
+
+	ch := openChannel(t, conn)
+	if _, err := ch.QueueDeclare("rq", false, false, false, false, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := ch.Qos(8, 0, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := ch.Confirm(false); err != nil {
+		t.Fatal(err)
+	}
+	confirms := ch.NotifyPublish(make(chan amqp.Confirmation, 64))
+	deliveries, err := ch.Consume("rq", "rc", false, false, false, false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const total = 24
+	seen := map[string]bool{}
+	acked := map[uint64]bool{}
+	done := make(chan error, 1)
+	go func() {
+		deadline := time.After(20 * time.Second)
+		for len(seen) < total || len(acked) < total {
+			select {
+			case d, ok := <-deliveries:
+				if !ok {
+					done <- fmt.Errorf("deliveries closed with %d/%d messages", len(seen), total)
+					return
+				}
+				seen[d.MessageID] = true
+				d.Ack(false)
+			case cf := <-confirms:
+				if !cf.Ack {
+					done <- fmt.Errorf("unexpected nack for seq %d", cf.DeliveryTag)
+					return
+				}
+				if acked[cf.DeliveryTag] {
+					done <- fmt.Errorf("duplicate confirm for seq %d", cf.DeliveryTag)
+					return
+				}
+				acked[cf.DeliveryTag] = true
+			case <-deadline:
+				done <- fmt.Errorf("timeout with %d/%d delivered, %d/%d confirmed",
+					len(seen), total, len(acked), total)
+				return
+			}
+		}
+		done <- nil
+	}()
+
+	for i := 0; i < total; i++ {
+		if i == total/2 {
+			// Mid-run transport loss: live connections reset.
+			in.ResetConns()
+		}
+		err := ch.Publish("", "rq", false, false, amqp.Publishing{
+			MessageID: fmt.Sprintf("m%d", i),
+			Body:      []byte("payload"),
+		})
+		if err != nil {
+			t.Fatalf("publish %d: %v", i, err)
+		}
+		// A small pacing delay keeps publishes spread across the outage
+		// window so some land while suspended (queued for replay).
+		time.Sleep(time.Millisecond)
+	}
+
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if conn.Reconnects() == 0 {
+		t.Fatal("connection never reconnected")
+	}
+	// Confirm sequence numbers must be exactly 1..total with no gaps:
+	// replayed publishes keep their original client sequence numbers.
+	for seq := uint64(1); seq <= total; seq++ {
+		if !acked[seq] {
+			t.Fatalf("missing confirm for client seq %d", seq)
+		}
+	}
+}
+
+// TestReconnectConfirmMappingUnderRepeatedResets hammers the
+// publish-versus-resume window: unpaced publishes racing several resets
+// must still produce exactly one confirm per client sequence number — a
+// publish double-written during a resume would shift every later broker
+// confirm tag off by one and strand the tail unconfirmed.
+func TestReconnectConfirmMappingUnderRepeatedResets(t *testing.T) {
+	s := startBroker(t, broker.Config{})
+	in := transport.NewInjector()
+	conn := dialFaulted(t, s, in)
+	ch := openChannel(t, conn)
+	if _, err := ch.QueueDeclare("hq", false, false, false, false, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := ch.Confirm(false); err != nil {
+		t.Fatal(err)
+	}
+	confirms := ch.NotifyPublish(make(chan amqp.Confirmation, 256))
+
+	const total = 200
+	stop := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			case <-time.After(2 * time.Millisecond):
+				in.ResetConns()
+			}
+		}
+	}()
+	for i := 0; i < total; i++ {
+		if err := ch.Publish("", "hq", false, false, amqp.Publishing{Body: []byte("h")}); err != nil {
+			close(stop)
+			t.Fatalf("publish %d: %v", i, err)
+		}
+	}
+	close(stop)
+
+	acked := map[uint64]bool{}
+	deadline := time.After(30 * time.Second)
+	for len(acked) < total {
+		select {
+		case cf := <-confirms:
+			if acked[cf.DeliveryTag] {
+				t.Fatalf("duplicate confirm for seq %d", cf.DeliveryTag)
+			}
+			if cf.DeliveryTag == 0 || cf.DeliveryTag > total {
+				t.Fatalf("confirm for unknown seq %d", cf.DeliveryTag)
+			}
+			acked[cf.DeliveryTag] = true
+		case <-deadline:
+			t.Fatalf("timeout with %d/%d confirms (mapping drifted)", len(acked), total)
+		}
+	}
+}
+
+// TestReconnectGivesUpAfterMaxAttempts bounds the retry loop: a link that
+// never heals must shut the connection down (closing consumer channels)
+// instead of spinning forever.
+func TestReconnectGivesUpAfterMaxAttempts(t *testing.T) {
+	s := startBroker(t, broker.Config{})
+	in := transport.NewInjector()
+	c, err := amqp.DialConfig("amqp://"+s.Addr(), amqp.Config{
+		Dial:      transport.Path{in.Hop()}.Dial(),
+		Reconnect: &amqp.ReconnectPolicy{MaxAttempts: 3, Delay: 5 * time.Millisecond, MaxDelay: 10 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ch := openChannel(t, c)
+	if _, err := ch.QueueDeclare("gq", false, false, false, false, nil); err != nil {
+		t.Fatal(err)
+	}
+	deliveries, err := ch.Consume("gq", "", true, false, false, false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	before := metrics.Default.Snapshot()
+	in.Partition() // never healed
+	select {
+	case _, ok := <-deliveries:
+		if ok {
+			t.Fatal("unexpected delivery")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("consumer channel not closed after reconnect exhaustion")
+	}
+	if !c.IsClosed() {
+		t.Fatal("connection must be closed after exhausting attempts")
+	}
+	d := metrics.Delta(before, metrics.Default.Snapshot())
+	if d["amqp.reconnect_failures"] == 0 {
+		t.Fatal("reconnect failure not counted")
+	}
+}
+
+// TestReconnectDisabledKeepsLegacyFailFast pins the legacy behaviour: no
+// policy, a transport loss closes the connection immediately.
+func TestReconnectDisabledKeepsLegacyFailFast(t *testing.T) {
+	s := startBroker(t, broker.Config{})
+	in := transport.NewInjector()
+	c, err := amqp.DialConfig("amqp://"+s.Addr(), amqp.Config{
+		Dial: transport.Path{in.Hop()}.Dial(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	in.ResetConns()
+	deadline := time.Now().Add(5 * time.Second)
+	for !c.IsClosed() && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if !c.IsClosed() {
+		t.Fatal("legacy connection must fail fast on transport loss")
+	}
+}
+
+// TestReconnectAcrossLinkFlap exercises the dial-refused path: the flap
+// both resets live connections and refuses redials until it heals, so
+// the retry loop must outlast the outage.
+func TestReconnectAcrossLinkFlap(t *testing.T) {
+	s := startBroker(t, broker.Config{})
+	in := transport.NewInjector()
+	conn := dialFaulted(t, s, in)
+	ch := openChannel(t, conn)
+	if _, err := ch.QueueDeclare("fq", false, false, false, false, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := ch.Confirm(false); err != nil {
+		t.Fatal(err)
+	}
+	confirms := ch.NotifyPublish(make(chan amqp.Confirmation, 16))
+
+	in.Flap(50 * time.Millisecond)
+	// Publish during the outage: must be queued and replayed.
+	if err := ch.Publish("", "fq", false, false, amqp.Publishing{Body: []byte("x")}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case cf := <-confirms:
+		if !cf.Ack || cf.DeliveryTag != 1 {
+			t.Fatalf("confirm %+v", cf)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("publish across flap never confirmed")
+	}
+	if st := in.Stats(); st.Refused == 0 {
+		t.Error("expected refused dials during the flap window")
+	}
+	if conn.Reconnects() == 0 {
+		t.Fatal("connection never reconnected")
+	}
+}

@@ -18,13 +18,12 @@ package core
 
 import (
 	"fmt"
-	"net"
 
 	"ds2hpc/internal/amqp"
 	"ds2hpc/internal/cluster"
 	"ds2hpc/internal/fabric"
-	"ds2hpc/internal/netem"
 	"ds2hpc/internal/scistream"
+	"ds2hpc/internal/transport"
 )
 
 // ArchitectureName identifies one of the studied architectures.
@@ -60,6 +59,14 @@ type Options struct {
 	// the load balancer and dial broker pods directly — the improvement
 	// proposed in the paper's §6 discussion.
 	BypassLB bool
+	// Faults, when set, is composed as the outermost hop of every client
+	// connection path, so scripted WAN failures (link flaps, resets,
+	// partitions, latency spikes) hit all clients of the deployment.
+	Faults *transport.Injector
+	// Reconnect, when set, enables bounded client auto-reconnect (with
+	// unconfirmed-publish replay) on every endpoint the deployment hands
+	// out, letting runs survive injected path faults.
+	Reconnect *amqp.ReconnectPolicy
 }
 
 func (o *Options) defaults() {
@@ -74,17 +81,27 @@ func (o *Options) defaults() {
 	}
 }
 
-// Endpoint is a ready-to-dial AMQP endpoint for one queue.
+// Endpoint is a ready-to-dial AMQP endpoint for one queue. The Path is
+// the architecture's client→service hop chain (Figure 3a–c); every
+// deployment dials exclusively through it.
 type Endpoint struct {
-	// URL is the amqp:// or amqps:// URL to dial.
+	// URL is the amqp:// URL to dial. TLS-originate hops live in Path,
+	// so the URL scheme stays amqp even for TLS-fronted architectures.
 	URL string
-	// Config carries the transport dialer and TLS settings.
-	Config amqp.Config
+	// Path is the ordered hop chain between the client and the service.
+	Path transport.Path
+	// Reconnect, when non-nil, enables client auto-reconnect.
+	Reconnect *amqp.ReconnectPolicy
 }
 
-// Connect opens an AMQP connection to the endpoint.
+// Config builds the AMQP client configuration for this endpoint.
+func (e Endpoint) Config() amqp.Config {
+	return amqp.Config{Dial: e.Path.Dial(), Reconnect: e.Reconnect}
+}
+
+// Connect opens an AMQP connection through the endpoint's hop chain.
 func (e Endpoint) Connect() (*amqp.Connection, error) {
-	return amqp.DialConfig(e.URL, e.Config)
+	return amqp.DialConfig(e.URL, e.Config())
 }
 
 // Deployment is a running architecture instance.
@@ -126,30 +143,22 @@ func Deploy(name ArchitectureName, opts Options) (Deployment, error) {
 	}
 }
 
-// clientDial returns a transport dialer that gives every connection its own
-// emulated client NIC link (an Andes node's 1 Gbps interface).
-func clientDial(opts Options) func(network, addr string) (net.Conn, error) {
-	if opts.DisableClientShaping {
-		return nil
+// clientPath builds a client connection path: the optional fault injector
+// first (the facility-spanning WAN segment where outages strike), then a
+// per-connection client NIC link (an Andes node's 1 Gbps interface), then
+// the architecture-specific hops.
+func (o Options) clientPath(hops ...transport.Hop) transport.Path {
+	var p transport.Path
+	if o.Faults != nil {
+		p = append(p, o.Faults.Hop())
 	}
-	p := opts.Profile
-	return func(network, addr string) (net.Conn, error) {
-		d := &netem.Dialer{Link: p.ClientLink("andes-nic")}
-		return d.Dial(network, addr)
+	if !o.DisableClientShaping {
+		p = append(p, transport.Link(o.Profile.ClientLink("andes-nic")))
 	}
+	return append(p, hops...)
 }
 
-// wrapDial layers per-connection client shaping over an existing dialer.
-func wrapDial(opts Options, inner func(network, addr string) (net.Conn, error)) func(network, addr string) (net.Conn, error) {
-	if opts.DisableClientShaping {
-		return inner
-	}
-	p := opts.Profile
-	return func(network, addr string) (net.Conn, error) {
-		c, err := inner(network, addr)
-		if err != nil {
-			return nil, err
-		}
-		return netem.Wrap(c, p.ClientLink("andes-nic")), nil
-	}
+// endpoint assembles an Endpoint over the options' client path.
+func (o Options) endpoint(url string, hops ...transport.Hop) Endpoint {
+	return Endpoint{URL: url, Path: o.clientPath(hops...), Reconnect: o.Reconnect}
 }

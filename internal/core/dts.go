@@ -3,10 +3,10 @@ package core
 import (
 	"fmt"
 
-	"ds2hpc/internal/amqp"
 	"ds2hpc/internal/broker"
 	"ds2hpc/internal/cluster"
 	"ds2hpc/internal/tlsutil"
+	"ds2hpc/internal/transport"
 )
 
 // dtsDeployment exposes the broker cluster's node ports directly with TLS
@@ -45,14 +45,14 @@ func (d *dtsDeployment) Cluster() *cluster.Cluster {
 func (d *dtsDeployment) MaxProducerConns() int { return 0 }
 func (d *dtsDeployment) Close() error          { return d.cl.Close() }
 
+// endpoint composes the DTS hop chain of Figure 3a: client NIC link, then
+// TLS-originate straight to the queue master's AMQPS NodePort. The TLS
+// hop carries the AMQPS leg, so the URL scheme stays amqp.
 func (d *dtsDeployment) endpoint(queue string) Endpoint {
-	return Endpoint{
-		URL: "amqps://" + d.cl.AddrFor(queue),
-		Config: amqp.Config{
-			TLS:  d.identity.ClientConfig("127.0.0.1"),
-			Dial: clientDial(d.opts),
-		},
-	}
+	return d.opts.endpoint(
+		"amqp://"+d.cl.AddrFor(queue),
+		transport.TLSClient(d.identity.ClientConfig("127.0.0.1")),
+	)
 }
 
 func (d *dtsDeployment) ProducerEndpoint(queue string) Endpoint { return d.endpoint(queue) }

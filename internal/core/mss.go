@@ -6,7 +6,6 @@ import (
 	"fmt"
 	"net/http"
 
-	"ds2hpc/internal/amqp"
 	"ds2hpc/internal/broker"
 	"ds2hpc/internal/cluster"
 	"ds2hpc/internal/mss"
@@ -147,16 +146,14 @@ func (d *mssDeployment) Close() error {
 // LoadBalancer exposes the LB for metrics (queue wait inspection).
 func (d *mssDeployment) LoadBalancer() *mss.LoadBalancer { return d.lb }
 
-// endpoint dials through the front door with the per-pod FQDN of the
-// queue's master node as SNI.
+// endpoint composes the MSS hop chain of Figure 3c: client NIC link, then
+// the managed front door — redirect to the LB's public address and
+// originate TLS with the per-pod FQDN of the queue's master node as SNI.
+// The LB terminates TLS, so inside the connection is plain AMQP.
 func (d *mssDeployment) endpoint(queue string) Endpoint {
 	nodeFQDN := mss.NodeFQDN(d.cl.OwnerOf(queue), d.fqdn)
-	dial := mss.Dialer(d.lb.Addr(), nodeFQDN, d.lbID.ClientConfig(nodeFQDN))
-	return Endpoint{
-		// The LB terminates TLS; inside the connection is plain AMQP.
-		URL:    "amqp://" + d.fqdn + ":443",
-		Config: amqp.Config{Dial: wrapDial(d.opts, dial)},
-	}
+	front := mss.FrontDoor(d.lb.Addr(), nodeFQDN, d.lbID.ClientConfig(nodeFQDN))
+	return d.opts.endpoint("amqp://"+d.fqdn+":443", front...)
 }
 
 func (d *mssDeployment) ProducerEndpoint(queue string) Endpoint { return d.endpoint(queue) }
@@ -165,10 +162,7 @@ func (d *mssDeployment) ProducerEndpoint(queue string) Endpoint { return d.endpo
 // discussion: facility-internal consumers connect straight to broker pods.
 func (d *mssDeployment) ConsumerEndpoint(queue string) Endpoint {
 	if d.opts.BypassLB {
-		return Endpoint{
-			URL:    "amqp://" + d.cl.AddrFor(queue),
-			Config: amqp.Config{Dial: clientDial(d.opts)},
-		}
+		return d.opts.endpoint("amqp://" + d.cl.AddrFor(queue))
 	}
 	return d.endpoint(queue)
 }

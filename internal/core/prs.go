@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 
-	"ds2hpc/internal/amqp"
 	"ds2hpc/internal/broker"
 	"ds2hpc/internal/cluster"
 	"ds2hpc/internal/scistream"
@@ -148,21 +147,16 @@ func (d *prsDeployment) Close() error {
 	return d.cl.Close()
 }
 
-// ProducerEndpoint routes through the SciStream session whose target is the
-// queue's master node.
+// ProducerEndpoint composes the producer half of Figure 3b: client NIC
+// link into the SciStream session whose target is the queue's master node
+// (the S2DS pair and TLS overlay tunnel relay from there).
 func (d *prsDeployment) ProducerEndpoint(queue string) Endpoint {
 	sess := d.sessions[d.cl.OwnerOf(queue)]
-	return Endpoint{
-		URL:    "amqp://" + sess.ClientAddr,
-		Config: amqp.Config{Dial: clientDial(d.opts)},
-	}
+	return d.opts.endpoint("amqp://" + sess.ClientAddr)
 }
 
 // ConsumerEndpoint attaches directly to the queue's master node (consumers
 // are facility-internal in the PRS deployment).
 func (d *prsDeployment) ConsumerEndpoint(queue string) Endpoint {
-	return Endpoint{
-		URL:    "amqp://" + d.cl.AddrFor(queue),
-		Config: amqp.Config{Dial: clientDial(d.opts)},
-	}
+	return d.opts.endpoint("amqp://" + d.cl.AddrFor(queue))
 }

@@ -4,7 +4,6 @@ import (
 	"bufio"
 	"crypto/tls"
 	"fmt"
-	"io"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -12,6 +11,7 @@ import (
 
 	"ds2hpc/internal/netem"
 	"ds2hpc/internal/tlsutil"
+	"ds2hpc/internal/transport"
 )
 
 // LBConfig configures the facility load balancer.
@@ -40,15 +40,15 @@ type LBConfig struct {
 
 // LoadBalancer is the MSS entry point: it terminates TLS, captures the SNI
 // hostname the client asked for, and relays the plaintext stream to the
-// ingress with a one-line routing preamble.
+// ingress with a one-line routing preamble. Connection setup runs through a
+// transport.Admission gate (workers + per-connection setup cost).
 type LoadBalancer struct {
-	cfg LBConfig
-	ln  net.Listener
-	sem chan struct{}
+	cfg       LBConfig
+	ln        net.Listener
+	admission *transport.Admission
 
 	active  atomic.Int32
 	relayed atomic.Uint64
-	queued  atomic.Int64 // cumulative time spent waiting for a worker, ns
 
 	closeOnce sync.Once
 	closed    chan struct{}
@@ -74,9 +74,9 @@ func NewLoadBalancer(cfg LBConfig) (*LoadBalancer, error) {
 	}
 	base := cfg.Identity.ServerConfig()
 	lb := &LoadBalancer{
-		cfg:    cfg,
-		sem:    make(chan struct{}, cfg.Workers),
-		closed: make(chan struct{}),
+		cfg:       cfg,
+		admission: transport.NewAdmission(cfg.Workers, cfg.SetupCost),
+		closed:    make(chan struct{}),
 	}
 	// Capture SNI per connection via GetConfigForClient.
 	tcfg := &tls.Config{
@@ -106,7 +106,7 @@ func (lb *LoadBalancer) Relayed() uint64 { return lb.relayed.Load() }
 // QueueWait reports cumulative time connections spent waiting for an LB
 // worker slot.
 func (lb *LoadBalancer) QueueWait() time.Duration {
-	return time.Duration(lb.queued.Load())
+	return lb.admission.QueueWait()
 }
 
 // Close stops the LB.
@@ -128,27 +128,20 @@ func (lb *LoadBalancer) acceptLoop() {
 func (lb *LoadBalancer) handle(raw net.Conn) {
 	// Setup (TLS termination + admission) runs under the bounded worker
 	// pool; established flows are not capped.
-	start := time.Now()
-	select {
-	case lb.sem <- struct{}{}:
-	case <-lb.closed:
+	if err := lb.admission.Acquire(lb.closed); err != nil {
 		raw.Close()
 		return
 	}
-	lb.queued.Add(int64(time.Since(start)))
-
 	tc := raw.(*tls.Conn)
 	if err := tc.Handshake(); err != nil {
-		<-lb.sem
+		lb.admission.Release()
 		raw.Close()
 		return
 	}
 	sni := tc.ConnectionState().ServerName
-	if lb.cfg.SetupCost > 0 {
-		time.Sleep(lb.cfg.SetupCost)
-	}
+	lb.admission.Setup()
 	backend, err := lb.cfg.DialIngress("tcp", lb.cfg.IngressAddr)
-	<-lb.sem // setup finished; free the worker
+	lb.admission.Release() // setup finished; free the worker
 	if err != nil {
 		raw.Close()
 		return
@@ -171,15 +164,7 @@ func (lb *LoadBalancer) handle(raw net.Conn) {
 	lb.active.Add(1)
 	lb.relayed.Add(1)
 	defer lb.active.Add(-1)
-	bidirCopy(client, backend)
-}
-
-func bidirCopy(a, b net.Conn) {
-	var wg sync.WaitGroup
-	wg.Add(2)
-	go func() { defer wg.Done(); io.Copy(a, b); a.Close() }()
-	go func() { defer wg.Done(); io.Copy(b, a); b.Close() }()
-	wg.Wait()
+	transport.Relay(client, backend)
 }
 
 // Ingress is the OpenShift-style ingress hop: it reads the routing preamble
@@ -266,7 +251,7 @@ func (ing *Ingress) handle(up net.Conn) {
 		backend = netem.Wrap(backend, ing.procLink)
 	}
 	ing.relayed.Add(1)
-	bidirCopy(upConn, backend)
+	transport.Relay(upConn, backend)
 }
 
 // bufferedConn lets the ingress hand off bytes already buffered while
@@ -277,3 +262,7 @@ type bufferedConn struct {
 }
 
 func (bc *bufferedConn) Read(p []byte) (int, error) { return bc.r.Read(p) }
+
+// Unwrap exposes the underlying connection so half-close propagates
+// through the preamble buffer.
+func (bc *bufferedConn) Unwrap() net.Conn { return bc.Conn }

@@ -14,6 +14,7 @@ import (
 	"ds2hpc/internal/amqp"
 	"ds2hpc/internal/broker"
 	"ds2hpc/internal/tlsutil"
+	"ds2hpc/internal/transport"
 )
 
 func TestRouteControllerRoundRobin(t *testing.T) {
@@ -98,7 +99,7 @@ func startStack(t *testing.T, lbWorkers int) (lbAddr, fqdn string, clientTLS *tl
 
 func TestLBIngressDataPath(t *testing.T) {
 	lbAddr, fqdn, clientTLS := startStack(t, 4)
-	dial := Dialer(lbAddr, fqdn, clientTLS)
+	dial := transport.Path(FrontDoor(lbAddr, fqdn, clientTLS)).Dial()
 	c, err := dial("tcp", "ignored:443")
 	if err != nil {
 		t.Fatal(err)
@@ -121,7 +122,7 @@ func TestLBUnknownFQDNDropsConnection(t *testing.T) {
 	lbAddr, _, clientTLS := startStack(t, 4)
 	cfg := clientTLS.Clone()
 	cfg.ServerName = "nope.apps.olivine.local"
-	dial := Dialer(lbAddr, "nope.apps.olivine.local", cfg)
+	dial := transport.Path(FrontDoor(lbAddr, "nope.apps.olivine.local", cfg)).Dial()
 	c, err := dial("tcp", "ignored:443")
 	if err != nil {
 		// TLS fails only if the cert does not cover the name; wildcard
@@ -171,7 +172,7 @@ func TestLBWorkerPoolQueues(t *testing.T) {
 	done := make(chan error, 5)
 	for i := 0; i < 5; i++ {
 		go func() {
-			dial := Dialer(lb.Addr(), fqdn, id.ClientConfig(fqdn))
+			dial := transport.Path(FrontDoor(lb.Addr(), fqdn, id.ClientConfig(fqdn))).Dial()
 			c, err := dial("tcp", "x:443")
 			if err != nil {
 				done <- err
@@ -251,7 +252,7 @@ func TestS3MProvisionAndStream(t *testing.T) {
 	}
 
 	// Stream AMQP through LB -> ingress -> provisioned broker.
-	dial := Dialer(lb.Addr(), pr.FQDN, id.ClientConfig(pr.FQDN))
+	dial := transport.Path(FrontDoor(lb.Addr(), pr.FQDN, id.ClientConfig(pr.FQDN))).Dial()
 	conn, err := amqp.DialConfig("amqp://mss-front-door", amqp.Config{Dial: dial})
 	if err != nil {
 		t.Fatal(err)

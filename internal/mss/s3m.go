@@ -10,6 +10,7 @@ import (
 
 	"ds2hpc/internal/broker"
 	"ds2hpc/internal/cluster"
+	"ds2hpc/internal/transport"
 )
 
 // ProvisionRequest is the body of the S3M provisioning call from §4.5:
@@ -207,23 +208,12 @@ func NodeFQDN(i int, fqdn string) string {
 	return fmt.Sprintf("node-%d-%s", i, fqdn)
 }
 
-// Dialer returns a dial function that connects through the MSS front door:
-// TLS to the load balancer with the provisioned FQDN as SNI. The returned
-// connection carries plaintext AMQP (the LB terminated TLS), so it is used
-// as amqp.Config.Dial with an "amqp://" URL.
-func Dialer(lbAddr, fqdn string, rootPEMPool *tls.Config) func(network, addr string) (net.Conn, error) {
-	return func(network, _ string) (net.Conn, error) {
-		raw, err := net.Dial(network, lbAddr)
-		if err != nil {
-			return nil, err
-		}
-		cfg := rootPEMPool.Clone()
-		cfg.ServerName = fqdn
-		tc := tls.Client(raw, cfg)
-		if err := tc.Handshake(); err != nil {
-			raw.Close()
-			return nil, err
-		}
-		return tc, nil
-	}
+// FrontDoor returns the transport hops of the MSS front door: redirect
+// to the load balancer's address and originate TLS with the provisioned
+// FQDN as SNI. The resulting connection carries plaintext AMQP (the LB
+// terminates TLS), so it composes with an "amqp://" URL.
+func FrontDoor(lbAddr, fqdn string, clientTLS *tls.Config) []transport.Hop {
+	cfg := clientTLS.Clone()
+	cfg.ServerName = fqdn
+	return []transport.Hop{transport.Target(lbAddr), transport.TLSClient(cfg)}
 }

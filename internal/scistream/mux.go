@@ -132,7 +132,7 @@ func (m *Mux) Close() error {
 	m.mu.Unlock()
 	close(m.done)
 	for _, s := range streams {
-		s.closeRemote()
+		s.abort()
 	}
 	return m.conn.Close()
 }
@@ -205,86 +205,85 @@ func (m *Mux) readLoop() {
 				s.push(payload)
 			}
 		case muxFIN:
+			// FIN is a half-close: the peer has finished writing. The
+			// stream stays registered (and readable for buffered data)
+			// until the local side also closes its write direction.
 			m.mu.Lock()
 			s := m.streams[id]
-			delete(m.streams, id)
 			m.mu.Unlock()
-			if s != nil {
-				s.closeRemote()
+			if s != nil && s.closeRead() {
+				m.dropStream(id)
 			}
 		}
 	}
 }
 
-// muxStream is one logical stream; it implements net.Conn.
+// maxStreamBuf bounds the bytes buffered per stream. A full buffer blocks
+// the mux read loop, which stalls every stream sharing the tunnel — the
+// head-of-line blocking that makes Stunnel-based PRS throughput flat.
+const maxStreamBuf = 512 * 1024
+
+// muxStream is one logical stream; it implements net.Conn with TCP-like
+// half-close semantics: CloseWrite sends a FIN while the read direction
+// keeps draining, so relays built on the mux preserve the
+// request-drain-then-respond exchanges AMQP teardown depends on.
 type muxStream struct {
 	m  *Mux
 	id uint32
 
-	mu      sync.Mutex
-	buf     []byte
-	dataCh  chan []byte
-	closed  bool
-	remote  bool
-	closeCh chan struct{}
+	mu          sync.Mutex
+	cond        *sync.Cond
+	buf         []byte
+	readClosed  bool // no more data will arrive (peer FIN or local close)
+	writeClosed bool // local FIN sent
 }
 
 func newMuxStream(m *Mux, id uint32) *muxStream {
-	return &muxStream{
-		m:       m,
-		id:      id,
-		dataCh:  make(chan []byte, 8),
-		closeCh: make(chan struct{}),
-	}
+	s := &muxStream{m: m, id: id}
+	s.cond = sync.NewCond(&s.mu)
+	return s
 }
 
+// push appends received data, blocking while the buffer is full. The
+// blocking propagates backpressure to the shared tunnel read loop — the
+// Stunnel serialization behaviour.
 func (s *muxStream) push(p []byte) {
-	select {
-	case s.dataCh <- p:
-	case <-s.closeCh:
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for len(s.buf) >= maxStreamBuf && !s.readClosed {
+		s.cond.Wait()
 	}
+	if s.readClosed {
+		return
+	}
+	s.buf = append(s.buf, p...)
+	s.cond.Broadcast()
 }
 
 func (s *muxStream) Read(p []byte) (int, error) {
 	s.mu.Lock()
-	if len(s.buf) > 0 {
-		n := copy(p, s.buf)
-		s.buf = s.buf[n:]
-		s.mu.Unlock()
-		return n, nil
+	defer s.mu.Unlock()
+	for len(s.buf) == 0 && !s.readClosed {
+		s.cond.Wait()
 	}
-	s.mu.Unlock()
-	select {
-	case data := <-s.dataCh:
-		n := copy(p, data)
-		if n < len(data) {
-			s.mu.Lock()
-			s.buf = append(s.buf, data[n:]...)
-			s.mu.Unlock()
-		}
-		return n, nil
-	case <-s.closeCh:
-		// Drain anything raced in.
-		select {
-		case data := <-s.dataCh:
-			n := copy(p, data)
-			if n < len(data) {
-				s.mu.Lock()
-				s.buf = append(s.buf, data[n:]...)
-				s.mu.Unlock()
-			}
-			return n, nil
-		default:
-			return 0, io.EOF
-		}
+	if len(s.buf) == 0 {
+		return 0, io.EOF
 	}
+	n := copy(p, s.buf)
+	s.buf = s.buf[n:]
+	if len(s.buf) == 0 {
+		s.buf = nil
+	}
+	s.cond.Broadcast()
+	return n, nil
 }
 
 func (s *muxStream) Write(p []byte) (int, error) {
-	select {
-	case <-s.closeCh:
+	s.mu.Lock()
+	closed := s.writeClosed
+	s.mu.Unlock()
+	if closed {
 		return 0, net.ErrClosed
-	default:
 	}
 	// Chunk writes so one stream cannot hold the tunnel write lock for an
 	// arbitrarily long burst.
@@ -303,34 +302,58 @@ func (s *muxStream) Write(p []byte) (int, error) {
 	return written, nil
 }
 
-func (s *muxStream) Close() error {
+// CloseWrite half-closes the stream: the peer observes EOF once it drains
+// the data already sent, while this side keeps reading.
+func (s *muxStream) CloseWrite() error {
 	s.mu.Lock()
-	if s.closed {
+	if s.writeClosed {
 		s.mu.Unlock()
 		return nil
 	}
-	s.closed = true
-	remote := s.remote
+	s.writeClosed = true
+	done := s.readClosed
 	s.mu.Unlock()
-	close(s.closeCh)
-	s.m.dropStream(s.id)
-	if !remote {
-		s.m.writeFrame(muxFIN, s.id, nil)
+	s.m.writeFrame(muxFIN, s.id, nil)
+	if done {
+		s.m.dropStream(s.id)
 	}
 	return nil
 }
 
-// closeRemote closes the stream on behalf of the peer (FIN received).
-func (s *muxStream) closeRemote() {
+// Close fully closes the stream in both directions.
+func (s *muxStream) Close() error {
 	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		return
-	}
-	s.closed = true
-	s.remote = true
+	sendFIN := !s.writeClosed
+	s.writeClosed = true
+	s.readClosed = true
+	s.buf = nil
+	s.cond.Broadcast()
 	s.mu.Unlock()
-	close(s.closeCh)
+	if sendFIN {
+		s.m.writeFrame(muxFIN, s.id, nil)
+	}
+	s.m.dropStream(s.id)
+	return nil
+}
+
+// closeRead marks the read direction finished (peer FIN); buffered data
+// stays readable. It reports whether the stream is now closed both ways.
+func (s *muxStream) closeRead() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.readClosed = true
+	s.cond.Broadcast()
+	return s.writeClosed
+}
+
+// abort tears the stream down without touching the (dead) tunnel.
+func (s *muxStream) abort() {
+	s.mu.Lock()
+	s.readClosed = true
+	s.writeClosed = true
+	s.buf = nil
+	s.cond.Broadcast()
+	s.mu.Unlock()
 }
 
 func (s *muxStream) LocalAddr() net.Addr                { return s.m.conn.LocalAddr() }

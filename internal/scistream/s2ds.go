@@ -3,13 +3,13 @@ package scistream
 import (
 	"crypto/tls"
 	"fmt"
-	"io"
 	"net"
 	"sync"
 	"sync/atomic"
 
 	"ds2hpc/internal/netem"
 	"ds2hpc/internal/tlsutil"
+	"ds2hpc/internal/transport"
 )
 
 // Tunnel selects the overlay tunnel driver.
@@ -27,24 +27,7 @@ const (
 const StunnelMaxStreams = 16
 
 // DialFunc dials a transport connection.
-type DialFunc func(network, addr string) (net.Conn, error)
-
-// relay copies both directions between a and b until either side closes.
-func relay(a, b net.Conn) {
-	var wg sync.WaitGroup
-	wg.Add(2)
-	go func() {
-		defer wg.Done()
-		io.Copy(a, b)
-		a.Close()
-	}()
-	go func() {
-		defer wg.Done()
-		io.Copy(b, a)
-		b.Close()
-	}()
-	wg.Wait()
-}
+type DialFunc = transport.DialFunc
 
 // ---------------------------------------------------------------- inbound
 
@@ -192,7 +175,7 @@ func (in *Inbound) forward(client net.Conn) {
 	in.active.Add(1)
 	in.relayed.Add(1)
 	defer in.active.Add(-1)
-	relay(client, backend)
+	transport.Relay(client, backend)
 }
 
 // ---------------------------------------------------------------- outbound
@@ -397,7 +380,7 @@ func (o *Outbound) acceptLoop() {
 				stream = netem.Wrap(stream, o.cfg.ProcLink)
 			}
 			o.relayed.Add(1)
-			relay(client, stream)
+			transport.Relay(client, stream)
 		}()
 	}
 }

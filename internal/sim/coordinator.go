@@ -45,13 +45,31 @@ type ReportMsg struct {
 type Coordinator struct {
 	ln net.Listener
 
-	mu       sync.Mutex
-	assign   func(h HelloMsg) AssignMsg
-	col      *metrics.Collector
-	reports  int
-	expected int
-	done     chan struct{}
-	once     sync.Once
+	mu          sync.Mutex
+	readTimeout time.Duration
+	assign      func(h HelloMsg) AssignMsg
+	col         *metrics.Collector
+	reports     int
+	expected    int
+	done        chan struct{}
+	once        sync.Once
+	stopOnce    sync.Once
+}
+
+// SetReadTimeout bounds each read from a participant (hello and report).
+// A hung streamsim process then drops its connection instead of pinning a
+// serve goroutine forever; Wait still decides the overall run deadline.
+// The default is 60s.
+func (c *Coordinator) SetReadTimeout(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.readTimeout = d
+}
+
+func (c *Coordinator) readTimeoutNow() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.readTimeout
 }
 
 // NewCoordinator starts a coordinator that assigns work via the given
@@ -65,11 +83,12 @@ func NewCoordinator(addr string, expected int, assign func(h HelloMsg) AssignMsg
 		return nil, err
 	}
 	c := &Coordinator{
-		ln:       ln,
-		assign:   assign,
-		col:      metrics.NewCollector(),
-		expected: expected,
-		done:     make(chan struct{}),
+		ln:          ln,
+		readTimeout: 60 * time.Second,
+		assign:      assign,
+		col:         metrics.NewCollector(),
+		expected:    expected,
+		done:        make(chan struct{}),
 	}
 	c.col.Start()
 	go c.acceptLoop()
@@ -83,13 +102,16 @@ func (c *Coordinator) Addr() string { return c.ln.Addr().String() }
 func (c *Coordinator) Close() error { return c.ln.Close() }
 
 // Wait blocks until all expected reports arrive, then returns the
-// aggregate result.
+// aggregate result. On timeout the metrics collector is stopped as well,
+// so an aborted run does not leave it marking time (and a later Snapshot
+// reflects the abort moment, not some arbitrary later instant).
 func (c *Coordinator) Wait(timeout time.Duration) (*metrics.Result, error) {
 	select {
 	case <-c.done:
-		c.col.Stop()
+		c.stopOnce.Do(c.col.Stop)
 		return c.col.Snapshot(), nil
 	case <-time.After(timeout):
+		c.stopOnce.Do(c.col.Stop)
 		return nil, fmt.Errorf("sim: coordinator timed out with %d/%d reports",
 			c.reportCount(), c.expected)
 	}
@@ -116,6 +138,7 @@ func (c *Coordinator) serve(conn net.Conn) {
 	br := bufio.NewReader(conn)
 	enc := json.NewEncoder(conn)
 	var hello HelloMsg
+	conn.SetReadDeadline(time.Now().Add(c.readTimeoutNow()))
 	line, err := br.ReadBytes('\n')
 	if err != nil {
 		return
@@ -128,6 +151,8 @@ func (c *Coordinator) serve(conn net.Conn) {
 		return
 	}
 	// The participant runs, then sends its report on the same connection.
+	// The fresh deadline covers the run itself.
+	conn.SetReadDeadline(time.Now().Add(c.readTimeoutNow()))
 	line, err = br.ReadBytes('\n')
 	if err != nil {
 		return

@@ -160,3 +160,53 @@ func TestCoordinatorTimeout(t *testing.T) {
 		t.Fatal("expected timeout")
 	}
 }
+
+// TestCoordinatorHungParticipantDeadline covers the serve-side hardening:
+// a participant that registers and then hangs must be disconnected by the
+// per-participant read deadline instead of pinning its serve goroutine
+// (and its connection) forever, and the timed-out Wait must still stop
+// the metrics collector.
+func TestCoordinatorHungParticipantDeadline(t *testing.T) {
+	coord, err := NewCoordinator("", 1, func(h HelloMsg) AssignMsg {
+		return AssignMsg{Queue: "q", Endpoint: "amqp://127.0.0.1:1", Messages: 1}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	coord.SetReadTimeout(100 * time.Millisecond)
+
+	p, _, err := Join(coord.Addr(), HelloMsg{Role: "producer", ID: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The participant "hangs": no report. The coordinator must close the
+	// connection once the report deadline passes — observable here as a
+	// read on the participant side finishing instead of blocking.
+	readDone := make(chan error, 1)
+	go func() {
+		buf := make([]byte, 1)
+		_, err := p.conn.Read(buf)
+		readDone <- err
+	}()
+
+	res, err := coord.Wait(300 * time.Millisecond)
+	if err == nil || res != nil {
+		t.Fatalf("Wait = (%v, %v), want timeout", res, err)
+	}
+	select {
+	case err := <-readDone:
+		if err == nil {
+			t.Fatal("participant read returned data, want connection close")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("hung participant was never disconnected")
+	}
+	// The collector was stopped on the timeout path: a snapshot taken now
+	// and one taken later must agree on the run duration.
+	d1 := coord.col.Snapshot().Duration
+	time.Sleep(20 * time.Millisecond)
+	if d2 := coord.col.Snapshot().Duration; d2 != d1 {
+		t.Fatalf("collector still running after timeout: %v != %v", d2, d1)
+	}
+}

@@ -1,0 +1,151 @@
+package transport
+
+import (
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"ds2hpc/internal/metrics"
+)
+
+var (
+	relays     = metrics.Default.Counter("transport.relays")
+	halfCloses = metrics.Default.Counter("transport.half_closes")
+)
+
+// ErrAdmissionClosed reports an admission gate torn down while a
+// connection was still queued for a worker.
+var ErrAdmissionClosed = errors.New("transport: admission gate closed")
+
+// Relay copies both directions between a and b until both directions
+// finish, propagating half-closes: when one direction reaches EOF, the
+// peer's write side is shut down with CloseWrite (TCP FIN / TLS
+// close_notify / mux FIN) while the reverse direction keeps flowing.
+// This is what makes request-drain-then-respond exchanges survive a
+// proxy hop — the previous per-package relay loops did a full Close on
+// first EOF, truncating the reverse direction. Both connections are
+// fully closed before Relay returns.
+func Relay(a, b net.Conn) {
+	relays.Inc()
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		relayHalf(b, a)
+	}()
+	go func() {
+		defer wg.Done()
+		relayHalf(a, b)
+	}()
+	wg.Wait()
+	a.Close()
+	b.Close()
+}
+
+// relayHalf copies src→dst; on clean EOF it half-closes dst so the peer
+// observes the end of stream, on error it tears both ends down (the
+// other copy direction unblocks on the closed connections).
+func relayHalf(dst, src net.Conn) {
+	_, err := io.Copy(dst, src)
+	if err == nil {
+		if CloseWrite(dst) {
+			halfCloses.Inc()
+			return
+		}
+	}
+	dst.Close()
+	src.Close()
+}
+
+// closeWriter is the half-close capability of *net.TCPConn, *tls.Conn
+// and mux streams.
+type closeWriter interface{ CloseWrite() error }
+
+// connUnwrapper is implemented by shaping/wrapping layers (netem.Conn,
+// fault conns) that delegate to an inner connection.
+type connUnwrapper interface{ Unwrap() net.Conn }
+
+// CloseWrite shuts down the write side of c if the connection (or any
+// connection it wraps) supports half-close, reporting whether it did.
+// Callers fall back to a full Close when it reports false.
+func CloseWrite(c net.Conn) bool {
+	for {
+		switch x := c.(type) {
+		case closeWriter:
+			x.CloseWrite()
+			return true
+		case connUnwrapper:
+			c = x.Unwrap()
+		default:
+			return false
+		}
+	}
+}
+
+// Admission bounds concurrent connection setups the way the MSS load
+// balancer's worker pool does (§4.5): a connection waits for one of
+// Workers slots, then pays SetupCost of per-connection admission work
+// (policy checks, route admission). Established flows are not gated —
+// callers Release as soon as setup finishes. Queueing here is a major
+// source of MSS latency at high consumer counts.
+type Admission struct {
+	// SetupCost models per-connection admission work beyond the TLS
+	// handshake itself.
+	SetupCost time.Duration
+
+	sem      chan struct{}
+	queuedNs int64 // cumulative queue wait, atomic
+	admitted uint64
+	mu       sync.Mutex
+}
+
+// NewAdmission builds a gate with the given worker count (minimum 1).
+func NewAdmission(workers int, setupCost time.Duration) *Admission {
+	if workers <= 0 {
+		workers = 1
+	}
+	return &Admission{SetupCost: setupCost, sem: make(chan struct{}, workers)}
+}
+
+// Acquire blocks until a worker slot is free, recording the time spent
+// queued. A close of the cancel channel abandons the wait.
+func (a *Admission) Acquire(cancel <-chan struct{}) error {
+	start := time.Now()
+	select {
+	case a.sem <- struct{}{}:
+	case <-cancel:
+		return ErrAdmissionClosed
+	}
+	a.mu.Lock()
+	a.queuedNs += int64(time.Since(start))
+	a.admitted++
+	a.mu.Unlock()
+	return nil
+}
+
+// Release frees the worker slot taken by Acquire.
+func (a *Admission) Release() { <-a.sem }
+
+// Setup pays the per-connection admission cost.
+func (a *Admission) Setup() {
+	if a.SetupCost > 0 {
+		time.Sleep(a.SetupCost)
+	}
+}
+
+// QueueWait reports cumulative time connections spent waiting for a
+// worker slot.
+func (a *Admission) QueueWait() time.Duration {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return time.Duration(a.queuedNs)
+}
+
+// Admitted reports the total number of connections admitted.
+func (a *Admission) Admitted() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.admitted
+}

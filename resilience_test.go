@@ -1,0 +1,195 @@
+// Resilience scenarios: the paper's architectures under injected
+// cross-facility path faults. TestResilience* checks that a pattern run
+// completes across an injected link flap via client auto-reconnect (the
+// companion messaging study's point that resilience of the
+// facility-spanning path, not just raw overhead, decides architecture
+// choice); BenchmarkResilienceFaultRate sweeps fault rate × architecture
+// so the throughput cost of outages is a measurable figure.
+package ds2hpc
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"ds2hpc/internal/amqp"
+	"ds2hpc/internal/core"
+	"ds2hpc/internal/fabric"
+	"ds2hpc/internal/metrics"
+	"ds2hpc/internal/pattern"
+	"ds2hpc/internal/transport"
+	"ds2hpc/internal/workload"
+)
+
+// resilienceWorkload keeps payloads small so runs are fast but still
+// span many fault-hop writes.
+func resilienceWorkload() workload.Workload {
+	w := workload.Dstream
+	w.PayloadBytes = 8192
+	return w
+}
+
+// resiliencePolicy retries fast enough to outlast the injected outages.
+func resiliencePolicy() *amqp.ReconnectPolicy {
+	return &amqp.ReconnectPolicy{MaxAttempts: 60, Delay: 5 * time.Millisecond, MaxDelay: 50 * time.Millisecond}
+}
+
+// resilienceOptions wires a fault injector and reconnect policy into the
+// deployment's client paths.
+func resilienceOptions(inj *transport.Injector) core.Options {
+	p := fabric.ACE(0.2)
+	p.LBSetupCost = 0
+	p.RouteLookupLatency = 0
+	return core.Options{
+		Nodes:                3,
+		Profile:              p,
+		DisableClientShaping: true,
+		Faults:               inj,
+		Reconnect:            resiliencePolicy(),
+	}
+}
+
+// resilienceArchitectures are the variants exercised under faults.
+// Stunnel is excluded (its ceiling dominates; §5.4 drops it as well).
+var resilienceArchitectures = []core.ArchitectureName{core.DTS, core.PRSHAProxy, core.MSS}
+
+// TestResilienceWorkSharingAcrossLinkFlap is the acceptance scenario: a
+// work-sharing run whose facility-spanning path flaps mid-run — every
+// live client connection reset and redials refused for the outage
+// window — must still complete, with clients reconnecting and replaying
+// unconfirmed publishes.
+func TestResilienceWorkSharingAcrossLinkFlap(t *testing.T) {
+	archs := resilienceArchitectures
+	if testing.Short() {
+		archs = archs[:1]
+	}
+	for _, arch := range archs {
+		arch := arch
+		t.Run(string(arch), func(t *testing.T) {
+			inj := transport.NewInjector()
+			dep, err := core.Deploy(arch, resilienceOptions(inj))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer dep.Close()
+
+			const producers, consumers, messages = 2, 2, 16
+			w := resilienceWorkload()
+			// Fire the flap once roughly half the payload traffic has
+			// crossed the faulted path: deterministically mid-run.
+			totalPayload := int64(producers) * int64(messages) * int64(w.PayloadBytes)
+			inj.FlapAfterBytes(totalPayload/2, 80*time.Millisecond)
+
+			before := metrics.Default.Snapshot()
+			res, err := pattern.WorkSharing(pattern.Config{
+				Deployment:          dep,
+				Workload:            w,
+				Producers:           producers,
+				Consumers:           consumers,
+				MessagesPerProducer: messages,
+				Timeout:             60 * time.Second,
+			})
+			if err != nil {
+				t.Fatalf("run did not survive the flap: %v", err)
+			}
+			want := int64(producers * messages)
+			if res.Consumed < want {
+				t.Fatalf("consumed %d < %d", res.Consumed, want)
+			}
+			if inj.Stats().Flaps == 0 {
+				t.Fatal("scripted flap never fired")
+			}
+			d := metrics.Delta(before, metrics.Default.Snapshot())
+			if d["amqp.reconnects"] == 0 {
+				t.Fatal("no client reconnected across the flap")
+			}
+		})
+	}
+}
+
+// TestResilienceMidStreamResets injects bare connection resets (no dial
+// outage): reconnects should be immediate and the run must complete.
+func TestResilienceMidStreamResets(t *testing.T) {
+	inj := transport.NewInjector()
+	dep, err := core.Deploy(core.DTS, resilienceOptions(inj))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dep.Close()
+
+	const producers, consumers, messages = 2, 2, 12
+	w := resilienceWorkload()
+	done := make(chan struct{})
+	go func() {
+		// Two reset rounds spread across the run.
+		for i := 0; i < 2; i++ {
+			select {
+			case <-done:
+				return
+			case <-time.After(30 * time.Millisecond):
+				inj.ResetConns()
+			}
+		}
+	}()
+	res, err := pattern.WorkSharing(pattern.Config{
+		Deployment:          dep,
+		Workload:            w,
+		Producers:           producers,
+		Consumers:           consumers,
+		MessagesPerProducer: messages,
+		Timeout:             60 * time.Second,
+	})
+	close(done)
+	if err != nil {
+		t.Fatalf("run did not survive resets: %v", err)
+	}
+	if want := int64(producers * messages); res.Consumed < want {
+		t.Fatalf("consumed %d < %d", res.Consumed, want)
+	}
+}
+
+// BenchmarkResilienceFaultRate sweeps fault rate × architecture: flaps
+// per run from 0 (baseline) to 2, reporting throughput alongside the
+// reconnects each run needed. This is the resilience counterpart of the
+// Figure 4 throughput comparison.
+func BenchmarkResilienceFaultRate(b *testing.B) {
+	const producers, consumers, messages = 2, 2, 16
+	w := resilienceWorkload()
+	totalPayload := int64(producers) * int64(messages) * int64(w.PayloadBytes)
+	for _, arch := range resilienceArchitectures {
+		for _, flaps := range []int{0, 1, 2} {
+			b.Run(fmt.Sprintf("%s/flaps=%d", arch, flaps), func(b *testing.B) {
+				var reconnects uint64
+				var last float64
+				for i := 0; i < b.N; i++ {
+					inj := transport.NewInjector()
+					dep, err := core.Deploy(arch, resilienceOptions(inj))
+					if err != nil {
+						b.Fatal(err)
+					}
+					if flaps > 0 {
+						inj.FlapEveryBytes(totalPayload/int64(flaps+1), 50*time.Millisecond, flaps)
+					}
+					before := metrics.Default.Snapshot()
+					res, err := pattern.WorkSharing(pattern.Config{
+						Deployment:          dep,
+						Workload:            w,
+						Producers:           producers,
+						Consumers:           consumers,
+						MessagesPerProducer: messages,
+						Timeout:             60 * time.Second,
+					})
+					dep.Close()
+					if err != nil {
+						b.Fatal(err)
+					}
+					last = res.Throughput
+					d := metrics.Delta(before, metrics.Default.Snapshot())
+					reconnects += d["amqp.reconnects"]
+				}
+				b.ReportMetric(last, "msgs_per_sec")
+				b.ReportMetric(float64(reconnects)/float64(b.N), "reconnects/op")
+			})
+		}
+	}
+}
