@@ -15,11 +15,19 @@ PR ?= dev
 # fault-rate sweep introduced with the transport hop stack.
 BENCH_PATTERN ?= BenchmarkAblationAckBatching|BenchmarkAblationWorkQueues|BenchmarkOverheadVsDTS|BenchmarkResilienceFaultRate
 
-.PHONY: test race short bench-snapshot
+.PHONY: test race short smoke bench-snapshot
 
 test:
 	$(GO) build ./...
 	$(GO) test ./...
+
+# smoke exercises the declarative scenario path end to end: every
+# checked-in example spec (short scale) runs through `streamsim scenario`,
+# including the fault-script and pipeline specs.
+smoke:
+	$(GO) run ./cmd/streamsim scenario examples/scenario/worksharing.json
+	$(GO) run ./cmd/streamsim scenario examples/scenario/pipeline.json
+	$(GO) run ./cmd/streamsim scenario examples/scenario/linkflap.json
 
 race:
 	$(GO) vet ./...

@@ -4,6 +4,9 @@
 // and broadcast / broadcast-and-gather results (Figures 7-8), plus the
 // derived overhead-vs-DTS numbers quoted in the text.
 //
+// Every data point is one declarative scenario.Spec executed by the shared
+// scenario engine — the same specs `streamsim scenario` runs from JSON.
+//
 // Usage:
 //
 //	expdriver [-scale 0.1] [-cons 1,4,16] [-msgs 48] [-runs 1] [-fig all]
@@ -13,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -21,9 +25,8 @@ import (
 	"time"
 
 	"ds2hpc/internal/core"
-	"ds2hpc/internal/fabric"
 	"ds2hpc/internal/metrics"
-	"ds2hpc/internal/sim"
+	"ds2hpc/internal/scenario"
 	"ds2hpc/internal/workload"
 )
 
@@ -47,30 +50,30 @@ func main() {
 
 	if want("4a") {
 		d.figure("Figure 4a: Dstream throughput, work sharing (msgs/sec)",
-			workload.Dstream, sim.PatternWorkSharing, core.AllArchitectures, false)
+			workload.Dstream, "work-sharing", core.AllArchitectures, false)
 	}
 	if want("4b") {
 		d.figure("Figure 4b: Lstream throughput, work sharing (msgs/sec)",
-			workload.Lstream, sim.PatternWorkSharing, core.AllArchitectures, false)
+			workload.Lstream, "work-sharing", core.AllArchitectures, false)
 	}
 	if want("5") {
 		d.cdf("Figure 5: RTT CDF probes, work sharing with feedback")
 	}
 	if want("6a") {
 		d.figure("Figure 6a: Dstream median RTT, work sharing with feedback (ms)",
-			workload.Dstream, sim.PatternFeedback, fig56Archs, true)
+			workload.Dstream, "work-sharing-feedback", fig56Archs, true)
 	}
 	if want("6b") {
 		d.figure("Figure 6b: Lstream median RTT, work sharing with feedback (ms)",
-			workload.Lstream, sim.PatternFeedback, fig56Archs, true)
+			workload.Lstream, "work-sharing-feedback", fig56Archs, true)
 	}
 	if want("7a") {
 		d.figure("Figure 7a: generic broadcast throughput (msgs/sec)",
-			workload.Generic, sim.PatternBroadcast, fig78Archs, false)
+			workload.Generic, "broadcast", fig78Archs, false)
 	}
 	if want("7b") {
 		d.figure("Figure 7b: generic broadcast+gather median RTT (ms)",
-			workload.Generic, sim.PatternBroadcastGather, fig78Archs, true)
+			workload.Generic, "broadcast-gather", fig78Archs, true)
 	}
 	if want("8") {
 		d.fig8()
@@ -91,15 +94,7 @@ type driver struct {
 	failed bool
 }
 
-func (d *driver) options() core.Options {
-	return core.Options{
-		Nodes:       3,
-		Profile:     fabric.ACE(*scaleFlag),
-		MemoryLimit: 1 << 30,
-	}
-}
-
-func (d *driver) experiment(w workload.Workload, pat sim.PatternName, arch core.ArchitectureName) sim.Experiment {
+func (d *driver) spec(w workload.Workload, pat string, arch core.ArchitectureName) scenario.Spec {
 	msgs := *msgsFlag
 	switch w.Name {
 	case "Lstream":
@@ -107,25 +102,31 @@ func (d *driver) experiment(w workload.Workload, pat sim.PatternName, arch core.
 	case "generic":
 		msgs = max(2, msgs/8)
 	}
-	exp := sim.Experiment{
-		Architecture:        arch,
-		Workload:            w.Scaled(8),
+	spec := scenario.Spec{
+		Deployment: scenario.Deployment{
+			Architecture:     string(arch),
+			Nodes:            3,
+			FabricScale:      *scaleFlag,
+			MemoryLimitBytes: 1 << 30,
+		},
+		Workload:            scenario.Workload{Name: w.Name, PayloadDivisor: 8},
 		Pattern:             pat,
 		MessagesPerProducer: msgs,
 		Runs:                *runsFlag,
-		Options:             d.options(),
-		Window:              4,
-		Timeout:             5 * time.Minute,
+		Tuning: scenario.Tuning{Window: 4},
+		// One deadline covers the whole run (production plus drain), so
+		// allow what the old per-phase 5-minute budgets added up to.
+		TimeoutMS: (15 * time.Minute).Milliseconds(),
 	}
-	if pat == sim.PatternFeedback {
-		exp.Window = 2
+	if pat == "work-sharing-feedback" {
+		spec.Tuning.Window = 2
 	}
-	return exp
+	return spec
 }
 
 // figure runs one throughput or RTT sweep and prints the paper-style table:
 // architectures as rows, consumer counts as columns.
-func (d *driver) figure(title string, w workload.Workload, pat sim.PatternName,
+func (d *driver) figure(title string, w workload.Workload, pat string,
 	archs []core.ArchitectureName, rtt bool) {
 	fmt.Println("==", title)
 	header := []string{"architecture"}
@@ -135,7 +136,7 @@ func (d *driver) figure(title string, w workload.Workload, pat sim.PatternName,
 	rows := [][]string{header}
 	for _, arch := range archs {
 		row := []string{string(arch)}
-		points, err := sim.Sweep(d.experiment(w, pat, arch), d.counts)
+		points, err := scenario.Sweep(context.Background(), d.spec(w, pat, arch), d.counts)
 		for _, pt := range points {
 			switch {
 			case pt.Infeasible:
@@ -166,16 +167,16 @@ func (d *driver) cdf(title string) {
 	rows := [][]string{{"workload", "architecture", "p50_ms", "p80_ms", "p95_ms", "frac<2*p50"}}
 	for _, w := range []workload.Workload{workload.Dstream, workload.Lstream} {
 		for _, arch := range fig56Archs {
-			exp := d.experiment(w, sim.PatternFeedback, arch)
-			exp.Consumers = n
-			exp.Producers = n
-			pt, err := sim.Run(exp)
+			spec := d.spec(w, "work-sharing-feedback", arch)
+			spec.Consumers = n
+			spec.Producers = n
+			rep, err := scenario.Run(context.Background(), spec)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "expdriver: fig5 %s/%s: %v\n", w.Name, arch, err)
 				d.failed = true
 				continue
 			}
-			r := pt.Result
+			r := rep.Result
 			rows = append(rows, []string{
 				w.Name, string(arch),
 				fmt.Sprintf("%.1f", float64(r.PercentileRTT(50))/1e6),
@@ -194,16 +195,16 @@ func (d *driver) fig8() {
 	n := d.counts[len(d.counts)-1]
 	rows := [][]string{{"architecture", "p50_ms", "p80_ms", "p95_ms"}}
 	for _, arch := range fig78Archs {
-		exp := d.experiment(workload.Generic, sim.PatternBroadcastGather, arch)
-		exp.Consumers = n
-		exp.Producers = 1
-		pt, err := sim.Run(exp)
+		spec := d.spec(workload.Generic, "broadcast-gather", arch)
+		spec.Consumers = n
+		spec.Producers = 1
+		rep, err := scenario.Run(context.Background(), spec)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "expdriver: fig8 %s: %v\n", arch, err)
 			d.failed = true
 			continue
 		}
-		r := pt.Result
+		r := rep.Result
 		rows = append(rows, []string{
 			string(arch),
 			fmt.Sprintf("%.1f", float64(r.PercentileRTT(50))/1e6),
@@ -239,16 +240,16 @@ func (d *driver) overhead() {
 }
 
 func (d *driver) point(arch core.ArchitectureName, consumers int) *metrics.Result {
-	exp := d.experiment(workload.Dstream, sim.PatternWorkSharing, arch)
-	exp.Consumers = consumers
-	exp.Producers = consumers
-	pt, err := sim.Run(exp)
+	spec := d.spec(workload.Dstream, "work-sharing", arch)
+	spec.Consumers = consumers
+	spec.Producers = consumers
+	rep, err := scenario.Run(context.Background(), spec)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "expdriver: overhead %s: %v\n", arch, err)
 		d.failed = true
 		return nil
 	}
-	return pt.Result
+	return rep.Result
 }
 
 func printTable(rows [][]string) {

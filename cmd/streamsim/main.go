@@ -1,9 +1,14 @@
 // Command streamsim is the Golang streaming simulator of the paper's §5.2.
-// It runs in two modes:
+// It runs in three modes:
+//
+//   - scenario: execute a declarative scenario spec from a JSON file — the
+//     whole data point (deployment, workload, pattern, client counts,
+//     tuning, fault script, runs) in one document. See internal/scenario
+//     and examples/scenario for the spec format.
 //
 //   - local: deploy an architecture in-process and run a full experiment
 //     (pattern × workload × producer/consumer counts), printing throughput
-//     and RTT statistics. This is the mode behind every figure.
+//     and RTT statistics. This is the flag-driven equivalent of a spec.
 //
 //   - distributed: a `coordinator` role assigns queues to remote `producer`
 //     and `consumer` processes (which may run on other hosts against a
@@ -12,6 +17,7 @@
 //
 // Examples:
 //
+//	streamsim scenario examples/scenario/worksharing.json
 //	streamsim local -arch DTS -workload Dstream -pattern work-sharing \
 //	    -producers 4 -consumers 4 -msgs 64 -scale 0.1
 //	streamsim coordinator -participants 4 -endpoint amqp://127.0.0.1:5672 -msgs 100
@@ -20,15 +26,20 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"ds2hpc/internal/amqp"
 	"ds2hpc/internal/core"
 	"ds2hpc/internal/fabric"
+	"ds2hpc/internal/metrics"
+	"ds2hpc/internal/pattern"
+	"ds2hpc/internal/scenario"
 	"ds2hpc/internal/sim"
 	"ds2hpc/internal/workload"
 )
@@ -39,6 +50,8 @@ func main() {
 	}
 	var err error
 	switch os.Args[1] {
+	case "scenario":
+		err = runScenario(os.Args[2:])
 	case "local":
 		err = runLocal(os.Args[2:])
 	case "coordinator":
@@ -59,15 +72,76 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: streamsim {local|coordinator|producer|consumer} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: streamsim {scenario|local|coordinator|producer|consumer} [flags]")
 	os.Exit(2)
+}
+
+// runScenario executes a declarative scenario spec from a JSON file.
+func runScenario(args []string) error {
+	fs := flag.NewFlagSet("scenario", flag.ContinueOnError)
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: streamsim scenario <spec.json>")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return fmt.Errorf("scenario: exactly one spec file required")
+	}
+	spec, err := scenario.Load(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	rep, err := scenario.Run(context.Background(), spec)
+	if err != nil {
+		return err
+	}
+	printReport(rep)
+	return nil
+}
+
+// printReport writes the human-readable result of one scenario.
+func printReport(rep *scenario.Report) {
+	spec := rep.Spec
+	if spec.Name != "" {
+		fmt.Printf("scenario:       %s\n", spec.Name)
+	}
+	fmt.Printf("architecture:   %s\n", spec.Deployment.Architecture)
+	fmt.Printf("workload:       %s\n", spec.Workload.Name)
+	fmt.Printf("pattern:        %s\n", spec.Pattern)
+	if rep.Infeasible {
+		fmt.Printf("infeasible:     %s with %d producers (tunnel connection limit)\n",
+			spec.Deployment.Architecture, spec.Producers)
+		return
+	}
+	printResult(rep.Result, max(spec.Runs, 1))
+	if len(spec.Faults) > 0 {
+		fmt.Printf("faults:         %d flaps, %d resets, %d refused dials\n",
+			rep.Faults.Flaps, rep.Faults.Resets, rep.Faults.Refused)
+	}
+}
+
+// printResult writes the shared result block of the scenario and local
+// modes.
+func printResult(r *metrics.Result, runs int) {
+	fmt.Printf("consumed:       %d msgs over %d run(s)\n", r.Consumed, runs)
+	fmt.Printf("throughput:     %.1f msgs/sec (aggregate)\n", r.Throughput)
+	if len(r.RTTs) > 0 {
+		fmt.Printf("median RTT:     %v\n", r.MedianRTT())
+		fmt.Printf("p80 / p95 RTT:  %v / %v\n", r.PercentileRTT(80), r.PercentileRTT(95))
+	}
+	if r.Errors > 0 {
+		fmt.Printf("backpressure:   %d rejected publishes retried\n", r.Errors)
+	}
 }
 
 func runLocal(args []string) error {
 	fs := flag.NewFlagSet("local", flag.ContinueOnError)
 	arch := fs.String("arch", "DTS", "architecture: DTS, PRS(Stunnel), PRS(HAProxy), PRS(HAProxy,4conns), MSS")
 	wl := fs.String("workload", "Dstream", "workload: Dstream, Lstream, generic")
-	pat := fs.String("pattern", "work-sharing", "pattern: work-sharing, work-sharing-feedback, broadcast, broadcast-gather")
+	pat := fs.String("pattern", "work-sharing", "pattern: "+strings.Join(pattern.Names(), ", "))
 	producers := fs.Int("producers", 2, "producer count")
 	consumers := fs.Int("consumers", 2, "consumer count")
 	msgs := fs.Int("msgs", 32, "messages per producer")
@@ -95,7 +169,8 @@ func runLocal(args []string) error {
 			Profile:     fabric.ACE(*scale),
 			MemoryLimit: 1 << 30,
 		},
-		Timeout: 5 * time.Minute,
+		// One deadline covers the whole run (production plus drain).
+		Timeout: 15 * time.Minute,
 	}
 	pt, err := sim.Run(exp)
 	if err != nil {
@@ -106,19 +181,10 @@ func runLocal(args []string) error {
 			*arch, *producers)
 		return nil
 	}
-	r := pt.Result
 	fmt.Printf("architecture:   %s\n", *arch)
 	fmt.Printf("workload:       %s (%d B payloads)\n", w.Name, exp.Workload.PayloadBytes)
 	fmt.Printf("pattern:        %s\n", *pat)
-	fmt.Printf("consumed:       %d msgs over %d run(s)\n", r.Consumed, *runs)
-	fmt.Printf("throughput:     %.1f msgs/sec (aggregate)\n", r.Throughput)
-	if len(r.RTTs) > 0 {
-		fmt.Printf("median RTT:     %v\n", r.MedianRTT())
-		fmt.Printf("p80 / p95 RTT:  %v / %v\n", r.PercentileRTT(80), r.PercentileRTT(95))
-	}
-	if r.Errors > 0 {
-		fmt.Printf("backpressure:   %d rejected publishes retried\n", r.Errors)
-	}
+	printResult(pt.Result, *runs)
 	return nil
 }
 

@@ -2,6 +2,8 @@ package main
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"testing"
 	"time"
 
@@ -28,6 +30,59 @@ func TestLocalBadWorkloadRejected(t *testing.T) {
 	}
 	if err := runLocal([]string{"-no-such-flag"}); err == nil {
 		t.Fatal("unknown flag must be rejected")
+	}
+}
+
+// TestScenarioSubcommand drives the declarative mode end to end: a tiny
+// spec file must deploy, stream, and report cleanly.
+func TestScenarioSubcommand(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "spec.json")
+	spec := `{
+		"name": "cmd-smoke",
+		"deployment": {"architecture": "DTS", "fabric_scale": 0.2,
+			"disable_client_shaping": true, "fast_control_plane": true},
+		"workload": {"name": "Dstream", "payload_bytes": 2048},
+		"pattern": "work-sharing",
+		"producers": 1, "consumers": 1,
+		"messages_per_producer": 2,
+		"timeout_ms": 30000
+	}`
+	if err := os.WriteFile(path, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runScenario([]string{path}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestScenarioRejectsBadInput checks the scenario mode surfaces errors
+// instead of exiting: missing file, malformed JSON, typo'd keys, and an
+// invalid spec.
+func TestScenarioRejectsBadInput(t *testing.T) {
+	if err := runScenario(nil); err == nil {
+		t.Fatal("missing spec path must be rejected")
+	}
+	if err := runScenario([]string{"no-such-file.json"}); err == nil {
+		t.Fatal("missing file must be rejected")
+	}
+	dir := t.TempDir()
+	write := func(name, body string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	if err := runScenario([]string{write("garbage.json", "{")}); err == nil {
+		t.Fatal("malformed JSON must be rejected")
+	}
+	if err := runScenario([]string{write("typo.json", `{"patern": "work-sharing"}`)}); err == nil {
+		t.Fatal("unknown spec keys must be rejected")
+	}
+	bad := `{"deployment": {"architecture": "DTS"}, "workload": {"name": "Dstream"},
+		"pattern": "work-sharing", "messages_per_producer": 0}`
+	if err := runScenario([]string{write("invalid.json", bad)}); err == nil {
+		t.Fatal("invalid spec must be rejected by validation")
 	}
 }
 

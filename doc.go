@@ -27,9 +27,15 @@
 //	                    the hot-path counter registry
 //	internal/core       architecture deployments (DTS, PRS variants,
 //	                    MSS), each a transport.Path hop composition
-//	internal/pattern    messaging patterns: work sharing, feedback,
-//	                    broadcast, broadcast-gather
-//	internal/sim        experiment runner and distributed coordinator
+//	internal/pattern    messaging patterns as declarative role graphs
+//	                    (work sharing, feedback, broadcast,
+//	                    broadcast-gather, pipeline) executed by one
+//	                    shared role engine
+//	internal/scenario   the declarative experiment surface: a
+//	                    JSON-serializable Spec per data point, executed
+//	                    by scenario.Run
+//	internal/sim        Experiment adapter over scenario, plus the
+//	                    distributed coordinator
 //	internal/fabric     emulated ACE testbed capacities
 //	internal/netem      link shaping (rate, latency)
 //	internal/workload   Table 1 payload generators (Dstream, Lstream,
@@ -52,6 +58,33 @@
 // per-architecture dial or relay code — and resilience scenarios
 // (resilience_test.go) script WAN faults into the same paths while
 // clients ride them out via amqp.Config.Reconnect.
+//
+// # The Scenario API
+//
+// One experiment data point — deployment, workload, pattern, client
+// counts, tuning knobs, fault script, run count — is one declarative
+// scenario.Spec value, JSON-serializable end to end:
+//
+//	rep, err := scenario.Run(ctx, scenario.Spec{
+//	    Deployment: scenario.Deployment{Architecture: "PRS(HAProxy)", FabricScale: 0.2,
+//	        Reconnect: &scenario.Reconnect{MaxAttempts: 60, DelayMS: 5, MaxDelayMS: 50}},
+//	    Workload:            scenario.Workload{Name: "Dstream", PayloadBytes: 8192},
+//	    Pattern:             "work-sharing",
+//	    Producers:           2,
+//	    Consumers:           2,
+//	    MessagesPerProducer: 16,
+//	    Faults:              []scenario.Fault{{Kind: scenario.FaultFlap, AtFraction: 0.5, DownMS: 80}},
+//	})
+//
+// The same document in a .json file runs via `streamsim scenario
+// <spec.json>` (see examples/scenario). Under the spec, every pattern is
+// a pattern.Graph: a declarative role graph (queues and exchanges to
+// declare, producer/consumer roles with publish, reply and flow-control
+// behaviors) executed by one shared producer loop and one shared consumer
+// loop, with confirm windows, batch acks, prefetch and channel-signaled
+// completion counting implemented exactly once. Adding a pattern is a
+// ~50-line Build function — the multi-stage pipeline pattern
+// (edge → filter → HPC fan-in aggregation) is registered that way.
 //
 // # Running the suite
 //

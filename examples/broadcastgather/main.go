@@ -5,43 +5,38 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
 
 	"ds2hpc/internal/core"
-	"ds2hpc/internal/fabric"
-	"ds2hpc/internal/pattern"
-	"ds2hpc/internal/workload"
+	"ds2hpc/internal/scenario"
 )
 
 func main() {
-	profile := fabric.ACE(0.1)
-	w := workload.Generic.Scaled(16) // 256 KiB broadcast payloads
-
 	fmt.Println("broadcast+gather: 1 producer -> 6 consumers, per architecture")
 	fmt.Printf("%-22s %14s %12s %12s\n", "architecture", "msgs/sec", "median RTT", "p95 RTT")
 	for _, arch := range []core.ArchitectureName{core.DTS, core.PRSHAProxy, core.MSS} {
-		dep, err := core.Deploy(arch, core.Options{
-			Nodes:       3,
-			Profile:     profile,
-			MemoryLimit: 1 << 30,
-		})
-		if err != nil {
-			log.Fatalf("%s: %v", arch, err)
-		}
-		res, err := pattern.BroadcastGather(pattern.Config{
-			Deployment:          dep,
-			Workload:            w,
+		rep, err := scenario.Run(context.Background(), scenario.Spec{
+			Name: "broadcast-gather-example",
+			Deployment: scenario.Deployment{
+				Architecture:     string(arch),
+				Nodes:            3,
+				FabricScale:      0.1,
+				MemoryLimitBytes: 1 << 30,
+			},
+			Workload:            scenario.Workload{Name: "generic", PayloadDivisor: 16}, // 256 KiB payloads
+			Pattern:             "broadcast-gather",
 			Consumers:           6,
 			MessagesPerProducer: 6,
-			Window:              2,
-			Timeout:             2 * time.Minute,
+			Tuning:              scenario.Tuning{Window: 2},
+			TimeoutMS:           (2 * time.Minute).Milliseconds(),
 		})
-		dep.Close()
 		if err != nil {
 			log.Fatalf("%s: %v", arch, err)
 		}
+		res := rep.Result
 		fmt.Printf("%-22s %14.1f %12v %12v\n", arch, res.Throughput,
 			res.MedianRTT().Round(time.Millisecond),
 			res.PercentileRTT(95).Round(time.Millisecond))

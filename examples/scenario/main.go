@@ -1,0 +1,58 @@
+// Scenario example: drive a complete cross-facility streaming experiment
+// from a declarative JSON spec file. The spec carries the whole data
+// point — architecture, workload, pattern, client counts, tuning, fault
+// script, runs — and scenario.Run executes it through the shared pattern
+// role engine; this program is just load-parse-run-print.
+//
+// Usage:
+//
+//	go run ./examples/scenario [spec.json]
+//
+// Without an argument it runs the work-sharing spec checked in next to
+// this file. Try linkflap.json for a scripted WAN outage survived via
+// client auto-reconnect, or pipeline.json for the multi-stage
+// edge → filter → HPC-aggregation pattern.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"ds2hpc/internal/scenario"
+)
+
+func main() {
+	path := filepath.Join("examples", "scenario", "worksharing.json")
+	if len(os.Args) > 1 {
+		path = os.Args[1]
+	}
+	// Load rejects unknown spec keys, so typos fail here, not mid-run.
+	spec, err := scenario.Load(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rep, err := scenario.Run(context.Background(), spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if rep.Infeasible {
+		fmt.Printf("%s: infeasible on %s (the paper's missing data points)\n",
+			spec.Name, spec.Deployment.Architecture)
+		return
+	}
+	r := rep.Result
+	fmt.Printf("scenario %q on %s:\n", spec.Name, spec.Deployment.Architecture)
+	fmt.Printf("  consumed    %d msgs\n", r.Consumed)
+	fmt.Printf("  throughput  %.1f msgs/sec\n", r.Throughput)
+	if len(r.RTTs) > 0 {
+		fmt.Printf("  median RTT  %v\n", r.MedianRTT())
+	}
+	if len(spec.Faults) > 0 {
+		fmt.Printf("  faults      %d flaps fired, %d connections reset\n",
+			rep.Faults.Flaps, rep.Faults.Resets)
+	}
+}

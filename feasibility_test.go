@@ -6,6 +6,7 @@
 package ds2hpc
 
 import (
+	"context"
 	"errors"
 	"testing"
 	"time"
@@ -91,7 +92,7 @@ func TestStunnelInfeasibleSurfacesThroughPattern(t *testing.T) {
 
 	w := workload.Dstream
 	w.PayloadBytes = 2048
-	_, err = pattern.WorkSharing(pattern.Config{
+	_, err = pattern.Run(context.Background(), "work-sharing", pattern.Config{
 		Deployment:          dep,
 		Workload:            w,
 		Producers:           scistream.StunnelMaxStreams + 1,

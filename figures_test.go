@@ -4,18 +4,23 @@
 // publish→route→deliver plumbing behind each figure (architectures,
 // patterns, workloads, ablation knobs) and guards it against regressions.
 //
+// The tests speak the declarative scenario API: each data point is one
+// scenario.Spec value executed by scenario.Run, the same path the
+// `streamsim scenario` subcommand drives from a JSON file.
+//
 // Budgets are deliberately small — a handful of messages and two consumers
 // per point — so the whole suite stays well under a minute; `-short` trims
 // the architecture sweeps to the DTS baseline.
 package ds2hpc
 
 import (
+	"context"
 	"testing"
 	"time"
 
 	"ds2hpc/internal/core"
 	"ds2hpc/internal/metrics"
-	"ds2hpc/internal/sim"
+	"ds2hpc/internal/scenario"
 	"ds2hpc/internal/workload"
 )
 
@@ -25,26 +30,49 @@ const testMessages = 4
 // testConsumers is the consumer (and, outside broadcast, producer) count.
 const testConsumers = 2
 
-// testExperiment shrinks a benchmark experiment to test size.
-func testExperiment(arch core.ArchitectureName, w workload.Workload, pat sim.PatternName, consumers int) sim.Experiment {
-	exp := baseExperiment(arch, w, pat, consumers)
-	exp.MessagesPerProducer = testMessages
-	exp.Timeout = 30 * time.Second
-	return exp
+// testSpec shrinks a benchmark experiment to test size, mirroring
+// baseExperiment in bench_test.go (same fabric scale, payload divisor and
+// tuning) with the small figure-test message budget.
+func testSpec(arch core.ArchitectureName, w workload.Workload, pat string, consumers int) scenario.Spec {
+	spec := scenario.Spec{
+		Deployment: scenario.Deployment{
+			Architecture:     string(arch),
+			Nodes:            3,
+			FabricScale:      benchScale,
+			MemoryLimitBytes: 1 << 30,
+		},
+		Workload:            scenario.Workload{Name: w.Name, PayloadDivisor: payloadDivisor},
+		Pattern:             pat,
+		Producers:           consumers,
+		Consumers:           consumers,
+		MessagesPerProducer: testMessages,
+		Runs:                1,
+		Tuning:              scenario.Tuning{Window: 4},
+		TimeoutMS:           (30 * time.Second).Milliseconds(),
+	}
+	if pat == "broadcast" || pat == "broadcast-gather" {
+		spec.Producers = 1
+	}
+	if pat == "work-sharing-feedback" {
+		// Closed loop: a shallow window keeps the offered load in the
+		// regime the paper measured (see baseExperiment).
+		spec.Tuning.Window = 2
+	}
+	return spec
 }
 
 // testPoint runs one data point, failing the test on error and skipping
 // configurations the architecture cannot run (the paper's missing points).
-func testPoint(t *testing.T, exp sim.Experiment) *metrics.Result {
+func testPoint(t *testing.T, spec scenario.Spec) *metrics.Result {
 	t.Helper()
-	pt, err := sim.Run(exp)
+	rep, err := scenario.Run(context.Background(), spec)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if pt.Infeasible {
+	if rep.Infeasible {
 		t.Skip("infeasible for this architecture (paper: no data point)")
 	}
-	r := pt.Result
+	r := rep.Result
 	if r.Consumed == 0 {
 		t.Fatal("no messages consumed")
 	}
@@ -89,7 +117,7 @@ func testWorkSharing(t *testing.T, w workload.Workload) {
 	for _, arch := range shortArchs(core.AllArchitectures) {
 		arch := arch
 		t.Run(string(arch), func(t *testing.T) {
-			res := testPoint(t, testExperiment(arch, w, sim.PatternWorkSharing, testConsumers))
+			res := testPoint(t, testSpec(arch, w, "work-sharing", testConsumers))
 			want := int64(testConsumers * testMessages)
 			if res.Consumed != want {
 				t.Fatalf("consumed %d, want %d", res.Consumed, want)
@@ -113,7 +141,7 @@ func TestFig5RTTCDF(t *testing.T) {
 	for _, arch := range shortArchs(fig56Architectures) {
 		arch := arch
 		t.Run(string(arch), func(t *testing.T) {
-			res := testPoint(t, testExperiment(arch, workload.Dstream, sim.PatternFeedback, testConsumers))
+			res := testPoint(t, testSpec(arch, workload.Dstream, "work-sharing-feedback", testConsumers))
 			want := testConsumers * testMessages
 			if len(res.RTTs) != want {
 				t.Fatalf("RTT samples = %d, want %d", len(res.RTTs), want)
@@ -140,7 +168,7 @@ func testFeedback(t *testing.T, w workload.Workload) {
 	for _, arch := range shortArchs(fig56Architectures) {
 		arch := arch
 		t.Run(string(arch), func(t *testing.T) {
-			res := testPoint(t, testExperiment(arch, w, sim.PatternFeedback, testConsumers))
+			res := testPoint(t, testSpec(arch, w, "work-sharing-feedback", testConsumers))
 			if res.MedianRTT() <= 0 {
 				t.Fatal("median RTT must be positive")
 			}
@@ -161,7 +189,7 @@ func TestFig7aBroadcastThroughput(t *testing.T) {
 	for _, arch := range shortArchs(fig78Architectures) {
 		arch := arch
 		t.Run(string(arch), func(t *testing.T) {
-			res := testPoint(t, testExperiment(arch, workload.Generic, sim.PatternBroadcast, testConsumers))
+			res := testPoint(t, testSpec(arch, workload.Generic, "broadcast", testConsumers))
 			// Every consumer receives every broadcast message.
 			want := int64(testConsumers * testMessages)
 			if res.Consumed != want {
@@ -175,7 +203,7 @@ func TestFig7bBroadcastGatherRTT(t *testing.T) {
 	for _, arch := range shortArchs(fig78Architectures) {
 		arch := arch
 		t.Run(string(arch), func(t *testing.T) {
-			res := testPoint(t, testExperiment(arch, workload.Generic, sim.PatternBroadcastGather, testConsumers))
+			res := testPoint(t, testSpec(arch, workload.Generic, "broadcast-gather", testConsumers))
 			// One gathered reply (and one RTT sample) per consumer per msg.
 			want := testConsumers * testMessages
 			if len(res.RTTs) != want {
@@ -188,9 +216,22 @@ func TestFig7bBroadcastGatherRTT(t *testing.T) {
 // --------------------------------------------------------------- Figure 8
 
 func TestFig8BroadcastGatherCDF(t *testing.T) {
-	res := testPoint(t, testExperiment(core.DTS, workload.Generic, sim.PatternBroadcastGather, testConsumers))
+	res := testPoint(t, testSpec(core.DTS, workload.Generic, "broadcast-gather", testConsumers))
 	if res.FractionUnder(res.PercentileRTT(80)) < 0.75 {
 		t.Fatalf("p80 fraction inconsistent: %v", res.FractionUnder(res.PercentileRTT(80)))
+	}
+}
+
+// --------------------------------------------------------------- pipeline
+
+// TestPipelineScenario covers the multi-stage pattern enabled by the role
+// engine: edge producers → filter tier → single fan-in aggregator. Every
+// message must traverse both stages, so consumed counts them twice.
+func TestPipelineScenario(t *testing.T) {
+	res := testPoint(t, testSpec(core.DTS, workload.Dstream, "pipeline", testConsumers))
+	want := int64(testConsumers * testMessages * 2)
+	if res.Consumed != want {
+		t.Fatalf("consumed %d, want %d (both stages)", res.Consumed, want)
 	}
 }
 
@@ -200,9 +241,9 @@ func TestAblationWorkQueues(t *testing.T) {
 	for _, queues := range []int{1, 2} {
 		queues := queues
 		t.Run("queues="+itoa(queues), func(t *testing.T) {
-			exp := testExperiment(core.DTS, workload.Dstream, sim.PatternWorkSharing, testConsumers)
-			exp.WorkQueues = queues
-			res := testPoint(t, exp)
+			spec := testSpec(core.DTS, workload.Dstream, "work-sharing", testConsumers)
+			spec.Tuning.WorkQueues = queues
+			res := testPoint(t, spec)
 			if want := int64(testConsumers * testMessages); res.Consumed != want {
 				t.Fatalf("consumed %d, want %d", res.Consumed, want)
 			}
@@ -214,10 +255,10 @@ func TestAblationAckBatching(t *testing.T) {
 	for _, batch := range []int{1, 4} {
 		batch := batch
 		t.Run("ackbatch="+itoa(batch), func(t *testing.T) {
-			exp := testExperiment(core.DTS, workload.Dstream, sim.PatternWorkSharing, testConsumers)
-			exp.AckBatch = batch
-			exp.Prefetch = 2 * batch
-			res := testPoint(t, exp)
+			spec := testSpec(core.DTS, workload.Dstream, "work-sharing", testConsumers)
+			spec.Tuning.AckBatch = batch
+			spec.Tuning.Prefetch = 2 * batch
+			res := testPoint(t, spec)
 			if want := int64(testConsumers * testMessages); res.Consumed != want {
 				t.Fatalf("consumed %d, want %d", res.Consumed, want)
 			}
@@ -229,9 +270,9 @@ func TestAblationPrefetch(t *testing.T) {
 	for _, prefetch := range []int{1, 8} {
 		prefetch := prefetch
 		t.Run("prefetch="+itoa(prefetch), func(t *testing.T) {
-			exp := testExperiment(core.DTS, workload.Dstream, sim.PatternWorkSharing, testConsumers)
-			exp.Prefetch = prefetch
-			testPoint(t, exp)
+			spec := testSpec(core.DTS, workload.Dstream, "work-sharing", testConsumers)
+			spec.Tuning.Prefetch = prefetch
+			testPoint(t, spec)
 		})
 	}
 }
@@ -247,9 +288,9 @@ func TestAblationMSSBypass(t *testing.T) {
 			name = "bypass-lb"
 		}
 		t.Run(name, func(t *testing.T) {
-			exp := testExperiment(core.MSS, workload.Dstream, sim.PatternWorkSharing, testConsumers)
-			exp.Options.BypassLB = bypass
-			testPoint(t, exp)
+			spec := testSpec(core.MSS, workload.Dstream, "work-sharing", testConsumers)
+			spec.Deployment.BypassLB = bypass
+			testPoint(t, spec)
 		})
 	}
 }
@@ -258,11 +299,11 @@ func TestOverheadVsDTS(t *testing.T) {
 	if testing.Short() {
 		t.Skip("cross-architecture comparison skipped under -short")
 	}
-	base := testPoint(t, testExperiment(core.DTS, workload.Dstream, sim.PatternWorkSharing, testConsumers))
+	base := testPoint(t, testSpec(core.DTS, workload.Dstream, "work-sharing", testConsumers))
 	for _, arch := range []core.ArchitectureName{core.PRSHAProxy, core.MSS} {
 		arch := arch
 		t.Run(string(arch), func(t *testing.T) {
-			res := testPoint(t, testExperiment(arch, workload.Dstream, sim.PatternWorkSharing, testConsumers))
+			res := testPoint(t, testSpec(arch, workload.Dstream, "work-sharing", testConsumers))
 			ov := metrics.Overhead(base.Throughput, res.Throughput)
 			if ov <= 0 {
 				t.Fatalf("overhead %v must be positive", ov)
@@ -271,12 +312,12 @@ func TestOverheadVsDTS(t *testing.T) {
 	}
 }
 
-// TestHotPathCounters locks in that one experiment moves the tentpole's
+// TestHotPathCounters locks in that one experiment moves the
 // wire/broker instrumentation: buffers recycle through the pool, frame
 // writes coalesce, and deliveries batch.
 func TestHotPathCounters(t *testing.T) {
 	before := metrics.Default.Snapshot()
-	testPoint(t, testExperiment(core.DTS, workload.Dstream, sim.PatternWorkSharing, testConsumers))
+	testPoint(t, testSpec(core.DTS, workload.Dstream, "work-sharing", testConsumers))
 	d := metrics.Delta(before, metrics.Default.Snapshot())
 	if d["wire.bufpool_hits"] == 0 {
 		t.Error("buffer pool recorded no hits")

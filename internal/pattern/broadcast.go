@@ -2,65 +2,46 @@ package pattern
 
 import (
 	"fmt"
-	"sync/atomic"
-	"time"
 
 	"ds2hpc/internal/amqp"
-	"ds2hpc/internal/metrics"
-	"ds2hpc/internal/workload"
 )
 
-// Broadcast runs the broadcast phase of §5.5: a single producer publishes
-// each message to fanout exchanges delivering to every consumer's queue
-// (the pub-sub model). Aggregate consumer throughput is reported.
+// BroadcastName is the broadcast phase of §5.5: a single producer
+// publishes each message to fanout exchanges delivering to every
+// consumer's queue (the pub-sub model). Aggregate consumer throughput is
+// reported.
 //
 // Subscriber queues are spread across the broker nodes (consumer i's queue
 // lives on node i mod N), as RabbitMQ places queues on the node the
 // declaring client is connected to; the producer publishes one copy per
 // node, so every DSN's link participates in the fan-out.
-func Broadcast(cfg Config) (*metrics.Result, error) {
-	return broadcastGather(cfg, false)
-}
+const BroadcastName = "broadcast"
 
-// BroadcastGather runs the full broadcast-and-gather pattern: alongside
+// BroadcastGatherName is the full broadcast-and-gather pattern: alongside
 // the broadcast, every consumer replies to a gather exchange whose
 // per-node queues the single producer drains; per-reply RTTs are measured
 // at the producer.
-func BroadcastGather(cfg Config) (*metrics.Result, error) {
-	return broadcastGather(cfg, true)
+const BroadcastGatherName = "broadcast-gather"
+
+func init() {
+	Register(&Graph{
+		Name:           BroadcastName,
+		SingleProducer: true,
+		Build:          func(cfg *Config) (*Topology, error) { return buildBroadcast(cfg, false) },
+	})
+	Register(&Graph{
+		Name:           BroadcastGatherName,
+		SingleProducer: true,
+		Build:          func(cfg *Config) (*Topology, error) { return buildBroadcast(cfg, true) },
+	})
 }
 
-// bgNode is the per-broker-node slice of the broadcast topology.
-type bgNode struct {
-	anchor  string // queue-name anchor hashing to this node
-	gatherQ string
-	subs    []string // subscriber queues of consumers on this node
-}
-
-func broadcastGather(cfg Config, gather bool) (*metrics.Result, error) {
-	if err := cfg.defaults(); err != nil {
-		return nil, err
-	}
-	cfg.Producers = 1 // the pattern is single-producer by definition
-
+func buildBroadcast(cfg *Config, gather bool) (*Topology, error) {
 	const bcastX = "bg-bcast"
 	const gatherX = "bg-gather-x"
 	nodes := cfg.Deployment.Cluster().Size()
 	if nodes > cfg.Consumers {
 		nodes = cfg.Consumers
-	}
-	topo := make([]*bgNode, nodes)
-	for j := range topo {
-		topo[j] = &bgNode{
-			anchor:  nameOnNode(cfg.Deployment, fmt.Sprintf("bg-anchor-%d", j), j),
-			gatherQ: nameOnNode(cfg.Deployment, fmt.Sprintf("bg-gather-%d", j), j),
-		}
-	}
-	subQ := make([]string, cfg.Consumers)
-	for i := range subQ {
-		j := i % nodes
-		subQ[i] = nameOnNode(cfg.Deployment, fmt.Sprintf("bg-sub-%d", i), j)
-		topo[j].subs = append(topo[j].subs, subQ[i])
 	}
 	// Bound queues for the producer's in-flight window (plus prefetch
 	// slack); the producer paces itself so these are never exceeded.
@@ -68,246 +49,78 @@ func broadcastGather(cfg Config, gather bool) (*metrics.Result, error) {
 		cfg.QueueBytes = need
 	}
 
-	// Declare exchanges and queues on each participating node.
-	for _, n := range topo {
-		if err := declareBGNode(cfg, n, bcastX, gatherX); err != nil {
-			return nil, err
+	// One declaration group per participating broker node: both exchanges,
+	// the node's gather queue, and the subscriber queues of the consumers
+	// placed there.
+	anchors := make([]string, nodes)
+	gatherQ := make([]string, nodes)
+	decls := make([]Declarations, nodes)
+	for j := 0; j < nodes; j++ {
+		anchors[j] = nameOnNode(cfg.Deployment, fmt.Sprintf("bg-anchor-%d", j), j)
+		gatherQ[j] = nameOnNode(cfg.Deployment, fmt.Sprintf("bg-gather-%d", j), j)
+		decls[j] = Declarations{
+			Anchor: anchors[j],
+			Exchanges: []ExchangeDecl{
+				{Name: bcastX, Kind: "fanout"},
+				{Name: gatherX, Kind: "fanout"},
+			},
+			Queues:   []QueueDecl{{Name: gatherQ[j]}},
+			Bindings: []BindingDecl{{Queue: gatherQ[j], Exchange: gatherX}},
 		}
 	}
-
-	col := metrics.NewCollector()
-	var consumed, replied atomic.Int64
-	totalDeliveries := int64(cfg.MessagesPerProducer) * int64(cfg.Consumers)
-
-	stop := make(chan struct{})
-	var ready atomic.Int64
-	consumerErr := make(chan error, cfg.Consumers)
-	launch := func(i int) error {
-		return runBGConsumer(cfg, subQ[i], gatherX, i, gather, col, &consumed, &ready, stop)
-	}
-	// The generic workload is MPI-launched (Table 1).
-	go func() {
-		consumerErr <- runClients(cfg.Consumers, cfg.Workload.MPI, launch)
-	}()
-	deadline := time.Now().Add(cfg.Timeout)
-	for ready.Load() < int64(cfg.Consumers) {
-		if time.Now().After(deadline) {
-			close(stop)
-			return nil, fmt.Errorf("pattern: consumers not ready")
-		}
-		time.Sleep(time.Millisecond)
+	subQ := make([]string, cfg.Consumers)
+	for i := range subQ {
+		j := i % nodes
+		subQ[i] = nameOnNode(cfg.Deployment, fmt.Sprintf("bg-sub-%d", i), j)
+		decls[j].Queues = append(decls[j].Queues, QueueDecl{Name: subQ[i]})
+		decls[j].Bindings = append(decls[j].Bindings, BindingDecl{Queue: subQ[i], Exchange: bcastX})
 	}
 
-	col.Start()
-	err := runBroadcastProducer(cfg, topo, bcastX, gather, col, &consumed, &replied)
-	if err == nil && !gather {
-		err = waitCount(&consumed, totalDeliveries, cfg.Timeout)
-	}
-	col.Stop()
-	close(stop)
-	if err != nil {
-		return nil, err
-	}
-	return col.Snapshot(), nil
-}
-
-func declareBGNode(cfg Config, n *bgNode, bcastX, gatherX string) error {
-	conn, err := cfg.Deployment.ConsumerEndpoint(n.anchor).Connect()
-	if err != nil {
-		return err
-	}
-	defer conn.Close()
-	ch, err := conn.Channel()
-	if err != nil {
-		return err
-	}
-	if err := ch.ExchangeDeclare(bcastX, "fanout", true, false, false, false, nil); err != nil {
-		return err
-	}
-	if err := ch.ExchangeDeclare(gatherX, "fanout", true, false, false, false, nil); err != nil {
-		return err
-	}
-	if _, err := ch.QueueDeclare(n.gatherQ, true, false, false, false, cfg.queueArgs()); err != nil {
-		return err
-	}
-	if err := ch.QueueBind(n.gatherQ, "", gatherX, false, nil); err != nil {
-		return err
-	}
-	for _, q := range n.subs {
-		if _, err := ch.QueueDeclare(q, true, false, false, false, cfg.queueArgs()); err != nil {
-			return err
-		}
-		if err := ch.QueueBind(q, "", bcastX, false, nil); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-func runBGConsumer(cfg Config, queue, gatherX string, id int, gather bool,
-	col *metrics.Collector, consumed *atomic.Int64, ready *atomic.Int64, stop <-chan struct{}) error {
-	conn, err := cfg.Deployment.ConsumerEndpoint(queue).Connect()
-	if err != nil {
-		ready.Add(1)
-		return err
-	}
-	defer conn.Close()
-	ch, err := conn.Channel()
-	if err != nil {
-		ready.Add(1)
-		return err
-	}
-	if err := ch.Qos(cfg.Prefetch, 0, false); err != nil {
-		ready.Add(1)
-		return err
-	}
-	deliveries, err := ch.Consume(queue, fmt.Sprintf("bg-%d", id), false, false, false, false, nil)
-	if err != nil {
-		ready.Add(1)
-		return err
-	}
-	ready.Add(1)
-	acker := &batchAcker{n: cfg.AckBatch}
-	for {
-		select {
-		case <-stop:
-			acker.flush()
-			return nil
-		case d, ok := <-deliveries:
-			if !ok {
-				return nil
-			}
-			if err := cfg.Workload.Verify(d.Body); err != nil {
-				col.AddError()
-			}
-			col.AddConsumed(1)
-			consumed.Add(1)
-			if gather {
-				// The gather exchange on this consumer's node routes to
-				// the node-local gather queue the producer drains.
-				err := ch.Publish(gatherX, "", false, false, amqp.Publishing{
-					CorrelationID: d.CorrelationID,
-					Timestamp:     d.Timestamp,
-					Body:          []byte(fmt.Sprintf("reply-from-%d", id)),
-				})
-				if err != nil {
-					return err
-				}
-			}
-			if err := acker.add(d); err != nil {
-				return err
-			}
-		}
-	}
-}
-
-// runBroadcastProducer broadcasts the message budget (one publish per
-// participating node) and, when gathering, drains one reply per consumer
-// per message across the per-node gather queues, measuring RTTs.
-func runBroadcastProducer(cfg Config, topo []*bgNode, bcastX string, gather bool,
-	col *metrics.Collector, consumed, replied *atomic.Int64) error {
-	type nodeConn struct {
-		conn *amqp.Connection
-		ch   *amqp.Channel
-	}
-	conns := make([]*nodeConn, len(topo))
-	for j, n := range topo {
-		conn, err := cfg.Deployment.ProducerEndpoint(n.anchor).Connect()
-		if err != nil {
-			return err
-		}
-		defer conn.Close()
-		ch, err := conn.Channel()
-		if err != nil {
-			return err
-		}
-		conns[j] = &nodeConn{conn: conn, ch: ch}
-	}
-
-	window := make(chan struct{}, cfg.Window)
-	wantReplies := int64(cfg.MessagesPerProducer) * int64(cfg.Consumers)
-	done := make(chan error, 1)
+	mode := FlowPaced
+	var replies func(p int) []ReplySource
+	var reply *ReplySpec
+	var waitConsumed int64
 	if gather {
-		// One drain goroutine per node feeding a shared tally.
-		replyEvents := make(chan uint64, 4*cfg.Window)
-		for j, n := range topo {
-			rch, err := conns[j].conn.Channel()
-			if err != nil {
-				return err
+		mode = FlowClosedLoop
+		replies = func(int) []ReplySource {
+			// One drain per node, over that node's publish-leg connection.
+			srcs := make([]ReplySource, nodes)
+			for j := range srcs {
+				srcs[j] = ReplySource{Leg: j, Queue: gatherQ[j]}
 			}
-			repliesCh, err := rch.Consume(n.gatherQ, fmt.Sprintf("bg-prod-%d", j), true, false, false, false, nil)
-			if err != nil {
-				return err
-			}
-			go func() {
-				for d := range repliesCh {
-					replyEvents <- d.Timestamp
-				}
-			}()
+			return srcs
 		}
-		go func() {
-			var got int64
-			for ts := range replyEvents {
-				rtt := time.Duration(time.Now().UnixNano() - int64(ts))
-				if rtt > 0 {
-					col.AddRTT(rtt)
-				}
-				replied.Add(1)
-				got++
-				if got%int64(cfg.Consumers) == 0 {
-					<-window
-				}
-				if got >= wantReplies {
-					done <- nil
-					return
-				}
-			}
-		}()
+		// The gather exchange on the consumer's node routes to the
+		// node-local gather queue the producer drains.
+		reply = &ReplySpec{Exchange: gatherX}
+	} else {
+		waitConsumed = int64(cfg.MessagesPerProducer) * int64(cfg.Consumers)
 	}
-
-	gen := workload.NewGenerator(cfg.Workload, 0)
-	for seq := uint64(0); seq < uint64(cfg.MessagesPerProducer); seq++ {
-		body, err := gen.Payload(seq)
-		if err != nil {
-			return err
-		}
-		if gather {
-			window <- struct{}{}
-		} else if seq >= uint64(cfg.Window) {
-			// Broadcast-only flow control: stay at most Window
-			// broadcasts ahead of the slowest consumers in aggregate,
-			// so no subscriber queue ever overflows.
-			floor := int64(seq-uint64(cfg.Window)+1) * int64(cfg.Consumers)
-			deadline := time.Now().Add(cfg.Timeout)
-			for consumed.Load() < floor {
-				if time.Now().After(deadline) {
-					return fmt.Errorf("pattern: broadcast stalled at %d/%d deliveries",
-						consumed.Load(), floor)
+	return &Topology{
+		Declare: decls,
+		Producer: ProducerRole{
+			Name: "bg-prod",
+			Mode: mode,
+			Legs: func(int) []Leg {
+				legs := make([]Leg, nodes)
+				for j := range legs {
+					legs[j] = Leg{Exchange: bcastX, Anchor: anchors[j]}
 				}
-				time.Sleep(time.Millisecond)
-			}
-		}
-		ts := uint64(time.Now().UnixNano())
-		for _, nc := range conns {
-			err = nc.ch.Publish(bcastX, "", false, false, amqp.Publishing{
-				ContentType:   "application/octet-stream",
-				CorrelationID: fmt.Sprintf("bcast-%d", seq),
-				Timestamp:     ts,
-				Body:          body,
-			})
-			if err != nil {
-				return err
-			}
-		}
-		col.AddProduced(1)
-	}
-	if !gather {
-		return nil
-	}
-	select {
-	case err := <-done:
-		return err
-	case <-time.After(cfg.Timeout):
-		return fmt.Errorf("pattern: timed out gathering replies (%d/%d)", replied.Load(), wantReplies)
-	}
+				return legs
+			},
+			Replies:       replies,
+			RepliesPerMsg: cfg.Consumers,
+			PacePerMsg:    cfg.Consumers,
+			Props: func(p int, seq uint64) amqp.Publishing {
+				return amqp.Publishing{CorrelationID: fmt.Sprintf("bcast-%d", seq)}
+			},
+		},
+		Consumers: []ConsumerRole{{
+			Name:   "bg",
+			Queue:  func(i int) string { return subQ[i] },
+			Reply:  reply,
+			Counts: true,
+		}},
+		WaitConsumed: waitConsumed,
+	}, nil
 }

@@ -1,0 +1,764 @@
+package pattern
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ds2hpc/internal/amqp"
+	"ds2hpc/internal/metrics"
+	"ds2hpc/internal/workload"
+)
+
+// This file is the pattern role engine: every messaging pattern is declared
+// as a Graph — broker objects to set up plus producer/consumer role
+// behaviors — and executed by exactly one producer loop (runProducer) and
+// one consumer loop (runConsumer). Confirm-window, batch-ack, prefetch and
+// completion-counting plumbing therefore lives in one place, and a new
+// pattern is a Build function returning a Topology value rather than a new
+// pair of hand-rolled client loops.
+
+// FlowMode selects the producer's flow-control discipline.
+type FlowMode int
+
+const (
+	// FlowConfirm is the open-loop discipline: publisher confirms bound
+	// the in-flight window and nacked (reject-publish) messages are
+	// republished after a short backoff (§5.2 backpressure handling).
+	FlowConfirm FlowMode = iota
+	// FlowClosedLoop gates each publish on replies received: at most
+	// Window messages are outstanding, and per-reply round-trip times are
+	// recorded (the feedback and gather patterns).
+	FlowClosedLoop
+	// FlowPaced gates publishes on aggregate delivery progress: the
+	// producer stays at most Window messages ahead of the consumers so no
+	// subscriber queue overflows (broadcast without gather).
+	FlowPaced
+)
+
+// Leg is one publish target of a producer instance. A producer opens one
+// connection per leg and publishes every message on all of them (the
+// broadcast pattern fans one message out across per-node legs).
+type Leg struct {
+	// Exchange is the target exchange; empty means the default exchange.
+	Exchange string
+	// Key is the routing key (the queue name on the default exchange).
+	Key string
+	// Anchor is the queue name used to select the endpoint to dial; it
+	// defaults to Key.
+	Anchor string
+}
+
+func (l Leg) anchor() string {
+	if l.Anchor != "" {
+		return l.Anchor
+	}
+	return l.Key
+}
+
+// ReplySource is a queue a closed-loop producer drains for replies, over
+// the connection of an existing leg (reply queues are co-located with
+// their work queue so the producer reuses that connection).
+type ReplySource struct {
+	Leg   int
+	Queue string
+}
+
+// ReplySpec declares how a consumer role responds to each delivery.
+type ReplySpec struct {
+	// ToReplyTo routes the reply to the delivery's ReplyTo queue via the
+	// default exchange (the feedback pattern's direct routing).
+	ToReplyTo bool
+	// Exchange/Key are the fixed reply target otherwise (the gather
+	// exchange, or a downstream stage queue on the default exchange).
+	Exchange string
+	Key      string
+	// Forward sends the delivery body onward (a pipeline stage); false
+	// sends a small acknowledgement payload.
+	Forward bool
+}
+
+// ConsumerRole declares one class of consuming clients.
+type ConsumerRole struct {
+	// Name labels consumer tags and errors.
+	Name string
+	// Count is the number of instances; zero means Config.Consumers.
+	Count int
+	// Queue maps an instance index to the queue it consumes.
+	Queue func(i int) string
+	// Reply, when non-nil, publishes a response per delivery.
+	Reply *ReplySpec
+	// Counts marks this role's deliveries as the run's completion and
+	// pacing signal.
+	Counts bool
+}
+
+// ProducerRole declares the producing clients (Config.Producers instances).
+type ProducerRole struct {
+	// Name labels consumer tags and errors.
+	Name string
+	// Mode is the flow-control discipline.
+	Mode FlowMode
+	// Legs maps a producer index to its publish targets.
+	Legs func(p int) []Leg
+	// Replies maps a producer index to the queues it drains for replies
+	// (closed-loop mode only).
+	Replies func(p int) []ReplySource
+	// RepliesPerMsg is the number of replies expected per message (1 for
+	// feedback, the consumer count for gather). Zero means 1.
+	RepliesPerMsg int
+	// PacePerMsg is the number of counted deliveries one message causes
+	// (paced mode), used to compute the pacing floor.
+	PacePerMsg int
+	// Props supplies pattern-specific message properties; the engine fills
+	// Body, ContentType (if unset) and — for RTT-measuring modes — the
+	// Timestamp.
+	Props func(p int, seq uint64) amqp.Publishing
+}
+
+// ExchangeDecl declares one exchange.
+type ExchangeDecl struct {
+	Name string
+	Kind string
+}
+
+// QueueDecl declares one queue. Bytes overrides Config.QueueBytes for this
+// queue when positive (a pipeline's fan-in queue is sized for the whole
+// run, for example).
+type QueueDecl struct {
+	Name  string
+	Bytes int64
+}
+
+// BindingDecl binds a queue to an exchange.
+type BindingDecl struct {
+	Queue    string
+	Exchange string
+	Key      string
+}
+
+// Declarations is one group of broker-object declarations executed over a
+// single connection, dialed via the Anchor queue's endpoint (RabbitMQ
+// places classic queues on the node the declaring client is connected to,
+// so grouping controls placement).
+type Declarations struct {
+	Anchor    string
+	Exchanges []ExchangeDecl
+	Queues    []QueueDecl
+	Bindings  []BindingDecl
+}
+
+// Topology is a fully resolved pattern instance: what to declare, who the
+// roles are, and when the run is complete.
+type Topology struct {
+	Declare  []Declarations
+	Producer ProducerRole
+	// Consumers lists the consumer roles (a pipeline has several stages).
+	Consumers []ConsumerRole
+	// WaitConsumed, when positive, keeps the run alive after producers
+	// finish until the counting role has seen this many deliveries.
+	// Closed-loop patterns complete through their reply budget instead.
+	WaitConsumed int64
+}
+
+// Graph is a registered messaging pattern: a name plus a Build function
+// resolving the declarative topology against a concrete Config (queue
+// placement depends on the deployment's cluster hashing). Build may adjust
+// Config sizing knobs (QueueBytes floors, for instance).
+type Graph struct {
+	Name string
+	// SingleProducer forces Producers to 1 (the broadcast patterns).
+	SingleProducer bool
+	Build          func(cfg *Config) (*Topology, error)
+}
+
+// ---------------------------------------------------------------- registry
+
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]*Graph{}
+)
+
+// Register adds a pattern graph to the registry; registering a duplicate
+// name panics (patterns register from init functions).
+func Register(g *Graph) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[g.Name]; dup {
+		panic("pattern: duplicate graph " + g.Name)
+	}
+	registry[g.Name] = g
+}
+
+// Lookup resolves a registered pattern graph by name.
+func Lookup(name string) (*Graph, bool) {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	g, ok := registry[name]
+	return g, ok
+}
+
+// Names lists the registered pattern names, sorted.
+func Names() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ---------------------------------------------------------------- progress
+
+// progress is a channel-signaled monotonic counter: waiters block on a
+// channel closed the instant their threshold is reached, instead of
+// sleep-polling. It backs both run completion and broadcast pacing. The
+// per-delivery Add stays an atomic increment unless a waiter is parked
+// (the count is bumped once per message by every consumer of a run, so
+// it must not serialize them on a lock).
+type progress struct {
+	n       atomic.Int64
+	waiting atomic.Bool
+	mu      sync.Mutex
+	waiters []*progressWaiter
+}
+
+type progressWaiter struct {
+	at int64
+	ch chan struct{}
+}
+
+func (p *progress) Add(k int64) {
+	n := p.n.Add(k)
+	if !p.waiting.Load() {
+		// No waiter parked. A waiter registering concurrently re-checks
+		// the count after setting waiting, so this increment is not lost.
+		return
+	}
+	p.mu.Lock()
+	var fire []*progressWaiter
+	keep := p.waiters[:0]
+	for _, w := range p.waiters {
+		if n >= w.at {
+			fire = append(fire, w)
+		} else {
+			keep = append(keep, w)
+		}
+	}
+	p.waiters = keep
+	if len(p.waiters) == 0 {
+		p.waiting.Store(false)
+	}
+	p.mu.Unlock()
+	for _, w := range fire {
+		close(w.ch)
+	}
+}
+
+func (p *progress) Load() int64 { return p.n.Load() }
+
+// WaitAtLeast blocks until the counter reaches at or ctx ends.
+func (p *progress) WaitAtLeast(ctx context.Context, at int64) error {
+	if p.n.Load() >= at {
+		return nil
+	}
+	w := &progressWaiter{at: at, ch: make(chan struct{})}
+	p.mu.Lock()
+	p.waiters = append(p.waiters, w)
+	p.waiting.Store(true)
+	// Re-check after publishing the waiter: an Add that raced past the
+	// first check above must now either see waiting or be seen here.
+	if p.n.Load() >= at {
+		p.waiters = p.waiters[:len(p.waiters)-1]
+		if len(p.waiters) == 0 {
+			p.waiting.Store(false)
+		}
+		p.mu.Unlock()
+		return nil
+	}
+	p.mu.Unlock()
+	select {
+	case <-w.ch:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("pattern: %d/%d messages: %w", p.Load(), at, ctx.Err())
+	}
+}
+
+// ---------------------------------------------------------------- engine
+
+// Run executes the named registered pattern under cfg. The context bounds
+// the whole run (in addition to cfg.Timeout) and cancels every role loop.
+func Run(ctx context.Context, name string, cfg Config) (*metrics.Result, error) {
+	g, ok := Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("pattern: unknown pattern %q (registered: %v)", name, Names())
+	}
+	return g.Run(ctx, cfg)
+}
+
+// Run executes the graph under cfg.
+func (g *Graph) Run(ctx context.Context, cfg Config) (*metrics.Result, error) {
+	if err := cfg.defaults(); err != nil {
+		return nil, err
+	}
+	if g.SingleProducer {
+		cfg.Producers = 1
+	}
+	if max := cfg.Deployment.MaxProducerConns(); max > 0 && cfg.Producers > max {
+		return nil, fmt.Errorf("%w: %d producers > %d tunnel connections",
+			ErrInfeasible, cfg.Producers, max)
+	}
+	topo, err := g.Build(&cfg)
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithTimeout(ctx, cfg.Timeout)
+	defer cancel()
+
+	for _, d := range topo.Declare {
+		if err := declareGroup(cfg, d); err != nil {
+			return nil, err
+		}
+	}
+
+	col := metrics.NewCollector()
+	prog := &progress{}  // counted deliveries (completion + pacing)
+	ready := &progress{} // consumer instances ready to receive
+	var replied atomic.Int64
+
+	stop := make(chan struct{})
+	totalConsumers := 0
+	for _, role := range topo.Consumers {
+		totalConsumers += role.instances(&cfg)
+	}
+	consumerErr := make(chan error, totalConsumers)
+	for _, role := range topo.Consumers {
+		role := role
+		for i := 0; i < role.instances(&cfg); i++ {
+			go func(i int) {
+				consumerErr <- runConsumer(ctx, &cfg, role, i, col, prog, ready, stop)
+			}(i)
+		}
+	}
+	if err := ready.WaitAtLeast(ctx, int64(totalConsumers)); err != nil {
+		close(stop)
+		return nil, fmt.Errorf("pattern: consumers not ready: %w", firstErr(consumerErr, err))
+	}
+
+	col.Start()
+	err = runClients(cfg.Producers, cfg.Workload.MPI, func(p int) error {
+		return runProducer(ctx, &cfg, topo, p, col, prog, &replied)
+	})
+	if err == nil && topo.WaitConsumed > 0 {
+		err = prog.WaitAtLeast(ctx, topo.WaitConsumed)
+	}
+	col.Stop()
+	close(stop)
+	if err != nil {
+		return nil, firstErr(consumerErr, err)
+	}
+	if topo.Producer.Mode == FlowClosedLoop {
+		want := int64(cfg.Producers) * int64(cfg.MessagesPerProducer) * int64(topo.Producer.repliesPerMsg())
+		if got := replied.Load(); got < want {
+			return nil, fmt.Errorf("pattern: only %d/%d replies", got, want)
+		}
+	}
+	return col.Snapshot(), nil
+}
+
+// firstErr prefers a real consumer failure over the generic timeout that
+// usually follows it.
+func firstErr(consumerErr <-chan error, fallback error) error {
+	for {
+		select {
+		case err := <-consumerErr:
+			if err != nil && !errors.Is(err, context.DeadlineExceeded) && !errors.Is(err, context.Canceled) {
+				return fmt.Errorf("%w (consumer: %v)", fallback, err)
+			}
+		default:
+			return fallback
+		}
+	}
+}
+
+func (r *ConsumerRole) instances(cfg *Config) int {
+	if r.Count > 0 {
+		return r.Count
+	}
+	return cfg.Consumers
+}
+
+func (r *ProducerRole) repliesPerMsg() int {
+	if r.RepliesPerMsg > 0 {
+		return r.RepliesPerMsg
+	}
+	return 1
+}
+
+// declareGroup declares one group of broker objects over one connection.
+func declareGroup(cfg Config, d Declarations) error {
+	conn, err := cfg.Deployment.ConsumerEndpoint(d.Anchor).Connect()
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	ch, err := conn.Channel()
+	if err != nil {
+		return err
+	}
+	for _, x := range d.Exchanges {
+		if err := ch.ExchangeDeclare(x.Name, x.Kind, true, false, false, false, nil); err != nil {
+			return err
+		}
+	}
+	for _, q := range d.Queues {
+		args := cfg.queueArgs()
+		if q.Bytes > 0 {
+			args["x-max-length-bytes"] = q.Bytes
+		}
+		if _, err := ch.QueueDeclare(q.Name, true, false, false, false, args); err != nil {
+			return err
+		}
+	}
+	for _, b := range d.Bindings {
+		if err := ch.QueueBind(b.Queue, b.Key, b.Exchange, false, nil); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runConsumer is the single consumer loop: consume the role's queue with
+// the shared prefetch window, verify payloads, optionally reply, batch-ack,
+// and count deliveries toward completion.
+func runConsumer(ctx context.Context, cfg *Config, role ConsumerRole, i int,
+	col *metrics.Collector, prog *progress, ready *progress, stop <-chan struct{}) error {
+	queue := role.Queue(i)
+	conn, ch, deliveries, err := consumerSetup(cfg, role, queue, i)
+	// The launcher blocks until every instance reports ready; signal
+	// unconditionally so a failed instance surfaces as an error rather
+	// than a hang.
+	ready.Add(1)
+	if err != nil {
+		return fmt.Errorf("pattern: %s %d: %w", role.Name, i, err)
+	}
+	defer conn.Close()
+
+	acker := &batchAcker{n: cfg.AckBatch}
+	for {
+		select {
+		case <-stop:
+			acker.flush()
+			return nil
+		case <-ctx.Done():
+			acker.flush()
+			return ctx.Err()
+		case d, ok := <-deliveries:
+			if !ok {
+				// The stream only closes mid-run when the connection died
+				// (and no reconnect policy revived it); surface that so a
+				// failed run names the dead consumer instead of a bare
+				// deadline.
+				return fmt.Errorf("pattern: %s %d: delivery stream closed", role.Name, i)
+			}
+			if err := cfg.Workload.Verify(d.Body); err != nil {
+				col.AddError()
+			}
+			col.AddConsumed(1)
+			if role.Counts {
+				prog.Add(1)
+			}
+			if role.Reply != nil {
+				if err := publishReply(ch, role.Reply, d); err != nil {
+					return err
+				}
+			}
+			if err := acker.add(d); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+func consumerSetup(cfg *Config, role ConsumerRole, queue string, i int) (*amqp.Connection, *amqp.Channel, <-chan amqp.Delivery, error) {
+	conn, err := cfg.Deployment.ConsumerEndpoint(queue).Connect()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	ch, err := conn.Channel()
+	if err != nil {
+		conn.Close()
+		return nil, nil, nil, err
+	}
+	if err := ch.Qos(cfg.Prefetch, 0, false); err != nil {
+		conn.Close()
+		return nil, nil, nil, err
+	}
+	deliveries, err := ch.Consume(queue, fmt.Sprintf("%s-%d", role.Name, i), false, false, false, false, nil)
+	if err != nil {
+		conn.Close()
+		return nil, nil, nil, err
+	}
+	return conn, ch, deliveries, nil
+}
+
+// publishReply responds to one delivery per the role's ReplySpec, echoing
+// the correlation id and timestamp so the producer can match the reply and
+// compute its round-trip time.
+func publishReply(ch *amqp.Channel, r *ReplySpec, d amqp.Delivery) error {
+	exchange, key := r.Exchange, r.Key
+	if r.ToReplyTo {
+		if d.ReplyTo == "" {
+			return nil
+		}
+		exchange, key = "", d.ReplyTo
+	}
+	pub := amqp.Publishing{
+		CorrelationID: d.CorrelationID,
+		Timestamp:     d.Timestamp,
+		Body:          []byte("ok"),
+	}
+	if r.Forward {
+		pub.ContentType = d.ContentType
+		pub.Body = d.Body
+	}
+	return ch.Publish(exchange, key, false, false, pub)
+}
+
+// runProducer is the single producer loop. The flow mode decides how each
+// publish is admitted (confirm slot, closed-loop window, pacing floor) and
+// how the instance completes (confirm drain, reply budget, nothing).
+func runProducer(ctx context.Context, cfg *Config, topo *Topology, p int,
+	col *metrics.Collector, prog *progress, replied *atomic.Int64) error {
+	role := &topo.Producer
+	legs := role.Legs(p)
+	if len(legs) == 0 {
+		return fmt.Errorf("pattern: %s %d: no publish legs", role.Name, p)
+	}
+	conns := make([]*amqp.Connection, len(legs))
+	chans := make([]*amqp.Channel, len(legs))
+	for j, leg := range legs {
+		conn, err := cfg.Deployment.ProducerEndpoint(leg.anchor()).Connect()
+		if err != nil {
+			return err
+		}
+		defer conn.Close()
+		ch, err := conn.Channel()
+		if err != nil {
+			return err
+		}
+		conns[j], chans[j] = conn, ch
+	}
+
+	var cw *confirmWindow
+	var err error
+	if role.Mode == FlowConfirm {
+		if len(legs) != 1 {
+			return fmt.Errorf("pattern: %s: confirm mode supports exactly one leg", role.Name)
+		}
+		if cw, err = newConfirmWindow(chans[0], cfg.Window); err != nil {
+			return err
+		}
+	}
+
+	budget := int64(cfg.MessagesPerProducer)
+	perMsg := role.repliesPerMsg()
+	var window chan struct{}
+	var done chan error
+	if role.Mode == FlowClosedLoop {
+		window = make(chan struct{}, cfg.Window)
+		done = make(chan error, 1)
+		if err := drainReplies(ctx, cfg, role, p, conns, col, replied, window, done, budget*int64(perMsg)); err != nil {
+			return err
+		}
+	}
+
+	gen := workload.NewGenerator(cfg.Workload, p)
+	send := func(seq uint64) error {
+		body, err := gen.Payload(seq)
+		if err != nil {
+			return err
+		}
+		var pub amqp.Publishing
+		if role.Props != nil {
+			pub = role.Props(p, seq)
+		}
+		if pub.ContentType == "" {
+			pub.ContentType = "application/octet-stream"
+		}
+		pub.Body = body
+		if role.Mode != FlowConfirm {
+			// RTT-measuring and paced modes stamp the send time; every
+			// leg carries the same stamp so fan-out replies agree.
+			pub.Timestamp = uint64(time.Now().UnixNano())
+		}
+		if cw != nil {
+			return cw.publish(ctx, legs[0].Exchange, legs[0].Key, seq, pub)
+		}
+		for j, leg := range legs {
+			if err := chans[j].Publish(leg.Exchange, leg.Key, false, false, pub); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	for seq := uint64(0); seq < uint64(cfg.MessagesPerProducer); seq++ {
+		switch role.Mode {
+		case FlowClosedLoop:
+			select {
+			case window <- struct{}{}: // cap outstanding requests
+			case <-ctx.Done():
+				return fmt.Errorf("pattern: %s %d stalled at message %d: %w", role.Name, p, seq, ctx.Err())
+			}
+		case FlowPaced:
+			if seq >= uint64(cfg.Window) {
+				// Stay at most Window messages ahead of the aggregate
+				// delivery count so no subscriber queue overflows.
+				floor := int64(seq-uint64(cfg.Window)+1) * int64(role.PacePerMsg)
+				if err := prog.WaitAtLeast(ctx, floor); err != nil {
+					return fmt.Errorf("pattern: %s stalled: %w", role.Name, err)
+				}
+			}
+		default:
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		if err := send(seq); err != nil {
+			return err
+		}
+		if cw != nil {
+			// Republish anything the broker rejected under backpressure.
+			for _, again := range cw.takeNacked() {
+				col.AddError()
+				time.Sleep(time.Millisecond) // §5.2: detect, back off, retry
+				if err := send(again); err != nil {
+					return err
+				}
+			}
+		}
+		col.AddProduced(1)
+	}
+
+	switch role.Mode {
+	case FlowConfirm:
+		// Flush the window, retrying stragglers until everything lands.
+		for {
+			if err := cw.drain(ctx); err != nil {
+				return err
+			}
+			retries := cw.takeNacked()
+			if len(retries) == 0 {
+				return nil
+			}
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("pattern: %s %d could not place %d messages: %w", role.Name, p, len(retries), err)
+			}
+			for _, again := range retries {
+				col.AddError()
+				time.Sleep(2 * time.Millisecond)
+				if err := send(again); err != nil {
+					return err
+				}
+			}
+		}
+	case FlowClosedLoop:
+		select {
+		case err := <-done:
+			return err
+		case <-ctx.Done():
+			return fmt.Errorf("pattern: %s %d timed out awaiting replies: %w", role.Name, p, ctx.Err())
+		}
+	}
+	return nil
+}
+
+// drainReplies starts the closed-loop reply pump: one consuming channel per
+// reply source feeding a shared tally that records RTTs, releases a window
+// slot per completed message, and signals done at the reply budget. A
+// reply stream closing mid-run (connection death) fails the producer
+// immediately rather than letting it wait out the run deadline.
+func drainReplies(ctx context.Context, cfg *Config, role *ProducerRole, p int,
+	conns []*amqp.Connection, col *metrics.Collector, replied *atomic.Int64,
+	window chan struct{}, done chan error, want int64) error {
+	sources := role.Replies(p)
+	events := make(chan uint64, 4*cfg.Window)
+	streamClosed := make(chan int, len(sources))
+	for k, src := range sources {
+		rch, err := conns[src.Leg].Channel()
+		if err != nil {
+			return err
+		}
+		deliveries, err := rch.Consume(src.Queue, fmt.Sprintf("%s-reply-%d-%d", role.Name, p, k), true, false, false, false, nil)
+		if err != nil {
+			return err
+		}
+		k := k
+		go func() {
+			for d := range deliveries {
+				select {
+				case events <- d.Timestamp:
+				case <-ctx.Done():
+					return
+				}
+			}
+			streamClosed <- k
+		}()
+	}
+	perMsg := int64(role.repliesPerMsg())
+	go func() {
+		var got int64
+		// take tallies one reply; true once the budget is met.
+		take := func(ts uint64) bool {
+			rtt := time.Duration(time.Now().UnixNano() - int64(ts))
+			if rtt > 0 {
+				col.AddRTT(rtt)
+			}
+			replied.Add(1)
+			got++
+			if got%perMsg == 0 {
+				<-window
+			}
+			return got >= want
+		}
+		for {
+			select {
+			case ts := <-events:
+				if take(ts) {
+					done <- nil
+					return
+				}
+			case k := <-streamClosed:
+				// Drain replies already buffered before declaring the
+				// stream dead — the close may race the final deliveries.
+				for {
+					select {
+					case ts := <-events:
+						if take(ts) {
+							done <- nil
+							return
+						}
+						continue
+					default:
+					}
+					break
+				}
+				done <- fmt.Errorf("pattern: %s %d: reply stream %d closed after %d/%d replies",
+					role.Name, p, k, got, want)
+				return
+			case <-ctx.Done():
+				done <- fmt.Errorf("pattern: %s %d: %d/%d replies: %w", role.Name, p, got, want, ctx.Err())
+				return
+			}
+		}
+	}()
+	return nil
+}

@@ -2,27 +2,21 @@ package pattern
 
 import (
 	"fmt"
-	"sync/atomic"
-	"time"
 
 	"ds2hpc/internal/amqp"
-	"ds2hpc/internal/metrics"
-	"ds2hpc/internal/workload"
 )
 
-// WorkSharingFeedback runs the work-sharing-with-feedback pattern (§5.4):
-// requests flow through shared work queues; each producer owns a dedicated
-// reply queue (direct routing) so replies reach the producer that issued
-// the request. The per-message RTT is measured at the producer.
-func WorkSharingFeedback(cfg Config) (*metrics.Result, error) {
-	if err := cfg.defaults(); err != nil {
-		return nil, err
-	}
-	if max := cfg.Deployment.MaxProducerConns(); max > 0 && cfg.Producers > max {
-		return nil, fmt.Errorf("%w: %d producers > %d tunnel connections",
-			ErrInfeasible, cfg.Producers, max)
-	}
+// FeedbackName is the work-sharing-with-feedback pattern (§5.4): requests
+// flow through shared work queues; each producer owns a dedicated reply
+// queue (direct routing) so replies reach the producer that issued the
+// request. The per-message RTT is measured at the producer.
+const FeedbackName = "work-sharing-feedback"
 
+func init() {
+	Register(&Graph{Name: FeedbackName, Build: buildFeedback})
+}
+
+func buildFeedback(cfg *Config) (*Topology, error) {
 	// The request window is the flow control in this closed-loop pattern:
 	// at most Producers*Window requests exist at once. Size the queues so
 	// the reject-publish limit never fires mid-flight (the paper gives
@@ -32,11 +26,13 @@ func WorkSharingFeedback(cfg Config) (*metrics.Result, error) {
 	}
 
 	queues := make([]string, cfg.WorkQueues)
+	var decls []Declarations
 	for i := range queues {
 		queues[i] = fmt.Sprintf("wsf-q-%d", i)
-		if err := declareQueue(cfg.Deployment.ConsumerEndpoint(queues[i]), queues[i], cfg.queueArgs()); err != nil {
-			return nil, err
-		}
+		decls = append(decls, Declarations{
+			Anchor: queues[i],
+			Queues: []QueueDecl{{Name: queues[i]}},
+		})
 	}
 	// Reply queues are placed on the same node as their work queue so
 	// consumers can publish replies over their existing connection.
@@ -44,175 +40,36 @@ func WorkSharingFeedback(cfg Config) (*metrics.Result, error) {
 	for p := range replyQ {
 		work := queues[p%len(queues)]
 		replyQ[p] = nameOnSameNode(cfg.Deployment, fmt.Sprintf("wsf-reply-%d", p), work)
-		if err := declareQueue(cfg.Deployment.ConsumerEndpoint(replyQ[p]), replyQ[p], cfg.queueArgs()); err != nil {
-			return nil, err
-		}
-	}
-
-	col := metrics.NewCollector()
-	var replies atomic.Int64
-	total := int64(cfg.Producers) * int64(cfg.MessagesPerProducer)
-
-	stop := make(chan struct{})
-	consumerErr := make(chan error, cfg.Consumers)
-	var ready atomic.Int64
-	for i := 0; i < cfg.Consumers; i++ {
-		go func(i int) {
-			consumerErr <- runFeedbackConsumer(cfg, queues[i%len(queues)], i, col, &ready, stop)
-		}(i)
-	}
-	deadline := time.Now().Add(cfg.Timeout)
-	for ready.Load() < int64(cfg.Consumers) {
-		if time.Now().After(deadline) {
-			close(stop)
-			return nil, fmt.Errorf("pattern: consumers not ready")
-		}
-		time.Sleep(time.Millisecond)
-	}
-
-	col.Start()
-	err := runClients(cfg.Producers, cfg.Workload.MPI, func(p int) error {
-		return runFeedbackProducer(cfg, queues[p%len(queues)], replyQ[p], p, col, &replies)
-	})
-	col.Stop()
-	close(stop)
-	if err != nil {
-		return nil, err
-	}
-	if replies.Load() < total {
-		return nil, fmt.Errorf("pattern: only %d/%d replies", replies.Load(), total)
-	}
-	return col.Snapshot(), nil
-}
-
-// runFeedbackConsumer consumes requests and routes a reply back to the
-// originating producer's reply queue via the default (direct) exchange.
-func runFeedbackConsumer(cfg Config, queue string, id int, col *metrics.Collector,
-	ready *atomic.Int64, stop <-chan struct{}) error {
-	conn, err := cfg.Deployment.ConsumerEndpoint(queue).Connect()
-	if err != nil {
-		ready.Add(1)
-		return err
-	}
-	defer conn.Close()
-	ch, err := conn.Channel()
-	if err != nil {
-		ready.Add(1)
-		return err
-	}
-	if err := ch.Qos(cfg.Prefetch, 0, false); err != nil {
-		ready.Add(1)
-		return err
-	}
-	deliveries, err := ch.Consume(queue, fmt.Sprintf("fcons-%d", id), false, false, false, false, nil)
-	if err != nil {
-		ready.Add(1)
-		return err
-	}
-	ready.Add(1)
-	acker := &batchAcker{n: cfg.AckBatch}
-	for {
-		select {
-		case <-stop:
-			acker.flush()
-			return nil
-		case d, ok := <-deliveries:
-			if !ok {
-				return nil
-			}
-			if err := cfg.Workload.Verify(d.Body); err != nil {
-				col.AddError()
-			}
-			col.AddConsumed(1)
-			if d.ReplyTo != "" {
-				// The reply echoes the request timestamp so the
-				// producer can compute the round-trip time.
-				err := ch.Publish("", d.ReplyTo, false, false, amqp.Publishing{
-					CorrelationID: d.CorrelationID,
-					Timestamp:     d.Timestamp,
-					Body:          []byte("ok"),
-				})
-				if err != nil {
-					return err
-				}
-			}
-			if err := acker.add(d); err != nil {
-				return err
-			}
-		}
-	}
-}
-
-// runFeedbackProducer publishes requests with a bounded in-flight window
-// and measures each reply's round-trip time.
-func runFeedbackProducer(cfg Config, workQ, replyQ string, p int,
-	col *metrics.Collector, replies *atomic.Int64) error {
-	conn, err := cfg.Deployment.ProducerEndpoint(workQ).Connect()
-	if err != nil {
-		return err
-	}
-	defer conn.Close()
-	pch, err := conn.Channel()
-	if err != nil {
-		return err
-	}
-	// Reply consumption happens over the same connection (the reply queue
-	// shares the work queue's master node by construction).
-	rch, err := conn.Channel()
-	if err != nil {
-		return err
-	}
-	repliesCh, err := rch.Consume(replyQ, fmt.Sprintf("prod-%d", p), true, false, false, false, nil)
-	if err != nil {
-		return err
-	}
-
-	gen := workload.NewGenerator(cfg.Workload, p)
-	window := make(chan struct{}, cfg.Window)
-	done := make(chan error, 1)
-	budget := int64(cfg.MessagesPerProducer)
-
-	// Reply drain loop.
-	go func() {
-		var got int64
-		for d := range repliesCh {
-			rtt := time.Duration(time.Now().UnixNano() - int64(d.Timestamp))
-			if rtt > 0 {
-				col.AddRTT(rtt)
-			}
-			replies.Add(1)
-			got++
-			<-window
-			if got >= budget {
-				done <- nil
-				return
-			}
-		}
-		done <- fmt.Errorf("pattern: producer %d reply stream closed after %d", p, got)
-	}()
-
-	for seq := uint64(0); seq < uint64(cfg.MessagesPerProducer); seq++ {
-		body, err := gen.Payload(seq)
-		if err != nil {
-			return err
-		}
-		window <- struct{}{} // cap outstanding requests
-		err = pch.Publish("", workQ, false, false, amqp.Publishing{
-			ContentType:   "application/octet-stream",
-			CorrelationID: fmt.Sprintf("p%d-m%d", p, seq),
-			ReplyTo:       replyQ,
-			Timestamp:     uint64(time.Now().UnixNano()),
-			Body:          body,
+		decls = append(decls, Declarations{
+			Anchor: replyQ[p],
+			Queues: []QueueDecl{{Name: replyQ[p]}},
 		})
-		if err != nil {
-			return err
-		}
-		col.AddProduced(1)
 	}
-	select {
-	case err := <-done:
-		return err
-	case <-time.After(cfg.Timeout):
-		return fmt.Errorf("pattern: producer %d timed out awaiting replies", p)
-	}
+	return &Topology{
+		Declare: decls,
+		Producer: ProducerRole{
+			Name: "prod",
+			Mode: FlowClosedLoop,
+			Legs: func(p int) []Leg { return []Leg{{Key: queues[p%len(queues)]}} },
+			Replies: func(p int) []ReplySource {
+				// The reply queue shares the work queue's master node by
+				// construction, so it is drained over the same connection.
+				return []ReplySource{{Leg: 0, Queue: replyQ[p]}}
+			},
+			RepliesPerMsg: 1,
+			Props: func(p int, seq uint64) amqp.Publishing {
+				return amqp.Publishing{
+					CorrelationID: fmt.Sprintf("p%d-m%d", p, seq),
+					ReplyTo:       replyQ[p],
+				}
+			},
+		},
+		Consumers: []ConsumerRole{{
+			Name:  "fcons",
+			Queue: func(i int) string { return queues[i%len(queues)] },
+			// The reply echoes the request timestamp so the producer can
+			// compute the round-trip time.
+			Reply: &ReplySpec{ToReplyTo: true},
+		}},
+	}, nil
 }

@@ -1,8 +1,14 @@
-// Package pattern implements the three messaging patterns of the paper's
-// evaluation (§5.1): work sharing (shared work queues), work sharing with
-// feedback (work queues plus direct-routed per-producer reply queues), and
+// Package pattern implements the messaging patterns of the paper's
+// evaluation (§5.1) — work sharing (shared work queues), work sharing with
+// feedback (work queues plus direct-routed per-producer reply queues),
 // broadcast and gather (pub-sub fan-out with a reply queue drained by the
-// single producer).
+// single producer) — plus a multi-stage pipeline (edge → filter → fan-in
+// aggregation) enabled by the role-graph engine.
+//
+// Every pattern is a declarative Graph (see engine.go): queues and
+// exchanges to declare plus producer/consumer role behaviors, executed by
+// one shared producer loop and one shared consumer loop. Run a pattern
+// with Run(ctx, name, cfg); Names lists the registered patterns.
 //
 // Messaging parameters follow §5.2: two shared work queues, classic queues
 // with the "reject-publish" overflow policy so producers observe
@@ -10,10 +16,10 @@
 package pattern
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"ds2hpc/internal/amqp"
@@ -51,7 +57,9 @@ type Config struct {
 	// QueueBytes caps each queue's ready bytes with reject-publish
 	// (default 32 MiB).
 	QueueBytes int64
-	// Timeout aborts a stuck run (default 120 s).
+	// Timeout bounds the whole run — declarations, consumer start-up,
+	// production, confirm drain, and the final consume wait share one
+	// deadline (default 120 s). Size it for the run, not one phase.
 	Timeout time.Duration
 }
 
@@ -121,21 +129,6 @@ func nameOnNode(d core.Deployment, base string, node int) string {
 	return name
 }
 
-// declareQueue declares a queue through the given endpoint.
-func declareQueue(ep core.Endpoint, name string, args amqp.Table) error {
-	conn, err := ep.Connect()
-	if err != nil {
-		return err
-	}
-	defer conn.Close()
-	ch, err := conn.Channel()
-	if err != nil {
-		return err
-	}
-	_, err = ch.QueueDeclare(name, true, false, false, false, args)
-	return err
-}
-
 // batchAcker acknowledges every n-th delivery with multiple=true and
 // flushes the tail on Close.
 type batchAcker struct {
@@ -176,6 +169,7 @@ type confirmWindow struct {
 	mu       sync.Mutex
 	inflight map[uint64]uint64 // publish seq -> message seq
 	nacked   []uint64
+	idle     chan struct{} // non-nil while a drain waits for an empty window
 	slots    chan struct{}
 	closed   chan struct{}
 	wg       sync.WaitGroup
@@ -198,14 +192,22 @@ func newConfirmWindow(ch *amqp.Channel, window int) (*confirmWindow, error) {
 	return cw, nil
 }
 
+// listen resolves confirmations until the confirm stream closes (channel
+// teardown or connection death); closed lets blocked publishers and
+// drainers fail immediately instead of waiting out the run deadline.
 func (cw *confirmWindow) listen() {
 	defer cw.wg.Done()
+	defer close(cw.closed)
 	for conf := range cw.confirms {
 		cw.mu.Lock()
 		msgSeq, ok := cw.inflight[conf.DeliveryTag]
 		delete(cw.inflight, conf.DeliveryTag)
 		if ok && !conf.Ack {
 			cw.nacked = append(cw.nacked, msgSeq)
+		}
+		if len(cw.inflight) == 0 && cw.idle != nil {
+			close(cw.idle)
+			cw.idle = nil
 		}
 		cw.mu.Unlock()
 		if ok {
@@ -214,15 +216,22 @@ func (cw *confirmWindow) listen() {
 	}
 }
 
-// publish sends one message, blocking while the window is full. It returns
-// any message sequence numbers that were nacked and must be resent.
-func (cw *confirmWindow) publish(queue string, msgSeq uint64, pub amqp.Publishing) error {
-	cw.slots <- struct{}{}
+// publish sends one message, blocking while the window is full (but never
+// past ctx or the death of the confirm stream). It returns any message
+// sequence numbers that were nacked and must be resent.
+func (cw *confirmWindow) publish(ctx context.Context, exchange, key string, msgSeq uint64, pub amqp.Publishing) error {
+	select {
+	case cw.slots <- struct{}{}:
+	case <-cw.closed:
+		return errors.New("pattern: confirm stream closed")
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 	cw.mu.Lock()
 	seq := cw.ch.GetNextPublishSeqNo()
 	cw.inflight[seq] = msgSeq
 	cw.mu.Unlock()
-	if err := cw.ch.Publish("", queue, false, false, pub); err != nil {
+	if err := cw.ch.Publish(exchange, key, false, false, pub); err != nil {
 		cw.mu.Lock()
 		delete(cw.inflight, seq)
 		cw.mu.Unlock()
@@ -241,20 +250,31 @@ func (cw *confirmWindow) takeNacked() []uint64 {
 	return out
 }
 
-// drain waits until no publishes are in flight.
-func (cw *confirmWindow) drain(timeout time.Duration) error {
-	deadline := time.Now().Add(timeout)
-	for {
-		cw.mu.Lock()
-		n := len(cw.inflight)
+// drain waits until no publishes are in flight, signaled by the confirm
+// listener the moment the window empties.
+func (cw *confirmWindow) drain(ctx context.Context) error {
+	cw.mu.Lock()
+	if len(cw.inflight) == 0 {
 		cw.mu.Unlock()
-		if n == 0 {
-			return nil
-		}
-		if time.Now().After(deadline) {
-			return fmt.Errorf("pattern: %d publishes unconfirmed after %v", n, timeout)
-		}
-		time.Sleep(2 * time.Millisecond)
+		return nil
+	}
+	if cw.idle == nil {
+		cw.idle = make(chan struct{})
+	}
+	ch := cw.idle
+	cw.mu.Unlock()
+	unconfirmed := func() int {
+		cw.mu.Lock()
+		defer cw.mu.Unlock()
+		return len(cw.inflight)
+	}
+	select {
+	case <-ch:
+		return nil
+	case <-cw.closed:
+		return fmt.Errorf("pattern: confirm stream closed with %d publishes unconfirmed", unconfirmed())
+	case <-ctx.Done():
+		return fmt.Errorf("pattern: %d publishes unconfirmed: %w", unconfirmed(), ctx.Err())
 	}
 }
 
@@ -281,18 +301,6 @@ func runClients(n int, mpi bool, f func(id int) error) error {
 		if err != nil {
 			return err
 		}
-	}
-	return nil
-}
-
-// waitCount polls until counter reaches want or the deadline passes.
-func waitCount(counter *atomic.Int64, want int64, timeout time.Duration) error {
-	deadline := time.Now().Add(timeout)
-	for counter.Load() < want {
-		if time.Now().After(deadline) {
-			return fmt.Errorf("pattern: timeout with %d/%d messages", counter.Load(), want)
-		}
-		time.Sleep(2 * time.Millisecond)
 	}
 	return nil
 }

@@ -1,6 +1,7 @@
 package pattern
 
 import (
+	"context"
 	"errors"
 	"testing"
 	"time"
@@ -37,7 +38,7 @@ func deployDTS(t *testing.T) core.Deployment {
 
 func TestWorkSharingDelivery(t *testing.T) {
 	d := deployDTS(t)
-	res, err := WorkSharing(Config{
+	res, err := Run(context.Background(), WorkSharingName, Config{
 		Deployment:          d,
 		Workload:            smallWorkload(),
 		Producers:           2,
@@ -60,7 +61,7 @@ func TestWorkSharingMPIWorkload(t *testing.T) {
 	d := deployDTS(t)
 	w := workload.Lstream
 	w.PayloadBytes = 16 * 1024 // shrink the 1 MiB payload for the test
-	res, err := WorkSharing(Config{
+	res, err := Run(context.Background(), WorkSharingName, Config{
 		Deployment:          d,
 		Workload:            w,
 		Producers:           2,
@@ -82,7 +83,7 @@ func TestWorkSharingInfeasibleOnStunnel(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer d.Close()
-	_, err = WorkSharing(Config{
+	_, err = Run(context.Background(), WorkSharingName, Config{
 		Deployment:          d,
 		Workload:            smallWorkload(),
 		Producers:           32, // beyond the 16-stream Stunnel cap
@@ -96,7 +97,7 @@ func TestWorkSharingInfeasibleOnStunnel(t *testing.T) {
 
 func TestWorkSharingFeedbackRTTs(t *testing.T) {
 	d := deployDTS(t)
-	res, err := WorkSharingFeedback(Config{
+	res, err := Run(context.Background(), FeedbackName, Config{
 		Deployment:          d,
 		Workload:            smallWorkload(),
 		Producers:           2,
@@ -123,7 +124,7 @@ func TestBroadcastAllConsumersReceive(t *testing.T) {
 	d := deployDTS(t)
 	w := workload.Generic
 	w.PayloadBytes = 8 * 1024
-	res, err := Broadcast(Config{
+	res, err := Run(context.Background(), BroadcastName, Config{
 		Deployment:          d,
 		Workload:            w,
 		Consumers:           3,
@@ -142,7 +143,7 @@ func TestBroadcastGatherRepliesAndRTTs(t *testing.T) {
 	d := deployDTS(t)
 	w := workload.Generic
 	w.PayloadBytes = 8 * 1024
-	res, err := BroadcastGather(Config{
+	res, err := Run(context.Background(), BroadcastGatherName, Config{
 		Deployment:          d,
 		Workload:            w,
 		Consumers:           3,
@@ -158,13 +159,38 @@ func TestBroadcastGatherRepliesAndRTTs(t *testing.T) {
 	}
 }
 
+// TestPipelineFanIn covers the multi-stage pattern the role engine
+// enables: every edge message must traverse the filter tier and land at
+// the single aggregator, so consumed counts both stages.
+func TestPipelineFanIn(t *testing.T) {
+	d := deployDTS(t)
+	res, err := Run(context.Background(), PipelineName, Config{
+		Deployment:          d,
+		Workload:            smallWorkload(),
+		Producers:           2,
+		Consumers:           3, // filter tier size; the aggregator is a fixed single instance
+		MessagesPerProducer: 12,
+		Timeout:             30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2x12 deliveries at the filters plus the same again at the aggregator.
+	if want := int64(2 * 12 * 2); res.Consumed != want {
+		t.Fatalf("consumed %d, want %d", res.Consumed, want)
+	}
+	if res.Throughput <= 0 {
+		t.Fatal("no throughput recorded")
+	}
+}
+
 func TestFeedbackThroughPRS(t *testing.T) {
 	d, err := core.Deploy(core.PRSHAProxy, fastOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer d.Close()
-	res, err := WorkSharingFeedback(Config{
+	res, err := Run(context.Background(), FeedbackName, Config{
 		Deployment:          d,
 		Workload:            smallWorkload(),
 		Producers:           2,
@@ -187,7 +213,7 @@ func TestWorkSharingThroughMSS(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer d.Close()
-	res, err := WorkSharing(Config{
+	res, err := Run(context.Background(), WorkSharingName, Config{
 		Deployment:          d,
 		Workload:            smallWorkload(),
 		Producers:           2,
@@ -200,6 +226,57 @@ func TestWorkSharingThroughMSS(t *testing.T) {
 	}
 	if res.Consumed != 20 {
 		t.Fatalf("consumed %d", res.Consumed)
+	}
+}
+
+func TestRunUnknownPattern(t *testing.T) {
+	d := deployDTS(t)
+	_, err := Run(context.Background(), "no-such-pattern", Config{Deployment: d})
+	if err == nil {
+		t.Fatal("unknown pattern must error")
+	}
+}
+
+// TestRunHonorsContextCancel pins the ctx plumbing: a cancelled context
+// must abort a run promptly with ctx's error instead of hanging until
+// Config.Timeout.
+func TestRunHonorsContextCancel(t *testing.T) {
+	d := deployDTS(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	_, err := Run(ctx, WorkSharingName, Config{
+		Deployment:          d,
+		Workload:            smallWorkload(),
+		Producers:           2,
+		Consumers:           2,
+		MessagesPerProducer: 1 << 20, // would take far longer than the test allows
+		Timeout:             120 * time.Second,
+	})
+	if err == nil {
+		t.Fatal("cancelled run must error")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("cancellation took %v", elapsed)
+	}
+}
+
+func TestRegisteredNames(t *testing.T) {
+	want := []string{BroadcastName, BroadcastGatherName, PipelineName, WorkSharingName, FeedbackName}
+	names := Names()
+	for _, w := range want {
+		found := false
+		for _, n := range names {
+			if n == w {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("pattern %q not registered (have %v)", w, names)
+		}
 	}
 }
 

@@ -1,0 +1,78 @@
+package pattern
+
+import (
+	"fmt"
+
+	"ds2hpc/internal/amqp"
+)
+
+// PipelineName is a multi-stage pattern the role engine makes cheap to
+// declare: edge producers publish raw frames into shared ingest queues, a
+// tier of filter workers consumes them and forwards each accepted frame
+// into a single fan-in aggregation queue, and one HPC-side aggregator
+// drains that queue — the edge → filter → HPC-aggregation motif of
+// cross-facility pipelines. Completion is counted at the aggregator, so
+// the run covers both hops end to end.
+//
+// Every stage queue is co-located on one broker node: classic queues live
+// on a single master node, and a filter forwards over its existing
+// connection, so the forward's routing key must resolve on the node the
+// filter is attached to (the same constraint that places feedback reply
+// queues next to their work queue).
+const PipelineName = "pipeline"
+
+func init() {
+	Register(&Graph{Name: PipelineName, Build: buildPipeline})
+}
+
+func buildPipeline(cfg *Config) (*Topology, error) {
+	total := int64(cfg.Producers) * int64(cfg.MessagesPerProducer)
+
+	ingest := make([]string, cfg.WorkQueues)
+	for i := range ingest {
+		ingest[i] = nameOnNode(cfg.Deployment, fmt.Sprintf("pl-ingest-%d", i), 0)
+	}
+	aggQ := nameOnNode(cfg.Deployment, "pl-agg", 0)
+	// Filters forward without publisher confirms, so the fan-in queue must
+	// hold the whole run even if the aggregator lags.
+	aggBytes := total * int64(cfg.Workload.PayloadBytes) * 2
+	if aggBytes < cfg.QueueBytes {
+		aggBytes = cfg.QueueBytes
+	}
+
+	queues := make([]QueueDecl, 0, len(ingest)+1)
+	for _, q := range ingest {
+		queues = append(queues, QueueDecl{Name: q})
+	}
+	queues = append(queues, QueueDecl{Name: aggQ, Bytes: aggBytes})
+
+	return &Topology{
+		// One group, one connection: everything lives on node 0.
+		Declare: []Declarations{{Anchor: aggQ, Queues: queues}},
+		Producer: ProducerRole{
+			Name: "edge",
+			Mode: FlowConfirm,
+			Legs: func(p int) []Leg { return []Leg{{Key: ingest[p%len(ingest)]}} },
+			Props: func(p int, seq uint64) amqp.Publishing {
+				return amqp.Publishing{
+					MessageID: fmt.Sprintf("p%d-m%d", p, seq),
+					AppID:     "streamsim",
+				}
+			},
+		},
+		Consumers: []ConsumerRole{
+			{
+				Name:  "filter",
+				Queue: func(i int) string { return ingest[i%len(ingest)] },
+				Reply: &ReplySpec{Key: aggQ, Forward: true},
+			},
+			{
+				Name:   "agg",
+				Count:  1,
+				Queue:  func(int) string { return aggQ },
+				Counts: true,
+			},
+		},
+		WaitConsumed: total,
+	}, nil
+}

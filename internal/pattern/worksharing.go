@@ -2,186 +2,47 @@ package pattern
 
 import (
 	"fmt"
-	"sync/atomic"
-	"time"
 
 	"ds2hpc/internal/amqp"
-	"ds2hpc/internal/metrics"
-	"ds2hpc/internal/workload"
 )
 
-// WorkSharing runs the work-sharing pattern (§5.3): producers publish into
-// shared work queues and messages are distributed nearly evenly across the
-// consumers. Returns aggregate consumer throughput.
-func WorkSharing(cfg Config) (*metrics.Result, error) {
-	if err := cfg.defaults(); err != nil {
-		return nil, err
-	}
-	if max := cfg.Deployment.MaxProducerConns(); max > 0 && cfg.Producers > max {
-		return nil, fmt.Errorf("%w: %d producers > %d tunnel connections",
-			ErrInfeasible, cfg.Producers, max)
-	}
+// WorkSharingName is the work-sharing pattern (§5.3): producers publish
+// into shared work queues and messages are distributed nearly evenly
+// across the consumers. Aggregate consumer throughput is the metric.
+const WorkSharingName = "work-sharing"
 
+func init() {
+	Register(&Graph{Name: WorkSharingName, Build: buildWorkSharing})
+}
+
+func buildWorkSharing(cfg *Config) (*Topology, error) {
 	queues := make([]string, cfg.WorkQueues)
+	decls := make([]Declarations, cfg.WorkQueues)
 	for i := range queues {
 		queues[i] = fmt.Sprintf("ws-q-%d", i)
-		if err := declareQueue(cfg.Deployment.ConsumerEndpoint(queues[i]), queues[i], cfg.queueArgs()); err != nil {
-			return nil, err
+		decls[i] = Declarations{
+			Anchor: queues[i],
+			Queues: []QueueDecl{{Name: queues[i]}},
 		}
 	}
-
-	col := metrics.NewCollector()
-	total := int64(cfg.Producers) * int64(cfg.MessagesPerProducer)
-	var consumed atomic.Int64
-
-	// Consumers start first (§5.2).
-	stop := make(chan struct{})
-	consumerErr := make(chan error, cfg.Consumers)
-	var ready atomic.Int64
-	for i := 0; i < cfg.Consumers; i++ {
-		go func(i int) {
-			consumerErr <- runWSConsumer(cfg, queues[i%len(queues)], i, col, &consumed, &ready, stop)
-		}(i)
-	}
-	deadline := time.Now().Add(cfg.Timeout)
-	for ready.Load() < int64(cfg.Consumers) {
-		if time.Now().After(deadline) {
-			close(stop)
-			return nil, fmt.Errorf("pattern: consumers not ready")
-		}
-		time.Sleep(time.Millisecond)
-	}
-
-	col.Start()
-	err := runClients(cfg.Producers, cfg.Workload.MPI, func(p int) error {
-		return runWSProducer(cfg, queues[p%len(queues)], p, col, nil)
-	})
-	if err == nil {
-		err = waitCount(&consumed, total, cfg.Timeout)
-	}
-	col.Stop()
-	close(stop)
-	if err != nil {
-		return nil, err
-	}
-	return col.Snapshot(), nil
-}
-
-// runWSConsumer consumes one work queue until stop closes.
-func runWSConsumer(cfg Config, queue string, id int, col *metrics.Collector,
-	consumed *atomic.Int64, ready *atomic.Int64, stop <-chan struct{}) error {
-	conn, err := cfg.Deployment.ConsumerEndpoint(queue).Connect()
-	if err != nil {
-		ready.Add(1) // unblock the launcher; error reported below
-		return err
-	}
-	defer conn.Close()
-	ch, err := conn.Channel()
-	if err != nil {
-		ready.Add(1)
-		return err
-	}
-	if err := ch.Qos(cfg.Prefetch, 0, false); err != nil {
-		ready.Add(1)
-		return err
-	}
-	deliveries, err := ch.Consume(queue, fmt.Sprintf("cons-%d", id), false, false, false, false, nil)
-	if err != nil {
-		ready.Add(1)
-		return err
-	}
-	ready.Add(1)
-	acker := &batchAcker{n: cfg.AckBatch}
-	for {
-		select {
-		case <-stop:
-			acker.flush()
-			return nil
-		case d, ok := <-deliveries:
-			if !ok {
-				return nil
-			}
-			if err := cfg.Workload.Verify(d.Body); err != nil {
-				col.AddError()
-			}
-			if err := acker.add(d); err != nil {
-				return err
-			}
-			col.AddConsumed(1)
-			consumed.Add(1)
-		}
-	}
-}
-
-// runWSProducer publishes the producer's message budget into its work
-// queue with confirm-mode backpressure handling: nacked (reject-publish)
-// messages are republished.
-func runWSProducer(cfg Config, queue string, p int, col *metrics.Collector,
-	props func(seq uint64) amqp.Publishing) error {
-	conn, err := cfg.Deployment.ProducerEndpoint(queue).Connect()
-	if err != nil {
-		return err
-	}
-	defer conn.Close()
-	ch, err := conn.Channel()
-	if err != nil {
-		return err
-	}
-	cw, err := newConfirmWindow(ch, cfg.Window)
-	if err != nil {
-		return err
-	}
-	gen := workload.NewGenerator(cfg.Workload, p)
-
-	send := func(seq uint64) error {
-		body, err := gen.Payload(seq)
-		if err != nil {
-			return err
-		}
-		var pub amqp.Publishing
-		if props != nil {
-			pub = props(seq)
-		}
-		pub.ContentType = "application/octet-stream"
-		pub.MessageID = fmt.Sprintf("p%d-m%d", p, seq)
-		pub.AppID = "streamsim"
-		pub.Body = body
-		return cw.publish(queue, seq, pub)
-	}
-
-	for seq := uint64(0); seq < uint64(cfg.MessagesPerProducer); seq++ {
-		if err := send(seq); err != nil {
-			return err
-		}
-		// Republish anything the broker rejected under backpressure.
-		for _, again := range cw.takeNacked() {
-			col.AddError()
-			time.Sleep(time.Millisecond) // §5.2: detect, back off, retry
-			if err := send(again); err != nil {
-				return err
-			}
-		}
-		col.AddProduced(1)
-	}
-	// Flush the window, retrying stragglers until everything is accepted.
-	deadline := time.Now().Add(cfg.Timeout)
-	for {
-		if err := cw.drain(cfg.Timeout); err != nil {
-			return err
-		}
-		retries := cw.takeNacked()
-		if len(retries) == 0 {
-			return nil
-		}
-		if time.Now().After(deadline) {
-			return fmt.Errorf("pattern: producer %d could not place %d messages", p, len(retries))
-		}
-		for _, again := range retries {
-			col.AddError()
-			time.Sleep(2 * time.Millisecond)
-			if err := send(again); err != nil {
-				return err
-			}
-		}
-	}
+	return &Topology{
+		Declare: decls,
+		Producer: ProducerRole{
+			Name: "prod",
+			Mode: FlowConfirm,
+			Legs: func(p int) []Leg { return []Leg{{Key: queues[p%len(queues)]}} },
+			Props: func(p int, seq uint64) amqp.Publishing {
+				return amqp.Publishing{
+					MessageID: fmt.Sprintf("p%d-m%d", p, seq),
+					AppID:     "streamsim",
+				}
+			},
+		},
+		Consumers: []ConsumerRole{{
+			Name:   "cons",
+			Queue:  func(i int) string { return queues[i%len(queues)] },
+			Counts: true,
+		}},
+		WaitConsumed: int64(cfg.Producers) * int64(cfg.MessagesPerProducer),
+	}, nil
 }

@@ -1,0 +1,200 @@
+package scenario
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"ds2hpc/internal/core"
+	"ds2hpc/internal/metrics"
+	"ds2hpc/internal/pattern"
+	"ds2hpc/internal/transport"
+	"ds2hpc/internal/workload"
+)
+
+// Report is the outcome of one executed scenario.
+type Report struct {
+	// Spec is the scenario as run.
+	Spec Spec
+	// Result merges the metrics of every run; nil when Infeasible.
+	Result *metrics.Result
+	// Infeasible marks configurations the architecture cannot run (the
+	// paper's missing Stunnel points beyond 16 connections).
+	Infeasible bool
+	// Faults snapshots the injector activity when a fault script ran, so
+	// callers can assert the scripted faults actually fired.
+	Faults transport.Stats
+}
+
+// Run executes the scenario end to end: validate, deploy the declared
+// architecture (with the fault injector composed into every client path
+// when the spec scripts faults), run the pattern Runs times, and merge the
+// results. The context cancels or deadline-bounds the whole scenario.
+func Run(ctx context.Context, spec Spec) (*Report, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	opts := spec.options()
+	var inj *transport.Injector
+	if len(spec.Faults) > 0 {
+		inj = transport.NewInjector()
+		opts.Faults = inj
+	}
+	dep, err := core.Deploy(core.ArchitectureName(spec.Deployment.Architecture), opts)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: deploy %s: %w", spec.Deployment.Architecture, err)
+	}
+	defer dep.Close()
+	return runOn(ctx, dep, inj, spec)
+}
+
+// RunOn executes the scenario's workload, pattern, counts and tuning on an
+// existing deployment (reused across the points of a sweep); the spec's
+// Deployment section is ignored. Fault scripts need the injector composed
+// at deploy time, so they are only available through Run.
+func RunOn(ctx context.Context, dep core.Deployment, spec Spec) (*Report, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if len(spec.Faults) > 0 {
+		return nil, fmt.Errorf("%w: fault scripts require scenario.Run (the injector is composed at deploy time)", ErrBadSpec)
+	}
+	return runOn(ctx, dep, nil, spec)
+}
+
+func runOn(ctx context.Context, dep core.Deployment, inj *transport.Injector, spec Spec) (*Report, error) {
+	w, err := spec.workload()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSpec, err)
+	}
+	var faultsBefore transport.Stats
+	if inj != nil {
+		faultsBefore = inj.Stats()
+	}
+	cfg := pattern.Config{
+		Deployment:          dep,
+		Workload:            w,
+		Producers:           spec.Producers,
+		Consumers:           spec.Consumers,
+		MessagesPerProducer: spec.MessagesPerProducer,
+		WorkQueues:          spec.Tuning.WorkQueues,
+		Prefetch:            spec.Tuning.Prefetch,
+		AckBatch:            spec.Tuning.AckBatch,
+		Window:              spec.Tuning.Window,
+		QueueBytes:          spec.Tuning.QueueBytes,
+		Timeout:             spec.timeout(),
+	}
+	var runs []*metrics.Result
+	for r := 0; r < spec.runs(); r++ {
+		if inj != nil {
+			armFaults(inj, spec, w)
+		}
+		res, err := pattern.Run(ctx, spec.Pattern, cfg)
+		if errors.Is(err, pattern.ErrInfeasible) {
+			return &Report{Spec: spec, Infeasible: true}, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("scenario: %s/%s run %d: %w", dep.Name(), spec.Pattern, r, err)
+		}
+		runs = append(runs, res)
+	}
+	rep := &Report{Spec: spec, Result: metrics.Merge(runs)}
+	if inj != nil {
+		// Report the delta over this scenario's runs, not the injector's
+		// lifetime totals (a Sweep reuses one injector across points).
+		rep.Faults = statsDelta(faultsBefore, inj.Stats())
+	}
+	return rep, nil
+}
+
+// statsDelta subtracts two injector snapshots.
+func statsDelta(before, after transport.Stats) transport.Stats {
+	return transport.Stats{
+		Dials:   after.Dials - before.Dials,
+		Refused: after.Refused - before.Refused,
+		Resets:  after.Resets - before.Resets,
+		Flaps:   after.Flaps - before.Flaps,
+		Bytes:   after.Bytes - before.Bytes,
+	}
+}
+
+// ConsumerCounts is the x-axis of every figure: 1-64 consumers.
+var ConsumerCounts = []int{1, 2, 4, 8, 16, 32, 64}
+
+// Sweep runs the scenario across consumer counts on one shared deployment
+// (the x-axis of every figure; an empty slice means ConsumerCounts).
+// Producers scale with consumers except for single-producer patterns,
+// matching §5.2 ("all other tests were performed with an equal number of
+// producers and consumers"). A fault script, when present, is re-armed
+// for every point. Points already collected are returned alongside the
+// first error.
+func Sweep(ctx context.Context, spec Spec, consumerCounts []int) ([]*Report, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if len(consumerCounts) == 0 {
+		consumerCounts = ConsumerCounts
+	}
+	opts := spec.options()
+	var inj *transport.Injector
+	if len(spec.Faults) > 0 {
+		inj = transport.NewInjector()
+		opts.Faults = inj
+	}
+	dep, err := core.Deploy(core.ArchitectureName(spec.Deployment.Architecture), opts)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: deploy %s: %w", spec.Deployment.Architecture, err)
+	}
+	defer dep.Close()
+
+	singleProducer := false
+	if g, ok := pattern.Lookup(spec.Pattern); ok {
+		singleProducer = g.SingleProducer
+	}
+	var points []*Report
+	for _, n := range consumerCounts {
+		s := spec
+		s.Consumers = n
+		if singleProducer {
+			s.Producers = 1
+		} else {
+			s.Producers = n
+		}
+		rep, err := runOn(ctx, dep, inj, s)
+		if err != nil {
+			return points, err
+		}
+		points = append(points, rep)
+	}
+	return points, nil
+}
+
+// armFaults programs the injector for one run. Byte thresholds are armed
+// relative to the traffic already counted, so multi-run scenarios re-fire
+// their script each run.
+func armFaults(inj *transport.Injector, spec Spec, w workload.Workload) {
+	total := spec.totalPayloadBytes(w)
+	for _, f := range spec.Faults {
+		down := time.Duration(f.DownMS) * time.Millisecond
+		if down <= 0 {
+			down = 50 * time.Millisecond
+		}
+		switch f.Kind {
+		case FaultFlap:
+			at := f.AtBytes
+			if at <= 0 {
+				at = int64(f.AtFraction * float64(total))
+			}
+			inj.FlapAfterBytes(at, down)
+		case FaultFlapEvery:
+			every := f.EveryBytes
+			if every <= 0 {
+				every = int64(f.EveryFraction * float64(total))
+			}
+			inj.FlapEveryBytes(every, down, f.Count)
+		case FaultLatencySpike:
+			inj.SetLatencySpike(time.Duration(f.LatencyMS) * time.Millisecond)
+		}
+	}
+}

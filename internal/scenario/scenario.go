@@ -1,0 +1,317 @@
+// Package scenario is the declarative experiment surface: one
+// JSON-serializable Spec declares a whole data point of the paper's
+// evaluation grid — deployment (architecture, nodes, fabric profile),
+// workload, pattern, client counts, tuning knobs, fault script, and run
+// count — and Run(ctx, Spec) executes it through the pattern role engine.
+// Command-line drivers, tests, and the figure harness all speak Spec, so a
+// new scenario is a value (or a .json file) rather than new plumbing.
+package scenario
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"ds2hpc/internal/amqp"
+	"ds2hpc/internal/core"
+	"ds2hpc/internal/fabric"
+	"ds2hpc/internal/pattern"
+	"ds2hpc/internal/workload"
+)
+
+// ErrBadSpec reports a Spec rejected by validation before any deployment
+// or client work starts.
+var ErrBadSpec = errors.New("scenario: invalid spec")
+
+// Spec declares one experiment scenario end to end. The zero value of
+// every optional field means "use the default", so a minimal spec is just
+// an architecture, a workload, a pattern, and a message budget.
+type Spec struct {
+	// Name labels the scenario in reports and logs.
+	Name string `json:"name,omitempty"`
+	// Deployment declares the architecture under test.
+	Deployment Deployment `json:"deployment"`
+	// Workload selects the Table 1 row (and optional payload scaling).
+	Workload Workload `json:"workload"`
+	// Pattern names a registered pattern role graph (pattern.Names()).
+	Pattern string `json:"pattern"`
+	// Producers and Consumers are the client counts (default 1 each;
+	// single-producer patterns force Producers to 1).
+	Producers int `json:"producers,omitempty"`
+	Consumers int `json:"consumers,omitempty"`
+	// MessagesPerProducer is the per-producer message budget (required).
+	MessagesPerProducer int `json:"messages_per_producer"`
+	// Runs is the number of runs merged into one data point (default 1).
+	Runs int `json:"runs,omitempty"`
+	// Tuning carries the messaging knobs of §5.2.
+	Tuning Tuning `json:"tuning,omitempty"`
+	// Faults is the scripted WAN fault sequence armed before each run.
+	Faults []Fault `json:"faults,omitempty"`
+	// TimeoutMS bounds each whole run end to end — setup, production,
+	// and the final drain share one deadline (default 120000).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// Deployment declares the architecture, cluster size and fabric profile.
+type Deployment struct {
+	// Architecture is one of core.AllArchitectures.
+	Architecture string `json:"architecture"`
+	// Nodes is the broker cluster size (default 3).
+	Nodes int `json:"nodes,omitempty"`
+	// FabricScale scales the emulated ACE testbed rates (1.0 = paper
+	// rates; default 1.0).
+	FabricScale float64 `json:"fabric_scale,omitempty"`
+	// MemoryLimitBytes bounds ready bytes per broker vhost.
+	MemoryLimitBytes int64 `json:"memory_limit_bytes,omitempty"`
+	// DisableClientShaping turns off per-connection client NIC links.
+	DisableClientShaping bool `json:"disable_client_shaping,omitempty"`
+	// FastControlPlane zeroes the per-connection LB setup and route
+	// lookup costs (useful for protocol-focused scenarios and tests).
+	FastControlPlane bool `json:"fast_control_plane,omitempty"`
+	// BypassLB lets MSS consumers skip the load balancer (§6 proposal).
+	BypassLB bool `json:"bypass_lb,omitempty"`
+	// Reconnect enables bounded client auto-reconnect, required for runs
+	// that must survive injected faults.
+	Reconnect *Reconnect `json:"reconnect,omitempty"`
+}
+
+// Reconnect mirrors amqp.ReconnectPolicy in JSON-friendly units.
+type Reconnect struct {
+	MaxAttempts int   `json:"max_attempts,omitempty"`
+	DelayMS     int64 `json:"delay_ms,omitempty"`
+	MaxDelayMS  int64 `json:"max_delay_ms,omitempty"`
+}
+
+// Workload selects a Table 1 workload with optional payload scaling.
+type Workload struct {
+	// Name is "Dstream", "Lstream" or "generic".
+	Name string `json:"name"`
+	// PayloadDivisor shrinks the payload (workload.Scaled) so scaled
+	// fabrics keep the paper's payload-to-bandwidth ratio.
+	PayloadDivisor int `json:"payload_divisor,omitempty"`
+	// PayloadBytes overrides the payload size outright when positive.
+	PayloadBytes int `json:"payload_bytes,omitempty"`
+}
+
+// Tuning mirrors the pattern.Config knobs; zero values use defaults.
+type Tuning struct {
+	WorkQueues int   `json:"work_queues,omitempty"`
+	Prefetch   int   `json:"prefetch,omitempty"`
+	AckBatch   int   `json:"ack_batch,omitempty"`
+	Window     int   `json:"window,omitempty"`
+	QueueBytes int64 `json:"queue_bytes,omitempty"`
+}
+
+// Fault kinds.
+const (
+	// FaultFlap is a one-shot link flap (all connections reset, dials
+	// refused for DownMS) fired once the run's traffic crosses AtBytes
+	// or AtFraction of the scenario's total payload volume.
+	FaultFlap = "flap"
+	// FaultFlapEvery re-fires a flap every EveryBytes (or EveryFraction
+	// of total payload volume), at most Count times.
+	FaultFlapEvery = "flap-every"
+	// FaultLatencySpike adds LatencyMS of delay to every write for the
+	// whole run.
+	FaultLatencySpike = "latency-spike"
+)
+
+// Fault is one step of the scripted WAN fault sequence. Byte-triggered
+// kinds arm on traffic volume so scenarios stay deterministic regardless
+// of how fast a run progresses.
+type Fault struct {
+	Kind string `json:"kind"`
+	// AtBytes / AtFraction position a one-shot flap: an absolute byte
+	// threshold, or a fraction (0,1] of the run's total payload bytes.
+	AtBytes    int64   `json:"at_bytes,omitempty"`
+	AtFraction float64 `json:"at_fraction,omitempty"`
+	// EveryBytes / EveryFraction set the recurrence interval of a
+	// flap-every fault; Count bounds the number of flaps (required).
+	EveryBytes    int64   `json:"every_bytes,omitempty"`
+	EveryFraction float64 `json:"every_fraction,omitempty"`
+	Count         int     `json:"count,omitempty"`
+	// DownMS is the outage duration of each flap (default 50).
+	DownMS int64 `json:"down_ms,omitempty"`
+	// LatencyMS is the added write delay of a latency spike.
+	LatencyMS int64 `json:"latency_ms,omitempty"`
+}
+
+// Decode reads one Spec as JSON, rejecting unknown fields so typo'd spec
+// keys surface as errors instead of silently-defaulted knobs.
+func Decode(r io.Reader) (Spec, error) {
+	var spec Spec
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		return Spec{}, fmt.Errorf("%w: %v", ErrBadSpec, err)
+	}
+	return spec, nil
+}
+
+// Load reads and decodes a spec file.
+func Load(path string) (Spec, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Spec{}, err
+	}
+	defer f.Close()
+	spec, err := Decode(f)
+	if err != nil {
+		return Spec{}, fmt.Errorf("parse %s: %w", path, err)
+	}
+	return spec, nil
+}
+
+// Validate checks the spec without deploying anything. All reported
+// problems wrap ErrBadSpec.
+func (s Spec) Validate() error {
+	bad := func(format string, args ...any) error {
+		return fmt.Errorf("%w: %s", ErrBadSpec, fmt.Sprintf(format, args...))
+	}
+	if s.Deployment.Architecture != "" {
+		known := false
+		for _, a := range core.AllArchitectures {
+			if string(a) == s.Deployment.Architecture {
+				known = true
+			}
+		}
+		if !known {
+			return bad("unknown architecture %q (known: %v)", s.Deployment.Architecture, core.AllArchitectures)
+		}
+	} else {
+		return bad("deployment.architecture is required")
+	}
+	if s.Workload.Name == "" {
+		return bad("workload.name is required")
+	}
+	if _, err := workload.ByName(s.Workload.Name); err != nil {
+		return bad("%v", err)
+	}
+	if s.Workload.PayloadDivisor < 0 || s.Workload.PayloadBytes < 0 {
+		return bad("workload payload scaling must be non-negative")
+	}
+	if _, ok := pattern.Lookup(s.Pattern); !ok {
+		return bad("unknown pattern %q (registered: %v)", s.Pattern, pattern.Names())
+	}
+	if s.Producers < 0 || s.Consumers < 0 {
+		return bad("negative client counts (producers=%d consumers=%d)", s.Producers, s.Consumers)
+	}
+	if s.MessagesPerProducer <= 0 {
+		return bad("messages_per_producer must be positive, got %d", s.MessagesPerProducer)
+	}
+	if s.Runs < 0 {
+		return bad("runs must be non-negative, got %d", s.Runs)
+	}
+	if s.TimeoutMS < 0 {
+		return bad("timeout_ms must be non-negative, got %d", s.TimeoutMS)
+	}
+	if s.Deployment.Nodes < 0 || s.Deployment.FabricScale < 0 {
+		return bad("deployment sizes must be non-negative")
+	}
+	flaps := 0
+	for i, f := range s.Faults {
+		switch f.Kind {
+		case FaultFlap:
+			if f.AtBytes <= 0 && (f.AtFraction <= 0 || f.AtFraction > 1) {
+				return bad("faults[%d]: flap needs at_bytes > 0 or at_fraction in (0,1]", i)
+			}
+			flaps++
+		case FaultFlapEvery:
+			if f.EveryBytes <= 0 && (f.EveryFraction <= 0 || f.EveryFraction > 1) {
+				return bad("faults[%d]: flap-every needs every_bytes > 0 or every_fraction in (0,1]", i)
+			}
+			if f.Count <= 0 {
+				return bad("faults[%d]: flap-every needs count > 0 (unbounded flap storms are disallowed)", i)
+			}
+			flaps++
+		case FaultLatencySpike:
+			if f.LatencyMS <= 0 {
+				return bad("faults[%d]: latency-spike needs latency_ms > 0", i)
+			}
+		default:
+			return bad("faults[%d]: unknown kind %q", i, f.Kind)
+		}
+	}
+	// The injector has one byte-trigger arm slot; a second flap step
+	// would silently overwrite the first.
+	if flaps > 1 {
+		return bad("at most one flap/flap-every fault per scenario")
+	}
+	return nil
+}
+
+// timeout resolves the run deadline.
+func (s Spec) timeout() time.Duration {
+	if s.TimeoutMS > 0 {
+		return time.Duration(s.TimeoutMS) * time.Millisecond
+	}
+	return 120 * time.Second
+}
+
+// runs resolves the run count.
+func (s Spec) runs() int {
+	if s.Runs > 0 {
+		return s.Runs
+	}
+	return 1
+}
+
+// workload resolves the declared workload value.
+func (s Spec) workload() (workload.Workload, error) {
+	w, err := workload.ByName(s.Workload.Name)
+	if err != nil {
+		return workload.Workload{}, err
+	}
+	if s.Workload.PayloadDivisor > 1 {
+		w = w.Scaled(s.Workload.PayloadDivisor)
+	}
+	if s.Workload.PayloadBytes > 0 {
+		w.PayloadBytes = s.Workload.PayloadBytes
+	}
+	return w, nil
+}
+
+// options builds the core deployment options declared by the spec.
+func (s Spec) options() core.Options {
+	d := s.Deployment
+	scale := d.FabricScale
+	if scale == 0 {
+		scale = 1.0
+	}
+	profile := fabric.ACE(scale)
+	if d.FastControlPlane {
+		profile.LBSetupCost = 0
+		profile.RouteLookupLatency = 0
+	}
+	opts := core.Options{
+		Nodes:                d.Nodes,
+		Profile:              profile,
+		MemoryLimit:          d.MemoryLimitBytes,
+		DisableClientShaping: d.DisableClientShaping,
+		BypassLB:             d.BypassLB,
+	}
+	if r := d.Reconnect; r != nil {
+		opts.Reconnect = &amqp.ReconnectPolicy{
+			MaxAttempts: r.MaxAttempts,
+			Delay:       time.Duration(r.DelayMS) * time.Millisecond,
+			MaxDelay:    time.Duration(r.MaxDelayMS) * time.Millisecond,
+		}
+	}
+	return opts
+}
+
+// totalPayloadBytes is the scenario's per-run payload volume, the base of
+// fractional fault thresholds.
+func (s Spec) totalPayloadBytes(w workload.Workload) int64 {
+	producers := s.Producers
+	if g, ok := pattern.Lookup(s.Pattern); ok && g.SingleProducer {
+		producers = 1
+	}
+	if producers <= 0 {
+		producers = 1
+	}
+	return int64(producers) * int64(s.MessagesPerProducer) * int64(w.PayloadBytes)
+}

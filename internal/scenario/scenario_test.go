@@ -1,0 +1,284 @@
+package scenario
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"os"
+	"reflect"
+	"testing"
+
+	"ds2hpc/internal/core"
+)
+
+// goldenSpec is the in-memory form of testdata/spec_golden.json: every
+// field of the Spec exercised, including the fault script.
+func goldenSpec() Spec {
+	return Spec{
+		Name: "golden-full",
+		Deployment: Deployment{
+			Architecture:         "PRS(HAProxy)",
+			Nodes:                3,
+			FabricScale:          0.2,
+			MemoryLimitBytes:     1 << 30,
+			DisableClientShaping: true,
+			FastControlPlane:     true,
+			BypassLB:             true,
+			Reconnect:            &Reconnect{MaxAttempts: 60, DelayMS: 5, MaxDelayMS: 50},
+		},
+		Workload:            Workload{Name: "Dstream", PayloadDivisor: 8, PayloadBytes: 8192},
+		Pattern:             "work-sharing",
+		Producers:           4,
+		Consumers:           8,
+		MessagesPerProducer: 64,
+		Runs:                3,
+		Tuning: Tuning{
+			WorkQueues: 2,
+			Prefetch:   8,
+			AckBatch:   4,
+			Window:     4,
+			QueueBytes: 32 << 20,
+		},
+		Faults: []Fault{
+			{Kind: FaultFlap, AtFraction: 0.5, DownMS: 80},
+			{Kind: FaultLatencySpike, LatencyMS: 2},
+		},
+		TimeoutMS: 60000,
+	}
+}
+
+// TestSpecGoldenDecode pins the wire format: the checked-in golden file
+// must decode (strictly, no unknown fields) into exactly goldenSpec.
+func TestSpecGoldenDecode(t *testing.T) {
+	data, err := os.ReadFile("testdata/spec_golden.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Spec
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if want := goldenSpec(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("golden decode mismatch:\n got %+v\nwant %+v", got, want)
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatalf("golden spec must validate: %v", err)
+	}
+}
+
+// TestSpecGoldenEncode pins the encoder side: marshaling goldenSpec must
+// reproduce the golden file byte for byte (so the JSON field names and
+// layout are a stable public format).
+func TestSpecGoldenEncode(t *testing.T) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(goldenSpec()); err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile("testdata/spec_golden.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.Bytes(); !bytes.Equal(got, want) {
+		t.Fatalf("golden encode mismatch:\n got: %s\nwant: %s", got, want)
+	}
+}
+
+// TestSpecRoundTrip checks encode→decode identity for a minimal spec
+// (omitempty must not drop anything that matters).
+func TestSpecRoundTrip(t *testing.T) {
+	spec := Spec{
+		Deployment:          Deployment{Architecture: "DTS"},
+		Workload:            Workload{Name: "generic"},
+		Pattern:             "broadcast",
+		Consumers:           2,
+		MessagesPerProducer: 4,
+	}
+	data, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Spec
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, spec) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, spec)
+	}
+}
+
+func TestValidateRejectsBadSpecs(t *testing.T) {
+	valid := func() Spec {
+		return Spec{
+			Deployment:          Deployment{Architecture: "DTS"},
+			Workload:            Workload{Name: "Dstream"},
+			Pattern:             "work-sharing",
+			Producers:           1,
+			Consumers:           1,
+			MessagesPerProducer: 4,
+		}
+	}
+	if err := valid().Validate(); err != nil {
+		t.Fatalf("baseline spec must validate: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Spec)
+	}{
+		{"missing architecture", func(s *Spec) { s.Deployment.Architecture = "" }},
+		{"unknown architecture", func(s *Spec) { s.Deployment.Architecture = "FTL" }},
+		{"missing workload", func(s *Spec) { s.Workload.Name = "" }},
+		{"unknown workload", func(s *Spec) { s.Workload.Name = "Xstream" }},
+		{"unknown pattern", func(s *Spec) { s.Pattern = "round-robin" }},
+		{"negative producers", func(s *Spec) { s.Producers = -1 }},
+		{"negative consumers", func(s *Spec) { s.Consumers = -2 }},
+		{"zero messages", func(s *Spec) { s.MessagesPerProducer = 0 }},
+		{"negative runs", func(s *Spec) { s.Runs = -1 }},
+		{"negative timeout", func(s *Spec) { s.TimeoutMS = -1 }},
+		{"unknown fault kind", func(s *Spec) { s.Faults = []Fault{{Kind: "meteor"}} }},
+		{"flap without position", func(s *Spec) { s.Faults = []Fault{{Kind: FaultFlap}} }},
+		{"flap fraction out of range", func(s *Spec) {
+			s.Faults = []Fault{{Kind: FaultFlap, AtFraction: 1.5}}
+		}},
+		{"flap-every without count", func(s *Spec) {
+			s.Faults = []Fault{{Kind: FaultFlapEvery, EveryFraction: 0.3}}
+		}},
+		{"latency spike without delay", func(s *Spec) { s.Faults = []Fault{{Kind: FaultLatencySpike}} }},
+		{"two flap steps", func(s *Spec) {
+			s.Faults = []Fault{
+				{Kind: FaultFlap, AtFraction: 0.3},
+				{Kind: FaultFlapEvery, EveryFraction: 0.5, Count: 1},
+			}
+		}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			s := valid()
+			tc.mutate(&s)
+			err := s.Validate()
+			if err == nil {
+				t.Fatal("expected validation error")
+			}
+			if !errors.Is(err, ErrBadSpec) {
+				t.Fatalf("err = %v, want ErrBadSpec", err)
+			}
+		})
+	}
+}
+
+// TestRunRejectsInvalidSpec checks Run fails fast (no deploy) on a bad
+// spec.
+func TestRunRejectsInvalidSpec(t *testing.T) {
+	_, err := Run(context.Background(), Spec{})
+	if !errors.Is(err, ErrBadSpec) {
+		t.Fatalf("err = %v, want ErrBadSpec", err)
+	}
+}
+
+// TestRunOnRejectsFaultScript pins that fault scripts are only available
+// through Run: the injector must be composed at deploy time.
+func TestRunOnRejectsFaultScript(t *testing.T) {
+	dep, err := core.Deploy(core.DTS, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dep.Close()
+	spec := Spec{
+		Deployment:          Deployment{Architecture: "DTS"},
+		Workload:            Workload{Name: "Dstream"},
+		Pattern:             "work-sharing",
+		MessagesPerProducer: 1,
+		Faults:              []Fault{{Kind: FaultFlap, AtFraction: 0.5}},
+	}
+	if _, err := RunOn(context.Background(), dep, spec); !errors.Is(err, ErrBadSpec) {
+		t.Fatalf("err = %v, want ErrBadSpec", err)
+	}
+}
+
+// TestRunExecutesSpec is the end-to-end smoke of the declarative path: a
+// small work-sharing spec must deploy, run, and report.
+func TestRunExecutesSpec(t *testing.T) {
+	rep, err := Run(context.Background(), Spec{
+		Name: "unit-smoke",
+		Deployment: Deployment{
+			Architecture:         "DTS",
+			FabricScale:          0.2,
+			DisableClientShaping: true,
+			FastControlPlane:     true,
+		},
+		Workload:            Workload{Name: "Dstream", PayloadBytes: 2048},
+		Pattern:             "work-sharing",
+		Producers:           2,
+		Consumers:           2,
+		MessagesPerProducer: 6,
+		TimeoutMS:           30000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Infeasible {
+		t.Fatal("DTS must be feasible")
+	}
+	if rep.Result.Consumed != 12 {
+		t.Fatalf("consumed %d, want 12", rep.Result.Consumed)
+	}
+}
+
+// TestRunMarksInfeasible checks the Stunnel ceiling surfaces as an
+// Infeasible report, not an error.
+func TestRunMarksInfeasible(t *testing.T) {
+	rep, err := Run(context.Background(), Spec{
+		Deployment: Deployment{
+			Architecture:         "PRS(Stunnel)",
+			FabricScale:          0.2,
+			DisableClientShaping: true,
+			FastControlPlane:     true,
+		},
+		Workload:            Workload{Name: "Dstream", PayloadBytes: 2048},
+		Pattern:             "work-sharing",
+		Producers:           32,
+		Consumers:           32,
+		MessagesPerProducer: 1,
+		TimeoutMS:           10000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Infeasible {
+		t.Fatal("32 producers over Stunnel must be infeasible")
+	}
+}
+
+// TestSweepScalesProducers checks sweep semantics (equal producer and
+// consumer counts except single-producer patterns).
+func TestSweepScalesProducers(t *testing.T) {
+	spec := Spec{
+		Deployment: Deployment{
+			Architecture:         "DTS",
+			FabricScale:          0.2,
+			DisableClientShaping: true,
+			FastControlPlane:     true,
+		},
+		Workload:            Workload{Name: "Dstream", PayloadBytes: 2048},
+		Pattern:             "work-sharing",
+		MessagesPerProducer: 2,
+		TimeoutMS:           30000,
+	}
+	points, err := Sweep(context.Background(), spec, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points %d", len(points))
+	}
+	for _, pt := range points {
+		if pt.Spec.Producers != pt.Spec.Consumers {
+			t.Fatalf("producers %d != consumers %d", pt.Spec.Producers, pt.Spec.Consumers)
+		}
+	}
+}

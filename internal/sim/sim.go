@@ -5,9 +5,15 @@
 // coordinator.go) mirrors the paper's simulator layout, where a dedicated
 // coordinator node tells producers and consumers which queues to use and
 // aggregates their metrics.
+//
+// Experiment is a thin adapter over the declarative scenario API: Run and
+// RunOn validate the experiment, translate it to a scenario.Spec, and
+// execute it through scenario's shared role engine. New code should use
+// internal/scenario directly.
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -15,20 +21,34 @@ import (
 	"ds2hpc/internal/core"
 	"ds2hpc/internal/metrics"
 	"ds2hpc/internal/pattern"
+	"ds2hpc/internal/scenario"
 	"ds2hpc/internal/workload"
 )
 
-// PatternName selects a messaging pattern.
+// PatternName selects a messaging pattern (a registered pattern role
+// graph; the string doubles as the graph name).
 type PatternName string
 
 // The three patterns of §5.1 (broadcast with and without gather are
-// reported separately in Figure 7).
+// reported separately in Figure 7), plus the multi-stage pipeline enabled
+// by the role engine.
 const (
-	PatternWorkSharing     PatternName = "work-sharing"
-	PatternFeedback        PatternName = "work-sharing-feedback"
-	PatternBroadcast       PatternName = "broadcast"
-	PatternBroadcastGather PatternName = "broadcast-gather"
+	PatternWorkSharing     PatternName = pattern.WorkSharingName
+	PatternFeedback        PatternName = pattern.FeedbackName
+	PatternBroadcast       PatternName = pattern.BroadcastName
+	PatternBroadcastGather PatternName = pattern.BroadcastGatherName
+	PatternPipeline        PatternName = pattern.PipelineName
 )
+
+// AllPatterns lists every pattern an Experiment can select.
+var AllPatterns = []PatternName{
+	PatternWorkSharing, PatternFeedback, PatternBroadcast, PatternBroadcastGather, PatternPipeline,
+}
+
+// ErrBadSpec reports an Experiment rejected by up-front validation —
+// negative client counts, a zero message budget, an unknown pattern or
+// workload — instead of hanging or failing deep inside a run.
+var ErrBadSpec = errors.New("sim: invalid experiment")
 
 // Experiment is one data point's configuration.
 type Experiment struct {
@@ -52,6 +72,61 @@ type Experiment struct {
 	Timeout    time.Duration
 }
 
+// validate rejects experiments that could only hang or fail mid-run. The
+// shared rules (negative counts, zero messages, unknown pattern/workload,
+// negative runs) live in scenario.Spec.Validate; only the translation
+// fidelity check is sim-specific.
+func (e Experiment) validate() error {
+	if err := e.spec().Validate(); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadSpec, err)
+	}
+	// The scenario layer resolves workloads by name with only the payload
+	// size overridable, so any other customization would be silently
+	// undone in translation — reject it loudly instead (callers needing a
+	// custom workload use internal/pattern directly).
+	base, err := workload.ByName(e.Workload.Name)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrBadSpec, err)
+	}
+	base.PayloadBytes = e.Workload.PayloadBytes
+	if base != e.Workload {
+		return fmt.Errorf("%w: workload %q customized beyond payload size (only PayloadBytes survives the scenario translation)",
+			ErrBadSpec, e.Workload.Name)
+	}
+	return nil
+}
+
+// spec translates the experiment into the declarative scenario form. The
+// deployment section is left empty: sim deploys from the richer
+// core.Options itself and runs on the resulting deployment.
+func (e Experiment) spec() scenario.Spec {
+	// Only the unset value gets the paper's 3-run default; a negative
+	// count flows through so validation rejects it.
+	runs := e.Runs
+	if runs == 0 {
+		runs = 3
+	}
+	return scenario.Spec{
+		Deployment: scenario.Deployment{Architecture: string(e.Architecture)},
+		Workload: scenario.Workload{
+			Name:         e.Workload.Name,
+			PayloadBytes: e.Workload.PayloadBytes,
+		},
+		Pattern:             string(e.Pattern),
+		Producers:           e.Producers,
+		Consumers:           e.Consumers,
+		MessagesPerProducer: e.MessagesPerProducer,
+		Runs:                runs,
+		Tuning: scenario.Tuning{
+			WorkQueues: e.WorkQueues,
+			Prefetch:   e.Prefetch,
+			AckBatch:   e.AckBatch,
+			Window:     e.Window,
+		},
+		TimeoutMS: e.Timeout.Milliseconds(),
+	}
+}
+
 // Point is one measured data point.
 type Point struct {
 	Experiment Experiment
@@ -63,8 +138,8 @@ type Point struct {
 
 // Run executes the experiment: deploy once, run Runs times, merge.
 func Run(exp Experiment) (*Point, error) {
-	if exp.Runs <= 0 {
-		exp.Runs = 3
+	if err := exp.validate(); err != nil {
+		return nil, err
 	}
 	dep, err := core.Deploy(exp.Architecture, exp.Options)
 	if err != nil {
@@ -77,56 +152,30 @@ func Run(exp Experiment) (*Point, error) {
 // RunOn executes the experiment on an existing deployment (reused across
 // points of a sweep to avoid redeploy cost).
 func RunOn(dep core.Deployment, exp Experiment) (*Point, error) {
-	if exp.Runs <= 0 {
-		exp.Runs = 3
+	if err := exp.validate(); err != nil {
+		return nil, err
 	}
-	var runs []*metrics.Result
-	for r := 0; r < exp.Runs; r++ {
-		cfg := pattern.Config{
-			Deployment:          dep,
-			Workload:            exp.Workload,
-			Producers:           exp.Producers,
-			Consumers:           exp.Consumers,
-			MessagesPerProducer: exp.MessagesPerProducer,
-			WorkQueues:          exp.WorkQueues,
-			Prefetch:            exp.Prefetch,
-			AckBatch:            exp.AckBatch,
-			Window:              exp.Window,
-			Timeout:             exp.Timeout,
+	rep, err := scenario.RunOn(context.Background(), dep, exp.spec())
+	if err != nil {
+		if errors.Is(err, scenario.ErrBadSpec) {
+			return nil, fmt.Errorf("%w: %v", ErrBadSpec, err)
 		}
-		var res *metrics.Result
-		var err error
-		switch exp.Pattern {
-		case PatternWorkSharing:
-			res, err = pattern.WorkSharing(cfg)
-		case PatternFeedback:
-			res, err = pattern.WorkSharingFeedback(cfg)
-		case PatternBroadcast:
-			res, err = pattern.Broadcast(cfg)
-		case PatternBroadcastGather:
-			res, err = pattern.BroadcastGather(cfg)
-		default:
-			return nil, fmt.Errorf("sim: unknown pattern %q", exp.Pattern)
-		}
-		if errors.Is(err, pattern.ErrInfeasible) {
-			return &Point{Experiment: exp, Infeasible: true}, nil
-		}
-		if err != nil {
-			return nil, fmt.Errorf("sim: %s/%s run %d: %w", exp.Architecture, exp.Pattern, r, err)
-		}
-		runs = append(runs, res)
+		return nil, fmt.Errorf("sim: %w", err)
 	}
-	return &Point{Experiment: exp, Result: metrics.Merge(runs)}, nil
+	return &Point{Experiment: exp, Result: rep.Result, Infeasible: rep.Infeasible}, nil
 }
 
 // ConsumerCounts is the x-axis of every figure: 1-64 consumers.
-var ConsumerCounts = []int{1, 2, 4, 8, 16, 32, 64}
+var ConsumerCounts = scenario.ConsumerCounts
 
 // Sweep runs the experiment across consumer counts for one architecture,
-// reusing a single deployment. Except for the broadcast patterns (single
-// producer), producers scale with consumers, matching §5.2 ("all other
+// reusing a single deployment. Except for the single-producer broadcast
+// patterns, producers scale with consumers, matching §5.2 ("all other
 // tests were performed with an equal number of producers and consumers").
 func Sweep(exp Experiment, consumerCounts []int) ([]*Point, error) {
+	if err := exp.validate(); err != nil {
+		return nil, err
+	}
 	if len(consumerCounts) == 0 {
 		consumerCounts = ConsumerCounts
 	}
@@ -135,11 +184,15 @@ func Sweep(exp Experiment, consumerCounts []int) ([]*Point, error) {
 		return nil, err
 	}
 	defer dep.Close()
+	singleProducer := false
+	if g, ok := pattern.Lookup(string(exp.Pattern)); ok {
+		singleProducer = g.SingleProducer
+	}
 	var points []*Point
 	for _, n := range consumerCounts {
 		e := exp
 		e.Consumers = n
-		if e.Pattern == PatternBroadcast || e.Pattern == PatternBroadcastGather {
+		if singleProducer {
 			e.Producers = 1
 		} else {
 			e.Producers = n

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"testing"
@@ -8,6 +9,7 @@ import (
 
 	"ds2hpc/internal/core"
 	"ds2hpc/internal/fabric"
+	"ds2hpc/internal/pattern"
 	"ds2hpc/internal/workload"
 )
 
@@ -56,8 +58,68 @@ func TestRunFeedbackCollectsRTTs(t *testing.T) {
 
 func TestRunUnknownPattern(t *testing.T) {
 	e := testExperiment("nope")
-	if _, err := Run(e); err == nil {
+	_, err := Run(e)
+	if err == nil {
 		t.Fatal("expected error")
+	}
+	if !errors.Is(err, ErrBadSpec) {
+		t.Fatalf("err = %v, want ErrBadSpec", err)
+	}
+}
+
+// TestValidationRejectsBadExperiments pins the up-front validation: broken
+// experiments fail fast with the typed ErrBadSpec instead of hanging or
+// failing deep inside a run — through Run, RunOn, and Sweep alike.
+func TestValidationRejectsBadExperiments(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Experiment)
+	}{
+		{"negative producers", func(e *Experiment) { e.Producers = -1 }},
+		{"negative consumers", func(e *Experiment) { e.Consumers = -4 }},
+		{"zero messages", func(e *Experiment) { e.MessagesPerProducer = 0 }},
+		{"negative messages", func(e *Experiment) { e.MessagesPerProducer = -8 }},
+		{"negative runs", func(e *Experiment) { e.Runs = -1 }},
+		{"unknown pattern", func(e *Experiment) { e.Pattern = "no-such-pattern" }},
+		{"unknown workload", func(e *Experiment) { e.Workload.Name = "Xstream" }},
+		// Only PayloadBytes survives the scenario translation; any other
+		// customization would be silently undone, so it must be rejected.
+		{"customized workload", func(e *Experiment) { e.Workload.MPI = !e.Workload.MPI }},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			e := testExperiment(PatternWorkSharing)
+			tc.mutate(&e)
+			if _, err := Run(e); !errors.Is(err, ErrBadSpec) {
+				t.Fatalf("Run err = %v, want ErrBadSpec", err)
+			}
+			if _, err := Sweep(e, []int{1}); !errors.Is(err, ErrBadSpec) {
+				t.Fatalf("Sweep err = %v, want ErrBadSpec", err)
+			}
+		})
+	}
+}
+
+// TestEveryPatternNameHasRoleGraph asserts the sim pattern names and the
+// pattern registry stay in lockstep: every PatternName must resolve to a
+// registered role graph, so an Experiment can never name a pattern the
+// engine cannot run.
+func TestEveryPatternNameHasRoleGraph(t *testing.T) {
+	if len(AllPatterns) < 5 {
+		t.Fatalf("AllPatterns = %v, expected at least the paper's four plus pipeline", AllPatterns)
+	}
+	for _, name := range AllPatterns {
+		name := name
+		t.Run(string(name), func(t *testing.T) {
+			g, ok := pattern.Lookup(string(name))
+			if !ok {
+				t.Fatalf("pattern %q has no registered role graph (registered: %v)", name, pattern.Names())
+			}
+			if g.Name != string(name) {
+				t.Fatalf("graph name %q != pattern name %q", g.Name, name)
+			}
+		})
 	}
 }
 

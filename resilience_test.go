@@ -5,9 +5,14 @@
 // facility-spanning path, not just raw overhead, decides architecture
 // choice); BenchmarkResilienceFaultRate sweeps fault rate × architecture
 // so the throughput cost of outages is a measurable figure.
+//
+// The flap scenario is fully declarative: the scripted fault is part of
+// the scenario.Spec, so the same run is reproducible from a JSON file via
+// `streamsim scenario`.
 package ds2hpc
 
 import (
+	"context"
 	"fmt"
 	"testing"
 	"time"
@@ -17,6 +22,7 @@ import (
 	"ds2hpc/internal/fabric"
 	"ds2hpc/internal/metrics"
 	"ds2hpc/internal/pattern"
+	"ds2hpc/internal/scenario"
 	"ds2hpc/internal/transport"
 	"ds2hpc/internal/workload"
 )
@@ -49,6 +55,31 @@ func resilienceOptions(inj *transport.Injector) core.Options {
 	}
 }
 
+// resilienceSpec is the declarative form of the same scenario: deployment,
+// reconnect policy, and the scripted mid-run flap in one Spec value.
+func resilienceSpec(arch core.ArchitectureName, producers, consumers, messages int) scenario.Spec {
+	return scenario.Spec{
+		Name: "link-flap-resilience",
+		Deployment: scenario.Deployment{
+			Architecture:         string(arch),
+			Nodes:                3,
+			FabricScale:          0.2,
+			DisableClientShaping: true,
+			FastControlPlane:     true,
+			Reconnect:            &scenario.Reconnect{MaxAttempts: 60, DelayMS: 5, MaxDelayMS: 50},
+		},
+		Workload:            scenario.Workload{Name: "Dstream", PayloadBytes: 8192},
+		Pattern:             "work-sharing",
+		Producers:           producers,
+		Consumers:           consumers,
+		MessagesPerProducer: messages,
+		// Fire the flap once roughly half the payload traffic has crossed
+		// the faulted path: deterministically mid-run.
+		Faults:    []scenario.Fault{{Kind: scenario.FaultFlap, AtFraction: 0.5, DownMS: 80}},
+		TimeoutMS: (60 * time.Second).Milliseconds(),
+	}
+}
+
 // resilienceArchitectures are the variants exercised under faults.
 // Stunnel is excluded (its ceiling dominates; §5.4 drops it as well).
 var resilienceArchitectures = []core.ArchitectureName{core.DTS, core.PRSHAProxy, core.MSS}
@@ -66,37 +97,17 @@ func TestResilienceWorkSharingAcrossLinkFlap(t *testing.T) {
 	for _, arch := range archs {
 		arch := arch
 		t.Run(string(arch), func(t *testing.T) {
-			inj := transport.NewInjector()
-			dep, err := core.Deploy(arch, resilienceOptions(inj))
-			if err != nil {
-				t.Fatal(err)
-			}
-			defer dep.Close()
-
 			const producers, consumers, messages = 2, 2, 16
-			w := resilienceWorkload()
-			// Fire the flap once roughly half the payload traffic has
-			// crossed the faulted path: deterministically mid-run.
-			totalPayload := int64(producers) * int64(messages) * int64(w.PayloadBytes)
-			inj.FlapAfterBytes(totalPayload/2, 80*time.Millisecond)
-
 			before := metrics.Default.Snapshot()
-			res, err := pattern.WorkSharing(pattern.Config{
-				Deployment:          dep,
-				Workload:            w,
-				Producers:           producers,
-				Consumers:           consumers,
-				MessagesPerProducer: messages,
-				Timeout:             60 * time.Second,
-			})
+			rep, err := scenario.Run(context.Background(), resilienceSpec(arch, producers, consumers, messages))
 			if err != nil {
 				t.Fatalf("run did not survive the flap: %v", err)
 			}
 			want := int64(producers * messages)
-			if res.Consumed < want {
-				t.Fatalf("consumed %d < %d", res.Consumed, want)
+			if rep.Result.Consumed < want {
+				t.Fatalf("consumed %d < %d", rep.Result.Consumed, want)
 			}
-			if inj.Stats().Flaps == 0 {
+			if rep.Faults.Flaps == 0 {
 				t.Fatal("scripted flap never fired")
 			}
 			d := metrics.Delta(before, metrics.Default.Snapshot())
@@ -108,7 +119,9 @@ func TestResilienceWorkSharingAcrossLinkFlap(t *testing.T) {
 }
 
 // TestResilienceMidStreamResets injects bare connection resets (no dial
-// outage): reconnects should be immediate and the run must complete.
+// outage): reconnects should be immediate and the run must complete. The
+// resets are triggered manually mid-run (not a byte-armed script), so this
+// test drives the injector and pattern engine directly.
 func TestResilienceMidStreamResets(t *testing.T) {
 	inj := transport.NewInjector()
 	dep, err := core.Deploy(core.DTS, resilienceOptions(inj))
@@ -131,7 +144,7 @@ func TestResilienceMidStreamResets(t *testing.T) {
 			}
 		}
 	}()
-	res, err := pattern.WorkSharing(pattern.Config{
+	res, err := pattern.Run(context.Background(), "work-sharing", pattern.Config{
 		Deployment:          dep,
 		Workload:            w,
 		Producers:           producers,
@@ -151,39 +164,31 @@ func TestResilienceMidStreamResets(t *testing.T) {
 // BenchmarkResilienceFaultRate sweeps fault rate × architecture: flaps
 // per run from 0 (baseline) to 2, reporting throughput alongside the
 // reconnects each run needed. This is the resilience counterpart of the
-// Figure 4 throughput comparison.
+// Figure 4 throughput comparison, driven entirely by declarative specs.
 func BenchmarkResilienceFaultRate(b *testing.B) {
 	const producers, consumers, messages = 2, 2, 16
-	w := resilienceWorkload()
-	totalPayload := int64(producers) * int64(messages) * int64(w.PayloadBytes)
 	for _, arch := range resilienceArchitectures {
 		for _, flaps := range []int{0, 1, 2} {
 			b.Run(fmt.Sprintf("%s/flaps=%d", arch, flaps), func(b *testing.B) {
+				spec := resilienceSpec(arch, producers, consumers, messages)
+				spec.Faults = nil
+				if flaps > 0 {
+					spec.Faults = []scenario.Fault{{
+						Kind:          scenario.FaultFlapEvery,
+						EveryFraction: 1 / float64(flaps+1),
+						Count:         flaps,
+						DownMS:        50,
+					}}
+				}
 				var reconnects uint64
 				var last float64
 				for i := 0; i < b.N; i++ {
-					inj := transport.NewInjector()
-					dep, err := core.Deploy(arch, resilienceOptions(inj))
-					if err != nil {
-						b.Fatal(err)
-					}
-					if flaps > 0 {
-						inj.FlapEveryBytes(totalPayload/int64(flaps+1), 50*time.Millisecond, flaps)
-					}
 					before := metrics.Default.Snapshot()
-					res, err := pattern.WorkSharing(pattern.Config{
-						Deployment:          dep,
-						Workload:            w,
-						Producers:           producers,
-						Consumers:           consumers,
-						MessagesPerProducer: messages,
-						Timeout:             60 * time.Second,
-					})
-					dep.Close()
+					rep, err := scenario.Run(context.Background(), spec)
 					if err != nil {
 						b.Fatal(err)
 					}
-					last = res.Throughput
+					last = rep.Result.Throughput
 					d := metrics.Delta(before, metrics.Default.Snapshot())
 					reconnects += d["amqp.reconnects"]
 				}
