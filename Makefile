@@ -11,9 +11,12 @@ GO ?= go
 PR ?= dev
 
 # BENCH_PATTERN selects the snapshot benchmarks: the ablation and
-# overhead benches (the figure harness hot paths) plus the resilience
-# fault-rate sweep introduced with the transport hop stack.
-BENCH_PATTERN ?= BenchmarkAblationAckBatching|BenchmarkAblationWorkQueues|BenchmarkOverheadVsDTS|BenchmarkResilienceFaultRate
+# overhead benches (the figure harness hot paths), the resilience
+# fault-rate sweep introduced with the transport hop stack, and the
+# Fig6a feedback bench so the embedded telemetry snapshot's rtt_ns
+# histogram carries real round-trip samples (tail latency, not just
+# means).
+BENCH_PATTERN ?= BenchmarkAblationAckBatching|BenchmarkAblationWorkQueues|BenchmarkOverheadVsDTS|BenchmarkResilienceFaultRate|BenchmarkFig6aDstreamFeedbackRTT
 
 .PHONY: test race short smoke bench-snapshot
 
@@ -23,11 +26,14 @@ test:
 
 # smoke exercises the declarative scenario path end to end: every
 # checked-in example spec (short scale) runs through `streamsim scenario`,
-# including the fault-script and pipeline specs.
+# including the fault-script and pipeline specs. The linkflap spec runs
+# a second time with -watch so the live telemetry rollup path (probe →
+# aggregator → OnTick) is exercised under injected faults.
 smoke:
 	$(GO) run ./cmd/streamsim scenario examples/scenario/worksharing.json
 	$(GO) run ./cmd/streamsim scenario examples/scenario/pipeline.json
 	$(GO) run ./cmd/streamsim scenario examples/scenario/linkflap.json
+	$(GO) run ./cmd/streamsim scenario -watch examples/scenario/linkflap.json
 
 race:
 	$(GO) vet ./...

@@ -17,6 +17,10 @@
 package ds2hpc
 
 import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
 	"testing"
 	"time"
 
@@ -24,8 +28,24 @@ import (
 	"ds2hpc/internal/fabric"
 	"ds2hpc/internal/metrics"
 	"ds2hpc/internal/sim"
+	"ds2hpc/internal/telemetry"
 	"ds2hpc/internal/workload"
 )
+
+// TestMain emits the final process-wide telemetry snapshot after a
+// bench run — one "TELEMETRY_SNAPSHOT: {...}" line benchsnap embeds in
+// BENCH_<pr>.json, so the perf trajectory records the cumulative RTT
+// histogram and peak queue depth alongside the per-benchmark means.
+// Plain `go test` runs (no -test.bench) stay silent.
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if f := flag.Lookup("test.bench"); f != nil && f.Value.String() != "" {
+		if data, err := json.Marshal(telemetry.Default.Snapshot()); err == nil {
+			fmt.Printf("TELEMETRY_SNAPSHOT: %s\n", data)
+		}
+	}
+	os.Exit(code)
+}
 
 // benchScale shrinks the fabric (and payloads via benchWorkload) so a full
 // `go test -bench=.` pass completes in minutes on a laptop while keeping
@@ -79,7 +99,7 @@ func runPoint(b *testing.B, exp sim.Experiment) *metrics.Result {
 	}
 	if last != nil {
 		b.ReportMetric(last.Throughput, "msgs_per_sec")
-		if len(last.RTTs) > 0 {
+		if last.RTTCount() > 0 {
 			b.ReportMetric(float64(last.MedianRTT())/1e6, "median_ms")
 			b.ReportMetric(float64(last.PercentileRTT(80))/1e6, "p80_ms")
 		}
@@ -176,7 +196,7 @@ func BenchmarkFig5RTTCDF(b *testing.B) {
 		for _, arch := range fig56Architectures {
 			b.Run(w.Name+"/"+string(arch)+"/cons=16", func(b *testing.B) {
 				res := runPoint(b, baseExperiment(arch, w, sim.PatternFeedback, 16))
-				if res != nil && len(res.RTTs) > 0 {
+				if res != nil && res.RTTCount() > 0 {
 					// Emit three CDF probes so the distribution shape is
 					// visible in the bench output.
 					b.ReportMetric(float64(res.PercentileRTT(50))/1e6, "p50_ms")
@@ -250,7 +270,7 @@ func BenchmarkFig8BroadcastGatherCDF(b *testing.B) {
 	for _, arch := range fig78Architectures {
 		b.Run(string(arch)+"/cons=16", func(b *testing.B) {
 			res := runPoint(b, baseExperiment(arch, workload.Generic, sim.PatternBroadcastGather, 16))
-			if res != nil && len(res.RTTs) > 0 {
+			if res != nil && res.RTTCount() > 0 {
 				b.ReportMetric(float64(res.PercentileRTT(50))/1e6, "p50_ms")
 				b.ReportMetric(float64(res.PercentileRTT(95))/1e6, "p95_ms")
 			}

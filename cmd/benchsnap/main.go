@@ -4,6 +4,13 @@
 // benchmarks with -benchmem and writes BENCH_<pr>.json, so successive
 // PRs can be diffed metric-by-metric instead of eyeballing bench logs.
 //
+// The bench harness (TestMain in the root package) also prints one
+// "TELEMETRY_SNAPSHOT: {...}" line after a bench run — the final
+// process-wide telemetry snapshot, including the RTT histogram buckets
+// and the peak queue depth watermark. benchsnap embeds it verbatim
+// under "telemetry", so the perf trajectory captures tail latency and
+// queue pressure, not just the per-benchmark means.
+//
 // Usage:
 //
 //	go test -run '^$' -bench . -benchtime 1x -benchmem . | benchsnap -out BENCH_dev.json
@@ -33,7 +40,14 @@ type Snapshot struct {
 	GoOS       string      `json:"goos"`
 	GoArch     string      `json:"goarch"`
 	Benchmarks []Benchmark `json:"benchmarks"`
+	// Telemetry is the final process-wide telemetry snapshot the bench
+	// harness printed (histogram buckets, watermarks, counters);
+	// embedded verbatim.
+	Telemetry json.RawMessage `json:"telemetry,omitempty"`
 }
+
+// telemetryPrefix marks the harness's final telemetry snapshot line.
+const telemetryPrefix = "TELEMETRY_SNAPSHOT: "
 
 // parseBenchLine parses one "BenchmarkX-8  N  v unit  v unit ..." line,
 // returning ok=false for non-benchmark lines.
@@ -57,14 +71,24 @@ func parseBenchLine(line string) (Benchmark, bool) {
 	return b, true
 }
 
-// parse reads bench output and collects benchmark lines.
+// parse reads bench output, collecting benchmark lines and the
+// harness's telemetry snapshot line.
 func parse(r io.Reader) (Snapshot, error) {
 	snap := Snapshot{GoOS: runtime.GOOS, GoArch: runtime.GOARCH}
 	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	sc.Buffer(make([]byte, 16*1024*1024), 16*1024*1024)
 	for sc.Scan() {
-		if b, ok := parseBenchLine(sc.Text()); ok {
+		line := sc.Text()
+		if b, ok := parseBenchLine(line); ok {
 			snap.Benchmarks = append(snap.Benchmarks, b)
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, telemetryPrefix); ok {
+			if raw := json.RawMessage(rest); json.Valid(raw) {
+				snap.Telemetry = raw
+			} else {
+				fmt.Fprintln(os.Stderr, "benchsnap: ignoring malformed telemetry snapshot line")
+			}
 		}
 	}
 	return snap, sc.Err()

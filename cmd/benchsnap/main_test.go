@@ -1,8 +1,11 @@
 package main
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
+
+	"ds2hpc/internal/telemetry"
 )
 
 const sampleBenchOutput = `goos: linux
@@ -11,6 +14,7 @@ pkg: ds2hpc
 BenchmarkAblationAckBatching/ackbatch=1-8         	       1	  56789012 ns/op	      4567 B/op	      89 allocs/op	     123.4 msgs_per_sec
 BenchmarkAblationAckBatching/ackbatch=4-8         	       2	  34567890 ns/op	      2345 B/op	      45 allocs/op	     234.5 msgs_per_sec	       0.9876 bufpool_hit_rate
 BenchmarkResilienceFaultRate/DTS/flaps=1-8        	       1	 123456789 ns/op	     345.6 msgs_per_sec	       4.000 reconnects/op
+TELEMETRY_SNAPSHOT: {"counters":{"broker.published":128},"watermarks":{"broker.queue_depth_peak":42},"histograms":{"rtt_ns":{"buckets":[{"upper":1007,"count":3}],"count":3,"sum":3000}}}
 PASS
 ok  	ds2hpc	12.345s
 `
@@ -41,6 +45,40 @@ func TestParseBenchOutput(t *testing.T) {
 	r := snap.Benchmarks[2]
 	if r.Metrics["reconnects/op"] != 4 {
 		t.Fatalf("reconnects/op = %v", r.Metrics["reconnects/op"])
+	}
+}
+
+// TestParseEmbedsTelemetrySnapshot checks the harness's final telemetry
+// line lands in the JSON artifact and decodes back into a full
+// telemetry.Snapshot (histogram buckets and peak queue depth included).
+func TestParseEmbedsTelemetrySnapshot(t *testing.T) {
+	snap, err := parse(strings.NewReader(sampleBenchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Telemetry == nil {
+		t.Fatal("telemetry snapshot line not embedded")
+	}
+	var tel telemetry.Snapshot
+	if err := json.Unmarshal(snap.Telemetry, &tel); err != nil {
+		t.Fatal(err)
+	}
+	if tel.Watermarks["broker.queue_depth_peak"] != 42 {
+		t.Fatalf("peak depth = %+v", tel.Watermarks)
+	}
+	h := tel.Histograms["rtt_ns"]
+	if h == nil || h.Count != 3 || len(h.Buckets) != 1 {
+		t.Fatalf("rtt histogram = %+v", h)
+	}
+}
+
+func TestParseIgnoresMalformedTelemetry(t *testing.T) {
+	snap, err := parse(strings.NewReader("TELEMETRY_SNAPSHOT: {not json\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Telemetry != nil {
+		t.Fatal("malformed telemetry line must be dropped")
 	}
 }
 

@@ -41,6 +41,7 @@ import (
 	"ds2hpc/internal/pattern"
 	"ds2hpc/internal/scenario"
 	"ds2hpc/internal/sim"
+	"ds2hpc/internal/telemetry"
 	"ds2hpc/internal/workload"
 )
 
@@ -79,8 +80,10 @@ func usage() {
 // runScenario executes a declarative scenario spec from a JSON file.
 func runScenario(args []string) error {
 	fs := flag.NewFlagSet("scenario", flag.ContinueOnError)
+	watch := fs.Bool("watch", false, "print live per-second telemetry rollups while the scenario runs")
+	telemetryAddr := fs.String("telemetry", "", "serve /metrics and /snapshot.json on this address while the scenario runs (e.g. 127.0.0.1:9090)")
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: streamsim scenario <spec.json>")
+		fmt.Fprintln(os.Stderr, "usage: streamsim scenario [-watch] [-telemetry addr] <spec.json>")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -94,12 +97,49 @@ func runScenario(args []string) error {
 	if err != nil {
 		return err
 	}
-	rep, err := scenario.Run(context.Background(), spec)
+	stop, err := serveTelemetry(*telemetryAddr)
+	if err != nil {
+		return err
+	}
+	defer stop()
+	var opts []scenario.Option
+	if *watch {
+		opts = append(opts, scenario.WithWatch(printRollup))
+	}
+	rep, err := scenario.Run(context.Background(), spec, opts...)
 	if err != nil {
 		return err
 	}
 	printReport(rep)
 	return nil
+}
+
+// serveTelemetry optionally exposes the process-wide telemetry registry
+// over HTTP for the duration of the command; the returned stop function
+// is always safe to call.
+func serveTelemetry(addr string) (func(), error) {
+	if addr == "" {
+		return func() {}, nil
+	}
+	srv, err := telemetry.Serve(addr, telemetry.Default)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry endpoint: %w", err)
+	}
+	fmt.Printf("telemetry:      http://%s/metrics (and /snapshot.json)\n", srv.Addr())
+	return func() { srv.Close() }, nil
+}
+
+// printRollup writes one live per-second telemetry line.
+func printRollup(tk telemetry.Tick) {
+	line := fmt.Sprintf("watch %s  consumed %7.1f/s  produced %7.1f/s  errors %.0f",
+		tk.T.Format("15:04:05"), tk.Values["consumed"], tk.Values["produced"], tk.Values["errors"])
+	if v, ok := tk.Values["flaps"]; ok {
+		line += fmt.Sprintf("  flaps %.0f  resets %.0f", v, tk.Values["resets"])
+	}
+	if v := tk.Values["reconnects"]; v > 0 {
+		line += fmt.Sprintf("  reconnects %.0f", v)
+	}
+	fmt.Println(line)
 }
 
 // printReport writes the human-readable result of one scenario.
@@ -117,6 +157,18 @@ func printReport(rep *scenario.Report) {
 		return
 	}
 	printResult(rep.Result, max(spec.Runs, 1))
+	if rep.P50 > 0 {
+		fmt.Printf("p50/p95/p99:    %v / %v / %v\n", rep.P50, rep.P95, rep.P99)
+	}
+	if n := len(rep.Timeline); n > 0 {
+		peak := rep.Timeline[0].V
+		for _, p := range rep.Timeline {
+			if p.V > peak {
+				peak = p.V
+			}
+		}
+		fmt.Printf("timeline:       %d point(s), peak %.1f msgs/sec\n", n, peak)
+	}
 	if len(spec.Faults) > 0 {
 		fmt.Printf("faults:         %d flaps, %d resets, %d refused dials\n",
 			rep.Faults.Flaps, rep.Faults.Resets, rep.Faults.Refused)
@@ -128,7 +180,7 @@ func printReport(rep *scenario.Report) {
 func printResult(r *metrics.Result, runs int) {
 	fmt.Printf("consumed:       %d msgs over %d run(s)\n", r.Consumed, runs)
 	fmt.Printf("throughput:     %.1f msgs/sec (aggregate)\n", r.Throughput)
-	if len(r.RTTs) > 0 {
+	if r.RTTCount() > 0 {
 		fmt.Printf("median RTT:     %v\n", r.MedianRTT())
 		fmt.Printf("p80 / p95 RTT:  %v / %v\n", r.PercentileRTT(80), r.PercentileRTT(95))
 	}
@@ -148,10 +200,16 @@ func runLocal(args []string) error {
 	runs := fs.Int("runs", 3, "runs per data point")
 	scale := fs.Float64("scale", 0.1, "fabric scale (1.0 = paper rates)")
 	payloadDiv := fs.Int("payload-div", 8, "payload shrink divisor (1 = full size)")
+	telemetryAddr := fs.String("telemetry", "", "serve /metrics and /snapshot.json on this address while the experiment runs")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	stop, err := serveTelemetry(*telemetryAddr)
+	if err != nil {
+		return err
+	}
+	defer stop()
 	w, err := workload.ByName(*wl)
 	if err != nil {
 		return err

@@ -55,6 +55,33 @@ func TestScenarioSubcommand(t *testing.T) {
 	}
 }
 
+// TestScenarioWatchAndTelemetry drives the live-telemetry path: -watch
+// prints rollups while the run streams and -telemetry stands up the
+// HTTP endpoint (on an ephemeral port) for its duration.
+func TestScenarioWatchAndTelemetry(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "spec.json")
+	spec := `{
+		"name": "watch-smoke",
+		"deployment": {"architecture": "DTS", "fabric_scale": 0.2,
+			"disable_client_shaping": true, "fast_control_plane": true},
+		"workload": {"name": "Dstream", "payload_bytes": 2048},
+		"pattern": "work-sharing",
+		"producers": 1, "consumers": 1,
+		"messages_per_producer": 2,
+		"timeout_ms": 30000
+	}`
+	if err := os.WriteFile(path, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runScenario([]string{"-watch", "-telemetry", "127.0.0.1:0", path}); err != nil {
+		t.Fatal(err)
+	}
+	// A busy port must surface as an error, not an exit.
+	if err := runScenario([]string{"-telemetry", "256.0.0.1:99999", path}); err == nil {
+		t.Fatal("bad telemetry address must be rejected")
+	}
+}
+
 // TestScenarioRejectsBadInput checks the scenario mode surfaces errors
 // instead of exiting: missing file, malformed JSON, typo'd keys, and an
 // invalid spec.

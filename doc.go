@@ -23,8 +23,14 @@
 //	internal/transport  the client→service hop stack: Path/Hop dial
 //	                    composition, shared half-close-correct Relay,
 //	                    admission gates, and the WAN fault injector
-//	internal/metrics    experiment metrics (throughput, RTT CDFs) plus
-//	                    the hot-path counter registry
+//	internal/telemetry  live observability: lock-free probes (sharded
+//	                    counters, gauges, watermarks, streaming
+//	                    histogram), tick aggregator with ring-buffered
+//	                    time series, Prometheus/JSON exporters and the
+//	                    opt-in HTTP endpoint
+//	internal/metrics    experiment metrics (throughput, RTT CDFs) built
+//	                    on telemetry probes, plus the hot-path counter
+//	                    registry
 //	internal/core       architecture deployments (DTS, PRS variants,
 //	                    MSS), each a transport.Path hop composition
 //	internal/pattern    messaging patterns as declarative role graphs
@@ -86,9 +92,36 @@
 // ~50-line Build function — the multi-stage pipeline pattern
 // (edge → filter → HPC fan-in aggregation) is registered that way.
 //
+// # Telemetry
+//
+// internal/telemetry is the live observability subsystem, a
+// probe → aggregator → exporter pipeline. Probes are lock-free and
+// alloc-free on the hot path — sharded atomic counters, gauges,
+// watermarks, and a bounded log-scale streaming histogram — and are
+// wired through the broker (per-queue depth/publish/ack/requeue rates,
+// peak depth, connection counts), the transport layer (relayed bytes,
+// dial/fault-injection events), and the pattern role engine (per-role
+// produced/consumed/in-flight, publish→confirm latency). The
+// aggregator rolls observed sources into per-second time series; every
+// scenario.Report carries P50/P95/P99 latency percentiles and a
+// consumer-throughput Timeline from it.
+//
+// metrics.Collector records RTTs into the streaming histogram instead
+// of an unbounded sample slice, so collector memory is constant at any
+// message volume and the Figure 5/8 CDFs are derived from histogram
+// buckets (within one bucket width, ~3%, of the exact sorted-sample
+// statistics).
+//
+// Live access: `streamsim scenario -watch <spec.json>` prints
+// per-second rollups (rates, errors, flaps, reconnects);
+// `-telemetry <addr>` serves GET /metrics (Prometheus text) and
+// GET /snapshot.json for the duration of a run.
+//
 // # Running the suite
 //
-// Tier-1 verification is `go build ./... && go test ./...`; CI adds -race.
+// Tier-1 verification is `go build ./... && go test ./...`; CI runs
+// -race over the whole module as a dedicated job (the telemetry probes
+// are deliberately lock-free hot-path code).
 // Reproduce a paper figure by running its benchmark, e.g.
 //
 //	go test -bench BenchmarkFig4aDstreamWorkSharing -benchmem .

@@ -48,9 +48,12 @@ func main() {
 	fmt.Printf("scenario %q on %s:\n", spec.Name, spec.Deployment.Architecture)
 	fmt.Printf("  consumed    %d msgs\n", r.Consumed)
 	fmt.Printf("  throughput  %.1f msgs/sec\n", r.Throughput)
-	if len(r.RTTs) > 0 {
-		fmt.Printf("  median RTT  %v\n", r.MedianRTT())
+	if rep.P50 > 0 {
+		// Percentiles come from the streaming histogram the report's
+		// telemetry aggregator fed during the run.
+		fmt.Printf("  p50/p95/p99 %v / %v / %v\n", rep.P50, rep.P95, rep.P99)
 	}
+	fmt.Printf("  timeline    %d rollup point(s)\n", len(rep.Timeline))
 	if len(spec.Faults) > 0 {
 		fmt.Printf("  faults      %d flaps fired, %d connections reset\n",
 			rep.Faults.Flaps, rep.Faults.Resets)

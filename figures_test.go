@@ -21,6 +21,7 @@ import (
 	"ds2hpc/internal/core"
 	"ds2hpc/internal/metrics"
 	"ds2hpc/internal/scenario"
+	"ds2hpc/internal/telemetry"
 	"ds2hpc/internal/workload"
 )
 
@@ -143,8 +144,8 @@ func TestFig5RTTCDF(t *testing.T) {
 		t.Run(string(arch), func(t *testing.T) {
 			res := testPoint(t, testSpec(arch, workload.Dstream, "work-sharing-feedback", testConsumers))
 			want := testConsumers * testMessages
-			if len(res.RTTs) != want {
-				t.Fatalf("RTT samples = %d, want %d", len(res.RTTs), want)
+			if res.RTTCount() != int64(want) {
+				t.Fatalf("RTT samples = %d, want %d", res.RTTCount(), want)
 			}
 			cdf := res.CDF(4)
 			if len(cdf) == 0 {
@@ -206,8 +207,8 @@ func TestFig7bBroadcastGatherRTT(t *testing.T) {
 			res := testPoint(t, testSpec(arch, workload.Generic, "broadcast-gather", testConsumers))
 			// One gathered reply (and one RTT sample) per consumer per msg.
 			want := testConsumers * testMessages
-			if len(res.RTTs) != want {
-				t.Fatalf("RTT samples = %d, want %d", len(res.RTTs), want)
+			if res.RTTCount() != int64(want) {
+				t.Fatalf("RTT samples = %d, want %d", res.RTTCount(), want)
 			}
 		})
 	}
@@ -309,6 +310,34 @@ func TestOverheadVsDTS(t *testing.T) {
 				t.Fatalf("overhead %v must be positive", ov)
 			}
 		})
+	}
+}
+
+// TestTelemetryPipeline locks in that one figure run moves the live
+// telemetry subsystem end to end: broker probes count publishes and
+// track peak queue depth, the engine's per-role counters advance, RTT
+// samples stream into the process-wide histogram, and the Prometheus
+// exposition renders it all.
+func TestTelemetryPipeline(t *testing.T) {
+	before := telemetry.Default.Snapshot()
+	testPoint(t, testSpec(core.DTS, workload.Dstream, "work-sharing-feedback", testConsumers))
+	after := telemetry.Default.Snapshot()
+
+	if d := after.Counters["broker.published"] - before.Counters["broker.published"]; d <= 0 {
+		t.Errorf("broker.published moved by %d", d)
+	}
+	if d := after.Counters[`pattern.consumed{role=fcons}`] - before.Counters[`pattern.consumed{role=fcons}`]; d <= 0 {
+		t.Errorf("per-role consumed counter moved by %d (keys: %v)", d, len(after.Counters))
+	}
+	if after.Watermarks["broker.queue_depth_peak"] <= 0 {
+		t.Error("no peak queue depth recorded")
+	}
+	rtts := after.Histograms["rtt_ns"]
+	if rtts == nil || rtts.Count <= before.Histograms["rtt_ns"].Count {
+		t.Error("RTT histogram did not grow")
+	}
+	if after.Gauges[`pattern.inflight{role=prod}`] != 0 {
+		t.Errorf("in-flight gauge did not drain: %d", after.Gauges[`pattern.inflight{role=prod}`])
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"testing/quick"
 	"time"
 
+	"ds2hpc/internal/telemetry"
 	"ds2hpc/internal/wire"
 )
 
@@ -243,6 +244,36 @@ func TestVHostDeleteQueueCleansBindings(t *testing.T) {
 	}
 	if n, err := vh.Publish("", "dq", msg("x")); err != nil || n != 0 {
 		t.Fatalf("publish to deleted queue: n=%d err=%v", n, err)
+	}
+}
+
+// TestVHostQueueTelemetryLifecycle checks a declared queue's telemetry
+// exports appear, track the queue, and disappear on delete (no stale
+// series pinning dead queues).
+func TestVHostQueueTelemetryLifecycle(t *testing.T) {
+	vh := NewVHost("/")
+	if _, err := vh.DeclareQueue("tele-q", false, false, false, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := vh.Publish("", "tele-q", msg("x")); err != nil {
+		t.Fatal(err)
+	}
+	snap := telemetry.Default.Snapshot()
+	if snap.Gauges[`broker.queue_depth{queue=tele-q}`] != 1 {
+		t.Fatalf("depth gauge = %d", snap.Gauges[`broker.queue_depth{queue=tele-q}`])
+	}
+	if snap.Counters[`broker.queue_published{queue=tele-q}`] != 1 {
+		t.Fatalf("published counter = %d", snap.Counters[`broker.queue_published{queue=tele-q}`])
+	}
+	if _, err := vh.DeleteQueue("tele-q", false, false); err != nil {
+		t.Fatal(err)
+	}
+	snap = telemetry.Default.Snapshot()
+	if _, ok := snap.Gauges[`broker.queue_depth{queue=tele-q}`]; ok {
+		t.Fatal("depth gauge survived queue delete")
+	}
+	if _, ok := snap.Counters[`broker.queue_published{queue=tele-q}`]; ok {
+		t.Fatal("published counter survived queue delete")
 	}
 }
 

@@ -3,7 +3,41 @@ package broker
 import (
 	"errors"
 	"sync"
+	"sync/atomic"
+
+	"ds2hpc/internal/telemetry"
 )
+
+// Broker-wide telemetry probes. Each queue captures its own counter
+// shard at construction, so the per-message updates below stay one
+// uncontended atomic add even with many queues publishing at once.
+var (
+	telPublished = telemetry.Default.Counter("broker.published")
+	telDelivered = telemetry.Default.Counter("broker.delivered")
+	telAcked     = telemetry.Default.Counter("broker.acked")
+	telRequeued  = telemetry.Default.Counter("broker.requeued")
+	telDepthPeak = telemetry.Default.Watermark("broker.queue_depth_peak")
+
+	queueSeq atomic.Int64 // round-robin shard assignment for new queues
+)
+
+// queueTel is a queue's captured shard set.
+type queueTel struct {
+	published *telemetry.CounterShard
+	delivered *telemetry.CounterShard
+	acked     *telemetry.CounterShard
+	requeued  *telemetry.CounterShard
+}
+
+func newQueueTel() queueTel {
+	i := int(queueSeq.Add(1))
+	return queueTel{
+		published: telPublished.Shard(i),
+		delivered: telDelivered.Shard(i),
+		acked:     telAcked.Shard(i),
+		requeued:  telRequeued.Shard(i),
+	}
+}
 
 // Overflow policies (RabbitMQ classic-queue x-overflow argument). The paper
 // sets "reject-publish" so producers can detect backpressure and republish.
@@ -77,6 +111,7 @@ type Queue struct {
 	onBytes func(deltaBytes int64)
 
 	stats QueueStats
+	tel   queueTel
 }
 
 // QueueStats are cumulative counters exposed for tests and metrics.
@@ -94,7 +129,7 @@ func NewQueue(name string, limits QueueLimits) *Queue {
 	if limits.Overflow == "" {
 		limits.Overflow = OverflowDropHead
 	}
-	return &Queue{Name: name, Limits: limits}
+	return &Queue{Name: name, Limits: limits, tel: newQueueTel()}
 }
 
 // Len reports the number of ready messages.
@@ -148,6 +183,7 @@ func (q *Queue) Publish(m *Message) error {
 	}
 	q.pushLocked(m)
 	q.stats.Published++
+	q.tel.published.Inc()
 	q.pumpLocked()
 	return nil
 }
@@ -162,6 +198,7 @@ func (q *Queue) Get() (m *Message, remaining int, ok bool) {
 	}
 	m = q.popLocked()
 	q.stats.Delivered++
+	q.tel.delivered.Inc()
 	return m, q.lenLocked(), true
 }
 
@@ -213,6 +250,8 @@ func (q *Queue) requeueLocked(m *Message) {
 		q.onBytes(m.size())
 	}
 	q.stats.Requeued++
+	q.tel.requeued.Inc()
+	telDepthPeak.Record(int64(q.lenLocked()))
 }
 
 // AddConsumer registers a consumer with the given prefetch limit (0 means
@@ -272,6 +311,7 @@ func (q *Queue) AckN(c *consumer, n int) {
 		c.credit += n
 	}
 	q.stats.Acked += uint64(n)
+	q.tel.acked.Add(int64(n))
 	q.pumpLocked()
 }
 
@@ -342,6 +382,7 @@ func (q *Queue) pushLocked(m *Message) {
 	if q.onBytes != nil {
 		q.onBytes(m.size())
 	}
+	telDepthPeak.Record(int64(q.lenLocked()))
 }
 
 func (q *Queue) popLocked() *Message {
@@ -374,6 +415,7 @@ func (q *Queue) pumpLocked() {
 			c.credit--
 		}
 		q.stats.Delivered++
+		q.tel.delivered.Inc()
 		c.outbox <- delivery{msg: m}
 	}
 }

@@ -9,7 +9,14 @@ import (
 	"time"
 
 	"ds2hpc/internal/netem"
+	"ds2hpc/internal/telemetry"
 	"ds2hpc/internal/wire"
+)
+
+// Process-wide connection telemetry across all broker nodes.
+var (
+	telConnsAccepted = telemetry.Default.Counter("broker.connections_accepted")
+	telConnsOpen     = telemetry.Default.Gauge("broker.connections_open")
 )
 
 // Config configures a broker server (one RabbitMQ-like node).
@@ -129,6 +136,7 @@ func (s *Server) acceptLoop() {
 			return
 		}
 		s.Stats.ConnectionsAccepted.Add(1)
+		telConnsAccepted.Inc()
 		sc := newSrvConn(s, c)
 		s.mu.Lock()
 		if s.closed {
@@ -138,6 +146,7 @@ func (s *Server) acceptLoop() {
 		}
 		s.conns[sc] = struct{}{}
 		s.mu.Unlock()
+		telConnsOpen.Add(1)
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
@@ -145,6 +154,7 @@ func (s *Server) acceptLoop() {
 			s.mu.Lock()
 			delete(s.conns, sc)
 			s.mu.Unlock()
+			telConnsOpen.Add(-1)
 		}()
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"ds2hpc/internal/telemetry"
 	"ds2hpc/internal/wire"
 )
 
@@ -173,6 +174,11 @@ func (vh *VHost) DeclareQueue(name string, exclusive, autoDelete, passive bool, 
 	q.AutoDelete = autoDelete
 	q.onBytes = func(d int64) { vh.totalBytes.Add(d) }
 	s.m[name] = q
+	// Export per-queue depth and rate sources, read only at telemetry
+	// snapshot time. Re-declaring a queue name (a later deployment in
+	// the same process) replaces the callbacks, so exports always
+	// reflect the live queue.
+	registerQueueTelemetry(q)
 	// Implicit default-exchange binding, under the registry shard lock so
 	// a concurrent DeleteQueue cannot slip between insert and bind and
 	// leave a dangling binding to a deleted queue. Lock order (queue
@@ -215,6 +221,7 @@ func (vh *VHost) DeleteQueue(name string, ifUnused, ifEmpty bool) (int, error) {
 	n := q.Len()
 	delete(s.m, name)
 	s.mu.Unlock()
+	unregisterQueueTelemetry(name)
 	for i := range vh.exchanges {
 		es := &vh.exchanges[i]
 		rlockShard(&es.mu)
@@ -229,6 +236,28 @@ func (vh *VHost) DeleteQueue(name string, ifUnused, ifEmpty bool) (int, error) {
 	}
 	q.markDeleted()
 	return n, nil
+}
+
+// registerQueueTelemetry exports a queue's depth and rate sources, read
+// only at telemetry snapshot time. Re-declaring a queue name (a later
+// deployment in the same process) replaces the callbacks, and
+// DeleteQueue unregisters them, so exports always reflect live queues
+// and closures never pin deleted ones.
+func registerQueueTelemetry(q *Queue) {
+	tag := "queue=" + q.Name
+	telemetry.Default.GaugeFunc("broker.queue_depth", func() int64 { return int64(q.Len()) }, tag)
+	telemetry.Default.CounterFunc("broker.queue_published", func() int64 { return int64(q.Stats().Published) }, tag)
+	telemetry.Default.CounterFunc("broker.queue_acked", func() int64 { return int64(q.Stats().Acked) }, tag)
+	telemetry.Default.CounterFunc("broker.queue_requeued", func() int64 { return int64(q.Stats().Requeued) }, tag)
+}
+
+// unregisterQueueTelemetry drops a deleted queue's export callbacks.
+func unregisterQueueTelemetry(name string) {
+	tag := "queue=" + name
+	telemetry.Default.Unregister("broker.queue_depth", tag)
+	telemetry.Default.Unregister("broker.queue_published", tag)
+	telemetry.Default.Unregister("broker.queue_acked", tag)
+	telemetry.Default.Unregister("broker.queue_requeued", tag)
 }
 
 // routeScratch pools the per-publish queue slice so steady-state routing

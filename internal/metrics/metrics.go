@@ -3,95 +3,106 @@
 // per-message round-trip time — plus the derived streaming overhead of an
 // architecture relative to the DTS baseline and the RTT CDFs of Figures 5
 // and 8.
+//
+// The Collector is built on internal/telemetry probes: counts are sharded
+// atomic counters and RTTs stream into a fixed-bucket log-scale histogram,
+// so recording is mutex-free on the hot path and memory stays bounded no
+// matter how many messages a run moves. Percentiles, CDFs and
+// fraction-under queries all read from the histogram's buckets, within one
+// bucket width (~3% relative) of the exact sorted-sample statistics the
+// figures were originally computed from.
 package metrics
 
 import (
 	"fmt"
 	"math"
-	"sort"
-	"sync"
+	"sync/atomic"
 	"time"
+
+	"ds2hpc/internal/telemetry"
 )
 
 // RTTSample is one per-message round-trip measurement.
 type RTTSample = time.Duration
 
+// rttHist mirrors every recorded RTT into the process-wide telemetry
+// registry, so exporters (and the bench snapshot) see the cumulative
+// tail-latency distribution across all runs.
+var rttHist = telemetry.Default.Histogram("rtt_ns")
+
 // Collector accumulates RTT samples and message counts concurrently.
+// All recording paths are lock-free; Snapshot freezes a Result.
 type Collector struct {
-	mu       sync.Mutex
-	rtts     []time.Duration
-	consumed int64
-	produced int64
-	errors   int64
-	start    time.Time
-	end      time.Time
+	consumed telemetry.Counter
+	produced telemetry.Counter
+	errors   telemetry.Counter
+	rtt      telemetry.Histogram
+	startNs  atomic.Int64
+	endNs    atomic.Int64
 }
 
 // NewCollector creates an empty collector.
 func NewCollector() *Collector { return &Collector{} }
 
 // Start marks the experiment start time.
-func (c *Collector) Start() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.start = time.Now()
-}
+func (c *Collector) Start() { c.startNs.Store(time.Now().UnixNano()) }
 
 // Stop marks the experiment end time.
-func (c *Collector) Stop() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.end = time.Now()
-}
+func (c *Collector) Stop() { c.endNs.Store(time.Now().UnixNano()) }
 
 // AddRTT records one round-trip sample.
 func (c *Collector) AddRTT(d time.Duration) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.rtts = append(c.rtts, d)
+	c.rtt.Record(int64(d))
+	rttHist.Record(int64(d))
 }
 
 // AddConsumed counts delivered messages.
-func (c *Collector) AddConsumed(n int64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.consumed += n
-}
+func (c *Collector) AddConsumed(n int64) { c.consumed.Add(n) }
 
 // AddProduced counts published messages.
-func (c *Collector) AddProduced(n int64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.produced += n
-}
+func (c *Collector) AddProduced(n int64) { c.produced.Add(n) }
 
 // AddError counts failures (rejected publishes, timeouts).
-func (c *Collector) AddError() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.errors++
-}
+func (c *Collector) AddError() { c.errors.Inc() }
+
+// ConsumedShard returns a per-instance shard of the consumed counter so
+// concurrent consumer loops increment disjoint cache lines; capture it
+// once at loop setup.
+func (c *Collector) ConsumedShard(i int) *telemetry.CounterShard { return c.consumed.Shard(i) }
+
+// ProducedShard is the producer-side counterpart of ConsumedShard.
+func (c *Collector) ProducedShard(i int) *telemetry.CounterShard { return c.produced.Shard(i) }
+
+// ConsumedTotal reads the live consumed count (telemetry observers poll
+// this while a run is in flight).
+func (c *Collector) ConsumedTotal() int64 { return c.consumed.Load() }
+
+// ProducedTotal reads the live produced count.
+func (c *Collector) ProducedTotal() int64 { return c.produced.Load() }
+
+// ErrorsTotal reads the live error count.
+func (c *Collector) ErrorsTotal() int64 { return c.errors.Load() }
 
 // Snapshot freezes the collector into a Result.
 func (c *Collector) Snapshot() *Result {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	end := c.end
-	if end.IsZero() {
-		end = time.Now()
+	end := c.endNs.Load()
+	if end == 0 {
+		end = time.Now().UnixNano()
 	}
-	dur := end.Sub(c.start)
+	var dur time.Duration
+	if start := c.startNs.Load(); start != 0 && end > start {
+		dur = time.Duration(end - start)
+	}
 	r := &Result{
 		Duration: dur,
-		Consumed: c.consumed,
-		Produced: c.produced,
-		Errors:   c.errors,
-		RTTs:     append([]time.Duration(nil), c.rtts...),
+		Consumed: c.consumed.Load(),
+		Produced: c.produced.Load(),
+		Errors:   c.errors.Load(),
+		RTT:      c.rtt.Snapshot(),
 	}
 	if dur > 0 {
-		r.Throughput = float64(c.consumed) / dur.Seconds()
+		r.Throughput = float64(r.Consumed) / dur.Seconds()
 	}
-	sort.Slice(r.RTTs, func(i, j int) bool { return r.RTTs[i] < r.RTTs[j] })
 	return r
 }
 
@@ -101,29 +112,27 @@ type Result struct {
 	Consumed   int64
 	Produced   int64
 	Errors     int64
-	Throughput float64         // aggregate msgs/sec across all consumers
-	RTTs       []time.Duration // sorted ascending
+	Throughput float64 // aggregate msgs/sec across all consumers
+	// RTT is the streaming histogram of round-trip samples (ns);
+	// percentile and CDF queries read from its buckets.
+	RTT *telemetry.HistSnapshot
+}
+
+// RTTCount reports the number of recorded round-trip samples.
+func (r *Result) RTTCount() int64 {
+	if r.RTT == nil {
+		return 0
+	}
+	return r.RTT.Count
 }
 
 // MedianRTT returns the 50th percentile RTT (0 if no samples).
 func (r *Result) MedianRTT() time.Duration { return r.PercentileRTT(50) }
 
-// PercentileRTT returns the p-th percentile RTT using nearest-rank.
+// PercentileRTT returns the p-th percentile RTT from the histogram
+// buckets — within one bucket width of the exact nearest-rank sample.
 func (r *Result) PercentileRTT(p float64) time.Duration {
-	if len(r.RTTs) == 0 {
-		return 0
-	}
-	if p <= 0 {
-		return r.RTTs[0]
-	}
-	if p >= 100 {
-		return r.RTTs[len(r.RTTs)-1]
-	}
-	rank := int(math.Ceil(p / 100 * float64(len(r.RTTs))))
-	if rank < 1 {
-		rank = 1
-	}
-	return r.RTTs[rank-1]
+	return time.Duration(r.RTT.Quantile(p))
 }
 
 // CDFPoint is one point of an empirical CDF.
@@ -133,22 +142,15 @@ type CDFPoint struct {
 }
 
 // CDF returns up to points evenly spaced points of the RTT CDF, as plotted
-// in the paper's Figures 5 and 8.
+// in the paper's Figures 5 and 8, read from the histogram buckets.
 func (r *Result) CDF(points int) []CDFPoint {
-	n := len(r.RTTs)
-	if n == 0 || points <= 0 {
+	raw := r.RTT.CDF(points)
+	if raw == nil {
 		return nil
 	}
-	if points > n {
-		points = n
-	}
-	out := make([]CDFPoint, 0, points)
-	for i := 1; i <= points; i++ {
-		idx := i*n/points - 1
-		out = append(out, CDFPoint{
-			RTT: r.RTTs[idx],
-			P:   float64(idx+1) / float64(n),
-		})
+	out := make([]CDFPoint, len(raw))
+	for i, p := range raw {
+		out[i] = CDFPoint{RTT: time.Duration(p.V), P: p.P}
 	}
 	return out
 }
@@ -156,11 +158,7 @@ func (r *Result) CDF(points int) []CDFPoint {
 // FractionUnder reports the fraction of RTTs at or below the threshold
 // (e.g. the paper's "PRS keeps 80% of message RTTs under 0.7 seconds").
 func (r *Result) FractionUnder(d time.Duration) float64 {
-	if len(r.RTTs) == 0 {
-		return 0
-	}
-	idx := sort.Search(len(r.RTTs), func(i int) bool { return r.RTTs[i] > d })
-	return float64(idx) / float64(len(r.RTTs))
+	return r.RTT.FractionAtOrBelow(int64(d))
 }
 
 // Overhead is the paper's derived metric: how much worse `other` is than
@@ -181,13 +179,14 @@ func RTTOverhead(baseRTT, otherRTT time.Duration) float64 {
 	return float64(otherRTT) / float64(baseRTT)
 }
 
-// Merge combines run results (averaging throughput, pooling RTTs), used to
-// aggregate the paper's three runs per data point.
+// Merge combines run results (averaging throughput, merging RTT
+// histograms — exact, since all histograms share bucket boundaries),
+// used to aggregate the paper's three runs per data point.
 func Merge(runs []*Result) *Result {
 	if len(runs) == 0 {
-		return &Result{}
+		return &Result{RTT: &telemetry.HistSnapshot{}}
 	}
-	out := &Result{}
+	out := &Result{RTT: &telemetry.HistSnapshot{}}
 	var tp float64
 	for _, r := range runs {
 		out.Consumed += r.Consumed
@@ -195,11 +194,10 @@ func Merge(runs []*Result) *Result {
 		out.Errors += r.Errors
 		out.Duration += r.Duration
 		tp += r.Throughput
-		out.RTTs = append(out.RTTs, r.RTTs...)
+		out.RTT.Merge(r.RTT)
 	}
 	out.Throughput = tp / float64(len(runs))
 	out.Duration /= time.Duration(len(runs))
-	sort.Slice(out.RTTs, func(i, j int) bool { return out.RTTs[i] < out.RTTs[j] })
 	return out
 }
 

@@ -4,6 +4,8 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"ds2hpc/internal/telemetry"
 )
 
 // Counter is a monotonically increasing, concurrency-safe event counter.
@@ -48,6 +50,12 @@ func (r *Registry) Counter(name string) *Counter {
 	if !ok {
 		c = &Counter{}
 		r.counters[name] = c
+		// Mirror process-wide hot-path counters into the telemetry
+		// registry, so the Prometheus/JSON exporters and the bench
+		// snapshot see them without double instrumentation.
+		if r == Default {
+			telemetry.Default.CounterFunc(name, func() int64 { return int64(c.Load()) })
+		}
 	}
 	return c
 }

@@ -11,6 +11,7 @@ import (
 
 	"ds2hpc/internal/amqp"
 	"ds2hpc/internal/metrics"
+	"ds2hpc/internal/telemetry"
 	"ds2hpc/internal/workload"
 )
 
@@ -303,6 +304,20 @@ func Run(ctx context.Context, name string, cfg Config) (*metrics.Result, error) 
 	return g.Run(ctx, cfg)
 }
 
+// engineProbes bundles the telemetry wiring of one run: the registry
+// the per-role probes live in, the producer's in-flight gauge, and the
+// confirm-latency histogram. Probes are resolved once per run; role
+// loops capture shards so the per-event cost is one atomic add.
+type engineProbes struct {
+	registry *telemetry.Registry
+	inflight *telemetry.Gauge
+	// countingInflight selects how the in-flight gauge drains: counted
+	// deliveries when a counting role exists, completed replies
+	// otherwise (pure closed-loop patterns like feedback).
+	countingInflight bool
+	confirmLat       *telemetry.Histogram
+}
+
 // Run executes the graph under cfg.
 func (g *Graph) Run(ctx context.Context, cfg Config) (*metrics.Result, error) {
 	if err := cfg.defaults(); err != nil {
@@ -328,7 +343,18 @@ func (g *Graph) Run(ctx context.Context, cfg Config) (*metrics.Result, error) {
 		}
 	}
 
-	col := metrics.NewCollector()
+	col := cfg.Collector
+	if col == nil {
+		col = metrics.NewCollector()
+	}
+	ep := &engineProbes{registry: cfg.probes()}
+	ep.inflight = ep.registry.Gauge("pattern.inflight", "role="+topo.Producer.Name)
+	ep.confirmLat = ep.registry.Histogram("pattern.confirm_latency_ns")
+	for _, role := range topo.Consumers {
+		if role.Counts {
+			ep.countingInflight = true
+		}
+	}
 	prog := &progress{}  // counted deliveries (completion + pacing)
 	ready := &progress{} // consumer instances ready to receive
 	var replied atomic.Int64
@@ -343,7 +369,7 @@ func (g *Graph) Run(ctx context.Context, cfg Config) (*metrics.Result, error) {
 		role := role
 		for i := 0; i < role.instances(&cfg); i++ {
 			go func(i int) {
-				consumerErr <- runConsumer(ctx, &cfg, role, i, col, prog, ready, stop)
+				consumerErr <- runConsumer(ctx, &cfg, role, i, col, ep, prog, ready, stop)
 			}(i)
 		}
 	}
@@ -354,7 +380,7 @@ func (g *Graph) Run(ctx context.Context, cfg Config) (*metrics.Result, error) {
 
 	col.Start()
 	err = runClients(cfg.Producers, cfg.Workload.MPI, func(p int) error {
-		return runProducer(ctx, &cfg, topo, p, col, prog, &replied)
+		return runProducer(ctx, &cfg, topo, p, col, ep, prog, &replied)
 	})
 	if err == nil && topo.WaitConsumed > 0 {
 		err = prog.WaitAtLeast(ctx, topo.WaitConsumed)
@@ -439,7 +465,7 @@ func declareGroup(cfg Config, d Declarations) error {
 // the shared prefetch window, verify payloads, optionally reply, batch-ack,
 // and count deliveries toward completion.
 func runConsumer(ctx context.Context, cfg *Config, role ConsumerRole, i int,
-	col *metrics.Collector, prog *progress, ready *progress, stop <-chan struct{}) error {
+	col *metrics.Collector, ep *engineProbes, prog *progress, ready *progress, stop <-chan struct{}) error {
 	queue := role.Queue(i)
 	conn, ch, deliveries, err := consumerSetup(cfg, role, queue, i)
 	// The launcher blocks until every instance reports ready; signal
@@ -450,6 +476,10 @@ func runConsumer(ctx context.Context, cfg *Config, role ConsumerRole, i int,
 		return fmt.Errorf("pattern: %s %d: %w", role.Name, i, err)
 	}
 	defer conn.Close()
+
+	// Per-instance counter shards: one uncontended atomic add per event.
+	consumed := col.ConsumedShard(i)
+	roleConsumed := ep.registry.Counter("pattern.consumed", "role="+role.Name).Shard(i)
 
 	acker := &batchAcker{n: cfg.AckBatch}
 	for {
@@ -471,9 +501,11 @@ func runConsumer(ctx context.Context, cfg *Config, role ConsumerRole, i int,
 			if err := cfg.Workload.Verify(d.Body); err != nil {
 				col.AddError()
 			}
-			col.AddConsumed(1)
+			consumed.Add(1)
+			roleConsumed.Inc()
 			if role.Counts {
 				prog.Add(1)
+				ep.inflight.Add(-1)
 			}
 			if role.Reply != nil {
 				if err := publishReply(ch, role.Reply, d); err != nil {
@@ -536,8 +568,17 @@ func publishReply(ch *amqp.Channel, r *ReplySpec, d amqp.Delivery) error {
 // publish is admitted (confirm slot, closed-loop window, pacing floor) and
 // how the instance completes (confirm drain, reply budget, nothing).
 func runProducer(ctx context.Context, cfg *Config, topo *Topology, p int,
-	col *metrics.Collector, prog *progress, replied *atomic.Int64) error {
+	col *metrics.Collector, ep *engineProbes, prog *progress, replied *atomic.Int64) error {
 	role := &topo.Producer
+	produced := col.ProducedShard(p)
+	roleProduced := ep.registry.Counter("pattern.produced", "role="+role.Name).Shard(p)
+	// Each published message raises the in-flight gauge by the counted
+	// deliveries it will cause; the counting role (or the reply tally,
+	// for pure closed-loop patterns) lowers it as they land.
+	inflightPerMsg := int64(1)
+	if ep.countingInflight && role.PacePerMsg > 1 {
+		inflightPerMsg = int64(role.PacePerMsg)
+	}
 	legs := role.Legs(p)
 	if len(legs) == 0 {
 		return fmt.Errorf("pattern: %s %d: no publish legs", role.Name, p)
@@ -563,7 +604,7 @@ func runProducer(ctx context.Context, cfg *Config, topo *Topology, p int,
 		if len(legs) != 1 {
 			return fmt.Errorf("pattern: %s: confirm mode supports exactly one leg", role.Name)
 		}
-		if cw, err = newConfirmWindow(chans[0], cfg.Window); err != nil {
+		if cw, err = newConfirmWindow(chans[0], cfg.Window, ep.confirmLat); err != nil {
 			return err
 		}
 	}
@@ -575,7 +616,7 @@ func runProducer(ctx context.Context, cfg *Config, topo *Topology, p int,
 	if role.Mode == FlowClosedLoop {
 		window = make(chan struct{}, cfg.Window)
 		done = make(chan error, 1)
-		if err := drainReplies(ctx, cfg, role, p, conns, col, replied, window, done, budget*int64(perMsg)); err != nil {
+		if err := drainReplies(ctx, cfg, role, p, conns, col, ep, replied, window, done, budget*int64(perMsg)); err != nil {
 			return err
 		}
 	}
@@ -635,6 +676,7 @@ func runProducer(ctx context.Context, cfg *Config, topo *Topology, p int,
 		if err := send(seq); err != nil {
 			return err
 		}
+		ep.inflight.Add(inflightPerMsg)
 		if cw != nil {
 			// Republish anything the broker rejected under backpressure.
 			for _, again := range cw.takeNacked() {
@@ -645,7 +687,8 @@ func runProducer(ctx context.Context, cfg *Config, topo *Topology, p int,
 				}
 			}
 		}
-		col.AddProduced(1)
+		produced.Add(1)
+		roleProduced.Inc()
 	}
 
 	switch role.Mode {
@@ -687,7 +730,7 @@ func runProducer(ctx context.Context, cfg *Config, topo *Topology, p int,
 // reply stream closing mid-run (connection death) fails the producer
 // immediately rather than letting it wait out the run deadline.
 func drainReplies(ctx context.Context, cfg *Config, role *ProducerRole, p int,
-	conns []*amqp.Connection, col *metrics.Collector, replied *atomic.Int64,
+	conns []*amqp.Connection, col *metrics.Collector, ep *engineProbes, replied *atomic.Int64,
 	window chan struct{}, done chan error, want int64) error {
 	sources := role.Replies(p)
 	events := make(chan uint64, 4*cfg.Window)
@@ -726,6 +769,11 @@ func drainReplies(ctx context.Context, cfg *Config, role *ProducerRole, p int,
 			got++
 			if got%perMsg == 0 {
 				<-window
+				if !ep.countingInflight {
+					// No counting role drains the in-flight gauge for
+					// this pattern; a completed message does.
+					ep.inflight.Add(-1)
+				}
 			}
 			return got >= want
 		}

@@ -24,7 +24,9 @@ import (
 
 	"ds2hpc/internal/amqp"
 	"ds2hpc/internal/core"
+	"ds2hpc/internal/metrics"
 	"ds2hpc/internal/ranks"
+	"ds2hpc/internal/telemetry"
 	"ds2hpc/internal/workload"
 )
 
@@ -61,6 +63,22 @@ type Config struct {
 	// production, confirm drain, and the final consume wait share one
 	// deadline (default 120 s). Size it for the run, not one phase.
 	Timeout time.Duration
+	// Collector, when non-nil, receives the run's metrics — a scenario
+	// injects one it has registered with a live telemetry aggregator.
+	// Nil creates a run-private collector.
+	Collector *metrics.Collector
+	// Probes selects the telemetry registry the engine's per-role
+	// probes (produced/consumed/inflight, confirm latency) register in;
+	// nil uses telemetry.Default.
+	Probes *telemetry.Registry
+}
+
+// probes resolves the telemetry registry.
+func (c *Config) probes() *telemetry.Registry {
+	if c.Probes != nil {
+		return c.Probes
+	}
+	return telemetry.Default
 }
 
 func (c *Config) defaults() error {
@@ -159,15 +177,24 @@ func (b *batchAcker) flush() error {
 	return nil
 }
 
+// pubEntry tracks one in-flight publish: which message it carries and
+// when it left, for the confirm-latency histogram.
+type pubEntry struct {
+	msgSeq uint64
+	sentNs int64
+}
+
 // confirmWindow tracks in-flight publishes on a confirm-mode channel and
-// reports nacked sequence numbers for retry.
+// reports nacked sequence numbers for retry. Publish-to-confirm latency
+// streams into the engine's confirm-latency histogram.
 type confirmWindow struct {
 	ch       *amqp.Channel
 	confirms <-chan amqp.Confirmation
 	window   int
+	lat      *telemetry.Histogram
 
 	mu       sync.Mutex
-	inflight map[uint64]uint64 // publish seq -> message seq
+	inflight map[uint64]pubEntry // publish seq -> in-flight entry
 	nacked   []uint64
 	idle     chan struct{} // non-nil while a drain waits for an empty window
 	slots    chan struct{}
@@ -175,7 +202,7 @@ type confirmWindow struct {
 	wg       sync.WaitGroup
 }
 
-func newConfirmWindow(ch *amqp.Channel, window int) (*confirmWindow, error) {
+func newConfirmWindow(ch *amqp.Channel, window int, lat *telemetry.Histogram) (*confirmWindow, error) {
 	if err := ch.Confirm(false); err != nil {
 		return nil, err
 	}
@@ -183,7 +210,8 @@ func newConfirmWindow(ch *amqp.Channel, window int) (*confirmWindow, error) {
 		ch:       ch,
 		confirms: ch.NotifyPublish(make(chan amqp.Confirmation, 2*window)),
 		window:   window,
-		inflight: map[uint64]uint64{},
+		lat:      lat,
+		inflight: map[uint64]pubEntry{},
 		slots:    make(chan struct{}, window),
 		closed:   make(chan struct{}),
 	}
@@ -200,10 +228,10 @@ func (cw *confirmWindow) listen() {
 	defer close(cw.closed)
 	for conf := range cw.confirms {
 		cw.mu.Lock()
-		msgSeq, ok := cw.inflight[conf.DeliveryTag]
+		entry, ok := cw.inflight[conf.DeliveryTag]
 		delete(cw.inflight, conf.DeliveryTag)
 		if ok && !conf.Ack {
-			cw.nacked = append(cw.nacked, msgSeq)
+			cw.nacked = append(cw.nacked, entry.msgSeq)
 		}
 		if len(cw.inflight) == 0 && cw.idle != nil {
 			close(cw.idle)
@@ -211,6 +239,9 @@ func (cw *confirmWindow) listen() {
 		}
 		cw.mu.Unlock()
 		if ok {
+			if conf.Ack && cw.lat != nil {
+				cw.lat.Record(time.Now().UnixNano() - entry.sentNs)
+			}
 			<-cw.slots
 		}
 	}
@@ -229,7 +260,7 @@ func (cw *confirmWindow) publish(ctx context.Context, exchange, key string, msgS
 	}
 	cw.mu.Lock()
 	seq := cw.ch.GetNextPublishSeqNo()
-	cw.inflight[seq] = msgSeq
+	cw.inflight[seq] = pubEntry{msgSeq: msgSeq, sentNs: time.Now().UnixNano()}
 	cw.mu.Unlock()
 	if err := cw.ch.Publish(exchange, key, false, false, pub); err != nil {
 		cw.mu.Lock()

@@ -109,8 +109,8 @@ func TestWorkSharingFeedbackRTTs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(res.RTTs) != 30 {
-		t.Fatalf("RTT samples = %d, want 30", len(res.RTTs))
+	if res.RTTCount() != 30 {
+		t.Fatalf("RTT samples = %d, want 30", res.RTTCount())
 	}
 	if res.MedianRTT() <= 0 {
 		t.Fatal("median RTT must be positive")
@@ -154,8 +154,8 @@ func TestBroadcastGatherRepliesAndRTTs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(res.RTTs) != 24 {
-		t.Fatalf("RTT samples = %d, want 24", len(res.RTTs))
+	if res.RTTCount() != 24 {
+		t.Fatalf("RTT samples = %d, want 24", res.RTTCount())
 	}
 }
 
@@ -202,8 +202,8 @@ func TestFeedbackThroughPRS(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(res.RTTs) != 16 {
-		t.Fatalf("RTTs = %d", len(res.RTTs))
+	if res.RTTCount() != 16 {
+		t.Fatalf("RTTs = %d", res.RTTCount())
 	}
 }
 

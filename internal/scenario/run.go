@@ -4,11 +4,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"ds2hpc/internal/core"
 	"ds2hpc/internal/metrics"
 	"ds2hpc/internal/pattern"
+	"ds2hpc/internal/telemetry"
 	"ds2hpc/internal/transport"
 	"ds2hpc/internal/workload"
 )
@@ -19,6 +21,14 @@ type Report struct {
 	Spec Spec
 	// Result merges the metrics of every run; nil when Infeasible.
 	Result *metrics.Result
+	// P50, P95 and P99 are round-trip latency percentiles read from the
+	// merged streaming histogram (zero when the pattern measures none).
+	P50, P95, P99 time.Duration
+	// Timeline is the scenario's consumer-throughput time series
+	// (msgs/sec per aggregator tick, one second by default). Runs
+	// shorter than a tick still yield at least one point from the
+	// aggregator's final flush.
+	Timeline []telemetry.Point
 	// Infeasible marks configurations the architecture cannot run (the
 	// paper's missing Stunnel points beyond 16 connections).
 	Infeasible bool
@@ -27,43 +37,158 @@ type Report struct {
 	Faults transport.Stats
 }
 
+// Option tunes scenario execution (telemetry cadence, live watching).
+type Option func(*options)
+
+type options struct {
+	tick  time.Duration
+	watch func(telemetry.Tick)
+}
+
+// WithWatch installs a live rollup callback, invoked once per
+// aggregator tick with the current rates (consumed/produced msgs/sec,
+// errors, fault and reconnect counts). `streamsim scenario -watch`
+// prints these.
+func WithWatch(fn func(telemetry.Tick)) Option {
+	return func(o *options) { o.watch = fn }
+}
+
+// WithTickInterval overrides the aggregator's one-second sampling
+// period (tests use short ticks to exercise multi-point timelines).
+func WithTickInterval(d time.Duration) Option {
+	return func(o *options) { o.tick = d }
+}
+
+func buildOptions(opts []Option) options {
+	var o options
+	for _, fn := range opts {
+		fn(&o)
+	}
+	return o
+}
+
+// liveMetrics exposes a scenario's metrics to the aggregator while
+// runs are in flight: the current run's collector plus the totals of
+// completed runs. A mutex keeps the end-of-run fold atomic with
+// respect to tick reads — this is the once-per-tick sampling path, not
+// the per-message hot path, so a lock is fine and keeps the counter
+// sources monotonic (no double-count or dip around run boundaries that
+// would show up as negative rates).
+type liveMetrics struct {
+	mu           sync.Mutex
+	cur          *metrics.Collector
+	baseConsumed int64
+	baseProduced int64
+	baseErrors   int64
+}
+
+func (lm *liveMetrics) consumed() int64 {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	n := lm.baseConsumed
+	if lm.cur != nil {
+		n += lm.cur.ConsumedTotal()
+	}
+	return n
+}
+
+func (lm *liveMetrics) produced() int64 {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	n := lm.baseProduced
+	if lm.cur != nil {
+		n += lm.cur.ProducedTotal()
+	}
+	return n
+}
+
+func (lm *liveMetrics) errors() int64 {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	n := lm.baseErrors
+	if lm.cur != nil {
+		n += lm.cur.ErrorsTotal()
+	}
+	return n
+}
+
+// beginRun points the live view at a fresh collector.
+func (lm *liveMetrics) beginRun(col *metrics.Collector) {
+	lm.mu.Lock()
+	lm.cur = col
+	lm.mu.Unlock()
+}
+
+// endRun folds the finished run into the completed-run totals.
+func (lm *liveMetrics) endRun(col *metrics.Collector) {
+	lm.mu.Lock()
+	lm.baseConsumed += col.ConsumedTotal()
+	lm.baseProduced += col.ProducedTotal()
+	lm.baseErrors += col.ErrorsTotal()
+	lm.cur = nil
+	lm.mu.Unlock()
+}
+
+// observe registers the scenario's rollup sources. Process-cumulative
+// counters (reconnects, injector stats shared across a sweep) are
+// baselined at registration so the rollups report this scenario's
+// activity, not the process's lifetime totals.
+func (lm *liveMetrics) observe(agg *telemetry.Aggregator, inj *transport.Injector) {
+	agg.ObserveCounter("consumed", lm.consumed)
+	agg.ObserveCounter("produced", lm.produced)
+	agg.ObserveGauge("errors", lm.errors)
+	reconnects := metrics.Default.Counter("amqp.reconnects")
+	recBase := int64(reconnects.Load())
+	agg.ObserveGauge("reconnects", func() int64 {
+		return int64(reconnects.Load()) - recBase
+	})
+	if inj != nil {
+		injBase := inj.Stats()
+		agg.ObserveGauge("flaps", func() int64 { return int64(inj.Stats().Flaps - injBase.Flaps) })
+		agg.ObserveGauge("resets", func() int64 { return int64(inj.Stats().Resets - injBase.Resets) })
+	}
+}
+
 // Run executes the scenario end to end: validate, deploy the declared
 // architecture (with the fault injector composed into every client path
 // when the spec scripts faults), run the pattern Runs times, and merge the
 // results. The context cancels or deadline-bounds the whole scenario.
-func Run(ctx context.Context, spec Spec) (*Report, error) {
+// A telemetry aggregator runs alongside: the Report carries latency
+// percentiles and a per-second throughput timeline, and WithWatch
+// delivers each rollup live.
+func Run(ctx context.Context, spec Spec, opts ...Option) (*Report, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
-	opts := spec.options()
+	depOpts := spec.options()
 	var inj *transport.Injector
 	if len(spec.Faults) > 0 {
 		inj = transport.NewInjector()
-		opts.Faults = inj
+		depOpts.Faults = inj
 	}
-	dep, err := core.Deploy(core.ArchitectureName(spec.Deployment.Architecture), opts)
+	dep, err := core.Deploy(core.ArchitectureName(spec.Deployment.Architecture), depOpts)
 	if err != nil {
 		return nil, fmt.Errorf("scenario: deploy %s: %w", spec.Deployment.Architecture, err)
 	}
 	defer dep.Close()
-	return runOn(ctx, dep, inj, spec)
+	return runOn(ctx, dep, inj, spec, buildOptions(opts))
 }
 
 // RunOn executes the scenario's workload, pattern, counts and tuning on an
 // existing deployment (reused across the points of a sweep); the spec's
 // Deployment section is ignored. Fault scripts need the injector composed
 // at deploy time, so they are only available through Run.
-func RunOn(ctx context.Context, dep core.Deployment, spec Spec) (*Report, error) {
+func RunOn(ctx context.Context, dep core.Deployment, spec Spec, opts ...Option) (*Report, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
 	if len(spec.Faults) > 0 {
 		return nil, fmt.Errorf("%w: fault scripts require scenario.Run (the injector is composed at deploy time)", ErrBadSpec)
 	}
-	return runOn(ctx, dep, nil, spec)
+	return runOn(ctx, dep, nil, spec, buildOptions(opts))
 }
 
-func runOn(ctx context.Context, dep core.Deployment, inj *transport.Injector, spec Spec) (*Report, error) {
+func runOn(ctx context.Context, dep core.Deployment, inj *transport.Injector, spec Spec, o options) (*Report, error) {
 	w, err := spec.workload()
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadSpec, err)
@@ -85,12 +210,28 @@ func runOn(ctx context.Context, dep core.Deployment, inj *transport.Injector, sp
 		QueueBytes:          spec.Tuning.QueueBytes,
 		Timeout:             spec.timeout(),
 	}
+
+	// The aggregator spans all of the scenario's runs: the timeline is
+	// the scenario's, with completed-run totals folded into the rates.
+	lm := &liveMetrics{}
+	agg := telemetry.NewAggregator(o.tick)
+	lm.observe(agg, inj)
+	if o.watch != nil {
+		agg.OnTick(o.watch)
+	}
+	agg.Start()
+	defer agg.Stop()
+
 	var runs []*metrics.Result
 	for r := 0; r < spec.runs(); r++ {
 		if inj != nil {
 			armFaults(inj, spec, w)
 		}
+		col := metrics.NewCollector()
+		cfg.Collector = col
+		lm.beginRun(col)
 		res, err := pattern.Run(ctx, spec.Pattern, cfg)
+		lm.endRun(col)
 		if errors.Is(err, pattern.ErrInfeasible) {
 			return &Report{Spec: spec, Infeasible: true}, nil
 		}
@@ -99,7 +240,19 @@ func runOn(ctx context.Context, dep core.Deployment, inj *transport.Injector, sp
 		}
 		runs = append(runs, res)
 	}
-	rep := &Report{Spec: spec, Result: metrics.Merge(runs)}
+	agg.Stop() // final flush, so sub-tick runs still get a point
+
+	merged := metrics.Merge(runs)
+	rep := &Report{
+		Spec:     spec,
+		Result:   merged,
+		Timeline: agg.Series("consumed"),
+	}
+	if merged.RTTCount() > 0 {
+		rep.P50 = merged.PercentileRTT(50)
+		rep.P95 = merged.PercentileRTT(95)
+		rep.P99 = merged.PercentileRTT(99)
+	}
 	if inj != nil {
 		// Report the delta over this scenario's runs, not the injector's
 		// lifetime totals (a Sweep reuses one injector across points).
@@ -129,20 +282,20 @@ var ConsumerCounts = []int{1, 2, 4, 8, 16, 32, 64}
 // producers and consumers"). A fault script, when present, is re-armed
 // for every point. Points already collected are returned alongside the
 // first error.
-func Sweep(ctx context.Context, spec Spec, consumerCounts []int) ([]*Report, error) {
+func Sweep(ctx context.Context, spec Spec, consumerCounts []int, opts ...Option) ([]*Report, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
 	if len(consumerCounts) == 0 {
 		consumerCounts = ConsumerCounts
 	}
-	opts := spec.options()
+	depOpts := spec.options()
 	var inj *transport.Injector
 	if len(spec.Faults) > 0 {
 		inj = transport.NewInjector()
-		opts.Faults = inj
+		depOpts.Faults = inj
 	}
-	dep, err := core.Deploy(core.ArchitectureName(spec.Deployment.Architecture), opts)
+	dep, err := core.Deploy(core.ArchitectureName(spec.Deployment.Architecture), depOpts)
 	if err != nil {
 		return nil, fmt.Errorf("scenario: deploy %s: %w", spec.Deployment.Architecture, err)
 	}
@@ -152,6 +305,7 @@ func Sweep(ctx context.Context, spec Spec, consumerCounts []int) ([]*Report, err
 	if g, ok := pattern.Lookup(spec.Pattern); ok {
 		singleProducer = g.SingleProducer
 	}
+	o := buildOptions(opts)
 	var points []*Report
 	for _, n := range consumerCounts {
 		s := spec
@@ -161,7 +315,7 @@ func Sweep(ctx context.Context, spec Spec, consumerCounts []int) ([]*Report, err
 		} else {
 			s.Producers = n
 		}
-		rep, err := runOn(ctx, dep, inj, s)
+		rep, err := runOn(ctx, dep, inj, s, o)
 		if err != nil {
 			return points, err
 		}

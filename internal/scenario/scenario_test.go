@@ -7,9 +7,12 @@ import (
 	"errors"
 	"os"
 	"reflect"
+	"sync"
 	"testing"
+	"time"
 
 	"ds2hpc/internal/core"
+	"ds2hpc/internal/telemetry"
 )
 
 // goldenSpec is the in-memory form of testdata/spec_golden.json: every
@@ -280,5 +283,94 @@ func TestSweepScalesProducers(t *testing.T) {
 		if pt.Spec.Producers != pt.Spec.Consumers {
 			t.Fatalf("producers %d != consumers %d", pt.Spec.Producers, pt.Spec.Consumers)
 		}
+	}
+}
+
+// TestReportTelemetry covers the live-telemetry surface of a report:
+// latency percentiles from the streaming histogram and a throughput
+// timeline with at least the final-flush point, plus live watch ticks.
+func TestReportTelemetry(t *testing.T) {
+	var mu sync.Mutex
+	var ticks []telemetry.Tick
+	rep, err := Run(context.Background(), Spec{
+		Name: "telemetry-smoke",
+		Deployment: Deployment{
+			Architecture:         "DTS",
+			FabricScale:          0.2,
+			DisableClientShaping: true,
+			FastControlPlane:     true,
+		},
+		Workload:            Workload{Name: "Dstream", PayloadBytes: 2048},
+		Pattern:             "work-sharing-feedback",
+		Producers:           2,
+		Consumers:           2,
+		MessagesPerProducer: 6,
+		Tuning:              Tuning{Window: 2},
+		TimeoutMS:           30000,
+	},
+		WithTickInterval(5*time.Millisecond),
+		WithWatch(func(tk telemetry.Tick) {
+			mu.Lock()
+			ticks = append(ticks, tk)
+			mu.Unlock()
+		}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.P50 <= 0 || rep.P95 < rep.P50 || rep.P99 < rep.P95 {
+		t.Fatalf("percentiles not ordered: p50=%v p95=%v p99=%v", rep.P50, rep.P95, rep.P99)
+	}
+	if len(rep.Timeline) == 0 {
+		t.Fatal("no throughput timeline")
+	}
+	var total float64
+	for i, p := range rep.Timeline {
+		if p.V < 0 {
+			t.Fatalf("negative rate at %d: %+v", i, p)
+		}
+		total += p.V
+	}
+	if total <= 0 {
+		t.Fatal("timeline recorded no throughput")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(ticks) == 0 {
+		t.Fatal("watch callback never fired")
+	}
+	last := ticks[len(ticks)-1]
+	for _, key := range []string{"consumed", "produced", "errors", "reconnects"} {
+		if _, ok := last.Values[key]; !ok {
+			t.Fatalf("rollup missing %q: %+v", key, last.Values)
+		}
+	}
+}
+
+// TestReportTimelineWithoutOptions checks the default path (no watch,
+// one-second ticks): a sub-second run still yields a final-flush point.
+func TestReportTimelineWithoutOptions(t *testing.T) {
+	rep, err := Run(context.Background(), Spec{
+		Deployment: Deployment{
+			Architecture:         "DTS",
+			FabricScale:          0.2,
+			DisableClientShaping: true,
+			FastControlPlane:     true,
+		},
+		Workload:            Workload{Name: "Dstream", PayloadBytes: 2048},
+		Pattern:             "work-sharing",
+		Producers:           1,
+		Consumers:           1,
+		MessagesPerProducer: 4,
+		TimeoutMS:           30000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Timeline) == 0 {
+		t.Fatal("sub-second run must still produce a timeline point")
+	}
+	if rep.Timeline[len(rep.Timeline)-1].V <= 0 {
+		t.Fatalf("final flush rate = %v", rep.Timeline[len(rep.Timeline)-1].V)
 	}
 }

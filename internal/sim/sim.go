@@ -22,6 +22,7 @@ import (
 	"ds2hpc/internal/metrics"
 	"ds2hpc/internal/pattern"
 	"ds2hpc/internal/scenario"
+	"ds2hpc/internal/telemetry"
 	"ds2hpc/internal/workload"
 )
 
@@ -131,6 +132,11 @@ func (e Experiment) spec() scenario.Spec {
 type Point struct {
 	Experiment Experiment
 	Result     *metrics.Result
+	// P50, P95, P99 are round-trip percentiles from the scenario
+	// report's streaming histogram (zero for patterns without RTTs).
+	P50, P95, P99 time.Duration
+	// Timeline is the per-tick consumer-throughput rollup of the runs.
+	Timeline []telemetry.Point
 	// Infeasible marks configurations the architecture cannot run (the
 	// paper's missing Stunnel points beyond 16 consumers).
 	Infeasible bool
@@ -162,7 +168,15 @@ func RunOn(dep core.Deployment, exp Experiment) (*Point, error) {
 		}
 		return nil, fmt.Errorf("sim: %w", err)
 	}
-	return &Point{Experiment: exp, Result: rep.Result, Infeasible: rep.Infeasible}, nil
+	return &Point{
+		Experiment: exp,
+		Result:     rep.Result,
+		P50:        rep.P50,
+		P95:        rep.P95,
+		P99:        rep.P99,
+		Timeline:   rep.Timeline,
+		Infeasible: rep.Infeasible,
+	}, nil
 }
 
 // ConsumerCounts is the x-axis of every figure: 1-64 consumers.

@@ -51,8 +51,8 @@ func TestRunFeedbackCollectsRTTs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(pt.Result.RTTs) != 32 {
-		t.Fatalf("RTTs %d", len(pt.Result.RTTs))
+	if pt.Result.RTTCount() != 32 {
+		t.Fatalf("RTTs %d", pt.Result.RTTCount())
 	}
 }
 
@@ -207,8 +207,8 @@ func TestCoordinatorProtocol(t *testing.T) {
 	if res.Consumed != 20 || res.Produced != 20 {
 		t.Fatalf("aggregate %+v", res)
 	}
-	if len(res.RTTs) != 4 {
-		t.Fatalf("RTTs %d", len(res.RTTs))
+	if res.RTTCount() != 4 {
+		t.Fatalf("RTTs %d", res.RTTCount())
 	}
 }
 

@@ -1,0 +1,45 @@
+package telemetry
+
+import "testing"
+
+// TestAllocsProbeUpdates locks in the telemetry hot-path contract the
+// wire/broker alloc tests set for their paths: steady-state probe
+// updates — counter shard adds, gauge moves, watermark records,
+// histogram records — are alloc-free (and, by construction, mutex-free:
+// every update is atomic operations only).
+func TestAllocsProbeUpdates(t *testing.T) {
+	c := &Counter{}
+	sh := c.Shard(3)
+	g := &Gauge{}
+	w := &Watermark{}
+	h := &Histogram{}
+	var v int64
+	got := testing.AllocsPerRun(200, func() {
+		v++
+		sh.Add(1)
+		c.Add(1)
+		g.Add(1)
+		w.Record(v)
+		h.Record(v * 1000)
+	})
+	if got > 0 {
+		t.Fatalf("probe updates allocate %.1f objects/op, want 0", got)
+	}
+}
+
+// TestAllocsRegistryCapturedProbes verifies the intended usage: after
+// capturing probes from the registry once, the per-event path does not
+// touch the registry and allocates nothing.
+func TestAllocsRegistryCapturedProbes(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("pattern.consumed", "role=worker")
+	h := r.Histogram("rtt_ns")
+	sh := c.Shard(0)
+	got := testing.AllocsPerRun(200, func() {
+		sh.Inc()
+		h.Record(250_000)
+	})
+	if got > 0 {
+		t.Fatalf("captured-probe updates allocate %.1f objects/op, want 0", got)
+	}
+}

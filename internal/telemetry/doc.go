@@ -1,0 +1,49 @@
+// Package telemetry is the live observability subsystem: lock-free
+// instrumentation probes, a tick-driven time-series aggregator, and
+// exporters, so a cross-facility streaming run can be watched while it
+// happens instead of summarized after it ends.
+//
+// The pipeline has three stages, in the style of the datadog-agent
+// aggregator:
+//
+//	probes ──► aggregator ──► exporters
+//
+// # Probes
+//
+// Probes are the hot-path primitives. All of them update with atomic
+// operations only — no mutex, no allocation — so they can sit on the
+// broker publish path or a consumer delivery loop:
+//
+//   - Counter: a monotonic event counter. Hot goroutines capture a
+//     Shard once and add to it, spreading contended increments across
+//     cache-line-padded slots; Load sums the shards.
+//   - Gauge: an instantaneous level (queue depth, in-flight messages).
+//   - Watermark: a monotonic maximum (peak queue depth).
+//   - Histogram: a fixed-bucket log-linear streaming histogram of
+//     int64 values (nanoseconds, bytes). Memory is bounded (~15 KiB)
+//     regardless of sample count, snapshots are mergeable, and
+//     percentiles/CDFs are extracted from bucket boundaries with a
+//     relative error of at most one bucket width (~3%).
+//
+// A Registry names probes (optionally with key=value tags) and hands
+// out stable pointers; Default is the process-wide registry. GaugeFunc
+// and CounterFunc register read-at-export callbacks for values another
+// subsystem already maintains (a queue's depth, an atomic server stat).
+//
+// # Aggregator
+//
+// An Aggregator snapshots observed sources on a tick (1s by default)
+// into ring-buffered time series: counters become per-second rates,
+// gauges become levels. Stop performs a final partial tick so runs
+// shorter than one interval still produce a data point. An OnTick
+// callback delivers each rollup live — this is what `streamsim
+// scenario -watch` prints.
+//
+// # Exporters
+//
+// Registry.Snapshot freezes every probe into a JSON-serializable
+// Snapshot; WritePrometheus renders a snapshot in the Prometheus text
+// exposition format (histograms as cumulative le-buckets). Serve
+// exposes both from an opt-in HTTP endpoint: GET /metrics and
+// GET /snapshot.json.
+package telemetry

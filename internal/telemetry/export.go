@@ -1,0 +1,133 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// promName sanitizes a metric name into the Prometheus charset
+// ([a-zA-Z_:][a-zA-Z0-9_:]*): dots and other separators become
+// underscores.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if !ok {
+			r = '_'
+		}
+		b.WriteRune(r)
+	}
+	return b.String()
+}
+
+// splitKey splits a rendered identity "name{k=v,...}" into its metric
+// name and tag list.
+func splitKey(key string) (name string, tags []string) {
+	i := strings.IndexByte(key, '{')
+	if i < 0 {
+		return key, nil
+	}
+	name = key[:i]
+	body := strings.TrimSuffix(key[i+1:], "}")
+	if body != "" {
+		tags = strings.Split(body, ",")
+	}
+	return name, tags
+}
+
+// promLabels renders a tag list (plus optional extra "k=v" pairs) as a
+// Prometheus label block, empty string for no labels.
+func promLabels(tags []string, extra ...string) string {
+	all := append(append([]string(nil), tags...), extra...)
+	if len(all) == 0 {
+		return ""
+	}
+	parts := make([]string, 0, len(all))
+	for _, t := range all {
+		k, v, _ := strings.Cut(t, "=")
+		parts = append(parts, fmt.Sprintf("%s=%q", promName(k), v))
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text
+// exposition format (version 0.0.4): counters and watermarks as
+// counter/gauge samples, histograms as cumulative le-buckets with _sum
+// and _count. Output is deterministic: metrics sort by identity.
+func (s *Snapshot) WritePrometheus(w io.Writer) error {
+	typed := map[string]bool{}
+	emitType := func(name, kind string) error {
+		if typed[name] {
+			return nil
+		}
+		typed[name] = true
+		_, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, kind)
+		return err
+	}
+	for _, key := range sortedKeys(s.Counters) {
+		name, tags := splitKey(key)
+		pn := promName(name)
+		if err := emitType(pn, "counter"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s%s %d\n", pn, promLabels(tags), s.Counters[key]); err != nil {
+			return err
+		}
+	}
+	for _, key := range sortedKeys(s.Gauges) {
+		name, tags := splitKey(key)
+		pn := promName(name)
+		if err := emitType(pn, "gauge"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s%s %d\n", pn, promLabels(tags), s.Gauges[key]); err != nil {
+			return err
+		}
+	}
+	for _, key := range sortedKeys(s.Watermarks) {
+		name, tags := splitKey(key)
+		pn := promName(name)
+		if err := emitType(pn, "gauge"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s%s %d\n", pn, promLabels(tags), s.Watermarks[key]); err != nil {
+			return err
+		}
+	}
+	for _, key := range sortedKeys(s.Histograms) {
+		name, tags := splitKey(key)
+		pn := promName(name)
+		h := s.Histograms[key]
+		if err := emitType(pn, "histogram"); err != nil {
+			return err
+		}
+		var cum int64
+		for _, b := range h.Buckets {
+			cum += b.Count
+			le := fmt.Sprintf("le=%d", b.Upper)
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", pn, promLabels(tags, le), cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", pn, promLabels(tags, "le=+Inf"), h.Count); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %d\n", pn, promLabels(tags), h.Sum); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_count%s %d\n", pn, promLabels(tags), h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WritePrometheus snapshots the registry and renders it; see
+// Snapshot.WritePrometheus.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	return r.Snapshot().WritePrometheus(w)
+}

@@ -1,0 +1,152 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenSnapshot builds a deterministic registry covering every probe
+// type, the stable surface the golden file locks in.
+func goldenSnapshot() *Snapshot {
+	r := NewRegistry()
+	r.Counter("broker.published", `queue=ws-q-0`).Add(128)
+	r.Counter("broker.published", `queue=ws-q-1`).Add(64)
+	r.Counter("transport.relay_bytes").Add(1 << 20)
+	r.Gauge("pattern.inflight", "role=producer").Set(8)
+	r.GaugeFunc("broker.queue_depth", func() int64 { return 5 }, `queue=ws-q-0`)
+	r.Watermark("broker.queue_depth_peak").Record(42)
+	h := r.Histogram("rtt_ns")
+	for _, v := range []int64{1000, 1000, 2500, 40000, 40000, 40000, 900000} {
+		h.Record(v)
+	}
+	return r.Snapshot()
+}
+
+// TestPrometheusGolden locks in the exposition format: stable metric
+// names, labels, ordering, and histogram bucket rendering.
+func TestPrometheusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenSnapshot().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "prometheus.golden")
+	if *update {
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/telemetry -update` to create)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("prometheus exposition drifted from golden:\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+func TestPrometheusCumulativeBuckets(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenSnapshot().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// le-bucket counts must be cumulative and capped by _count.
+	var last int64 = -1
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "rtt_ns_bucket") {
+			continue
+		}
+		var n int64
+		if _, err := fmt.Sscanf(line[strings.LastIndexByte(line, ' ')+1:], "%d", &n); err != nil {
+			t.Fatalf("parse %q: %v", line, err)
+		}
+		if n < last {
+			t.Fatalf("buckets not cumulative at %q", line)
+		}
+		last = n
+	}
+	if !strings.Contains(out, `rtt_ns_bucket{le="+Inf"} 7`) {
+		t.Fatalf("missing +Inf bucket:\n%s", out)
+	}
+	if !strings.Contains(out, "rtt_ns_count 7") {
+		t.Fatalf("missing _count:\n%s", out)
+	}
+}
+
+// TestSnapshotJSONRoundTrip locks in that a snapshot survives
+// marshal/unmarshal intact — the contract benchsnap and the HTTP
+// endpoint rely on.
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	s := goldenSnapshot()
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s, &back) {
+		t.Fatalf("round trip drifted:\n%+v\n%+v", s, &back)
+	}
+	// Quantiles still work on the decoded histogram.
+	if q := back.Histograms["rtt_ns"].Quantile(50); q < 40000 || q > 40000+BucketWidth(40000) {
+		t.Fatalf("decoded median = %d", q)
+	}
+}
+
+func TestPromNameSanitizes(t *testing.T) {
+	if got := promName("broker.queue-depth"); got != "broker_queue_depth" {
+		t.Fatalf("promName = %q", got)
+	}
+	if got := promName("0bad"); got != "_bad" {
+		t.Fatalf("promName leading digit = %q", got)
+	}
+}
+
+func TestServeEndpoints(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hits").Add(3)
+	srv, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) string {
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+	if !strings.Contains(get("/metrics"), "hits 3") {
+		t.Fatal("metrics endpoint missing counter")
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(get("/snapshot.json")), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["hits"] != 3 {
+		t.Fatalf("snapshot endpoint: %+v", snap.Counters)
+	}
+}

@@ -1,0 +1,86 @@
+package telemetry
+
+import "sync/atomic"
+
+// CounterShards is the number of independently padded slots a Counter
+// spreads its increments across. Power of two.
+const CounterShards = 16
+
+// CounterShard is one cache-line-padded slot of a Counter. Hot
+// goroutines capture their shard once (Counter.Shard) and add to it
+// directly, so concurrent instances never contend on one cache line.
+type CounterShard struct {
+	v atomic.Int64
+	_ [56]byte // pad to a 64-byte cache line
+}
+
+// Add adds n to the shard.
+func (s *CounterShard) Add(n int64) { s.v.Add(n) }
+
+// Inc adds one.
+func (s *CounterShard) Inc() { s.v.Add(1) }
+
+// Counter is a monotonically increasing, lock-free event counter,
+// sharded to keep concurrent hot paths off each other's cache lines.
+// The zero value is ready to use.
+type Counter struct {
+	shards [CounterShards]CounterShard
+}
+
+// Shard returns the shard for instance i (stable for a given i). Role
+// loops and per-connection goroutines capture their shard at setup so
+// the per-event cost is a single uncontended atomic add.
+func (c *Counter) Shard(i int) *CounterShard {
+	return &c.shards[uint(i)%CounterShards]
+}
+
+// Add adds n on shard 0 — the convenience path for call sites without
+// an instance identity. Hot concurrent paths should use Shard.
+func (c *Counter) Add(n int64) { c.shards[0].v.Add(n) }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Load sums the shards.
+func (c *Counter) Load() int64 {
+	var total int64
+	for i := range c.shards {
+		total += c.shards[i].v.Load()
+	}
+	return total
+}
+
+// Gauge is an instantaneous level — queue depth, in-flight messages,
+// open connections. Updates are single atomic operations.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores the level.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add moves the level by delta (negative to decrease).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Load returns the current level.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// Watermark tracks a monotonic maximum (peak queue depth, largest
+// message). Record is a lock-free compare-and-swap loop that almost
+// always completes in one attempt.
+type Watermark struct {
+	v atomic.Int64
+}
+
+// Record raises the watermark to v if v exceeds it.
+func (w *Watermark) Record(v int64) {
+	for {
+		cur := w.v.Load()
+		if v <= cur || w.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Load returns the high-water mark.
+func (w *Watermark) Load() int64 { return w.v.Load() }

@@ -15,6 +15,7 @@ var (
 	refusedDials   = metrics.Default.Counter("transport.refused_dials")
 	injectedFlaps  = metrics.Default.Counter("transport.injected_flaps")
 	spikedWrites   = metrics.Default.Counter("transport.spiked_writes")
+	faultDials     = metrics.Default.Counter("transport.fault_dials")
 )
 
 // ErrInjected is the error surfaced by connections and dials that an
@@ -72,6 +73,7 @@ func (in *Injector) Hop() Hop {
 			in.conns[fc] = struct{}{}
 			in.mu.Unlock()
 			in.dials.Add(1)
+			faultDials.Inc()
 			return fc, nil
 		}
 	})

@@ -13,6 +13,7 @@ import (
 var (
 	relays     = metrics.Default.Counter("transport.relays")
 	halfCloses = metrics.Default.Counter("transport.half_closes")
+	relayBytes = metrics.Default.Counter("transport.relay_bytes")
 )
 
 // ErrAdmissionClosed reports an admission gate torn down while a
@@ -46,9 +47,11 @@ func Relay(a, b net.Conn) {
 
 // relayHalf copies src→dst; on clean EOF it half-closes dst so the peer
 // observes the end of stream, on error it tears both ends down (the
-// other copy direction unblocks on the closed connections).
+// other copy direction unblocks on the closed connections). Bytes are
+// charged to the relay-bytes telemetry as they flow, so a live rollup
+// sees proxy traffic mid-stream rather than at connection teardown.
 func relayHalf(dst, src net.Conn) {
-	_, err := io.Copy(dst, src)
+	_, err := io.Copy(&countingWriter{w: dst}, src)
 	if err == nil {
 		if CloseWrite(dst) {
 			halfCloses.Inc()
@@ -58,6 +61,37 @@ func relayHalf(dst, src net.Conn) {
 	dst.Close()
 	src.Close()
 }
+
+// countingWriter charges relayed bytes to the transport telemetry.
+// It forwards io.Copy's ReadFrom probe to the underlying connection so
+// the kernel zero-copy path (splice/sendfile on TCP) is preserved;
+// those bytes are charged when the transfer completes rather than
+// live, which only matters for the duration of one connection.
+type countingWriter struct {
+	w io.Writer
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	if n > 0 {
+		relayBytes.Add(uint64(n))
+	}
+	return n, err
+}
+
+func (cw *countingWriter) ReadFrom(r io.Reader) (int64, error) {
+	if rf, ok := cw.w.(io.ReaderFrom); ok {
+		n, err := rf.ReadFrom(r)
+		if n > 0 {
+			relayBytes.Add(uint64(n))
+		}
+		return n, err
+	}
+	return io.Copy(onlyWriter{cw}, r)
+}
+
+// onlyWriter hides ReadFrom so the fallback copy goes through Write.
+type onlyWriter struct{ io.Writer }
 
 // closeWriter is the half-close capability of *net.TCPConn, *tls.Conn
 // and mux streams.
