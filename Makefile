@@ -12,11 +12,18 @@ PR ?= dev
 
 # BENCH_PATTERN selects the snapshot benchmarks: the ablation and
 # overhead benches (the figure harness hot paths), the resilience
-# fault-rate sweep introduced with the transport hop stack, and the
+# fault-rate sweep introduced with the transport hop stack, the
 # Fig6a feedback bench so the embedded telemetry snapshot's rtt_ns
 # histogram carries real round-trip samples (tail latency, not just
-# means).
-BENCH_PATTERN ?= BenchmarkAblationAckBatching|BenchmarkAblationWorkQueues|BenchmarkOverheadVsDTS|BenchmarkResilienceFaultRate|BenchmarkFig6aDstreamFeedbackRTT
+# means), and the broker fanout publish→deliver microbench (the
+# zero-copy data-plane trajectory point).
+BENCH_PATTERN ?= BenchmarkAblationAckBatching|BenchmarkAblationWorkQueues|BenchmarkOverheadVsDTS|BenchmarkResilienceFaultRate|BenchmarkFig6aDstreamFeedbackRTT|BenchmarkFanoutPublishDeliver
+
+# MICRO_ITERS fixes the iteration count for the broker microbenchmarks:
+# unlike the figure benches (one timed scenario run each, hence 1x), the
+# per-message data-plane benches need real iteration counts for a stable
+# ns/op, and a fixed count keeps successive snapshots comparable.
+MICRO_ITERS ?= 20000x
 
 .PHONY: test race short smoke bench-snapshot
 
@@ -46,6 +53,10 @@ short:
 # writes BENCH_$(PR).json — the machine-readable perf trajectory point for
 # this PR. Keep -benchtime 1x: the goal is a comparable snapshot per PR,
 # not statistical precision.
+# The root figure harness runs first so its TestMain telemetry snapshot
+# line is the one benchsnap embeds; the broker microbench output follows
+# in the same stream.
 bench-snapshot:
-	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime 1x -benchmem . \
+	( $(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime 1x -benchmem . && \
+	  $(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime $(MICRO_ITERS) -benchmem ./internal/broker ) \
 		| $(GO) run ./cmd/benchsnap -out BENCH_$(PR).json

@@ -1,0 +1,170 @@
+// Command benchdiff compares two benchsnap JSON snapshots (BENCH_*.json)
+// and prints per-benchmark deltas for the headline metrics — ns/op, B/op,
+// allocs/op — so the perf trajectory between PRs is a table, not an
+// eyeball diff of bench logs.
+//
+// The exit status makes it usable as a CI tripwire: benchdiff exits
+// nonzero only when a benchmark present in both snapshots — and matching
+// the -gate regexp — regresses its allocs/op by more than
+// -allocs-threshold percent (25 by default; negative disables). Timing
+// deltas never fail the run — shared CI runners are too noisy for ns/op
+// gating — and -gate exists because only fixed-iteration
+// microbenchmarks have deterministic allocation counts; full scenario
+// runs (fault injection, reconnects, goroutine timing) jitter their
+// allocs/op and are reported without gating.
+//
+// Usage:
+//
+//	benchdiff [-allocs-threshold 25] [-gate regexp] OLD.json NEW.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+)
+
+// Benchmark mirrors benchsnap's per-benchmark record.
+type Benchmark struct {
+	Name    string             `json:"name"`
+	Iters   int64              `json:"iters"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Snapshot mirrors benchsnap's output (telemetry payload ignored here).
+type Snapshot struct {
+	GoOS       string      `json:"goos"`
+	GoArch     string      `json:"goarch"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// metricCols are the metrics reported per benchmark, in display order.
+var metricCols = []string{"ns/op", "B/op", "allocs/op"}
+
+func loadSnapshot(path string) (Snapshot, error) {
+	var s Snapshot
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return s, err
+	}
+	if err := json.Unmarshal(data, &s); err != nil {
+		return s, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+// byName indexes benchmarks, keeping the last entry for duplicate names
+// (a re-run within one snapshot supersedes earlier lines).
+func byName(benches []Benchmark) map[string]Benchmark {
+	m := make(map[string]Benchmark, len(benches))
+	for _, b := range benches {
+		m[b.Name] = b
+	}
+	return m
+}
+
+// pctDelta returns the percent change from old to new. A change from
+// zero to nonzero reports +100% per unit sign; zero to zero is 0.
+func pctDelta(old, new float64) float64 {
+	if old == 0 {
+		if new == 0 {
+			return 0
+		}
+		return 100
+	}
+	return (new - old) / old * 100
+}
+
+// diffRow is one compared benchmark.
+type diffRow struct {
+	name     string
+	old, new Benchmark
+}
+
+func main() {
+	allocsThreshold := flag.Float64("allocs-threshold", 25,
+		"fail when a gated benchmark's allocs/op regresses by more than this percent (negative disables)")
+	gate := flag.String("gate", ".*",
+		"regexp selecting which benchmarks may trip the allocs/op gate; all are still reported")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-allocs-threshold pct] [-gate regexp] OLD.json NEW.json")
+		os.Exit(2)
+	}
+	gateRe, err := regexp.Compile(*gate)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff: bad -gate regexp:", err)
+		os.Exit(2)
+	}
+	oldSnap, err := loadSnapshot(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	newSnap, err := loadSnapshot(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	code := run(os.Stdout, oldSnap, newSnap, *allocsThreshold, gateRe)
+	os.Exit(code)
+}
+
+// run performs the comparison and returns the process exit code.
+func run(out io.Writer, oldSnap, newSnap Snapshot, allocsThreshold float64, gate *regexp.Regexp) int {
+	oldBy, newBy := byName(oldSnap.Benchmarks), byName(newSnap.Benchmarks)
+
+	var rows []diffRow
+	var added, removed []string
+	for name, nb := range newBy {
+		if ob, ok := oldBy[name]; ok {
+			rows = append(rows, diffRow{name: name, old: ob, new: nb})
+		} else {
+			added = append(added, name)
+		}
+	}
+	for name := range oldBy {
+		if _, ok := newBy[name]; !ok {
+			removed = append(removed, name)
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].name < rows[j].name })
+	sort.Strings(added)
+	sort.Strings(removed)
+
+	fmt.Fprintf(out, "%-60s %14s %14s %14s\n", "benchmark", metricCols[0], metricCols[1], metricCols[2])
+	failed := false
+	for _, r := range rows {
+		fmt.Fprintf(out, "%-60s", r.name)
+		for _, col := range metricCols {
+			ov, nv := r.old.Metrics[col], r.new.Metrics[col]
+			d := pctDelta(ov, nv)
+			fmt.Fprintf(out, " %13.1f%%", d)
+			if col == "allocs/op" && allocsThreshold >= 0 && d > allocsThreshold && gate.MatchString(r.name) {
+				failed = true
+			}
+		}
+		fmt.Fprintln(out)
+		for _, col := range metricCols {
+			fmt.Fprintf(out, "    %-12s %14.1f -> %14.1f\n", col, r.old.Metrics[col], r.new.Metrics[col])
+		}
+	}
+	for _, name := range added {
+		fmt.Fprintf(out, "%-60s (new benchmark, no baseline)\n", name)
+	}
+	for _, name := range removed {
+		fmt.Fprintf(out, "%-60s (removed since baseline)\n", name)
+	}
+	if len(rows) == 0 {
+		fmt.Fprintln(out, "benchdiff: no common benchmarks between snapshots")
+	}
+	if failed {
+		fmt.Fprintf(out, "\nbenchdiff: FAIL — allocs/op regressed by more than %.0f%% on at least one benchmark\n", allocsThreshold)
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,108 @@
+package main
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+)
+
+func bench(name string, ns, bytes, allocs float64) Benchmark {
+	return Benchmark{
+		Name:  name,
+		Iters: 100,
+		Metrics: map[string]float64{
+			"ns/op": ns, "B/op": bytes, "allocs/op": allocs,
+		},
+	}
+}
+
+func TestRunPassesWithinThreshold(t *testing.T) {
+	oldSnap := Snapshot{Benchmarks: []Benchmark{bench("BenchmarkA", 1000, 4096, 4)}}
+	newSnap := Snapshot{Benchmarks: []Benchmark{bench("BenchmarkA", 1200, 4096, 5)}}
+	var out strings.Builder
+	if code := run(&out, oldSnap, newSnap, 25, regexp.MustCompile(".*")); code != 0 {
+		t.Fatalf("exit = %d, want 0 (allocs +25%% is at, not over, threshold)\n%s", code, out.String())
+	}
+}
+
+func TestRunFailsOnAllocsRegression(t *testing.T) {
+	oldSnap := Snapshot{Benchmarks: []Benchmark{bench("BenchmarkA", 1000, 4096, 4)}}
+	newSnap := Snapshot{Benchmarks: []Benchmark{bench("BenchmarkA", 900, 4096, 6)}}
+	var out strings.Builder
+	if code := run(&out, oldSnap, newSnap, 25, regexp.MustCompile(".*")); code != 1 {
+		t.Fatalf("exit = %d, want 1 (allocs +50%% over 25%% threshold)\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "FAIL") {
+		t.Fatalf("report missing FAIL marker:\n%s", out.String())
+	}
+}
+
+func TestRunIgnoresTimingRegression(t *testing.T) {
+	oldSnap := Snapshot{Benchmarks: []Benchmark{bench("BenchmarkA", 1000, 4096, 4)}}
+	newSnap := Snapshot{Benchmarks: []Benchmark{bench("BenchmarkA", 5000, 4096, 4)}}
+	var out strings.Builder
+	if code := run(&out, oldSnap, newSnap, 25, regexp.MustCompile(".*")); code != 0 {
+		t.Fatalf("exit = %d, want 0 (ns/op never gates)\n%s", code, out.String())
+	}
+}
+
+func TestRunThresholdDisabled(t *testing.T) {
+	oldSnap := Snapshot{Benchmarks: []Benchmark{bench("BenchmarkA", 1000, 4096, 0)}}
+	newSnap := Snapshot{Benchmarks: []Benchmark{bench("BenchmarkA", 1000, 4096, 50)}}
+	var out strings.Builder
+	if code := run(&out, oldSnap, newSnap, -1, regexp.MustCompile(".*")); code != 0 {
+		t.Fatalf("exit = %d, want 0 with threshold disabled\n%s", code, out.String())
+	}
+}
+
+func TestRunZeroBaselineAllocsRegression(t *testing.T) {
+	// A benchmark that was 0 allocs/op and regresses to any nonzero count
+	// must trip the gate: pctDelta reports +100% for 0 -> nonzero.
+	oldSnap := Snapshot{Benchmarks: []Benchmark{bench("BenchmarkA", 1000, 0, 0)}}
+	newSnap := Snapshot{Benchmarks: []Benchmark{bench("BenchmarkA", 1000, 64, 1)}}
+	var out strings.Builder
+	if code := run(&out, oldSnap, newSnap, 25, regexp.MustCompile(".*")); code != 1 {
+		t.Fatalf("exit = %d, want 1 (0 -> 1 allocs/op)\n%s", code, out.String())
+	}
+}
+
+func TestRunNewAndRemovedBenchmarksReported(t *testing.T) {
+	oldSnap := Snapshot{Benchmarks: []Benchmark{
+		bench("BenchmarkOld", 1000, 0, 0),
+		bench("BenchmarkBoth", 1000, 0, 0),
+	}}
+	newSnap := Snapshot{Benchmarks: []Benchmark{
+		bench("BenchmarkBoth", 1000, 0, 0),
+		bench("BenchmarkNew", 1000, 4096, 99),
+	}}
+	var out strings.Builder
+	if code := run(&out, oldSnap, newSnap, 25, regexp.MustCompile(".*")); code != 0 {
+		t.Fatalf("exit = %d, want 0 (new benchmarks never gate)\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "BenchmarkNew") || !strings.Contains(out.String(), "no baseline") {
+		t.Fatalf("new benchmark not reported:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "BenchmarkOld") || !strings.Contains(out.String(), "removed since baseline") {
+		t.Fatalf("removed benchmark not reported:\n%s", out.String())
+	}
+}
+
+func TestRunGateRestrictsFailures(t *testing.T) {
+	oldSnap := Snapshot{Benchmarks: []Benchmark{
+		bench("BenchmarkMicro", 1000, 0, 0),
+		bench("BenchmarkScenario", 1000, 4096, 100),
+	}}
+	newSnap := Snapshot{Benchmarks: []Benchmark{
+		bench("BenchmarkMicro", 1000, 0, 0),
+		bench("BenchmarkScenario", 1000, 4096, 200), // +100%, but ungated
+	}}
+	var out strings.Builder
+	if code := run(&out, oldSnap, newSnap, 25, regexp.MustCompile("^BenchmarkMicro")); code != 0 {
+		t.Fatalf("exit = %d, want 0 (regression outside -gate)\n%s", code, out.String())
+	}
+	out.Reset()
+	newSnap.Benchmarks[0] = bench("BenchmarkMicro", 1000, 64, 1) // gated 0 -> 1
+	if code := run(&out, oldSnap, newSnap, 25, regexp.MustCompile("^BenchmarkMicro")); code != 1 {
+		t.Fatalf("exit = %d, want 1 (gated regression)\n%s", code, out.String())
+	}
+}

@@ -117,6 +117,26 @@
 // `-telemetry <addr>` serves GET /metrics (Prometheus text) and
 // GET /snapshot.json for the duration of a run.
 //
+// # Memory model & zero-copy ownership
+//
+// The broker data plane copies a message body exactly once: ingest
+// assembles the frame payloads into a wire-pool buffer presized from
+// the content header's BodySize. From there the body is borrowed, never
+// copied — fanout/topic routing shares one refcounted broker.Message
+// across all matched queues (per-queue redelivered state lives in the
+// queue's chunked ring-deque entry, not the message), and delivery
+// writes splice the body into a vectored write straight from the shared
+// buffer. Whichever owner resolves last — ack, nack/reject discard,
+// drop-head eviction, purge, queue delete, or connection teardown —
+// returns the buffer to the pool; the wire.loaned_bytes gauge and
+// broker.body_releases counter make the lifecycle observable.
+//
+// Retention contract: broker embedders must balance Retain/Release on
+// managed messages (Message.Body is invalid after the final release).
+// Client applications must not hold a manual-ack amqp.Delivery.Body
+// past its acknowledgement — copy first to retain; autoAck deliveries,
+// gets, and returns own their bodies outright.
+//
 // # Running the suite
 //
 // Tier-1 verification is `go build ./... && go test ./...`; CI runs

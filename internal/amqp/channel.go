@@ -22,7 +22,7 @@ type Channel struct {
 	gets   chan getResult
 
 	mu            sync.Mutex
-	consumers     map[string]chan Delivery
+	consumers     map[string]*clientConsumer
 	consumerSeq   int
 	confirms      []chan Confirmation
 	returns       []chan Return
@@ -61,6 +61,26 @@ type Channel struct {
 	pendReturn  *wire.BasicReturn
 	pendHeader  *wire.ContentHeader
 	pendBody    []byte
+	// pendLoan backs pendBody with a wire-pool buffer when the content
+	// under assembly is a manual-ack consumer delivery; nil otherwise.
+	pendLoan *[]byte
+
+	// loans maps outstanding delivery tags to the pooled buffers backing
+	// their bodies, for the transport epoch loansEpoch. Resolving a
+	// delivery (ack/nack/reject, including multiple) returns the buffer
+	// to the pool; a reconnect abandons the epoch's loans to the garbage
+	// collector, since the application may still hold those bodies.
+	loans      map[uint64]*[]byte
+	loansEpoch uint64
+}
+
+// clientConsumer is one registered consumer: its delivery stream plus the
+// ack mode, which decides whether delivery bodies may live on pooled
+// buffers (manual ack has a resolution point to release at; autoAck hands
+// body ownership to the application outright).
+type clientConsumer struct {
+	deliveries chan Delivery
+	noAck      bool
 }
 
 type pendKind int
@@ -83,7 +103,8 @@ func newChannel(c *Connection, id uint16) *Channel {
 		id:        id,
 		rpc:       make(chan wire.Method, 8),
 		gets:      make(chan getResult, 1),
-		consumers: map[string]chan Delivery{},
+		consumers: map[string]*clientConsumer{},
+		loans:     map[uint64]*[]byte{},
 	}
 	if c.reconnectEnabled() {
 		ch.consumeSpecs = map[string]*wire.BasicConsume{}
@@ -199,18 +220,30 @@ func (ch *Channel) shutdown(err *Error) {
 	}
 	ch.closed = true
 	consumers := ch.consumers
-	ch.consumers = map[string]chan Delivery{}
+	ch.consumers = map[string]*clientConsumer{}
 	confirms := ch.confirms
 	ch.confirms = nil
 	returns := ch.returns
 	ch.returns = nil
 	notify := ch.notifyCls
 	ch.notifyCls = nil
+	// Unresolved delivery bodies: the application may still drain and
+	// read buffered deliveries after shutdown, so abandon their loans to
+	// the garbage collector rather than recycling under the holder. The
+	// half-assembled body (if any) was never handed out — recycle it.
+	for t, p := range ch.loans {
+		delete(ch.loans, t)
+		wire.AbandonBuf(p)
+	}
+	pendLoan := ch.pendLoan
+	ch.pendLoan = nil
+	ch.pendBody = nil
 	ch.mu.Unlock()
+	wire.ReleaseBuf(pendLoan)
 
 	close(ch.rpc)
-	for _, dc := range consumers {
-		close(dc)
+	for _, cc := range consumers {
+		close(cc.deliveries)
 	}
 	for _, cc := range confirms {
 		close(cc)
@@ -352,7 +385,25 @@ func (ch *Channel) dispatchConfirm(tag uint64, multiple, ack bool) {
 func (ch *Channel) onHeader(h *wire.ContentHeader) {
 	ch.mu.Lock()
 	ch.pendHeader = h
-	ch.pendBody = make([]byte, 0, h.BodySize)
+	if ch.pendLoan != nil {
+		// A previous assembly was cut off before completing; recycle it.
+		wire.ReleaseBuf(ch.pendLoan)
+		ch.pendLoan = nil
+	}
+	// Manual-ack consumer deliveries assemble into a pooled buffer
+	// presized from BodySize; the ack is the release point. Everything
+	// else (autoAck, gets, returns) gets a plain heap body whose
+	// ownership passes to the receiver.
+	if ch.pendKind == pendDeliverKind && ch.pendDeliver != nil {
+		if cc := ch.consumers[ch.pendDeliver.ConsumerTag]; cc != nil && !cc.noAck {
+			ch.pendLoan = wire.LoanBuf(int(h.BodySize))
+		}
+	}
+	if ch.pendLoan != nil {
+		ch.pendBody = (*ch.pendLoan)[:0]
+	} else {
+		ch.pendBody = make([]byte, 0, h.BodySize)
+	}
 	complete := h.BodySize == 0
 	ch.mu.Unlock()
 	if complete {
@@ -379,17 +430,20 @@ func (ch *Channel) completeContent() {
 	kind := ch.pendKind
 	header := ch.pendHeader
 	body := ch.pendBody
+	loan := ch.pendLoan
 	deliver := ch.pendDeliver
 	getOk := ch.pendGetOk
 	ret := ch.pendReturn
 	ch.pendKind = pendNone
 	ch.pendHeader = nil
 	ch.pendBody = nil
+	ch.pendLoan = nil
 	ch.pendDeliver = nil
 	ch.pendGetOk = nil
 	ch.pendReturn = nil
 	ch.mu.Unlock()
 	if header == nil {
+		wire.ReleaseBuf(loan)
 		return
 	}
 
@@ -404,7 +458,20 @@ func (ch *Channel) completeContent() {
 		d.RoutingKey = deliver.RoutingKey
 		d.Body = body
 		ch.mu.Lock()
-		dc := ch.consumers[deliver.ConsumerTag]
+		var dc chan Delivery
+		if cc := ch.consumers[deliver.ConsumerTag]; cc != nil {
+			dc = cc.deliveries
+		}
+		if loan != nil {
+			if dc != nil && !ch.closed {
+				// The resolution of this tag releases the body buffer.
+				ch.loans[deliver.DeliveryTag] = loan
+			} else {
+				// Undeliverable: nobody will ever see the body; recycle.
+				wire.ReleaseBuf(loan)
+				loan = nil
+			}
+		}
 		ch.mu.Unlock()
 		if dc != nil {
 			// Blocking here applies natural backpressure to the socket,
@@ -656,7 +723,7 @@ func (ch *Channel) Consume(queue, consumerTag string, autoAck, exclusive, noLoca
 		return nil, fmt.Errorf("amqp: duplicate consumer tag %q", consumerTag)
 	}
 	dc := make(chan Delivery, 16)
-	ch.consumers[consumerTag] = dc
+	ch.consumers[consumerTag] = &clientConsumer{deliveries: dc, noAck: autoAck}
 	ch.mu.Unlock()
 
 	m := &wire.BasicConsume{
@@ -684,13 +751,13 @@ func (ch *Channel) Consume(queue, consumerTag string, autoAck, exclusive, noLoca
 func (ch *Channel) Cancel(consumerTag string, noWait bool) error {
 	_, err := ch.call(&wire.BasicCancel{ConsumerTag: consumerTag})
 	ch.mu.Lock()
-	dc, ok := ch.consumers[consumerTag]
+	cc, ok := ch.consumers[consumerTag]
 	delete(ch.consumers, consumerTag)
 	delete(ch.consumeSpecs, consumerTag)
 	delete(ch.consumeEpochs, consumerTag)
 	ch.mu.Unlock()
 	if ok {
-		close(dc)
+		close(cc.deliveries)
 	}
 	return err
 }
@@ -757,18 +824,57 @@ func (ch *Channel) getOnce(queue string, autoAck bool) (Delivery, bool, error) {
 
 // --- Acknowledger ---
 
+// epochCurrent passed as the epoch to releaseLoans means "whatever epoch
+// the loan registry currently belongs to" — used by the Channel's own
+// Acknowledger methods, which always act on the live transport.
+const epochCurrent = ^uint64(0)
+
+// releaseLoans returns the pooled bodies of resolved deliveries to the
+// wire pool: the application promised (by acking/nacking/rejecting) that
+// it is done with them. Loans from an older transport epoch are left
+// alone — their tags belong to a dead transport and were already
+// abandoned by the resume.
+func (ch *Channel) releaseLoans(epoch, tag uint64, multiple bool) {
+	ch.mu.Lock()
+	if epoch != epochCurrent && epoch != ch.loansEpoch {
+		ch.mu.Unlock()
+		return
+	}
+	if !multiple {
+		p := ch.loans[tag]
+		delete(ch.loans, tag)
+		ch.mu.Unlock()
+		wire.ReleaseBuf(p)
+		return
+	}
+	var rel []*[]byte
+	for t, p := range ch.loans {
+		if t <= tag || tag == 0 {
+			rel = append(rel, p)
+			delete(ch.loans, t)
+		}
+	}
+	ch.mu.Unlock()
+	for _, p := range rel {
+		wire.ReleaseBuf(p)
+	}
+}
+
 // Ack acknowledges a delivery tag.
 func (ch *Channel) Ack(tag uint64, multiple bool) error {
+	ch.releaseLoans(epochCurrent, tag, multiple)
 	return ch.conn.writeMethod(ch.id, &wire.BasicAck{DeliveryTag: tag, Multiple: multiple})
 }
 
 // Nack negatively acknowledges a delivery tag.
 func (ch *Channel) Nack(tag uint64, multiple, requeue bool) error {
+	ch.releaseLoans(epochCurrent, tag, multiple)
 	return ch.conn.writeMethod(ch.id, &wire.BasicNack{DeliveryTag: tag, Multiple: multiple, Requeue: requeue})
 }
 
 // Reject rejects a delivery tag.
 func (ch *Channel) Reject(tag uint64, requeue bool) error {
+	ch.releaseLoans(epochCurrent, tag, false)
 	return ch.conn.writeMethod(ch.id, &wire.BasicReject{DeliveryTag: tag, Requeue: requeue})
 }
 
@@ -797,14 +903,17 @@ type epochAcker struct {
 }
 
 func (a *epochAcker) Ack(tag uint64, multiple bool) error {
+	a.ch.releaseLoans(a.epoch, tag, multiple)
 	return a.ch.conn.writeMethodEpoch(a.epoch, a.ch.id, &wire.BasicAck{DeliveryTag: tag, Multiple: multiple})
 }
 
 func (a *epochAcker) Nack(tag uint64, multiple, requeue bool) error {
+	a.ch.releaseLoans(a.epoch, tag, multiple)
 	return a.ch.conn.writeMethodEpoch(a.epoch, a.ch.id, &wire.BasicNack{DeliveryTag: tag, Multiple: multiple, Requeue: requeue})
 }
 
 func (a *epochAcker) Reject(tag uint64, requeue bool) error {
+	a.ch.releaseLoans(a.epoch, tag, false)
 	return a.ch.conn.writeMethodEpoch(a.epoch, a.ch.id, &wire.BasicReject{DeliveryTag: tag, Requeue: requeue})
 }
 
@@ -821,13 +930,22 @@ func (ch *Channel) replayState(fr *wire.FrameReader) error {
 		ch.mu.Unlock()
 		return nil
 	}
-	// Drop any content assembly that was cut off mid-message.
+	// Drop any content assembly that was cut off mid-message (its loan
+	// was never handed out, so it can recycle), and abandon the dead
+	// transport's delivery-body loans: the broker requeued those
+	// deliveries, but the application may still hold the bodies.
 	ch.pendKind = pendNone
 	ch.pendHeader = nil
 	ch.pendBody = nil
+	wire.ReleaseBuf(ch.pendLoan)
+	ch.pendLoan = nil
 	ch.pendDeliver = nil
 	ch.pendGetOk = nil
 	ch.pendReturn = nil
+	for t, p := range ch.loans {
+		delete(ch.loans, t)
+		wire.AbandonBuf(p)
+	}
 	epoch := ch.conn.currentEpoch()
 	ch.acker = &epochAcker{ch: ch, epoch: epoch}
 	qos := ch.qosSpec
@@ -838,6 +956,7 @@ func (ch *Channel) replayState(fr *wire.FrameReader) error {
 	// epoch reopens direct publishing (writes queue on writeMu until the
 	// resume releases it).
 	ch.mapEpoch = epoch
+	ch.loansEpoch = epoch
 	ch.replayedThrough = ch.publishSeq
 	ch.confirmExpect = 0
 	ch.brokerSeq = 0

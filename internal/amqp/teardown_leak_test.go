@@ -1,0 +1,91 @@
+package amqp_test
+
+import (
+	"testing"
+	"time"
+
+	"ds2hpc/internal/amqp"
+	"ds2hpc/internal/broker"
+	"ds2hpc/internal/wire"
+)
+
+// TestConnectionTeardownReturnsPoolBalance drives the last refcount exit
+// path end to end: a consumer connection dying with unacked deliveries.
+// The server must requeue the unacked messages (their references move
+// back to the queue), the client must abandon the loans backing bodies
+// the application may still hold, and deleting the queue must return the
+// wire pool's outstanding loan balance to its pre-traffic baseline.
+func TestConnectionTeardownReturnsPoolBalance(t *testing.T) {
+	s := startBroker(t, broker.Config{})
+	base := wire.LoanedBytes()
+
+	pubConn := dial(t, s)
+	pubCh := openChannel(t, pubConn)
+	if _, err := pubCh.QueueDeclare("leak-q", false, false, false, false, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	consConn, err := amqp.Dial("amqp://" + s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	consCh, err := consConn.Channel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := consCh.Qos(2, 0, false); err != nil {
+		t.Fatal(err)
+	}
+	deliveries, err := consCh.Consume("leak-q", "leak-c", false, false, false, false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const total = 8
+	body := make([]byte, 4096)
+	for i := 0; i < total; i++ {
+		if err := pubCh.Publish("", "leak-q", false, false, amqp.Publishing{Body: body}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Take two deliveries and never ack them: their bodies are pooled
+	// loans on the client, and unacked references on the server.
+	for i := 0; i < 2; i++ {
+		select {
+		case d := <-deliveries:
+			if len(d.Body) != len(body) {
+				t.Fatalf("delivery %d: body %d bytes", i, len(d.Body))
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("delivery %d never arrived", i)
+		}
+	}
+
+	// Kill the consumer connection. Server teardown requeues the unacked
+	// messages; client shutdown abandons the delivered bodies' loans.
+	consConn.Close()
+
+	vh := s.VHost("/")
+	q, ok := vh.Queue("leak-q")
+	if !ok {
+		t.Fatal("queue vanished")
+	}
+	waitFor(t, "teardown requeue", func() bool { return q.Len() == total })
+
+	if n, err := vh.DeleteQueue("leak-q", false, false); err != nil || n != total {
+		t.Fatalf("delete: n=%d err=%v", n, err)
+	}
+	waitFor(t, "pool balance restored", func() bool { return wire.LoanedBytes() == base })
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

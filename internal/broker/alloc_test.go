@@ -2,6 +2,8 @@ package broker
 
 import (
 	"testing"
+
+	"ds2hpc/internal/wire"
 )
 
 // TestAllocsQueuePublishGet locks in the queue hot path: a steady-state
@@ -9,14 +11,14 @@ import (
 func TestAllocsQueuePublishGet(t *testing.T) {
 	q := NewQueue("q", QueueLimits{})
 	msg := &Message{RoutingKey: "q", Body: make([]byte, 2048)}
-	// Warm the ready slice.
+	// Warm the ring's resident chunk.
 	for i := 0; i < 8; i++ {
 		if err := q.Publish(msg); err != nil {
 			t.Fatal(err)
 		}
 	}
 	for {
-		if _, _, ok := q.Get(); !ok {
+		if _, _, _, ok := q.Get(); !ok {
 			break
 		}
 	}
@@ -24,7 +26,7 @@ func TestAllocsQueuePublishGet(t *testing.T) {
 		if err := q.Publish(msg); err != nil {
 			t.Fatal(err)
 		}
-		if _, _, ok := q.Get(); !ok {
+		if _, _, _, ok := q.Get(); !ok {
 			t.Fatal("queue empty after publish")
 		}
 	})
@@ -43,14 +45,14 @@ func TestAllocsVHostPublish(t *testing.T) {
 	}
 	q, _ := vh.Queue("ws-q-0")
 	msg := &Message{RoutingKey: "ws-q-0", Body: make([]byte, 2048)}
-	// Warm the route scratch pool and the ready slice.
+	// Warm the route scratch pool and the ring chunk.
 	for i := 0; i < 8; i++ {
 		if _, err := vh.Publish("", "ws-q-0", msg); err != nil {
 			t.Fatal(err)
 		}
 	}
 	for {
-		if _, _, ok := q.Get(); !ok {
+		if _, _, _, ok := q.Get(); !ok {
 			break
 		}
 	}
@@ -59,7 +61,7 @@ func TestAllocsVHostPublish(t *testing.T) {
 		if err != nil || routed != 1 {
 			t.Fatalf("routed=%d err=%v", routed, err)
 		}
-		if _, _, ok := q.Get(); !ok {
+		if _, _, _, ok := q.Get(); !ok {
 			t.Fatal("queue empty after publish")
 		}
 	})
@@ -96,5 +98,64 @@ func TestAllocsConsumerDeliveryCycle(t *testing.T) {
 	got := testing.AllocsPerRun(200, cycle)
 	if got > 0 {
 		t.Fatalf("delivery cycle allocates %.1f objects/op, want 0", got)
+	}
+}
+
+// TestAllocsFanoutPublishDeliverManaged locks in the zero-copy tentpole
+// end to end at the structure level: assembling a managed message on a
+// pooled body, fanning it out to two queues (shared instance, refcount =
+// routed count), draining both consumers, and releasing every reference
+// runs at zero allocations per message at steady state.
+func TestAllocsFanoutPublishDeliverManaged(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops a fraction of Puts under the race detector; zero-alloc assertion not meaningful")
+	}
+	vh := NewVHost("/")
+	e, err := vh.DeclareExchange("fan", KindFanout, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var queues []*Queue
+	var conss []*consumer
+	for _, name := range []string{"fan-a", "fan-b"} {
+		q, err := vh.DeclareQueue(name, false, false, false, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.Bind(q, "")
+		c, err := q.AddConsumer("c", false, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		queues = append(queues, q)
+		conss = append(conss, c)
+	}
+	payload := make([]byte, 4096)
+	cycle := func() {
+		m := NewMessage("fan", "", wire.Properties{}, len(payload))
+		m.AppendBody(payload)
+		routed, err := vh.Publish("fan", "", m)
+		if err != nil || routed != 2 {
+			t.Fatalf("routed=%d err=%v", routed, err)
+		}
+		m.Release() // publisher's reference
+		for i, c := range conss {
+			var d delivery
+			select {
+			case d = <-c.outbox:
+			default:
+				t.Fatal("no delivery pumped")
+			}
+			queues[i].DeliveryDoneN(c, 1)
+			queues[i].AckN(c, 1)
+			d.msg.Release() // the queue's reference, resolved by the ack
+		}
+	}
+	for i := 0; i < 8; i++ {
+		cycle() // warm pools: body buffers, message headers, ring chunks
+	}
+	got := testing.AllocsPerRun(200, cycle)
+	if got > 0 {
+		t.Fatalf("managed fanout publish→deliver allocates %.1f objects/op, want 0", got)
 	}
 }

@@ -59,16 +59,24 @@ func releaseUnacked(ua *unackedEntry) {
 }
 
 // pendingPublish accumulates a basic.publish across method/header/body.
+// The message is created when the content header arrives — its pooled
+// body buffer is presized from the header's BodySize, so multi-frame
+// bodies assemble into one loan with zero reallocation.
 type pendingPublish struct {
 	method *wire.BasicPublish
 	header *wire.ContentHeader
-	body   []byte
+	msg    *Message
 	seq    uint64
 }
 
-// pendingPool recycles publish-assembly state across messages; the body
-// slice is not reused (its ownership moves into the routed Message).
+// pendingPool recycles publish-assembly state across messages.
 var pendingPool = sync.Pool{New: func() any { return new(pendingPublish) }}
+
+// maxBodyBytes bounds the body size a single publish may declare; it
+// exists because ingest now trusts the header's BodySize to presize the
+// pooled body buffer, and an absurd declared size must fail the channel
+// rather than reserve the memory.
+const maxBodyBytes = 1 << 27 // 128 MiB, far above any paper workload
 
 func newSrvChannel(sc *srvConn, id uint16) *srvChannel {
 	return &srvChannel{
@@ -90,10 +98,16 @@ func (ch *srvChannel) teardown() {
 	ch.closed = true
 	consumers := ch.consumers
 	unacked := ch.unacked
+	pending := ch.pending
 	ch.consumers = map[string]*consumerEntry{}
 	ch.unacked = map[uint64]*unackedEntry{}
+	ch.pending = nil
 	ch.mu.Unlock()
 
+	if pending != nil && pending.msg != nil {
+		// A publish cut off mid-assembly: drop the half-built body.
+		pending.msg.Release()
+	}
 	for _, ce := range consumers {
 		ce.queue.RemoveConsumer(ce.cons)
 	}
@@ -246,14 +260,20 @@ func (ch *srvChannel) onMethod(m wire.Method) error {
 		return ch.conn.writeMethod(ch.id, &wire.BasicCancelOk{ConsumerTag: x.ConsumerTag})
 	case *wire.BasicPublish:
 		p := pendingPool.Get().(*pendingPublish)
-		p.method, p.header, p.body, p.seq = x, nil, nil, 0
+		p.method, p.header, p.msg, p.seq = x, nil, nil, 0
 		ch.mu.Lock()
 		if ch.confirm {
 			ch.publishSeq++
 			p.seq = ch.publishSeq
 		}
+		prev := ch.pending
 		ch.pending = p
 		ch.mu.Unlock()
+		if prev != nil && prev.msg != nil {
+			// Protocol misuse: a new publish started before the previous
+			// one's body completed. Drop the half-assembled message.
+			prev.msg.Release()
+		}
 		return nil
 	case *wire.BasicGet:
 		return ch.basicGet(x)
@@ -322,11 +342,12 @@ const maxDeliveryBatch = 16
 // and emits the whole batch with one flush, instead of one write — and one
 // queue-lock acquisition — per message.
 func (ch *srvChannel) consumerWriter(ce *consumerEntry) {
-	var batch []*Message
+	var batch []delivery
 	for {
 		select {
 		case <-ce.cons.closed:
-			// Drain anything already queued back to the queue.
+			// Drain anything already queued back to the queue (a requeue
+			// racing a queue delete releases the message instead).
 			for {
 				select {
 				case d := <-ce.cons.outbox:
@@ -336,11 +357,11 @@ func (ch *srvChannel) consumerWriter(ce *consumerEntry) {
 				}
 			}
 		case d := <-ce.cons.outbox:
-			batch = append(batch[:0], d.msg)
+			batch = append(batch[:0], d)
 			for len(batch) < maxDeliveryBatch {
 				select {
 				case more := <-ce.cons.outbox:
-					batch = append(batch, more.msg)
+					batch = append(batch, more)
 				default:
 					goto full
 				}
@@ -357,40 +378,56 @@ var (
 	deliveriesBatched = metrics.Default.Counter("broker.deliveries_batched")
 )
 
-// sendDeliverBatch assigns delivery tags to a batch of messages under one
-// channel-lock hold and writes all their frames as one coalesced batch.
-// Redelivered flags are captured under the lock: the moment an unacked
-// entry exists, a concurrent teardown may requeue the message and flip the
-// flag while the frames are still being serialized.
-func (ch *srvChannel) sendDeliverBatch(ce *consumerEntry, msgs []*Message) {
+// sendDeliverBatch assigns delivery tags to a batch of deliveries under
+// one channel-lock hold and writes all their frames as one coalesced
+// batch. The redelivered flag travels with the delivery (per-queue
+// state), so a concurrent requeue of the shared message cannot flip it
+// mid-serialization. The batch's message references are either parked in
+// the unacked map, requeued, or released — never dropped.
+func (ch *srvChannel) sendDeliverBatch(ce *consumerEntry, batch []delivery) {
+	var msgs [maxDeliveryBatch]*Message
 	var tags [maxDeliveryBatch]uint64
 	var redeliv [maxDeliveryBatch]bool
 	ch.mu.Lock()
 	if ch.closed {
 		ch.mu.Unlock()
-		ce.queue.RequeueAll(msgs)
+		// Hand the references back to the queue, preserving order.
+		for i := len(batch) - 1; i >= 0; i-- {
+			ce.queue.Requeue(batch[i].msg)
+		}
 		return
 	}
-	for i, msg := range msgs {
+	for i, d := range batch {
 		ch.deliveryTag++
+		msgs[i] = d.msg
 		tags[i] = ch.deliveryTag
-		redeliv[i] = msg.Redelivered
+		redeliv[i] = d.redelivered
 		if !ce.noAck {
-			ch.unacked[tags[i]] = newUnacked(ce.queue, ce.cons, msg)
+			// The unacked entry takes over the queue's reference; the
+			// write below needs its own — the moment the entry exists, a
+			// concurrent teardown may requeue the message, and another
+			// consumer could resolve it while these frames are still
+			// being serialized.
+			d.msg.Retain()
+			ch.unacked[tags[i]] = newUnacked(ce.queue, ce.cons, d.msg)
 		}
 	}
 	ch.mu.Unlock()
 
 	deliveryBatches.Inc()
-	deliveriesBatched.Add(uint64(len(msgs)))
-	if err := ch.conn.writeDeliveries(ch.id, ce.tag, msgs, tags[:len(msgs)], redeliv[:len(msgs)]); err != nil {
-		// Connection is going away; teardown will requeue unacked.
-		return
-	}
+	deliveriesBatched.Add(uint64(len(batch)))
+	err := ch.conn.writeDeliveries(ch.id, ce.tag, msgs[:len(batch)], tags[:len(batch)], redeliv[:len(batch)])
 	if ce.noAck {
-		// noAck consumers complete their deliveries immediately.
-		ce.queue.AckN(ce.cons, len(msgs))
+		// noAck deliveries resolve immediately: restore credit (even on a
+		// dying connection the pop already happened) and drop the queue's
+		// reference — the bytes are on the wire or lost, at-most-once.
+		ce.queue.AckN(ce.cons, len(batch))
 	}
+	// Drop the write's (noAck: the queue's) reference per message.
+	for _, d := range batch {
+		d.msg.Release()
+	}
+	_ = err // on error the connection is going away; teardown requeues unacked
 }
 
 func (ch *srvChannel) basicGet(x *wire.BasicGet) error {
@@ -399,27 +436,30 @@ func (ch *srvChannel) basicGet(x *wire.BasicGet) error {
 	if !ok {
 		return ch.exception(wire.ReplyNotFound, fmt.Sprintf("no queue %q", x.Queue), x)
 	}
-	msg, remaining, ok := q.Get()
+	msg, redelivered, remaining, ok := q.Get()
 	if !ok {
 		return ch.conn.writeMethod(ch.id, &wire.BasicGetEmpty{})
 	}
 	ch.mu.Lock()
 	ch.deliveryTag++
 	tag := ch.deliveryTag
-	// Capture before the unacked entry exists; once it does, a concurrent
-	// teardown may requeue the message and flip the flag mid-write.
-	redelivered := msg.Redelivered
 	if !x.NoAck {
+		// As in sendDeliverBatch: the unacked entry takes the queue's
+		// reference, the write holds its own.
+		msg.Retain()
 		ch.unacked[tag] = newUnacked(q, nil, msg)
 	}
 	ch.mu.Unlock()
-	return ch.conn.writeContent(ch.id, &wire.BasicGetOk{
+	err := ch.conn.writeContent(ch.id, &wire.BasicGetOk{
 		DeliveryTag:  tag,
 		Redelivered:  redelivered,
 		Exchange:     msg.Exchange,
 		RoutingKey:   msg.RoutingKey,
 		MessageCount: uint32(remaining),
 	}, &msg.Props, msg.Body)
+	// Drop the write's (NoAck: the queue's) reference.
+	msg.Release()
+	return err
 }
 
 var (
@@ -498,6 +538,10 @@ func (ch *srvChannel) basicAck(tag uint64, multiple, ack, requeue bool) error {
 		}
 		if !ack && requeue {
 			g.msgs = append(g.msgs, ua.msg)
+		} else {
+			// Acked or discarded: the unacked entry's reference resolves
+			// here; the last owner returns the body to the pool.
+			ua.msg.Release()
 		}
 	}
 	for i := range groups {
@@ -518,16 +562,24 @@ func (ch *srvChannel) basicAck(tag uint64, multiple, ack, requeue bool) error {
 			}
 		}
 	}
+	// The groups hold their own message-pointer copies; the resolved
+	// entries can recycle now.
+	for _, ua := range entries {
+		releaseUnacked(ua)
+	}
 	return nil
 }
 
-// resolveEntry applies a single delivery resolution (the non-batched path).
+// resolveEntry applies a single delivery resolution (the non-batched
+// path). Requeue hands the entry's message reference back to the queue;
+// ack and discard release it.
 func (ch *srvChannel) resolveEntry(ua *unackedEntry, ack, requeue bool) {
 	switch {
 	case ack:
 		if ua.cons != nil {
 			ua.queue.Ack(ua.cons)
 		}
+		ua.msg.Release()
 	case requeue:
 		if ua.cons != nil {
 			ua.queue.Release(ua.cons)
@@ -537,6 +589,7 @@ func (ch *srvChannel) resolveEntry(ua *unackedEntry, ack, requeue bool) {
 		if ua.cons != nil {
 			ua.queue.Release(ua.cons)
 		}
+		ua.msg.Release()
 	}
 }
 
@@ -553,12 +606,21 @@ func (s byTag) Swap(i, j int) {
 	s.entries[i], s.entries[j] = s.entries[j], s.entries[i]
 }
 
-// onHeader receives the content header of an in-flight publish.
+// onHeader receives the content header of an in-flight publish and
+// creates the pooled message, presizing its body buffer from the
+// header's BodySize so every body frame appends without reallocating.
 func (ch *srvChannel) onHeader(h *wire.ContentHeader) error {
 	ch.mu.Lock()
 	p := ch.pending
 	if p != nil {
+		if h.BodySize > maxBodyBytes {
+			ch.pending = nil
+			ch.mu.Unlock()
+			return ch.exception(wire.ReplyPreconditionFailed,
+				fmt.Sprintf("declared body size %d exceeds limit", h.BodySize), p.method)
+		}
 		p.header = h
+		p.msg = NewMessage(p.method.Exchange, p.method.RoutingKey, h.Properties, int(h.BodySize))
 		if h.BodySize == 0 {
 			ch.pending = nil
 		}
@@ -573,7 +635,9 @@ func (ch *srvChannel) onHeader(h *wire.ContentHeader) error {
 	return nil
 }
 
-// onBody receives a body frame of an in-flight publish.
+// onBody receives a body frame of an in-flight publish, copying it into
+// the presized pooled body (the frame payload itself is a reader loan
+// recycled on the next read).
 func (ch *srvChannel) onBody(b []byte) error {
 	ch.mu.Lock()
 	p := ch.pending
@@ -581,8 +645,8 @@ func (ch *srvChannel) onBody(b []byte) error {
 		ch.mu.Unlock()
 		return fmt.Errorf("broker: body frame without header on channel %d", ch.id)
 	}
-	p.body = append(p.body, b...)
-	complete := uint64(len(p.body)) >= p.header.BodySize
+	p.msg.AppendBody(b)
+	complete := uint64(len(p.msg.Body)) >= p.header.BodySize
 	if complete {
 		ch.pending = nil
 	}
@@ -594,41 +658,37 @@ func (ch *srvChannel) onBody(b []byte) error {
 }
 
 func (ch *srvChannel) completePublish(p *pendingPublish) error {
-	defer func() {
-		*p = pendingPublish{}
-		pendingPool.Put(p)
-	}()
+	msg, method, seq := p.msg, p.method, p.seq
+	*p = pendingPublish{}
+	pendingPool.Put(p)
+	// The publisher's reference covers routing and the mandatory-return
+	// write below; the queues' references are retained by vhost.Publish.
+	defer msg.Release()
 	ch.conn.srv.Stats.MessagesIn.Add(1)
-	ch.conn.srv.Stats.BytesIn.Add(uint64(len(p.body)))
-	msg := &Message{
-		Exchange:   p.method.Exchange,
-		RoutingKey: p.method.RoutingKey,
-		Props:      p.header.Properties,
-		Body:       p.body,
-	}
-	routed, err := ch.conn.vh.Publish(p.method.Exchange, p.method.RoutingKey, msg)
+	ch.conn.srv.Stats.BytesIn.Add(uint64(len(msg.Body)))
+	routed, err := ch.conn.vh.Publish(method.Exchange, method.RoutingKey, msg)
 	switch {
 	case err != nil && errors.Is(err, ErrNotFound):
-		return ch.exception(wire.ReplyNotFound, err.Error(), p.method)
+		return ch.exception(wire.ReplyNotFound, err.Error(), method)
 	case err != nil:
 		// Backpressure (queue full / memory alarm): reject-publish shows
 		// up as a basic.nack in confirm mode so the producer can retry.
 		if ch.isConfirm() {
-			return ch.conn.writeMethod(ch.id, &wire.BasicNack{DeliveryTag: p.seq})
+			return ch.conn.writeMethod(ch.id, &wire.BasicNack{DeliveryTag: seq})
 		}
 		return nil
-	case routed == 0 && p.method.Mandatory:
+	case routed == 0 && method.Mandatory:
 		if err := ch.conn.writeContent(ch.id, &wire.BasicReturn{
 			ReplyCode:  wire.ReplyNoRoute,
 			ReplyText:  "NO_ROUTE",
-			Exchange:   p.method.Exchange,
-			RoutingKey: p.method.RoutingKey,
+			Exchange:   method.Exchange,
+			RoutingKey: method.RoutingKey,
 		}, &msg.Props, msg.Body); err != nil {
 			return err
 		}
 	}
 	if ch.isConfirm() {
-		return ch.conn.writeMethod(ch.id, &wire.BasicAck{DeliveryTag: p.seq})
+		return ch.conn.writeMethod(ch.id, &wire.BasicAck{DeliveryTag: seq})
 	}
 	return nil
 }

@@ -1,0 +1,229 @@
+package broker
+
+import (
+	"testing"
+
+	"ds2hpc/internal/wire"
+)
+
+// newManaged builds a managed message with a pooled body of n bytes.
+func newManaged(t *testing.T, key string, n int) *Message {
+	t.Helper()
+	m := NewMessage("", key, wire.Properties{}, n)
+	m.AppendBody(make([]byte, n))
+	return m
+}
+
+// checkBalance asserts the wire pool's outstanding loan bytes are back to
+// the captured baseline — the invariant every message exit path must
+// restore.
+func checkBalance(t *testing.T, label string, base int64) {
+	t.Helper()
+	if got := wire.LoanedBytes(); got != base {
+		t.Fatalf("%s: loaned bytes = %d, want baseline %d (refcount leak or double release)", label, got, base)
+	}
+}
+
+// TestRefcountLifecycleBalance drives a managed message through every
+// broker exit path — ack (Get + release), nack+requeue, drop-head
+// eviction, reject-publish, purge, and queue delete — and asserts the
+// pool balance returns to zero after each.
+func TestRefcountLifecycleBalance(t *testing.T) {
+	base := wire.LoanedBytes()
+
+	t.Run("route-to-nowhere", func(t *testing.T) {
+		vh := NewVHost("/")
+		m := newManaged(t, "absent", 1024)
+		if routed, err := vh.Publish("", "absent", m); err != nil || routed != 0 {
+			t.Fatalf("routed=%d err=%v", routed, err)
+		}
+		m.Release()
+		checkBalance(t, "unrouted publish", base)
+	})
+
+	t.Run("deliver-and-ack", func(t *testing.T) {
+		vh := NewVHost("/")
+		q, _ := vh.DeclareQueue("ack-q", false, false, false, nil)
+		m := newManaged(t, "ack-q", 1024)
+		if _, err := vh.Publish("", "ack-q", m); err != nil {
+			t.Fatal(err)
+		}
+		m.Release()
+		got, _, _, ok := q.Get()
+		if !ok {
+			t.Fatal("message not routed")
+		}
+		got.Release() // the ack path's release of the queue reference
+		checkBalance(t, "ack", base)
+	})
+
+	t.Run("fanout-shared", func(t *testing.T) {
+		vh := NewVHost("/")
+		q1, _ := vh.DeclareQueue("fan-1", false, false, false, nil)
+		q2, _ := vh.DeclareQueue("fan-2", false, false, false, nil)
+		e, _ := vh.DeclareExchange("fan", KindFanout, false)
+		e.Bind(q1, "")
+		e.Bind(q2, "")
+		m := newManaged(t, "", 4096)
+		if routed, err := vh.Publish("fan", "", m); err != nil || routed != 2 {
+			t.Fatalf("routed=%d err=%v", routed, err)
+		}
+		m.Release()
+		m1, _, _, _ := q1.Get()
+		m1.Release()
+		checkBalance(t, "fanout after first queue only", base+int64(cap(*m.loan))) // second queue still holds it
+		m2, _, _, _ := q2.Get()
+		m2.Release()
+		checkBalance(t, "fanout", base)
+	})
+
+	t.Run("nack-requeue-then-ack", func(t *testing.T) {
+		vh := NewVHost("/")
+		q, _ := vh.DeclareQueue("rq-q", false, false, false, nil)
+		m := newManaged(t, "rq-q", 1024)
+		if _, err := vh.Publish("", "rq-q", m); err != nil {
+			t.Fatal(err)
+		}
+		m.Release()
+		got, _, _, _ := q.Get()
+		q.Requeue(got) // nack: the reference moves back to the queue
+		again, redelivered, _, ok := q.Get()
+		if !ok || !redelivered || again != got {
+			t.Fatalf("requeue lost the message: ok=%v redelivered=%v", ok, redelivered)
+		}
+		again.Release()
+		checkBalance(t, "nack+requeue", base)
+	})
+
+	t.Run("drop-head-overflow", func(t *testing.T) {
+		vh := NewVHost("/")
+		q, err := vh.DeclareQueue("dh-q", false, false, false, wire.Table{
+			"x-max-length": int32(1),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 3; i++ {
+			m := newManaged(t, "dh-q", 2048)
+			if _, err := vh.Publish("", "dh-q", m); err != nil {
+				t.Fatal(err)
+			}
+			m.Release()
+		}
+		if q.Stats().Dropped != 2 {
+			t.Fatalf("Dropped = %d, want 2", q.Stats().Dropped)
+		}
+		last, _, _, _ := q.Get()
+		last.Release()
+		checkBalance(t, "drop-head", base)
+	})
+
+	t.Run("reject-publish", func(t *testing.T) {
+		vh := NewVHost("/")
+		if _, err := vh.DeclareQueue("rp-q", false, false, false, wire.Table{
+			"x-max-length": int32(1),
+			"x-overflow":   OverflowRejectPublish,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		m1 := newManaged(t, "rp-q", 512)
+		if _, err := vh.Publish("", "rp-q", m1); err != nil {
+			t.Fatal(err)
+		}
+		m1.Release()
+		m2 := newManaged(t, "rp-q", 512)
+		if _, err := vh.Publish("", "rp-q", m2); err != ErrQueueFull {
+			t.Fatalf("err = %v, want ErrQueueFull", err)
+		}
+		m2.Release()
+		q, _ := vh.Queue("rp-q")
+		kept, _, _, _ := q.Get()
+		kept.Release()
+		checkBalance(t, "reject-publish", base)
+	})
+
+	t.Run("purge", func(t *testing.T) {
+		vh := NewVHost("/")
+		q, _ := vh.DeclareQueue("pg-q", false, false, false, nil)
+		for i := 0; i < 5; i++ {
+			m := newManaged(t, "pg-q", 1024)
+			if _, err := vh.Publish("", "pg-q", m); err != nil {
+				t.Fatal(err)
+			}
+			m.Release()
+		}
+		if n := q.Purge(); n != 5 {
+			t.Fatalf("Purge = %d, want 5", n)
+		}
+		checkBalance(t, "purge", base)
+	})
+
+	t.Run("queue-delete", func(t *testing.T) {
+		vh := NewVHost("/")
+		if _, err := vh.DeclareQueue("del-q", false, false, false, nil); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 3; i++ {
+			m := newManaged(t, "del-q", 1024)
+			if _, err := vh.Publish("", "del-q", m); err != nil {
+				t.Fatal(err)
+			}
+			m.Release()
+		}
+		if n, err := vh.DeleteQueue("del-q", false, false); err != nil || n != 3 {
+			t.Fatalf("delete: n=%d err=%v", n, err)
+		}
+		checkBalance(t, "queue delete", base)
+	})
+
+	t.Run("requeue-after-delete", func(t *testing.T) {
+		vh := NewVHost("/")
+		q, _ := vh.DeclareQueue("rd-q", false, false, false, nil)
+		m := newManaged(t, "rd-q", 1024)
+		if _, err := vh.Publish("", "rd-q", m); err != nil {
+			t.Fatal(err)
+		}
+		m.Release()
+		got, _, _, _ := q.Get()
+		if _, err := vh.DeleteQueue("rd-q", false, false); err != nil {
+			t.Fatal(err)
+		}
+		// A teardown requeue racing the delete must release, not park.
+		q.Requeue(got)
+		checkBalance(t, "requeue after delete", base)
+	})
+}
+
+// TestMessageDoubleReleasePanics locks in the over-release tripwire: a
+// Release (or Retain) after the final release panics instead of silently
+// corrupting the pools.
+func TestMessageDoubleReleasePanics(t *testing.T) {
+	m := NewMessage("", "q", wire.Properties{}, 64)
+	m.Release()
+	mustPanic(t, "double release", func() { m.Release() })
+
+	m2 := NewMessage("", "q", wire.Properties{}, 64)
+	m2.Release()
+	mustPanic(t, "retain after release", func() { m2.Retain() })
+}
+
+// TestUnmanagedMessageNoOps locks in the compatibility contract: composite
+// literal messages ignore the refcount lifecycle entirely.
+func TestUnmanagedMessageNoOps(t *testing.T) {
+	base := wire.LoanedBytes()
+	m := &Message{RoutingKey: "q", Body: []byte("x")}
+	m.Retain()
+	m.Release()
+	m.Release() // still a no-op, never a panic
+	checkBalance(t, "unmanaged", base)
+}
+
+func mustPanic(t *testing.T, label string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s: expected panic", label)
+		}
+	}()
+	f()
+}

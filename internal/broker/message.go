@@ -11,19 +11,120 @@
 package broker
 
 import (
+	"sync"
+	"sync/atomic"
+
+	"ds2hpc/internal/telemetry"
 	"ds2hpc/internal/wire"
 )
 
+// telBodyReleases counts final releases — bodies handed back to the wire
+// buffer pool after the last queue resolved the message. Together with
+// the wire.loaned_bytes gauge it makes refcount leaks observable: under
+// a drained workload loaned bytes return to baseline and releases match
+// the managed-message publish count.
+var telBodyReleases = telemetry.Default.Counter("broker.body_releases")
+
 // Message is a routed message held by queues and delivered to consumers.
+//
+// Messages are refcounted and body-pooled: ingest assembles the body into
+// a buffer loaned from the wire pool, routing retains one reference per
+// matched queue (fanout and topic routing share the one instance instead
+// of copying it), and whichever queue resolves its reference last — ack,
+// drop-head eviction, reject discard, purge, queue delete, or connection
+// teardown — returns the body to the pool. Message fields are immutable
+// after publish; per-queue delivery state (the redelivered flag) lives in
+// the queue entry, not here.
+//
+// A Message built with a plain composite literal (refcount never
+// initialized) is "unmanaged": Retain and Release are no-ops and the body
+// is left to the garbage collector. Tests and embedders can keep using
+// &Message{...} for one-shot publishes.
 type Message struct {
 	Exchange   string
 	RoutingKey string
 	Props      wire.Properties
 	Body       []byte
 
-	// Redelivered is set when the message is requeued after a nack,
-	// reject, consumer cancellation, or channel close.
-	Redelivered bool
+	// refs counts owners: the publisher while routing plus one per queue
+	// holding the message (ready or unacked). 0 means unmanaged.
+	refs atomic.Int32
+	// loan is the wire-pool buffer backing Body; nil for unmanaged
+	// messages.
+	loan *[]byte
+}
+
+// msgPool recycles Message headers so steady-state publishing allocates
+// neither the struct nor the body.
+var msgPool = sync.Pool{New: func() any { return new(Message) }}
+
+// NewMessage returns a pooled, managed message whose body buffer is
+// loaned from the wire pool presized to bodySize (the content header's
+// BodySize, so multi-frame bodies assemble without reallocation). The
+// caller owns one reference and must Release it when done routing.
+func NewMessage(exchange, routingKey string, props wire.Properties, bodySize int) *Message {
+	m := msgPool.Get().(*Message)
+	m.Exchange, m.RoutingKey, m.Props = exchange, routingKey, props
+	m.loan = wire.LoanBuf(bodySize)
+	m.Body = (*m.loan)[:0]
+	m.refs.Store(1) // clears the msgReleased sentinel on pool reuse
+	return m
+}
+
+// AppendBody appends one body-frame payload to the message under
+// assembly. The body buffer is presized from the content header, so the
+// append never reallocates for well-formed publishes.
+func (m *Message) AppendBody(b []byte) {
+	m.Body = append(m.Body, b...)
+}
+
+// msgReleased marks a fully released message awaiting pool reuse. A
+// Retain or Release that observes it is a lifecycle bug and panics
+// instead of corrupting the pool.
+const msgReleased = int32(-1 << 30)
+
+// Retain adds one owner. No-op on unmanaged messages. Callers must
+// already hold a reference (routing retains on behalf of each queue
+// while the publisher's reference is live).
+func (m *Message) Retain() {
+	n := m.refs.Load()
+	if n == 0 {
+		return
+	}
+	if n < 0 {
+		panic("broker: retain of released message")
+	}
+	m.refs.Add(1)
+}
+
+// Release drops one owner; the last owner returns the body to the wire
+// pool and the header to the message pool. No-op on unmanaged messages.
+// Must be called exactly once per owned reference: the body buffer is
+// invalid the moment the last reference is gone, and a further Release
+// panics.
+func (m *Message) Release() {
+	n := m.refs.Load()
+	if n == 0 {
+		return
+	}
+	if n < 0 {
+		panic("broker: message over-released")
+	}
+	left := m.refs.Add(-1)
+	if left > 0 {
+		return
+	}
+	if left < 0 {
+		panic("broker: message over-released")
+	}
+	telBodyReleases.Inc()
+	wire.ReleaseBuf(m.loan)
+	m.Exchange, m.RoutingKey = "", ""
+	m.Props = wire.Properties{}
+	m.Body = nil
+	m.loan = nil
+	m.refs.Store(msgReleased)
+	msgPool.Put(m)
 }
 
 // size returns the number of body bytes the message accounts against queue

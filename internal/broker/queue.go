@@ -60,9 +60,11 @@ type QueueLimits struct {
 	Overflow string
 }
 
-// delivery is a message en route to one consumer.
+// delivery is a message en route to one consumer, carrying the per-queue
+// redelivered flag alongside the shared message.
 type delivery struct {
-	msg *Message
+	msg         *Message
+	redelivered bool
 }
 
 // consumer is a registered basic.consume subscription. Deliveries flow
@@ -91,6 +93,11 @@ const outboxCap = 64
 
 // Queue is a classic queue: an in-memory FIFO of ready messages plus a set
 // of consumers served round-robin subject to prefetch credit.
+//
+// The queue owns one reference to every ready message. Delivery transfers
+// that reference to the channel layer (which releases it on ack/discard or
+// requeues it, handing it back); drop-head eviction, purge, and queue
+// deletion release it directly.
 type Queue struct {
 	Name       string
 	Durable    bool
@@ -99,8 +106,7 @@ type Queue struct {
 	Limits     QueueLimits
 
 	mu        sync.Mutex
-	ready     []*Message // FIFO; head at index 0 (amortized via headIdx)
-	headIdx   int
+	ready     msgRing // chunked ring deque: O(1) push-front/push-back/pop
 	bytes     int64
 	consumers []*consumer
 	rr        int
@@ -136,7 +142,7 @@ func NewQueue(name string, limits QueueLimits) *Queue {
 func (q *Queue) Len() int {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	return len(q.ready) - q.headIdx
+	return q.ready.len()
 }
 
 // Bytes reports the total ready payload bytes.
@@ -162,7 +168,8 @@ func (q *Queue) Stats() QueueStats {
 
 // Publish routes one message into the queue, delivering immediately if a
 // consumer has credit. It returns ErrQueueFull when the reject-publish
-// overflow policy denies the message.
+// overflow policy denies the message (the caller keeps its reference). On
+// success the queue owns the reference the caller retained for it.
 func (q *Queue) Publish(m *Message) error {
 	q.mu.Lock()
 	defer q.mu.Unlock()
@@ -175,10 +182,10 @@ func (q *Queue) Publish(m *Message) error {
 			return ErrQueueFull
 		}
 		// drop-head: evict from the front until the new message fits.
-		for q.overLimitLocked(m) && q.lenLocked() > 0 {
+		for q.overLimitLocked(m) && q.ready.len() > 0 {
 			dropped := q.popLocked()
 			q.stats.Dropped++
-			_ = dropped
+			dropped.msg.Release()
 		}
 	}
 	q.pushLocked(m)
@@ -188,36 +195,43 @@ func (q *Queue) Publish(m *Message) error {
 	return nil
 }
 
-// Get synchronously pops one ready message (basic.get). ok is false when
-// the queue is empty. remaining is the ready count after the pop.
-func (q *Queue) Get() (m *Message, remaining int, ok bool) {
+// Get synchronously pops one ready message (basic.get), transferring the
+// queue's reference to the caller. ok is false when the queue is empty.
+// remaining is the ready count after the pop.
+func (q *Queue) Get() (m *Message, redelivered bool, remaining int, ok bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	if q.lenLocked() == 0 {
-		return nil, 0, false
+	if q.ready.len() == 0 {
+		return nil, false, 0, false
 	}
-	m = q.popLocked()
+	it := q.popLocked()
 	q.stats.Delivered++
 	q.tel.delivered.Inc()
-	return m, q.lenLocked(), true
+	return it.msg, it.redelivered, q.ready.len(), true
 }
 
 // Purge drops all ready messages, returning how many were removed.
 func (q *Queue) Purge() int {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	n := q.lenLocked()
-	for q.lenLocked() > 0 {
-		q.popLocked()
+	n := q.ready.len()
+	for q.ready.len() > 0 {
+		q.popLocked().msg.Release()
 	}
 	return n
 }
 
 // Requeue returns a message to the head of the queue (nack/reject requeue,
-// channel close). The redelivered flag is set.
+// channel close), handing the caller's reference back to the queue. The
+// entry is flagged redelivered. A requeue racing a queue delete releases
+// the message instead of parking it forever.
 func (q *Queue) Requeue(m *Message) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
+	if q.deleted {
+		m.Release()
+		return
+	}
 	q.requeueLocked(m)
 	q.pumpLocked()
 }
@@ -230,6 +244,12 @@ func (q *Queue) RequeueAll(msgs []*Message) {
 	}
 	q.mu.Lock()
 	defer q.mu.Unlock()
+	if q.deleted {
+		for _, m := range msgs {
+			m.Release()
+		}
+		return
+	}
 	for i := len(msgs) - 1; i >= 0; i-- {
 		q.requeueLocked(msgs[i])
 	}
@@ -238,20 +258,14 @@ func (q *Queue) RequeueAll(msgs []*Message) {
 
 // requeueLocked inserts m at the head (caller holds q.mu).
 func (q *Queue) requeueLocked(m *Message) {
-	m.Redelivered = true
-	if q.headIdx > 0 {
-		q.headIdx--
-		q.ready[q.headIdx] = m
-	} else {
-		q.ready = append([]*Message{m}, q.ready...)
-	}
+	q.ready.pushFront(qitem{msg: m, redelivered: true})
 	q.bytes += m.size()
 	if q.onBytes != nil {
 		q.onBytes(m.size())
 	}
 	q.stats.Requeued++
 	q.tel.requeued.Inc()
-	telDepthPeak.Record(int64(q.lenLocked()))
+	telDepthPeak.Record(int64(q.ready.len()))
 }
 
 // AddConsumer registers a consumer with the given prefetch limit (0 means
@@ -345,8 +359,9 @@ func (q *Queue) DeliveryDoneN(c *consumer, n int) {
 	q.pumpLocked()
 }
 
-// markDeleted flags the queue as gone and cancels all consumers, returning
-// the consumers so the channel layer can clean up.
+// markDeleted flags the queue as gone, cancels all consumers, and releases
+// every ready message, returning the consumers so the channel layer can
+// clean up.
 func (q *Queue) markDeleted() []*consumer {
 	q.mu.Lock()
 	defer q.mu.Unlock()
@@ -356,18 +371,18 @@ func (q *Queue) markDeleted() []*consumer {
 	for _, c := range cs {
 		close(c.closed)
 	}
-	for q.lenLocked() > 0 {
-		q.popLocked()
+	for q.ready.len() > 0 {
+		q.popLocked().msg.Release()
 	}
 	return cs
 }
 
 // --- internal (callers hold q.mu) ---
 
-func (q *Queue) lenLocked() int { return len(q.ready) - q.headIdx }
+func (q *Queue) lenLocked() int { return q.ready.len() }
 
 func (q *Queue) overLimitLocked(m *Message) bool {
-	if q.Limits.MaxLen > 0 && q.lenLocked()+1 > q.Limits.MaxLen {
+	if q.Limits.MaxLen > 0 && q.ready.len()+1 > q.Limits.MaxLen {
 		return true
 	}
 	if q.Limits.MaxBytes > 0 && q.bytes+m.size() > q.Limits.MaxBytes {
@@ -377,46 +392,39 @@ func (q *Queue) overLimitLocked(m *Message) bool {
 }
 
 func (q *Queue) pushLocked(m *Message) {
-	q.ready = append(q.ready, m)
+	q.ready.pushBack(qitem{msg: m})
 	q.bytes += m.size()
 	if q.onBytes != nil {
 		q.onBytes(m.size())
 	}
-	telDepthPeak.Record(int64(q.lenLocked()))
+	telDepthPeak.Record(int64(q.ready.len()))
 }
 
-func (q *Queue) popLocked() *Message {
-	m := q.ready[q.headIdx]
-	q.ready[q.headIdx] = nil
-	q.headIdx++
-	q.bytes -= m.size()
+func (q *Queue) popLocked() qitem {
+	it := q.ready.popFront()
+	q.bytes -= it.msg.size()
 	if q.onBytes != nil {
-		q.onBytes(-m.size())
+		q.onBytes(-it.msg.size())
 	}
-	// Compact once the dead prefix dominates.
-	if q.headIdx > 64 && q.headIdx*2 >= len(q.ready) {
-		q.ready = append([]*Message(nil), q.ready[q.headIdx:]...)
-		q.headIdx = 0
-	}
-	return m
+	return it
 }
 
 // pumpLocked delivers ready messages round-robin to consumers that have
 // both prefetch credit and outbox room. It never blocks: outbox sends are
 // guaranteed by the room check under q.mu (the queue is the only sender).
 func (q *Queue) pumpLocked() {
-	for q.lenLocked() > 0 && len(q.consumers) > 0 {
+	for q.ready.len() > 0 && len(q.consumers) > 0 {
 		c := q.nextConsumerLocked()
 		if c == nil {
 			return
 		}
-		m := q.popLocked()
+		it := q.popLocked()
 		if c.credit != creditUnlimited {
 			c.credit--
 		}
 		q.stats.Delivered++
 		q.tel.delivered.Inc()
-		c.outbox <- delivery{msg: m}
+		c.outbox <- delivery{msg: it.msg, redelivered: it.redelivered}
 	}
 }
 

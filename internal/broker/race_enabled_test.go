@@ -1,0 +1,8 @@
+//go:build race
+
+package broker
+
+// raceEnabled reports that the race detector is instrumenting this build.
+// sync.Pool deliberately drops a fraction of Puts under the race detector,
+// so zero-allocation assertions over pooled hot paths are skipped.
+const raceEnabled = true

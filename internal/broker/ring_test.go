@@ -1,0 +1,141 @@
+package broker
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func ringMsg(i int) *Message {
+	return &Message{RoutingKey: fmt.Sprintf("m%d", i)}
+}
+
+func TestRingFIFOAcrossChunkBoundaries(t *testing.T) {
+	var r msgRing
+	n := ringChunkSize*3 + 7
+	for i := 0; i < n; i++ {
+		r.pushBack(qitem{msg: ringMsg(i)})
+	}
+	if r.len() != n {
+		t.Fatalf("len = %d, want %d", r.len(), n)
+	}
+	for i := 0; i < n; i++ {
+		it := r.popFront()
+		if want := fmt.Sprintf("m%d", i); it.msg.RoutingKey != want {
+			t.Fatalf("pop %d = %q, want %q", i, it.msg.RoutingKey, want)
+		}
+	}
+	if r.len() != 0 {
+		t.Fatalf("len after drain = %d", r.len())
+	}
+}
+
+func TestRingPushFrontOrdering(t *testing.T) {
+	var r msgRing
+	// Fill past one chunk, then push-front more than a chunk's worth so
+	// front growth crosses a chunk boundary too.
+	for i := 0; i < ringChunkSize+3; i++ {
+		r.pushBack(qitem{msg: ringMsg(i)})
+	}
+	for i := 1; i <= ringChunkSize+5; i++ {
+		r.pushFront(qitem{msg: ringMsg(-i), redelivered: true})
+	}
+	// Front entries come out in reverse push-front order...
+	for i := ringChunkSize + 5; i >= 1; i-- {
+		it := r.popFront()
+		if want := fmt.Sprintf("m%d", -i); it.msg.RoutingKey != want || !it.redelivered {
+			t.Fatalf("front pop = %q redelivered=%v, want %q true", it.msg.RoutingKey, it.redelivered, want)
+		}
+	}
+	// ...followed by the original FIFO tail.
+	for i := 0; i < ringChunkSize+3; i++ {
+		it := r.popFront()
+		if want := fmt.Sprintf("m%d", i); it.msg.RoutingKey != want {
+			t.Fatalf("tail pop = %q, want %q", it.msg.RoutingKey, want)
+		}
+	}
+}
+
+func TestRingEmptyDrainReuse(t *testing.T) {
+	var r msgRing
+	// Oscillate around empty: the resident chunk must absorb the churn in
+	// both directions without losing entries.
+	for cycle := 0; cycle < 2*ringChunkSize; cycle++ {
+		r.pushBack(qitem{msg: ringMsg(cycle)})
+		if it := r.popFront(); it.msg.RoutingKey != fmt.Sprintf("m%d", cycle) {
+			t.Fatalf("cycle %d: wrong entry %q", cycle, it.msg.RoutingKey)
+		}
+		r.pushFront(qitem{msg: ringMsg(cycle)})
+		if it := r.popFront(); it.msg.RoutingKey != fmt.Sprintf("m%d", cycle) {
+			t.Fatalf("cycle %d: wrong front entry %q", cycle, it.msg.RoutingKey)
+		}
+		if r.len() != 0 {
+			t.Fatalf("cycle %d: len = %d", cycle, r.len())
+		}
+	}
+}
+
+// TestRingChunkRecycling checks popFront pools drained interior chunks:
+// a deep fill-and-drain leaves at most the resident chunk behind.
+func TestRingChunkRecycling(t *testing.T) {
+	var r msgRing
+	for i := 0; i < ringChunkSize*8; i++ {
+		r.pushBack(qitem{msg: ringMsg(i)})
+	}
+	for i := 0; i < ringChunkSize*8; i++ {
+		r.popFront()
+	}
+	chunks := 0
+	for c := r.head; c != nil; c = c.next {
+		chunks++
+	}
+	if chunks > 1 {
+		t.Fatalf("%d chunks retained after drain, want <= 1", chunks)
+	}
+}
+
+// TestQuickRingMatchesSliceDeque cross-checks the chunked ring against a
+// naive slice deque over random front/back operation sequences.
+func TestQuickRingMatchesSliceDeque(t *testing.T) {
+	f := func(ops []uint8) bool {
+		var r msgRing
+		var ref []*Message
+		next := 0
+		for _, op := range ops {
+			switch op % 4 {
+			case 0, 1: // pushBack (biased: publishes dominate)
+				m := ringMsg(next)
+				next++
+				r.pushBack(qitem{msg: m})
+				ref = append(ref, m)
+			case 2: // pushFront
+				m := ringMsg(next)
+				next++
+				r.pushFront(qitem{msg: m})
+				ref = append([]*Message{m}, ref...)
+			case 3: // popFront
+				if len(ref) == 0 {
+					continue
+				}
+				it := r.popFront()
+				if it.msg != ref[0] {
+					return false
+				}
+				ref = ref[1:]
+			}
+			if r.len() != len(ref) {
+				return false
+			}
+		}
+		for len(ref) > 0 {
+			if r.popFront().msg != ref[0] {
+				return false
+			}
+			ref = ref[1:]
+		}
+		return r.len() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

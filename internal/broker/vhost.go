@@ -268,6 +268,13 @@ var routeScratch = sync.Pool{New: func() any { return new([]*Queue) }}
 // It returns the number of queues the message reached. With a reject-publish
 // queue at capacity or the vhost memory alarm raised, the error reports the
 // rejection so confirm mode can nack the publisher.
+//
+// Every matched queue shares the one message instance: routing retains a
+// reference per queue that accepts it (refcount = routed count) instead of
+// aliasing a heap copy per publish. Per-queue delivery state lives in the
+// queue entries, so sharing is safe. The caller keeps its own reference
+// throughout and releases it after Publish returns (mandatory returns
+// still need the body).
 func (vh *VHost) Publish(exchange, routingKey string, m *Message) (int, error) {
 	e, ok := vh.Exchange(exchange)
 	if !ok {
@@ -281,14 +288,9 @@ func (vh *VHost) Publish(exchange, routingKey string, m *Message) (int, error) {
 	routed := 0
 	var rejectErr error
 	for _, q := range queues {
-		// Fanout and multi-binding routes copy the message so per-queue
-		// Redelivered flags do not interfere.
-		msg := m
-		if len(queues) > 1 {
-			cp := *m
-			msg = &cp
-		}
-		if err := q.Publish(msg); err != nil {
+		m.Retain() // the queue's reference
+		if err := q.Publish(m); err != nil {
+			m.Release()
 			rejectErr = err
 			continue
 		}

@@ -2,8 +2,10 @@ package wire
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"ds2hpc/internal/metrics"
+	"ds2hpc/internal/telemetry"
 )
 
 // Buffer pooling for the streaming hot path. Every frame read and every
@@ -78,6 +80,53 @@ func putBuf(p *[]byte) {
 	bufPools[class].Put(p)
 }
 
+// Loaned buffers: the exported ownership API over the size-classed pools.
+// A loan is a zero-length buffer a caller owns until it releases it back;
+// the broker's message bodies and the client's delivery bodies live on
+// loans, so steady-state payload traffic recycles the same few buffers.
+// Outstanding loaned capacity is observable as the telemetry gauge
+// wire.loaned_bytes (it must return to its baseline when a workload
+// drains — a rising floor is a refcount leak).
+
+var loanedBytes atomic.Int64
+
+func init() {
+	telemetry.Default.GaugeFunc("wire.loaned_bytes", LoanedBytes)
+}
+
+// LoanBuf loans a zero-length pooled buffer with capacity at least n. The
+// caller owns it until ReleaseBuf (or AbandonBuf); it must not be grown
+// beyond its capacity, or the pool accounting and recycling both break.
+func LoanBuf(n int) *[]byte {
+	p := getBuf(n)
+	loanedBytes.Add(int64(cap(*p)))
+	return p
+}
+
+// ReleaseBuf returns a loaned buffer to its pool. Safe on nil.
+func ReleaseBuf(p *[]byte) {
+	if p == nil {
+		return
+	}
+	loanedBytes.Add(-int64(cap(*p)))
+	putBuf(p)
+}
+
+// AbandonBuf removes a loan from the outstanding accounting without
+// recycling it: the buffer's ownership has escaped (e.g. an application
+// retained a delivery body across a reconnect), so it is left to the
+// garbage collector rather than reused under the holder.
+func AbandonBuf(p *[]byte) {
+	if p == nil {
+		return
+	}
+	loanedBytes.Add(-int64(cap(*p)))
+}
+
+// LoanedBytes reports the total capacity currently out on loan via
+// LoanBuf — the "pooled bytes outstanding" telemetry gauge source.
+func LoanedBytes() int64 { return loanedBytes.Load() }
+
 // writerPool recycles frame-building Writers across messages. Writers whose
 // buffers grew beyond maxPooledWriterBytes are dropped rather than pinned.
 var writerPool = sync.Pool{
@@ -101,7 +150,13 @@ func GetWriter() *Writer {
 
 // PutWriter recycles a Writer obtained from GetWriter.
 func PutWriter(w *Writer) {
-	if w == nil || cap(w.buf) > maxPooledWriterBytes {
+	if w == nil {
+		return
+	}
+	// Error paths can put a writer back without flushing; make sure no
+	// borrowed body slices stay pinned inside the pool.
+	w.dropBorrows()
+	if cap(w.buf) > maxPooledWriterBytes {
 		return
 	}
 	writerPool.Put(w)

@@ -23,25 +23,62 @@ var (
 // Writer encodes protocol primitives into an in-memory buffer which is then
 // emitted as a single frame payload. It never fails mid-stream; errors such
 // as oversized short strings are reported by the Err method and by Flush.
+//
+// Large body payloads appended through AppendContentFramesZC are not
+// copied into the buffer: the Writer records a borrow segment instead and
+// FlushFrames emits buffer ranges and borrowed slices as one vectored
+// write. Borrowed slices must stay valid and unmodified until the flush.
 type Writer struct {
 	buf []byte
 	err error
+
+	// segs are the borrow points for vectored flushes: emit buf[:cut],
+	// then ext, then continue from cut. Cuts are non-decreasing.
+	segs   []borrowSeg
+	extLen int
+	iov    [][]byte // flush scratch, reused across batches
+}
+
+// borrowSeg is one zero-copy splice point in the Writer's output.
+type borrowSeg struct {
+	cut int // offset into buf after which ext is emitted
+	ext []byte
 }
 
 // NewWriter returns a Writer with a small pre-allocated buffer.
 func NewWriter() *Writer { return &Writer{buf: make([]byte, 0, 64)} }
 
-// Bytes returns the encoded payload.
+// Bytes returns the encoded payload. It is only meaningful when no borrow
+// segments are pending (method/property encoding never borrows).
 func (w *Writer) Bytes() []byte { return w.buf }
 
-// Len reports the number of buffered bytes.
-func (w *Writer) Len() int { return len(w.buf) }
+// Len reports the number of bytes the next flush will emit, including
+// borrowed body segments.
+func (w *Writer) Len() int { return len(w.buf) + w.extLen }
 
 // Err returns the first encoding error, if any.
 func (w *Writer) Err() error { return w.err }
 
 // Reset clears the buffer for reuse.
-func (w *Writer) Reset() { w.buf = w.buf[:0]; w.err = nil }
+func (w *Writer) Reset() {
+	w.buf = w.buf[:0]
+	w.err = nil
+	w.dropBorrows()
+}
+
+// dropBorrows clears borrow segments and the flush scratch without
+// pinning the borrowed slices.
+func (w *Writer) dropBorrows() {
+	for i := range w.segs {
+		w.segs[i].ext = nil
+	}
+	w.segs = w.segs[:0]
+	w.extLen = 0
+	for i := range w.iov {
+		w.iov[i] = nil
+	}
+	w.iov = w.iov[:0]
+}
 
 // Octet appends a single byte.
 func (w *Writer) Octet(b byte) { w.buf = append(w.buf, b) }

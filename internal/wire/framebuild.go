@@ -3,6 +3,7 @@ package wire
 import (
 	"encoding/binary"
 	"io"
+	"net"
 
 	"ds2hpc/internal/metrics"
 )
@@ -82,19 +83,87 @@ func (w *Writer) AppendContentFrames(channel uint16, m Method, props *Properties
 	return frames
 }
 
+// zcMinBorrow is the smallest body chunk AppendContentFramesZC borrows
+// instead of copying. Below it the memcpy is cheaper than an extra iovec
+// entry; above it the copy dominates and the chunk rides the vectored
+// write in place.
+const zcMinBorrow = 2048
+
+// AppendContentFramesZC is AppendContentFrames with zero-copy bodies:
+// body chunks of at least zcMinBorrow bytes are recorded as borrow
+// segments instead of being copied into the Writer's buffer, and
+// FlushFrames stitches buffer and borrowed slices into one vectored
+// write. The caller must keep body valid and unmodified until the
+// frames are flushed (delivery paths hold the message's refcount across
+// the flush, which guarantees exactly that).
+func (w *Writer) AppendContentFramesZC(channel uint16, m Method, props *Properties, body []byte, frameMax uint32) int {
+	w.AppendMethodFrame(channel, m)
+	off := w.StartFrame(FrameHeader, channel)
+	marshalContentHeader(w, ClassBasic, uint64(len(body)), props)
+	w.EndFrame(off)
+	frames := 2
+	max := int(frameMax)
+	if max <= 0 {
+		max = DefaultFrameMax
+	}
+	for start := 0; start < len(body); start += max {
+		end := start + max
+		if end > len(body) {
+			end = len(body)
+		}
+		chunk := body[start:end]
+		if len(chunk) < zcMinBorrow {
+			w.AppendRawFrame(FrameBody, channel, chunk)
+		} else {
+			// Frame header into the buffer, chunk borrowed, frame-end
+			// octet back in the buffer after the splice point.
+			w.Octet(FrameBody)
+			w.Short(channel)
+			w.Long(uint32(len(chunk)))
+			w.segs = append(w.segs, borrowSeg{cut: len(w.buf), ext: chunk})
+			w.extLen += len(chunk)
+			w.Octet(FrameEnd)
+		}
+		frames++
+	}
+	return frames
+}
+
 // FlushFrames emits every frame accumulated in the Writer with a single
-// Write call, resets the buffer, and records the coalescing counters.
-// frames is the number of frames in the buffer (counted by the caller or
-// returned from AppendContentFrames).
+// Write call — a plain write when everything was copied in, a vectored
+// write (writev on TCP) when body segments were borrowed — resets the
+// buffer, and records the coalescing counters. frames is the number of
+// frames in the buffer (counted by the caller or returned from
+// AppendContentFrames/AppendContentFramesZC).
 func (w *Writer) FlushFrames(dst io.Writer, frames int) error {
 	if w.err != nil {
 		return w.err
 	}
-	if len(w.buf) == 0 {
+	if len(w.buf) == 0 && w.extLen == 0 {
 		return nil
 	}
-	_, err := dst.Write(w.buf)
+	var err error
+	if len(w.segs) == 0 {
+		_, err = dst.Write(w.buf)
+	} else {
+		iov := w.iov[:0]
+		prev := 0
+		for _, s := range w.segs {
+			if s.cut > prev {
+				iov = append(iov, w.buf[prev:s.cut])
+				prev = s.cut
+			}
+			iov = append(iov, s.ext)
+		}
+		if prev < len(w.buf) {
+			iov = append(iov, w.buf[prev:])
+		}
+		w.iov = iov // keep grown scratch for reuse
+		bufs := net.Buffers(iov)
+		_, err = bufs.WriteTo(dst)
+	}
 	w.buf = w.buf[:0]
+	w.dropBorrows()
 	coalescedWrites.Inc()
 	if frames > 1 {
 		framesCoalesced.Add(uint64(frames))
