@@ -15,9 +15,11 @@ PR ?= dev
 # fault-rate sweep introduced with the transport hop stack, the
 # Fig6a feedback bench so the embedded telemetry snapshot's rtt_ns
 # histogram carries real round-trip samples (tail latency, not just
-# means), and the broker fanout publish→deliver microbench (the
-# zero-copy data-plane trajectory point).
-BENCH_PATTERN ?= BenchmarkAblationAckBatching|BenchmarkAblationWorkQueues|BenchmarkOverheadVsDTS|BenchmarkResilienceFaultRate|BenchmarkFig6aDstreamFeedbackRTT|BenchmarkFanoutPublishDeliver
+# means), the broker fanout publish→deliver microbench (the zero-copy
+# data-plane trajectory point) plus its durable twin (the price of
+# crash safety on the same path), and the raw seglog append/replay
+# benches (the durability engine in isolation).
+BENCH_PATTERN ?= BenchmarkAblationAckBatching|BenchmarkAblationWorkQueues|BenchmarkOverheadVsDTS|BenchmarkResilienceFaultRate|BenchmarkFig6aDstreamFeedbackRTT|BenchmarkFanoutPublishDeliver|BenchmarkDurableFanoutPublishDeliver|BenchmarkSeglogAppend|BenchmarkSeglogReplay
 
 # MICRO_ITERS fixes the iteration count for the broker microbenchmarks:
 # unlike the figure benches (one timed scenario run each, hence 1x), the
@@ -35,12 +37,17 @@ test:
 # checked-in example spec (short scale) runs through `streamsim scenario`,
 # including the fault-script and pipeline specs. The linkflap spec runs
 # a second time with -watch so the live telemetry rollup path (probe →
-# aggregator → OnTick) is exercised under injected faults.
+# aggregator → OnTick) is exercised under injected faults. The
+# crashrestart spec hard-kills every broker node mid-run and recovers
+# durable queues from their segment logs; coldreplay attaches a late
+# consumer at offset 0 and replays retained history.
 smoke:
 	$(GO) run ./cmd/streamsim scenario examples/scenario/worksharing.json
 	$(GO) run ./cmd/streamsim scenario examples/scenario/pipeline.json
 	$(GO) run ./cmd/streamsim scenario examples/scenario/linkflap.json
 	$(GO) run ./cmd/streamsim scenario -watch examples/scenario/linkflap.json
+	$(GO) run ./cmd/streamsim scenario examples/scenario/crashrestart.json
+	$(GO) run ./cmd/streamsim scenario examples/scenario/coldreplay.json
 
 race:
 	$(GO) vet ./...
@@ -58,5 +65,5 @@ short:
 # in the same stream.
 bench-snapshot:
 	( $(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime 1x -benchmem . && \
-	  $(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime $(MICRO_ITERS) -benchmem ./internal/broker ) \
+	  $(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime $(MICRO_ITERS) -benchmem ./internal/broker ./internal/broker/seglog ) \
 		| $(GO) run ./cmd/benchsnap -out BENCH_$(PR).json

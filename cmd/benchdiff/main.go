@@ -79,6 +79,17 @@ func pctDelta(old, new float64) float64 {
 	return (new - old) / old * 100
 }
 
+// printMetrics prints one snapshot's metric values for a benchmark that
+// exists on only one side of the diff. One-sided benchmarks never gate —
+// there is nothing to regress against — but their numbers must still land
+// in the report, or a benchmark added in the same PR as its code would be
+// invisible in CI output until the next baseline refresh.
+func printMetrics(out io.Writer, b Benchmark) {
+	for _, col := range metricCols {
+		fmt.Fprintf(out, "    %-12s %14.1f\n", col, b.Metrics[col])
+	}
+}
+
 // diffRow is one compared benchmark.
 type diffRow struct {
 	name     string
@@ -155,9 +166,11 @@ func run(out io.Writer, oldSnap, newSnap Snapshot, allocsThreshold float64, gate
 	}
 	for _, name := range added {
 		fmt.Fprintf(out, "%-60s (new benchmark, no baseline)\n", name)
+		printMetrics(out, newBy[name])
 	}
 	for _, name := range removed {
 		fmt.Fprintf(out, "%-60s (removed since baseline)\n", name)
+		printMetrics(out, oldBy[name])
 	}
 	if len(rows) == 0 {
 		fmt.Fprintln(out, "benchdiff: no common benchmarks between snapshots")

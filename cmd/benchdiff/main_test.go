@@ -85,6 +85,14 @@ func TestRunNewAndRemovedBenchmarksReported(t *testing.T) {
 	if !strings.Contains(out.String(), "BenchmarkOld") || !strings.Contains(out.String(), "removed since baseline") {
 		t.Fatalf("removed benchmark not reported:\n%s", out.String())
 	}
+	// One-sided benchmarks must report their metric values, not just their
+	// names — 99 allocs/op is BenchmarkNew's only row and must be visible.
+	if !strings.Contains(out.String(), "99.0") {
+		t.Fatalf("new benchmark's allocs/op value missing from report:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "1000.0") {
+		t.Fatalf("removed benchmark's ns/op value missing from report:\n%s", out.String())
+	}
 }
 
 func TestRunGateRestrictsFailures(t *testing.T) {

@@ -113,7 +113,7 @@ func (d *driver) spec(w workload.Workload, pat string, arch core.ArchitectureNam
 		Pattern:             pat,
 		MessagesPerProducer: msgs,
 		Runs:                *runsFlag,
-		Tuning: scenario.Tuning{Window: 4},
+		Tuning:              scenario.Tuning{Window: 4},
 		// One deadline covers the whole run (production plus drain), so
 		// allow what the old per-phase 5-minute budgets added up to.
 		TimeoutMS: (15 * time.Minute).Milliseconds(),

@@ -3,9 +3,14 @@
 // Streaming Nodes. With -tls it serves AMQPS like the DTS deployment's
 // node-exposed port 30671.
 //
+// With -data-dir each node persists its durable queues to an append-only
+// segment log under that directory and replays them on restart; -fsync
+// picks the durability/latency trade-off (never, interval, always).
+//
 // Usage:
 //
 //	rmq-server [-addr 127.0.0.1:5672] [-nodes 1] [-tls] [-mem-gb 4] [-rate-mbps 0]
+//	           [-data-dir DIR] [-fsync never|interval|always]
 package main
 
 import (
@@ -18,6 +23,7 @@ import (
 	"syscall"
 
 	"ds2hpc/internal/broker"
+	"ds2hpc/internal/broker/seglog"
 	"ds2hpc/internal/cluster"
 	"ds2hpc/internal/netem"
 	"ds2hpc/internal/tlsutil"
@@ -47,6 +53,8 @@ func run(args []string, sig <-chan os.Signal, out io.Writer, started func(addrs 
 		withTLS  = fs.Bool("tls", false, "serve AMQPS with a self-signed certificate")
 		memGB    = fs.Float64("mem-gb", 4, "memory limit per vhost in GiB (80% goes to payload queues)")
 		rateMbps = fs.Float64("rate-mbps", 0, "emulated per-node link rate in Mbps (0 = unshaped)")
+		dataDir  = fs.String("data-dir", "", "persist durable queues to segment logs under this directory (empty = in-memory only)")
+		fsync    = fs.String("fsync", "", "segment log fsync policy: never, interval, always (default never)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -54,6 +62,17 @@ func run(args []string, sig <-chan os.Signal, out io.Writer, started func(addrs 
 
 	cfg := broker.Config{
 		MemoryLimit: int64(*memGB * float64(1<<30) * 0.8),
+	}
+	if *fsync != "" && *dataDir == "" {
+		return fmt.Errorf("-fsync requires -data-dir")
+	}
+	if *dataDir != "" {
+		policy, err := seglog.ParseFsync(*fsync)
+		if err != nil {
+			return err
+		}
+		cfg.DataDir = *dataDir
+		cfg.Durability = seglog.Options{Fsync: policy}
 	}
 	if *withTLS {
 		id, err := tlsutil.SelfSigned("rmq-server", "127.0.0.1", "localhost")

@@ -76,6 +76,92 @@ func TestServerStartPublishShutdown(t *testing.T) {
 	}
 }
 
+// TestServerDurableRestart starts the server with -data-dir, publishes to
+// a durable queue, stops the process, and checks a second process on the
+// same directory serves the message back — the operator-facing face of
+// crash recovery.
+func TestServerDurableRestart(t *testing.T) {
+	dir := t.TempDir()
+	boot := func(publish bool) string {
+		sig := make(chan os.Signal, 1)
+		addrs := make(chan []string, 1)
+		var out bytes.Buffer
+		done := make(chan error, 1)
+		go func() {
+			done <- run([]string{"-addr", "127.0.0.1:0", "-data-dir", dir, "-fsync", "always"},
+				sig, &out, func(a []string) { addrs <- a })
+		}()
+		var nodes []string
+		select {
+		case nodes = <-addrs:
+		case err := <-done:
+			t.Fatalf("server exited early: %v (output: %s)", err, out.String())
+		case <-time.After(10 * time.Second):
+			t.Fatal("server did not start listening")
+		}
+
+		conn, err := amqp.Dial(fmt.Sprintf("amqp://%s/", nodes[0]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ch, err := conn.Channel()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ch.QueueDeclare("ledger", true, false, false, false, nil); err != nil {
+			t.Fatal(err)
+		}
+		var body string
+		if publish {
+			if err := ch.Confirm(false); err != nil {
+				t.Fatal(err)
+			}
+			confirms := ch.NotifyPublish(make(chan amqp.Confirmation, 1))
+			if err := ch.Publish("", "ledger", false, false, amqp.Publishing{
+				DeliveryMode: 2, Body: []byte("survives"),
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if c := <-confirms; !c.Ack {
+				t.Fatal("publish nacked")
+			}
+		} else {
+			d, ok, err := ch.Get("ledger", true)
+			if err != nil || !ok {
+				t.Fatalf("get after restart: ok=%v err=%v", ok, err)
+			}
+			body = string(d.Body)
+		}
+		conn.Close()
+		sig <- os.Interrupt
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("run returned %v", err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("server did not shut down on signal")
+		}
+		return body
+	}
+
+	boot(true)
+	if got := boot(false); got != "survives" {
+		t.Fatalf("recovered body = %q, want %q", got, "survives")
+	}
+}
+
+// TestFsyncFlagValidation checks -fsync is validated up front.
+func TestFsyncFlagValidation(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-data-dir", t.TempDir(), "-fsync", "sometimes"}, nil, &out, nil); err == nil {
+		t.Fatal("bad -fsync policy must be rejected")
+	}
+	if err := run([]string{"-fsync", "always"}, nil, &out, nil); err == nil {
+		t.Fatal("-fsync without -data-dir must be rejected")
+	}
+}
+
 // TestBadFlagRejected checks flag parsing surfaces errors instead of
 // exiting the process.
 func TestBadFlagRejected(t *testing.T) {

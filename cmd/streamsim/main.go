@@ -173,6 +173,10 @@ func printReport(rep *scenario.Report) {
 		fmt.Printf("faults:         %d flaps, %d resets, %d refused dials\n",
 			rep.Faults.Flaps, rep.Faults.Resets, rep.Faults.Refused)
 	}
+	if rep.BrokerRestarts > 0 {
+		fmt.Printf("broker kills:   %d hard restart(s) survived, durable queues replayed\n",
+			rep.BrokerRestarts)
+	}
 }
 
 // printResult writes the shared result block of the scenario and local

@@ -137,6 +137,31 @@
 // past its acknowledgement — copy first to retain; autoAck deliveries,
 // gets, and returns own their bodies outright.
 //
+// # Durability model
+//
+// Durable storage is opt-in and per-queue: with broker.Config.DataDir
+// set (rmq-server -data-dir, or a durability block in a scenario
+// spec's deployment), each durable-declared queue is backed by an
+// append-only CRC-framed segment log (internal/broker/seglog).
+// Publishes append data records — properties reuse the AMQP
+// content-header encoding, bodies spill zero-copy from the wire-loan
+// buffer — and acks append retirement records; fully-acked head
+// segments are compacted unless retain_all keeps them for replay. The
+// fsync policy (never, interval, always) picks the durability/latency
+// trade-off; always upgrades publisher confirms to confirm-implies-
+// durable.
+//
+// Recovery on restart truncates a torn tail to the longest intact
+// record prefix and requeues everything unacked (redelivered=true):
+// with fsync always, confirmed messages survive a hard kill and
+// settled ones never resurrect, while delivery stays at-least-once —
+// in-flight unacked messages are redelivered as duplicates. Consumers
+// passing the x-stream-offset consume argument replay retained history
+// from any offset and then follow the live tail (the cold-replay
+// pattern). The broker-restart scenario fault hard-kills every node
+// mid-run and restarts them on the same addresses; reconnecting
+// clients ride it out with zero acked-message loss.
+//
 // # Running the suite
 //
 // Tier-1 verification is `go build ./... && go test ./...`; CI runs

@@ -10,8 +10,11 @@
 //
 // Without an argument it runs the work-sharing spec checked in next to
 // this file. Try linkflap.json for a scripted WAN outage survived via
-// client auto-reconnect, or pipeline.json for the multi-stage
-// edge → filter → HPC-aggregation pattern.
+// client auto-reconnect, pipeline.json for the multi-stage
+// edge → filter → HPC-aggregation pattern, crashrestart.json for a
+// hard broker kill recovered from durable segment logs, or
+// coldreplay.json for a late consumer replaying retained history from
+// offset zero.
 package main
 
 import (

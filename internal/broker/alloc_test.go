@@ -3,6 +3,7 @@ package broker
 import (
 	"testing"
 
+	"ds2hpc/internal/broker/seglog"
 	"ds2hpc/internal/wire"
 )
 
@@ -18,7 +19,7 @@ func TestAllocsQueuePublishGet(t *testing.T) {
 		}
 	}
 	for {
-		if _, _, _, ok := q.Get(); !ok {
+		if _, _, _, _, ok := q.Get(); !ok {
 			break
 		}
 	}
@@ -26,7 +27,7 @@ func TestAllocsQueuePublishGet(t *testing.T) {
 		if err := q.Publish(msg); err != nil {
 			t.Fatal(err)
 		}
-		if _, _, _, ok := q.Get(); !ok {
+		if _, _, _, _, ok := q.Get(); !ok {
 			t.Fatal("queue empty after publish")
 		}
 	})
@@ -40,7 +41,7 @@ func TestAllocsQueuePublishGet(t *testing.T) {
 // index and pooled scratch, allocating nothing per publish.
 func TestAllocsVHostPublish(t *testing.T) {
 	vh := NewVHost("/")
-	if _, err := vh.DeclareQueue("ws-q-0", false, false, false, nil); err != nil {
+	if _, err := vh.DeclareQueue("ws-q-0", false, false, false, false, nil); err != nil {
 		t.Fatal(err)
 	}
 	q, _ := vh.Queue("ws-q-0")
@@ -52,7 +53,7 @@ func TestAllocsVHostPublish(t *testing.T) {
 		}
 	}
 	for {
-		if _, _, _, ok := q.Get(); !ok {
+		if _, _, _, _, ok := q.Get(); !ok {
 			break
 		}
 	}
@@ -61,7 +62,7 @@ func TestAllocsVHostPublish(t *testing.T) {
 		if err != nil || routed != 1 {
 			t.Fatalf("routed=%d err=%v", routed, err)
 		}
-		if _, _, _, ok := q.Get(); !ok {
+		if _, _, _, _, ok := q.Get(); !ok {
 			t.Fatal("queue empty after publish")
 		}
 	})
@@ -118,7 +119,7 @@ func TestAllocsFanoutPublishDeliverManaged(t *testing.T) {
 	var queues []*Queue
 	var conss []*consumer
 	for _, name := range []string{"fan-a", "fan-b"} {
-		q, err := vh.DeclareQueue(name, false, false, false, nil)
+		q, err := vh.DeclareQueue(name, false, false, false, false, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -157,5 +158,70 @@ func TestAllocsFanoutPublishDeliverManaged(t *testing.T) {
 	got := testing.AllocsPerRun(200, cycle)
 	if got > 0 {
 		t.Fatalf("managed fanout publish→deliver allocates %.1f objects/op, want 0", got)
+	}
+}
+
+// TestAllocsDurableFanoutPublishDeliver locks in the durable hot path's
+// allocation budget: publishing a managed message through a fanout into
+// two durable queues — each append CRC-framed into its segment log
+// (fsync=never) — then draining, acking, and committing the settlement
+// offsets must stay at or under one allocation per message at steady
+// state. Segment rotation and offset-batch growth amortize to zero over
+// the run; anything past 1 alloc/op means durability leaked onto the
+// per-message path.
+func TestAllocsDurableFanoutPublishDeliver(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops a fraction of Puts under the race detector; alloc assertion not meaningful")
+	}
+	vh := NewVHost("/")
+	vh.logDir = t.TempDir()
+	vh.logOpts = seglog.Options{Fsync: seglog.FsyncNever}
+	e, err := vh.DeclareExchange("fan", KindFanout, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var queues []*Queue
+	var conss []*consumer
+	for _, name := range []string{"dfan-a", "dfan-b"} {
+		q, err := vh.DeclareQueue(name, true, false, false, false, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.Bind(q, "")
+		c, err := q.AddConsumer("c", false, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		queues = append(queues, q)
+		conss = append(conss, c)
+	}
+	defer vh.crash()
+	payload := make([]byte, 4096)
+	cycle := func() {
+		m := NewMessage("fan", "", wire.Properties{}, len(payload))
+		m.AppendBody(payload)
+		routed, err := vh.Publish("fan", "", m)
+		if err != nil || routed != 2 {
+			t.Fatalf("routed=%d err=%v", routed, err)
+		}
+		m.Release() // publisher's reference
+		for i, c := range conss {
+			var d delivery
+			select {
+			case d = <-c.outbox:
+			default:
+				t.Fatal("no delivery pumped")
+			}
+			queues[i].DeliveryDoneN(c, 1)
+			queues[i].AckN(c, 1)
+			d.msg.Release() // the queue's reference, resolved by the ack
+		}
+	}
+	for i := 0; i < 8; i++ {
+		cycle() // warm pools and the segment logs' append buffers
+	}
+	got := testing.AllocsPerRun(200, cycle)
+	if got > 1 {
+		t.Fatalf("durable fanout publish→deliver allocates %.1f objects/op, want <= 1", got)
 	}
 }

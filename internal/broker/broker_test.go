@@ -22,7 +22,7 @@ func TestQueueFIFO(t *testing.T) {
 		}
 	}
 	for i := 0; i < 5; i++ {
-		m, _, _, ok := q.Get()
+		m, _, _, _, ok := q.Get()
 		if !ok {
 			t.Fatalf("missing message %d", i)
 		}
@@ -30,7 +30,7 @@ func TestQueueFIFO(t *testing.T) {
 			t.Fatalf("out of order: %q at %d", m.Body, i)
 		}
 	}
-	if _, _, _, ok := q.Get(); ok {
+	if _, _, _, _, ok := q.Get(); ok {
 		t.Fatal("queue should be empty")
 	}
 }
@@ -59,7 +59,7 @@ func TestQueueMaxBytesDropHead(t *testing.T) {
 	if q.Len() != 2 {
 		t.Fatalf("Len = %d, want 2", q.Len())
 	}
-	m, _, _, _ := q.Get()
+	m, _, _, _, _ := q.Get()
 	if string(m.Body) != "bbbb" {
 		t.Fatalf("head = %q, want bbbb", m.Body)
 	}
@@ -72,9 +72,9 @@ func TestQueueRequeueGoesToHead(t *testing.T) {
 	q := NewQueue("q", QueueLimits{})
 	q.Publish(msg("first"))
 	q.Publish(msg("second"))
-	m, _, _, _ := q.Get()
-	q.Requeue(m)
-	m2, redelivered, _, _ := q.Get()
+	m, _, _, _, _ := q.Get()
+	q.Requeue(m, offNone)
+	m2, _, redelivered, _, _ := q.Get()
 	if string(m2.Body) != "first" || !redelivered {
 		t.Fatalf("requeue order broken: %q redelivered=%v", m2.Body, redelivered)
 	}
@@ -197,7 +197,7 @@ func TestTopicMatch(t *testing.T) {
 
 func TestVHostDeclareAndRoute(t *testing.T) {
 	vh := NewVHost("/")
-	q, err := vh.DeclareQueue("jobs", false, false, false, nil)
+	q, err := vh.DeclareQueue("jobs", false, false, false, false, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -213,7 +213,7 @@ func TestVHostDeclareAndRoute(t *testing.T) {
 
 func TestVHostPassiveDeclare(t *testing.T) {
 	vh := NewVHost("/")
-	if _, err := vh.DeclareQueue("nope", false, false, true, nil); err == nil {
+	if _, err := vh.DeclareQueue("nope", false, false, false, true, nil); err == nil {
 		t.Fatal("passive declare of missing queue should fail")
 	}
 	if _, err := vh.DeclareExchange("nope", KindDirect, true); err == nil {
@@ -233,7 +233,7 @@ func TestVHostExchangeKindConflict(t *testing.T) {
 
 func TestVHostDeleteQueueCleansBindings(t *testing.T) {
 	vh := NewVHost("/")
-	q, _ := vh.DeclareQueue("dq", false, false, false, nil)
+	q, _ := vh.DeclareQueue("dq", false, false, false, false, nil)
 	e, _ := vh.DeclareExchange("fan", KindFanout, false)
 	e.Bind(q, "")
 	if _, err := vh.DeleteQueue("dq", false, false); err != nil {
@@ -252,7 +252,7 @@ func TestVHostDeleteQueueCleansBindings(t *testing.T) {
 // series pinning dead queues).
 func TestVHostQueueTelemetryLifecycle(t *testing.T) {
 	vh := NewVHost("/")
-	if _, err := vh.DeclareQueue("tele-q", false, false, false, nil); err != nil {
+	if _, err := vh.DeclareQueue("tele-q", false, false, false, false, nil); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := vh.Publish("", "tele-q", msg("x")); err != nil {
@@ -279,7 +279,7 @@ func TestVHostQueueTelemetryLifecycle(t *testing.T) {
 
 func TestVHostMemoryAccounting(t *testing.T) {
 	vh := NewVHost("/")
-	q, _ := vh.DeclareQueue("m", false, false, false, nil)
+	q, _ := vh.DeclareQueue("m", false, false, false, false, nil)
 	vh.Publish("", "m", &Message{Body: make([]byte, 100)})
 	vh.Publish("", "m", &Message{Body: make([]byte, 50)})
 	if got := vh.TotalBytes(); got != 150 {
@@ -298,7 +298,7 @@ func TestVHostMemoryAccounting(t *testing.T) {
 func TestVHostMemoryAlarm(t *testing.T) {
 	vh := NewVHost("/")
 	vh.MemoryLimit = 100
-	vh.DeclareQueue("a", false, false, false, nil)
+	vh.DeclareQueue("a", false, false, false, false, nil)
 	if _, err := vh.Publish("", "a", &Message{Body: make([]byte, 200)}); err != nil {
 		t.Fatalf("first publish must pass (watermark checked before): %v", err)
 	}
@@ -313,8 +313,8 @@ func TestVHostMemoryAlarm(t *testing.T) {
 // independent because it lives in the queue entry, not the message.
 func TestVHostFanoutSharesMessage(t *testing.T) {
 	vh := NewVHost("/")
-	q1, _ := vh.DeclareQueue("s1", false, false, false, nil)
-	q2, _ := vh.DeclareQueue("s2", false, false, false, nil)
+	q1, _ := vh.DeclareQueue("s1", false, false, false, false, nil)
+	q2, _ := vh.DeclareQueue("s2", false, false, false, false, nil)
 	e, _ := vh.DeclareExchange("fan", KindFanout, false)
 	e.Bind(q1, "")
 	e.Bind(q2, "")
@@ -322,13 +322,13 @@ func TestVHostFanoutSharesMessage(t *testing.T) {
 	if err != nil || n != 2 {
 		t.Fatalf("n=%d err=%v", n, err)
 	}
-	m1, _, _, _ := q1.Get()
+	m1, _, _, _, _ := q1.Get()
 	// Requeue on q1 must not flag q2's entry as redelivered.
-	q1.Requeue(m1)
-	if m2, redelivered, _, _ := q2.Get(); m2 != m1 || redelivered {
+	q1.Requeue(m1, offNone)
+	if m2, _, redelivered, _, _ := q2.Get(); m2 != m1 || redelivered {
 		t.Fatalf("shared=%v redelivered=%v, want shared instance with independent flags", m2 == m1, redelivered)
 	}
-	if _, redelivered, _, _ := q1.Get(); !redelivered {
+	if _, _, redelivered, _, _ := q1.Get(); !redelivered {
 		t.Fatal("q1's requeued entry lost its redelivered flag")
 	}
 }
@@ -369,13 +369,13 @@ func TestQuickQueueFIFOProperty(t *testing.T) {
 			}
 		}
 		for i, b := range bodies {
-			m, _, _, ok := q.Get()
+			m, _, _, _, ok := q.Get()
 			if !ok || string(m.Body) != string(b) {
 				_ = i
 				return false
 			}
 		}
-		_, _, _, ok := q.Get()
+		_, _, _, _, ok := q.Get()
 		return !ok
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
@@ -438,7 +438,7 @@ func TestServerVHostIsolation(t *testing.T) {
 	if again := s.VHost("a"); again != a {
 		t.Fatal("vhost lookup must be stable")
 	}
-	a.DeclareQueue("q", false, false, false, nil)
+	a.DeclareQueue("q", false, false, false, false, nil)
 	if _, ok := b.Queue("q"); ok {
 		t.Fatal("queue leaked across vhosts")
 	}
@@ -459,7 +459,7 @@ func TestServerCloseIdempotent(t *testing.T) {
 
 func TestQueueLimitsFromArguments(t *testing.T) {
 	vh := NewVHost("/")
-	q, err := vh.DeclareQueue("lim", false, false, false, wire.Table{
+	q, err := vh.DeclareQueue("lim", false, false, false, false, wire.Table{
 		"x-max-length":       int32(7),
 		"x-max-length-bytes": int64(1 << 20),
 		"x-overflow":         OverflowRejectPublish,

@@ -36,10 +36,13 @@ type consumerEntry struct {
 }
 
 // unackedEntry tracks one outstanding delivery awaiting acknowledgement.
+// off is the entry's segment-log offset (offNone on non-durable queues),
+// committed when the delivery settles as acked or discarded.
 type unackedEntry struct {
 	queue *Queue
 	cons  *consumer // nil for basic.get deliveries
 	msg   *Message
+	off   uint64
 }
 
 // unackedPool recycles unacked-delivery entries; an entry is owned by
@@ -47,9 +50,9 @@ type unackedEntry struct {
 // it once resolved.
 var unackedPool = sync.Pool{New: func() any { return new(unackedEntry) }}
 
-func newUnacked(q *Queue, c *consumer, m *Message) *unackedEntry {
+func newUnacked(q *Queue, c *consumer, m *Message, off uint64) *unackedEntry {
 	ua := unackedPool.Get().(*unackedEntry)
-	ua.queue, ua.cons, ua.msg = q, c, m
+	ua.queue, ua.cons, ua.msg, ua.off = q, c, m, off
 	return ua
 }
 
@@ -115,7 +118,7 @@ func (ch *srvChannel) teardown() {
 		if ua.cons != nil {
 			ua.queue.Release(ua.cons)
 		}
-		ua.queue.Requeue(ua.msg)
+		ua.queue.Requeue(ua.msg, ua.off)
 		releaseUnacked(ua)
 	}
 }
@@ -176,7 +179,7 @@ func (ch *srvChannel) onMethod(m wire.Method) error {
 		return ch.conn.writeMethod(ch.id, &wire.ExchangeDeleteOk{})
 
 	case *wire.QueueDeclare:
-		q, err := vh.DeclareQueue(x.Queue, x.Exclusive, x.AutoDelete, x.Passive, x.Arguments)
+		q, err := vh.DeclareQueue(x.Queue, x.Durable, x.Exclusive, x.AutoDelete, x.Passive, x.Arguments)
 		if err != nil {
 			return ch.exception(errorCode(err), err.Error(), m)
 		}
@@ -315,11 +318,27 @@ func (ch *srvChannel) basicConsume(x *wire.BasicConsume) error {
 	prefetch := ch.prefetch
 	ch.mu.Unlock()
 
-	cons, err := q.AddConsumer(tag, x.NoAck, prefetch)
+	var cons *consumer
+	var err error
+	noAck := x.NoAck
+	if _, replay := x.Arguments["x-stream-offset"]; replay {
+		// Replay consume: attach to the queue's segment log at the given
+		// offset instead of the live ready ring. Replay deliveries are
+		// forcibly noAck — the log already settled or will settle these
+		// records through their live deliveries.
+		from := x.Arguments.Int("x-stream-offset", 0)
+		if from < 0 {
+			from = 0
+		}
+		cons, err = q.AddReplayConsumer(tag, uint64(from))
+		noAck = true
+	} else {
+		cons, err = q.AddConsumer(tag, x.NoAck, prefetch)
+	}
 	if err != nil {
 		return ch.exception(errorCode(err), err.Error(), x)
 	}
-	ce := &consumerEntry{tag: tag, queue: q, cons: cons, noAck: x.NoAck}
+	ce := &consumerEntry{tag: tag, queue: q, cons: cons, noAck: noAck}
 	ch.mu.Lock()
 	ch.consumers[tag] = ce
 	ch.mu.Unlock()
@@ -347,11 +366,17 @@ func (ch *srvChannel) consumerWriter(ce *consumerEntry) {
 		select {
 		case <-ce.cons.closed:
 			// Drain anything already queued back to the queue (a requeue
-			// racing a queue delete releases the message instead).
+			// racing a queue delete releases the message instead). Replay
+			// deliveries never re-enter the ring — their messages are
+			// log re-reads, not queue-owned references.
 			for {
 				select {
 				case d := <-ce.cons.outbox:
-					ce.queue.Requeue(d.msg)
+					if ce.cons.replay {
+						d.msg.Release()
+					} else {
+						ce.queue.Requeue(d.msg, d.off)
+					}
 				default:
 					return
 				}
@@ -387,13 +412,19 @@ var (
 func (ch *srvChannel) sendDeliverBatch(ce *consumerEntry, batch []delivery) {
 	var msgs [maxDeliveryBatch]*Message
 	var tags [maxDeliveryBatch]uint64
+	var offs [maxDeliveryBatch]uint64
 	var redeliv [maxDeliveryBatch]bool
 	ch.mu.Lock()
 	if ch.closed {
 		ch.mu.Unlock()
-		// Hand the references back to the queue, preserving order.
+		// Hand the references back to the queue, preserving order (replay
+		// re-reads are simply dropped — the log still has them).
 		for i := len(batch) - 1; i >= 0; i-- {
-			ce.queue.Requeue(batch[i].msg)
+			if ce.cons.replay {
+				batch[i].msg.Release()
+			} else {
+				ce.queue.Requeue(batch[i].msg, batch[i].off)
+			}
 		}
 		return
 	}
@@ -401,6 +432,7 @@ func (ch *srvChannel) sendDeliverBatch(ce *consumerEntry, batch []delivery) {
 		ch.deliveryTag++
 		msgs[i] = d.msg
 		tags[i] = ch.deliveryTag
+		offs[i] = d.off
 		redeliv[i] = d.redelivered
 		if !ce.noAck {
 			// The unacked entry takes over the queue's reference; the
@@ -409,7 +441,7 @@ func (ch *srvChannel) sendDeliverBatch(ce *consumerEntry, batch []delivery) {
 			// consumer could resolve it while these frames are still
 			// being serialized.
 			d.msg.Retain()
-			ch.unacked[tags[i]] = newUnacked(ce.queue, ce.cons, d.msg)
+			ch.unacked[tags[i]] = newUnacked(ce.queue, ce.cons, d.msg, d.off)
 		}
 	}
 	ch.mu.Unlock()
@@ -421,7 +453,12 @@ func (ch *srvChannel) sendDeliverBatch(ce *consumerEntry, batch []delivery) {
 		// noAck deliveries resolve immediately: restore credit (even on a
 		// dying connection the pop already happened) and drop the queue's
 		// reference — the bytes are on the wire or lost, at-most-once.
+		// On a durable queue that settlement is committed to the log;
+		// replay deliveries commit nothing (the log is their source).
 		ce.queue.AckN(ce.cons, len(batch))
+		if !ce.cons.replay {
+			ce.queue.CommitAll(offs[:len(batch)])
+		}
 	}
 	// Drop the write's (noAck: the queue's) reference per message.
 	for _, d := range batch {
@@ -436,7 +473,7 @@ func (ch *srvChannel) basicGet(x *wire.BasicGet) error {
 	if !ok {
 		return ch.exception(wire.ReplyNotFound, fmt.Sprintf("no queue %q", x.Queue), x)
 	}
-	msg, redelivered, remaining, ok := q.Get()
+	msg, off, redelivered, remaining, ok := q.Get()
 	if !ok {
 		return ch.conn.writeMethod(ch.id, &wire.BasicGetEmpty{})
 	}
@@ -447,7 +484,7 @@ func (ch *srvChannel) basicGet(x *wire.BasicGet) error {
 		// As in sendDeliverBatch: the unacked entry takes the queue's
 		// reference, the write holds its own.
 		msg.Retain()
-		ch.unacked[tag] = newUnacked(q, nil, msg)
+		ch.unacked[tag] = newUnacked(q, nil, msg, off)
 	}
 	ch.mu.Unlock()
 	err := ch.conn.writeContent(ch.id, &wire.BasicGetOk{
@@ -457,8 +494,12 @@ func (ch *srvChannel) basicGet(x *wire.BasicGet) error {
 		RoutingKey:   msg.RoutingKey,
 		MessageCount: uint32(remaining),
 	}, &msg.Props, msg.Body)
-	// Drop the write's (NoAck: the queue's) reference.
+	// Drop the write's (NoAck: the queue's) reference; a NoAck get is a
+	// settlement, so the durable offset commits.
 	msg.Release()
+	if x.NoAck {
+		q.Commit(off)
+	}
 	return err
 }
 
@@ -475,6 +516,7 @@ type ackGroup struct {
 	cons  *consumer
 	n     int        // deliveries resolved for cons
 	msgs  []*Message // messages to requeue, in delivery-tag order
+	offs  []uint64   // durable offsets: commit targets (ack/discard) or requeue offsets, parallel to msgs
 }
 
 // basicAck resolves unacked deliveries. ack=true acknowledges; ack=false
@@ -536,6 +578,13 @@ func (ch *srvChannel) basicAck(tag uint64, multiple, ack, requeue bool) error {
 		if ua.cons != nil {
 			g.n++
 		}
+		// Durable queues track offsets per entry: as requeue offsets
+		// (parallel to msgs) or commit targets (ack/discard). Non-durable
+		// groups skip the slice entirely — the batched-ack fast path must
+		// not pick up an allocation for queues with nothing to commit.
+		if ua.queue.log != nil {
+			g.offs = append(g.offs, ua.off)
+		}
 		if !ack && requeue {
 			g.msgs = append(g.msgs, ua.msg)
 		} else {
@@ -551,15 +600,17 @@ func (ch *srvChannel) basicAck(tag uint64, multiple, ack, requeue bool) error {
 			if g.cons != nil {
 				g.queue.AckN(g.cons, g.n)
 			}
+			g.queue.CommitAll(g.offs)
 		case requeue:
 			if g.cons != nil {
 				g.queue.ReleaseN(g.cons, g.n)
 			}
-			g.queue.RequeueAll(g.msgs)
+			g.queue.RequeueAll(g.msgs, g.offs)
 		default:
 			if g.cons != nil {
 				g.queue.ReleaseN(g.cons, g.n)
 			}
+			g.queue.CommitAll(g.offs)
 		}
 	}
 	// The groups hold their own message-pointer copies; the resolved
@@ -572,7 +623,8 @@ func (ch *srvChannel) basicAck(tag uint64, multiple, ack, requeue bool) error {
 
 // resolveEntry applies a single delivery resolution (the non-batched
 // path). Requeue hands the entry's message reference back to the queue;
-// ack and discard release it.
+// ack and discard release it and commit the durable offset — both settle
+// the message for good, so neither may replay after a restart.
 func (ch *srvChannel) resolveEntry(ua *unackedEntry, ack, requeue bool) {
 	switch {
 	case ack:
@@ -580,16 +632,18 @@ func (ch *srvChannel) resolveEntry(ua *unackedEntry, ack, requeue bool) {
 			ua.queue.Ack(ua.cons)
 		}
 		ua.msg.Release()
+		ua.queue.Commit(ua.off)
 	case requeue:
 		if ua.cons != nil {
 			ua.queue.Release(ua.cons)
 		}
-		ua.queue.Requeue(ua.msg)
+		ua.queue.Requeue(ua.msg, ua.off)
 	default:
 		if ua.cons != nil {
 			ua.queue.Release(ua.cons)
 		}
 		ua.msg.Release()
+		ua.queue.Commit(ua.off)
 	}
 }
 

@@ -3,6 +3,7 @@ package broker
 import (
 	"testing"
 
+	"ds2hpc/internal/broker/seglog"
 	"ds2hpc/internal/wire"
 )
 
@@ -43,13 +44,13 @@ func TestRefcountLifecycleBalance(t *testing.T) {
 
 	t.Run("deliver-and-ack", func(t *testing.T) {
 		vh := NewVHost("/")
-		q, _ := vh.DeclareQueue("ack-q", false, false, false, nil)
+		q, _ := vh.DeclareQueue("ack-q", false, false, false, false, nil)
 		m := newManaged(t, "ack-q", 1024)
 		if _, err := vh.Publish("", "ack-q", m); err != nil {
 			t.Fatal(err)
 		}
 		m.Release()
-		got, _, _, ok := q.Get()
+		got, _, _, _, ok := q.Get()
 		if !ok {
 			t.Fatal("message not routed")
 		}
@@ -59,8 +60,8 @@ func TestRefcountLifecycleBalance(t *testing.T) {
 
 	t.Run("fanout-shared", func(t *testing.T) {
 		vh := NewVHost("/")
-		q1, _ := vh.DeclareQueue("fan-1", false, false, false, nil)
-		q2, _ := vh.DeclareQueue("fan-2", false, false, false, nil)
+		q1, _ := vh.DeclareQueue("fan-1", false, false, false, false, nil)
+		q2, _ := vh.DeclareQueue("fan-2", false, false, false, false, nil)
 		e, _ := vh.DeclareExchange("fan", KindFanout, false)
 		e.Bind(q1, "")
 		e.Bind(q2, "")
@@ -69,25 +70,25 @@ func TestRefcountLifecycleBalance(t *testing.T) {
 			t.Fatalf("routed=%d err=%v", routed, err)
 		}
 		m.Release()
-		m1, _, _, _ := q1.Get()
+		m1, _, _, _, _ := q1.Get()
 		m1.Release()
 		checkBalance(t, "fanout after first queue only", base+int64(cap(*m.loan))) // second queue still holds it
-		m2, _, _, _ := q2.Get()
+		m2, _, _, _, _ := q2.Get()
 		m2.Release()
 		checkBalance(t, "fanout", base)
 	})
 
 	t.Run("nack-requeue-then-ack", func(t *testing.T) {
 		vh := NewVHost("/")
-		q, _ := vh.DeclareQueue("rq-q", false, false, false, nil)
+		q, _ := vh.DeclareQueue("rq-q", false, false, false, false, nil)
 		m := newManaged(t, "rq-q", 1024)
 		if _, err := vh.Publish("", "rq-q", m); err != nil {
 			t.Fatal(err)
 		}
 		m.Release()
-		got, _, _, _ := q.Get()
-		q.Requeue(got) // nack: the reference moves back to the queue
-		again, redelivered, _, ok := q.Get()
+		got, _, _, _, _ := q.Get()
+		q.Requeue(got, offNone) // nack: the reference moves back to the queue
+		again, _, redelivered, _, ok := q.Get()
 		if !ok || !redelivered || again != got {
 			t.Fatalf("requeue lost the message: ok=%v redelivered=%v", ok, redelivered)
 		}
@@ -97,7 +98,7 @@ func TestRefcountLifecycleBalance(t *testing.T) {
 
 	t.Run("drop-head-overflow", func(t *testing.T) {
 		vh := NewVHost("/")
-		q, err := vh.DeclareQueue("dh-q", false, false, false, wire.Table{
+		q, err := vh.DeclareQueue("dh-q", false, false, false, false, wire.Table{
 			"x-max-length": int32(1),
 		})
 		if err != nil {
@@ -113,14 +114,14 @@ func TestRefcountLifecycleBalance(t *testing.T) {
 		if q.Stats().Dropped != 2 {
 			t.Fatalf("Dropped = %d, want 2", q.Stats().Dropped)
 		}
-		last, _, _, _ := q.Get()
+		last, _, _, _, _ := q.Get()
 		last.Release()
 		checkBalance(t, "drop-head", base)
 	})
 
 	t.Run("reject-publish", func(t *testing.T) {
 		vh := NewVHost("/")
-		if _, err := vh.DeclareQueue("rp-q", false, false, false, wire.Table{
+		if _, err := vh.DeclareQueue("rp-q", false, false, false, false, wire.Table{
 			"x-max-length": int32(1),
 			"x-overflow":   OverflowRejectPublish,
 		}); err != nil {
@@ -137,14 +138,14 @@ func TestRefcountLifecycleBalance(t *testing.T) {
 		}
 		m2.Release()
 		q, _ := vh.Queue("rp-q")
-		kept, _, _, _ := q.Get()
+		kept, _, _, _, _ := q.Get()
 		kept.Release()
 		checkBalance(t, "reject-publish", base)
 	})
 
 	t.Run("purge", func(t *testing.T) {
 		vh := NewVHost("/")
-		q, _ := vh.DeclareQueue("pg-q", false, false, false, nil)
+		q, _ := vh.DeclareQueue("pg-q", false, false, false, false, nil)
 		for i := 0; i < 5; i++ {
 			m := newManaged(t, "pg-q", 1024)
 			if _, err := vh.Publish("", "pg-q", m); err != nil {
@@ -160,7 +161,7 @@ func TestRefcountLifecycleBalance(t *testing.T) {
 
 	t.Run("queue-delete", func(t *testing.T) {
 		vh := NewVHost("/")
-		if _, err := vh.DeclareQueue("del-q", false, false, false, nil); err != nil {
+		if _, err := vh.DeclareQueue("del-q", false, false, false, false, nil); err != nil {
 			t.Fatal(err)
 		}
 		for i := 0; i < 3; i++ {
@@ -178,19 +179,166 @@ func TestRefcountLifecycleBalance(t *testing.T) {
 
 	t.Run("requeue-after-delete", func(t *testing.T) {
 		vh := NewVHost("/")
-		q, _ := vh.DeclareQueue("rd-q", false, false, false, nil)
+		q, _ := vh.DeclareQueue("rd-q", false, false, false, false, nil)
 		m := newManaged(t, "rd-q", 1024)
 		if _, err := vh.Publish("", "rd-q", m); err != nil {
 			t.Fatal(err)
 		}
 		m.Release()
-		got, _, _, _ := q.Get()
+		got, _, _, _, _ := q.Get()
 		if _, err := vh.DeleteQueue("rd-q", false, false); err != nil {
 			t.Fatal(err)
 		}
 		// A teardown requeue racing the delete must release, not park.
-		q.Requeue(got)
+		q.Requeue(got, offNone)
 		checkBalance(t, "requeue after delete", base)
+	})
+}
+
+// newDurableVHost builds a vhost whose durable declares open segment logs
+// under a test temp dir, without needing a full Server.
+func newDurableVHost(t *testing.T, opts seglog.Options) *VHost {
+	t.Helper()
+	vh := NewVHost("/")
+	vh.logDir = t.TempDir()
+	vh.logOpts = opts
+	return vh
+}
+
+// TestDurableLifecycleBalance drives pooled bodies through the durable
+// exit paths the plain lifecycle test can't reach — spill to the segment
+// log, crash, recovery restore, compaction after full settle, and durable
+// queue delete — and asserts the wire-loan balance returns to baseline
+// after each.
+func TestDurableLifecycleBalance(t *testing.T) {
+	base := wire.LoanedBytes()
+
+	t.Run("spill-deliver-commit", func(t *testing.T) {
+		vh := newDurableVHost(t, seglog.Options{})
+		q, err := vh.DeclareQueue("d-q", true, false, false, false, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := newManaged(t, "d-q", 2048)
+		if _, err := vh.Publish("", "d-q", m); err != nil {
+			t.Fatal(err)
+		}
+		m.Release()
+		if q.log.DiskBytes() == 0 {
+			t.Fatal("durable publish wrote no bytes to the segment log")
+		}
+		got, off, _, _, ok := q.Get()
+		if !ok {
+			t.Fatal("durable message not delivered")
+		}
+		got.Release()
+		q.Commit(off)
+		checkBalance(t, "durable deliver+commit", base)
+	})
+
+	t.Run("crash-restore-delete", func(t *testing.T) {
+		vh := newDurableVHost(t, seglog.Options{Fsync: seglog.FsyncAlways})
+		q, err := vh.DeclareQueue("cr-q", true, false, false, false, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 4; i++ {
+			m := newManaged(t, "cr-q", 1024)
+			if _, err := vh.Publish("", "cr-q", m); err != nil {
+				t.Fatal(err)
+			}
+			m.Release()
+		}
+		// Settle one so recovery has an acked prefix to drop.
+		m0, off, _, _, _ := q.Get()
+		m0.Release()
+		q.Commit(off)
+
+		// Hard-kill the node: ready bodies go back to the pool, disk keeps
+		// the kill-point state.
+		vh.crash()
+		checkBalance(t, "after crash", base)
+
+		// Restore into a fresh vhost over the same directory.
+		vh2 := NewVHost("/")
+		vh2.logDir = vh.logDir
+		vh2.logOpts = vh.logOpts
+		q2, err := vh2.DeclareQueue("cr-q", true, false, false, false, nil)
+		if err != nil {
+			t.Fatalf("recovery declare: %v", err)
+		}
+		if q2.Len() != 3 {
+			t.Fatalf("recovered %d messages, want 3", q2.Len())
+		}
+		// Deleting the durable queue must release every restored body and
+		// remove the on-disk log.
+		if _, err := vh2.DeleteQueue("cr-q", false, false); err != nil {
+			t.Fatal(err)
+		}
+		checkBalance(t, "durable delete after restore", base)
+	})
+
+	t.Run("compaction-after-settle", func(t *testing.T) {
+		// Tiny segments force rotation; settling everything must let
+		// head-compaction reclaim the sealed prefix without disturbing the
+		// loan balance.
+		vh := newDurableVHost(t, seglog.Options{SegmentBytes: 1 << 10})
+		q, err := vh.DeclareQueue("cp-q", true, false, false, false, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 16; i++ {
+			m := newManaged(t, "cp-q", 512)
+			if _, err := vh.Publish("", "cp-q", m); err != nil {
+				t.Fatal(err)
+			}
+			m.Release()
+		}
+		if q.log.SegmentCount() < 2 {
+			t.Fatalf("expected rotation, have %d segment(s)", q.log.SegmentCount())
+		}
+		before := q.log.DiskBytes()
+		for q.Len() > 0 {
+			m, off, _, _, _ := q.Get()
+			m.Release()
+			q.Commit(off)
+		}
+		if after := q.log.DiskBytes(); after >= before {
+			t.Fatalf("compaction reclaimed nothing: %d -> %d bytes", before, after)
+		}
+		checkBalance(t, "compaction", base)
+	})
+
+	t.Run("replay-consumer-drain", func(t *testing.T) {
+		vh := newDurableVHost(t, seglog.Options{RetainAll: true})
+		q, err := vh.DeclareQueue("rp-d", true, false, false, false, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 3; i++ {
+			m := newManaged(t, "rp-d", 768)
+			if _, err := vh.Publish("", "rp-d", m); err != nil {
+				t.Fatal(err)
+			}
+			m.Release()
+		}
+		cons, err := q.AddReplayConsumer("cold", 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Receive the full history; the replay loop then blocks tailing the
+		// log with no message in hand, so cancellation holds no references.
+		for i := 0; i < 3; i++ {
+			d := <-cons.outbox
+			d.msg.Release()
+		}
+		q.RemoveConsumer(cons)
+		// The ready copies are still parked in the queue; delete releases
+		// them and the log.
+		if _, err := vh.DeleteQueue("rp-d", false, false); err != nil {
+			t.Fatal(err)
+		}
+		checkBalance(t, "replay drain", base)
 	})
 }
 

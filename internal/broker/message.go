@@ -8,6 +8,13 @@
 // prefetch-aware round-robin delivery, consumer acknowledgements (single,
 // multiple/batch, nack/reject with requeue), publisher confirms, mandatory
 // returns, basic.get, heartbeats, and TLS (AMQPS) listeners.
+//
+// With Config.DataDir set, durable queues persist to per-queue append-only
+// segment logs (see internal/broker/seglog) and are rebuilt from them on
+// start; consumers can replay retained history from any offset via the
+// x-stream-offset consume argument. See the repository README's
+// "Durability model" section for the on-disk format, fsync policy knobs,
+// and the crash-consistency contract.
 package broker
 
 import (

@@ -2,9 +2,11 @@ package broker
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 
+	"ds2hpc/internal/broker/seglog"
 	"ds2hpc/internal/telemetry"
 )
 
@@ -17,6 +19,12 @@ var (
 	telAcked     = telemetry.Default.Counter("broker.acked")
 	telRequeued  = telemetry.Default.Counter("broker.requeued")
 	telDepthPeak = telemetry.Default.Watermark("broker.queue_depth_peak")
+
+	// Replay telemetry: records re-delivered from segment logs to
+	// cold-attach consumers, and how far those consumers trail the log
+	// tail (summed across active replay consumers).
+	telReplayed  = telemetry.Default.Counter("broker.replayed")
+	telReplayLag = telemetry.Default.Gauge("broker.replay_lag")
 
 	queueSeq atomic.Int64 // round-robin shard assignment for new queues
 )
@@ -60,10 +68,15 @@ type QueueLimits struct {
 	Overflow string
 }
 
+// offNone marks a queue entry with no segment-log offset (every entry of a
+// non-durable queue).
+const offNone = ^uint64(0)
+
 // delivery is a message en route to one consumer, carrying the per-queue
-// redelivered flag alongside the shared message.
+// redelivered flag and segment-log offset alongside the shared message.
 type delivery struct {
 	msg         *Message
+	off         uint64
 	redelivered bool
 }
 
@@ -73,6 +86,7 @@ type delivery struct {
 type consumer struct {
 	tag    string
 	noAck  bool
+	replay bool // fed by a replayLoop from the segment log, not the pump
 	outbox chan delivery
 	closed chan struct{}
 
@@ -104,6 +118,14 @@ type Queue struct {
 	Exclusive  bool
 	AutoDelete bool
 	Limits     QueueLimits
+
+	// log, when non-nil, is the queue's durable segment log. It is
+	// attached once at declare time, before the queue is published to,
+	// and never changes — reads need no lock. Every published message is
+	// appended before it is enqueued; every settled delivery (ack,
+	// discard, noAck send, drop-head eviction, purge) commits its offset
+	// with an ack record.
+	log *seglog.Log
 
 	mu        sync.Mutex
 	ready     msgRing // chunked ring deque: O(1) push-front/push-back/pop
@@ -170,75 +192,116 @@ func (q *Queue) Stats() QueueStats {
 // consumer has credit. It returns ErrQueueFull when the reject-publish
 // overflow policy denies the message (the caller keeps its reference). On
 // success the queue owns the reference the caller retained for it.
+//
+// Durable queues append to the segment log before enqueueing, outside
+// q.mu — an fsync=always append must not stall delivery on other
+// consumers. With publisher confirms the append (and its fsync) therefore
+// completes before the confirm is sent: confirm implies durable.
 func (q *Queue) Publish(m *Message) error {
+	off := offNone
+	if q.log != nil {
+		var err error
+		off, err = q.log.Append(m.Exchange, m.RoutingKey, &m.Props, m.Body)
+		if err != nil {
+			return fmt.Errorf("broker: durable append: %w", err)
+		}
+	}
+	var evicted []uint64
 	q.mu.Lock()
-	defer q.mu.Unlock()
 	if q.deleted {
+		q.mu.Unlock()
+		// The record hit the log after the queue died; retire it so a
+		// later recovery does not resurrect a message nobody owns.
+		q.Commit(off)
 		return errors.New("broker: queue deleted")
 	}
 	if q.overLimitLocked(m) {
 		if q.Limits.Overflow == OverflowRejectPublish {
 			q.stats.Rejected++
+			q.mu.Unlock()
+			q.Commit(off)
 			return ErrQueueFull
 		}
 		// drop-head: evict from the front until the new message fits.
 		for q.overLimitLocked(m) && q.ready.len() > 0 {
 			dropped := q.popLocked()
 			q.stats.Dropped++
+			if dropped.off != offNone {
+				evicted = append(evicted, dropped.off)
+			}
 			dropped.msg.Release()
 		}
 	}
-	q.pushLocked(m)
+	q.pushLocked(m, off)
 	q.stats.Published++
 	q.tel.published.Inc()
 	q.pumpLocked()
+	q.mu.Unlock()
+	if len(evicted) > 0 {
+		q.CommitAll(evicted)
+	}
 	return nil
 }
 
 // Get synchronously pops one ready message (basic.get), transferring the
 // queue's reference to the caller. ok is false when the queue is empty.
-// remaining is the ready count after the pop.
-func (q *Queue) Get() (m *Message, redelivered bool, remaining int, ok bool) {
+// off is the entry's segment-log offset (offNone on non-durable queues) —
+// the caller settles it later via Commit. remaining is the ready count
+// after the pop.
+func (q *Queue) Get() (m *Message, off uint64, redelivered bool, remaining int, ok bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if q.ready.len() == 0 {
-		return nil, false, 0, false
+		return nil, offNone, false, 0, false
 	}
 	it := q.popLocked()
 	q.stats.Delivered++
 	q.tel.delivered.Inc()
-	return it.msg, it.redelivered, q.ready.len(), true
+	return it.msg, it.off, it.redelivered, q.ready.len(), true
 }
 
-// Purge drops all ready messages, returning how many were removed.
+// Purge drops all ready messages, returning how many were removed. Purged
+// entries of a durable queue are committed — a purge is a settlement, not
+// a crash, so the messages must not replay.
 func (q *Queue) Purge() int {
+	var purged []uint64
 	q.mu.Lock()
-	defer q.mu.Unlock()
 	n := q.ready.len()
 	for q.ready.len() > 0 {
-		q.popLocked().msg.Release()
+		it := q.popLocked()
+		if it.off != offNone {
+			purged = append(purged, it.off)
+		}
+		it.msg.Release()
+	}
+	q.mu.Unlock()
+	if len(purged) > 0 {
+		q.CommitAll(purged)
 	}
 	return n
 }
 
 // Requeue returns a message to the head of the queue (nack/reject requeue,
 // channel close), handing the caller's reference back to the queue. The
-// entry is flagged redelivered. A requeue racing a queue delete releases
-// the message instead of parking it forever.
-func (q *Queue) Requeue(m *Message) {
+// entry is flagged redelivered and keeps its segment-log offset — a
+// requeue is not a settlement, so nothing is committed. A requeue racing
+// a queue delete releases the message instead of parking it forever.
+func (q *Queue) Requeue(m *Message, off uint64) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if q.deleted {
 		m.Release()
 		return
 	}
-	q.requeueLocked(m)
+	q.requeueLocked(m, off)
 	q.pumpLocked()
 }
 
 // RequeueAll returns a batch of messages to the head of the queue in one
 // lock acquisition, preserving their order (msgs[0] ends up at the head).
-func (q *Queue) RequeueAll(msgs []*Message) {
+// offs, when non-nil, carries the entries' segment-log offsets parallel
+// to msgs; nil means offNone throughout (non-durable callers).
+func (q *Queue) RequeueAll(msgs []*Message, offs []uint64) {
 	if len(msgs) == 0 {
 		return
 	}
@@ -251,14 +314,18 @@ func (q *Queue) RequeueAll(msgs []*Message) {
 		return
 	}
 	for i := len(msgs) - 1; i >= 0; i-- {
-		q.requeueLocked(msgs[i])
+		off := offNone
+		if offs != nil {
+			off = offs[i]
+		}
+		q.requeueLocked(msgs[i], off)
 	}
 	q.pumpLocked()
 }
 
 // requeueLocked inserts m at the head (caller holds q.mu).
-func (q *Queue) requeueLocked(m *Message) {
-	q.ready.pushFront(qitem{msg: m, redelivered: true})
+func (q *Queue) requeueLocked(m *Message, off uint64) {
+	q.ready.pushFront(qitem{msg: m, off: off, redelivered: true})
 	q.bytes += m.size()
 	if q.onBytes != nil {
 		q.onBytes(m.size())
@@ -294,6 +361,69 @@ func (q *Queue) AddConsumer(tag string, noAck bool, prefetch int) (*consumer, er
 	return c, nil
 }
 
+// AddReplayConsumer registers a consumer fed from the queue's segment log
+// starting at offset from, instead of from the ready ring: a cold consumer
+// replaying history (pair with Options.RetainAll to guarantee offset 0 is
+// still retained). Replay consumers are forcibly noAck — the log is the
+// source of truth and replay must not commit anything — and after draining
+// the retained history they follow the log tail live. The channel layer
+// runs the same writer goroutine as for a pump-fed consumer.
+func (q *Queue) AddReplayConsumer(tag string, from uint64) (*consumer, error) {
+	if q.log == nil {
+		return nil, fmt.Errorf("%w: queue %q is not durable, cannot replay", ErrPreconditionFailed, q.Name)
+	}
+	q.mu.Lock()
+	if q.deleted {
+		q.mu.Unlock()
+		return nil, errors.New("broker: queue deleted")
+	}
+	c := &consumer{
+		tag:    tag,
+		noAck:  true,
+		replay: true,
+		credit: creditUnlimited,
+		outbox: make(chan delivery, outboxCap),
+		closed: make(chan struct{}),
+		q:      q,
+	}
+	q.consumers = append(q.consumers, c)
+	q.mu.Unlock()
+	go q.replayLoop(c, from)
+	return c, nil
+}
+
+// replayLoop feeds one replay consumer from the segment log. The outbox
+// provides flow control: this goroutine is the consumer's only sender, so
+// a blocking send is safe, and a slow reader simply stalls its own replay.
+// Each record is re-materialized as a fresh pooled message (the log owns
+// no references), so replay rides the same zero-copy delivery path as live
+// traffic.
+func (q *Queue) replayLoop(c *consumer, from uint64) {
+	r := q.log.NewReader(from)
+	defer r.Close()
+	var lag int64
+	defer func() { telReplayLag.Add(-lag) }()
+	for {
+		rec, err := r.Next(c.closed)
+		if err != nil {
+			return
+		}
+		if l := int64(q.log.NextOffset()-rec.Offset) - 1; l >= 0 {
+			telReplayLag.Add(l - lag)
+			lag = l
+		}
+		m := NewMessage(rec.Exchange, rec.Key, rec.Props, len(rec.Body))
+		m.AppendBody(rec.Body)
+		telReplayed.Inc()
+		select {
+		case c.outbox <- delivery{msg: m, off: rec.Offset}:
+		case <-c.closed:
+			m.Release()
+			return
+		}
+	}
+}
+
 // RemoveConsumer cancels a consumer.
 func (q *Queue) RemoveConsumer(c *consumer) {
 	q.mu.Lock()
@@ -316,7 +446,9 @@ func (q *Queue) Ack(c *consumer) { q.AckN(c, 1) }
 // AckN acknowledges n deliveries for consumer c, restoring n prefetch slots
 // and re-pumping in a single lock acquisition (multiple-ack batching).
 func (q *Queue) AckN(c *consumer, n int) {
-	if n <= 0 {
+	if n <= 0 || c.replay {
+		// Replay deliveries come from the log, not the ready ring: they
+		// hold no credit and must not inflate the queue's ack counters.
 		return
 	}
 	q.mu.Lock()
@@ -327,6 +459,27 @@ func (q *Queue) AckN(c *consumer, n int) {
 	q.stats.Acked += uint64(n)
 	q.tel.acked.Add(int64(n))
 	q.pumpLocked()
+}
+
+// Commit durably retires one settled delivery (ack, discard, noAck send)
+// by appending an ack record to the segment log. No-op on non-durable
+// queues and offNone entries. Failures are swallowed: the log refusing an
+// ack (it crashed or closed underneath us) at worst means the message
+// replays after restart, which at-least-once delivery permits.
+func (q *Queue) Commit(off uint64) {
+	if q.log == nil || off == offNone {
+		return
+	}
+	_ = q.log.Ack(off)
+}
+
+// CommitAll retires a batch of settled deliveries in one log-lock
+// acquisition (the batched-ack path). No-op on non-durable queues.
+func (q *Queue) CommitAll(offs []uint64) {
+	if q.log == nil || len(offs) == 0 {
+		return
+	}
+	_ = q.log.AckAll(offs)
 }
 
 // Release returns one prefetch slot without counting an acknowledgement
@@ -377,6 +530,35 @@ func (q *Queue) markDeleted() []*consumer {
 	return cs
 }
 
+// restore re-enqueues the unacked records a segment-log recovery handed
+// back, before the queue is visible to any publisher or consumer (no lock,
+// no pump). Each record keeps its original offset and is flagged
+// redelivered — it was published before the crash.
+func (q *Queue) restore(recs []*seglog.Record) {
+	for _, r := range recs {
+		m := NewMessage(r.Exchange, r.Key, r.Props, len(r.Body))
+		m.AppendBody(r.Body)
+		q.ready.pushBack(qitem{msg: m, off: r.Offset, redelivered: true})
+		q.bytes += m.size()
+		if q.onBytes != nil {
+			q.onBytes(m.size())
+		}
+	}
+	telDepthPeak.Record(int64(q.ready.len()))
+}
+
+// crash hard-stops the queue for fault injection: the segment log is
+// crashed first (its unflushed buffer dies, exactly as under SIGKILL), and
+// only then is in-memory state torn down — releasing ready bodies back to
+// the pool so the host process's loan accounting stays balanced. The disk
+// is left with whatever a real kill would have left.
+func (q *Queue) crash() {
+	if q.log != nil {
+		q.log.Crash()
+	}
+	q.markDeleted()
+}
+
 // --- internal (callers hold q.mu) ---
 
 func (q *Queue) lenLocked() int { return q.ready.len() }
@@ -391,8 +573,8 @@ func (q *Queue) overLimitLocked(m *Message) bool {
 	return false
 }
 
-func (q *Queue) pushLocked(m *Message) {
-	q.ready.pushBack(qitem{msg: m})
+func (q *Queue) pushLocked(m *Message, off uint64) {
+	q.ready.pushBack(qitem{msg: m, off: off})
 	q.bytes += m.size()
 	if q.onBytes != nil {
 		q.onBytes(m.size())
@@ -424,7 +606,7 @@ func (q *Queue) pumpLocked() {
 		}
 		q.stats.Delivered++
 		q.tel.delivered.Inc()
-		c.outbox <- delivery{msg: it.msg, redelivered: it.redelivered}
+		c.outbox <- delivery{msg: it.msg, off: it.off, redelivered: it.redelivered}
 	}
 }
 
@@ -434,6 +616,10 @@ func (q *Queue) nextConsumerLocked() *consumer {
 	n := len(q.consumers)
 	for i := 0; i < n; i++ {
 		c := q.consumers[(q.rr+i)%n]
+		if c.replay {
+			// Replay consumers are fed by their replayLoop, never the pump.
+			continue
+		}
 		if (c.credit == creditUnlimited || c.credit > 0) && len(c.outbox) < cap(c.outbox) {
 			q.rr = (q.rr + i + 1) % n
 			return c

@@ -10,9 +10,13 @@ const ringChunkSize = 64
 // qitem is one ready-queue entry: the shared message plus the per-queue
 // delivery state. The redelivered flag lives here rather than on the
 // Message because fanout routing shares one message instance across every
-// matched queue — requeueing on one queue must not flag the others.
+// matched queue — requeueing on one queue must not flag the others. The
+// segment-log offset lives here for the same reason: the same message
+// fanned out to two durable queues has a distinct offset in each queue's
+// log (offNone on non-durable queues).
 type qitem struct {
 	msg         *Message
+	off         uint64
 	redelivered bool
 }
 

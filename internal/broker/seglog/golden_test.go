@@ -1,0 +1,95 @@
+package seglog
+
+import (
+	"bytes"
+	"encoding/binary"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ds2hpc/internal/wire"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite seglog golden files")
+
+// The golden segment pins the on-disk record format byte for byte. If
+// this test fails, the framing changed: that must be a deliberate format
+// revision — bump Version, regenerate with `go test -run Golden -update`,
+// and document the migration — never an accident.
+func TestGoldenSegmentFormat(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{RetainAll: true})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	props := &wire.Properties{
+		ContentType:   "application/octet-stream",
+		DeliveryMode:  wire.Persistent,
+		Priority:      3,
+		CorrelationID: "golden-corr",
+		MessageID:     "golden-msg-1",
+		Timestamp:     1700000000000000000,
+		Headers:       wire.Table{"x-golden": int32(42)},
+	}
+	if _, err := l.Append("amq.topic", "gold.key.one", props, []byte("golden body payload one")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append("", "gold-queue", &wire.Properties{DeliveryMode: wire.Transient}, []byte("two")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Ack(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := os.ReadFile(filepath.Join(dir, segName(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	goldenPath := filepath.Join("testdata", "golden_segment.bin")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		i := 0
+		for i < len(got) && i < len(want) && got[i] == want[i] {
+			i++
+		}
+		t.Fatalf("segment encoding diverged from golden at byte %d (got %d bytes, want %d): format changes must be deliberate", i, len(got), len(want))
+	}
+
+	// Structural assertions, independent of the golden blob.
+	if !bytes.Equal(got[:4], []byte("DSLG")) {
+		t.Fatalf("magic = %q", got[:4])
+	}
+	if got[4] != Version || Version != 0x01 {
+		t.Fatalf("version byte = %#x, want %#x", got[4], Version)
+	}
+	if base := binary.BigEndian.Uint64(got[8:16]); base != 0 {
+		t.Fatalf("base offset = %d", base)
+	}
+	// First record: a data record for offset 0 with seq 0.
+	rec := got[fileHeaderSize:]
+	if typ := rec[8]; typ != recData {
+		t.Fatalf("first record type = %d", typ)
+	}
+	if seq := binary.BigEndian.Uint64(rec[9:17]); seq != 0 {
+		t.Fatalf("first record seq = %d", seq)
+	}
+	if off := binary.BigEndian.Uint64(rec[17:25]); off != 0 {
+		t.Fatalf("first record offset = %d", off)
+	}
+}

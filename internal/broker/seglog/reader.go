@@ -1,0 +1,188 @@
+package seglog
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+)
+
+// ErrStopped reports that a Reader.Next wait was cancelled by its stop
+// channel (the replay consumer went away).
+var ErrStopped = errors.New("seglog: reader stopped")
+
+// Reader replays data records from a chosen offset and then follows the
+// tail, blocking in Next until more records are appended. A reader holds
+// its own descriptor on the segment it is reading, so head compaction
+// unlinking the file underneath it is safe; offsets that were compacted
+// away before the reader reached them are skipped.
+type Reader struct {
+	l    *Log
+	next uint64 // minimum data offset still wanted
+	seq  uint64 // sequence of the open segment; 0 = none yet
+	f    *os.File
+	pos  int64
+	hdr  [recHeaderSize]byte
+}
+
+// NewReader returns a replay reader starting at offset from (0 replays
+// everything still retained; pair with Options.RetainAll for full
+// replay).
+func (l *Log) NewReader(from uint64) *Reader {
+	return &Reader{l: l, next: from}
+}
+
+// Next returns the next data record at or after the reader's offset. At
+// the tail it blocks until an append, the log closing (ErrClosed), or
+// stop (ErrStopped). The returned record's body is freshly read and owned
+// by the caller.
+func (r *Reader) Next(stop <-chan struct{}) (*Record, error) {
+	for {
+		rec, err := r.tryNext()
+		if rec != nil || err != nil {
+			return rec, err
+		}
+		// At the tail: force the writer's buffer out and look again
+		// before sleeping.
+		r.l.Flush()
+		rec, err = r.tryNext()
+		if rec != nil || err != nil {
+			return rec, err
+		}
+		r.l.mu.Lock()
+		if r.l.closed {
+			r.l.mu.Unlock()
+			return nil, ErrClosed
+		}
+		ch := r.l.tailWaitLocked()
+		r.l.mu.Unlock()
+		// An append may have slipped in between the poll and the
+		// registration; re-check before blocking.
+		rec, err = r.tryNext()
+		if rec != nil || err != nil {
+			return rec, err
+		}
+		select {
+		case <-ch:
+		case <-r.l.done:
+		case <-stop:
+			return nil, ErrStopped
+		}
+	}
+}
+
+// tryNext reads forward without blocking. (nil, nil) means the reader is
+// at the tail.
+func (r *Reader) tryNext() (*Record, error) {
+	for {
+		if r.f == nil {
+			ok, err := r.openNext()
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				return nil, nil
+			}
+		}
+		if _, err := r.f.ReadAt(r.hdr[:], r.pos); err != nil {
+			if err == io.EOF || errors.Is(err, io.ErrUnexpectedEOF) {
+				if r.segFinished() {
+					r.f.Close()
+					r.f = nil
+					continue
+				}
+				return nil, nil
+			}
+			return nil, fmt.Errorf("seglog: read: %w", err)
+		}
+		// seq is ignored here: a reader that skips compacted segments
+		// legitimately sees sequence gaps.
+		crc, plen, typ, _, off := parseRecHeader(r.hdr[:])
+		if plen < 0 || plen > maxRecordBytes || (typ != recData && typ != recAck) {
+			return nil, fmt.Errorf("seglog: reader: corrupt record header at %s:%d", segName(r.seq), r.pos)
+		}
+		payload := make([]byte, plen)
+		if _, err := r.f.ReadAt(payload, r.pos+recHeaderSize); err != nil {
+			if err == io.EOF || errors.Is(err, io.ErrUnexpectedEOF) {
+				if r.segFinished() {
+					return nil, fmt.Errorf("seglog: reader: truncated record at %s:%d", segName(r.seq), r.pos)
+				}
+				return nil, nil // torn flush; the rest is coming
+			}
+			return nil, fmt.Errorf("seglog: read: %w", err)
+		}
+		if recCRC(r.hdr[4:], payload) != crc {
+			return nil, fmt.Errorf("seglog: reader: CRC mismatch at %s:%d", segName(r.seq), r.pos)
+		}
+		r.pos += int64(recHeaderSize + plen)
+		if typ != recData || off < r.next {
+			continue
+		}
+		rec, err := decodeDataPayload(off, payload)
+		if err != nil {
+			return nil, err
+		}
+		r.next = off + 1
+		return rec, nil
+	}
+}
+
+// segFinished reports whether the open segment will never grow: it was
+// sealed, or compacted out of the chain entirely.
+func (r *Reader) segFinished() bool {
+	r.l.mu.Lock()
+	defer r.l.mu.Unlock()
+	for _, seg := range r.l.segs {
+		if seg.seq == r.seq {
+			return seg.sealed
+		}
+	}
+	return true
+}
+
+// openNext opens the next segment in the chain after the reader's
+// position, skipping any that were compacted away.
+func (r *Reader) openNext() (bool, error) {
+	for {
+		r.l.mu.Lock()
+		var next *segment
+		for _, seg := range r.l.segs {
+			if seg.seq > r.seq {
+				next = seg
+				break
+			}
+		}
+		r.l.mu.Unlock()
+		if next == nil {
+			return false, nil
+		}
+		f, err := os.Open(next.path)
+		if os.IsNotExist(err) {
+			// Compacted between the lookup and the open; move past it.
+			r.seq = next.seq
+			continue
+		}
+		if err != nil {
+			return false, fmt.Errorf("seglog: %w", err)
+		}
+		var hdr [fileHeaderSize]byte
+		if _, err := io.ReadFull(f, hdr[:]); err != nil {
+			f.Close()
+			return false, fmt.Errorf("seglog: reader: segment header: %w", err)
+		}
+		if _, err := parseFileHeader(hdr[:]); err != nil {
+			f.Close()
+			return false, err
+		}
+		r.f = f
+		r.seq = next.seq
+		r.pos = fileHeaderSize
+		return true, nil
+	}
+}
+
+// Close releases the reader's descriptor. The log itself is unaffected.
+func (r *Reader) Close() {
+	r.f.Close()
+	r.f = nil
+}

@@ -1,0 +1,140 @@
+package seglog
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"ds2hpc/internal/wire"
+)
+
+// On-disk framing. Every segment file starts with a fixed 20-byte header:
+//
+//	magic "DSLG" | version 0x01 | 3 reserved zero bytes | base offset u64 |
+//	header crc u32
+//
+// followed by a sequence of CRC-framed records:
+//
+//	crc u32 | payload length u32 | type u8 | seq u64 | offset u64 | payload
+//
+// All integers are big-endian. The record CRC is CRC-32C (Castagnoli) over
+// everything after the crc field: the length, type, seq and offset fields
+// plus the payload bytes, so a torn or damaged record is detected no
+// matter which byte was hit; the header CRC covers the 16 bytes before it.
+// seq numbers every record (data and ack) consecutively per log; recovery
+// insists the retained chain is seq-contiguous, which is how a cleanly
+// truncated tail whose CRCs all still check out — say a whole record
+// sliced off a sealed segment — is still detected. A data record's
+// payload is
+//
+//	shortstr exchange | shortstr routing key | u32 header length |
+//	AMQP content-header bytes | body bytes
+//
+// reusing the basic-class content-header encoding for message properties,
+// so the log never grows a second properties codec and a replayed message
+// round-trips byte-identically. An ack record has an empty payload; its
+// offset names the data record it retires. Offsets number data records
+// only, monotonically from zero per log.
+
+const (
+	// Version is the record-format version byte carried in every segment
+	// file header. Bump it only with a deliberate format change; the
+	// golden-file test pins the current encoding.
+	Version = 0x01
+
+	fileHeaderSize = 20
+	recHeaderSize  = 4 + 4 + 1 + 8 + 8
+
+	recData byte = 1
+	recAck  byte = 2
+
+	// maxRecordBytes guards length fields read back from damaged files:
+	// anything larger is treated as corruption, not an allocation request.
+	maxRecordBytes = 1 << 28
+)
+
+var magic = [4]byte{'D', 'S', 'L', 'G'}
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Record is one data record read back from the log: the routing envelope,
+// properties and body the broker appended. Body aliases the read buffer;
+// callers that keep it past the next read must copy.
+type Record struct {
+	Offset   uint64
+	Exchange string
+	Key      string
+	Props    wire.Properties
+	Body     []byte
+}
+
+// encodeFileHeader builds a segment file header for the given base offset.
+func encodeFileHeader(base uint64) [fileHeaderSize]byte {
+	var h [fileHeaderSize]byte
+	copy(h[:4], magic[:])
+	h[4] = Version
+	binary.BigEndian.PutUint64(h[8:16], base)
+	binary.BigEndian.PutUint32(h[16:], crc32.Checksum(h[:16], castagnoli))
+	return h
+}
+
+// parseFileHeader validates a segment file header and returns its base
+// offset.
+func parseFileHeader(h []byte) (uint64, error) {
+	if len(h) < fileHeaderSize || !bytes.Equal(h[:4], magic[:]) {
+		return 0, fmt.Errorf("seglog: bad segment magic")
+	}
+	if h[4] != Version {
+		return 0, fmt.Errorf("seglog: unsupported segment version %d (want %d)", h[4], Version)
+	}
+	if binary.BigEndian.Uint32(h[16:fileHeaderSize]) != crc32.Checksum(h[:16], castagnoli) {
+		return 0, fmt.Errorf("seglog: segment header CRC mismatch")
+	}
+	return binary.BigEndian.Uint64(h[8:16]), nil
+}
+
+// parseRecHeader splits a record header into its fields without validating
+// the CRC (the payload is needed for that).
+func parseRecHeader(h []byte) (crc uint32, plen int, typ byte, seq, off uint64) {
+	crc = binary.BigEndian.Uint32(h[:4])
+	plen = int(binary.BigEndian.Uint32(h[4:8]))
+	typ = h[8]
+	seq = binary.BigEndian.Uint64(h[9:17])
+	off = binary.BigEndian.Uint64(h[17:])
+	return
+}
+
+// recCRC computes the record CRC over a header tail and payload.
+func recCRC(hdrTail, payload []byte) uint32 {
+	crc := crc32.Update(0, castagnoli, hdrTail)
+	return crc32.Update(crc, castagnoli, payload)
+}
+
+// decodeDataPayload parses a data record payload into a Record. The body
+// aliases payload.
+func decodeDataPayload(off uint64, payload []byte) (*Record, error) {
+	r := wire.NewReader(payload)
+	rec := &Record{Offset: off}
+	rec.Exchange = r.ShortStr()
+	rec.Key = r.ShortStr()
+	hlen := int(r.Long())
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("seglog: record %d: bad envelope: %w", off, err)
+	}
+	if hlen < 0 || hlen > r.Remaining() {
+		return nil, fmt.Errorf("seglog: record %d: header length %d exceeds payload", off, hlen)
+	}
+	rest := payload[len(payload)-r.Remaining():]
+	hdr, err := wire.ParseContentHeader(rest[:hlen])
+	if err != nil {
+		return nil, fmt.Errorf("seglog: record %d: bad content header: %w", off, err)
+	}
+	rec.Props = hdr.Properties
+	body := rest[hlen:]
+	if uint64(len(body)) != hdr.BodySize {
+		return nil, fmt.Errorf("seglog: record %d: body is %d bytes, header says %d", off, len(body), hdr.BodySize)
+	}
+	rec.Body = body
+	return rec, nil
+}

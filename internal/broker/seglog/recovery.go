@@ -1,0 +1,140 @@
+package seglog
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// recover scans the directory's segment chain in sequence order,
+// truncates the first torn or corrupt record (and drops every segment
+// after it — recovery keeps exactly the prefix of intact records), and
+// rebuilds the in-memory accounting plus the set of unacked records.
+func (l *Log) recover() (*Recovery, error) {
+	entries, err := os.ReadDir(l.dir)
+	if err != nil {
+		return nil, fmt.Errorf("seglog: %w", err)
+	}
+	var seqs []uint64
+	for _, e := range entries {
+		if seq, ok := parseSegName(e.Name()); ok {
+			seqs = append(seqs, seq)
+		}
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+
+	rec := &Recovery{}
+	type liveRec struct {
+		r   *Record
+		seg *segment
+	}
+	var live []liveRec
+	index := map[uint64]int{} // data offset -> live index
+	corrupt := false
+	seenAny := false // a record sequence anchor exists
+	for _, seq := range seqs {
+		path := filepath.Join(l.dir, segName(seq))
+		if corrupt {
+			// Everything after the first damaged record is dropped,
+			// even if it would scan clean: replay is a prefix.
+			if st, err := os.Stat(path); err == nil {
+				rec.TruncatedBytes += st.Size()
+			}
+			os.Remove(path)
+			continue
+		}
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("seglog: %w", err)
+		}
+		base, err := parseFileHeader(raw)
+		if err != nil {
+			// A damaged header forfeits the whole segment and the rest
+			// of the chain.
+			rec.Truncated = true
+			rec.TruncatedBytes += int64(len(raw))
+			corrupt = true
+			os.Remove(path)
+			continue
+		}
+		seg := &segment{seq: seq, base: base, path: path, sealed: true}
+		pos := fileHeaderSize
+		for {
+			if pos+recHeaderSize > len(raw) {
+				break
+			}
+			crc, plen, typ, recSeq, off := parseRecHeader(raw[pos:])
+			if plen < 0 || plen > maxRecordBytes || (typ != recData && typ != recAck) {
+				break
+			}
+			end := pos + recHeaderSize + plen
+			if end > len(raw) {
+				break
+			}
+			payload := raw[pos+recHeaderSize : end]
+			if recCRC(raw[pos+4:pos+recHeaderSize], payload) != crc {
+				break
+			}
+			// The retained chain must be seq-contiguous: a gap means a
+			// cleanly sliced-off tail whose survivors all still checksum
+			// — drop from the gap on, like any other damage.
+			if seenAny && recSeq != l.recSeq {
+				break
+			}
+			seenAny = true
+			l.recSeq = recSeq + 1
+			switch typ {
+			case recData:
+				r, err := decodeDataPayload(off, payload)
+				if err != nil {
+					// Framing intact but contents unparseable: treat as
+					// the first damaged record.
+					goto done
+				}
+				index[off] = len(live)
+				live = append(live, liveRec{r: r, seg: seg})
+				if seg.data == 0 {
+					seg.firstOff = off
+				}
+				seg.data++
+				seg.unacked++
+				seg.lastOff = off
+				rec.Records++
+				if off >= l.next {
+					l.next = off + 1
+				}
+			case recAck:
+				if i, ok := index[off]; ok {
+					live[i].r = nil
+					if live[i].seg.unacked > 0 {
+						live[i].seg.unacked--
+					}
+					delete(index, off)
+				}
+			}
+			pos = end
+		}
+	done:
+		if pos < len(raw) {
+			rec.Truncated = true
+			rec.TruncatedBytes += int64(len(raw) - pos)
+			corrupt = true
+			if err := os.Truncate(path, int64(pos)); err != nil {
+				return nil, fmt.Errorf("seglog: truncate torn tail: %w", err)
+			}
+		}
+		seg.size = int64(pos)
+		l.segs = append(l.segs, seg)
+		l.diskBytes += seg.size
+		telSegments.Add(1)
+		telSegmentBytes.Add(seg.size)
+	}
+	l.compactLocked()
+	for _, lr := range live {
+		if lr.r != nil {
+			rec.Unacked = append(rec.Unacked, lr.r)
+		}
+	}
+	return rec, nil
+}

@@ -2,12 +2,17 @@ package broker
 
 import (
 	"crypto/tls"
+	"fmt"
 	"log"
 	"net"
+	"net/url"
+	"os"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"ds2hpc/internal/broker/seglog"
 	"ds2hpc/internal/netem"
 	"ds2hpc/internal/telemetry"
 	"ds2hpc/internal/wire"
@@ -35,6 +40,15 @@ type Config struct {
 	// MemoryLimit bounds ready bytes per vhost (80% of broker RAM in the
 	// paper's configuration). Zero means unlimited.
 	MemoryLimit int64
+	// DataDir enables durable queue storage: every durable queue declare
+	// opens a segment log under DataDir/<vhost>/<queue> (path components
+	// query-escaped), and Listen recovers whatever a previous incarnation
+	// left there before accepting connections. Empty disables durability
+	// — durable declares are accepted but stay memory-only.
+	DataDir string
+	// Durability tunes the per-queue segment logs when DataDir is set
+	// (segment size, fsync policy, retention).
+	Durability seglog.Options
 	// Logger receives connection errors; nil discards them.
 	Logger *log.Logger
 }
@@ -86,9 +100,58 @@ func Listen(cfg Config) (*Server, error) {
 		vhosts: map[string]*VHost{},
 		conns:  map[*srvConn]struct{}{},
 	}
+	if cfg.DataDir != "" {
+		// Recover durable state before the first connection can observe
+		// it: re-declaring each queue found on disk replays its segment
+		// log and re-enqueues unacked records.
+		if err := s.recoverDurable(); err != nil {
+			ln.Close()
+			return nil, err
+		}
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
+}
+
+// recoverDurable walks DataDir (vhost directories holding queue
+// directories, names query-escaped) and re-declares every durable queue it
+// finds, which opens each segment log and restores its unacked records.
+func (s *Server) recoverDurable() error {
+	vhDirs, err := os.ReadDir(s.cfg.DataDir)
+	if os.IsNotExist(err) {
+		return nil // first boot: nothing to recover
+	}
+	if err != nil {
+		return fmt.Errorf("broker: recover %s: %w", s.cfg.DataDir, err)
+	}
+	for _, vd := range vhDirs {
+		if !vd.IsDir() {
+			continue
+		}
+		vhName, err := url.QueryUnescape(vd.Name())
+		if err != nil {
+			continue // not a directory this broker wrote
+		}
+		vh := s.VHost(vhName)
+		qDirs, err := os.ReadDir(filepath.Join(s.cfg.DataDir, vd.Name()))
+		if err != nil {
+			return fmt.Errorf("broker: recover vhost %q: %w", vhName, err)
+		}
+		for _, qd := range qDirs {
+			if !qd.IsDir() {
+				continue
+			}
+			qName, err := url.QueryUnescape(qd.Name())
+			if err != nil {
+				continue
+			}
+			if _, err := vh.DeclareQueue(qName, true, false, false, false, nil); err != nil {
+				return fmt.Errorf("broker: recover queue %q: %w", qName, err)
+			}
+		}
+	}
+	return nil
 }
 
 // Addr returns the bound listen address.
@@ -102,12 +165,18 @@ func (s *Server) VHost(name string) *VHost {
 	if !ok {
 		vh = NewVHost(name)
 		vh.MemoryLimit = s.cfg.MemoryLimit
+		if s.cfg.DataDir != "" {
+			vh.logDir = filepath.Join(s.cfg.DataDir, url.QueryEscape(name))
+			vh.logOpts = s.cfg.Durability
+		}
 		s.vhosts[name] = vh
 	}
 	return vh
 }
 
-// Close stops the listener and terminates all connections.
+// Close stops the listener, terminates all connections, and cleanly
+// closes every durable queue's segment log (flush + fsync), so a restart
+// recovers without truncation.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -119,13 +188,55 @@ func (s *Server) Close() error {
 	for c := range s.conns {
 		conns = append(conns, c)
 	}
+	vhosts := make([]*VHost, 0, len(s.vhosts))
+	for _, vh := range s.vhosts {
+		vhosts = append(vhosts, vh)
+	}
 	s.mu.Unlock()
 	err := s.ln.Close()
 	for _, c := range conns {
 		c.shutdown()
 	}
 	s.wg.Wait()
+	for _, vh := range vhosts {
+		vh.closeLogs()
+	}
 	return err
+}
+
+// Crash hard-stops the node as a SIGKILL would: the listener closes,
+// every durable queue's log is crashed first — its unflushed write buffer
+// dies, leaving on disk exactly what the OS had received at the kill
+// point — and only then are connections dropped without protocol
+// teardown niceties. In-memory message bodies are still released back to
+// the pool (the host process lives on; only the simulated node dies), so
+// wire-loan accounting stays balanced across a crash/restart cycle. The
+// on-disk state is what a subsequent Listen with the same DataDir
+// recovers.
+func (s *Server) Crash() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	conns := make([]*srvConn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	vhosts := make([]*VHost, 0, len(s.vhosts))
+	for _, vh := range s.vhosts {
+		vhosts = append(vhosts, vh)
+	}
+	s.mu.Unlock()
+	s.ln.Close()
+	for _, vh := range vhosts {
+		vh.crash()
+	}
+	for _, c := range conns {
+		c.shutdown()
+	}
+	s.wg.Wait()
 }
 
 func (s *Server) acceptLoop() {

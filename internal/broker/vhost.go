@@ -3,9 +3,12 @@ package broker
 import (
 	"errors"
 	"fmt"
+	"net/url"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 
+	"ds2hpc/internal/broker/seglog"
 	"ds2hpc/internal/telemetry"
 	"ds2hpc/internal/wire"
 )
@@ -44,6 +47,13 @@ type VHost struct {
 	// Zero means unlimited. The paper reserves 80% of broker RAM for
 	// payload queues.
 	MemoryLimit int64
+
+	// logDir, when non-empty, is where this vhost's durable queues keep
+	// their segment logs (one url.QueryEscape'd subdirectory per queue).
+	// Set by the server from Config.DataDir before any connection is
+	// accepted; empty means durable declares stay memory-only.
+	logDir  string
+	logOpts seglog.Options
 
 	exchanges [registryShards]exchangeShard
 	queues    [registryShards]queueShard
@@ -145,7 +155,12 @@ func (vh *VHost) DeleteExchange(name string, ifUnused bool) error {
 // DeclareQueue creates (or verifies, if passive) a queue. Anonymous names
 // are generated. The default-exchange binding (queue name as routing key)
 // is implicit via Route on the default exchange.
-func (vh *VHost) DeclareQueue(name string, exclusive, autoDelete, passive bool, args wire.Table) (*Queue, error) {
+//
+// A durable declare on a vhost with a data directory opens (or recovers)
+// the queue's segment log before the queue becomes visible: any unacked
+// records a previous incarnation left on disk are re-enqueued, flagged
+// redelivered, before the first publish or consume can race them.
+func (vh *VHost) DeclareQueue(name string, durable, exclusive, autoDelete, passive bool, args wire.Table) (*Queue, error) {
 	if name == "" {
 		for {
 			name = fmt.Sprintf("amq.gen-%d", vh.anonSeq.Add(1))
@@ -170,9 +185,19 @@ func (vh *VHost) DeclareQueue(name string, exclusive, autoDelete, passive bool, 
 		Overflow: args.String("x-overflow", OverflowDropHead),
 	}
 	q := NewQueue(name, limits)
+	q.Durable = durable
 	q.Exclusive = exclusive
 	q.AutoDelete = autoDelete
 	q.onBytes = func(d int64) { vh.totalBytes.Add(d) }
+	if durable && vh.logDir != "" {
+		lg, rec, err := seglog.Open(filepath.Join(vh.logDir, url.QueryEscape(name)), vh.logOpts)
+		if err != nil {
+			s.mu.Unlock()
+			return nil, fmt.Errorf("broker: durable queue %q: %w", name, err)
+		}
+		q.log = lg
+		q.restore(rec.Unacked)
+	}
 	s.m[name] = q
 	// Export per-queue depth and rate sources, read only at telemetry
 	// snapshot time. Re-declaring a queue name (a later deployment in
@@ -235,7 +260,44 @@ func (vh *VHost) DeleteQueue(name string, ifUnused, ifEmpty bool) (int, error) {
 		}
 	}
 	q.markDeleted()
+	if q.log != nil {
+		// Explicit deletion removes the on-disk history too — unlike a
+		// crash or close, there is nothing left to recover.
+		q.log.Remove()
+	}
 	return n, nil
+}
+
+// eachQueue calls fn for every queue currently registered.
+func (vh *VHost) eachQueue(fn func(*Queue)) {
+	for i := range vh.queues {
+		s := &vh.queues[i]
+		rlockShard(&s.mu)
+		queues := make([]*Queue, 0, len(s.m))
+		for _, q := range s.m {
+			queues = append(queues, q)
+		}
+		s.mu.RUnlock()
+		for _, q := range queues {
+			fn(q)
+		}
+	}
+}
+
+// closeLogs flushes, syncs and closes every durable queue's segment log
+// (graceful server shutdown — recovery after this finds a clean tail).
+func (vh *VHost) closeLogs() {
+	vh.eachQueue(func(q *Queue) {
+		if q.log != nil {
+			q.log.Close()
+		}
+	})
+}
+
+// crash hard-stops every queue: segment logs are crashed (unflushed
+// buffers die) and in-memory state is torn down. See Queue.crash.
+func (vh *VHost) crash() {
+	vh.eachQueue(func(q *Queue) { q.crash() })
 }
 
 // registerQueueTelemetry exports a queue's depth and rate sources, read
@@ -249,6 +311,9 @@ func registerQueueTelemetry(q *Queue) {
 	telemetry.Default.CounterFunc("broker.queue_published", func() int64 { return int64(q.Stats().Published) }, tag)
 	telemetry.Default.CounterFunc("broker.queue_acked", func() int64 { return int64(q.Stats().Acked) }, tag)
 	telemetry.Default.CounterFunc("broker.queue_requeued", func() int64 { return int64(q.Stats().Requeued) }, tag)
+	if lg := q.log; lg != nil {
+		telemetry.Default.GaugeFunc("broker.queue_log_bytes", func() int64 { return lg.DiskBytes() }, tag)
+	}
 }
 
 // unregisterQueueTelemetry drops a deleted queue's export callbacks.
@@ -258,6 +323,7 @@ func unregisterQueueTelemetry(name string) {
 	telemetry.Default.Unregister("broker.queue_published", tag)
 	telemetry.Default.Unregister("broker.queue_acked", tag)
 	telemetry.Default.Unregister("broker.queue_requeued", tag)
+	telemetry.Default.Unregister("broker.queue_log_bytes", tag)
 }
 
 // routeScratch pools the per-publish queue slice so steady-state routing

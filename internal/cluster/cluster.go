@@ -15,6 +15,8 @@ import (
 	"fmt"
 	"hash/fnv"
 	"net"
+	"path/filepath"
+	"sync"
 	"time"
 
 	"ds2hpc/internal/amqp"
@@ -22,8 +24,14 @@ import (
 )
 
 // Cluster is a set of broker nodes with deterministic queue placement.
+// Individual nodes can be hard-killed (Crash) and brought back (Restart)
+// on the same address and data directory, modeling a broker pod dying and
+// being rescheduled.
 type Cluster struct {
+	mu    sync.Mutex
 	nodes []*broker.Server
+	cfgs  []broker.Config // resolved per-node configs, reused by Restart
+	addrs []string        // bound addresses, stable across restarts
 }
 
 // Start launches n broker nodes with the shared configuration. Each node
@@ -34,6 +42,9 @@ func Start(n int, cfg broker.Config) (*Cluster, error) {
 
 // StartWith launches n broker nodes, asking configFor for each node's
 // configuration — used to give every node its own emulated DSN link.
+// When a node's config sets DataDir, the cluster appends a node-<i>
+// subdirectory so nodes sharing a base directory never collide, and a
+// restarted node recovers exactly its own durable state.
 func StartWith(n int, configFor func(i int) broker.Config) (*Cluster, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("cluster: need at least one node, got %d", n)
@@ -44,20 +55,28 @@ func StartWith(n int, configFor func(i int) broker.Config) (*Cluster, error) {
 		if nodeCfg.Addr == "" {
 			nodeCfg.Addr = "127.0.0.1:0"
 		}
+		if nodeCfg.DataDir != "" {
+			nodeCfg.DataDir = filepath.Join(nodeCfg.DataDir, fmt.Sprintf("node-%d", i))
+		}
 		s, err := broker.Listen(nodeCfg)
 		if err != nil {
 			c.Close()
 			return nil, fmt.Errorf("cluster: node %d: %w", i, err)
 		}
 		c.nodes = append(c.nodes, s)
+		c.cfgs = append(c.cfgs, nodeCfg)
+		c.addrs = append(c.addrs, s.Addr())
 	}
 	return c, nil
 }
 
 // Close stops all nodes.
 func (c *Cluster) Close() error {
+	c.mu.Lock()
+	nodes := append([]*broker.Server(nil), c.nodes...)
+	c.mu.Unlock()
 	var first error
-	for _, s := range c.nodes {
+	for _, s := range nodes {
 		if err := s.Close(); err != nil && first == nil {
 			first = err
 		}
@@ -66,30 +85,68 @@ func (c *Cluster) Close() error {
 }
 
 // Size reports the number of nodes.
-func (c *Cluster) Size() int { return len(c.nodes) }
+func (c *Cluster) Size() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.nodes)
+}
 
 // Node returns node i.
-func (c *Cluster) Node(i int) *broker.Server { return c.nodes[i] }
+func (c *Cluster) Node(i int) *broker.Server {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.nodes[i]
+}
 
-// Addrs returns every node's listen address.
-func (c *Cluster) Addrs() []string {
-	out := make([]string, len(c.nodes))
-	for i, s := range c.nodes {
-		out[i] = s.Addr()
+// Crash hard-kills node i as SIGKILL would: connections drop without
+// protocol teardown and only fsynced durable state survives on disk.
+// The node's address stays reserved for a later Restart.
+func (c *Cluster) Crash(i int) {
+	c.Node(i).Crash()
+}
+
+// Restart brings a crashed (or closed) node back on its original address
+// with its original configuration, recovering whatever durable state its
+// data directory holds. Clients with reconnect policies re-attach
+// transparently because the address is stable.
+func (c *Cluster) Restart(i int) error {
+	c.mu.Lock()
+	cfg := c.cfgs[i]
+	cfg.Addr = c.addrs[i]
+	c.mu.Unlock()
+	s, err := broker.Listen(cfg)
+	if err != nil {
+		return fmt.Errorf("cluster: restart node %d: %w", i, err)
 	}
-	return out
+	c.mu.Lock()
+	c.nodes[i] = s
+	c.mu.Unlock()
+	return nil
+}
+
+// Addrs returns every node's listen address (stable across restarts).
+func (c *Cluster) Addrs() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]string(nil), c.addrs...)
 }
 
 // OwnerOf returns the index of the node that masters the named queue.
 func (c *Cluster) OwnerOf(queue string) int {
+	c.mu.Lock()
+	n := len(c.nodes)
+	c.mu.Unlock()
 	h := fnv.New32a()
 	h.Write([]byte(queue))
-	return int(h.Sum32() % uint32(len(c.nodes)))
+	return int(h.Sum32() % uint32(n))
 }
 
 // AddrFor returns the listen address of the queue's master node.
 func (c *Cluster) AddrFor(queue string) string {
-	return c.nodes[c.OwnerOf(queue)].Addr()
+	i := c.OwnerOf(queue)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.addrs[i]
 }
 
 // Shovel continuously moves messages from a source queue to a destination

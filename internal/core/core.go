@@ -20,6 +20,7 @@ import (
 	"fmt"
 
 	"ds2hpc/internal/amqp"
+	"ds2hpc/internal/broker/seglog"
 	"ds2hpc/internal/cluster"
 	"ds2hpc/internal/fabric"
 	"ds2hpc/internal/scistream"
@@ -67,6 +68,12 @@ type Options struct {
 	// unconfirmed-publish replay) on every endpoint the deployment hands
 	// out, letting runs survive injected path faults.
 	Reconnect *amqp.ReconnectPolicy
+	// DataDir enables durable queue storage on every broker node; each
+	// node writes under its own subdirectory, so a crashed node recovers
+	// exactly its own queues on restart. Empty keeps all queues in memory.
+	DataDir string
+	// Durability tunes the per-queue segment logs when DataDir is set.
+	Durability seglog.Options
 }
 
 func (o *Options) defaults() {
@@ -120,6 +127,10 @@ type Deployment interface {
 	// connection ceiling; zero means unlimited. PRS with Stunnel is
 	// capped at 16 (§5.3).
 	MaxProducerConns() int
+	// Durable reports whether the deployment's brokers persist durable
+	// queues to disk (Options.DataDir set) — required by replay patterns
+	// and crash-restart fault scripts.
+	Durable() bool
 	// Close tears the deployment down.
 	Close() error
 }

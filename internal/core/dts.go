@@ -30,6 +30,8 @@ func DeployDTS(opts Options) (Deployment, error) {
 			TLS:         identity.ServerConfig(),
 			Link:        opts.Profile.DSNLink(fmt.Sprintf("dsn-%d", i)),
 			MemoryLimit: opts.MemoryLimit,
+			DataDir:     opts.DataDir,
+			Durability:  opts.Durability,
 		}
 	})
 	if err != nil {
@@ -43,6 +45,7 @@ func (d *dtsDeployment) Cluster() *cluster.Cluster {
 	return d.cl
 }
 func (d *dtsDeployment) MaxProducerConns() int { return 0 }
+func (d *dtsDeployment) Durable() bool         { return d.opts.DataDir != "" }
 func (d *dtsDeployment) Close() error          { return d.cl.Close() }
 
 // endpoint composes the DTS hop chain of Figure 3a: client NIC link, then

@@ -65,6 +65,8 @@ func DeployMSS(opts Options) (Deployment, error) {
 		LBAddr: lb.Addr(),
 		BrokerConfig: broker.Config{
 			MemoryLimit: opts.MemoryLimit,
+			DataDir:     opts.DataDir,
+			Durability:  opts.Durability,
 		},
 	})
 	if err != nil {
@@ -129,6 +131,7 @@ func (d *mssDeployment) provision(nodes int) (string, error) {
 func (d *mssDeployment) Name() ArchitectureName    { return MSS }
 func (d *mssDeployment) Cluster() *cluster.Cluster { return d.cl }
 func (d *mssDeployment) MaxProducerConns() int     { return 0 }
+func (d *mssDeployment) Durable() bool             { return d.opts.DataDir != "" }
 
 func (d *mssDeployment) Close() error {
 	if d.s3m != nil {

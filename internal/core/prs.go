@@ -36,6 +36,8 @@ func DeployPRS(opts Options, tunnel scistream.Tunnel, numConn int) (Deployment, 
 		return broker.Config{
 			Link:        opts.Profile.DSNLink(fmt.Sprintf("dsn-%d", i)),
 			MemoryLimit: opts.MemoryLimit,
+			DataDir:     opts.DataDir,
+			Durability:  opts.Durability,
 		}
 	})
 	if err != nil {
@@ -125,6 +127,7 @@ func DeployPRS(opts Options, tunnel scistream.Tunnel, numConn int) (Deployment, 
 
 func (d *prsDeployment) Name() ArchitectureName    { return d.name }
 func (d *prsDeployment) Cluster() *cluster.Cluster { return d.cl }
+func (d *prsDeployment) Durable() bool             { return d.opts.DataDir != "" }
 
 // MaxProducerConns reports the Stunnel concurrent-stream ceiling. The cap
 // applies per shared tunnel; sessions to different nodes have independent

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"path/filepath"
 	"sync"
 
 	"ds2hpc/internal/broker"
@@ -143,20 +144,28 @@ func (s *S3M) provision(w http.ResponseWriter, r *http.Request) {
 	if nodes <= 0 {
 		nodes = 3
 	}
+	s.mu.Lock()
+	s.nextUID++
+	uidN := s.nextUID
+	s.mu.Unlock()
 	bcfg := s.cfg.BrokerConfig
 	if req.ResourceSettings.RAMGBs > 0 {
 		// 80% of broker RAM is reserved for payload queues (§5.2).
 		bcfg.MemoryLimit = int64(req.ResourceSettings.RAMGBs) << 30 * 8 / 10
+	}
+	if bcfg.DataDir != "" {
+		// Scope durable state per provisioned stream so concurrently
+		// provisioned clusters never share segment logs.
+		bcfg.DataDir = filepath.Join(bcfg.DataDir, fmt.Sprintf("stream-%d", uidN))
 	}
 	c, err := cluster.Start(nodes, bcfg)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
+	fqdn := fmt.Sprintf("%s-%d.%s", req.Name, uidN, s.cfg.Domain)
+	uid := fmt.Sprintf("stream-%d", uidN)
 	s.mu.Lock()
-	s.nextUID++
-	fqdn := fmt.Sprintf("%s-%d.%s", req.Name, s.nextUID, s.cfg.Domain)
-	uid := fmt.Sprintf("stream-%d", s.nextUID)
 	s.clusters[fqdn] = c
 	s.mu.Unlock()
 	s.cfg.Routes.Register(fqdn, c.Addrs())

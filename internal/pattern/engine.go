@@ -96,6 +96,15 @@ type ConsumerRole struct {
 	// Counts marks this role's deliveries as the run's completion and
 	// pacing signal.
 	Counts bool
+	// ReplayFrom, when non-nil, attaches this role as a durable-log replay
+	// consumer starting at the given queue offset (x-stream-offset): the
+	// broker feeds it retained history and then the live tail, auto-acked.
+	// Requires a durability-enabled deployment.
+	ReplayFrom *int64
+	// StartAfter delays this role's attach until the counting roles have
+	// seen this many deliveries — a cold consumer joining after the hot
+	// phase. Instances report ready immediately so the run can start.
+	StartAfter int64
 }
 
 // ProducerRole declares the producing clients (Config.Producers instances).
@@ -174,7 +183,10 @@ type Graph struct {
 	Name string
 	// SingleProducer forces Producers to 1 (the broadcast patterns).
 	SingleProducer bool
-	Build          func(cfg *Config) (*Topology, error)
+	// NeedsDurability marks patterns that replay from durable queue logs;
+	// running one on a deployment without durable storage fails fast.
+	NeedsDurability bool
+	Build           func(cfg *Config) (*Topology, error)
 }
 
 // ---------------------------------------------------------------- registry
@@ -330,6 +342,9 @@ func (g *Graph) Run(ctx context.Context, cfg Config) (*metrics.Result, error) {
 		return nil, fmt.Errorf("%w: %d producers > %d tunnel connections",
 			ErrInfeasible, cfg.Producers, max)
 	}
+	if g.NeedsDurability && !cfg.Deployment.Durable() {
+		return nil, fmt.Errorf("pattern: %s replays from durable queue logs; deploy with durability enabled", g.Name)
+	}
 	topo, err := g.Build(&cfg)
 	if err != nil {
 		return nil, err
@@ -467,13 +482,30 @@ func declareGroup(cfg Config, d Declarations) error {
 func runConsumer(ctx context.Context, cfg *Config, role ConsumerRole, i int,
 	col *metrics.Collector, ep *engineProbes, prog *progress, ready *progress, stop <-chan struct{}) error {
 	queue := role.Queue(i)
-	conn, ch, deliveries, err := consumerSetup(cfg, role, queue, i)
-	// The launcher blocks until every instance reports ready; signal
-	// unconditionally so a failed instance surfaces as an error rather
-	// than a hang.
-	ready.Add(1)
-	if err != nil {
-		return fmt.Errorf("pattern: %s %d: %w", role.Name, i, err)
+	var conn *amqp.Connection
+	var ch *amqp.Channel
+	var deliveries <-chan amqp.Delivery
+	var err error
+	if role.StartAfter > 0 {
+		// A deferred role (cold replay consumer) reports ready before it
+		// attaches, so the run starts and its hot phase can produce the
+		// deliveries the threshold waits for.
+		ready.Add(1)
+		if err := prog.WaitAtLeast(ctx, role.StartAfter); err != nil {
+			return fmt.Errorf("pattern: %s %d: hot phase never reached %d: %w", role.Name, i, role.StartAfter, err)
+		}
+		if conn, ch, deliveries, err = consumerSetup(cfg, role, queue, i); err != nil {
+			return fmt.Errorf("pattern: %s %d: %w", role.Name, i, err)
+		}
+	} else {
+		conn, ch, deliveries, err = consumerSetup(cfg, role, queue, i)
+		// The launcher blocks until every instance reports ready; signal
+		// unconditionally so a failed instance surfaces as an error rather
+		// than a hang.
+		ready.Add(1)
+		if err != nil {
+			return fmt.Errorf("pattern: %s %d: %w", role.Name, i, err)
+		}
 	}
 	defer conn.Close()
 
@@ -512,8 +544,12 @@ func runConsumer(ctx context.Context, cfg *Config, role ConsumerRole, i int,
 					return err
 				}
 			}
-			if err := acker.add(d); err != nil {
-				return err
+			if role.ReplayFrom == nil {
+				// Replay deliveries are auto-acked by the broker; batch
+				// acking applies to live roles only.
+				if err := acker.add(d); err != nil {
+					return err
+				}
 			}
 		}
 	}
@@ -533,7 +569,15 @@ func consumerSetup(cfg *Config, role ConsumerRole, queue string, i int) (*amqp.C
 		conn.Close()
 		return nil, nil, nil, err
 	}
-	deliveries, err := ch.Consume(queue, fmt.Sprintf("%s-%d", role.Name, i), false, false, false, false, nil)
+	// Replay roles attach as durable-log replay consumers: the broker
+	// forces noAck and ignores prefetch credit, so consume accordingly.
+	var args amqp.Table
+	autoAck := false
+	if role.ReplayFrom != nil {
+		args = amqp.Table{"x-stream-offset": *role.ReplayFrom}
+		autoAck = true
+	}
+	deliveries, err := ch.Consume(queue, fmt.Sprintf("%s-%d", role.Name, i), autoAck, false, false, false, args)
 	if err != nil {
 		conn.Close()
 		return nil, nil, nil, err

@@ -1,0 +1,61 @@
+package pattern
+
+import (
+	"fmt"
+
+	"ds2hpc/internal/amqp"
+)
+
+// ColdReplayName is the durable cold-replay pattern: producers stream into
+// one durable work queue consumed (and acked) live by a hot consumer pool,
+// and once the hot phase has drained everything, a single cold consumer
+// attaches at offset 0 and replays the entire retained history from the
+// queue's segment log — the late-joining analysis reader the paper's
+// streaming workflows assume the broker tier can serve. Run it on a
+// durability-enabled deployment with full retention (retain_all), or the
+// acked prefix may be compacted away before the cold consumer attaches.
+const ColdReplayName = "cold-replay"
+
+func init() {
+	Register(&Graph{Name: ColdReplayName, NeedsDurability: true, Build: buildColdReplay})
+}
+
+func buildColdReplay(cfg *Config) (*Topology, error) {
+	const q = "replay-q"
+	total := int64(cfg.Producers) * int64(cfg.MessagesPerProducer)
+	from := int64(0)
+	return &Topology{
+		Declare: []Declarations{{Anchor: q, Queues: []QueueDecl{{Name: q}}}},
+		Producer: ProducerRole{
+			Name: "rp-prod",
+			Mode: FlowConfirm,
+			// Each message is counted twice: once by the hot pool, once by
+			// the cold replayer.
+			PacePerMsg: 2,
+			Legs:       func(p int) []Leg { return []Leg{{Key: q}} },
+			Props: func(p int, seq uint64) amqp.Publishing {
+				return amqp.Publishing{
+					MessageID:    fmt.Sprintf("p%d-m%d", p, seq),
+					AppID:        "streamsim",
+					DeliveryMode: 2,
+				}
+			},
+		},
+		Consumers: []ConsumerRole{
+			{
+				Name:   "hot",
+				Queue:  func(i int) string { return q },
+				Counts: true,
+			},
+			{
+				Name:       "cold",
+				Count:      1,
+				Queue:      func(i int) string { return q },
+				Counts:     true,
+				ReplayFrom: &from,
+				StartAfter: total,
+			},
+		},
+		WaitConsumed: 2 * total,
+	}, nil
+}

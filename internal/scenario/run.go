@@ -35,6 +35,10 @@ type Report struct {
 	// Faults snapshots the injector activity when a fault script ran, so
 	// callers can assert the scripted faults actually fired.
 	Faults transport.Stats
+	// BrokerRestarts counts completed crash/restart cycles of the broker
+	// tier (the broker-restart fault), so callers can assert the outage
+	// actually happened.
+	BrokerRestarts int
 }
 
 // Option tunes scenario execution (telemetry cadence, live watching).
@@ -161,8 +165,13 @@ func Run(ctx context.Context, spec Spec, opts ...Option) (*Report, error) {
 		return nil, err
 	}
 	depOpts := spec.options()
+	cleanup, err := spec.applyDurability(&depOpts)
+	if err != nil {
+		return nil, err
+	}
+	defer cleanup()
 	var inj *transport.Injector
-	if len(spec.Faults) > 0 {
+	if spec.needsInjector() {
 		inj = transport.NewInjector()
 		depOpts.Faults = inj
 	}
@@ -222,6 +231,8 @@ func runOn(ctx context.Context, dep core.Deployment, inj *transport.Injector, sp
 	agg.Start()
 	defer agg.Stop()
 
+	restartFault := spec.brokerRestart()
+	restarts := 0
 	var runs []*metrics.Result
 	for r := 0; r < spec.runs(); r++ {
 		if inj != nil {
@@ -230,7 +241,23 @@ func runOn(ctx context.Context, dep core.Deployment, inj *transport.Injector, sp
 		col := metrics.NewCollector()
 		cfg.Collector = col
 		lm.beginRun(col)
+		stopWatch := func() {}
+		if restartFault != nil {
+			// The watcher must finish (including the restart half of its
+			// cycle) before dep.Close, or a restarted node would leak.
+			stop := make(chan struct{})
+			done := make(chan struct{})
+			base := lm.consumed()
+			at := int64(restartFault.AtFraction * float64(spec.totalMessages()))
+			go func() {
+				defer close(done)
+				watchBrokerRestart(dep, *restartFault, at,
+					func() int64 { return lm.consumed() - base }, stop, &restarts)
+			}()
+			stopWatch = func() { close(stop); <-done }
+		}
 		res, err := pattern.Run(ctx, spec.Pattern, cfg)
+		stopWatch()
 		lm.endRun(col)
 		if errors.Is(err, pattern.ErrInfeasible) {
 			return &Report{Spec: spec, Infeasible: true}, nil
@@ -258,7 +285,47 @@ func runOn(ctx context.Context, dep core.Deployment, inj *transport.Injector, sp
 		// lifetime totals (a Sweep reuses one injector across points).
 		rep.Faults = statsDelta(faultsBefore, inj.Stats())
 	}
+	rep.BrokerRestarts = restarts
 	return rep, nil
+}
+
+// watchBrokerRestart executes one broker-restart fault cycle: poll the
+// run's consumed count until it crosses the threshold, hard-kill every
+// broker node, wait out the outage, and bring the nodes back on their
+// original addresses. The stop channel abandons the wait (run over), but
+// a crash that already happened always completes its restart half so the
+// deployment is never left dead. Completed cycles increment *restarts,
+// which the caller reads only after the watcher is done.
+func watchBrokerRestart(dep core.Deployment, f Fault, at int64,
+	consumed func() int64, stop <-chan struct{}, restarts *int) {
+	down := time.Duration(f.DownMS) * time.Millisecond
+	if down <= 0 {
+		down = 50 * time.Millisecond
+	}
+	tick := time.NewTicker(time.Millisecond)
+	defer tick.Stop()
+	for consumed() < at {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+		}
+	}
+	cl := dep.Cluster()
+	n := cl.Size()
+	for i := 0; i < n; i++ {
+		cl.Crash(i)
+	}
+	time.Sleep(down)
+	ok := true
+	for i := 0; i < n; i++ {
+		if err := cl.Restart(i); err != nil {
+			ok = false // the run will fail and report; nothing to clean up
+		}
+	}
+	if ok {
+		*restarts++
+	}
 }
 
 // statsDelta subtracts two injector snapshots.
@@ -290,8 +357,13 @@ func Sweep(ctx context.Context, spec Spec, consumerCounts []int, opts ...Option)
 		consumerCounts = ConsumerCounts
 	}
 	depOpts := spec.options()
+	cleanup, err := spec.applyDurability(&depOpts)
+	if err != nil {
+		return nil, err
+	}
+	defer cleanup()
 	var inj *transport.Injector
-	if len(spec.Faults) > 0 {
+	if spec.needsInjector() {
 		inj = transport.NewInjector()
 		depOpts.Faults = inj
 	}

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"ds2hpc/internal/amqp"
+	"ds2hpc/internal/broker/seglog"
 	"ds2hpc/internal/core"
 	"ds2hpc/internal/fabric"
 	"ds2hpc/internal/pattern"
@@ -76,6 +77,27 @@ type Deployment struct {
 	// Reconnect enables bounded client auto-reconnect, required for runs
 	// that must survive injected faults.
 	Reconnect *Reconnect `json:"reconnect,omitempty"`
+	// Durability enables durable queue storage on every broker node,
+	// required by broker-restart faults and replay patterns.
+	Durability *Durability `json:"durability,omitempty"`
+}
+
+// Durability mirrors seglog.Options in JSON-friendly units. Declaring it
+// (even empty) turns durable storage on for every broker node.
+type Durability struct {
+	// DataDir roots the brokers' durable storage; empty uses a fresh
+	// temporary directory removed when the scenario finishes.
+	DataDir string `json:"data_dir,omitempty"`
+	// Fsync is the segment-log sync policy: "never" (default), "always"
+	// (confirm implies durable) or "interval".
+	Fsync string `json:"fsync,omitempty"`
+	// FsyncIntervalMS is the interval policy's cadence (default 50).
+	FsyncIntervalMS int64 `json:"fsync_interval_ms,omitempty"`
+	// SegmentBytes caps each segment file (default 8 MiB).
+	SegmentBytes int64 `json:"segment_bytes,omitempty"`
+	// RetainAll keeps fully-acked segments instead of compacting them —
+	// required by replay patterns that read history from offset 0.
+	RetainAll bool `json:"retain_all,omitempty"`
 }
 
 // Reconnect mirrors amqp.ReconnectPolicy in JSON-friendly units.
@@ -117,6 +139,13 @@ const (
 	// FaultLatencySpike adds LatencyMS of delay to every write for the
 	// whole run.
 	FaultLatencySpike = "latency-spike"
+	// FaultBrokerRestart hard-kills every broker node (SIGKILL semantics:
+	// unfsynced data is lost, connections drop without teardown) once the
+	// run's consumed-message count crosses AtFraction of the production
+	// budget, then restarts the nodes on their original addresses after
+	// DownMS. Requires deployment.durability (so queues recover) and
+	// deployment.reconnect (so clients survive the outage).
+	FaultBrokerRestart = "broker-restart"
 )
 
 // Fault is one step of the scripted WAN fault sequence. Byte-triggered
@@ -133,7 +162,9 @@ type Fault struct {
 	EveryBytes    int64   `json:"every_bytes,omitempty"`
 	EveryFraction float64 `json:"every_fraction,omitempty"`
 	Count         int     `json:"count,omitempty"`
-	// DownMS is the outage duration of each flap (default 50).
+	// DownMS is the outage duration of each flap, or how long crashed
+	// brokers stay down before a broker-restart brings them back
+	// (default 50).
 	DownMS int64 `json:"down_ms,omitempty"`
 	// LatencyMS is the added write delay of a latency spike.
 	LatencyMS int64 `json:"latency_ms,omitempty"`
@@ -193,8 +224,25 @@ func (s Spec) Validate() error {
 	if s.Workload.PayloadDivisor < 0 || s.Workload.PayloadBytes < 0 {
 		return bad("workload payload scaling must be non-negative")
 	}
-	if _, ok := pattern.Lookup(s.Pattern); !ok {
+	g, ok := pattern.Lookup(s.Pattern)
+	if !ok {
 		return bad("unknown pattern %q (registered: %v)", s.Pattern, pattern.Names())
+	}
+	if d := s.Deployment.Durability; d != nil {
+		if _, err := seglog.ParseFsync(d.Fsync); err != nil {
+			return bad("durability: %v", err)
+		}
+		if d.FsyncIntervalMS < 0 || d.SegmentBytes < 0 {
+			return bad("durability sizes must be non-negative")
+		}
+	}
+	if g.NeedsDurability {
+		if s.Deployment.Durability == nil {
+			return bad("pattern %q replays durable history: deployment.durability is required", s.Pattern)
+		}
+		if !s.Deployment.Durability.RetainAll {
+			return bad("pattern %q replays from offset 0: durability.retain_all must be true or compaction may drop the history", s.Pattern)
+		}
 	}
 	if s.Producers < 0 || s.Consumers < 0 {
 		return bad("negative client counts (producers=%d consumers=%d)", s.Producers, s.Consumers)
@@ -211,7 +259,7 @@ func (s Spec) Validate() error {
 	if s.Deployment.Nodes < 0 || s.Deployment.FabricScale < 0 {
 		return bad("deployment sizes must be non-negative")
 	}
-	flaps := 0
+	flaps, restarts := 0, 0
 	for i, f := range s.Faults {
 		switch f.Kind {
 		case FaultFlap:
@@ -231,9 +279,24 @@ func (s Spec) Validate() error {
 			if f.LatencyMS <= 0 {
 				return bad("faults[%d]: latency-spike needs latency_ms > 0", i)
 			}
+		case FaultBrokerRestart:
+			if f.AtFraction <= 0 || f.AtFraction > 1 {
+				return bad("faults[%d]: broker-restart needs at_fraction in (0,1]", i)
+			}
+			if s.Deployment.Durability == nil {
+				return bad("faults[%d]: broker-restart loses in-memory queues: deployment.durability is required", i)
+			}
+			if s.Deployment.Reconnect == nil {
+				return bad("faults[%d]: broker-restart drops every client: deployment.reconnect is required", i)
+			}
+			restarts++
 		default:
 			return bad("faults[%d]: unknown kind %q", i, f.Kind)
 		}
+	}
+	// One watcher arms one crash/restart cycle per run.
+	if restarts > 1 {
+		return bad("at most one broker-restart fault per scenario")
 	}
 	// The injector has one byte-trigger arm slot; a second flap step
 	// would silently overwrite the first.
@@ -303,9 +366,63 @@ func (s Spec) options() core.Options {
 	return opts
 }
 
-// totalPayloadBytes is the scenario's per-run payload volume, the base of
-// fractional fault thresholds.
-func (s Spec) totalPayloadBytes(w workload.Workload) int64 {
+// applyDurability resolves the spec's durability declaration onto the
+// deployment options. When no data directory is declared, a fresh temp dir
+// is created and the returned cleanup removes it (a no-op otherwise).
+// Call only on a validated spec.
+func (s Spec) applyDurability(opts *core.Options) (cleanup func(), err error) {
+	cleanup = func() {}
+	d := s.Deployment.Durability
+	if d == nil {
+		return cleanup, nil
+	}
+	dir := d.DataDir
+	if dir == "" {
+		dir, err = os.MkdirTemp("", "ds2hpc-durable-")
+		if err != nil {
+			return cleanup, fmt.Errorf("scenario: durability temp dir: %w", err)
+		}
+		cleanup = func() { os.RemoveAll(dir) }
+	}
+	fs, err := seglog.ParseFsync(d.Fsync)
+	if err != nil {
+		cleanup()
+		return func() {}, fmt.Errorf("%w: %v", ErrBadSpec, err)
+	}
+	opts.DataDir = dir
+	opts.Durability = seglog.Options{
+		Fsync:        fs,
+		FsyncEvery:   time.Duration(d.FsyncIntervalMS) * time.Millisecond,
+		SegmentBytes: d.SegmentBytes,
+		RetainAll:    d.RetainAll,
+	}
+	return cleanup, nil
+}
+
+// needsInjector reports whether any declared fault runs through the
+// transport injector (broker-restart acts on the cluster directly).
+func (s Spec) needsInjector() bool {
+	for _, f := range s.Faults {
+		if f.Kind != FaultBrokerRestart {
+			return true
+		}
+	}
+	return false
+}
+
+// brokerRestart returns the broker-restart fault step, if declared.
+func (s Spec) brokerRestart() *Fault {
+	for i := range s.Faults {
+		if s.Faults[i].Kind == FaultBrokerRestart {
+			return &s.Faults[i]
+		}
+	}
+	return nil
+}
+
+// totalMessages is the scenario's per-run production budget, the base of
+// the broker-restart fault's consumed-fraction threshold.
+func (s Spec) totalMessages() int64 {
 	producers := s.Producers
 	if g, ok := pattern.Lookup(s.Pattern); ok && g.SingleProducer {
 		producers = 1
@@ -313,5 +430,11 @@ func (s Spec) totalPayloadBytes(w workload.Workload) int64 {
 	if producers <= 0 {
 		producers = 1
 	}
-	return int64(producers) * int64(s.MessagesPerProducer) * int64(w.PayloadBytes)
+	return int64(producers) * int64(s.MessagesPerProducer)
+}
+
+// totalPayloadBytes is the scenario's per-run payload volume, the base of
+// fractional fault thresholds.
+func (s Spec) totalPayloadBytes(w workload.Workload) int64 {
+	return s.totalMessages() * int64(w.PayloadBytes)
 }

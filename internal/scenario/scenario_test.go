@@ -157,6 +157,37 @@ func TestValidateRejectsBadSpecs(t *testing.T) {
 				{Kind: FaultFlapEvery, EveryFraction: 0.5, Count: 1},
 			}
 		}},
+		{"bad fsync policy", func(s *Spec) {
+			s.Deployment.Durability = &Durability{Fsync: "sometimes"}
+		}},
+		{"broker-restart without durability", func(s *Spec) {
+			s.Deployment.Reconnect = &Reconnect{MaxAttempts: 10}
+			s.Faults = []Fault{{Kind: FaultBrokerRestart, AtFraction: 0.5}}
+		}},
+		{"broker-restart without reconnect", func(s *Spec) {
+			s.Deployment.Durability = &Durability{}
+			s.Faults = []Fault{{Kind: FaultBrokerRestart, AtFraction: 0.5}}
+		}},
+		{"broker-restart bad fraction", func(s *Spec) {
+			s.Deployment.Durability = &Durability{}
+			s.Deployment.Reconnect = &Reconnect{MaxAttempts: 10}
+			s.Faults = []Fault{{Kind: FaultBrokerRestart}}
+		}},
+		{"two broker restarts", func(s *Spec) {
+			s.Deployment.Durability = &Durability{}
+			s.Deployment.Reconnect = &Reconnect{MaxAttempts: 10}
+			s.Faults = []Fault{
+				{Kind: FaultBrokerRestart, AtFraction: 0.3},
+				{Kind: FaultBrokerRestart, AtFraction: 0.6},
+			}
+		}},
+		{"replay pattern without durability", func(s *Spec) {
+			s.Pattern = "cold-replay"
+		}},
+		{"replay pattern without retention", func(s *Spec) {
+			s.Pattern = "cold-replay"
+			s.Deployment.Durability = &Durability{}
+		}},
 	}
 	for _, tc := range cases {
 		tc := tc
@@ -283,6 +314,73 @@ func TestSweepScalesProducers(t *testing.T) {
 		if pt.Spec.Producers != pt.Spec.Consumers {
 			t.Fatalf("producers %d != consumers %d", pt.Spec.Producers, pt.Spec.Consumers)
 		}
+	}
+}
+
+// TestBrokerRestartScenario is the headline crash scenario through the
+// declarative surface: durable queues (fsync=always, confirm implies
+// durable), reconnecting clients, and a broker-restart fault that
+// hard-kills the whole broker tier a quarter of the way through. The run
+// must complete with every produced message consumed — zero acked-message
+// loss across the crash — and the report must show the restart happened.
+func TestBrokerRestartScenario(t *testing.T) {
+	rep, err := Run(context.Background(), Spec{
+		Name: "crash-restart-smoke",
+		Deployment: Deployment{
+			Architecture:         "DTS",
+			FabricScale:          0.2,
+			DisableClientShaping: true,
+			FastControlPlane:     true,
+			Reconnect:            &Reconnect{MaxAttempts: 400, DelayMS: 5, MaxDelayMS: 25},
+			Durability:           &Durability{Fsync: "always"},
+		},
+		Workload:            Workload{Name: "Dstream", PayloadBytes: 2048},
+		Pattern:             "work-sharing",
+		Producers:           2,
+		Consumers:           2,
+		MessagesPerProducer: 40,
+		Faults:              []Fault{{Kind: FaultBrokerRestart, AtFraction: 0.25, DownMS: 60}},
+		TimeoutMS:           60000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.BrokerRestarts != 1 {
+		t.Fatalf("BrokerRestarts = %d, want 1", rep.BrokerRestarts)
+	}
+	// At-least-once across a crash: nothing acked is lost, and messages
+	// unacked at the kill point are redelivered after recovery, so the
+	// consumed count can exceed the budget but never fall short.
+	if want := int64(80); rep.Result.Consumed < want {
+		t.Fatalf("consumed %d, want at least %d (acked messages lost across the crash)", rep.Result.Consumed, want)
+	}
+}
+
+// TestColdReplayScenario runs the cold-replay pattern declaratively: the
+// hot pool consumes and acks everything, then the cold consumer replays
+// the full retained history, doubling the delivery count.
+func TestColdReplayScenario(t *testing.T) {
+	rep, err := Run(context.Background(), Spec{
+		Name: "cold-replay-smoke",
+		Deployment: Deployment{
+			Architecture:         "DTS",
+			FabricScale:          0.2,
+			DisableClientShaping: true,
+			FastControlPlane:     true,
+			Durability:           &Durability{RetainAll: true},
+		},
+		Workload:            Workload{Name: "Dstream", PayloadBytes: 2048},
+		Pattern:             "cold-replay",
+		Producers:           2,
+		Consumers:           2,
+		MessagesPerProducer: 8,
+		TimeoutMS:           60000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(32); rep.Result.Consumed != want {
+		t.Fatalf("consumed %d, want %d (16 hot + 16 replayed)", rep.Result.Consumed, want)
 	}
 }
 

@@ -56,6 +56,15 @@ func EncodeContentHeader(h *ContentHeader) ([]byte, error) {
 	return w.Bytes(), w.Err()
 }
 
+// MarshalContentHeader appends a header-frame payload for the given class,
+// body size and properties to w. It is the allocation-free sibling of
+// EncodeContentHeader for callers that manage their own pooled Writer —
+// the broker's segment log encodes message properties with it so a durable
+// append reuses the wire framing without an intermediate byte slice.
+func MarshalContentHeader(w *Writer, classID uint16, bodySize uint64, p *Properties) {
+	marshalContentHeader(w, classID, bodySize, p)
+}
+
 // marshalContentHeader appends a header-frame payload to w (shared by the
 // standalone encoder and the coalescing frame builder; taking the fields
 // rather than a *ContentHeader keeps hot-path callers allocation-free).
