@@ -18,14 +18,21 @@ PR ?= dev
 # means), the broker fanout publish→deliver microbench (the zero-copy
 # data-plane trajectory point) plus its durable twin (the price of
 # crash safety on the same path), and the raw seglog append/replay
-# benches (the durability engine in isolation).
-BENCH_PATTERN ?= BenchmarkAblationAckBatching|BenchmarkAblationWorkQueues|BenchmarkOverheadVsDTS|BenchmarkResilienceFaultRate|BenchmarkFig6aDstreamFeedbackRTT|BenchmarkFanoutPublishDeliver|BenchmarkDurableFanoutPublishDeliver|BenchmarkSeglogAppend|BenchmarkSeglogReplay
+# benches (the durability engine in isolation), and the durability×payload
+# cross (fsync tax vs payload amortization on durable queues).
+BENCH_PATTERN ?= BenchmarkAblationAckBatching|BenchmarkAblationWorkQueues|BenchmarkAblationDurabilityPayload|BenchmarkOverheadVsDTS|BenchmarkResilienceFaultRate|BenchmarkFig6aDstreamFeedbackRTT|BenchmarkFanoutPublishDeliver|BenchmarkDurableFanoutPublishDeliver|BenchmarkSeglogAppend|BenchmarkSeglogReplay
 
 # MICRO_ITERS fixes the iteration count for the broker microbenchmarks:
 # unlike the figure benches (one timed scenario run each, hence 1x), the
 # per-message data-plane benches need real iteration counts for a stable
 # ns/op, and a fixed count keeps successive snapshots comparable.
 MICRO_ITERS ?= 20000x
+
+# SCALE_ITERS fixes the per-size iteration count for BenchmarkClientScale
+# (internal/amqp): each size builds its client fleet once, then publishes
+# exactly this many messages through it, so bytes/client and ns/op are
+# comparable across snapshots without rebuilding 10⁵ sessions per round.
+SCALE_ITERS ?= 2000x
 
 .PHONY: test race short smoke bench-snapshot
 
@@ -40,7 +47,9 @@ test:
 # aggregator → OnTick) is exercised under injected faults. The
 # crashrestart spec hard-kills every broker node mid-run and recovers
 # durable queues from their segment logs; coldreplay attaches a late
-# consumer at offset 0 and replays retained history.
+# consumer at offset 0 and replays retained history. The scale10k spec
+# runs 10⁴ pooled clients under a goroutine budget, via the -clients
+# override so the flag path is exercised too.
 smoke:
 	$(GO) run ./cmd/streamsim scenario examples/scenario/worksharing.json
 	$(GO) run ./cmd/streamsim scenario examples/scenario/pipeline.json
@@ -48,6 +57,7 @@ smoke:
 	$(GO) run ./cmd/streamsim scenario -watch examples/scenario/linkflap.json
 	$(GO) run ./cmd/streamsim scenario examples/scenario/crashrestart.json
 	$(GO) run ./cmd/streamsim scenario examples/scenario/coldreplay.json
+	$(GO) run ./cmd/streamsim scenario -clients 10000 examples/scenario/scale10k.json
 
 race:
 	$(GO) vet ./...
@@ -62,8 +72,10 @@ short:
 # not statistical precision.
 # The root figure harness runs first so its TestMain telemetry snapshot
 # line is the one benchsnap embeds; the broker microbench output follows
-# in the same stream.
+# in the same stream, then the client-scale sweep (1k/10k/100k pooled
+# clients — ns/op per delivered message, bytes/client, conns).
 bench-snapshot:
 	( $(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime 1x -benchmem . && \
-	  $(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime $(MICRO_ITERS) -benchmem ./internal/broker ./internal/broker/seglog ) \
+	  $(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime $(MICRO_ITERS) -benchmem ./internal/broker ./internal/broker/seglog && \
+	  $(GO) test -run '^$$' -bench 'BenchmarkClientScale' -benchtime $(SCALE_ITERS) -benchmem ./internal/amqp ) \
 		| $(GO) run ./cmd/benchsnap -out BENCH_$(PR).json

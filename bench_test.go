@@ -24,6 +24,7 @@ import (
 	"testing"
 	"time"
 
+	"ds2hpc/internal/broker/seglog"
 	"ds2hpc/internal/core"
 	"ds2hpc/internal/fabric"
 	"ds2hpc/internal/metrics"
@@ -356,6 +357,32 @@ func BenchmarkAblationMSSBypass(b *testing.B) {
 			exp.Options.BypassLB = bypass
 			runPoint(b, exp)
 		})
+	}
+}
+
+// BenchmarkAblationDurabilityPayload crosses the fsync policy with the
+// payload size on durable DTS queues: msgs_per_sec shows the durability
+// tax each policy charges and how larger payloads amortize the per-append
+// sync (the write is payload-dominated, the fsync is not).
+func BenchmarkAblationDurabilityPayload(b *testing.B) {
+	policies := []struct {
+		name  string
+		fsync seglog.Fsync
+	}{
+		{"never", seglog.FsyncNever},
+		{"interval", seglog.FsyncInterval},
+		{"always", seglog.FsyncAlways},
+	}
+	for _, pol := range policies {
+		for _, payload := range []int{512, 8192} {
+			b.Run("fsync="+pol.name+"/payload="+itoa(payload), func(b *testing.B) {
+				exp := baseExperiment(core.DTS, workload.Dstream, sim.PatternWorkSharing, 8)
+				exp.Workload.PayloadBytes = payload
+				exp.Options.DataDir = b.TempDir()
+				exp.Options.Durability = seglog.Options{Fsync: pol.fsync, FsyncEvery: 5 * time.Millisecond}
+				runPoint(b, exp)
+			})
+		}
 	}
 }
 

@@ -31,11 +31,14 @@ import (
 )
 
 var (
-	scaleFlag = flag.Float64("scale", 0.1, "fabric scale factor (1.0 = paper testbed rates)")
-	consFlag  = flag.String("cons", "1,4,16", "comma-separated consumer counts")
-	msgsFlag  = flag.Int("msgs", 48, "messages per producer (Dstream; others scaled down)")
-	runsFlag  = flag.Int("runs", 1, "runs per data point (paper: 3)")
-	figFlag   = flag.String("fig", "all", "which figure to run: 4a,4b,5,6a,6b,7a,7b,8,overhead,all")
+	scaleFlag   = flag.Float64("scale", 0.1, "fabric scale factor (1.0 = paper testbed rates)")
+	consFlag    = flag.String("cons", "1,4,16", "comma-separated consumer counts")
+	msgsFlag    = flag.Int("msgs", 48, "messages per producer (Dstream; others scaled down)")
+	runsFlag    = flag.Int("runs", 1, "runs per data point (paper: 3)")
+	figFlag     = flag.String("fig", "all", "which figure to run: 4a,4b,5,6a,6b,7a,7b,8,overhead,all, or scale (not in all)")
+	clientsFlag = flag.String("clients", "1000,10000", "comma-separated total client counts for -fig scale (10⁴–10⁵ range supported)")
+	budgetFlag  = flag.Int("budget", 128, "goroutine budget per cell for -fig scale (see tuning.goroutine_budget)")
+	parFlag     = flag.Int("par", 2, "concurrent sweep cells for -fig scale (each cell deploys its own broker)")
 )
 
 func main() {
@@ -80,6 +83,11 @@ func main() {
 	}
 	if want("overhead") {
 		d.overhead()
+	}
+	// The client-scale sweep reaches 10⁴–10⁵ clients per cell; it runs
+	// only when asked for, never as part of -fig all.
+	if *figFlag == "scale" {
+		d.clientScale()
 	}
 	if d.failed {
 		os.Exit(1)
@@ -234,6 +242,77 @@ func (d *driver) overhead() {
 		rows = append(rows, []string{string(arch),
 			fmt.Sprintf("%.0f", r.Throughput),
 			fmt.Sprintf("%.2f", metrics.Overhead(base.Throughput, r.Throughput))})
+	}
+	printTable(rows)
+	fmt.Println()
+}
+
+// scaleArchs are the rows of the client-scale grid; Stunnel variants are
+// excluded because their connection limit makes every large cell
+// infeasible by construction.
+var scaleArchs = []core.ArchitectureName{core.DTS, core.PRSHAProxy, core.MSS}
+
+// clientScale runs the clients×architecture grid (-fig scale): each cell
+// is a work-sharing run with c/2 producers and c/2 consumers multiplexed
+// onto pooled connections under a goroutine budget, and independent cells
+// run -par at a time on their own deployments. Client NIC shaping and LB
+// control-plane costs are disabled so the grid measures the client
+// runtime, not the simulated fabric.
+func (d *driver) clientScale() {
+	clients, err := parseCounts(*clientsFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "expdriver:", err)
+		d.failed = true
+		return
+	}
+	fmt.Printf("== Client scale: work-sharing throughput (msgs/sec), goroutine budget %d\n", *budgetFlag)
+	header := []string{"architecture"}
+	halves := make([]int, len(clients))
+	for i, c := range clients {
+		header = append(header, fmt.Sprintf("clients=%d", c))
+		halves[i] = max(1, c/2)
+	}
+	rows := [][]string{header}
+	for _, arch := range scaleArchs {
+		spec := scenario.Spec{
+			Deployment: scenario.Deployment{
+				Architecture:         string(arch),
+				Nodes:                3,
+				FabricScale:          *scaleFlag,
+				MemoryLimitBytes:     1 << 30,
+				DisableClientShaping: true,
+				FastControlPlane:     true,
+			},
+			Workload:            scenario.Workload{Name: "Dstream", PayloadBytes: 256},
+			Pattern:             "work-sharing",
+			MessagesPerProducer: 1,
+			Runs:                1,
+			Tuning: scenario.Tuning{
+				WorkQueues:      8,
+				Prefetch:        8,
+				Window:          4,
+				GoroutineBudget: *budgetFlag,
+			},
+			TimeoutMS: (15 * time.Minute).Milliseconds(),
+		}
+		row := []string{string(arch)}
+		points, err := scenario.Sweep(context.Background(), spec, halves,
+			scenario.WithParallel(*parFlag))
+		for _, pt := range points {
+			if pt.Infeasible {
+				row = append(row, "-")
+			} else {
+				row = append(row, fmt.Sprintf("%.0f", pt.Result.Throughput))
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "expdriver: scale/%s: %v\n", arch, err)
+			d.failed = true
+			for len(row) < len(header) {
+				row = append(row, "ERR")
+			}
+		}
+		rows = append(rows, row)
 	}
 	printTable(rows)
 	fmt.Println()

@@ -81,9 +81,10 @@ func usage() {
 func runScenario(args []string) error {
 	fs := flag.NewFlagSet("scenario", flag.ContinueOnError)
 	watch := fs.Bool("watch", false, "print live per-second telemetry rollups while the scenario runs")
+	clients := fs.Int("clients", 0, "override total client count (split across producers and consumers) without editing the spec")
 	telemetryAddr := fs.String("telemetry", "", "serve /metrics and /snapshot.json on this address while the scenario runs (e.g. 127.0.0.1:9090)")
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: streamsim scenario [-watch] [-telemetry addr] <spec.json>")
+		fmt.Fprintln(os.Stderr, "usage: streamsim scenario [-watch] [-clients n] [-telemetry addr] <spec.json>")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -96,6 +97,13 @@ func runScenario(args []string) error {
 	spec, err := scenario.Load(fs.Arg(0))
 	if err != nil {
 		return err
+	}
+	if *clients != 0 {
+		if err := applyClientsOverride(&spec, *clients); err != nil {
+			return err
+		}
+		fmt.Printf("clients:        %d (-clients override: %d producers, %d consumers)\n",
+			*clients, spec.Producers, spec.Consumers)
 	}
 	stop, err := serveTelemetry(*telemetryAddr)
 	if err != nil {
@@ -112,6 +120,29 @@ func runScenario(args []string) error {
 	}
 	printReport(rep)
 	return nil
+}
+
+// applyClientsOverride rescales a spec's role counts to n total clients:
+// an even producer/consumer split, except single-producer patterns
+// (broadcast/gather) which keep one producer and give the rest to
+// consumers. The rewritten spec is re-validated so an override can never
+// smuggle in counts the spec format forbids.
+func applyClientsOverride(spec *scenario.Spec, n int) error {
+	if n < 2 {
+		return fmt.Errorf("scenario: -clients %d: need at least 2 (one producer, one consumer)", n)
+	}
+	single := false
+	if g, ok := pattern.Lookup(spec.Pattern); ok {
+		single = g.SingleProducer
+	}
+	if single {
+		spec.Producers = 1
+		spec.Consumers = n - 1
+	} else {
+		spec.Producers = n / 2
+		spec.Consumers = n - n/2
+	}
+	return spec.Validate()
 }
 
 // serveTelemetry optionally exposes the process-wide telemetry registry
@@ -138,6 +169,12 @@ func printRollup(tk telemetry.Tick) {
 	}
 	if v := tk.Values["reconnects"]; v > 0 {
 		line += fmt.Sprintf("  reconnects %.0f", v)
+	}
+	if v := tk.Values["sessions"]; v > 0 {
+		line += fmt.Sprintf("  sessions %.0f/%.0f conns", v, tk.Values["conns"])
+	}
+	if v, ok := tk.Values["goroutines"]; ok {
+		line += fmt.Sprintf("  goroutines %.0f", v)
 	}
 	fmt.Println(line)
 }

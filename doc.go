@@ -162,6 +162,25 @@
 // mid-run and restarts them on the same addresses; reconnecting
 // clients ride it out with zero acked-message loss.
 //
+// # Client runtime & scaling
+//
+// Fleet-scale runs (10⁴–10⁵ logical clients) ride a multiplexed client
+// runtime: amqp.ClientPool owns a few physical connections and hands
+// out Session handles mapped onto channels (least-loaded placement,
+// soft SessionsPerConn target, hard cap at the negotiated channel-max),
+// ConsumeFunc consumers are dispatched from the connection read loop
+// (zero goroutines when idle), and a shared Pacer replaces per-client
+// timers. A physical-connection flap resumes every session mapped onto
+// it — consumers and unconfirmed publishes replay — without touching
+// sessions on sibling connections. With Tuning.GoroutineBudget set, the
+// pattern engine multiplexes all roles over a bounded worker set and
+// the deployment's total goroutine count stays under the budget
+// (asserted in TestClientScaleGoroutineBudget; BenchmarkClientScale
+// tracks ns/op per delivered message and bytes/client up to 100k).
+// Entry points: `streamsim scenario -clients N`, `expdriver -fig
+// scale`, and scenario.Sweep's WithParallel option for concurrent grid
+// cells.
+//
 // # Running the suite
 //
 // Tier-1 verification is `go build ./... && go test ./...`; CI runs

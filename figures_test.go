@@ -296,6 +296,33 @@ func TestAblationMSSBypass(t *testing.T) {
 	}
 }
 
+// TestAblationDurabilityPayload crosses the fsync policy with the payload
+// size on durable DTS queues — the figure-harness counterpart of
+// BenchmarkAblationDurabilityPayload. Every cell must still deliver the
+// full message budget; only throughput may differ between policies.
+func TestAblationDurabilityPayload(t *testing.T) {
+	policies := []string{"never", "interval", "always"}
+	payloads := []int{512, 8192}
+	if testing.Short() {
+		policies = []string{"never", "always"}
+		payloads = []int{512}
+	}
+	for _, fs := range policies {
+		for _, payload := range payloads {
+			fs, payload := fs, payload
+			t.Run("fsync="+fs+"/payload="+itoa(payload), func(t *testing.T) {
+				spec := testSpec(core.DTS, workload.Dstream, "work-sharing", testConsumers)
+				spec.Deployment.Durability = &scenario.Durability{Fsync: fs, FsyncIntervalMS: 5}
+				spec.Workload.PayloadBytes = payload
+				res := testPoint(t, spec)
+				if want := int64(testConsumers * testMessages); res.Consumed != want {
+					t.Fatalf("consumed %d, want %d", res.Consumed, want)
+				}
+			})
+		}
+	}
+}
+
 func TestOverheadVsDTS(t *testing.T) {
 	if testing.Short() {
 		t.Skip("cross-architecture comparison skipped under -short")

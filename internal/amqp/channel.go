@@ -77,9 +77,13 @@ type Channel struct {
 // clientConsumer is one registered consumer: its delivery stream plus the
 // ack mode, which decides whether delivery bodies may live on pooled
 // buffers (manual ack has a resolution point to release at; autoAck hands
-// body ownership to the application outright).
+// body ownership to the application outright). Exactly one of deliveries
+// and fn is set: channel consumers get a buffered stream drained by their
+// own goroutine; callback consumers (ConsumeFunc) are invoked straight
+// from the connection read loop and cost no goroutine while idle.
 type clientConsumer struct {
 	deliveries chan Delivery
+	fn         func(Delivery)
 	noAck      bool
 }
 
@@ -243,7 +247,9 @@ func (ch *Channel) shutdown(err *Error) {
 
 	close(ch.rpc)
 	for _, cc := range consumers {
-		close(cc.deliveries)
+		if cc.deliveries != nil {
+			close(cc.deliveries)
+		}
 	}
 	for _, cc := range confirms {
 		close(cc)
@@ -459,11 +465,12 @@ func (ch *Channel) completeContent() {
 		d.Body = body
 		ch.mu.Lock()
 		var dc chan Delivery
+		var fn func(Delivery)
 		if cc := ch.consumers[deliver.ConsumerTag]; cc != nil {
-			dc = cc.deliveries
+			dc, fn = cc.deliveries, cc.fn
 		}
 		if loan != nil {
-			if dc != nil && !ch.closed {
+			if (dc != nil || fn != nil) && !ch.closed {
 				// The resolution of this tag releases the body buffer.
 				ch.loans[deliver.DeliveryTag] = loan
 			} else {
@@ -473,7 +480,16 @@ func (ch *Channel) completeContent() {
 			}
 		}
 		ch.mu.Unlock()
-		if dc != nil {
+		switch {
+		case fn != nil:
+			// Callback consumers run on the connection read loop: no
+			// goroutine per idle consumer, and a slow handler throttles
+			// the socket exactly like a full delivery channel would. The
+			// handler must not issue synchronous calls on this connection
+			// (the reply could never be read); async publishes and acks
+			// are safe.
+			fn(d)
+		case dc != nil:
 			// Blocking here applies natural backpressure to the socket,
 			// like a TCP receive window filling up.
 			func() {
@@ -713,6 +729,39 @@ func (ch *Channel) Publish(exchange, key string, mandatory, immediate bool, msg 
 
 // Consume starts a consumer and returns its delivery channel.
 func (ch *Channel) Consume(queue, consumerTag string, autoAck, exclusive, noLocal, noWait bool, args Table) (<-chan Delivery, error) {
+	cc := &clientConsumer{deliveries: make(chan Delivery, 16), noAck: autoAck}
+	if _, err := ch.consume(queue, consumerTag, cc, exclusive, noLocal, args); err != nil {
+		return nil, err
+	}
+	return cc.deliveries, nil
+}
+
+// ConsumeFunc starts a callback consumer: fn runs for every delivery,
+// invoked directly from the connection's read loop, so an idle consumer
+// costs a map entry instead of a goroutine parked on a channel. This is
+// what lets one multiplexed connection carry thousands of logical
+// consumers (see ClientPool). It returns the (possibly generated)
+// consumer tag for Cancel.
+//
+// Because fn runs on the read loop, it must not make synchronous calls
+// (declares, Qos, Consume, Get, Close) on any channel of the same
+// connection — the response could never be read. Asynchronous operations
+// (Publish, Ack/Nack/Reject) are safe, as is anything on a different
+// connection. A slow fn exerts backpressure on the whole shared
+// connection, exactly like an undrained Consume channel. On reconnecting
+// connections the subscription is replayed like any other consumer; fn
+// is retained across transport epochs.
+func (ch *Channel) ConsumeFunc(queue, consumerTag string, autoAck, exclusive, noLocal bool, args Table, fn func(Delivery)) (string, error) {
+	if fn == nil {
+		return "", errors.New("amqp: ConsumeFunc requires a handler")
+	}
+	return ch.consume(queue, consumerTag, &clientConsumer{fn: fn, noAck: autoAck}, exclusive, noLocal, args)
+}
+
+// consume registers cc under consumerTag (generating one if empty) and
+// issues basic.consume, recording the replay spec on reconnecting
+// connections. It is the shared body of Consume and ConsumeFunc.
+func (ch *Channel) consume(queue, consumerTag string, cc *clientConsumer, exclusive, noLocal bool, args Table) (string, error) {
 	ch.mu.Lock()
 	if consumerTag == "" {
 		ch.consumerSeq++
@@ -720,22 +769,21 @@ func (ch *Channel) Consume(queue, consumerTag string, autoAck, exclusive, noLoca
 	}
 	if _, dup := ch.consumers[consumerTag]; dup {
 		ch.mu.Unlock()
-		return nil, fmt.Errorf("amqp: duplicate consumer tag %q", consumerTag)
+		return "", fmt.Errorf("amqp: duplicate consumer tag %q", consumerTag)
 	}
-	dc := make(chan Delivery, 16)
-	ch.consumers[consumerTag] = &clientConsumer{deliveries: dc, noAck: autoAck}
+	ch.consumers[consumerTag] = cc
 	ch.mu.Unlock()
 
 	m := &wire.BasicConsume{
 		Queue: queue, ConsumerTag: consumerTag,
-		NoAck: autoAck, Exclusive: exclusive, NoLocal: noLocal, Arguments: args,
+		NoAck: cc.noAck, Exclusive: exclusive, NoLocal: noLocal, Arguments: args,
 	}
 	_, epoch, err := ch.callE(m)
 	if err != nil {
 		ch.mu.Lock()
 		delete(ch.consumers, consumerTag)
 		ch.mu.Unlock()
-		return nil, err
+		return "", err
 	}
 	if ch.conn.reconnectEnabled() {
 		spec := *m
@@ -744,10 +792,10 @@ func (ch *Channel) Consume(queue, consumerTag string, autoAck, exclusive, noLoca
 		ch.consumeEpochs[consumerTag] = epoch
 		ch.mu.Unlock()
 	}
-	return dc, nil
+	return consumerTag, nil
 }
 
-// Cancel stops a consumer and closes its delivery channel.
+// Cancel stops a consumer and closes its delivery channel (if any).
 func (ch *Channel) Cancel(consumerTag string, noWait bool) error {
 	_, err := ch.call(&wire.BasicCancel{ConsumerTag: consumerTag})
 	ch.mu.Lock()
@@ -756,7 +804,7 @@ func (ch *Channel) Cancel(consumerTag string, noWait bool) error {
 	delete(ch.consumeSpecs, consumerTag)
 	delete(ch.consumeEpochs, consumerTag)
 	ch.mu.Unlock()
-	if ok {
+	if ok && cc.deliveries != nil {
 		close(cc.deliveries)
 	}
 	return err

@@ -114,6 +114,7 @@ type Connection struct {
 	mu        sync.Mutex
 	channels  map[uint16]*Channel
 	nextCh    uint16
+	freeCh    []uint16 // ids of closed channels, reused before growing nextCh
 	closed    bool
 	closeErr  error
 	notifyCls []chan *Error
@@ -137,6 +138,7 @@ type Connection struct {
 	deferredConfirms []deferredConfirm
 
 	frameMax   atomic.Uint32
+	chanMax    atomic.Uint32
 	reconnects atomic.Uint64
 	done       chan struct{}
 	hbStop     chan struct{}
@@ -307,6 +309,11 @@ func (c *Connection) handshake(fr *wire.FrameReader) (time.Duration, error) {
 		frameMax = cfg.FrameMax
 	}
 	c.frameMax.Store(frameMax)
+	chanMax := tune.ChannelMax
+	if chanMax == 0 {
+		chanMax = 65535 // 0 = "no limit" per the spec; ids are 16-bit
+	}
+	c.chanMax.Store(uint32(chanMax))
 	fr.SetFrameMax(frameMax + 1024)
 	hb := uint16(cfg.Heartbeat / time.Second)
 	if tune.Heartbeat < hb {
@@ -359,23 +366,41 @@ func (c *Connection) heartbeatLoop(interval time.Duration) {
 	}
 }
 
-// Channel opens a new channel.
+// ErrChannelMax reports a connection whose negotiated channel-id space
+// is fully in use; close a channel (or open another connection) first.
+var ErrChannelMax = errors.New("amqp: negotiated channel limit reached")
+
+// ChannelMax reports the channel-id capacity negotiated at handshake.
+// Pools size their per-connection session fan-out from it.
+func (c *Connection) ChannelMax() int { return int(c.chanMax.Load()) }
+
+// Channel opens a new channel. Ids of cleanly closed channels are
+// recycled, so long-lived connections can churn through far more than
+// ChannelMax short-lived channels.
 func (c *Connection) Channel() (*Channel, error) {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
 		return nil, ErrClosed
 	}
-	c.nextCh++
-	id := c.nextCh
+	var id uint16
+	if n := len(c.freeCh); n > 0 {
+		id = c.freeCh[n-1]
+		c.freeCh = c.freeCh[:n-1]
+	} else {
+		if uint32(c.nextCh) >= c.chanMax.Load() {
+			c.mu.Unlock()
+			return nil, ErrChannelMax
+		}
+		c.nextCh++
+		id = c.nextCh
+	}
 	ch := newChannel(c, id)
 	c.channels[id] = ch
 	c.mu.Unlock()
 
 	if _, err := ch.call(&wire.ChannelOpen{}); err != nil {
-		c.mu.Lock()
-		delete(c.channels, id)
-		c.mu.Unlock()
+		c.removeChannel(id)
 		return nil, err
 	}
 	return ch, nil
@@ -739,7 +764,13 @@ func (c *Connection) channelByID(id uint16) *Channel {
 
 func (c *Connection) removeChannel(id uint16) {
 	c.mu.Lock()
-	delete(c.channels, id)
+	if _, ok := c.channels[id]; ok {
+		delete(c.channels, id)
+		// The close handshake for id has completed (or the broker initiated
+		// it), so no more frames can arrive for the old incarnation and the
+		// id is safe to hand out again.
+		c.freeCh = append(c.freeCh, id)
+	}
 	c.mu.Unlock()
 }
 

@@ -1,0 +1,155 @@
+package amqp
+
+import (
+	"container/heap"
+	"context"
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrPacerStopped reports a Sleep cut short by Pacer.Stop (pool
+// teardown); callers treat it like cancellation.
+var ErrPacerStopped = errors.New("amqp: pacer stopped")
+
+// Pacer is a shared deadline scheduler: one goroutine and one runtime
+// timer servicing any number of delayed callbacks. Paced publishers and
+// retry backoffs across a pool of sessions schedule here instead of each
+// parking on its own time.Sleep/time.After, so 100k paced clients do not
+// mean 100k timer goroutines.
+type Pacer struct {
+	mu      sync.Mutex
+	items   pacerHeap
+	wake    chan struct{}
+	done    chan struct{} // closed by Stop; releases parked Sleep callers
+	stopped bool
+}
+
+// pacerItem is one scheduled callback.
+type pacerItem struct {
+	at time.Time
+	fn func()
+}
+
+// NewPacer starts the scheduler goroutine.
+func NewPacer() *Pacer {
+	p := &Pacer{wake: make(chan struct{}, 1), done: make(chan struct{})}
+	go p.loop()
+	return p
+}
+
+// Schedule runs fn on the pacer goroutine once d has elapsed. Callbacks
+// must be short (hand long work off elsewhere): the pacer is a shared
+// resource and a slow callback delays every later deadline.
+func (p *Pacer) Schedule(d time.Duration, fn func()) {
+	p.mu.Lock()
+	if p.stopped {
+		p.mu.Unlock()
+		return
+	}
+	heap.Push(&p.items, pacerItem{at: time.Now().Add(d), fn: fn})
+	p.mu.Unlock()
+	select {
+	case p.wake <- struct{}{}:
+	default:
+	}
+}
+
+// Sleep parks the caller for d using the shared timer, returning early
+// with ctx.Err() on cancellation. It is the drop-in replacement for
+// time.Sleep in code paths that run once per logical client.
+func (p *Pacer) Sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	done := make(chan struct{})
+	p.Schedule(d, func() { close(done) })
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-p.done:
+		return ErrPacerStopped
+	}
+}
+
+// Len reports the number of pending callbacks.
+func (p *Pacer) Len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.items)
+}
+
+// Stop shuts the scheduler down. Pending Schedule callbacks are dropped;
+// parked Sleep callers return ErrPacerStopped.
+func (p *Pacer) Stop() {
+	p.mu.Lock()
+	if p.stopped {
+		p.mu.Unlock()
+		return
+	}
+	p.stopped = true
+	p.items = nil
+	close(p.done)
+	p.mu.Unlock()
+	select {
+	case p.wake <- struct{}{}:
+	default:
+	}
+}
+
+func (p *Pacer) loop() {
+	for {
+		p.mu.Lock()
+		if p.stopped {
+			p.mu.Unlock()
+			return
+		}
+		var run []func()
+		wait := time.Duration(-1)
+		now := time.Now()
+		for len(p.items) > 0 {
+			next := p.items[0]
+			if next.at.After(now) {
+				wait = next.at.Sub(now)
+				break
+			}
+			heap.Pop(&p.items)
+			run = append(run, next.fn)
+		}
+		p.mu.Unlock()
+		for _, fn := range run {
+			fn()
+		}
+		if len(run) > 0 {
+			continue // new deadlines may have landed while running
+		}
+		if wait < 0 {
+			<-p.wake // idle: block until the next Schedule or Stop
+			continue
+		}
+		t := time.NewTimer(wait)
+		select {
+		case <-p.wake:
+			t.Stop()
+		case <-t.C:
+		}
+	}
+}
+
+// pacerHeap is a min-heap of scheduled callbacks ordered by deadline.
+type pacerHeap []pacerItem
+
+func (h pacerHeap) Len() int            { return len(h) }
+func (h pacerHeap) Less(i, j int) bool  { return h[i].at.Before(h[j].at) }
+func (h pacerHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *pacerHeap) Push(x interface{}) { *h = append(*h, x.(pacerItem)) }
+func (h *pacerHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = pacerItem{}
+	*h = old[:n-1]
+	return it
+}

@@ -1,0 +1,149 @@
+package amqp
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ds2hpc/internal/broker"
+)
+
+// BenchmarkClientScale measures the pooled client runtime at fleet sizes
+// the goroutine-per-client model cannot reach: n logical clients (half
+// publishers, half ConsumeFunc consumers) multiplexed onto
+// ⌈n/ChannelMax⌉ physical connections against an in-process broker.
+// ns/op is the cost per delivered message at steady state; bytes/client
+// is the resident heap cost of one idle logical client, broker side
+// included (the ≤ 4 KiB/client scale target). Run with a fixed iteration
+// count (-benchtime Nx) so the fleet is built once per size.
+func BenchmarkClientScale(b *testing.B) {
+	for _, n := range []int{1000, 10000, 100000} {
+		b.Run(fmt.Sprintf("clients=%d", n), func(b *testing.B) {
+			if testing.Short() && n > 10000 {
+				b.Skipf("skipping %d clients in short mode", n)
+			}
+			benchClientScale(b, n)
+		})
+	}
+}
+
+func benchClientScale(b *testing.B, clients int) {
+	s, err := broker.Listen(broker.Config{Addr: "127.0.0.1:0"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+
+	const queues = 16
+	consumers := clients / 2
+	producers := clients - consumers
+
+	runtime.GC()
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+
+	// SessionsPerConn 0 packs each connection to its negotiated channel
+	// limit — the fewest sockets the fleet can ride on.
+	pool := NewClientPool(PoolConfig{URL: "amqp://" + s.Addr()})
+	defer pool.Close()
+
+	setup, err := pool.Session()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for q := 0; q < queues; q++ {
+		if _, err := setup.QueueDeclare(fmt.Sprintf("scale-q-%d", q), false, false, false, false, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	var delivered atomic.Int64
+	// Fleet build-out, parallelized: session opens are sync round-trips,
+	// so one goroutine would serialize 10⁵ of them.
+	openAll := func(n int, attach func(i int, sess *Session) error) []*Session {
+		sessions := make([]*Session, n)
+		workers := 64
+		if workers > n {
+			workers = n
+		}
+		idx := make(chan int, workers)
+		errs := make(chan error, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					sess, err := pool.Session()
+					if err == nil && attach != nil {
+						err = attach(i, sess)
+					}
+					if err != nil {
+						select {
+						case errs <- fmt.Errorf("client %d: %w", i, err):
+						default:
+						}
+						return
+					}
+					sessions[i] = sess
+				}
+			}()
+		}
+		for i := 0; i < n; i++ {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+		select {
+		case err := <-errs:
+			b.Fatal(err)
+		default:
+		}
+		return sessions
+	}
+
+	openAll(consumers, func(i int, sess *Session) error {
+		_, err := sess.ConsumeFunc(fmt.Sprintf("scale-q-%d", i%queues), fmt.Sprintf("c-%d", i),
+			true, false, false, nil, func(Delivery) { delivered.Add(1) })
+		return err
+	})
+	prods := openAll(producers, nil)
+
+	runtime.GC()
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+	var bytesPerClient float64
+	if after.HeapAlloc > before.HeapAlloc {
+		bytesPerClient = float64(after.HeapAlloc-before.HeapAlloc) / float64(clients)
+	}
+	conns, sessions := pool.Stats()
+
+	body := make([]byte, 64)
+	// Bound the broker-resident backlog so the loop measures steady-state
+	// delivery, not unbounded enqueue.
+	const window = 1024
+	wait := func(until int64) {
+		for delivered.Load() < until {
+			time.Sleep(20 * time.Microsecond)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		wait(int64(i) - window)
+		sess := prods[i%len(prods)]
+		if err := sess.Publish("", fmt.Sprintf("scale-q-%d", i%queues), false, false, Publishing{Body: body}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	wait(int64(b.N))
+	b.StopTimer()
+	b.SetBytes(int64(len(body)))
+	// ResetTimer deletes user metrics, so the fleet-cost numbers (taken
+	// before the timed loop) are reported here.
+	b.ReportMetric(bytesPerClient, "bytes/client")
+	b.ReportMetric(float64(conns), "conns")
+	b.ReportMetric(float64(sessions)/float64(conns), "sessions/conn")
+}

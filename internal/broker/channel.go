@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"ds2hpc/internal/metrics"
 	"ds2hpc/internal/wire"
@@ -27,12 +28,18 @@ type srvChannel struct {
 	closed      bool
 }
 
-// consumerEntry pairs a queue consumer with its writer goroutine state.
+// consumerEntry pairs a queue consumer with the channel that owns it.
+// scheduled is the dispatch flag of the connection's delivery loop: set
+// when the entry sits in (or is being served from) the loop's ready list,
+// which guarantees one server per consumer at a time and hence
+// per-consumer delivery order.
 type consumerEntry struct {
-	tag   string
-	queue *Queue
-	cons  *consumer
-	noAck bool
+	tag       string
+	queue     *Queue
+	cons      *consumer
+	noAck     bool
+	ch        *srvChannel
+	scheduled atomic.Bool
 }
 
 // unackedEntry tracks one outstanding delivery awaiting acknowledgement.
@@ -113,6 +120,11 @@ func (ch *srvChannel) teardown() {
 	}
 	for _, ce := range consumers {
 		ce.queue.RemoveConsumer(ce.cons)
+		// Drain inline as well: on connection death the delivery loop may
+		// already have exited, leaving outbox messages no one else would
+		// return to the queue. (Racing the loop's own closed-drain is
+		// safe — each delivery is received exactly once.)
+		drainOutbox(ce)
 	}
 	for _, ua := range unacked {
 		if ua.cons != nil {
@@ -338,13 +350,15 @@ func (ch *srvChannel) basicConsume(x *wire.BasicConsume) error {
 	if err != nil {
 		return ch.exception(errorCode(err), err.Error(), x)
 	}
-	ce := &consumerEntry{tag: tag, queue: q, cons: cons, noAck: noAck}
+	ce := &consumerEntry{tag: tag, queue: q, cons: cons, noAck: noAck, ch: ch}
 	ch.mu.Lock()
 	ch.consumers[tag] = ce
 	ch.mu.Unlock()
 
-	// Writer goroutine: serializes this consumer's deliveries to the wire.
-	go ch.consumerWriter(ce)
+	// Hand delivery writing to the connection's event-driven loop: the
+	// wake hook schedules this consumer whenever its outbox has work, so
+	// an idle consumer costs a map entry, not a parked goroutine.
+	cons.SetWake(func() { ch.conn.wakeConsumer(ce) })
 
 	if x.NoWait {
 		return nil
@@ -356,44 +370,67 @@ func (ch *srvChannel) basicConsume(x *wire.BasicConsume) error {
 // single coalesced write (and one queue-lock round-trip of completions).
 const maxDeliveryBatch = 16
 
-// consumerWriter serializes one consumer's deliveries to the wire. It
-// drains whatever has accumulated in the outbox (up to maxDeliveryBatch)
-// and emits the whole batch with one flush, instead of one write — and one
-// queue-lock acquisition — per message.
-func (ch *srvChannel) consumerWriter(ce *consumerEntry) {
-	var batch []delivery
-	for {
+// serveConsumer drains one bounded batch from a consumer's outbox onto
+// the wire and emits it with one flush, instead of one write — and one
+// queue-lock acquisition — per message. It runs on the connection's
+// delivery loop; the entry's scheduled flag guarantees a single server
+// per consumer at a time, preserving per-consumer delivery order. A
+// closed consumer drains back to its queue and stays scheduled forever,
+// so later wakes cannot resurrect it.
+func (ch *srvChannel) serveConsumer(ce *consumerEntry) {
+	select {
+	case <-ce.cons.closed:
+		drainOutbox(ce)
+		return
+	default:
+	}
+	var batch [maxDeliveryBatch]delivery
+	n := 0
+fill:
+	for n < maxDeliveryBatch {
+		select {
+		case d := <-ce.cons.outbox:
+			batch[n] = d
+			n++
+		default:
+			break fill
+		}
+	}
+	if n > 0 {
+		ch.sendDeliverBatch(ce, batch[:n])
+		ce.queue.DeliveryDoneN(ce.cons, n)
+	}
+	// Unschedule, then re-check: a delivery (or close) that raced the
+	// drain above re-schedules the entry instead of being stranded.
+	ce.scheduled.Store(false)
+	resched := len(ce.cons.outbox) > 0
+	if !resched {
 		select {
 		case <-ce.cons.closed:
-			// Drain anything already queued back to the queue (a requeue
-			// racing a queue delete releases the message instead). Replay
-			// deliveries never re-enter the ring — their messages are
-			// log re-reads, not queue-owned references.
-			for {
-				select {
-				case d := <-ce.cons.outbox:
-					if ce.cons.replay {
-						d.msg.Release()
-					} else {
-						ce.queue.Requeue(d.msg, d.off)
-					}
-				default:
-					return
-				}
-			}
+			resched = true
+		default:
+		}
+	}
+	if resched {
+		ch.conn.wakeConsumer(ce)
+	}
+}
+
+// drainOutbox returns a closed consumer's undelivered outbox to its queue
+// (a requeue racing a queue delete releases the message instead). Replay
+// deliveries never re-enter the ring — their messages are log re-reads,
+// not queue-owned references.
+func drainOutbox(ce *consumerEntry) {
+	for {
+		select {
 		case d := <-ce.cons.outbox:
-			batch = append(batch[:0], d)
-			for len(batch) < maxDeliveryBatch {
-				select {
-				case more := <-ce.cons.outbox:
-					batch = append(batch, more)
-				default:
-					goto full
-				}
+			if ce.cons.replay {
+				d.msg.Release()
+			} else {
+				ce.queue.Requeue(d.msg, d.off)
 			}
-		full:
-			ch.sendDeliverBatch(ce, batch)
-			ce.queue.DeliveryDoneN(ce.cons, len(batch))
+		default:
+			return
 		}
 	}
 }

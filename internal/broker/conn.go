@@ -25,6 +25,15 @@ type srvConn struct {
 	chMu     sync.Mutex
 	channels map[uint16]*srvChannel
 
+	// Event-driven delivery dispatch: consumers with outbox work enqueue
+	// themselves on dispReady (via their wake hook) and one deliveryLoop
+	// goroutine — started lazily on the first consume, shared by every
+	// consumer on this connection — serves them round-robin.
+	dispOnce  sync.Once
+	dispMu    sync.Mutex
+	dispReady []*consumerEntry
+	dispWake  chan struct{}
+
 	frameMax  uint32
 	heartbeat time.Duration
 
@@ -39,7 +48,52 @@ func newSrvConn(s *Server, c net.Conn) *srvConn {
 		fr:       wire.NewFrameReader(c, s.cfg.FrameMax+1024),
 		channels: map[uint16]*srvChannel{},
 		frameMax: s.cfg.FrameMax,
+		dispWake: make(chan struct{}, 1),
 		done:     make(chan struct{}),
+	}
+}
+
+// wakeConsumer schedules a consumer for this connection's delivery loop.
+// The scheduled CAS makes duplicate wakes free: a consumer is in the
+// ready list at most once, and whoever wins the CAS owns the enqueue.
+// Safe to call from under a queue's lock — it only touches dispatch
+// state, never queue state.
+func (sc *srvConn) wakeConsumer(ce *consumerEntry) {
+	if !ce.scheduled.CompareAndSwap(false, true) {
+		return
+	}
+	sc.dispMu.Lock()
+	sc.dispReady = append(sc.dispReady, ce)
+	sc.dispMu.Unlock()
+	select {
+	case sc.dispWake <- struct{}{}:
+	default:
+	}
+	sc.dispOnce.Do(func() { go sc.deliveryLoop() })
+}
+
+// deliveryLoop is the connection's single delivery pump: it serves
+// whichever consumers have scheduled outbox work, one bounded batch
+// each, instead of parking one writer goroutine per consumer. 10⁵ idle
+// consumers on a connection cost zero goroutines; the loop exits with
+// the connection (channel teardown drains what it leaves behind).
+func (sc *srvConn) deliveryLoop() {
+	var batch []*consumerEntry
+	for {
+		sc.dispMu.Lock()
+		batch, sc.dispReady = sc.dispReady, batch[:0]
+		sc.dispMu.Unlock()
+		if len(batch) == 0 {
+			select {
+			case <-sc.dispWake:
+				continue
+			case <-sc.done:
+				return
+			}
+		}
+		for _, ce := range batch {
+			ce.ch.serveConsumer(ce)
+		}
 	}
 }
 

@@ -81,14 +81,22 @@ type delivery struct {
 }
 
 // consumer is a registered basic.consume subscription. Deliveries flow
-// through outbox to a per-consumer writer goroutine owned by the channel
-// layer, so one slow connection does not stall the queue's other consumers.
+// through outbox to the owning connection's delivery loop (one per
+// physical connection, not per consumer), so one slow connection does not
+// stall the queue's other consumers.
 type consumer struct {
 	tag    string
 	noAck  bool
 	replay bool // fed by a replayLoop from the segment log, not the pump
 	outbox chan delivery
 	closed chan struct{}
+
+	// wake holds the channel layer's func() notification hook, invoked
+	// after every outbox send (and on close) so the connection's delivery
+	// loop schedules this consumer. Stored atomically because the pump
+	// (under q.mu) and the replayLoop (lock-free) both fire it. Nil until
+	// SetWake; test harnesses that drain outbox directly never attach one.
+	wake atomic.Value
 
 	// credit is the number of additional messages that may be pushed
 	// before an ack returns a slot. creditUnlimited when prefetch is 0.
@@ -100,6 +108,22 @@ type consumer struct {
 }
 
 const creditUnlimited = int(^uint(0) >> 1) // max int
+
+// notify fires the consumer's wake hook, if attached.
+func (c *consumer) notify() {
+	if f, ok := c.wake.Load().(func()); ok {
+		f()
+	}
+}
+
+// SetWake attaches the delivery-notification hook and fires it once,
+// covering any deliveries pumped into the outbox between registration
+// and attachment (AddConsumer pumps immediately, before the channel
+// layer has the *consumer to build its hook around).
+func (c *consumer) SetWake(f func()) {
+	c.wake.Store(f)
+	f()
+}
 
 // outboxCap bounds in-flight deliveries per consumer when prefetch is
 // unlimited; it provides flow control in lieu of credit.
@@ -336,8 +360,9 @@ func (q *Queue) requeueLocked(m *Message, off uint64) {
 }
 
 // AddConsumer registers a consumer with the given prefetch limit (0 means
-// unlimited) and returns it. The channel layer must run a goroutine that
-// drains c.outbox and calls q.DeliveryDone(c) after each send.
+// unlimited) and returns it. The channel layer must drain c.outbox (its
+// connection's delivery loop, scheduled by the consumer's wake hook) and
+// call q.DeliveryDone(c) after each send.
 func (q *Queue) AddConsumer(tag string, noAck bool, prefetch int) (*consumer, error) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
@@ -417,6 +442,7 @@ func (q *Queue) replayLoop(c *consumer, from uint64) {
 		telReplayed.Inc()
 		select {
 		case c.outbox <- delivery{msg: m, off: rec.Offset}:
+			c.notify()
 		case <-c.closed:
 			m.Release()
 			return
@@ -432,6 +458,9 @@ func (q *Queue) RemoveConsumer(c *consumer) {
 		if x == c {
 			q.consumers = append(q.consumers[:i], q.consumers[i+1:]...)
 			close(c.closed)
+			// Wake the delivery loop so it returns whatever is still
+			// sitting in the outbox to the queue.
+			c.notify()
 			break
 		}
 	}
@@ -523,6 +552,7 @@ func (q *Queue) markDeleted() []*consumer {
 	q.consumers = nil
 	for _, c := range cs {
 		close(c.closed)
+		c.notify()
 	}
 	for q.ready.len() > 0 {
 		q.popLocked().msg.Release()
@@ -607,6 +637,7 @@ func (q *Queue) pumpLocked() {
 		q.stats.Delivered++
 		q.tel.delivered.Inc()
 		c.outbox <- delivery{msg: it.msg, off: it.off, redelivered: it.redelivered}
+		c.notify()
 	}
 }
 

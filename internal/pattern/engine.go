@@ -374,34 +374,66 @@ func (g *Graph) Run(ctx context.Context, cfg Config) (*metrics.Result, error) {
 	ready := &progress{} // consumer instances ready to receive
 	var replied atomic.Int64
 
+	// The budgeted runtime multiplexes every role channel onto pooled
+	// connections; the direct runtime keeps the goroutine-per-client
+	// model.
+	var rt clientRuntime = directRuntime{}
+	var mgr *sessionManager
+	if cfg.GoroutineBudget > 0 {
+		mgr = newSessionManager(&cfg)
+		defer mgr.Close()
+		rt = mgr
+	}
+
 	stop := make(chan struct{})
 	totalConsumers := 0
 	for _, role := range topo.Consumers {
 		totalConsumers += role.instances(&cfg)
 	}
-	consumerErr := make(chan error, totalConsumers)
-	for _, role := range topo.Consumers {
-		role := role
-		for i := 0; i < role.instances(&cfg); i++ {
-			go func(i int) {
-				consumerErr <- runConsumer(ctx, &cfg, role, i, col, ep, prog, ready, stop)
-			}(i)
+	consumerErr := make(chan error, totalConsumers+1)
+	var lightCores coreSet
+	if mgr != nil {
+		launchLightConsumers(ctx, &cfg, topo, mgr, col, ep, prog, ready, consumerErr, &lightCores)
+	} else {
+		for _, role := range topo.Consumers {
+			role := role
+			for i := 0; i < role.instances(&cfg); i++ {
+				go func(i int) {
+					consumerErr <- runConsumer(ctx, &cfg, role, i, col, ep, prog, ready, stop)
+				}(i)
+			}
 		}
 	}
 	if err := ready.WaitAtLeast(ctx, int64(totalConsumers)); err != nil {
 		close(stop)
 		return nil, fmt.Errorf("pattern: consumers not ready: %w", firstErr(consumerErr, err))
 	}
+	if mgr != nil {
+		// Errors during light attachment signal ready too; surface them
+		// before producing into a half-attached fleet.
+		select {
+		case err := <-consumerErr:
+			close(stop)
+			return nil, fmt.Errorf("pattern: consumers not ready: %w", err)
+		default:
+		}
+	}
 
 	col.Start()
-	err = runClients(cfg.Producers, cfg.Workload.MPI, func(p int) error {
-		return runProducer(ctx, &cfg, topo, p, col, ep, prog, &replied)
-	})
+	produce := func(p int) error {
+		return runProducer(ctx, &cfg, topo, rt, p, col, ep, prog, &replied)
+	}
+	if mgr != nil {
+		err = runClientsBounded(cfg.Producers, mgr.workers, produce)
+	} else {
+		err = runClients(cfg.Producers, cfg.Workload.MPI, produce)
+	}
 	if err == nil && topo.WaitConsumed > 0 {
 		err = prog.WaitAtLeast(ctx, topo.WaitConsumed)
 	}
 	col.Stop()
 	close(stop)
+	lightCores.stopAll()
 	if err != nil {
 		return nil, firstErr(consumerErr, err)
 	}
@@ -509,18 +541,17 @@ func runConsumer(ctx context.Context, cfg *Config, role ConsumerRole, i int,
 	}
 	defer conn.Close()
 
-	// Per-instance counter shards: one uncontended atomic add per event.
-	consumed := col.ConsumedShard(i)
-	roleConsumed := ep.registry.Counter("pattern.consumed", "role="+role.Name).Shard(i)
-
-	acker := &batchAcker{n: cfg.AckBatch}
+	// The delivery-handling body (verify, count, reply, batch-ack) is
+	// shared with the budgeted runtime's callback consumers.
+	core := newConsumerCore(cfg, &role, i, col, ep, prog)
+	core.ch = ch
 	for {
 		select {
 		case <-stop:
-			acker.flush()
+			core.stop()
 			return nil
 		case <-ctx.Done():
-			acker.flush()
+			core.stop()
 			return ctx.Err()
 		case d, ok := <-deliveries:
 			if !ok {
@@ -530,26 +561,8 @@ func runConsumer(ctx context.Context, cfg *Config, role ConsumerRole, i int,
 				// deadline.
 				return fmt.Errorf("pattern: %s %d: delivery stream closed", role.Name, i)
 			}
-			if err := cfg.Workload.Verify(d.Body); err != nil {
-				col.AddError()
-			}
-			consumed.Add(1)
-			roleConsumed.Inc()
-			if role.Counts {
-				prog.Add(1)
-				ep.inflight.Add(-1)
-			}
-			if role.Reply != nil {
-				if err := publishReply(ch, role.Reply, d); err != nil {
-					return err
-				}
-			}
-			if role.ReplayFrom == nil {
-				// Replay deliveries are auto-acked by the broker; batch
-				// acking applies to live roles only.
-				if err := acker.add(d); err != nil {
-					return err
-				}
+			if err := core.handle(d); err != nil {
+				return err
 			}
 		}
 	}
@@ -610,8 +623,10 @@ func publishReply(ch *amqp.Channel, r *ReplySpec, d amqp.Delivery) error {
 
 // runProducer is the single producer loop. The flow mode decides how each
 // publish is admitted (confirm slot, closed-loop window, pacing floor) and
-// how the instance completes (confirm drain, reply budget, nothing).
-func runProducer(ctx context.Context, cfg *Config, topo *Topology, p int,
+// how the instance completes (confirm drain, reply budget, nothing). The
+// runtime decides what a "connection" is: a dedicated socket per leg, or
+// a session on a pooled one.
+func runProducer(ctx context.Context, cfg *Config, topo *Topology, rt clientRuntime, p int,
 	col *metrics.Collector, ep *engineProbes, prog *progress, replied *atomic.Int64) error {
 	role := &topo.Producer
 	produced := col.ProducedShard(p)
@@ -627,19 +642,15 @@ func runProducer(ctx context.Context, cfg *Config, topo *Topology, p int,
 	if len(legs) == 0 {
 		return fmt.Errorf("pattern: %s %d: no publish legs", role.Name, p)
 	}
-	conns := make([]*amqp.Connection, len(legs))
+	rcs := make([]roleChan, len(legs))
 	chans := make([]*amqp.Channel, len(legs))
 	for j, leg := range legs {
-		conn, err := cfg.Deployment.ProducerEndpoint(leg.anchor()).Connect()
+		rc, err := rt.open(cfg.Deployment.ProducerEndpoint(leg.anchor()))
 		if err != nil {
 			return err
 		}
-		defer conn.Close()
-		ch, err := conn.Channel()
-		if err != nil {
-			return err
-		}
-		conns[j], chans[j] = conn, ch
+		defer rc.Close()
+		rcs[j], chans[j] = rc, rc.Channel()
 	}
 
 	var cw *confirmWindow
@@ -660,7 +671,14 @@ func runProducer(ctx context.Context, cfg *Config, topo *Topology, p int,
 	if role.Mode == FlowClosedLoop {
 		window = make(chan struct{}, cfg.Window)
 		done = make(chan error, 1)
-		if err := drainReplies(ctx, cfg, role, p, conns, col, ep, replied, window, done, budget*int64(perMsg)); err != nil {
+		closeReplies, err := drainReplies(ctx, cfg, role, p, rcs, col, ep, replied, window, done, budget*int64(perMsg))
+		if closeReplies != nil {
+			// Releasing the reply channels when this producer finishes
+			// ends their drainer goroutines — on a pooled runtime the
+			// physical connection outlives the producer by design.
+			defer closeReplies()
+		}
+		if err != nil {
 			return err
 		}
 	}
@@ -770,23 +788,34 @@ func runProducer(ctx context.Context, cfg *Config, topo *Topology, p int,
 
 // drainReplies starts the closed-loop reply pump: one consuming channel per
 // reply source feeding a shared tally that records RTTs, releases a window
-// slot per completed message, and signals done at the reply budget. A
-// reply stream closing mid-run (connection death) fails the producer
-// immediately rather than letting it wait out the run deadline.
+// slot per completed message, and signals done at the reply budget. Reply
+// channels open as siblings of the source's leg (same physical transport,
+// whether owned or pooled); the returned closer — non-nil even on error —
+// releases them once the producer completes. A reply stream closing
+// mid-run (connection death) fails the producer immediately rather than
+// letting it wait out the run deadline.
 func drainReplies(ctx context.Context, cfg *Config, role *ProducerRole, p int,
-	conns []*amqp.Connection, col *metrics.Collector, ep *engineProbes, replied *atomic.Int64,
-	window chan struct{}, done chan error, want int64) error {
+	rcs []roleChan, col *metrics.Collector, ep *engineProbes, replied *atomic.Int64,
+	window chan struct{}, done chan error, want int64) (func(), error) {
 	sources := role.Replies(p)
 	events := make(chan uint64, 4*cfg.Window)
 	streamClosed := make(chan int, len(sources))
-	for k, src := range sources {
-		rch, err := conns[src.Leg].Channel()
-		if err != nil {
-			return err
+	var replyChans []roleChan
+	closeAll := func() {
+		for _, rc := range replyChans {
+			rc.Close()
 		}
+	}
+	for k, src := range sources {
+		sib, err := rcs[src.Leg].Sibling()
+		if err != nil {
+			return closeAll, err
+		}
+		replyChans = append(replyChans, sib)
+		rch := sib.Channel()
 		deliveries, err := rch.Consume(src.Queue, fmt.Sprintf("%s-reply-%d-%d", role.Name, p, k), true, false, false, false, nil)
 		if err != nil {
-			return err
+			return closeAll, err
 		}
 		k := k
 		go func() {
@@ -852,5 +881,5 @@ func drainReplies(ctx context.Context, cfg *Config, role *ProducerRole, p int,
 			}
 		}
 	}()
-	return nil
+	return closeAll, nil
 }

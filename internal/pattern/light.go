@@ -1,0 +1,463 @@
+package pattern
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"ds2hpc/internal/amqp"
+	"ds2hpc/internal/core"
+	"ds2hpc/internal/metrics"
+	"ds2hpc/internal/telemetry"
+)
+
+// This file is the budgeted client runtime: when Config.GoroutineBudget is
+// set, role loops stop owning sockets and goroutines. Consumers become
+// ConsumeFunc state machines driven by the read loop of a pooled
+// connection, producers run on a bounded worker pool, and every channel
+// the run opens is a Session multiplexed onto a small set of physical
+// connections (one amqp.ClientPool per endpoint URL). The budget splits
+// into producer workers, a physical-connection allowance, and fixed slack
+// for the run's own plumbing; each pooled connection is charged twice
+// because the broker lives in-process (client read loop + broker serve
+// loop).
+
+// roleChan is one role's broker channel plus its transport affinity: how
+// to open a sibling channel on the same physical connection (closed-loop
+// reply consumers must observe the same transport as their publish leg)
+// and how to release it. The direct runtime owns a whole connection per
+// role instance; the pooled runtime owns a channel slot.
+type roleChan interface {
+	Channel() *amqp.Channel
+	Sibling() (roleChan, error)
+	Close() error
+}
+
+// clientRuntime hands roleChans to role loops.
+type clientRuntime interface {
+	open(ep core.Endpoint) (roleChan, error)
+}
+
+// ---------------------------------------------------------------- direct
+
+// directRuntime is the legacy goroutine-per-client model: every open
+// dials a dedicated connection.
+type directRuntime struct{}
+
+func (directRuntime) open(ep core.Endpoint) (roleChan, error) {
+	conn, err := ep.Connect()
+	if err != nil {
+		return nil, err
+	}
+	ch, err := conn.Channel()
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return &ownedConn{conn: conn, ch: ch, owner: true}, nil
+}
+
+// ownedConn adapts a dedicated connection (or one of its extra channels)
+// to roleChan. Only the owner's Close tears the socket down.
+type ownedConn struct {
+	conn  *amqp.Connection
+	ch    *amqp.Channel
+	owner bool
+}
+
+func (o *ownedConn) Channel() *amqp.Channel { return o.ch }
+
+func (o *ownedConn) Sibling() (roleChan, error) {
+	ch, err := o.conn.Channel()
+	if err != nil {
+		return nil, err
+	}
+	return &ownedConn{conn: o.conn, ch: ch}, nil
+}
+
+func (o *ownedConn) Close() error {
+	if o.owner {
+		return o.conn.Close()
+	}
+	return o.ch.Close()
+}
+
+// ---------------------------------------------------------------- pooled
+
+// pooledChan adapts an amqp pool session to roleChan.
+type pooledChan struct{ s *amqp.Session }
+
+func (p *pooledChan) Channel() *amqp.Channel { return p.s.Channel }
+
+func (p *pooledChan) Sibling() (roleChan, error) {
+	s, err := p.s.Sibling()
+	if err != nil {
+		return nil, err
+	}
+	return &pooledChan{s: s}, nil
+}
+
+func (p *pooledChan) Close() error { return p.s.Close() }
+
+// lightFixedSlack is the goroutine head-room reserved for the run's own
+// plumbing: broker accept loops, the telemetry aggregator, the fault
+// injector, the pacer, the deferred-role attacher, and reconnect
+// transients.
+const lightFixedSlack = 12
+
+// lightSessionsPerConn is the soft fan-out target: pools spread sessions
+// across connections in chunks of this size while the connection
+// allowance lasts, then pack up to the negotiated channel limit.
+const lightSessionsPerConn = 256
+
+// sessionManager is the pooled runtime of one run: a ClientPool per
+// endpoint URL sharing one global connection allowance, plus the derived
+// worker count for producer execution.
+type sessionManager struct {
+	cfg     *Config
+	workers int
+
+	mu        sync.Mutex
+	pools     map[string]*amqp.ClientPool
+	connsLeft int
+}
+
+func newSessionManager(cfg *Config) *sessionManager {
+	budget := cfg.GoroutineBudget
+	w := budget / 8
+	if w < 1 {
+		w = 1
+	}
+	if w > 32 {
+		w = 32
+	}
+	if w > cfg.Producers {
+		w = cfg.Producers
+	}
+	// An active producer costs up to three goroutines (worker + confirm
+	// listener or reply pump + drainer); a pooled connection costs two
+	// (client read loop + in-process broker serve loop).
+	conns := (budget - 3*w - lightFixedSlack) / 2
+	if conns < 1 {
+		conns = 1
+	}
+	return &sessionManager{
+		cfg:       cfg,
+		workers:   w,
+		pools:     map[string]*amqp.ClientPool{},
+		connsLeft: conns,
+	}
+}
+
+// gate is the shared DialGate: one permit per connection beyond each
+// pool's first.
+func (m *sessionManager) gate() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.connsLeft <= 0 {
+		return false
+	}
+	m.connsLeft--
+	return true
+}
+
+// pool resolves (or creates) the pool for one endpoint URL.
+func (m *sessionManager) pool(ep core.Endpoint) *amqp.ClientPool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p := m.pools[ep.URL]
+	if p == nil {
+		// The pool's first connection dials ungated (a pool must be able
+		// to carry at least one session); charge the allowance for it.
+		m.connsLeft--
+		p = amqp.NewClientPool(amqp.PoolConfig{
+			URL:             ep.URL,
+			Config:          ep.Config(),
+			SessionsPerConn: lightSessionsPerConn,
+			DialGate:        m.gate,
+		})
+		m.pools[ep.URL] = p
+	}
+	return p
+}
+
+func (m *sessionManager) open(ep core.Endpoint) (roleChan, error) {
+	s, err := m.pool(ep).Session()
+	if err != nil {
+		return nil, fmt.Errorf("%w (GoroutineBudget %d)", err, m.cfg.GoroutineBudget)
+	}
+	return &pooledChan{s: s}, nil
+}
+
+// Close tears down every pool (and with them all sessions).
+func (m *sessionManager) Close() {
+	m.mu.Lock()
+	pools := m.pools
+	m.pools = map[string]*amqp.ClientPool{}
+	m.mu.Unlock()
+	for _, p := range pools {
+		p.Close()
+	}
+}
+
+// ---------------------------------------------------------- consumer core
+
+// consumerCore is the per-delivery body shared by both runtimes: verify,
+// count, reply, batch-ack. The legacy loop drives it from a dedicated
+// goroutine; the budgeted runtime drives it from the owning connection's
+// read loop via ConsumeFunc. The mutex serializes handle against the
+// final stop-flush (uncontended on the hot path).
+type consumerCore struct {
+	cfg  *Config
+	role *ConsumerRole
+	col  *metrics.Collector
+	ep   *engineProbes
+	prog *progress
+
+	mu           sync.Mutex
+	stopped      bool
+	ch           *amqp.Channel
+	consumed     *telemetry.CounterShard
+	roleConsumed *telemetry.CounterShard
+	acker        batchAcker
+}
+
+func newConsumerCore(cfg *Config, role *ConsumerRole, i int, col *metrics.Collector, ep *engineProbes, prog *progress) *consumerCore {
+	return &consumerCore{
+		cfg:          cfg,
+		role:         role,
+		col:          col,
+		ep:           ep,
+		prog:         prog,
+		consumed:     col.ConsumedShard(i),
+		roleConsumed: ep.registry.Counter("pattern.consumed", "role="+role.Name).Shard(i),
+		acker:        batchAcker{n: cfg.AckBatch},
+	}
+}
+
+// handle processes one delivery. Reply publishes and acks are
+// asynchronous operations, so running on a shared connection's read loop
+// is safe (see amqp.ConsumeFunc).
+func (cc *consumerCore) handle(d amqp.Delivery) error {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	if cc.stopped {
+		return nil
+	}
+	if err := cc.cfg.Workload.Verify(d.Body); err != nil {
+		cc.col.AddError()
+	}
+	cc.consumed.Add(1)
+	cc.roleConsumed.Inc()
+	if cc.role.Counts {
+		cc.prog.Add(1)
+		cc.ep.inflight.Add(-1)
+	}
+	if cc.role.Reply != nil {
+		if err := publishReply(cc.ch, cc.role.Reply, d); err != nil {
+			return err
+		}
+	}
+	if cc.role.ReplayFrom == nil {
+		return cc.acker.add(d)
+	}
+	return nil
+}
+
+// stop flushes the batch-ack tail and drops any later deliveries, so a
+// run's final partial batch never resurfaces as a redelivery in the next
+// run on the same deployment.
+func (cc *consumerCore) stop() {
+	cc.mu.Lock()
+	cc.stopped = true
+	cc.acker.flush()
+	cc.mu.Unlock()
+}
+
+// ------------------------------------------------------- light consumers
+
+// lightInstance is one consumer instance awaiting attachment.
+type lightInstance struct {
+	role ConsumerRole
+	idx  int
+}
+
+// launchLightConsumers attaches every consumer instance as a callback
+// consumer on a pooled session, using a bounded worker pool for the
+// setup round-trips. Each instance signals ready exactly once (errors
+// land in consumerErr, mirroring the legacy launcher); deferred
+// (StartAfter) roles are handled by a single attacher goroutine. It
+// returns immediately; the caller waits on ready.
+func launchLightConsumers(ctx context.Context, cfg *Config, topo *Topology, mgr *sessionManager,
+	col *metrics.Collector, ep *engineProbes, prog *progress, ready *progress,
+	consumerErr chan<- error, cores *coreSet) {
+	var immediate, deferred []lightInstance
+	for _, role := range topo.Consumers {
+		for i := 0; i < role.instances(cfg); i++ {
+			inst := lightInstance{role: role, idx: i}
+			if role.StartAfter > 0 {
+				deferred = append(deferred, inst)
+			} else {
+				immediate = append(immediate, inst)
+			}
+		}
+	}
+	fail := func(inst lightInstance, err error) {
+		select {
+		case consumerErr <- fmt.Errorf("pattern: %s %d: %w", inst.role.Name, inst.idx, err):
+		default:
+		}
+	}
+	attach := func(inst lightInstance) error {
+		core := newConsumerCore(cfg, &inst.role, inst.idx, col, ep, prog)
+		rc, err := attachLightConsumer(cfg, mgr, inst, core, func(err error) { fail(inst, err) })
+		if err != nil {
+			return err
+		}
+		cores.add(core, rc)
+		return nil
+	}
+	go func() {
+		work := make(chan lightInstance)
+		var wg sync.WaitGroup
+		workers := mgr.workers
+		if workers > len(immediate) {
+			workers = len(immediate)
+		}
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for inst := range work {
+					if err := attach(inst); err != nil {
+						fail(inst, err)
+					}
+					ready.Add(1)
+				}
+			}()
+		}
+		for _, inst := range immediate {
+			work <- inst
+		}
+		close(work)
+		wg.Wait()
+	}()
+	if len(deferred) == 0 {
+		return
+	}
+	// Deferred roles report ready up front (the run must start to produce
+	// the deliveries their threshold waits for) and attach from one shared
+	// goroutine once the hot phase reaches each threshold.
+	ready.Add(int64(len(deferred)))
+	go func() {
+		for _, inst := range deferred {
+			if err := prog.WaitAtLeast(ctx, inst.role.StartAfter); err != nil {
+				fail(inst, fmt.Errorf("hot phase never reached %d: %w", inst.role.StartAfter, err))
+				continue
+			}
+			if err := attach(inst); err != nil {
+				fail(inst, err)
+			}
+		}
+	}()
+}
+
+// attachLightConsumer opens the instance's session and subscribes its
+// callback. The core's channel is wired before basic.consume is issued:
+// deliveries may start arriving on the read loop mid-call. A handler
+// error (reply publish failure) reports through onErr and stops the
+// instance; the run's completion wait surfaces it.
+func attachLightConsumer(cfg *Config, mgr *sessionManager, inst lightInstance, core *consumerCore, onErr func(error)) (roleChan, error) {
+	queue := inst.role.Queue(inst.idx)
+	rc, err := mgr.open(cfg.Deployment.ConsumerEndpoint(queue))
+	if err != nil {
+		return nil, err
+	}
+	ch := rc.Channel()
+	if err := ch.Qos(cfg.Prefetch, 0, false); err != nil {
+		rc.Close()
+		return nil, err
+	}
+	var args amqp.Table
+	autoAck := false
+	if inst.role.ReplayFrom != nil {
+		args = amqp.Table{"x-stream-offset": *inst.role.ReplayFrom}
+		autoAck = true
+	}
+	core.mu.Lock()
+	core.ch = ch
+	core.mu.Unlock()
+	handler := func(d amqp.Delivery) {
+		if err := core.handle(d); err != nil {
+			core.stop()
+			onErr(err)
+		}
+	}
+	tag := fmt.Sprintf("%s-%d", inst.role.Name, inst.idx)
+	if _, err := ch.ConsumeFunc(queue, tag, autoAck, false, false, args, handler); err != nil {
+		rc.Close()
+		return nil, err
+	}
+	return rc, nil
+}
+
+// coreSet collects the run's attached light consumers for the final
+// stop-flush.
+type coreSet struct {
+	mu    sync.Mutex
+	cores []*consumerCore
+	chans []roleChan
+}
+
+func (s *coreSet) add(c *consumerCore, rc roleChan) {
+	s.mu.Lock()
+	s.cores = append(s.cores, c)
+	s.chans = append(s.chans, rc)
+	s.mu.Unlock()
+}
+
+// stopAll flushes every consumer's ack tail. Sessions themselves are
+// released by the manager's pool teardown.
+func (s *coreSet) stopAll() {
+	s.mu.Lock()
+	cores := s.cores
+	s.mu.Unlock()
+	for _, c := range cores {
+		c.stop()
+	}
+}
+
+// ------------------------------------------------------ bounded producers
+
+// runClientsBounded runs f(0..n-1) on a fixed pool of workers, so 100k
+// producers mean `workers` concurrent loops instead of 100k goroutines.
+// Unlike runClients it never applies MPI rank semantics: the budgeted
+// runtime trades the synchronized start for a bounded footprint.
+func runClientsBounded(n, workers int, f func(id int) error) error {
+	if workers >= n {
+		return runClients(n, false, f)
+	}
+	idx := make(chan int)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				errs[i] = f(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

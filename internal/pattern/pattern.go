@@ -59,6 +59,17 @@ type Config struct {
 	// QueueBytes caps each queue's ready bytes with reject-publish
 	// (default 32 MiB).
 	QueueBytes int64
+	// GoroutineBudget, when positive, switches the run to the budgeted
+	// client runtime (light.go): every role channel is a Session
+	// multiplexed onto a small pool of physical connections, consumers
+	// are event-driven ConsumeFunc state machines on the pooled read
+	// loops, and producers execute on a bounded worker pool — the whole
+	// client fleet (plus the in-process broker's per-connection serve
+	// loops) stays within this many goroutines. 10⁴–10⁵ logical clients
+	// per box become feasible; MPI rank semantics (synchronized start)
+	// do not apply under a budget. Zero keeps the goroutine-per-client
+	// model.
+	GoroutineBudget int
 	// Timeout bounds the whole run — declarations, consumer start-up,
 	// production, confirm drain, and the final consume wait share one
 	// deadline (default 120 s). Size it for the run, not one phase.

@@ -4,9 +4,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"time"
 
+	"ds2hpc/internal/amqp"
 	"ds2hpc/internal/core"
 	"ds2hpc/internal/metrics"
 	"ds2hpc/internal/pattern"
@@ -45,8 +47,9 @@ type Report struct {
 type Option func(*options)
 
 type options struct {
-	tick  time.Duration
-	watch func(telemetry.Tick)
+	tick     time.Duration
+	watch    func(telemetry.Tick)
+	parallel int
 }
 
 // WithWatch installs a live rollup callback, invoked once per
@@ -61,6 +64,17 @@ func WithWatch(fn func(telemetry.Tick)) Option {
 // period (tests use short ticks to exercise multi-point timelines).
 func WithTickInterval(d time.Duration) Option {
 	return func(o *options) { o.tick = d }
+}
+
+// WithParallel makes Sweep run up to n grid cells concurrently. Parallel
+// cells cannot share one deployment (their queue names would collide on
+// one broker), so each cell deploys its own — trading setup cost and
+// memory for sweep wall-clock, which is what a clients×architecture grid
+// into the 10⁴–10⁵ range needs. Watch callbacks from concurrent cells
+// interleave. Run/RunOn ignore the option; n <= 1 keeps the sequential
+// shared-deployment sweep.
+func WithParallel(n int) Option {
+	return func(o *options) { o.parallel = n }
 }
 
 func buildOptions(opts []Option) options {
@@ -151,6 +165,13 @@ func (lm *liveMetrics) observe(agg *telemetry.Aggregator, inj *transport.Injecto
 		agg.ObserveGauge("flaps", func() int64 { return int64(inj.Stats().Flaps - injBase.Flaps) })
 		agg.ObserveGauge("resets", func() int64 { return int64(inj.Stats().Resets - injBase.Resets) })
 	}
+	// Client-runtime cost: how many logical clients are multiplexed onto
+	// how many sockets, and what the whole process costs in goroutines.
+	// Mirrors the client_sessions/client_conns/goroutines gauges in
+	// telemetry.Default, sampled into this scenario's timeline.
+	agg.ObserveGauge("sessions", amqp.PoolSessions)
+	agg.ObserveGauge("conns", amqp.PoolConns)
+	agg.ObserveGauge("goroutines", func() int64 { return int64(runtime.NumGoroutine()) })
 }
 
 // Run executes the scenario end to end: validate, deploy the declared
@@ -217,6 +238,7 @@ func runOn(ctx context.Context, dep core.Deployment, inj *transport.Injector, sp
 		AckBatch:            spec.Tuning.AckBatch,
 		Window:              spec.Tuning.Window,
 		QueueBytes:          spec.Tuning.QueueBytes,
+		GoroutineBudget:     spec.Tuning.GoroutineBudget,
 		Timeout:             spec.timeout(),
 	}
 
@@ -348,7 +370,10 @@ var ConsumerCounts = []int{1, 2, 4, 8, 16, 32, 64}
 // matching §5.2 ("all other tests were performed with an equal number of
 // producers and consumers"). A fault script, when present, is re-armed
 // for every point. Points already collected are returned alongside the
-// first error.
+// first error. Under WithParallel(n), grid cells run concurrently (at
+// most n at a time) on independent per-cell deployments instead, and
+// the returned points are the prefix of cells completed before the
+// first failing cell.
 func Sweep(ctx context.Context, spec Spec, consumerCounts []int, opts ...Option) ([]*Report, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
@@ -356,6 +381,26 @@ func Sweep(ctx context.Context, spec Spec, consumerCounts []int, opts ...Option)
 	if len(consumerCounts) == 0 {
 		consumerCounts = ConsumerCounts
 	}
+	singleProducer := false
+	if g, ok := pattern.Lookup(spec.Pattern); ok {
+		singleProducer = g.SingleProducer
+	}
+	cells := make([]Spec, len(consumerCounts))
+	for i, n := range consumerCounts {
+		s := spec
+		s.Consumers = n
+		if singleProducer {
+			s.Producers = 1
+		} else {
+			s.Producers = n
+		}
+		cells[i] = s
+	}
+	o := buildOptions(opts)
+	if o.parallel > 1 {
+		return sweepParallel(ctx, cells, o.parallel, opts)
+	}
+
 	depOpts := spec.options()
 	cleanup, err := spec.applyDurability(&depOpts)
 	if err != nil {
@@ -373,25 +418,45 @@ func Sweep(ctx context.Context, spec Spec, consumerCounts []int, opts ...Option)
 	}
 	defer dep.Close()
 
-	singleProducer := false
-	if g, ok := pattern.Lookup(spec.Pattern); ok {
-		singleProducer = g.SingleProducer
-	}
-	o := buildOptions(opts)
 	var points []*Report
-	for _, n := range consumerCounts {
-		s := spec
-		s.Consumers = n
-		if singleProducer {
-			s.Producers = 1
-		} else {
-			s.Producers = n
-		}
+	for _, s := range cells {
 		rep, err := runOn(ctx, dep, inj, s, o)
 		if err != nil {
 			return points, err
 		}
 		points = append(points, rep)
+	}
+	return points, nil
+}
+
+// sweepParallel runs each grid cell as a full scenario.Run — its own
+// deployment, so concurrent cells can't collide on queue names inside a
+// shared broker — with at most cap cells in flight. Results keep the
+// grid order regardless of completion order.
+func sweepParallel(ctx context.Context, cells []Spec, cap int, opts []Option) ([]*Report, error) {
+	if cap > len(cells) {
+		cap = len(cells)
+	}
+	reports := make([]*Report, len(cells))
+	errs := make([]error, len(cells))
+	sem := make(chan struct{}, cap)
+	var wg sync.WaitGroup
+	for i := range cells {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			reports[i], errs[i] = Run(ctx, cells[i], opts...)
+		}(i)
+	}
+	wg.Wait()
+	var points []*Report
+	for i, err := range errs {
+		if err != nil {
+			return points, fmt.Errorf("scenario: sweep cell %d (consumers=%d): %w", i, cells[i].Consumers, err)
+		}
+		points = append(points, reports[i])
 	}
 	return points, nil
 }

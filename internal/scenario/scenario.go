@@ -125,6 +125,11 @@ type Tuning struct {
 	AckBatch   int   `json:"ack_batch,omitempty"`
 	Window     int   `json:"window,omitempty"`
 	QueueBytes int64 `json:"queue_bytes,omitempty"`
+	// GoroutineBudget, when positive, runs the scenario on the budgeted
+	// client runtime: role channels multiplex onto pooled connections and
+	// the whole client fleet stays within this many goroutines (see
+	// pattern.Config.GoroutineBudget). Required for 10⁴+-client specs.
+	GoroutineBudget int `json:"goroutine_budget,omitempty"`
 }
 
 // Fault kinds.
@@ -255,6 +260,9 @@ func (s Spec) Validate() error {
 	}
 	if s.TimeoutMS < 0 {
 		return bad("timeout_ms must be non-negative, got %d", s.TimeoutMS)
+	}
+	if s.Tuning.GoroutineBudget < 0 {
+		return bad("tuning.goroutine_budget must be non-negative, got %d", s.Tuning.GoroutineBudget)
 	}
 	if s.Deployment.Nodes < 0 || s.Deployment.FabricScale < 0 {
 		return bad("deployment sizes must be non-negative")

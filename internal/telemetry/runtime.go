@@ -1,0 +1,11 @@
+package telemetry
+
+import "runtime"
+
+// The default registry always carries the process goroutine count: scale
+// runs watch it live (`streamsim scenario -watch`) to see what a client
+// fleet actually costs, and the budget tests assert against the same
+// number the exporters report.
+func init() {
+	Default.GaugeFunc("goroutines", func() int64 { return int64(runtime.NumGoroutine()) })
+}

@@ -1,0 +1,142 @@
+// Client-scale contract tests: the budgeted client runtime must hold a
+// whole work-sharing fleet — producers, consumers, pooled connections,
+// plus the in-process brokers serving them — inside one configured
+// goroutine budget, while still delivering every message. This is the
+// asserted counterpart of BenchmarkClientScale (internal/amqp), which
+// reports the same runtime's per-message cost and bytes/client.
+package ds2hpc
+
+import (
+	"context"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ds2hpc/internal/core"
+	"ds2hpc/internal/scenario"
+)
+
+// scaleSpec is a work-sharing spec tuned for fleet-size runs: client NIC
+// shaping and LB control-plane costs are disabled (the runtime, not the
+// simulated fabric, is under test), payloads are small, and every role
+// channel multiplexes onto pooled connections under the goroutine budget.
+func scaleSpec(clients, budget int) scenario.Spec {
+	half := clients / 2
+	return scenario.Spec{
+		Deployment: scenario.Deployment{
+			Architecture:         string(core.DTS),
+			Nodes:                3,
+			FabricScale:          benchScale,
+			MemoryLimitBytes:     1 << 30,
+			DisableClientShaping: true,
+			FastControlPlane:     true,
+		},
+		Workload:            scenario.Workload{Name: "Dstream", PayloadBytes: 256},
+		Pattern:             "work-sharing",
+		Producers:           half,
+		Consumers:           half,
+		MessagesPerProducer: 1,
+		Runs:                1,
+		Tuning: scenario.Tuning{
+			WorkQueues:      8,
+			Prefetch:        8,
+			Window:          4,
+			GoroutineBudget: budget,
+		},
+		TimeoutMS: (2 * time.Minute).Milliseconds(),
+	}
+}
+
+// TestClientScaleGoroutineBudget runs thousands of logical clients and
+// asserts the process-wide goroutine peak stays within the configured
+// budget — not just at the end, but sampled throughout the run.
+func TestClientScaleGoroutineBudget(t *testing.T) {
+	clients, budget := 2000, 96
+	if testing.Short() {
+		clients = 400
+	}
+	baseline := runtime.NumGoroutine()
+
+	var peak atomic.Int64
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			if n := int64(runtime.NumGoroutine()); n > peak.Load() {
+				peak.Store(n)
+			}
+			select {
+			case <-stop:
+				return
+			case <-time.After(2 * time.Millisecond):
+			}
+		}
+	}()
+
+	rep, err := scenario.Run(context.Background(), scaleSpec(clients, budget))
+	close(stop)
+	<-done
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(clients / 2); rep.Result.Consumed != want {
+		t.Fatalf("consumed %d messages, want %d", rep.Result.Consumed, want)
+	}
+	// The sampler itself is one goroutine over baseline; everything else
+	// above baseline belongs to the run and must fit the budget.
+	if over := peak.Load() - int64(baseline) - 1; over > int64(budget) {
+		t.Fatalf("goroutine peak %d (baseline %d) exceeds budget %d for %d clients",
+			peak.Load(), baseline, budget, clients)
+	}
+}
+
+// TestClientScaleLegacyEquivalence pins the budgeted runtime to the
+// goroutine-per-client engine's observable results: same spec, same
+// delivered count, with and without a budget.
+func TestClientScaleLegacyEquivalence(t *testing.T) {
+	spec := scaleSpec(64, 0) // zero budget = legacy runtime
+	legacy, err := scenario.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Tuning.GoroutineBudget = 48
+	budgeted, err := scenario.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if legacy.Result.Consumed != budgeted.Result.Consumed {
+		t.Fatalf("legacy consumed %d, budgeted consumed %d — runtimes disagree",
+			legacy.Result.Consumed, budgeted.Result.Consumed)
+	}
+}
+
+// TestParallelSweepMatchesSequential locks the WithParallel sweep to the
+// sequential contract: same cells, same per-point consumed counts, points
+// in grid order.
+func TestParallelSweepMatchesSequential(t *testing.T) {
+	spec := scaleSpec(32, 48)
+	counts := []int{2, 4, 8}
+	seq, err := scenario.Sweep(context.Background(), spec, counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := scenario.Sweep(context.Background(), spec, counts, scenario.WithParallel(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != len(counts) || len(par) != len(counts) {
+		t.Fatalf("got %d sequential / %d parallel points, want %d", len(seq), len(par), len(counts))
+	}
+	for i := range counts {
+		if seq[i].Spec.Consumers != counts[i] || par[i].Spec.Consumers != counts[i] {
+			t.Fatalf("point %d out of grid order: seq=%d par=%d want %d",
+				i, seq[i].Spec.Consumers, par[i].Spec.Consumers, counts[i])
+		}
+		if seq[i].Result.Consumed != par[i].Result.Consumed {
+			t.Fatalf("point %d: sequential consumed %d, parallel consumed %d",
+				i, seq[i].Result.Consumed, par[i].Result.Consumed)
+		}
+	}
+}
