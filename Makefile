@@ -19,8 +19,9 @@ PR ?= dev
 # data-plane trajectory point) plus its durable twin (the price of
 # crash safety on the same path), and the raw seglog append/replay
 # benches (the durability engine in isolation), and the durability×payload
-# cross (fsync tax vs payload amortization on durable queues).
-BENCH_PATTERN ?= BenchmarkAblationAckBatching|BenchmarkAblationWorkQueues|BenchmarkAblationDurabilityPayload|BenchmarkOverheadVsDTS|BenchmarkResilienceFaultRate|BenchmarkFig6aDstreamFeedbackRTT|BenchmarkFanoutPublishDeliver|BenchmarkDurableFanoutPublishDeliver|BenchmarkSeglogAppend|BenchmarkSeglogReplay
+# cross (fsync tax vs payload amortization on durable queues), and the
+# federation forward bench (zero-copy publish crossing an inter-node link).
+BENCH_PATTERN ?= BenchmarkAblationAckBatching|BenchmarkAblationWorkQueues|BenchmarkAblationDurabilityPayload|BenchmarkOverheadVsDTS|BenchmarkResilienceFaultRate|BenchmarkFig6aDstreamFeedbackRTT|BenchmarkFanoutPublishDeliver|BenchmarkDurableFanoutPublishDeliver|BenchmarkSeglogAppend|BenchmarkSeglogReplay|BenchmarkFederationForward
 
 # MICRO_ITERS fixes the iteration count for the broker microbenchmarks:
 # unlike the figure benches (one timed scenario run each, hence 1x), the
@@ -49,7 +50,10 @@ test:
 # durable queues from their segment logs; coldreplay attaches a late
 # consumer at offset 0 and replays retained history. The scale10k spec
 # runs 10⁴ pooled clients under a goroutine budget, via the -clients
-# override so the flag path is exercised too.
+# override so the flag path is exercised too. The failover spec runs a
+# 3-node ring-placed cluster and hard-kills the busiest queue master
+# mid-run: consumers follow redirects to the new master and nothing
+# confirmed is lost.
 smoke:
 	$(GO) run ./cmd/streamsim scenario examples/scenario/worksharing.json
 	$(GO) run ./cmd/streamsim scenario examples/scenario/pipeline.json
@@ -57,6 +61,7 @@ smoke:
 	$(GO) run ./cmd/streamsim scenario -watch examples/scenario/linkflap.json
 	$(GO) run ./cmd/streamsim scenario examples/scenario/crashrestart.json
 	$(GO) run ./cmd/streamsim scenario examples/scenario/coldreplay.json
+	$(GO) run ./cmd/streamsim scenario examples/scenario/failover.json
 	$(GO) run ./cmd/streamsim scenario -clients 10000 examples/scenario/scale10k.json
 
 race:
@@ -76,6 +81,6 @@ short:
 # clients — ns/op per delivered message, bytes/client, conns).
 bench-snapshot:
 	( $(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime 1x -benchmem . && \
-	  $(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime $(MICRO_ITERS) -benchmem ./internal/broker ./internal/broker/seglog && \
+	  $(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime $(MICRO_ITERS) -benchmem ./internal/broker ./internal/broker/seglog ./internal/cluster && \
 	  $(GO) test -run '^$$' -bench 'BenchmarkClientScale' -benchtime $(SCALE_ITERS) -benchmem ./internal/amqp ) \
 		| $(GO) run ./cmd/benchsnap -out BENCH_$(PR).json

@@ -35,7 +35,7 @@ var (
 	consFlag    = flag.String("cons", "1,4,16", "comma-separated consumer counts")
 	msgsFlag    = flag.Int("msgs", 48, "messages per producer (Dstream; others scaled down)")
 	runsFlag    = flag.Int("runs", 1, "runs per data point (paper: 3)")
-	figFlag     = flag.String("fig", "all", "which figure to run: 4a,4b,5,6a,6b,7a,7b,8,overhead,all, or scale (not in all)")
+	figFlag     = flag.String("fig", "all", "which figure to run: 4a,4b,5,6a,6b,7a,7b,8,overhead,all, or scale/failover (not in all)")
 	clientsFlag = flag.String("clients", "1000,10000", "comma-separated total client counts for -fig scale (10⁴–10⁵ range supported)")
 	budgetFlag  = flag.Int("budget", 128, "goroutine budget per cell for -fig scale (see tuning.goroutine_budget)")
 	parFlag     = flag.Int("par", 2, "concurrent sweep cells for -fig scale (each cell deploys its own broker)")
@@ -88,6 +88,11 @@ func main() {
 	// only when asked for, never as part of -fig all.
 	if *figFlag == "scale" {
 		d.clientScale()
+	}
+	// The failover drill kills a queue-master mid-run on a clustered
+	// deployment; like scale, it runs only when asked for.
+	if *figFlag == "failover" {
+		d.failover()
 	}
 	if d.failed {
 		os.Exit(1)
@@ -315,6 +320,53 @@ func (d *driver) clientScale() {
 		rows = append(rows, row)
 	}
 	printTable(rows)
+	fmt.Println()
+}
+
+// failover runs the clustered node-kill drill (-fig failover): a 3-node
+// ring-placed DTS deployment, durable work-sharing queues, and a fault
+// that hard-kills the busiest queue master 40% of the way through. The
+// table shows the failover counters next to the delivered count — zero
+// confirmed loss means consumed >= the message budget.
+func (d *driver) failover() {
+	fmt.Println("== Cluster failover: node-kill on the busiest queue master (DTS, 3 nodes, ring placement)")
+	spec := scenario.Spec{
+		Deployment: scenario.Deployment{
+			Architecture:         string(core.DTS),
+			ClusterNodes:         3,
+			Placement:            "ring",
+			FabricScale:          *scaleFlag,
+			DisableClientShaping: true,
+			FastControlPlane:     true,
+			Reconnect:            &scenario.Reconnect{MaxAttempts: 400, DelayMS: 5, MaxDelayMS: 25},
+			Durability:           &scenario.Durability{Fsync: "always"},
+		},
+		Workload:            scenario.Workload{Name: "Dstream", PayloadBytes: 2048},
+		Pattern:             "work-sharing",
+		Producers:           6,
+		Consumers:           6,
+		MessagesPerProducer: *msgsFlag,
+		Runs:                *runsFlag,
+		Tuning:              scenario.Tuning{WorkQueues: 6},
+		Faults:              []scenario.Fault{{Kind: scenario.FaultNodeKill, AtFraction: 0.4}},
+		TimeoutMS:           (15 * time.Minute).Milliseconds(),
+	}
+	rep, err := scenario.Run(context.Background(), spec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "expdriver: failover: %v\n", err)
+		d.failed = true
+		return
+	}
+	printTable([][]string{
+		{"consumed", "node_kills", "redirects", "federated", "throughput"},
+		{
+			fmt.Sprintf("%d", rep.Result.Consumed),
+			fmt.Sprintf("%d", rep.NodeKills),
+			fmt.Sprintf("%d", rep.Redirects),
+			fmt.Sprintf("%d", rep.FederatedMsgs),
+			fmt.Sprintf("%.0f", rep.Result.Throughput),
+		},
+	})
 	fmt.Println()
 }
 

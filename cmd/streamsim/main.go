@@ -170,6 +170,12 @@ func printRollup(tk telemetry.Tick) {
 	if v := tk.Values["reconnects"]; v > 0 {
 		line += fmt.Sprintf("  reconnects %.0f", v)
 	}
+	if v := tk.Values["redirects"]; v > 0 {
+		line += fmt.Sprintf("  redirects %.0f", v)
+	}
+	if v := tk.Values["federated"]; v > 0 {
+		line += fmt.Sprintf("  federated %.0f", v)
+	}
 	if v := tk.Values["sessions"]; v > 0 {
 		line += fmt.Sprintf("  sessions %.0f/%.0f conns", v, tk.Values["conns"])
 	}
@@ -186,6 +192,13 @@ func printReport(rep *scenario.Report) {
 		fmt.Printf("scenario:       %s\n", spec.Name)
 	}
 	fmt.Printf("architecture:   %s\n", spec.Deployment.Architecture)
+	if n := spec.Deployment.ClusterNodes; n > 0 {
+		placement := spec.Deployment.Placement
+		if placement == "" {
+			placement = "ring"
+		}
+		fmt.Printf("cluster:        nodes=%d placement=%s\n", n, placement)
+	}
 	fmt.Printf("workload:       %s\n", spec.Workload.Name)
 	fmt.Printf("pattern:        %s\n", spec.Pattern)
 	if rep.Infeasible {
@@ -213,6 +226,13 @@ func printReport(rep *scenario.Report) {
 	if rep.BrokerRestarts > 0 {
 		fmt.Printf("broker kills:   %d hard restart(s) survived, durable queues replayed\n",
 			rep.BrokerRestarts)
+	}
+	if rep.NodeKills > 0 {
+		fmt.Printf("node kills:     %d queue-master(s) failed over\n", rep.NodeKills)
+	}
+	if rep.Redirects > 0 || rep.FederatedMsgs > 0 {
+		fmt.Printf("cluster plane:  %d redirect(s) followed, %d federated publish(es)\n",
+			rep.Redirects, rep.FederatedMsgs)
 	}
 }
 

@@ -48,7 +48,9 @@
 //	                    generic)
 //	internal/scistream  SciStream-style control/data proxies
 //	internal/mss        MSS load balancer and S3M control plane
-//	internal/cluster    multi-node broker clusters
+//	internal/cluster    clustered broker data plane: consistent-hash
+//	                    queue placement, inter-node federation links,
+//	                    queue-master failover, and the Shovel mover
 //	cmd/                rmq-server, streamsim, scistream, s3m,
 //	                    expdriver, benchsnap
 //	examples/           runnable end-to-end scenarios
@@ -180,6 +182,36 @@
 // Entry points: `streamsim scenario -clients N`, `expdriver -fig
 // scale`, and scenario.Sweep's WithParallel option for concurrent grid
 // cells.
+//
+// # Cluster model
+//
+// A clustered deployment (scenario: deployment.cluster_nodes ≥ 2) runs
+// the broker as N nodes behind one data plane (internal/cluster). Queue
+// placement is a consistent-hash ring over virtual nodes — deterministic
+// for a given member set, topology-versioned on every join and leave —
+// and a metadata directory any node can answer maps a queue name to its
+// current master. A client talking to the wrong node is handled two
+// ways: publishes are forwarded to the master over an inter-node
+// federation link (an AMQP connection in confirm mode; bodies cross it
+// zero-copy as borrowed refcounted buffers and the master's ack is
+// bridged back to the origin producer), while consumes redirect the
+// whole connection — the broker answers connection.close 302 with the
+// master's address, and amqp.Config.Reconnect re-dials it and replays
+// channel state there. Config.Seeds gives clients the full node list so
+// a dead dial target rotates instead of dead-ending.
+//
+// Failover, in sequence: a queue-master dies → the ring drops the node
+// (version bump) and every queue it mastered is reassigned to surviving
+// nodes → the new master recovers each durable queue from its segment
+// log (confirm-implies-durable under fsync always; transient queues
+// restart empty) → displaced clients reconnect via seeds, land anywhere,
+// and are redirected or federated to the new master. Nothing confirmed
+// is lost; delivery stays at-least-once. The node-kill scenario fault
+// scripts exactly this (examples/scenario/failover.json,
+// TestClusterFailoverScenario), and cluster.* telemetry probes
+// (federation_msgs/bytes/links, redirects, ownership_changes) make the
+// rebalance observable; BenchmarkFederationForward pins the forward
+// path at 0 allocs/op.
 //
 // # Running the suite
 //

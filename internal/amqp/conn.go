@@ -20,6 +20,7 @@ var (
 	reconnectFailures = metrics.Default.Counter("amqp.reconnect_failures")
 	replayedPublishes = metrics.Default.Counter("amqp.replayed_publishes")
 	staleAcksDropped  = metrics.Default.Counter("amqp.stale_acks_dropped")
+	redirectsFollowed = metrics.Default.Counter("amqp.redirects")
 )
 
 // errSuspended reports a synchronous call interrupted by a transport loss
@@ -100,6 +101,12 @@ type Config struct {
 	// Reconnect enables bounded auto-reconnect with unconfirmed-publish
 	// replay; nil keeps the legacy fail-fast behaviour.
 	Reconnect *ReconnectPolicy
+	// Seeds are alternative broker addresses (host:port) the reconnect
+	// loop rotates through when a dial attempt fails — the cluster-aware
+	// fallback for a dead queue master: dial a surviving node, and its
+	// connection-level redirect (connection.close 302) points the client
+	// at the queue's new master. Ignored without Reconnect.
+	Seeds []string
 }
 
 // Connection is a client connection multiplexing channels over one socket.
@@ -216,6 +223,12 @@ func DialConfig(url string, cfg Config) (*Connection, error) {
 	var lastErr error
 	cfg.Reconnect.withDefaults().retry(nil, func() bool {
 		c, lastErr = dialOnce(u, vhost, cfg)
+		if lastErr != nil && len(cfg.Seeds) > 0 {
+			// Same rotation the reconnect loop uses: a fresh client whose
+			// first target is a dead node walks the seed list instead of
+			// hammering the dead address.
+			u.Host = nextSeed(u.Host, cfg.Seeds)
+		}
 		return lastErr == nil
 	})
 	if lastErr != nil {
@@ -508,8 +521,12 @@ func (c *Connection) reconnectLoop() {
 		return c.closed // user Close won the race; shutdown already ran
 	}
 	ok := c.cfg.Reconnect.withDefaults().retry(closed, func() bool {
-		raw, err := dialTransport(c.uri, c.cfg)
+		raw, err := dialTransport(c.dialURI(), c.cfg)
 		if err != nil {
+			// The target is unreachable — a dead master, not a flapping
+			// path — so rotate to the next seed; a surviving node will
+			// redirect any consumer that actually belongs elsewhere.
+			c.advanceSeed()
 			return false
 		}
 		if err := c.resume(raw); err != nil {
@@ -528,6 +545,48 @@ func (c *Connection) reconnectLoop() {
 	}
 	reconnectFailures.Inc()
 	c.shutdown(&Error{Code: wire.ReplyInternalError, Reason: "amqp: reconnect attempts exhausted"})
+}
+
+// dialURI snapshots the current dial target under the connection lock
+// (redirects and seed rotation mutate the host mid-outage).
+func (c *Connection) dialURI() URI {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.uri
+}
+
+// setTarget points subsequent dials at a new broker address — the
+// client-side half of a connection-level redirect.
+func (c *Connection) setTarget(host string) {
+	c.mu.Lock()
+	c.uri.Host = host
+	c.mu.Unlock()
+}
+
+// advanceSeed rotates the dial target to the next configured seed after
+// a failed dial: the entry after the current target when it is a seed,
+// the first seed otherwise. Deterministic, so a fleet of clients walks
+// the survivor list the same way.
+func (c *Connection) advanceSeed() {
+	if len(c.cfg.Seeds) == 0 {
+		return
+	}
+	c.mu.Lock()
+	c.uri.Host = nextSeed(c.uri.Host, c.cfg.Seeds)
+	c.mu.Unlock()
+}
+
+// nextSeed returns the seed after cur in the list, or the first seed
+// when cur is not a seed.
+func nextSeed(cur string, seeds []string) string {
+	idx := -1
+	for i, s := range seeds {
+		if s == cur {
+			idx = i
+			break
+		}
+	}
+	return seeds[(idx+1)%len(seeds)]
 }
 
 // resume installs the new transport, redoes the protocol handshake, and
@@ -684,6 +743,12 @@ func (c *Connection) readLoop(fr *wire.FrameReader) {
 			return
 		}
 		if stop, e := c.dispatchFrame(f, false); stop {
+			if e != nil && e.Code == wire.ReplyRedirect && c.beginReconnect() {
+				// Redirect, not failure: dispatchFrame retargeted the
+				// dial URI; the reconnect machinery replays channel
+				// state and consumers on the queue's master.
+				return
+			}
 			c.shutdown(e)
 			return
 		}
@@ -704,6 +769,15 @@ func (c *Connection) dispatchFrame(f wire.Frame, raw bool) (stop bool, e *Error)
 		}
 		if f.Channel == 0 {
 			if cl, ok := m.(*wire.ConnectionClose); ok {
+				if cl.ReplyCode == wire.ReplyRedirect && cl.ReplyText != "" && c.reconnectEnabled() {
+					// Connection-level redirect: the broker names the
+					// queue's master in the reply text. Point the dial
+					// target there before surfacing the stop — the read
+					// loop turns a 302 into a reconnect, and the resume
+					// path's failed attempt redials the new address.
+					c.setTarget(cl.ReplyText)
+					redirectsFollowed.Inc()
+				}
 				if raw {
 					c.writeMethodRaw(0, &wire.ConnectionCloseOk{})
 				} else {

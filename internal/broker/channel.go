@@ -191,9 +191,26 @@ func (ch *srvChannel) onMethod(m wire.Method) error {
 		return ch.conn.writeMethod(ch.id, &wire.ExchangeDeleteOk{})
 
 	case *wire.QueueDeclare:
+		if hook := ch.conn.srv.cfg.Cluster; hook != nil && x.Queue != "" {
+			if _, local := hook.Lookup(vh.Name, x.Queue); !local {
+				// Location-transparent declare: ensure the queue exists on
+				// its master over the federation link and answer here, so
+				// a client never needs to know placement to declare.
+				if err := hook.EnsureRemoteQueue(vh.Name, x.Queue, x.Durable); err != nil {
+					return ch.exception(wire.ReplyResourceError, err.Error(), m)
+				}
+				if x.NoWait {
+					return nil
+				}
+				return ch.conn.writeMethod(ch.id, &wire.QueueDeclareOk{Queue: x.Queue})
+			}
+		}
 		q, err := vh.DeclareQueue(x.Queue, x.Durable, x.Exclusive, x.AutoDelete, x.Passive, x.Arguments)
 		if err != nil {
 			return ch.exception(errorCode(err), err.Error(), m)
+		}
+		if hook := ch.conn.srv.cfg.Cluster; hook != nil {
+			hook.RegisterQueue(vh.Name, q.Name, x.Durable)
 		}
 		if x.NoWait {
 			return nil
@@ -314,6 +331,9 @@ func (ch *srvChannel) onMethod(m wire.Method) error {
 
 func (ch *srvChannel) basicConsume(x *wire.BasicConsume) error {
 	vh := ch.conn.vh
+	if err := ch.redirectIfRemote(vh.Name, x.Queue, x); err != nil {
+		return err
+	}
 	q, ok := vh.Queue(x.Queue)
 	if !ok {
 		return ch.exception(wire.ReplyNotFound, fmt.Sprintf("no queue %q", x.Queue), x)
@@ -506,6 +526,9 @@ func (ch *srvChannel) sendDeliverBatch(ce *consumerEntry, batch []delivery) {
 
 func (ch *srvChannel) basicGet(x *wire.BasicGet) error {
 	vh := ch.conn.vh
+	if err := ch.redirectIfRemote(vh.Name, x.Queue, x); err != nil {
+		return err
+	}
 	q, ok := vh.Queue(x.Queue)
 	if !ok {
 		return ch.exception(wire.ReplyNotFound, fmt.Sprintf("no queue %q", x.Queue), x)
@@ -757,6 +780,25 @@ func (ch *srvChannel) completePublish(p *pendingPublish) error {
 	defer msg.Release()
 	ch.conn.srv.Stats.MessagesIn.Add(1)
 	ch.conn.srv.Stats.BytesIn.Add(uint64(len(msg.Body)))
+	if hook := ch.conn.srv.cfg.Cluster; hook != nil && method.Exchange == "" {
+		if _, local := hook.Lookup(ch.conn.vh.Name, method.RoutingKey); !local {
+			// Default-exchange publish to a remotely-mastered queue:
+			// forward over the federation link. Confirm-bridged — the
+			// producer's ack waits for the master's verdict; without
+			// confirm mode the forward is fire-and-forget, matching the
+			// local no-confirm contract.
+			var target ConfirmTarget
+			if seq != 0 {
+				target = ch
+			}
+			if err := hook.ForwardPublish(ch.conn.vh.Name, method.RoutingKey, msg, target, seq); err != nil {
+				if seq != 0 {
+					return ch.conn.writeMethod(ch.id, &wire.BasicNack{DeliveryTag: seq})
+				}
+			}
+			return nil
+		}
+	}
 	routed, err := ch.conn.vh.Publish(method.Exchange, method.RoutingKey, msg)
 	switch {
 	case err != nil && errors.Is(err, ErrNotFound):
@@ -788,4 +830,45 @@ func (ch *srvChannel) isConfirm() bool {
 	ch.mu.Lock()
 	defer ch.mu.Unlock()
 	return ch.confirm
+}
+
+// redirectIfRemote answers a consume/get on a queue mastered elsewhere
+// with a connection-level redirect: connection.close 302 whose reply-text
+// carries the master's address. Consumers must sit on the master (that is
+// where the ready ring and the segment log live), so the broker points
+// the client there instead of proxying a delivery stream. Returning
+// errConnClosed ends the serve loop cleanly after the close frame is on
+// the wire. A nil return means the queue is local (or the node is not
+// clustered) and the caller proceeds.
+func (ch *srvChannel) redirectIfRemote(vhost, queue string, m wire.Method) error {
+	hook := ch.conn.srv.cfg.Cluster
+	if hook == nil {
+		return nil
+	}
+	addr, local := hook.Lookup(vhost, queue)
+	if local {
+		return nil
+	}
+	hook.NoteRedirect(vhost, queue)
+	classID, methodID := m.ID()
+	_ = ch.conn.writeMethod(0, &wire.ConnectionClose{
+		ReplyCode: wire.ReplyRedirect,
+		ReplyText: addr,
+		ClassID:   classID,
+		MethodID:  methodID,
+	})
+	return errConnClosed
+}
+
+// ClusterConfirm relays a federated publish's bridged confirm verdict to
+// the producer. It runs on the federation link's read loop; writeMethod
+// serializes on the connection's write mutex, so concurrent local acks
+// are safe. Errors are dropped — a failed write means the producer's
+// connection is already going away and teardown owns the cleanup.
+func (ch *srvChannel) ClusterConfirm(seq uint64, ok bool) {
+	if ok {
+		_ = ch.conn.writeMethod(ch.id, &wire.BasicAck{DeliveryTag: seq})
+		return
+	}
+	_ = ch.conn.writeMethod(ch.id, &wire.BasicNack{DeliveryTag: seq})
 }

@@ -1,0 +1,54 @@
+package broker
+
+// Cluster integration. A broker node participates in a clustered data
+// plane through a ClusterHook the owner installs in Config.Cluster. The
+// broker stays cluster-agnostic: it only asks the hook three questions —
+// who masters a queue, how to get a declare to the master, and how to
+// forward a publish there — and reports the queues it masters back. The
+// hook implementation (placement ring, metadata directory, federation
+// links) lives in internal/cluster.
+//
+// Routing policy at the dispatch points:
+//
+//   - queue.declare for a remotely-mastered queue is ensured on the
+//     master over the federation link and answered locally, so declares
+//     are location-transparent.
+//   - basic.consume / basic.get for a remotely-mastered queue answer
+//     with a connection-level redirect (connection.close 302, reply-text
+//     carrying the master's address): consumers must sit on the master
+//     to get zero-copy deliveries, so the client re-dials rather than
+//     the broker proxying a delivery stream.
+//   - basic.publish to the default exchange whose routing key is a
+//     remotely-mastered queue is forwarded over the federation link,
+//     confirm-bridged: the producer's ack is withheld until the master
+//     confirms. Publishes through named exchanges route locally —
+//     bindings are node-local state.
+type ClusterHook interface {
+	// Lookup answers the master for a queue: its client-facing address
+	// and whether this node is the master. Unregistered queues resolve
+	// through the placement ring.
+	Lookup(vhost, queue string) (addr string, local bool)
+	// RegisterQueue records that this node masters the queue.
+	RegisterQueue(vhost, queue string, durable bool)
+	// EnsureRemoteQueue declares the queue on its (remote) master and
+	// waits for the declare-ok.
+	EnsureRemoteQueue(vhost, queue string, durable bool) error
+	// ForwardPublish forwards a default-exchange publish to the queue's
+	// master. The callee takes its own reference on m for the duration
+	// of the forward (the caller's reference only covers the call). When
+	// target is non-nil the forward is confirm-bridged: the master's
+	// ack/nack for this message is relayed via target.ClusterConfirm with
+	// the caller's seq. A non-nil error means the forward could not even
+	// be attempted (no link and the master is unreachable).
+	ForwardPublish(vhost, queue string, m *Message, target ConfirmTarget, seq uint64) error
+	// NoteRedirect records that this node answered an operation on the
+	// queue with a connection-level redirect (telemetry only).
+	NoteRedirect(vhost, queue string)
+}
+
+// ConfirmTarget receives the bridged confirm verdict for a forwarded
+// publish. Implementations must be safe to call from the federation
+// link's read loop.
+type ConfirmTarget interface {
+	ClusterConfirm(seq uint64, ok bool)
+}

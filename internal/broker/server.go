@@ -49,6 +49,12 @@ type Config struct {
 	// Durability tunes the per-queue segment logs when DataDir is set
 	// (segment size, fsync policy, retention).
 	Durability seglog.Options
+	// Cluster, when non-nil, makes this node one member of a clustered
+	// data plane: queue declares, consumes, and default-exchange
+	// publishes for queues mastered elsewhere are ensured, redirected,
+	// or federated through the hook (see ClusterHook). Nil keeps the
+	// node standalone.
+	Cluster ClusterHook
 	// Logger receives connection errors; nil discards them.
 	Logger *log.Logger
 }
@@ -148,6 +154,11 @@ func (s *Server) recoverDurable() error {
 			}
 			if _, err := vh.DeclareQueue(qName, true, false, false, false, nil); err != nil {
 				return fmt.Errorf("broker: recover queue %q: %w", qName, err)
+			}
+			if s.cfg.Cluster != nil {
+				// A recovered queue is mastered here again; re-pin it so
+				// the directory routes to this node after a restart.
+				s.cfg.Cluster.RegisterQueue(vhName, qName, true)
 			}
 		}
 	}

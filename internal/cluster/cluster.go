@@ -1,10 +1,34 @@
-// Package cluster assembles multiple broker nodes into the three-server
+// Package cluster assembles multiple broker nodes into the multi-server
 // RabbitMQ cluster deployed on the paper's Data Streaming Nodes (RMQS1-3 on
-// DSN1-3, §4.2). Classic queues live on exactly one node (the queue master);
-// queue placement uses a stable hash of the queue name, and clients are
-// directed to the master node for each queue — the same client-side routing
-// RabbitMQ documentation recommends for classic queues to avoid intra-cluster
-// forwarding hops.
+// DSN1-3, §4.2), grown into a clustered data plane.
+//
+// # Cluster model
+//
+// Placement: a consistent-hash Ring (64 virtual nodes per member,
+// deterministic, topology-versioned) assigns every queue a master node.
+// A shared metadata Directory pins each declared queue to the master
+// that owned it at declare time and records every node's address, so
+// any node answers "who masters queue q" locally.
+//
+// Federation: with Options.Federation, every node carries a ClusterHook
+// (broker.Config.Cluster). Declares for remotely-mastered queues are
+// ensured on the master over a federation link and answered locally;
+// default-exchange publishes for remote queues are forwarded over the
+// link zero-copy (the refcounted pooled body rides the vectored write as
+// a borrowed iovec) and confirm-bridged (the producer's ack waits for
+// the master's verdict); consumes and gets answer with a
+// connection-level redirect (connection.close 302 carrying the master's
+// address) that reconnect-enabled clients honor by re-dialing.
+//
+// Failover: Kill hard-crashes a node and retires it from the ring. Every
+// queue it mastered is reassigned to a surviving ring owner; durable
+// queues move their segment-log directories to the new master (the
+// shared-storage model of a rescheduled pod) and replay there, transient
+// queues restart empty. Clients ride the failover through
+// amqp.Config.Reconnect: dead-address dials rotate through Config.Seeds,
+// a survivor redirects mis-routed consumers to the new master, and
+// channel state plus unconfirmed publishes replay on arrival. Restart
+// re-registers the node with the ring (no failback of moved queues).
 //
 // A Shovel component moves messages between queues on different nodes (the
 // RabbitMQ shovel plugin equivalent), which the Deleria example uses to link
@@ -13,25 +37,52 @@ package cluster
 
 import (
 	"fmt"
-	"hash/fnv"
 	"net"
+	"net/url"
+	"os"
 	"path/filepath"
 	"sync"
 	"time"
 
 	"ds2hpc/internal/amqp"
 	"ds2hpc/internal/broker"
+	"ds2hpc/internal/transport"
 )
 
-// Cluster is a set of broker nodes with deterministic queue placement.
-// Individual nodes can be hard-killed (Crash) and brought back (Restart)
-// on the same address and data directory, modeling a broker pod dying and
-// being rescheduled.
+// defaultVHost is the vhost the placement-only APIs (OwnerOf, AddrFor)
+// consult; the pattern engine and the example deployments run on it.
+const defaultVHost = "/"
+
+// Options selects the cluster's data-plane behaviour.
+type Options struct {
+	// Federation installs the cluster hook on every node: remote declares
+	// are ensured on their master, default-exchange publishes to remote
+	// queues are forwarded (confirm-bridged, zero-copy), and consumes on
+	// the wrong node redirect the client to the master. Off, the nodes
+	// are independent brokers that only share deterministic placement —
+	// the legacy behaviour explicit-placement callers (Shovel tests, the
+	// Deleria example) rely on.
+	Federation bool
+	// VNodes overrides the virtual-node count per ring member (0 = 64).
+	VNodes int
+	// FedDial dials federation links between nodes (nil = plain TCP).
+	// Deployments whose brokers listen on TLS (DTS) pass the TLS hop here.
+	FedDial transport.DialFunc
+}
+
+// Cluster is a set of broker nodes with deterministic ring-based queue
+// placement and a shared metadata directory. Individual nodes can be
+// hard-killed (Crash) and brought back (Restart) on the same address and
+// data directory, modeling a broker pod dying and being rescheduled; Kill
+// additionally fails the node's queues over to the surviving masters.
 type Cluster struct {
 	mu    sync.Mutex
 	nodes []*broker.Server
 	cfgs  []broker.Config // resolved per-node configs, reused by Restart
 	addrs []string        // bound addresses, stable across restarts
+
+	dir  *Directory
+	hubs []*fedHub // per-node federation hubs (nil entries without federation)
 }
 
 // Start launches n broker nodes with the shared configuration. Each node
@@ -46,10 +97,19 @@ func Start(n int, cfg broker.Config) (*Cluster, error) {
 // subdirectory so nodes sharing a base directory never collide, and a
 // restarted node recovers exactly its own durable state.
 func StartWith(n int, configFor func(i int) broker.Config) (*Cluster, error) {
+	return StartWithOptions(n, Options{}, configFor)
+}
+
+// StartWithOptions is StartWith with explicit cluster options (see
+// Options.Federation for what the hook changes).
+func StartWithOptions(n int, opts Options, configFor func(i int) broker.Config) (*Cluster, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("cluster: need at least one node, got %d", n)
 	}
-	c := &Cluster{}
+	c := &Cluster{
+		dir:  NewDirectory(n, opts.VNodes),
+		hubs: make([]*fedHub, n),
+	}
 	for i := 0; i < n; i++ {
 		nodeCfg := configFor(i)
 		if nodeCfg.Addr == "" {
@@ -57,6 +117,10 @@ func StartWith(n int, configFor func(i int) broker.Config) (*Cluster, error) {
 		}
 		if nodeCfg.DataDir != "" {
 			nodeCfg.DataDir = filepath.Join(nodeCfg.DataDir, fmt.Sprintf("node-%d", i))
+		}
+		if opts.Federation {
+			c.hubs[i] = newFedHub(i, c.dir, opts.FedDial)
+			nodeCfg.Cluster = &nodeHook{node: i, dir: c.dir, hub: c.hubs[i]}
 		}
 		s, err := broker.Listen(nodeCfg)
 		if err != nil {
@@ -66,15 +130,22 @@ func StartWith(n int, configFor func(i int) broker.Config) (*Cluster, error) {
 		c.nodes = append(c.nodes, s)
 		c.cfgs = append(c.cfgs, nodeCfg)
 		c.addrs = append(c.addrs, s.Addr())
+		c.dir.SetAddr(i, s.Addr())
 	}
 	return c, nil
 }
 
-// Close stops all nodes.
+// Close stops all nodes and tears down every federation link.
 func (c *Cluster) Close() error {
 	c.mu.Lock()
 	nodes := append([]*broker.Server(nil), c.nodes...)
+	hubs := append([]*fedHub(nil), c.hubs...)
 	c.mu.Unlock()
+	for _, h := range hubs {
+		if h != nil {
+			h.closeAll()
+		}
+	}
 	var first error
 	for _, s := range nodes {
 		if err := s.Close(); err != nil && first == nil {
@@ -107,7 +178,12 @@ func (c *Cluster) Crash(i int) {
 
 // Restart brings a crashed (or closed) node back on its original address
 // with its original configuration, recovering whatever durable state its
-// data directory holds. Clients with reconnect policies re-attach
+// data directory holds, and re-registers it with the placement ring and
+// metadata directory: the node resumes answering for the durable queues
+// it recovered, rejoins placement for queues declared from now on, and
+// sibling federation links re-establish lazily on the next forward.
+// Queues that failed over to other masters while the node was down are
+// not failed back. Clients with reconnect policies re-attach
 // transparently because the address is stable.
 func (c *Cluster) Restart(i int) error {
 	c.mu.Lock()
@@ -121,6 +197,66 @@ func (c *Cluster) Restart(i int) error {
 	c.mu.Lock()
 	c.nodes[i] = s
 	c.mu.Unlock()
+	c.dir.SetAddr(i, s.Addr())
+	c.dir.NodeUp(i)
+	return nil
+}
+
+// Kill fails node i: the node is hard-crashed (as Crash), retired from
+// the placement ring, and every queue it mastered is reassigned to a
+// surviving ring owner. Durable queues carry their segment-log directory
+// to the new master (shared-storage failover: the rescheduled pod mounts
+// the same volume) and replay it there; transient queues restart empty.
+// It returns the reassigned queues with Node set to each new master.
+// Clients follow via their reconnect policy: dials to the dead address
+// rotate through Config.Seeds, and the first survivor they reach
+// redirects mis-routed consumers to the new master.
+func (c *Cluster) Kill(i int) ([]QueueInfo, error) {
+	c.Node(i).Crash()
+	moved := c.dir.NodeDown(i)
+	c.mu.Lock()
+	deadDir := c.cfgs[i].DataDir
+	c.mu.Unlock()
+	var first error
+	for _, q := range moved {
+		if q.Durable && deadDir != "" {
+			if err := c.moveQueueLog(deadDir, q); err != nil && first == nil {
+				first = err
+			}
+		}
+		// Re-declare on the new master: with a relocated segment log this
+		// replays the queue's durable state (ready + unacked records);
+		// without one it starts empty.
+		vh := c.Node(q.Node).VHost(q.VHost)
+		if _, err := vh.DeclareQueue(q.Name, q.Durable, false, false, false, nil); err != nil && first == nil {
+			first = fmt.Errorf("cluster: failover declare %q on node %d: %w", q.Name, q.Node, err)
+		}
+	}
+	return moved, first
+}
+
+// moveQueueLog relocates one queue's segment-log directory from the dead
+// node's data directory to its new master's. A missing source directory
+// is fine — the queue never persisted anything.
+func (c *Cluster) moveQueueLog(deadDir string, q QueueInfo) error {
+	c.mu.Lock()
+	dstDir := c.cfgs[q.Node].DataDir
+	c.mu.Unlock()
+	if dstDir == "" {
+		return nil // new master keeps the queue memory-only
+	}
+	src := filepath.Join(deadDir, url.QueryEscape(q.VHost), url.QueryEscape(q.Name))
+	if _, err := os.Stat(src); os.IsNotExist(err) {
+		return nil
+	}
+	dstVH := filepath.Join(dstDir, url.QueryEscape(q.VHost))
+	if err := os.MkdirAll(dstVH, 0o755); err != nil {
+		return fmt.Errorf("cluster: failover move %q: %w", q.Name, err)
+	}
+	dst := filepath.Join(dstVH, url.QueryEscape(q.Name))
+	if err := os.Rename(src, dst); err != nil {
+		return fmt.Errorf("cluster: failover move %q: %w", q.Name, err)
+	}
 	return nil
 }
 
@@ -131,14 +267,15 @@ func (c *Cluster) Addrs() []string {
 	return append([]string(nil), c.addrs...)
 }
 
-// OwnerOf returns the index of the node that masters the named queue.
+// Directory exposes the cluster's metadata directory.
+func (c *Cluster) Directory() *Directory { return c.dir }
+
+// OwnerOf returns the index of the node that masters the named queue on
+// the default vhost: its pinned directory assignment when declared, the
+// placement ring's answer otherwise. Deterministic for a given member
+// set, so co-location helpers can predict placement before declaring.
 func (c *Cluster) OwnerOf(queue string) int {
-	c.mu.Lock()
-	n := len(c.nodes)
-	c.mu.Unlock()
-	h := fnv.New32a()
-	h.Write([]byte(queue))
-	return int(h.Sum32() % uint32(n))
+	return c.dir.Owner(defaultVHost, queue)
 }
 
 // AddrFor returns the listen address of the queue's master node.
@@ -169,6 +306,14 @@ type ShovelConfig struct {
 	Prefetch   int // source prefetch; default 32
 	DialSource func(network, addr string) (net.Conn, error)
 	DialDest   func(network, addr string) (net.Conn, error)
+	// Reconnect, when non-nil, arms both shovel connections with
+	// auto-reconnect and switches the destination channel to confirm
+	// mode with settle-after-confirm: a message is acknowledged at the
+	// source only once the destination broker confirms the republish.
+	// This is what lets a shovel ride out a source- or destination-node
+	// crash without duplicating already-settled messages — settled means
+	// confirmed at the destination and fsynced at the source.
+	Reconnect *amqp.ReconnectPolicy
 }
 
 // NewShovel starts a shovel. Both queues must already exist.
@@ -176,11 +321,11 @@ func NewShovel(cfg ShovelConfig) (*Shovel, error) {
 	if cfg.Prefetch <= 0 {
 		cfg.Prefetch = 32
 	}
-	srcConn, err := amqp.DialConfig(cfg.SourceURL, amqp.Config{Dial: cfg.DialSource})
+	srcConn, err := amqp.DialConfig(cfg.SourceURL, amqp.Config{Dial: cfg.DialSource, Reconnect: cfg.Reconnect})
 	if err != nil {
 		return nil, fmt.Errorf("cluster: shovel source dial: %w", err)
 	}
-	dstConn, err := amqp.DialConfig(cfg.DestURL, amqp.Config{Dial: cfg.DialDest})
+	dstConn, err := amqp.DialConfig(cfg.DestURL, amqp.Config{Dial: cfg.DialDest, Reconnect: cfg.Reconnect})
 	if err != nil {
 		srcConn.Close()
 		return nil, fmt.Errorf("cluster: shovel dest dial: %w", err)
@@ -208,6 +353,15 @@ func NewShovel(cfg ShovelConfig) (*Shovel, error) {
 		dstConn.Close()
 		return nil, err
 	}
+	var confirms chan amqp.Confirmation
+	if cfg.Reconnect != nil {
+		if err := dstCh.Confirm(false); err != nil {
+			srcConn.Close()
+			dstConn.Close()
+			return nil, err
+		}
+		confirms = dstCh.NotifyPublish(make(chan amqp.Confirmation, cfg.Prefetch))
+	}
 
 	s := &Shovel{
 		srcConn: srcConn,
@@ -216,11 +370,11 @@ func NewShovel(cfg ShovelConfig) (*Shovel, error) {
 		stopped: make(chan struct{}),
 		moved:   make(chan int64, 1),
 	}
-	go s.run(deliveries, dstCh, cfg.DestQ)
+	go s.run(deliveries, dstCh, cfg.DestQ, confirms)
 	return s, nil
 }
 
-func (s *Shovel) run(deliveries <-chan amqp.Delivery, dstCh *amqp.Channel, destQ string) {
+func (s *Shovel) run(deliveries <-chan amqp.Delivery, dstCh *amqp.Channel, destQ string, confirms chan amqp.Confirmation) {
 	defer close(s.stopped)
 	var moved int64
 	for {
@@ -243,7 +397,25 @@ func (s *Shovel) run(deliveries <-chan amqp.Delivery, dstCh *amqp.Channel, destQ
 			})
 			if err != nil {
 				d.Nack(false, true)
-				return
+				if confirms == nil {
+					return
+				}
+				continue // reconnecting shovel: the requeued message redelivers
+			}
+			if confirms != nil {
+				// Settle-after-confirm: publishes are sequential, so the
+				// next confirmation is this publish's verdict (replayed
+				// publishes keep their tags through the reconnect
+				// machinery). A nack or closed channel leaves the source
+				// delivery unacked — redelivered after reconnect.
+				conf, open := <-confirms
+				if !open {
+					return
+				}
+				if !conf.Ack {
+					d.Nack(false, true)
+					continue
+				}
 			}
 			d.Ack(false)
 			moved++

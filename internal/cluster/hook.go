@@ -1,0 +1,71 @@
+package cluster
+
+import (
+	"ds2hpc/internal/broker"
+)
+
+// nodeHook is one node's view of the cluster, installed as
+// broker.Config.Cluster. It answers placement lookups from the shared
+// metadata directory and routes remote declares/publishes through the
+// node's federation hub.
+type nodeHook struct {
+	node int
+	dir  *Directory
+	hub  *fedHub
+}
+
+var _ broker.ClusterHook = (*nodeHook)(nil)
+
+func (h *nodeHook) Lookup(vhost, queue string) (string, bool) {
+	owner := h.dir.Owner(vhost, queue)
+	if owner == h.node {
+		return "", true
+	}
+	addr := h.dir.Addr(owner)
+	if addr == "" {
+		// The owner has not listened yet (cluster still starting) or is
+		// unknown; serve locally rather than redirect into the void.
+		return "", true
+	}
+	return addr, false
+}
+
+func (h *nodeHook) RegisterQueue(vhost, queue string, durable bool) {
+	h.dir.Register(vhost, queue, durable, h.node)
+}
+
+func (h *nodeHook) EnsureRemoteQueue(vhost, queue string, durable bool) error {
+	addr, local := h.Lookup(vhost, queue)
+	if local {
+		return nil // ownership moved to this node between dispatch and now
+	}
+	l, err := h.hub.link(addr, vhost)
+	if err != nil {
+		return err
+	}
+	return l.declare(queue, durable)
+}
+
+func (h *nodeHook) ForwardPublish(vhost, queue string, m *broker.Message, target broker.ConfirmTarget, seq uint64) error {
+	addr, local := h.Lookup(vhost, queue)
+	if local {
+		// Ownership moved here mid-flight; the caller's nack makes the
+		// producer retry, and the retry routes locally.
+		return errOwnershipMoved
+	}
+	l, err := h.hub.link(addr, vhost)
+	if err != nil {
+		return err
+	}
+	return l.forward(queue, m, target, seq)
+}
+
+func (h *nodeHook) NoteRedirect(vhost, queue string) {
+	brokerRedirects.Inc()
+}
+
+type ownershipMovedError struct{}
+
+func (ownershipMovedError) Error() string { return "cluster: queue ownership moved" }
+
+var errOwnershipMoved = ownershipMovedError{}

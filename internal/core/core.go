@@ -74,6 +74,16 @@ type Options struct {
 	DataDir string
 	// Durability tunes the per-queue segment logs when DataDir is set.
 	Durability seglog.Options
+	// Federation enables the clustered data plane: every broker node
+	// carries a cluster hook, so declares and default-exchange publishes
+	// for remotely-mastered queues are federated to their master node and
+	// mis-routed consumers are redirected (connection.close 302) to it.
+	// Endpoints that dial node addresses directly additionally carry the
+	// full node address list as reconnect seeds, which is what lets
+	// clients survive a queue-master kill (node-kill fault scripts).
+	// Off, the nodes are independent brokers that only share
+	// deterministic placement.
+	Federation bool
 }
 
 func (o *Options) defaults() {
@@ -99,11 +109,15 @@ type Endpoint struct {
 	Path transport.Path
 	// Reconnect, when non-nil, enables client auto-reconnect.
 	Reconnect *amqp.ReconnectPolicy
+	// Seeds lists alternative broker addresses a reconnecting client
+	// rotates through when its current target stops answering dials
+	// (federated clusters hand out the full node address list).
+	Seeds []string
 }
 
 // Config builds the AMQP client configuration for this endpoint.
 func (e Endpoint) Config() amqp.Config {
-	return amqp.Config{Dial: e.Path.Dial(), Reconnect: e.Reconnect}
+	return amqp.Config{Dial: e.Path.Dial(), Reconnect: e.Reconnect, Seeds: e.Seeds}
 }
 
 // Connect opens an AMQP connection through the endpoint's hop chain.

@@ -25,7 +25,13 @@ func DeployDTS(opts Options) (Deployment, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: dts certificates: %w", err)
 	}
-	cl, err := cluster.StartWith(opts.Nodes, func(i int) broker.Config {
+	// Federation links between DTS nodes cross the same AMQPS NodePorts
+	// clients use, so the hub dials with the cluster's client TLS config.
+	clOpts := cluster.Options{
+		Federation: opts.Federation,
+		FedDial:    transport.Path{transport.TLSClient(identity.ClientConfig("127.0.0.1"))}.Dial(),
+	}
+	cl, err := cluster.StartWithOptions(opts.Nodes, clOpts, func(i int) broker.Config {
 		return broker.Config{
 			TLS:         identity.ServerConfig(),
 			Link:        opts.Profile.DSNLink(fmt.Sprintf("dsn-%d", i)),
@@ -50,12 +56,19 @@ func (d *dtsDeployment) Close() error          { return d.cl.Close() }
 
 // endpoint composes the DTS hop chain of Figure 3a: client NIC link, then
 // TLS-originate straight to the queue master's AMQPS NodePort. The TLS
-// hop carries the AMQPS leg, so the URL scheme stays amqp.
+// hop carries the AMQPS leg, so the URL scheme stays amqp. With
+// federation on, every node's address rides along as a reconnect seed so
+// clients of a killed master can re-dial a survivor and follow its
+// redirect to the queue's new master.
 func (d *dtsDeployment) endpoint(queue string) Endpoint {
-	return d.opts.endpoint(
+	e := d.opts.endpoint(
 		"amqp://"+d.cl.AddrFor(queue),
 		transport.TLSClient(d.identity.ClientConfig("127.0.0.1")),
 	)
+	if d.opts.Federation {
+		e.Seeds = d.cl.Addrs()
+	}
+	return e
 }
 
 func (d *dtsDeployment) ProducerEndpoint(queue string) Endpoint { return d.endpoint(queue) }

@@ -68,6 +68,9 @@ func DeployMSS(opts Options) (Deployment, error) {
 			DataDir:     opts.DataDir,
 			Durability:  opts.Durability,
 		},
+		// MSS broker pods speak plain AMQP behind the TLS-terminating LB,
+		// so inter-node federation links ride plain TCP.
+		Cluster: cluster.Options{Federation: opts.Federation},
 	})
 	if err != nil {
 		lb.Close()
@@ -162,10 +165,15 @@ func (d *mssDeployment) endpoint(queue string) Endpoint {
 func (d *mssDeployment) ProducerEndpoint(queue string) Endpoint { return d.endpoint(queue) }
 
 // ConsumerEndpoint honours the BypassLB ablation from the paper's §6
-// discussion: facility-internal consumers connect straight to broker pods.
+// discussion: facility-internal consumers connect straight to broker pods
+// (with the pod address list as reconnect seeds under federation).
 func (d *mssDeployment) ConsumerEndpoint(queue string) Endpoint {
 	if d.opts.BypassLB {
-		return d.opts.endpoint("amqp://" + d.cl.AddrFor(queue))
+		e := d.opts.endpoint("amqp://" + d.cl.AddrFor(queue))
+		if d.opts.Federation {
+			e.Seeds = d.cl.Addrs()
+		}
+		return e
 	}
 	return d.endpoint(queue)
 }

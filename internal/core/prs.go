@@ -32,7 +32,9 @@ type prsDeployment struct {
 // tunnel driver and parallel-connection count.
 func DeployPRS(opts Options, tunnel scistream.Tunnel, numConn int) (Deployment, error) {
 	opts.defaults()
-	cl, err := cluster.StartWith(opts.Nodes, func(i int) broker.Config {
+	// PRS brokers speak plain AMQP (the SciStream tunnel carries TLS), so
+	// federation links between nodes ride plain TCP.
+	cl, err := cluster.StartWithOptions(opts.Nodes, cluster.Options{Federation: opts.Federation}, func(i int) broker.Config {
 		return broker.Config{
 			Link:        opts.Profile.DSNLink(fmt.Sprintf("dsn-%d", i)),
 			MemoryLimit: opts.MemoryLimit,
@@ -159,7 +161,14 @@ func (d *prsDeployment) ProducerEndpoint(queue string) Endpoint {
 }
 
 // ConsumerEndpoint attaches directly to the queue's master node (consumers
-// are facility-internal in the PRS deployment).
+// are facility-internal in the PRS deployment), so with federation on it
+// carries the node address list as reconnect seeds. Producer endpoints
+// dial SciStream session addresses and do not rotate — the paper's S2DS
+// sessions are pinned per target node.
 func (d *prsDeployment) ConsumerEndpoint(queue string) Endpoint {
-	return d.opts.endpoint("amqp://" + d.cl.AddrFor(queue))
+	e := d.opts.endpoint("amqp://" + d.cl.AddrFor(queue))
+	if d.opts.Federation {
+		e.Seeds = d.cl.Addrs()
+	}
+	return e
 }

@@ -57,6 +57,9 @@ type S3MConfig struct {
 	Domain string
 	// BrokerConfig templates the broker nodes of provisioned clusters.
 	BrokerConfig broker.Config
+	// Cluster selects data-plane options (federation, placement tuning)
+	// for provisioned clusters.
+	Cluster cluster.Options
 }
 
 // S3M is the Secure Scientific Service Mesh streaming API: it provisions
@@ -158,7 +161,7 @@ func (s *S3M) provision(w http.ResponseWriter, r *http.Request) {
 		// provisioned clusters never share segment logs.
 		bcfg.DataDir = filepath.Join(bcfg.DataDir, fmt.Sprintf("stream-%d", uidN))
 	}
-	c, err := cluster.Start(nodes, bcfg)
+	c, err := cluster.StartWithOptions(nodes, s.cfg.Cluster, func(int) broker.Config { return bcfg })
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return

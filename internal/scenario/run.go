@@ -41,6 +41,16 @@ type Report struct {
 	// tier (the broker-restart fault), so callers can assert the outage
 	// actually happened.
 	BrokerRestarts int
+	// NodeKills counts completed node-kill failovers (one queue-master
+	// hard-killed and its queues reassigned to survivors).
+	NodeKills int
+	// Redirects counts the connection-level master redirects clients
+	// followed during the scenario (re-dialing the address a broker's
+	// connection.close 302 named).
+	Redirects int64
+	// FederatedMsgs counts publishes forwarded between cluster nodes
+	// over federation links during the scenario.
+	FederatedMsgs int64
 }
 
 // Option tunes scenario execution (telemetry cadence, live watching).
@@ -160,6 +170,16 @@ func (lm *liveMetrics) observe(agg *telemetry.Aggregator, inj *transport.Injecto
 	agg.ObserveGauge("reconnects", func() int64 {
 		return int64(reconnects.Load()) - recBase
 	})
+	redirects := metrics.Default.Counter("amqp.redirects")
+	redirBase := int64(redirects.Load())
+	agg.ObserveGauge("redirects", func() int64 {
+		return int64(redirects.Load()) - redirBase
+	})
+	federated := telemetry.Default.Counter("cluster.federation_msgs")
+	fedBase := int64(federated.Load())
+	agg.ObserveGauge("federated", func() int64 {
+		return int64(federated.Load()) - fedBase
+	})
 	if inj != nil {
 		injBase := inj.Stats()
 		agg.ObserveGauge("flaps", func() int64 { return int64(inj.Stats().Flaps - injBase.Flaps) })
@@ -254,7 +274,11 @@ func runOn(ctx context.Context, dep core.Deployment, inj *transport.Injector, sp
 	defer agg.Stop()
 
 	restartFault := spec.brokerRestart()
-	restarts := 0
+	killFault := spec.nodeKill()
+	restarts, kills := 0, 0
+	redirects := metrics.Default.Counter("amqp.redirects")
+	federated := telemetry.Default.Counter("cluster.federation_msgs")
+	redirBase, fedBase := int64(redirects.Load()), federated.Load()
 	var runs []*metrics.Result
 	for r := 0; r < spec.runs(); r++ {
 		if inj != nil {
@@ -275,6 +299,18 @@ func runOn(ctx context.Context, dep core.Deployment, inj *transport.Injector, sp
 				defer close(done)
 				watchBrokerRestart(dep, *restartFault, at,
 					func() int64 { return lm.consumed() - base }, stop, &restarts)
+			}()
+			stopWatch = func() { close(stop); <-done }
+		}
+		if killFault != nil {
+			stop := make(chan struct{})
+			done := make(chan struct{})
+			base := lm.consumed()
+			at := int64(killFault.AtFraction * float64(spec.totalMessages()))
+			go func() {
+				defer close(done)
+				watchNodeKill(dep, *killFault, at,
+					func() int64 { return lm.consumed() - base }, stop, &kills)
 			}()
 			stopWatch = func() { close(stop); <-done }
 		}
@@ -308,6 +344,9 @@ func runOn(ctx context.Context, dep core.Deployment, inj *transport.Injector, sp
 		rep.Faults = statsDelta(faultsBefore, inj.Stats())
 	}
 	rep.BrokerRestarts = restarts
+	rep.NodeKills = kills
+	rep.Redirects = int64(redirects.Load()) - redirBase
+	rep.FederatedMsgs = federated.Load() - fedBase
 	return rep, nil
 }
 
@@ -347,6 +386,36 @@ func watchBrokerRestart(dep core.Deployment, f Fault, at int64,
 	}
 	if ok {
 		*restarts++
+	}
+}
+
+// watchNodeKill executes one node-kill fault: poll the run's consumed
+// count until it crosses the threshold, then hard-kill the victim node —
+// the fault's explicit pick, or the node mastering the most queues — and
+// fail its queues over to survivors. The node stays down for the rest of
+// the run; clients ride the failover through seed rotation and redirects.
+// Completed kills increment *kills, which the caller reads only after the
+// watcher is done.
+func watchNodeKill(dep core.Deployment, f Fault, at int64,
+	consumed func() int64, stop <-chan struct{}, kills *int) {
+	tick := time.NewTicker(time.Millisecond)
+	defer tick.Stop()
+	for consumed() < at {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+		}
+	}
+	cl := dep.Cluster()
+	victim := 0
+	if f.Node != nil {
+		victim = *f.Node
+	} else if busiest, ok := cl.Directory().Busiest(); ok {
+		victim = busiest
+	}
+	if _, err := cl.Kill(victim); err == nil {
+		*kills++
 	}
 }
 

@@ -62,6 +62,18 @@ type Deployment struct {
 	Architecture string `json:"architecture"`
 	// Nodes is the broker cluster size (default 3).
 	Nodes int `json:"nodes,omitempty"`
+	// ClusterNodes, when positive, runs that many nodes as a clustered
+	// data plane: ring placement assigns every queue a master, declares
+	// and default-exchange publishes for remotely-mastered queues are
+	// federated to the master node, mis-routed consumers are redirected,
+	// and node-kill faults fail mastered queues over to survivors.
+	// Mutually exclusive with Nodes (which keeps the nodes independent
+	// placement-sharing brokers).
+	ClusterNodes int `json:"cluster_nodes,omitempty"`
+	// Placement names the clustered placement policy; "ring" (the
+	// consistent-hash ring) is the only policy and the default. Only
+	// valid alongside ClusterNodes.
+	Placement string `json:"placement,omitempty"`
 	// FabricScale scales the emulated ACE testbed rates (1.0 = paper
 	// rates; default 1.0).
 	FabricScale float64 `json:"fabric_scale,omitempty"`
@@ -151,6 +163,16 @@ const (
 	// DownMS. Requires deployment.durability (so queues recover) and
 	// deployment.reconnect (so clients survive the outage).
 	FaultBrokerRestart = "broker-restart"
+	// FaultNodeKill hard-kills ONE broker node — the master of the most
+	// queues unless Node picks one — once the run's consumed-message
+	// count crosses AtFraction of the production budget, and fails its
+	// queues over to surviving nodes. The dead node stays down for the
+	// rest of the run: clients ride the failover through seed rotation
+	// and master redirects. Requires deployment.cluster_nodes >= 2
+	// (placement, federation and redirects), deployment.durability (so
+	// moved queues replay their segment logs on the new master) and
+	// deployment.reconnect.
+	FaultNodeKill = "node-kill"
 )
 
 // Fault is one step of the scripted WAN fault sequence. Byte-triggered
@@ -173,6 +195,9 @@ type Fault struct {
 	DownMS int64 `json:"down_ms,omitempty"`
 	// LatencyMS is the added write delay of a latency spike.
 	LatencyMS int64 `json:"latency_ms,omitempty"`
+	// Node picks the node-kill victim explicitly; nil kills the node
+	// mastering the most queues when the fault fires.
+	Node *int `json:"node,omitempty"`
 }
 
 // Decode reads one Spec as JSON, rejecting unknown fields so typo'd spec
@@ -267,7 +292,22 @@ func (s Spec) Validate() error {
 	if s.Deployment.Nodes < 0 || s.Deployment.FabricScale < 0 {
 		return bad("deployment sizes must be non-negative")
 	}
-	flaps, restarts := 0, 0
+	if s.Deployment.ClusterNodes < 0 {
+		return bad("deployment.cluster_nodes must be non-negative")
+	}
+	if s.Deployment.ClusterNodes > 0 && s.Deployment.Nodes > 0 {
+		return bad("deployment.cluster_nodes and deployment.nodes are mutually exclusive")
+	}
+	switch s.Deployment.Placement {
+	case "":
+	case "ring":
+		if s.Deployment.ClusterNodes <= 0 {
+			return bad("deployment.placement requires deployment.cluster_nodes")
+		}
+	default:
+		return bad("unknown placement policy %q (known: ring)", s.Deployment.Placement)
+	}
+	flaps, restarts, kills := 0, 0, 0
 	for i, f := range s.Faults {
 		switch f.Kind {
 		case FaultFlap:
@@ -298,6 +338,23 @@ func (s Spec) Validate() error {
 				return bad("faults[%d]: broker-restart drops every client: deployment.reconnect is required", i)
 			}
 			restarts++
+		case FaultNodeKill:
+			if f.AtFraction <= 0 || f.AtFraction > 1 {
+				return bad("faults[%d]: node-kill needs at_fraction in (0,1]", i)
+			}
+			if s.Deployment.ClusterNodes < 2 {
+				return bad("faults[%d]: node-kill needs deployment.cluster_nodes >= 2 (failover needs a survivor)", i)
+			}
+			if s.Deployment.Durability == nil {
+				return bad("faults[%d]: node-kill loses in-memory queues: deployment.durability is required", i)
+			}
+			if s.Deployment.Reconnect == nil {
+				return bad("faults[%d]: node-kill drops the node's clients: deployment.reconnect is required", i)
+			}
+			if f.Node != nil && (*f.Node < 0 || *f.Node >= s.Deployment.ClusterNodes) {
+				return bad("faults[%d]: node-kill node %d out of range [0,%d)", i, *f.Node, s.Deployment.ClusterNodes)
+			}
+			kills++
 		default:
 			return bad("faults[%d]: unknown kind %q", i, f.Kind)
 		}
@@ -305,6 +362,14 @@ func (s Spec) Validate() error {
 	// One watcher arms one crash/restart cycle per run.
 	if restarts > 1 {
 		return bad("at most one broker-restart fault per scenario")
+	}
+	if kills > 1 {
+		return bad("at most one node-kill fault per scenario")
+	}
+	// Both watchers would race on the same nodes (restart resurrecting
+	// the killed one mid-failover).
+	if restarts > 0 && kills > 0 {
+		return bad("broker-restart and node-kill cannot be combined")
 	}
 	// The injector has one byte-trigger arm slot; a second flap step
 	// would silently overwrite the first.
@@ -364,6 +429,10 @@ func (s Spec) options() core.Options {
 		DisableClientShaping: d.DisableClientShaping,
 		BypassLB:             d.BypassLB,
 	}
+	if d.ClusterNodes > 0 {
+		opts.Nodes = d.ClusterNodes
+		opts.Federation = true
+	}
 	if r := d.Reconnect; r != nil {
 		opts.Reconnect = &amqp.ReconnectPolicy{
 			MaxAttempts: r.MaxAttempts,
@@ -408,10 +477,11 @@ func (s Spec) applyDurability(opts *core.Options) (cleanup func(), err error) {
 }
 
 // needsInjector reports whether any declared fault runs through the
-// transport injector (broker-restart acts on the cluster directly).
+// transport injector (broker-restart and node-kill act on the cluster
+// directly).
 func (s Spec) needsInjector() bool {
 	for _, f := range s.Faults {
-		if f.Kind != FaultBrokerRestart {
+		if f.Kind != FaultBrokerRestart && f.Kind != FaultNodeKill {
 			return true
 		}
 	}
@@ -422,6 +492,16 @@ func (s Spec) needsInjector() bool {
 func (s Spec) brokerRestart() *Fault {
 	for i := range s.Faults {
 		if s.Faults[i].Kind == FaultBrokerRestart {
+			return &s.Faults[i]
+		}
+	}
+	return nil
+}
+
+// nodeKill returns the node-kill fault step, if declared.
+func (s Spec) nodeKill() *Fault {
+	for i := range s.Faults {
+		if s.Faults[i].Kind == FaultNodeKill {
 			return &s.Faults[i]
 		}
 	}

@@ -37,6 +37,7 @@ type Writer struct {
 	segs   []borrowSeg
 	extLen int
 	iov    [][]byte // flush scratch, reused across batches
+	nb     netBufs  // vectored-write scratch; a field so WriteTo's pointer receiver never escapes a local
 }
 
 // borrowSeg is one zero-copy splice point in the Writer's output.

@@ -21,6 +21,10 @@ var (
 	coalescedWrites = metrics.Default.Counter("wire.coalesced_writes")
 )
 
+// netBufs keeps the net import out of the pure-codec file while letting
+// Writer hold a net.Buffers scratch field.
+type netBufs = net.Buffers
+
 // StartFrame begins a frame of the given type, leaving the 32-bit payload
 // size zero until EndFrame patches it. It returns the payload start offset
 // to pass to EndFrame. Between the two calls the caller appends the frame
@@ -159,8 +163,9 @@ func (w *Writer) FlushFrames(dst io.Writer, frames int) error {
 			iov = append(iov, w.buf[prev:])
 		}
 		w.iov = iov // keep grown scratch for reuse
-		bufs := net.Buffers(iov)
-		_, err = bufs.WriteTo(dst)
+		w.nb = net.Buffers(iov)
+		_, err = w.nb.WriteTo(dst)
+		w.nb = nil // WriteTo re-sliced it; drop so nothing stays pinned
 	}
 	w.buf = w.buf[:0]
 	w.dropBorrows()

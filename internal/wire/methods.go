@@ -15,6 +15,7 @@ const (
 // Reply codes used in connection.close / channel.close and basic.return.
 const (
 	ReplySuccess            uint16 = 200
+	ReplyRedirect           uint16 = 302
 	ReplyContentTooLarge    uint16 = 311
 	ReplyNoRoute            uint16 = 312
 	ReplyNoConsumers        uint16 = 313
