@@ -168,9 +168,21 @@ func (d *driver) figure(title string, w workload.Workload, pat string,
 			}
 		}
 		rows = append(rows, row)
+		printHealth(string(arch), points)
 	}
 	printTable(rows)
 	fmt.Println()
+}
+
+// printHealth surfaces any health transitions a sweep's cells recorded,
+// one line per event, labeled with the cell's consumer count. Healthy
+// sweeps print nothing.
+func printHealth(label string, points []*scenario.Report) {
+	for _, pt := range points {
+		for _, e := range pt.HealthEvents {
+			fmt.Printf("   health %s cons=%d: %s\n", label, pt.Spec.Consumers, e)
+		}
+	}
 }
 
 // cdf prints Figure 5's distribution probes at a high consumer count.
@@ -358,15 +370,17 @@ func (d *driver) failover() {
 		return
 	}
 	printTable([][]string{
-		{"consumed", "node_kills", "redirects", "federated", "throughput"},
+		{"consumed", "node_kills", "redirects", "federated", "health_events", "throughput"},
 		{
 			fmt.Sprintf("%d", rep.Result.Consumed),
 			fmt.Sprintf("%d", rep.NodeKills),
 			fmt.Sprintf("%d", rep.Redirects),
 			fmt.Sprintf("%d", rep.FederatedMsgs),
+			fmt.Sprintf("%d", len(rep.HealthEvents)),
 			fmt.Sprintf("%.0f", rep.Result.Throughput),
 		},
 	})
+	printHealth("failover", []*scenario.Report{rep})
 	fmt.Println()
 }
 

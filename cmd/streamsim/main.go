@@ -15,9 +15,15 @@
 //     shared broker started with rmq-server) and aggregates their metrics,
 //     matching the coordinator component described in the paper.
 //
+//   - telemetry-sink: a standalone off-box telemetry collector. A scenario
+//     run on another host (or process) ships its rollups, health
+//     transitions, and final snapshot to it with `scenario -forward`.
+//
 // Examples:
 //
 //	streamsim scenario examples/scenario/worksharing.json
+//	streamsim telemetry-sink -addr 127.0.0.1:9191 &
+//	streamsim scenario -watch -forward 127.0.0.1:9191 examples/scenario/worksharing.json
 //	streamsim local -arch DTS -workload Dstream -pattern work-sharing \
 //	    -producers 4 -consumers 4 -msgs 64 -scale 0.1
 //	streamsim coordinator -participants 4 -endpoint amqp://127.0.0.1:5672 -msgs 100
@@ -30,8 +36,11 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"ds2hpc/internal/amqp"
@@ -42,6 +51,7 @@ import (
 	"ds2hpc/internal/scenario"
 	"ds2hpc/internal/sim"
 	"ds2hpc/internal/telemetry"
+	"ds2hpc/internal/telemetry/forwarder"
 	"ds2hpc/internal/workload"
 )
 
@@ -61,6 +71,8 @@ func main() {
 		err = runParticipant(os.Args[2:], "producer")
 	case "consumer":
 		err = runParticipant(os.Args[2:], "consumer")
+	case "telemetry-sink":
+		err = runTelemetrySink(os.Args[2:])
 	default:
 		usage()
 	}
@@ -73,18 +85,19 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: streamsim {scenario|local|coordinator|producer|consumer} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: streamsim {scenario|local|coordinator|producer|consumer|telemetry-sink} [flags]")
 	os.Exit(2)
 }
 
 // runScenario executes a declarative scenario spec from a JSON file.
 func runScenario(args []string) error {
 	fs := flag.NewFlagSet("scenario", flag.ContinueOnError)
-	watch := fs.Bool("watch", false, "print live per-second telemetry rollups while the scenario runs")
+	watch := fs.Bool("watch", false, "print live per-second telemetry rollups and health transitions while the scenario runs")
 	clients := fs.Int("clients", 0, "override total client count (split across producers and consumers) without editing the spec")
 	telemetryAddr := fs.String("telemetry", "", "serve /metrics and /snapshot.json on this address while the scenario runs (e.g. 127.0.0.1:9090)")
+	forward := fs.String("forward", "", "ship telemetry (rollups, health transitions, final snapshot) to an off-box collector at this address, e.g. 127.0.0.1:9191 or http://host:9191/ingest (see `streamsim telemetry-sink`)")
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: streamsim scenario [-watch] [-clients n] [-telemetry addr] <spec.json>")
+		fmt.Fprintln(os.Stderr, "usage: streamsim scenario [-watch] [-clients n] [-telemetry addr] [-forward addr] <spec.json>")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -113,13 +126,38 @@ func runScenario(args []string) error {
 	var opts []scenario.Option
 	if *watch {
 		opts = append(opts, scenario.WithWatch(printRollup))
+		opts = append(opts, scenario.WithHealthWatch(func(e telemetry.HealthEvent) {
+			fmt.Printf("health %s  %s\n", e.T.Format("15:04:05"), e)
+		}))
+	}
+	var fw *forwarder.Forwarder
+	if *forward != "" {
+		sink := forwarder.NewHTTPSink(forwardURL(*forward))
+		defer sink.Close()
+		fw = forwarder.New(forwarder.Config{Sink: sink})
+		opts = append(opts, scenario.WithForwarder(fw))
 	}
 	rep, err := scenario.Run(context.Background(), spec, opts...)
+	if fw != nil {
+		fw.Stop() // flush the tail even when the run failed
+		st := fw.Stats()
+		fmt.Printf("forwarded:      %d payload(s), %d bytes to %s (%d retried, %d dropped)\n",
+			st.Sent, st.SentBytes, *forward, st.Retried, st.Dropped)
+	}
 	if err != nil {
 		return err
 	}
 	printReport(rep)
 	return nil
+}
+
+// forwardURL turns a bare host:port into the collector ingest URL;
+// explicit http(s) URLs pass through.
+func forwardURL(addr string) string {
+	if strings.HasPrefix(addr, "http://") || strings.HasPrefix(addr, "https://") {
+		return addr
+	}
+	return "http://" + addr + "/ingest"
 }
 
 // applyClientsOverride rescales a spec's role counts to n total clients:
@@ -157,7 +195,15 @@ func serveTelemetry(addr string) (func(), error) {
 		return nil, fmt.Errorf("telemetry endpoint: %w", err)
 	}
 	fmt.Printf("telemetry:      http://%s/metrics (and /snapshot.json)\n", srv.Addr())
-	return func() { srv.Close() }, nil
+	return func() {
+		// Graceful first: let an in-flight final scrape finish, then
+		// hard-close whatever remains.
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			srv.Close()
+		}
+	}, nil
 }
 
 // printRollup writes one live per-second telemetry line.
@@ -233,6 +279,12 @@ func printReport(rep *scenario.Report) {
 	if rep.Redirects > 0 || rep.FederatedMsgs > 0 {
 		fmt.Printf("cluster plane:  %d redirect(s) followed, %d federated publish(es)\n",
 			rep.Redirects, rep.FederatedMsgs)
+	}
+	if n := len(rep.HealthEvents); n > 0 {
+		fmt.Printf("health:         %d transition(s)\n", n)
+		for _, e := range rep.HealthEvents {
+			fmt.Printf("  %s  %s\n", e.T.Format("15:04:05"), e)
+		}
 	}
 }
 
@@ -420,6 +472,105 @@ done:
 	}
 	fmt.Printf("%s %d: done (%d messages)\n", role, *id, report.Count)
 	return nil
+}
+
+// runTelemetrySink is the off-box collector: it accepts forwarder
+// frames POSTed to /ingest, prints one line per payload, and optionally
+// appends the raw frames to a file for offline decoding. With -n it
+// exits after that many payloads (smoke tests); otherwise it serves
+// until killed.
+func runTelemetrySink(args []string) error {
+	fs := flag.NewFlagSet("telemetry-sink", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:9191", "collector listen address")
+	out := fs.String("out", "", "append received frames to this file (decodable with the forwarder frame format)")
+	count := fs.Int("n", 0, "exit after receiving this many payloads (0 = serve forever)")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: streamsim telemetry-sink [-addr host:port] [-out frames.dstl] [-n count]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var file *forwarder.FileSink
+	if *out != "" {
+		var err error
+		if file, err = forwarder.NewFileSink(*out); err != nil {
+			return err
+		}
+		defer file.Close()
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	received := make(chan struct{}, 1)
+	var total atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("/ingest", func(w http.ResponseWriter, r *http.Request) {
+		// One frame per POST body, the way HTTPSink ships them.
+		body, err := forwarder.ReadFrame(r.Body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		p, err := forwarder.Decode(body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if file != nil {
+			if err := file.Send(forwarder.EncodeFrame(body)); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+		}
+		printPayload(p)
+		w.WriteHeader(http.StatusNoContent)
+		if n := total.Add(1); *count > 0 && n >= int64(*count) {
+			select {
+			case received <- struct{}{}:
+			default:
+			}
+		}
+	})
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(ln) }()
+	fmt.Printf("telemetry-sink: listening on http://%s/ingest\n", ln.Addr())
+	if *count > 0 {
+		<-received
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+		fmt.Printf("telemetry-sink: %d payload(s) received, exiting\n", total.Load())
+		return nil
+	}
+	select {} // serve until killed
+}
+
+// printPayload writes one line per collected payload.
+func printPayload(p forwarder.Payload) {
+	switch p.Kind {
+	case forwarder.KindTick:
+		fmt.Printf("tick     seq=%d %s consumed=%.1f/s produced=%.1f/s sources=%d\n",
+			p.Seq, p.T.Format("15:04:05"), p.Values["consumed"], p.Values["produced"], len(p.Values))
+	case forwarder.KindHealth:
+		if p.Health != nil {
+			fmt.Printf("health   seq=%d %s %s %s→%s (%s=%.1f)\n",
+				p.Seq, p.T.Format("15:04:05"), p.Health.Rule,
+				p.Health.FromState, p.Health.ToState, p.Health.Source, p.Health.Value)
+		}
+	case forwarder.KindSnapshot:
+		var counters, gauges int
+		if p.Snapshot != nil {
+			counters, gauges = len(p.Snapshot.Counters), len(p.Snapshot.Gauges)
+		}
+		fmt.Printf("snapshot seq=%d %s %d counter(s), %d gauge(s)\n",
+			p.Seq, p.T.Format("15:04:05"), counters, gauges)
+	default:
+		fmt.Printf("payload  seq=%d kind=%q\n", p.Seq, p.Kind)
+	}
 }
 
 func die(err error) {

@@ -306,24 +306,27 @@ func (vh *VHost) crash() {
 // DeleteQueue unregisters them, so exports always reflect live queues
 // and closures never pin deleted ones.
 func registerQueueTelemetry(q *Queue) {
-	tag := "queue=" + q.Name
-	telemetry.Default.GaugeFunc("broker.queue_depth", func() int64 { return int64(q.Len()) }, tag)
-	telemetry.Default.CounterFunc("broker.queue_published", func() int64 { return int64(q.Stats().Published) }, tag)
-	telemetry.Default.CounterFunc("broker.queue_acked", func() int64 { return int64(q.Stats().Acked) }, tag)
-	telemetry.Default.CounterFunc("broker.queue_requeued", func() int64 { return int64(q.Stats().Requeued) }, tag)
+	// The queue tag set is interned once; registration and the matching
+	// unregister resolve through the same small context key instead of
+	// re-rendering "queue=<name>" identities.
+	ctx := telemetry.Intern("queue=" + q.Name)
+	telemetry.Default.GaugeFuncCtx("broker.queue_depth", ctx, func() int64 { return int64(q.Len()) })
+	telemetry.Default.CounterFuncCtx("broker.queue_published", ctx, func() int64 { return int64(q.Stats().Published) })
+	telemetry.Default.CounterFuncCtx("broker.queue_acked", ctx, func() int64 { return int64(q.Stats().Acked) })
+	telemetry.Default.CounterFuncCtx("broker.queue_requeued", ctx, func() int64 { return int64(q.Stats().Requeued) })
 	if lg := q.log; lg != nil {
-		telemetry.Default.GaugeFunc("broker.queue_log_bytes", func() int64 { return lg.DiskBytes() }, tag)
+		telemetry.Default.GaugeFuncCtx("broker.queue_log_bytes", ctx, func() int64 { return lg.DiskBytes() })
 	}
 }
 
 // unregisterQueueTelemetry drops a deleted queue's export callbacks.
 func unregisterQueueTelemetry(name string) {
-	tag := "queue=" + name
-	telemetry.Default.Unregister("broker.queue_depth", tag)
-	telemetry.Default.Unregister("broker.queue_published", tag)
-	telemetry.Default.Unregister("broker.queue_acked", tag)
-	telemetry.Default.Unregister("broker.queue_requeued", tag)
-	telemetry.Default.Unregister("broker.queue_log_bytes", tag)
+	ctx := telemetry.Intern("queue=" + name)
+	telemetry.Default.UnregisterCtx("broker.queue_depth", ctx)
+	telemetry.Default.UnregisterCtx("broker.queue_published", ctx)
+	telemetry.Default.UnregisterCtx("broker.queue_acked", ctx)
+	telemetry.Default.UnregisterCtx("broker.queue_requeued", ctx)
+	telemetry.Default.UnregisterCtx("broker.queue_log_bytes", ctx)
 }
 
 // routeScratch pools the per-publish queue slice so steady-state routing

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"ds2hpc/internal/broker"
+	"ds2hpc/internal/telemetry"
 	"ds2hpc/internal/transport"
 	"ds2hpc/internal/wire"
 )
@@ -69,7 +70,7 @@ func (h *fedHub) link(addr, vhost string) (*fedLink, error) {
 	if err != nil {
 		return nil, fmt.Errorf("cluster: federation dial %s: %w", addr, err)
 	}
-	l, err := newFedLink(nc, vhost)
+	l, err := newFedLink(nc, addr, vhost)
 	if err != nil {
 		nc.Close()
 		return nil, fmt.Errorf("cluster: federation handshake %s: %w", addr, err)
@@ -121,18 +122,29 @@ type fedLink struct {
 
 	rpcMu sync.Mutex       // one synchronous RPC in flight at a time
 	rpc   chan wire.Method // declare-ok / channel errors for the RPC waiter
+
+	// Per-sibling tagged series (cluster.federation_link_*{link=addr}),
+	// captured once at link setup alongside the untagged cluster totals.
+	msgsCtx  *telemetry.Counter
+	bytesCtx *telemetry.Counter
 }
 
 // newFedLink performs the client-side AMQP handshake on nc, opens
-// channel 1 in confirm mode, and starts the read loop.
-func newFedLink(nc net.Conn, vhost string) (*fedLink, error) {
+// channel 1 in confirm mode, and starts the read loop. addr tags the
+// link's per-sibling telemetry series; the interned context makes the
+// tagged counters one map hit at link setup and plain atomic adds on
+// the forward path.
+func newFedLink(nc net.Conn, addr, vhost string) (*fedLink, error) {
+	ctx := telemetry.Intern("link=" + addr)
 	l := &fedLink{
-		nc:      nc,
-		vhost:   vhost,
-		w:       wire.NewWriter(),
-		next:    1,
-		pending: make(map[uint64]fedPending),
-		rpc:     make(chan wire.Method, 1),
+		nc:       nc,
+		vhost:    vhost,
+		w:        wire.NewWriter(),
+		next:     1,
+		pending:  make(map[uint64]fedPending),
+		rpc:      make(chan wire.Method, 1),
+		msgsCtx:  telemetry.Default.CounterCtx("cluster.federation_link_msgs", ctx),
+		bytesCtx: telemetry.Default.CounterCtx("cluster.federation_link_bytes", ctx),
 	}
 	nc.SetDeadline(time.Now().Add(fedRPCTimeout))
 	fr := wire.NewFrameReader(nc, 0)
@@ -287,6 +299,8 @@ func (l *fedLink) forward(queue string, m *broker.Message, target broker.Confirm
 	l.mu.Unlock()
 	fedMsgs.Inc()
 	fedBytes.Add(int64(len(m.Body)))
+	l.msgsCtx.Inc()
+	l.bytesCtx.Add(int64(len(m.Body)))
 	return nil
 }
 

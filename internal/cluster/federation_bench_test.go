@@ -126,7 +126,7 @@ func BenchmarkFederationForward(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	l, err := newFedLink(cli, "/")
+	l, err := newFedLink(cli, ln.Addr().String(), "/")
 	if err != nil {
 		b.Fatal(err)
 	}

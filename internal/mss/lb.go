@@ -10,9 +10,14 @@ import (
 	"time"
 
 	"ds2hpc/internal/netem"
+	"ds2hpc/internal/telemetry"
 	"ds2hpc/internal/tlsutil"
 	"ds2hpc/internal/transport"
 )
+
+// tierMSS tags LB and ingress relay bytes so the MSS path exports as
+// transport.relay_tier_bytes{tier=mss}.
+var tierMSS = telemetry.Intern("tier=mss")
 
 // LBConfig configures the facility load balancer.
 type LBConfig struct {
@@ -164,7 +169,7 @@ func (lb *LoadBalancer) handle(raw net.Conn) {
 	lb.active.Add(1)
 	lb.relayed.Add(1)
 	defer lb.active.Add(-1)
-	transport.Relay(client, backend)
+	transport.RelayCtx(client, backend, tierMSS)
 }
 
 // Ingress is the OpenShift-style ingress hop: it reads the routing preamble
@@ -251,7 +256,7 @@ func (ing *Ingress) handle(up net.Conn) {
 		backend = netem.Wrap(backend, ing.procLink)
 	}
 	ing.relayed.Add(1)
-	transport.Relay(upConn, backend)
+	transport.RelayCtx(upConn, backend, tierMSS)
 }
 
 // bufferedConn lets the ingress hand off bytes already buffered while

@@ -51,15 +51,31 @@ type Report struct {
 	// FederatedMsgs counts publishes forwarded between cluster nodes
 	// over federation links during the scenario.
 	FederatedMsgs int64
+	// HealthEvents is the health-rule transition log: every state change
+	// (ok→warn, warn→critical, …) the scenario's health monitor observed
+	// across its ticks, in order. Empty for a healthy run.
+	HealthEvents []telemetry.HealthEvent
 }
 
 // Option tunes scenario execution (telemetry cadence, live watching).
 type Option func(*options)
 
 type options struct {
-	tick     time.Duration
-	watch    func(telemetry.Tick)
-	parallel int
+	tick        time.Duration
+	watch       func(telemetry.Tick)
+	healthWatch func(telemetry.HealthEvent)
+	forwarder   TickForwarder
+	parallel    int
+}
+
+// TickForwarder receives the scenario's telemetry stream for off-box
+// shipping: every aggregator rollup, every health transition, and one
+// final registry snapshot. *forwarder.Forwarder implements it; the
+// scenario layer stays decoupled from the wire format.
+type TickForwarder interface {
+	ForwardTick(telemetry.Tick)
+	ForwardHealth(telemetry.HealthEvent)
+	ForwardSnapshot(*telemetry.Snapshot)
 }
 
 // WithWatch installs a live rollup callback, invoked once per
@@ -68,6 +84,21 @@ type options struct {
 // prints these.
 func WithWatch(fn func(telemetry.Tick)) Option {
 	return func(o *options) { o.watch = fn }
+}
+
+// WithHealthWatch installs a live health-transition callback, invoked
+// (on the aggregator's tick goroutine) for every rule state change.
+// `streamsim scenario -watch` prints these alongside the rollups.
+func WithHealthWatch(fn func(telemetry.HealthEvent)) Option {
+	return func(o *options) { o.healthWatch = fn }
+}
+
+// WithForwarder streams the scenario's ticks, health transitions, and
+// final snapshot into fw (normally a *forwarder.Forwarder shipping to
+// an off-box collector). The caller owns the forwarder's lifecycle —
+// Stop it after the scenario returns to flush the tail.
+func WithForwarder(fw TickForwarder) Option {
+	return func(o *options) { o.forwarder = fw }
 }
 
 // WithTickInterval overrides the aggregator's one-second sampling
@@ -157,11 +188,17 @@ func (lm *liveMetrics) endRun(col *metrics.Collector) {
 	lm.mu.Unlock()
 }
 
-// observe registers the scenario's rollup sources. Process-cumulative
-// counters (reconnects, injector stats shared across a sweep) are
-// baselined at registration so the rollups report this scenario's
-// activity, not the process's lifetime totals.
-func (lm *liveMetrics) observe(agg *telemetry.Aggregator, inj *transport.Injector) {
+// observe registers the scenario's rollup sources and returns their
+// names, so teardown can Unobserve each one before the probes it reads
+// go away. Process-cumulative counters (reconnects, injector stats
+// shared across a sweep) are baselined at registration so the rollups
+// report this scenario's activity, not the process's lifetime totals.
+func (lm *liveMetrics) observe(agg *telemetry.Aggregator, inj *transport.Injector) []string {
+	names := []string{
+		"consumed", "produced", "errors", "reconnects", "redirects",
+		"federated", "federation_links", "queue_depth",
+		"sessions", "conns", "goroutines",
+	}
 	agg.ObserveCounter("consumed", lm.consumed)
 	agg.ObserveCounter("produced", lm.produced)
 	agg.ObserveGauge("errors", lm.errors)
@@ -180,10 +217,19 @@ func (lm *liveMetrics) observe(agg *telemetry.Aggregator, inj *transport.Injecto
 	agg.ObserveGauge("federated", func() int64 {
 		return int64(federated.Load()) - fedBase
 	})
+	// Health-check sources: the live federation link count (the flap
+	// rule watches it drop) and the total broker backlog summed across
+	// every queue's tagged depth gauge.
+	fedLinks := telemetry.Default.Gauge("cluster.federation_links")
+	agg.ObserveGauge("federation_links", fedLinks.Load)
+	agg.ObserveGauge("queue_depth", func() int64 {
+		return telemetry.Default.SumGauges("broker.queue_depth")
+	})
 	if inj != nil {
 		injBase := inj.Stats()
 		agg.ObserveGauge("flaps", func() int64 { return int64(inj.Stats().Flaps - injBase.Flaps) })
 		agg.ObserveGauge("resets", func() int64 { return int64(inj.Stats().Resets - injBase.Resets) })
+		names = append(names, "flaps", "resets")
 	}
 	// Client-runtime cost: how many logical clients are multiplexed onto
 	// how many sockets, and what the whole process costs in goroutines.
@@ -192,6 +238,7 @@ func (lm *liveMetrics) observe(agg *telemetry.Aggregator, inj *transport.Injecto
 	agg.ObserveGauge("sessions", amqp.PoolSessions)
 	agg.ObserveGauge("conns", amqp.PoolConns)
 	agg.ObserveGauge("goroutines", func() int64 { return int64(runtime.NumGoroutine()) })
+	return names
 }
 
 // Run executes the scenario end to end: validate, deploy the declared
@@ -266,10 +313,42 @@ func runOn(ctx context.Context, dep core.Deployment, inj *transport.Injector, sp
 	// the scenario's, with completed-run totals folded into the rates.
 	lm := &liveMetrics{}
 	agg := telemetry.NewAggregator(o.tick)
-	lm.observe(agg, inj)
-	if o.watch != nil {
-		agg.OnTick(o.watch)
+	sources := lm.observe(agg, inj)
+	// Unobserve after the deferred final Stop (defers run LIFO): the
+	// sources read closures over this scenario's deployment, and a
+	// sweep's next cell re-registers its own under the same names.
+	defer func() {
+		for _, name := range sources {
+			agg.Unobserve(name)
+		}
+	}()
+
+	// Every scenario runs under health rules — the spec's, or the
+	// default catalog. Each tick is evaluated before the watch callback
+	// sees it, and transitions stream to the health watcher and the
+	// forwarder as they fire.
+	rules := spec.Health
+	if len(rules) == 0 {
+		rules = DefaultHealthRules()
 	}
+	mon := telemetry.NewHealthMonitor(rules)
+	agg.OnTick(func(t telemetry.Tick) {
+		events := mon.Eval(t)
+		for _, ev := range events {
+			if o.forwarder != nil {
+				o.forwarder.ForwardHealth(ev)
+			}
+			if o.healthWatch != nil {
+				o.healthWatch(ev)
+			}
+		}
+		if o.forwarder != nil {
+			o.forwarder.ForwardTick(t)
+		}
+		if o.watch != nil {
+			o.watch(t)
+		}
+	})
 	agg.Start()
 	defer agg.Stop()
 
@@ -347,6 +426,10 @@ func runOn(ctx context.Context, dep core.Deployment, inj *transport.Injector, sp
 	rep.NodeKills = kills
 	rep.Redirects = int64(redirects.Load()) - redirBase
 	rep.FederatedMsgs = federated.Load() - fedBase
+	rep.HealthEvents = mon.Events()
+	if o.forwarder != nil {
+		o.forwarder.ForwardSnapshot(telemetry.Default.Snapshot())
+	}
 	return rep, nil
 }
 

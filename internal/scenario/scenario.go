@@ -20,6 +20,7 @@ import (
 	"ds2hpc/internal/core"
 	"ds2hpc/internal/fabric"
 	"ds2hpc/internal/pattern"
+	"ds2hpc/internal/telemetry"
 	"ds2hpc/internal/workload"
 )
 
@@ -51,6 +52,10 @@ type Spec struct {
 	Tuning Tuning `json:"tuning,omitempty"`
 	// Faults is the scripted WAN fault sequence armed before each run.
 	Faults []Fault `json:"faults,omitempty"`
+	// Health overrides the default health-rule set evaluated against
+	// every aggregator tick (DefaultHealthRules when empty). Transitions
+	// land in Report.HealthEvents.
+	Health []telemetry.HealthRule `json:"health,omitempty"`
 	// TimeoutMS bounds each whole run end to end — setup, production,
 	// and the final drain share one deadline (default 120000).
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
@@ -376,7 +381,37 @@ func (s Spec) Validate() error {
 	if flaps > 1 {
 		return bad("at most one flap/flap-every fault per scenario")
 	}
+	for i, r := range s.Health {
+		if r.Name == "" {
+			return bad("health[%d]: name is required", i)
+		}
+		if r.Source == "" {
+			return bad("health[%d] (%s): source is required", i, r.Name)
+		}
+		switch r.Kind {
+		case "", telemetry.RuleAbove, telemetry.RuleBelow, telemetry.RuleFlap:
+		default:
+			return bad("health[%d] (%s): unknown kind %q (known: above, below, flap)", i, r.Name, r.Kind)
+		}
+		if r.For < 0 || r.Clear < 0 {
+			return bad("health[%d] (%s): for_ticks/clear_ticks must be non-negative", i, r.Name)
+		}
+		// Below rules legitimately warn at 0 (a stalled rate); above and
+		// flap rules with a zero warn threshold would breach on every tick.
+		if r.Kind != telemetry.RuleBelow && r.Warn <= 0 {
+			return bad("health[%d] (%s): %s rules need warn > 0", i, r.Name, ruleKindName(r.Kind))
+		}
+	}
 	return nil
+}
+
+// ruleKindName renders a health-rule kind for error messages (the empty
+// kind defaults to above).
+func ruleKindName(kind string) string {
+	if kind == "" {
+		return telemetry.RuleAbove
+	}
+	return kind
 }
 
 // timeout resolves the run deadline.

@@ -5,7 +5,9 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"io"
 	"os"
+	"path/filepath"
 	"reflect"
 	"sync"
 	"testing"
@@ -13,6 +15,7 @@ import (
 
 	"ds2hpc/internal/core"
 	"ds2hpc/internal/telemetry"
+	"ds2hpc/internal/telemetry/forwarder"
 )
 
 // goldenSpec is the in-memory form of testdata/spec_golden.json: every
@@ -520,5 +523,141 @@ func TestClusterFailoverScenario(t *testing.T) {
 	// a node that no longer masters their queue.
 	if rep.Redirects < 1 {
 		t.Fatalf("Redirects = %d, want >= 1 (no client followed a master redirect)", rep.Redirects)
+	}
+}
+
+// TestClusterFailoverHealthEvents re-runs the failover scenario with a
+// fast tick and asserts the health monitor narrates the outage: killing
+// a queue master must surface as a redirect-followed or reconnect-storm
+// transition in Report.HealthEvents (the rollup-driven health checks
+// seeing the same failover the Redirects counter proves happened).
+func TestClusterFailoverHealthEvents(t *testing.T) {
+	var live []telemetry.HealthEvent
+	var liveMu sync.Mutex
+	rep, err := Run(context.Background(), Spec{
+		Name: "cluster-failover-health",
+		Deployment: Deployment{
+			Architecture:         "DTS",
+			ClusterNodes:         3,
+			Placement:            "ring",
+			FabricScale:          0.2,
+			DisableClientShaping: true,
+			FastControlPlane:     true,
+			Reconnect:            &Reconnect{MaxAttempts: 400, DelayMS: 5, MaxDelayMS: 25},
+			Durability:           &Durability{Fsync: "always"},
+		},
+		Workload:            Workload{Name: "Dstream", PayloadBytes: 2048},
+		Pattern:             "work-sharing",
+		Producers:           6,
+		Consumers:           6,
+		MessagesPerProducer: 20,
+		Tuning:              Tuning{WorkQueues: 6},
+		Faults:              []Fault{{Kind: FaultNodeKill, AtFraction: 0.4}},
+		TimeoutMS:           60000,
+	},
+		// A sub-second tick so the failover window spans several rollups
+		// (the default rules evaluate deltas per tick).
+		WithTickInterval(100*time.Millisecond),
+		WithHealthWatch(func(e telemetry.HealthEvent) {
+			liveMu.Lock()
+			live = append(live, e)
+			liveMu.Unlock()
+		}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.NodeKills != 1 {
+		t.Fatalf("NodeKills = %d, want 1", rep.NodeKills)
+	}
+	failoverRules := map[string]bool{"redirect-followed": true, "reconnect-storm": true}
+	found := false
+	for _, ev := range rep.HealthEvents {
+		if failoverRules[ev.Rule] && ev.To > telemetry.HealthOK {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatalf("no redirect-followed/reconnect-storm health event across a node kill; log: %v", rep.HealthEvents)
+	}
+	// The live watch callback saw the same transitions the report logs.
+	liveMu.Lock()
+	defer liveMu.Unlock()
+	if len(live) != len(rep.HealthEvents) {
+		t.Fatalf("health watch saw %d events, report logs %d", len(live), len(rep.HealthEvents))
+	}
+}
+
+// TestScenarioForwarderEndToEnd runs a tiny scenario with an off-box
+// forwarder attached and checks the sink received the whole telemetry
+// stream: at least one tick rollup (the aggregator's final flush) and
+// the end-of-run registry snapshot, in valid frames.
+func TestScenarioForwarderEndToEnd(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "frames.dstl")
+	sink, err := forwarder.NewFileSink(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw := forwarder.New(forwarder.Config{Sink: sink, Probes: telemetry.NewRegistry()})
+
+	_, err = Run(context.Background(), Spec{
+		Deployment: Deployment{
+			Architecture:         "DTS",
+			FabricScale:          0.2,
+			DisableClientShaping: true,
+			FastControlPlane:     true,
+		},
+		Workload:            Workload{Name: "Dstream", PayloadBytes: 2048},
+		Pattern:             "work-sharing",
+		Producers:           1,
+		Consumers:           1,
+		MessagesPerProducer: 4,
+		TimeoutMS:           30000,
+	}, WithForwarder(fw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw.Stop()
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if st := fw.Stats(); st.Dropped != 0 || st.Sent == 0 {
+		t.Fatalf("forwarder stats after healthy run: %+v", st)
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := bytes.NewReader(data)
+	ticks, snapshots := 0, 0
+	for {
+		body, err := forwarder.ReadFrame(r)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := forwarder.Decode(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch p.Kind {
+		case forwarder.KindTick:
+			ticks++
+			if _, ok := p.Values["consumed"]; !ok {
+				t.Fatalf("tick payload missing consumed source: %+v", p.Values)
+			}
+		case forwarder.KindSnapshot:
+			snapshots++
+			if p.Snapshot == nil || p.Snapshot.Counters["broker.published"] == 0 {
+				t.Fatalf("snapshot payload missing broker counters")
+			}
+		}
+	}
+	if ticks == 0 || snapshots != 1 {
+		t.Fatalf("sink saw %d ticks and %d snapshots, want >=1 and exactly 1", ticks, snapshots)
 	}
 }

@@ -8,9 +8,14 @@ import (
 	"sync/atomic"
 
 	"ds2hpc/internal/netem"
+	"ds2hpc/internal/telemetry"
 	"ds2hpc/internal/tlsutil"
 	"ds2hpc/internal/transport"
 )
+
+// tierPRS tags every S2DS relay's byte series so PRS proxy throughput
+// exports as transport.relay_tier_bytes{tier=prs}.
+var tierPRS = telemetry.Intern("tier=prs")
 
 // Tunnel selects the overlay tunnel driver.
 type Tunnel string
@@ -175,7 +180,7 @@ func (in *Inbound) forward(client net.Conn) {
 	in.active.Add(1)
 	in.relayed.Add(1)
 	defer in.active.Add(-1)
-	transport.Relay(client, backend)
+	transport.RelayCtx(client, backend, tierPRS)
 }
 
 // ---------------------------------------------------------------- outbound
@@ -380,7 +385,7 @@ func (o *Outbound) acceptLoop() {
 				stream = netem.Wrap(stream, o.cfg.ProcLink)
 			}
 			o.relayed.Add(1)
-			transport.Relay(client, stream)
+			transport.RelayCtx(client, stream, tierPRS)
 		}()
 	}
 }

@@ -155,6 +155,22 @@ func (a *Aggregator) Tick(now time.Time) {
 	}
 }
 
+// Unobserve removes a source: its series is dropped and its read
+// callback is never invoked again. Teardown paths call this after the
+// probes a source reads are unregistered (a deleted queue, a closed
+// deployment), so a still-ticking aggregator cannot read through a
+// dead closure. Unknown names are a no-op.
+func (a *Aggregator) Unobserve(name string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for i, s := range a.sources {
+		if s.name == name {
+			a.sources = append(a.sources[:i], a.sources[i+1:]...)
+			return
+		}
+	}
+}
+
 // Series returns the recorded points for a source name (nil if the
 // source is unknown or has no points yet).
 func (a *Aggregator) Series(name string) []Point {

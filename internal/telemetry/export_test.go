@@ -22,6 +22,9 @@ func goldenSnapshot() *Snapshot {
 	r := NewRegistry()
 	r.Counter("broker.published", `queue=ws-q-0`).Add(128)
 	r.Counter("broker.published", `queue=ws-q-1`).Add(64)
+	// A context-keyed series renders identically to a tag-keyed one
+	// (tags canonicalized into sorted label order).
+	r.CounterCtx("broker.published", Intern("queue=ws-q-2", "node=1")).Add(32)
 	r.Counter("transport.relay_bytes").Add(1 << 20)
 	r.Gauge("pattern.inflight", "role=producer").Set(8)
 	r.GaugeFunc("broker.queue_depth", func() int64 { return 5 }, `queue=ws-q-0`)

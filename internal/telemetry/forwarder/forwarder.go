@@ -1,0 +1,389 @@
+// Package forwarder is the off-box stage of the telemetry pipeline:
+// it serializes aggregator ticks, health transitions, and registry
+// snapshots into CRC-framed payloads and ships them to a pluggable
+// Sink (an HTTP collector, a file) through a bounded retry queue.
+//
+//	probes ──► aggregator ──► forwarder ──► sink (off-box)
+//
+// The forwarder is built for lossy networks and dead collectors in the
+// datadog-agent mold: delivery retries with exponential backoff and
+// jitter, the queue is bounded (oldest payloads drop first, with
+// accounting), Stop flushes whatever the sink will still accept within
+// a deadline, and the forwarder observes itself — dropped, retried,
+// and sent-byte probes land in the same registry it forwards.
+package forwarder
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ds2hpc/internal/telemetry"
+)
+
+// Payload kinds.
+const (
+	KindTick     = "tick"     // one aggregator rollup
+	KindHealth   = "health"   // one health-rule transition
+	KindSnapshot = "snapshot" // a full registry snapshot
+)
+
+// Payload is one forwarded unit, JSON-encoded inside a frame. Seq is
+// assigned per forwarder and lets a sink spot gaps left by drops.
+type Payload struct {
+	Kind     string                 `json:"kind"`
+	Seq      uint64                 `json:"seq"`
+	T        time.Time              `json:"t"`
+	Values   map[string]float64     `json:"values,omitempty"`   // KindTick
+	Health   *telemetry.HealthEvent `json:"health,omitempty"`   // KindHealth
+	Snapshot *telemetry.Snapshot    `json:"snapshot,omitempty"` // KindSnapshot
+}
+
+// Frame layout: magic "DSTL", a version byte, the big-endian body
+// length, the CRC-32C of the body, then the JSON body. The CRC guards
+// file sinks against torn tails the same way the seglog does.
+const (
+	frameMagic   = "DSTL"
+	frameVersion = 1
+	frameHeader  = 4 + 1 + 4 + 4
+
+	// MaxFrameBytes bounds a decoded frame (a snapshot of a very large
+	// registry stays far below this; anything bigger is corruption).
+	MaxFrameBytes = 16 << 20
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// EncodeFrame wraps a payload body in the wire frame.
+func EncodeFrame(body []byte) []byte {
+	f := make([]byte, frameHeader+len(body))
+	copy(f, frameMagic)
+	f[4] = frameVersion
+	binary.BigEndian.PutUint32(f[5:], uint32(len(body)))
+	binary.BigEndian.PutUint32(f[9:], crc32.Checksum(body, crcTable))
+	copy(f[frameHeader:], body)
+	return f
+}
+
+// ReadFrame reads one frame and returns its body. io.EOF marks a clean
+// end of stream; a partial header or body surfaces as
+// io.ErrUnexpectedEOF (a torn tail), and magic/CRC mismatches as
+// errors.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	hdr := make([]byte, frameHeader)
+	if _, err := io.ReadFull(r, hdr[:1]); err != nil {
+		return nil, err // io.EOF: clean end
+	}
+	if _, err := io.ReadFull(r, hdr[1:]); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	if string(hdr[:4]) != frameMagic {
+		return nil, fmt.Errorf("forwarder: bad frame magic %q", hdr[:4])
+	}
+	if hdr[4] != frameVersion {
+		return nil, fmt.Errorf("forwarder: unknown frame version %d", hdr[4])
+	}
+	n := binary.BigEndian.Uint32(hdr[5:])
+	if n > MaxFrameBytes {
+		return nil, fmt.Errorf("forwarder: frame of %d bytes exceeds limit", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	if got, want := crc32.Checksum(body, crcTable), binary.BigEndian.Uint32(hdr[9:]); got != want {
+		return nil, fmt.Errorf("forwarder: frame CRC mismatch (got %08x want %08x)", got, want)
+	}
+	return body, nil
+}
+
+// marshalPayload is the single encoding point for payload bodies.
+func marshalPayload(p Payload) ([]byte, error) {
+	return json.Marshal(p)
+}
+
+// Decode parses a frame body back into its Payload.
+func Decode(body []byte) (Payload, error) {
+	var p Payload
+	dec := json.NewDecoder(bytes.NewReader(body))
+	if err := dec.Decode(&p); err != nil {
+		return Payload{}, fmt.Errorf("forwarder: decode payload: %w", err)
+	}
+	return p, nil
+}
+
+// Config tunes a Forwarder. Sink is required; everything else
+// defaults.
+type Config struct {
+	// Sink receives framed payloads. Send errors are retried.
+	Sink Sink
+	// QueueCap bounds payloads waiting for delivery (default 256).
+	// When full, the oldest queued payload is dropped and accounted.
+	QueueCap int
+	// Backoff is the first retry delay (default 10ms); it doubles per
+	// consecutive failure up to MaxBackoff (default 1s), with full
+	// jitter so a fleet of forwarders does not thunder on a recovered
+	// collector.
+	Backoff    time.Duration
+	MaxBackoff time.Duration
+	// FlushTimeout bounds Stop's drain (default 2s): payloads the sink
+	// has not accepted by then are dropped with accounting instead of
+	// wedging shutdown on a dead collector.
+	FlushTimeout time.Duration
+	// Probes is the registry the forwarder's self-observation lands in
+	// (forwarder.sent_payloads/sent_bytes/retried/dropped_payloads and
+	// the forwarder.queue_len gauge); nil uses telemetry.Default.
+	Probes *telemetry.Registry
+}
+
+// Stats is a forwarder's delivery accounting, for tests and end-of-run
+// reports. Sent+Dropped eventually equals the number of enqueued
+// payloads once the forwarder is stopped.
+type Stats struct {
+	Sent      int64 // payloads acknowledged by the sink
+	SentBytes int64 // framed bytes acknowledged by the sink
+	Retried   int64 // failed delivery attempts
+	Dropped   int64 // payloads dropped (queue overflow or flush deadline)
+	Queued    int   // payloads currently waiting (in-flight excluded)
+}
+
+// Forwarder ships framed payloads to a sink from a single worker
+// goroutine. Enqueue never blocks: the queue is bounded and drops
+// oldest-first. A payload is delivered at most once — the in-flight
+// head is retried in place, never re-enqueued.
+type Forwarder struct {
+	cfg Config
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queue    [][]byte
+	stopping bool
+	deadline time.Time // flush deadline, set by Stop
+
+	stopCh chan struct{} // closed by Stop: wakes backoff sleeps
+	done   chan struct{}
+
+	seq       atomic.Uint64
+	sent      atomic.Int64
+	sentBytes atomic.Int64
+	retried   atomic.Int64
+	dropped   atomic.Int64
+
+	// Self-observation probes (shared across forwarders in the same
+	// registry; Stats carries the per-forwarder numbers).
+	pSent    *telemetry.Counter
+	pBytes   *telemetry.Counter
+	pRetried *telemetry.Counter
+	pDropped *telemetry.Counter
+}
+
+// New starts a forwarder over the sink. Call Stop to flush and halt.
+func New(cfg Config) *Forwarder {
+	if cfg.Sink == nil {
+		panic("forwarder: Config.Sink is required")
+	}
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = 256
+	}
+	if cfg.Backoff <= 0 {
+		cfg.Backoff = 10 * time.Millisecond
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = time.Second
+	}
+	if cfg.FlushTimeout <= 0 {
+		cfg.FlushTimeout = 2 * time.Second
+	}
+	reg := cfg.Probes
+	if reg == nil {
+		reg = telemetry.Default
+	}
+	f := &Forwarder{
+		cfg:      cfg,
+		stopCh:   make(chan struct{}),
+		done:     make(chan struct{}),
+		pSent:    reg.Counter("forwarder.sent_payloads"),
+		pBytes:   reg.Counter("forwarder.sent_bytes"),
+		pRetried: reg.Counter("forwarder.retried"),
+		pDropped: reg.Counter("forwarder.dropped_payloads"),
+	}
+	f.cond = sync.NewCond(&f.mu)
+	reg.GaugeFunc("forwarder.queue_len", func() int64 {
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		return int64(len(f.queue))
+	})
+	go f.run()
+	return f
+}
+
+// ForwardTick enqueues one aggregator rollup.
+func (f *Forwarder) ForwardTick(t telemetry.Tick) {
+	f.Enqueue(Payload{Kind: KindTick, T: t.T, Values: t.Values})
+}
+
+// ForwardHealth enqueues one health transition.
+func (f *Forwarder) ForwardHealth(e telemetry.HealthEvent) {
+	f.Enqueue(Payload{Kind: KindHealth, T: e.T, Health: &e})
+}
+
+// ForwardSnapshot enqueues a full registry snapshot (the end-of-run
+// payload).
+func (f *Forwarder) ForwardSnapshot(s *telemetry.Snapshot) {
+	f.Enqueue(Payload{Kind: KindSnapshot, T: time.Now(), Snapshot: s})
+}
+
+// Enqueue serializes, frames, and queues one payload. It never blocks:
+// a full queue drops its oldest entry (accounted in Stats.Dropped and
+// forwarder.dropped_payloads), and a stopped forwarder drops the new
+// payload outright.
+func (f *Forwarder) Enqueue(p Payload) {
+	p.Seq = f.seq.Add(1)
+	body, err := marshalPayload(p)
+	if err != nil {
+		// Payloads are built from plain values; this cannot happen
+		// outside programmer error, but accounting beats panicking.
+		f.drop(1)
+		return
+	}
+	frame := EncodeFrame(body)
+	f.mu.Lock()
+	if f.stopping {
+		f.mu.Unlock()
+		f.drop(1)
+		return
+	}
+	if len(f.queue) >= f.cfg.QueueCap {
+		copy(f.queue, f.queue[1:])
+		f.queue = f.queue[:len(f.queue)-1]
+		f.drop(1)
+	}
+	f.queue = append(f.queue, frame)
+	f.cond.Signal()
+	f.mu.Unlock()
+}
+
+func (f *Forwarder) drop(n int64) {
+	f.dropped.Add(n)
+	f.pDropped.Add(n)
+}
+
+// Stats returns the forwarder's delivery accounting so far.
+func (f *Forwarder) Stats() Stats {
+	f.mu.Lock()
+	queued := len(f.queue)
+	f.mu.Unlock()
+	return Stats{
+		Sent:      f.sent.Load(),
+		SentBytes: f.sentBytes.Load(),
+		Retried:   f.retried.Load(),
+		Dropped:   f.dropped.Load(),
+		Queued:    queued,
+	}
+}
+
+// Stop flushes and halts the forwarder: queued payloads are delivered
+// until the sink stops accepting or FlushTimeout expires, stragglers
+// are dropped with accounting, and the worker exits. Stop is
+// idempotent and returns only after the worker is done. The sink is
+// not closed — the caller owns it.
+func (f *Forwarder) Stop() {
+	f.mu.Lock()
+	if !f.stopping {
+		f.stopping = true
+		f.deadline = time.Now().Add(f.cfg.FlushTimeout)
+		close(f.stopCh)
+		f.cond.Signal()
+	}
+	f.mu.Unlock()
+	<-f.done
+}
+
+// run is the delivery worker: pop the head, deliver it (retrying in
+// place), repeat. On stop it keeps draining until the queue empties or
+// the flush deadline passes.
+func (f *Forwarder) run() {
+	defer close(f.done)
+	for {
+		f.mu.Lock()
+		for len(f.queue) == 0 && !f.stopping {
+			f.cond.Wait()
+		}
+		if len(f.queue) == 0 {
+			f.mu.Unlock()
+			return // stopping with a drained queue
+		}
+		if f.stopping && time.Now().After(f.deadline) {
+			// Flush deadline passed: account everything left and exit.
+			n := int64(len(f.queue))
+			f.queue = nil
+			f.mu.Unlock()
+			f.drop(n)
+			return
+		}
+		frame := f.queue[0]
+		f.queue = f.queue[1:]
+		f.mu.Unlock()
+		f.deliver(frame)
+	}
+}
+
+// deliver sends one frame, retrying with capped exponential backoff
+// and full jitter until the sink accepts it — exactly once per payload
+// — or the stop flush deadline expires, in which case the frame is
+// dropped with accounting.
+func (f *Forwarder) deliver(frame []byte) {
+	backoff := f.cfg.Backoff
+	for {
+		if err := f.cfg.Sink.Send(frame); err == nil {
+			f.sent.Add(1)
+			f.sentBytes.Add(int64(len(frame)))
+			f.pSent.Inc()
+			f.pBytes.Add(int64(len(frame)))
+			return
+		}
+		f.retried.Add(1)
+		f.pRetried.Inc()
+
+		f.mu.Lock()
+		stopping, deadline := f.stopping, f.deadline
+		f.mu.Unlock()
+		sleep := time.Duration(rand.Int63n(int64(backoff)) + 1)
+		if stopping {
+			// stopCh is already closed, so selecting on it would skip the
+			// backoff and busy-spin against a dead sink for the whole
+			// flush window; sleep outright, capped to the deadline.
+			remain := time.Until(deadline)
+			if remain <= 0 {
+				f.drop(1)
+				return
+			}
+			if sleep > remain {
+				sleep = remain
+			}
+			time.Sleep(sleep)
+		} else {
+			select {
+			case <-time.After(sleep):
+			case <-f.stopCh:
+				// Woken by Stop: loop to retry against the flush deadline.
+			}
+		}
+		if backoff *= 2; backoff > f.cfg.MaxBackoff {
+			backoff = f.cfg.MaxBackoff
+		}
+	}
+}

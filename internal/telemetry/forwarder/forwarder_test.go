@@ -1,0 +1,402 @@
+package forwarder
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"ds2hpc/internal/telemetry"
+)
+
+// flakySink is a scriptable in-memory sink: it refuses frames while
+// down and records accepted ones.
+type flakySink struct {
+	mu       sync.Mutex
+	down     bool
+	failures int // fail this many more Sends, then accept
+	frames   [][]byte
+	attempts int
+}
+
+func (s *flakySink) Send(frame []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.attempts++
+	if s.down {
+		return errors.New("sink down")
+	}
+	if s.failures > 0 {
+		s.failures--
+		return errors.New("transient failure")
+	}
+	s.frames = append(s.frames, append([]byte(nil), frame...))
+	return nil
+}
+
+func (s *flakySink) Close() error { return nil }
+
+func (s *flakySink) setDown(down bool) {
+	s.mu.Lock()
+	s.down = down
+	s.mu.Unlock()
+}
+
+func (s *flakySink) count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.frames)
+}
+
+func (s *flakySink) payloads(t *testing.T) []Payload {
+	t.Helper()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Payload, 0, len(s.frames))
+	for _, f := range s.frames {
+		body, err := ReadFrame(bytes.NewReader(f))
+		if err != nil {
+			t.Fatalf("ReadFrame: %v", err)
+		}
+		p, err := Decode(body)
+		if err != nil {
+			t.Fatalf("Decode: %v", err)
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+func tick(i int) telemetry.Tick {
+	return telemetry.Tick{
+		T:      time.Unix(int64(i), 0),
+		Values: map[string]float64{"consumed": float64(i)},
+	}
+}
+
+// TestForwarderResilience is the bounded-memory / exactly-once
+// contract: with the sink dead, a small queue holds only the newest
+// payloads (oldest dropped, accounted); after the sink recovers, every
+// surviving payload is delivered exactly once and sent+dropped covers
+// everything enqueued.
+func TestForwarderResilience(t *testing.T) {
+	sink := &flakySink{}
+	sink.setDown(true)
+	f := New(Config{
+		Sink:     sink,
+		QueueCap: 8,
+		Backoff:  time.Millisecond,
+		Probes:   telemetry.NewRegistry(),
+	})
+
+	const n = 32
+	for i := 0; i < n; i++ {
+		f.ForwardTick(tick(i))
+	}
+
+	// Bounded memory: the queue never exceeds its cap (+1 in-flight).
+	if st := f.Stats(); st.Queued > 8 {
+		t.Fatalf("queue grew past cap: %d", st.Queued)
+	}
+
+	// Let the worker bounce off the dead sink at least once before
+	// recovery so the retry path is actually exercised.
+	deadline := time.Now().Add(5 * time.Second)
+	for f.Stats().Retried == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+
+	sink.setDown(false)
+	deadline = time.Now().Add(5 * time.Second)
+	for sink.count() < 1 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	f.Stop()
+
+	st := f.Stats()
+	if st.Sent+st.Dropped != n {
+		t.Fatalf("sent %d + dropped %d != enqueued %d", st.Sent, st.Dropped, n)
+	}
+	if st.Dropped == 0 {
+		t.Fatalf("expected drops with cap 8 and %d payloads while sink down", n)
+	}
+	if st.Retried == 0 {
+		t.Fatalf("expected retries while sink was down")
+	}
+
+	// Exactly once: every delivered seq is unique, and the survivors are
+	// the newest payloads (drop-oldest policy).
+	seen := map[uint64]bool{}
+	for _, p := range sink.payloads(t) {
+		if seen[p.Seq] {
+			t.Fatalf("payload seq %d delivered twice", p.Seq)
+		}
+		seen[p.Seq] = true
+		if p.Kind != KindTick {
+			t.Fatalf("unexpected payload kind %q", p.Kind)
+		}
+	}
+	if int64(len(seen)) != st.Sent {
+		t.Fatalf("sink saw %d unique payloads, stats claim %d sent", len(seen), st.Sent)
+	}
+	if !seen[n] {
+		t.Fatalf("newest payload (seq %d) was dropped; drop policy should evict oldest", n)
+	}
+}
+
+// TestForwarderSinkFlap exercises backoff through a transient outage:
+// the first K attempts fail, then everything drains with no loss.
+func TestForwarderSinkFlap(t *testing.T) {
+	sink := &flakySink{failures: 5}
+	f := New(Config{
+		Sink:     sink,
+		QueueCap: 64,
+		Backoff:  time.Millisecond,
+		Probes:   telemetry.NewRegistry(),
+	})
+
+	const n = 16
+	for i := 0; i < n; i++ {
+		f.ForwardTick(tick(i))
+	}
+	f.Stop()
+
+	st := f.Stats()
+	if st.Sent != n || st.Dropped != 0 {
+		t.Fatalf("want %d sent 0 dropped, got %d sent %d dropped", n, st.Sent, st.Dropped)
+	}
+	if st.Retried < 5 {
+		t.Fatalf("want >=5 retries through the flap, got %d", st.Retried)
+	}
+	if got := sink.count(); got != n {
+		t.Fatalf("sink saw %d frames, want %d", got, n)
+	}
+}
+
+// TestForwarderStopFlushes: Stop on a healthy sink drains the queue
+// before returning.
+func TestForwarderStopFlushes(t *testing.T) {
+	sink := &flakySink{}
+	f := New(Config{Sink: sink, Probes: telemetry.NewRegistry()})
+	const n = 10
+	for i := 0; i < n; i++ {
+		f.ForwardTick(tick(i))
+	}
+	f.Stop()
+	if got := sink.count(); got != n {
+		t.Fatalf("Stop flushed %d frames, want %d", got, n)
+	}
+	if st := f.Stats(); st.Sent != n || st.Dropped != 0 {
+		t.Fatalf("stats after flush: %+v", st)
+	}
+}
+
+// TestForwarderStopDeadSinkBounded: Stop against a dead sink returns
+// within the flush timeout and accounts the stragglers as dropped.
+func TestForwarderStopDeadSinkBounded(t *testing.T) {
+	sink := &flakySink{}
+	sink.setDown(true)
+	f := New(Config{
+		Sink:         sink,
+		QueueCap:     16,
+		Backoff:      time.Millisecond,
+		FlushTimeout: 50 * time.Millisecond,
+		Probes:       telemetry.NewRegistry(),
+	})
+	const n = 8
+	for i := 0; i < n; i++ {
+		f.ForwardTick(tick(i))
+	}
+	start := time.Now()
+	f.Stop()
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("Stop took %v against a dead sink", elapsed)
+	}
+	st := f.Stats()
+	if st.Sent+st.Dropped != n {
+		t.Fatalf("sent %d + dropped %d != %d", st.Sent, st.Dropped, n)
+	}
+	if st.Sent != 0 {
+		t.Fatalf("dead sink accepted %d frames", st.Sent)
+	}
+	// The flush window must keep backing off, not busy-spin: with a 1ms
+	// initial backoff a 50ms window fits tens of attempts, while a spin
+	// regression produces tens of thousands.
+	if st.Retried > 2000 {
+		t.Fatalf("retried %d times in a 50ms flush window (busy-spin?)", st.Retried)
+	}
+	// Enqueue after Stop is a counted drop, not a hang.
+	f.ForwardTick(tick(99))
+	if st := f.Stats(); st.Dropped != n+1 {
+		t.Fatalf("post-Stop enqueue not dropped: %+v", st)
+	}
+}
+
+// TestFrameRoundTrip covers the wire format: encode/decode identity,
+// multiple frames on one stream, CRC detection of corruption, and torn
+// tails.
+func TestFrameRoundTrip(t *testing.T) {
+	p := Payload{Kind: KindHealth, Seq: 7, T: time.Unix(42, 0).UTC(),
+		Health: &telemetry.HealthEvent{Rule: "queue-depth-watermark", Source: "queue_depth",
+			FromState: "ok", ToState: "warn", Value: 2048}}
+	var buf bytes.Buffer
+	for i := 0; i < 3; i++ {
+		body, err := encodePayload(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf.Write(body)
+	}
+
+	for i := 0; i < 3; i++ {
+		body, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		got, err := Decode(body)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if got.Kind != p.Kind || got.Seq != p.Seq || got.Health == nil || got.Health.Rule != p.Health.Rule {
+			t.Fatalf("round trip mismatch: %+v", got)
+		}
+	}
+	if _, err := ReadFrame(&buf); err != io.EOF {
+		t.Fatalf("want clean EOF at stream end, got %v", err)
+	}
+
+	// Flip a body byte: CRC must catch it.
+	frame, err := encodePayload(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame[len(frame)-2] ^= 0xff
+	if _, err := ReadFrame(bytes.NewReader(frame)); err == nil {
+		t.Fatal("corrupted frame passed CRC")
+	}
+
+	// Torn tail: a truncated frame is ErrUnexpectedEOF, not silence.
+	if _, err := ReadFrame(bytes.NewReader(frame[:frameHeader+3])); err != io.ErrUnexpectedEOF {
+		t.Fatalf("torn frame: want ErrUnexpectedEOF, got %v", err)
+	}
+	if _, err := ReadFrame(bytes.NewReader([]byte("BOGUS-MAGIC-1234"))); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+// encodePayload frames a payload through the production marshal path.
+func encodePayload(p Payload) ([]byte, error) {
+	body, err := marshalPayload(p)
+	if err != nil {
+		return nil, err
+	}
+	return EncodeFrame(body), nil
+}
+
+// TestHTTPSink delivers through a real HTTP round trip and maps
+// non-2xx statuses to retryable errors.
+func TestHTTPSink(t *testing.T) {
+	var mu sync.Mutex
+	var got []Payload
+	fail := true
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		defer mu.Unlock()
+		if fail {
+			http.Error(w, "not ready", http.StatusServiceUnavailable)
+			return
+		}
+		body, err := ReadFrame(r.Body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		p, err := Decode(body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		got = append(got, p)
+		w.WriteHeader(http.StatusNoContent)
+	}))
+	defer srv.Close()
+
+	sink := NewHTTPSink(srv.URL)
+	defer sink.Close()
+
+	frame, err := encodePayload(Payload{Kind: KindTick, Seq: 1, Values: map[string]float64{"x": 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Send(frame); err == nil {
+		t.Fatal("503 response should be a retryable error")
+	}
+	mu.Lock()
+	fail = false
+	mu.Unlock()
+	if err := sink.Send(frame); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 1 || got[0].Kind != KindTick {
+		t.Fatalf("server decoded %+v", got)
+	}
+}
+
+// TestFileSink writes frames through a forwarder to disk and reads
+// them all back.
+func TestFileSink(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "frames.dstl")
+	sink, err := NewFileSink(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := New(Config{Sink: sink, Probes: telemetry.NewRegistry()})
+	f.ForwardTick(tick(1))
+	f.ForwardHealth(telemetry.HealthEvent{Rule: "consume-stall", FromState: "ok", ToState: "warn"})
+	f.ForwardSnapshot(&telemetry.Snapshot{Counters: map[string]int64{"broker.published": 9}})
+	f.Stop()
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatalf("double Close: %v", err)
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := bytes.NewReader(data)
+	var kinds []string
+	for {
+		body, err := ReadFrame(r)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := Decode(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		kinds = append(kinds, p.Kind)
+	}
+	want := []string{KindTick, KindHealth, KindSnapshot}
+	if len(kinds) != len(want) {
+		t.Fatalf("read %v kinds, want %v", kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("frame %d kind %q, want %q", i, kinds[i], want[i])
+		}
+	}
+}

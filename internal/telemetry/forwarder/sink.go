@@ -1,0 +1,101 @@
+package forwarder
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+)
+
+// Sink is where a Forwarder delivers framed payloads. Send returning
+// nil acknowledges the frame; an error makes the forwarder retry the
+// same frame. Send is called from a single worker goroutine per
+// forwarder, but one sink may serve several forwarders.
+type Sink interface {
+	Send(frame []byte) error
+	Close() error
+}
+
+// HTTPSink POSTs each frame to a collector endpoint as one
+// application/octet-stream body. Any 2xx status acknowledges the
+// frame; everything else (including transport errors) is retryable.
+type HTTPSink struct {
+	URL    string
+	Client *http.Client // nil uses a 5s-timeout client
+}
+
+// NewHTTPSink builds a sink posting to url (e.g.
+// "http://collector:9191/ingest").
+func NewHTTPSink(url string) *HTTPSink {
+	return &HTTPSink{URL: url, Client: &http.Client{Timeout: 5 * time.Second}}
+}
+
+// Send posts one frame.
+func (s *HTTPSink) Send(frame []byte) error {
+	c := s.Client
+	if c == nil {
+		c = &http.Client{Timeout: 5 * time.Second}
+	}
+	resp, err := c.Post(s.URL, "application/octet-stream", bytes.NewReader(frame))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return fmt.Errorf("forwarder: collector returned %s", resp.Status)
+	}
+	return nil
+}
+
+// Close releases idle connections.
+func (s *HTTPSink) Close() error {
+	if s.Client != nil {
+		s.Client.CloseIdleConnections()
+	}
+	return nil
+}
+
+// FileSink appends frames to a local file — the test sink and the
+// "collector is a cron job" deployment. Frames are written verbatim;
+// ReadFrame recovers them, and the CRC catches a torn tail.
+type FileSink struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+// NewFileSink opens (creating or appending) the frame file.
+func NewFileSink(path string) (*FileSink, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &FileSink{f: f}, nil
+}
+
+// Send appends one frame.
+func (s *FileSink) Send(frame []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return fmt.Errorf("forwarder: file sink closed")
+	}
+	_, err := s.f.Write(frame)
+	return err
+}
+
+// Close syncs and closes the file.
+func (s *FileSink) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	err := s.f.Sync()
+	if cerr := s.f.Close(); err == nil {
+		err = cerr
+	}
+	s.f = nil
+	return err
+}

@@ -21,6 +21,12 @@ type Registry struct {
 	// invoked only at snapshot/export time.
 	gaugeFuncs   map[string]func() int64
 	counterFuncs map[string]func() int64
+
+	// ctxProbes caches (name, Context, kind) → probe resolutions so the
+	// interned-context lookup path (CounterCtx and friends in tags.go)
+	// never renders tag strings after the first hit.
+	ctxMu     sync.RWMutex
+	ctxProbes map[ctxProbeKey]any
 }
 
 // NewRegistry creates an empty registry.
@@ -60,7 +66,10 @@ func Key(name string, tags ...string) string {
 // Counter returns the counter registered under name+tags, creating it
 // on first use. The returned pointer is stable.
 func (r *Registry) Counter(name string, tags ...string) *Counter {
-	k := Key(name, tags...)
+	return r.counterByKey(Key(name, tags...))
+}
+
+func (r *Registry) counterByKey(k string) *Counter {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	c, ok := r.counters[k]
@@ -73,7 +82,10 @@ func (r *Registry) Counter(name string, tags ...string) *Counter {
 
 // Gauge returns the gauge registered under name+tags.
 func (r *Registry) Gauge(name string, tags ...string) *Gauge {
-	k := Key(name, tags...)
+	return r.gaugeByKey(Key(name, tags...))
+}
+
+func (r *Registry) gaugeByKey(k string) *Gauge {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	g, ok := r.gauges[k]
@@ -86,7 +98,10 @@ func (r *Registry) Gauge(name string, tags ...string) *Gauge {
 
 // Watermark returns the watermark registered under name+tags.
 func (r *Registry) Watermark(name string, tags ...string) *Watermark {
-	k := Key(name, tags...)
+	return r.watermarkByKey(Key(name, tags...))
+}
+
+func (r *Registry) watermarkByKey(k string) *Watermark {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	w, ok := r.watermarks[k]
@@ -99,7 +114,10 @@ func (r *Registry) Watermark(name string, tags ...string) *Watermark {
 
 // Histogram returns the histogram registered under name+tags.
 func (r *Registry) Histogram(name string, tags ...string) *Histogram {
-	k := Key(name, tags...)
+	return r.histogramByKey(Key(name, tags...))
+}
+
+func (r *Registry) histogramByKey(k string) *Histogram {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	h, ok := r.hists[k]
@@ -108,6 +126,32 @@ func (r *Registry) Histogram(name string, tags ...string) *Histogram {
 		r.hists[k] = h
 	}
 	return h
+}
+
+// SumGauges sums every gauge and callback gauge registered under the
+// metric name across all tag contexts — the rollup read for "total
+// queue depth" over per-queue tagged series. Callbacks run outside the
+// registry lock.
+func (r *Registry) SumGauges(name string) int64 {
+	prefix := name + "{"
+	var total int64
+	var fns []func() int64
+	r.mu.Lock()
+	for k, g := range r.gauges {
+		if k == name || strings.HasPrefix(k, prefix) {
+			total += g.Load()
+		}
+	}
+	for k, fn := range r.gaugeFuncs {
+		if k == name || strings.HasPrefix(k, prefix) {
+			fns = append(fns, fn)
+		}
+	}
+	r.mu.Unlock()
+	for _, fn := range fns {
+		total += fn()
+	}
+	return total
 }
 
 // GaugeFunc registers (or replaces) a callback gauge read at snapshot

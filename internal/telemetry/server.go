@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"context"
 	"encoding/json"
 	"net"
 	"net/http"
@@ -47,5 +48,15 @@ func Serve(addr string, r *Registry) (*Server, error) {
 // Addr returns the bound listen address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close stops the endpoint.
+// Close stops the endpoint immediately: the listener and every active
+// scrape connection are torn down. Safe to call more than once.
 func (s *Server) Close() error { return s.srv.Close() }
+
+// Shutdown stops the endpoint gracefully: the listener closes at once
+// (no new scrapes) while in-flight requests drain until the context
+// expires, after which the caller should fall back to Close. This is
+// the teardown path scenario runs and tests use so a run's final
+// scrape is not cut off mid-body.
+func (s *Server) Shutdown(ctx context.Context) error {
+	return s.srv.Shutdown(ctx)
+}

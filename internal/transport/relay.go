@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"ds2hpc/internal/metrics"
+	"ds2hpc/internal/telemetry"
 )
 
 var (
@@ -29,16 +30,32 @@ var ErrAdmissionClosed = errors.New("transport: admission gate closed")
 // first EOF, truncating the reverse direction. Both connections are
 // fully closed before Relay returns.
 func Relay(a, b net.Conn) {
+	RelayCtx(a, b, telemetry.ContextNone)
+}
+
+// RelayCtx is Relay with a tagged telemetry context: relayed bytes are
+// additionally charged to transport.relay_tier_bytes under ctx (e.g.
+// "tier=prs" for a PRS S2DS hop, "tier=mss" for the MSS balancer), so
+// per-tier throughput is a first-class series. ContextNone skips the
+// tagged charge. The counter resolves once per relay — the per-write
+// path stays atomic adds. (The tagged family is distinct from
+// transport.relay_bytes, which mirrors into the telemetry registry via
+// the metrics bridge under its own name.)
+func RelayCtx(a, b net.Conn, ctx telemetry.Context) {
 	relays.Inc()
+	var tagged *telemetry.Counter
+	if ctx != telemetry.ContextNone {
+		tagged = telemetry.Default.CounterCtx("transport.relay_tier_bytes", ctx)
+	}
 	var wg sync.WaitGroup
 	wg.Add(2)
 	go func() {
 		defer wg.Done()
-		relayHalf(b, a)
+		relayHalf(b, a, tagged)
 	}()
 	go func() {
 		defer wg.Done()
-		relayHalf(a, b)
+		relayHalf(a, b, tagged)
 	}()
 	wg.Wait()
 	a.Close()
@@ -50,8 +67,8 @@ func Relay(a, b net.Conn) {
 // other copy direction unblocks on the closed connections). Bytes are
 // charged to the relay-bytes telemetry as they flow, so a live rollup
 // sees proxy traffic mid-stream rather than at connection teardown.
-func relayHalf(dst, src net.Conn) {
-	_, err := io.Copy(&countingWriter{w: dst}, src)
+func relayHalf(dst, src net.Conn, tagged *telemetry.Counter) {
+	_, err := io.Copy(&countingWriter{w: dst, tagged: tagged}, src)
 	if err == nil {
 		if CloseWrite(dst) {
 			halfCloses.Inc()
@@ -68,13 +85,21 @@ func relayHalf(dst, src net.Conn) {
 // those bytes are charged when the transfer completes rather than
 // live, which only matters for the duration of one connection.
 type countingWriter struct {
-	w io.Writer
+	w      io.Writer
+	tagged *telemetry.Counter // optional per-tier series; nil = untagged relay
+}
+
+func (cw *countingWriter) charge(n int64) {
+	relayBytes.Add(uint64(n))
+	if cw.tagged != nil {
+		cw.tagged.Add(n)
+	}
 }
 
 func (cw *countingWriter) Write(p []byte) (int, error) {
 	n, err := cw.w.Write(p)
 	if n > 0 {
-		relayBytes.Add(uint64(n))
+		cw.charge(int64(n))
 	}
 	return n, err
 }
@@ -83,7 +108,7 @@ func (cw *countingWriter) ReadFrom(r io.Reader) (int64, error) {
 	if rf, ok := cw.w.(io.ReaderFrom); ok {
 		n, err := rf.ReadFrom(r)
 		if n > 0 {
-			relayBytes.Add(uint64(n))
+			cw.charge(n)
 		}
 		return n, err
 	}
