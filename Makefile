@@ -22,8 +22,9 @@ PR ?= dev
 # cross (fsync tax vs payload amortization on durable queues), and the
 # federation forward bench (zero-copy publish crossing an inter-node link),
 # and the tagged-counter bench (interned-context probe lookup, pinned at
-# 0 allocs/op).
-BENCH_PATTERN ?= BenchmarkAblationAckBatching|BenchmarkAblationWorkQueues|BenchmarkAblationDurabilityPayload|BenchmarkOverheadVsDTS|BenchmarkResilienceFaultRate|BenchmarkFig6aDstreamFeedbackRTT|BenchmarkFanoutPublishDeliver|BenchmarkDurableFanoutPublishDeliver|BenchmarkSeglogAppend|BenchmarkSeglogReplay|BenchmarkFederationForward|BenchmarkTaggedCounter
+# 0 allocs/op), and the mirrored publish bench (the confirm-path price of
+# synchronous replication, R=1 vs R=2).
+BENCH_PATTERN ?= BenchmarkAblationAckBatching|BenchmarkAblationWorkQueues|BenchmarkAblationDurabilityPayload|BenchmarkOverheadVsDTS|BenchmarkResilienceFaultRate|BenchmarkFig6aDstreamFeedbackRTT|BenchmarkFanoutPublishDeliver|BenchmarkDurableFanoutPublishDeliver|BenchmarkSeglogAppend|BenchmarkSeglogReplay|BenchmarkFederationForward|BenchmarkTaggedCounter|BenchmarkMirroredPublishDeliver
 
 # MICRO_ITERS fixes the iteration count for the broker microbenchmarks:
 # unlike the figure benches (one timed scenario run each, hence 1x), the
@@ -55,7 +56,10 @@ test:
 # override so the flag path is exercised too. The failover spec runs a
 # 3-node ring-placed cluster and hard-kills the busiest queue master
 # mid-run: consumers follow redirects to the new master and nothing
-# confirmed is lost.
+# confirmed is lost. The failover_replicated spec raises the stakes:
+# replication factor 2 and a rolling double kill — master first, then the
+# node its mirror was promoted onto — survived on synchronous mirrors
+# with zero segment-log relocation.
 smoke:
 	$(GO) run ./cmd/streamsim scenario examples/scenario/worksharing.json
 	$(GO) run ./cmd/streamsim scenario examples/scenario/pipeline.json
@@ -64,6 +68,7 @@ smoke:
 	$(GO) run ./cmd/streamsim scenario examples/scenario/crashrestart.json
 	$(GO) run ./cmd/streamsim scenario examples/scenario/coldreplay.json
 	$(GO) run ./cmd/streamsim scenario examples/scenario/failover.json
+	$(GO) run ./cmd/streamsim scenario examples/scenario/failover_replicated.json
 	$(GO) run ./cmd/streamsim scenario -clients 10000 examples/scenario/scale10k.json
 
 race:

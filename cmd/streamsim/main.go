@@ -276,6 +276,10 @@ func printReport(rep *scenario.Report) {
 	if rep.NodeKills > 0 {
 		fmt.Printf("node kills:     %d queue-master(s) failed over\n", rep.NodeKills)
 	}
+	if rep.Promotions > 0 || rep.MirrorCatchups > 0 {
+		fmt.Printf("replication:    %d mirror promotion(s), %d mirror catchup(s)\n",
+			rep.Promotions, rep.MirrorCatchups)
+	}
 	if rep.Redirects > 0 || rep.FederatedMsgs > 0 {
 		fmt.Printf("cluster plane:  %d redirect(s) followed, %d federated publish(es)\n",
 			rep.Redirects, rep.FederatedMsgs)

@@ -50,7 +50,9 @@
 //	internal/mss        MSS load balancer and S3M control plane
 //	internal/cluster    clustered broker data plane: consistent-hash
 //	                    queue placement, inter-node federation links,
-//	                    queue-master failover, and the Shovel mover
+//	                    synchronous queue mirrors with in-sync
+//	                    promotion, queue-master failover, and the
+//	                    Shovel mover
 //	cmd/                rmq-server, streamsim, scistream, s3m,
 //	                    expdriver, benchsnap
 //	examples/           runnable end-to-end scenarios
@@ -212,6 +214,24 @@
 // (federation_msgs/bytes/links, redirects, ownership_changes) make the
 // rebalance observable; BenchmarkFederationForward pins the forward
 // path at 0 allocs/op.
+//
+// With deployment.replication_factor R ≥ 2, each durable queue
+// additionally keeps R−1 synchronous mirrors on distinct ring nodes:
+// the master streams every publish and settle to its mirrors over
+// confirm-mode federation links, and withholds the producer's confirm
+// until the in-sync mirror set has appended (a lagging mirror is
+// evicted after a bounded window rather than stalling confirms
+// forever, surfacing as the under-replicated health rule). Killing a
+// replicated master then promotes the most-advanced in-sync mirror in
+// place — zero segment-log relocation, nothing read from the dead
+// node's disk — and a restarted node re-enters as a catching-up mirror
+// that resyncs from the live master before rejoining the in-sync set.
+// The rolling-node-kill fault chases the promoted masters across the
+// cluster (examples/scenario/failover_replicated.json,
+// TestRollingNodeKillScenario); cluster.promotions, mirror_catchups,
+// mirror_lag, insync_mirrors and underreplicated_queues trace it, and
+// BenchmarkMirroredPublishDeliver prices the confirm path at R=1 vs
+// R=2.
 //
 // # Running the suite
 //

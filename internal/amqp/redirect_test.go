@@ -28,7 +28,14 @@ func (h *redirectHook) EnsureRemoteQueue(vhost, queue string, durable bool) erro
 func (h *redirectHook) ForwardPublish(vhost, queue string, m *broker.Message, target broker.ConfirmTarget, seq uint64) error {
 	return nil
 }
-func (h *redirectHook) NoteRedirect(vhost, queue string) {}
+func (h *redirectHook) NoteRedirect(vhost, queue string)       {}
+func (h *redirectHook) Replicated(vhost, queue string) bool    { return false }
+func (h *redirectHook) ReplicateAppend(vhost, queue string, off uint64, m *broker.Message, target broker.ConfirmTarget, seq uint64) {
+}
+func (h *redirectHook) ReplicateSettle(vhost, queue string, off uint64, offs []uint64) {}
+func (h *redirectHook) ApplyMirror(vhost, exchange, key string, m *broker.Message) error {
+	return nil
+}
 
 // TestClientFollowsRedirect: a consume on a broker that answers with
 // connection.close 302 makes a reconnect-enabled client re-dial the

@@ -780,6 +780,20 @@ func (ch *srvChannel) completePublish(p *pendingPublish) error {
 	defer msg.Release()
 	ch.conn.srv.Stats.MessagesIn.Add(1)
 	ch.conn.srv.Stats.BytesIn.Add(uint64(len(msg.Body)))
+	if hook := ch.conn.srv.cfg.Cluster; hook != nil && IsMirrorExchange(method.Exchange) {
+		// Inbound mirror-stream frame from a master's federation link:
+		// apply to the standby replica and answer the link's confirm —
+		// the ack IS the "mirror appended" signal the master's in-sync
+		// accounting waits on.
+		err := hook.ApplyMirror(ch.conn.vh.Name, method.Exchange, method.RoutingKey, msg)
+		if seq != 0 {
+			if err != nil {
+				return ch.conn.writeMethod(ch.id, &wire.BasicNack{DeliveryTag: seq})
+			}
+			return ch.conn.writeMethod(ch.id, &wire.BasicAck{DeliveryTag: seq})
+		}
+		return nil
+	}
 	if hook := ch.conn.srv.cfg.Cluster; hook != nil && method.Exchange == "" {
 		if _, local := hook.Lookup(ch.conn.vh.Name, method.RoutingKey); !local {
 			// Default-exchange publish to a remotely-mastered queue:
@@ -796,6 +810,36 @@ func (ch *srvChannel) completePublish(p *pendingPublish) error {
 					return ch.conn.writeMethod(ch.id, &wire.BasicNack{DeliveryTag: seq})
 				}
 			}
+			return nil
+		}
+		if hook.Replicated(ch.conn.vh.Name, method.RoutingKey) {
+			// Locally mastered replicated queue: append locally (offset
+			// tracked), then stream to mirrors. The producer's confirm is
+			// withheld — ReplicateAppend resolves it via ClusterConfirm
+			// once the in-sync set has appended (or lagging mirrors are
+			// evicted).
+			off, err := ch.conn.vh.PublishTracked(method.RoutingKey, msg)
+			switch {
+			case err != nil && errors.Is(err, ErrNotFound):
+				return ch.exception(wire.ReplyNotFound, err.Error(), method)
+			case err != nil:
+				if ch.isConfirm() {
+					return ch.conn.writeMethod(ch.id, &wire.BasicNack{DeliveryTag: seq})
+				}
+				return nil
+			}
+			if off == OffNone {
+				// Transient queue: nothing durable to mirror.
+				if ch.isConfirm() {
+					return ch.conn.writeMethod(ch.id, &wire.BasicAck{DeliveryTag: seq})
+				}
+				return nil
+			}
+			var target ConfirmTarget
+			if seq != 0 {
+				target = ch
+			}
+			hook.ReplicateAppend(ch.conn.vh.Name, method.RoutingKey, off, msg, target, seq)
 			return nil
 		}
 	}

@@ -44,7 +44,62 @@ type ClusterHook interface {
 	// NoteRedirect records that this node answered an operation on the
 	// queue with a connection-level redirect (telemetry only).
 	NoteRedirect(vhost, queue string)
+	// Replicated reports whether this node masters the queue with live
+	// mirrors — whether a local publish must go through ReplicateAppend
+	// so its confirm is withheld until the in-sync set has appended.
+	// Implementations keep this an atomic fast path: on an R=1 cluster it
+	// must cost nothing on the per-publish hot path.
+	Replicated(vhost, queue string) bool
+	// ReplicateAppend streams one locally appended publish (at segment-log
+	// offset off) to the queue's mirrors. The producer's confirm (seq on
+	// target) is withheld until every in-sync mirror has appended the
+	// record, or until lagging mirrors are evicted from the in-sync set —
+	// the callee ALWAYS eventually resolves target.ClusterConfirm(seq, _).
+	// The callee takes its own message references for the ships; the
+	// caller's reference only covers the call.
+	ReplicateAppend(vhost, queue string, off uint64, m *Message, target ConfirmTarget, seq uint64)
+	// ReplicateSettle streams durably committed settlements (ack records)
+	// to the queue's mirrors: one offset (offs nil) or a batch
+	// (off == OffNone). Fire-and-forget — consumer acks never wait on
+	// mirrors; a mirror that misses acks merely redelivers, which
+	// at-least-once permits.
+	ReplicateSettle(vhost, queue string, off uint64, offs []uint64)
+	// ApplyMirror applies one received mirror-stream frame (a publish to
+	// one of the reserved "!mirror.*" exchanges) to this node's standby
+	// replica of the queue. The returned error nacks the frame, telling
+	// the master this mirror diverged.
+	ApplyMirror(vhost, exchange, key string, m *Message) error
 }
+
+// Reserved mirror-stream exchange names. The replication layer rides the
+// existing confirm-mode federation links: a mirror frame is a normal
+// AMQP publish whose exchange names the operation and whose routing key
+// carries the master-assigned offset as a 16-hex-digit prefix before the
+// queue name. '!' is unreachable from clients (invalid in declared
+// exchange names here), so the namespace cannot collide with user
+// exchanges.
+const (
+	// MirrorDataExchange frames a data record: routing key
+	// "%016x<queue>", body and properties are the message.
+	MirrorDataExchange = "!mirror.data"
+	// MirrorAckExchange frames a settle batch: routing key "<queue>"
+	// (no offset prefix), body is N big-endian u64 offsets.
+	MirrorAckExchange = "!mirror.ack"
+	// MirrorResetExchange wipes the standby replica before a fresh
+	// catch-up: routing key "<queue>", empty body.
+	MirrorResetExchange = "!mirror.reset"
+)
+
+// IsMirrorExchange reports whether name addresses the mirror stream.
+func IsMirrorExchange(name string) bool {
+	return len(name) > 0 && name[0] == '!'
+}
+
+// MirrorMarker is the file the replication layer drops inside a standby
+// replica's segment-log directory. Server.recoverDurable skips marked
+// directories — a mirror is not a queue this node masters; promotion
+// removes the marker and only then does a declare recover the log.
+const MirrorMarker = "MIRROR"
 
 // ConfirmTarget receives the bridged confirm verdict for a forwarded
 // publish. Implementations must be safe to call from the federation

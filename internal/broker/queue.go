@@ -68,9 +68,13 @@ type QueueLimits struct {
 	Overflow string
 }
 
-// offNone marks a queue entry with no segment-log offset (every entry of a
-// non-durable queue).
-const offNone = ^uint64(0)
+// OffNone marks a queue entry with no segment-log offset (every entry of
+// a non-durable queue). Replication hooks use it as the "no offset"
+// sentinel: a publish that returns OffNone has nothing to mirror.
+const OffNone = ^uint64(0)
+
+// offNone is the package-internal spelling.
+const offNone = OffNone
 
 // delivery is a message en route to one consumer, carrying the per-queue
 // redelivered flag and segment-log offset alongside the shared message.
@@ -162,6 +166,12 @@ type Queue struct {
 	// bytes shrink; used for broker-wide memory accounting.
 	onBytes func(deltaBytes int64)
 
+	// onCommit, if set, observes every durably committed settlement after
+	// its ack record hits the segment log — the replication layer's settle
+	// stream. Called outside q.mu with either a single offset (offs nil)
+	// or a batch (off == OffNone). Attached once at declare time.
+	onCommit func(off uint64, offs []uint64)
+
 	stats QueueStats
 	tel   queueTel
 }
@@ -222,12 +232,21 @@ func (q *Queue) Stats() QueueStats {
 // consumers. With publisher confirms the append (and its fsync) therefore
 // completes before the confirm is sent: confirm implies durable.
 func (q *Queue) Publish(m *Message) error {
+	_, err := q.PublishOff(m)
+	return err
+}
+
+// PublishOff is Publish exposing the entry's segment-log offset (OffNone
+// on non-durable queues) — the replication layer's append feed: the
+// returned offset is what the master ships to its mirrors so replicas
+// reproduce the master's numbering.
+func (q *Queue) PublishOff(m *Message) (uint64, error) {
 	off := offNone
 	if q.log != nil {
 		var err error
 		off, err = q.log.Append(m.Exchange, m.RoutingKey, &m.Props, m.Body)
 		if err != nil {
-			return fmt.Errorf("broker: durable append: %w", err)
+			return offNone, fmt.Errorf("broker: durable append: %w", err)
 		}
 	}
 	var evicted []uint64
@@ -237,14 +256,14 @@ func (q *Queue) Publish(m *Message) error {
 		// The record hit the log after the queue died; retire it so a
 		// later recovery does not resurrect a message nobody owns.
 		q.Commit(off)
-		return errors.New("broker: queue deleted")
+		return offNone, errors.New("broker: queue deleted")
 	}
 	if q.overLimitLocked(m) {
 		if q.Limits.Overflow == OverflowRejectPublish {
 			q.stats.Rejected++
 			q.mu.Unlock()
 			q.Commit(off)
-			return ErrQueueFull
+			return offNone, ErrQueueFull
 		}
 		// drop-head: evict from the front until the new message fits.
 		for q.overLimitLocked(m) && q.ready.len() > 0 {
@@ -264,7 +283,7 @@ func (q *Queue) Publish(m *Message) error {
 	if len(evicted) > 0 {
 		q.CommitAll(evicted)
 	}
-	return nil
+	return off, nil
 }
 
 // Get synchronously pops one ready message (basic.get), transferring the
@@ -500,6 +519,9 @@ func (q *Queue) Commit(off uint64) {
 		return
 	}
 	_ = q.log.Ack(off)
+	if q.onCommit != nil {
+		q.onCommit(off, nil)
+	}
 }
 
 // CommitAll retires a batch of settled deliveries in one log-lock
@@ -509,7 +531,15 @@ func (q *Queue) CommitAll(offs []uint64) {
 		return
 	}
 	_ = q.log.AckAll(offs)
+	if q.onCommit != nil {
+		q.onCommit(OffNone, offs)
+	}
 }
+
+// Log exposes the queue's durable segment log (nil on transient queues).
+// The replication layer uses it to snapshot offsets and drive mirror
+// catch-up scans; it never mutates the log directly.
+func (q *Queue) Log() *seglog.Log { return q.log }
 
 // Release returns one prefetch slot without counting an acknowledgement
 // (nack/reject paths and channel teardown).

@@ -1,0 +1,156 @@
+package seglog
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"ds2hpc/internal/wire"
+)
+
+// TestMirrorCatchupConvergence is the replication layer's storage
+// property: a mirror log that joins mid-stream — bootstrapped by
+// replaying the master's Scan through AppendAt/Ack, then fed the live
+// tail — recovers to exactly the master's state. Small segments force
+// seals and head compaction on the master while the mirror (RetainAll,
+// like a real standby) keeps everything, so the equality must hold
+// across asymmetric on-disk layouts, which is why the assertion is on
+// the recovered unacked sets and offsets, not raw bytes.
+func TestMirrorCatchupConvergence(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			testMirrorCatchup(t, seed)
+		})
+	}
+}
+
+func testMirrorCatchup(t *testing.T, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	masterDir, mirrorDir := t.TempDir(), t.TempDir()
+	master, _, err := Open(masterDir, Options{SegmentBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mirror *Log
+
+	// expected mirrors the live queue contents: offset -> body of every
+	// appended-but-unacked record.
+	expected := map[uint64][]byte{}
+	var live []uint64
+
+	body := func(off uint64) []byte {
+		b := make([]byte, 1+rng.Intn(64))
+		for i := range b {
+			b[i] = byte(off)
+		}
+		return b
+	}
+	appendOne := func() {
+		props := wire.Properties{MessageID: fmt.Sprintf("m-%d", len(expected))}
+		b := body(uint64(rng.Int()))
+		off, err := master.Append("", "mirror-q", &props, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mirror != nil {
+			if err := mirror.AppendAt(off, "", "mirror-q", &props, b); err != nil {
+				t.Fatalf("mirror AppendAt %d: %v", off, err)
+			}
+		}
+		expected[off] = b
+		live = append(live, off)
+	}
+	ackOne := func() {
+		if len(live) == 0 {
+			return
+		}
+		i := rng.Intn(len(live))
+		off := live[i]
+		live = append(live[:i], live[i+1:]...)
+		delete(expected, off)
+		if err := master.Ack(off); err != nil {
+			t.Fatal(err)
+		}
+		if mirror != nil {
+			if err := mirror.Ack(off); err != nil {
+				t.Fatalf("mirror Ack %d: %v", off, err)
+			}
+		}
+	}
+	churn := func(ops int) {
+		for i := 0; i < ops; i++ {
+			if rng.Float64() < 0.65 {
+				appendOne()
+			} else {
+				ackOne()
+			}
+		}
+	}
+
+	// Phase 1: the master runs alone — the history a late mirror missed.
+	churn(40 + rng.Intn(40))
+
+	// The mirror joins mid-stream: bootstrap it from the master's scan,
+	// exactly the replication catch-up discipline (data via AppendAt at
+	// the original offsets, acks replayed as acks — including acks whose
+	// data record was already compacted off the master's head).
+	mirror, _, err = Open(mirrorDir, Options{SegmentBytes: 512, RetainAll: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = master.Scan(
+		func(r *Record) error {
+			return mirror.AppendAt(r.Offset, r.Exchange, r.Key, &r.Props, r.Body)
+		},
+		func(off uint64) error { return mirror.Ack(off) },
+	)
+	if err != nil {
+		t.Fatalf("catch-up scan: %v", err)
+	}
+
+	// Phase 2: both logs ride the live stream.
+	churn(40 + rng.Intn(40))
+	if len(live) == 0 {
+		appendOne() // keep at least one unacked record to recover
+	}
+
+	// Crash-free shutdown, then recover both and compare.
+	if err := master.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := mirror.Close(); err != nil {
+		t.Fatal(err)
+	}
+	m2, mrec, err := Open(masterDir, Options{SegmentBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	r2, rrec, err := Open(mirrorDir, Options{SegmentBytes: 512, RetainAll: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+
+	check := func(name string, rec *Recovery) {
+		t.Helper()
+		if len(rec.Unacked) != len(expected) {
+			t.Fatalf("%s recovered %d unacked records, want %d", name, len(rec.Unacked), len(expected))
+		}
+		for _, r := range rec.Unacked {
+			want, ok := expected[r.Offset]
+			if !ok {
+				t.Fatalf("%s recovered unexpected offset %d", name, r.Offset)
+			}
+			if !bytes.Equal(r.Body, want) {
+				t.Fatalf("%s offset %d body mismatch", name, r.Offset)
+			}
+		}
+	}
+	check("master", mrec)
+	check("mirror", rrec)
+	if m2.NextOffset() != r2.NextOffset() {
+		t.Fatalf("NextOffset diverged: master %d, mirror %d", m2.NextOffset(), r2.NextOffset())
+	}
+}

@@ -210,6 +210,22 @@ func Open(dir string, opts Options) (*Log, *Recovery, error) {
 // offset. The body may be a refcounted wire loan; it is fully consumed
 // before Append returns and never retained.
 func (l *Log) Append(exchange, key string, props *wire.Properties, body []byte) (uint64, error) {
+	return l.append(0, false, exchange, key, props, body)
+}
+
+// AppendAt writes one data record at an explicit offset instead of the
+// log's own counter — the mirror-replica path, where the master assigns
+// offsets and replicas must reproduce them. The log's next offset
+// advances to off+1 when off is at or past it, so interleaved catch-up
+// and live streams converge on the master's numbering. Offsets may
+// arrive out of order; callers are responsible for not appending the
+// same offset twice.
+func (l *Log) AppendAt(off uint64, exchange, key string, props *wire.Properties, body []byte) error {
+	_, err := l.append(off, true, exchange, key, props, body)
+	return err
+}
+
+func (l *Log) append(at uint64, explicit bool, exchange, key string, props *wire.Properties, body []byte) (uint64, error) {
 	hw := wire.GetWriter()
 	defer wire.PutWriter(hw)
 	wire.MarshalContentHeader(hw, wire.ClassBasic, uint64(len(body)), props)
@@ -228,17 +244,28 @@ func (l *Log) Append(exchange, key string, props *wire.Properties, body []byte) 
 		return 0, ErrClosed
 	}
 	off := l.next
+	if explicit {
+		off = at
+	}
 	if err := l.appendLocked(recData, off, mw.Bytes(), hw.Bytes(), body); err != nil {
 		return 0, err
 	}
-	l.next++
+	if off >= l.next {
+		l.next = off + 1
+	}
 	seg := l.segs[len(l.segs)-1]
 	if seg.data == 0 {
 		seg.firstOff = off
+		seg.lastOff = off
 	}
 	seg.data++
 	seg.unacked++
-	seg.lastOff = off
+	if off < seg.firstOff {
+		seg.firstOff = off
+	}
+	if off > seg.lastOff {
+		seg.lastOff = off
+	}
 	if err := l.syncRotateLocked(seg); err != nil {
 		return 0, err
 	}
@@ -487,6 +514,82 @@ func (l *Log) tailWaitLocked() chan struct{} {
 		l.tail = make(chan struct{})
 	}
 	return l.tail
+}
+
+// Scan walks every retained record — data and ack alike — in log order,
+// calling data for each data record and ack for each ack record (either
+// may be nil to skip that kind). It is the mirror catch-up feed: a master
+// replays its whole retained history to a joining replica, acks included,
+// so the replica converges on the same unacked set. Record bodies alias a
+// per-segment read buffer and must be copied if kept.
+//
+// Scan flushes the write buffer, snapshots the segment list, then reads
+// segment files without holding the log lock, so appends proceed
+// concurrently. Records appended after the snapshot may or may not be
+// seen; segments compacted away mid-scan are skipped. The callbacks'
+// error, if any, aborts the scan and is returned.
+func (l *Log) Scan(data func(*Record) error, ack func(off uint64) error) error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return ErrClosed
+	}
+	if err := l.flushLocked(); err != nil {
+		l.mu.Unlock()
+		return err
+	}
+	paths := make([]string, len(l.segs))
+	for i, seg := range l.segs {
+		paths[i] = seg.path
+	}
+	l.mu.Unlock()
+
+	for _, path := range paths {
+		buf, err := os.ReadFile(path)
+		if os.IsNotExist(err) {
+			continue // compacted away mid-scan
+		}
+		if err != nil {
+			return fmt.Errorf("seglog: scan: %w", err)
+		}
+		if len(buf) < fileHeaderSize {
+			continue
+		}
+		if _, err := parseFileHeader(buf); err != nil {
+			return err
+		}
+		rest := buf[fileHeaderSize:]
+		for len(rest) >= recHeaderSize {
+			crc, plen, typ, _, off := parseRecHeader(rest[:recHeaderSize])
+			if plen < 0 || plen > maxRecordBytes || len(rest) < recHeaderSize+plen {
+				break // torn tail racing a concurrent append; post-snapshot
+			}
+			payload := rest[recHeaderSize : recHeaderSize+plen]
+			if recCRC(rest[4:recHeaderSize], payload) != crc {
+				break
+			}
+			switch typ {
+			case recData:
+				if data != nil {
+					rec, err := decodeDataPayload(off, payload)
+					if err != nil {
+						return err
+					}
+					if err := data(rec); err != nil {
+						return err
+					}
+				}
+			case recAck:
+				if ack != nil {
+					if err := ack(off); err != nil {
+						return err
+					}
+				}
+			}
+			rest = rest[recHeaderSize+plen:]
+		}
+	}
+	return nil
 }
 
 // NextOffset is the offset the next appended data record will get.

@@ -152,6 +152,12 @@ func (s *Server) recoverDurable() error {
 			if err != nil {
 				continue
 			}
+			if _, err := os.Stat(filepath.Join(s.cfg.DataDir, vd.Name(), qd.Name(), MirrorMarker)); err == nil {
+				// A standby mirror replica, not a queue this node mastered:
+				// leave it for the replication layer (promotion removes the
+				// marker; re-mirroring wipes and re-seeds the directory).
+				continue
+			}
 			if _, err := vh.DeclareQueue(qName, true, false, false, false, nil); err != nil {
 				return fmt.Errorf("broker: recover queue %q: %w", qName, err)
 			}
@@ -176,6 +182,7 @@ func (s *Server) VHost(name string) *VHost {
 	if !ok {
 		vh = NewVHost(name)
 		vh.MemoryLimit = s.cfg.MemoryLimit
+		vh.cluster = s.cfg.Cluster
 		if s.cfg.DataDir != "" {
 			vh.logDir = filepath.Join(s.cfg.DataDir, url.QueryEscape(name))
 			vh.logOpts = s.cfg.Durability

@@ -55,6 +55,11 @@ type VHost struct {
 	logDir  string
 	logOpts seglog.Options
 
+	// cluster, when non-nil, is the owning server's cluster hook. Durable
+	// declares wire each queue's settle stream (onCommit) to it so the
+	// replication layer sees every durably committed ack.
+	cluster ClusterHook
+
 	exchanges [registryShards]exchangeShard
 	queues    [registryShards]queueShard
 
@@ -197,6 +202,12 @@ func (vh *VHost) DeclareQueue(name string, durable, exclusive, autoDelete, passi
 		}
 		q.log = lg
 		q.restore(rec.Unacked)
+		if hook := vh.cluster; hook != nil {
+			vhName, qName := vh.Name, name
+			q.onCommit = func(off uint64, offs []uint64) {
+				hook.ReplicateSettle(vhName, qName, off, offs)
+			}
+		}
 	}
 	s.m[name] = q
 	// Export per-queue depth and rate sources, read only at telemetry
@@ -266,6 +277,41 @@ func (vh *VHost) DeleteQueue(name string, ifUnused, ifEmpty bool) (int, error) {
 		q.log.Remove()
 	}
 	return n, nil
+}
+
+// SurrenderQueue removes a queue from this vhost WITHOUT deleting its
+// on-disk history: the segment log is flushed, synced and closed, so a
+// new master can recover it — the rebalance-on-join handoff. The caller
+// is responsible for having quiesced the queue first (no consumers, no
+// in-flight publishes).
+func (vh *VHost) SurrenderQueue(name string) error {
+	s := vh.queueShard(name)
+	lockShard(&s.mu)
+	q, ok := s.m[name]
+	if !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: queue %q", ErrNotFound, name)
+	}
+	delete(s.m, name)
+	s.mu.Unlock()
+	unregisterQueueTelemetry(name)
+	for i := range vh.exchanges {
+		es := &vh.exchanges[i]
+		rlockShard(&es.mu)
+		exchanges := make([]*Exchange, 0, len(es.m))
+		for _, e := range es.m {
+			exchanges = append(exchanges, e)
+		}
+		es.mu.RUnlock()
+		for _, e := range exchanges {
+			e.UnbindQueue(q)
+		}
+	}
+	q.markDeleted()
+	if q.log != nil {
+		q.log.Close()
+	}
+	return nil
 }
 
 // eachQueue calls fn for every queue currently registered.
@@ -374,6 +420,30 @@ func (vh *VHost) Publish(exchange, routingKey string, m *Message) (int, error) {
 		return 0, rejectErr
 	}
 	return routed, nil
+}
+
+// PublishTracked publishes one message straight into the named queue —
+// the default-exchange direct route — and returns the entry's segment-log
+// offset (OffNone on transient queues). It is the replicated-publish
+// path: the channel layer needs the offset the master assigned so the
+// replication hook can withhold the producer's confirm until the in-sync
+// mirror set has appended the same record. Semantics otherwise match
+// Publish through the default exchange.
+func (vh *VHost) PublishTracked(queue string, m *Message) (uint64, error) {
+	q, ok := vh.Queue(queue)
+	if !ok {
+		return OffNone, fmt.Errorf("%w: queue %q", ErrNotFound, queue)
+	}
+	if vh.MemoryLimit > 0 && vh.totalBytes.Load() >= vh.MemoryLimit {
+		return OffNone, ErrMemoryAlarm
+	}
+	m.Retain() // the queue's reference
+	off, err := q.PublishOff(m)
+	if err != nil {
+		m.Release()
+		return OffNone, err
+	}
+	return off, nil
 }
 
 // QueueNames returns the declared queue names (stable order not guaranteed).

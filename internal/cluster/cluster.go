@@ -20,15 +20,34 @@
 // connection-level redirect (connection.close 302 carrying the master's
 // address) that reconnect-enabled clients honor by re-dialing.
 //
+// Replication: with Options.ReplicationFactor R >= 2, every durable
+// queue gets R-1 synchronous mirrors on the distinct ring nodes that
+// follow its master in the placement walk. The master streams appends
+// and settles to each mirror over the same confirm-mode federation links
+// (reserved "!mirror.*" exchanges) and withholds producer confirms until
+// the in-sync mirror set has appended; a mirror that lags past the
+// bounded catch-up window is evicted from the in-sync set so confirms
+// always resolve. A joining (or rejoining) mirror is wiped and caught up
+// from a scan of the master's log while live ships flow concurrently,
+// then turns in-sync once the stream drains. See replication.go.
+//
 // Failover: Kill hard-crashes a node and retires it from the ring. Every
-// queue it mastered is reassigned to a surviving ring owner; durable
-// queues move their segment-log directories to the new master (the
-// shared-storage model of a rescheduled pod) and replay there, transient
-// queues restart empty. Clients ride the failover through
-// amqp.Config.Reconnect: dead-address dials rotate through Config.Seeds,
-// a survivor redirects mis-routed consumers to the new master, and
-// channel state plus unconfirmed publishes replay on arrival. Restart
-// re-registers the node with the ring (no failback of moved queues).
+// queue it mastered is reassigned: a replicated queue promotes its
+// most-advanced in-sync mirror — the standby log is already on the new
+// master's disk, so no segment-log directory moves — and the promoted
+// master re-establishes mirrors on the survivors. Unreplicated durable
+// queues fall back to the legacy path: reassigned to a surviving ring
+// owner, segment-log directory moved there (the shared-storage model of
+// a rescheduled pod) and replayed; transient queues restart empty.
+// Clients ride the failover through amqp.Config.Reconnect: dead-address
+// dials rotate through Config.Seeds, a survivor redirects mis-routed
+// consumers to the new master, and channel state plus unconfirmed
+// publishes replay on arrival. Restart re-registers the node with the
+// ring and runs a rebalance-on-join audit: quiescent unreplicated queues
+// whose ring placement points at the rejoined node move back to it, and
+// replicated queues re-establish it as a catching-up mirror wherever
+// placement wants one. Moved (pinned) masters otherwise stay put — no
+// blanket failback.
 //
 // A Shovel component moves messages between queues on different nodes (the
 // RabbitMQ shovel plugin equivalent), which the Deleria example uses to link
@@ -68,6 +87,11 @@ type Options struct {
 	// FedDial dials federation links between nodes (nil = plain TCP).
 	// Deployments whose brokers listen on TLS (DTS) pass the TLS hop here.
 	FedDial transport.DialFunc
+	// ReplicationFactor R >= 2 gives every durable queue R-1 synchronous
+	// mirrors (capped at the node count) and switches Kill to in-sync
+	// mirror promotion for replicated queues. Requires Federation and
+	// per-node DataDirs; 0 or 1 means unreplicated (the default).
+	ReplicationFactor int
 }
 
 // Cluster is a set of broker nodes with deterministic ring-based queue
@@ -81,8 +105,30 @@ type Cluster struct {
 	cfgs  []broker.Config // resolved per-node configs, reused by Restart
 	addrs []string        // bound addresses, stable across restarts
 
-	dir  *Directory
-	hubs []*fedHub // per-node federation hubs (nil entries without federation)
+	dir    *Directory
+	hubs   []*fedHub      // per-node federation hubs (nil entries without federation)
+	stores []*mirrorStore // per-node standby replica stores (nil without replication)
+	repls  []*replManager // per-node master-side replication state (nil without replication)
+}
+
+// storeOf returns node i's standby replica store (nil on unreplicated
+// clusters) without racing Restart's slice writes.
+func (c *Cluster) storeOf(i int) *mirrorStore {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stores[i]
+}
+
+// nodeOrNil is Node for callers that may run while the cluster is still
+// starting (durable recovery fires cluster hooks before every node is
+// appended) — nil instead of a panic for a not-yet-started node.
+func (c *Cluster) nodeOrNil(i int) *broker.Server {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if i < 0 || i >= len(c.nodes) {
+		return nil
+	}
+	return c.nodes[i]
 }
 
 // Start launches n broker nodes with the shared configuration. Each node
@@ -107,8 +153,14 @@ func StartWithOptions(n int, opts Options, configFor func(i int) broker.Config) 
 		return nil, fmt.Errorf("cluster: need at least one node, got %d", n)
 	}
 	c := &Cluster{
-		dir:  NewDirectory(n, opts.VNodes),
-		hubs: make([]*fedHub, n),
+		dir:    NewDirectory(n, opts.VNodes),
+		hubs:   make([]*fedHub, n),
+		stores: make([]*mirrorStore, n),
+		repls:  make([]*replManager, n),
+	}
+	factor := opts.ReplicationFactor
+	if factor > n {
+		factor = n
 	}
 	for i := 0; i < n; i++ {
 		nodeCfg := configFor(i)
@@ -120,7 +172,14 @@ func StartWithOptions(n int, opts Options, configFor func(i int) broker.Config) 
 		}
 		if opts.Federation {
 			c.hubs[i] = newFedHub(i, c.dir, opts.FedDial)
-			nodeCfg.Cluster = &nodeHook{node: i, dir: c.dir, hub: c.hubs[i]}
+			hook := &nodeHook{node: i, dir: c.dir, hub: c.hubs[i]}
+			if factor >= 2 && nodeCfg.DataDir != "" {
+				c.stores[i] = newMirrorStore(nodeCfg.DataDir, nodeCfg.Durability)
+				c.repls[i] = newReplManager(c, i, factor, c.hubs[i])
+				hook.store = c.stores[i]
+				hook.repl = c.repls[i]
+			}
+			nodeCfg.Cluster = hook
 		}
 		s, err := broker.Listen(nodeCfg)
 		if err != nil {
@@ -131,6 +190,13 @@ func StartWithOptions(n int, opts Options, configFor func(i int) broker.Config) 
 		c.cfgs = append(c.cfgs, nodeCfg)
 		c.addrs = append(c.addrs, s.Addr())
 		c.dir.SetAddr(i, s.Addr())
+	}
+	// Queues recovered during startup registered before their mirror
+	// nodes had addresses; reconcile now that every node listens.
+	for _, rm := range c.repls {
+		if rm != nil {
+			rm.reconcileAll()
+		}
 	}
 	return c, nil
 }
@@ -182,14 +248,25 @@ func (c *Cluster) Crash(i int) {
 // metadata directory: the node resumes answering for the durable queues
 // it recovered, rejoins placement for queues declared from now on, and
 // sibling federation links re-establish lazily on the next forward.
-// Queues that failed over to other masters while the node was down are
-// not failed back. Clients with reconnect policies re-attach
-// transparently because the address is stable.
+// Rejoining triggers a directory-driven ownership audit
+// (rebalanceOnJoin): quiescent unreplicated queues whose ring placement
+// points at this node move back, and replicated masters re-establish the
+// node as a catching-up mirror wherever placement wants one. Queues that
+// failed over to other masters are otherwise not failed back. Clients
+// with reconnect policies re-attach transparently because the address is
+// stable.
 func (c *Cluster) Restart(i int) error {
 	c.mu.Lock()
 	cfg := c.cfgs[i]
 	cfg.Addr = c.addrs[i]
+	rm := c.repls[i]
 	c.mu.Unlock()
+	if rm != nil {
+		// The in-process manager outlived the crashed broker; its mirror
+		// census is stale now. Recovery below re-registers what this node
+		// still masters.
+		rm.reset()
+	}
 	s, err := broker.Listen(cfg)
 	if err != nil {
 		return fmt.Errorf("cluster: restart node %d: %w", i, err)
@@ -199,26 +276,123 @@ func (c *Cluster) Restart(i int) error {
 	c.mu.Unlock()
 	c.dir.SetAddr(i, s.Addr())
 	c.dir.NodeUp(i)
+	c.rebalanceOnJoin(i)
 	return nil
 }
 
+// rebalanceOnJoin audits queue ownership after node i re-enters the
+// ring. Unreplicated registered queues whose ring placement now points
+// at the rejoined node — and that are quiescent (empty, no consumers) —
+// are surrendered by their current master and re-pinned here: durable
+// logs move directories (both nodes are alive, so this is an ordinary
+// handover, not failover), transient queues re-declare empty. Busy
+// queues stay put; a mid-traffic move would tear consumers down for no
+// robustness gain. Replicated queues keep their master and instead
+// reconcile mirror placement, which re-establishes the rejoined node as
+// a catching-up mirror where the ring wants one.
+func (c *Cluster) rebalanceOnJoin(i int) {
+	c.mu.Lock()
+	repls := append([]*replManager(nil), c.repls...)
+	c.mu.Unlock()
+	for _, q := range c.dir.Queues() {
+		owner, ok := c.dir.Ring().Owner(q.Name)
+		if !ok || owner != i || q.Node == i {
+			continue
+		}
+		if rm := repls[q.Node]; rm != nil && rm.replicated(q.VHost, q.Name) {
+			continue // mirror reconcile below handles replicated queues
+		}
+		src := c.nodeOrNil(q.Node)
+		if src == nil {
+			continue
+		}
+		vh := src.VHost(q.VHost)
+		sq, have := vh.Queue(q.Name)
+		if !have || sq.Len() > 0 || sq.ConsumerCount() > 0 {
+			continue
+		}
+		if err := vh.SurrenderQueue(q.Name); err != nil {
+			continue
+		}
+		if q.Durable {
+			moved := q
+			moved.Node = i
+			c.mu.Lock()
+			srcDir := c.cfgs[q.Node].DataDir
+			c.mu.Unlock()
+			if srcDir != "" {
+				if err := c.moveQueueLog(srcDir, moved); err != nil {
+					continue
+				}
+			}
+		}
+		nvh := c.Node(i).VHost(q.VHost)
+		if _, err := nvh.DeclareQueue(q.Name, q.Durable, false, false, false, nil); err != nil {
+			continue
+		}
+		c.dir.Repin(q.VHost, q.Name, i)
+		if rm := repls[i]; rm != nil {
+			rm.queueRegistered(q.VHost, q.Name, q.Durable)
+		}
+	}
+	for j, rm := range repls {
+		if rm != nil && j != i {
+			rm.reconcileAll()
+		}
+	}
+}
+
 // Kill fails node i: the node is hard-crashed (as Crash), retired from
-// the placement ring, and every queue it mastered is reassigned to a
-// surviving ring owner. Durable queues carry their segment-log directory
-// to the new master (shared-storage failover: the rescheduled pod mounts
-// the same volume) and replay it there; transient queues restart empty.
+// the placement ring, and every queue it mastered is reassigned. A
+// replicated queue promotes its most-advanced in-sync mirror: the
+// standby segment log already sits on the promoted node's own disk, so
+// the failover reads nothing from the dead node's directory — no
+// segment-log relocation — and the promoted master re-establishes
+// mirrors on the survivors. Unreplicated durable queues take the legacy
+// path: reassigned to a surviving ring owner, segment-log directory
+// carried over (shared-storage failover: the rescheduled pod mounts the
+// same volume) and replayed there; transient queues restart empty.
 // It returns the reassigned queues with Node set to each new master.
 // Clients follow via their reconnect policy: dials to the dead address
 // rotate through Config.Seeds, and the first survivor they reach
 // redirects mis-routed consumers to the new master.
 func (c *Cluster) Kill(i int) ([]QueueInfo, error) {
 	c.Node(i).Crash()
-	moved := c.dir.NodeDown(i)
 	c.mu.Lock()
 	deadDir := c.cfgs[i].DataDir
+	deadHub := c.hubs[i]
+	deadRepl := c.repls[i]
+	deadStore := c.stores[i]
+	repls := append([]*replManager(nil), c.repls...)
 	c.mu.Unlock()
+	if deadStore != nil {
+		deadStore.crash()
+	}
+	// The dead master's in-process replication state outlives its broker:
+	// it is exactly the in-sync census the promotion chooser needs.
+	promoted := make(map[string]bool)
+	var choose func(QueueInfo) (int, bool)
+	if deadRepl != nil {
+		choose = func(q QueueInfo) (int, bool) {
+			if !q.Durable {
+				return 0, false
+			}
+			node, ok := deadRepl.choosePromotion(q)
+			if ok {
+				promoted[qkey(q.VHost, q.Name)] = true
+			}
+			return node, ok
+		}
+	}
+	moved := c.dir.NodeDownWith(i, choose)
 	var first error
 	for _, q := range moved {
+		if promoted[qkey(q.VHost, q.Name)] {
+			if err := c.promoteMirror(q); err != nil && first == nil {
+				first = err
+			}
+			continue
+		}
 		if q.Durable && deadDir != "" {
 			if err := c.moveQueueLog(deadDir, q); err != nil && first == nil {
 				first = err
@@ -232,7 +406,50 @@ func (c *Cluster) Kill(i int) ([]QueueInfo, error) {
 			first = fmt.Errorf("cluster: failover declare %q on node %d: %w", q.Name, q.Node, err)
 		}
 	}
+	// Surviving masters drop the dead node from their mirror sets
+	// (releasing any confirms it owed); the dead node's own replication
+	// state and links are discarded.
+	for j, rm := range repls {
+		if rm == nil {
+			continue
+		}
+		if j == i {
+			rm.reset()
+		} else {
+			rm.nodeDown(i)
+		}
+	}
+	if deadHub != nil {
+		deadHub.closeAll()
+	}
 	return moved, first
+}
+
+// promoteMirror flips one replicated queue's standby replica on its
+// already-chosen new master (q.Node) into the live queue: the replica
+// log closes cleanly, sheds its MIRROR marker, and the declare recovers
+// it in place. The promoted master then re-establishes mirrors on the
+// surviving ring members.
+func (c *Cluster) promoteMirror(q QueueInfo) error {
+	st := c.storeOf(q.Node)
+	if st == nil {
+		return fmt.Errorf("cluster: promote %q: node %d has no mirror store", q.Name, q.Node)
+	}
+	if err := st.promote(q.VHost, q.Name); err != nil {
+		return err
+	}
+	vh := c.Node(q.Node).VHost(q.VHost)
+	if _, err := vh.DeclareQueue(q.Name, true, false, false, false, nil); err != nil {
+		return fmt.Errorf("cluster: promote declare %q on node %d: %w", q.Name, q.Node, err)
+	}
+	promotions.Inc()
+	c.mu.Lock()
+	rm := c.repls[q.Node]
+	c.mu.Unlock()
+	if rm != nil {
+		rm.queueRegistered(q.VHost, q.Name, true)
+	}
+	return nil
 }
 
 // moveQueueLog relocates one queue's segment-log directory from the dead

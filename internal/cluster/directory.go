@@ -158,6 +158,14 @@ func (d *Directory) Busiest() (int, bool) {
 // with Node already set to the new master, so the failover driver can
 // relocate durable segment logs and re-declare each queue there.
 func (d *Directory) NodeDown(i int) []QueueInfo {
+	return d.NodeDownWith(i, nil)
+}
+
+// NodeDownWith is NodeDown with a promotion chooser: for each queue the
+// dead node mastered, choose may pick the new master (a replicated
+// queue's most-advanced in-sync mirror). Returning ok=false — or a nil
+// choose — falls back to the surviving ring owner.
+func (d *Directory) NodeDownWith(i int, choose func(QueueInfo) (int, bool)) []QueueInfo {
 	d.ring.Remove(i)
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -166,7 +174,13 @@ func (d *Directory) NodeDown(i int) []QueueInfo {
 		if q.Node != i {
 			continue
 		}
-		to, ok := d.ring.Owner(q.Name)
+		to, ok := 0, false
+		if choose != nil {
+			to, ok = choose(*q)
+		}
+		if !ok {
+			to, ok = d.ring.Owner(q.Name)
+		}
 		if !ok {
 			continue // last node down; nowhere to move
 		}
@@ -175,6 +189,21 @@ func (d *Directory) NodeDown(i int) []QueueInfo {
 		moved = append(moved, *q)
 	}
 	return moved
+}
+
+// Repin atomically re-pins a registered queue to a new master node —
+// the rebalance-on-join path. It is a no-op for unknown queues or when
+// the pin already points at node.
+func (d *Directory) Repin(vhost, name string, node int) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	q, ok := d.queues[qkey(vhost, name)]
+	if !ok || q.Node == node {
+		return false
+	}
+	q.Node = node
+	ownershipChanges.Inc()
+	return true
 }
 
 // NodeUp re-registers node i with the ring after a restart. Pinned

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"net"
+	"sort"
 	"sync"
 	"time"
 
@@ -29,8 +30,17 @@ import (
 // Links run in confirm mode and bridge confirms: every forward records
 // the origin channel and its publish seq; when the master acks, the
 // origin channel relays the verdict to the producer. A link failure
-// nacks everything outstanding, so producers retry through their normal
-// confirm machinery.
+// gives everything outstanding one bounded immediate replay on a freshly
+// dialed link (each forward retains its message for exactly this); what
+// cannot be replayed — the redial failed, or the forward already rode a
+// retry — is nacked, so producers retry through their normal confirm
+// machinery. One TCP reset therefore costs one in-process resend instead
+// of a producer-visible replay storm.
+//
+// The replication layer rides the same links: mirror ships are forwards
+// whose exchange names a reserved "!mirror.*" operation (see
+// replication.go), so forward carries an explicit wire exchange/key pair
+// distinct from the message's own envelope.
 
 // fedRPCTimeout bounds synchronous link operations (handshake, remote
 // queue declares).
@@ -70,7 +80,7 @@ func (h *fedHub) link(addr, vhost string) (*fedLink, error) {
 	if err != nil {
 		return nil, fmt.Errorf("cluster: federation dial %s: %w", addr, err)
 	}
-	l, err := newFedLink(nc, addr, vhost)
+	l, err := newFedLink(nc, addr, vhost, h)
 	if err != nil {
 		nc.Close()
 		return nil, fmt.Errorf("cluster: federation handshake %s: %w", addr, err)
@@ -90,17 +100,59 @@ func (h *fedHub) closeAll() {
 	h.links = make(map[string]*fedLink)
 	h.mu.Unlock()
 	for _, l := range links {
-		l.fail(fmt.Errorf("cluster: federation link closed"))
+		// Node shutdown: no replay — nack everything outstanding.
+		l.failWith(fmt.Errorf("cluster: federation link closed"), false)
+	}
+}
+
+// retryOutstanding gives a failed link's outstanding forwards one bounded
+// immediate replay on a freshly dialed link, in original seq order so the
+// master's confirm frontier stays contiguous. Entries that already rode a
+// retry, or that cannot be re-sent because the redial (or re-forward)
+// failed, are nacked.
+func (h *fedHub) retryOutstanding(addr, vhost string, seqs []uint64, pend map[uint64]fedPending) {
+	nl, err := h.link(addr, vhost)
+	for _, s := range seqs {
+		p := pend[s]
+		if err != nil || p.retried {
+			resolvePending(p, false)
+			continue
+		}
+		p.retried = true
+		if ferr := nl.forwardPending(p); ferr != nil {
+			// The fresh link died too; nack this and everything after.
+			resolvePending(p, false)
+			err = ferr
+			continue
+		}
+		fedRetries.Inc()
 	}
 }
 
 // fedPending is one outstanding confirm-bridged forward: the origin
-// channel and the producer-facing seq to relay the master's verdict to.
-// A zero target marks a fire-and-forget forward that still occupies a
-// link seq (the remote acks every publish on the confirm channel).
+// channel and the producer-facing seq to relay the master's verdict to,
+// plus a retained message reference and its wire envelope so a link
+// failure can replay the forward once before giving up. A zero target
+// marks a fire-and-forget forward that still occupies a link seq (the
+// remote acks every publish on the confirm channel).
 type fedPending struct {
-	target broker.ConfirmTarget
-	seq    uint64
+	target   broker.ConfirmTarget
+	seq      uint64
+	msg      *broker.Message
+	exchange string
+	key      string
+	retried  bool
+}
+
+// resolvePending relays a verdict to the pending forward's origin (if
+// confirm-bridged) and drops its retained message reference.
+func resolvePending(p fedPending, ok bool) {
+	if p.target != nil {
+		p.target.ClusterConfirm(p.seq, ok)
+	}
+	if p.msg != nil {
+		p.msg.Release()
+	}
 }
 
 // fedLink is one AMQP connection to a sibling node, channel 1 open in
@@ -108,8 +160,10 @@ type fedPending struct {
 // loop goroutine.
 type fedLink struct {
 	nc       net.Conn
+	addr     string
 	vhost    string
 	frameMax uint32
+	hub      *fedHub // nil for hub-less links (tests); disables the failure replay
 
 	mu      sync.Mutex
 	w       *wire.Writer
@@ -134,11 +188,13 @@ type fedLink struct {
 // link's per-sibling telemetry series; the interned context makes the
 // tagged counters one map hit at link setup and plain atomic adds on
 // the forward path.
-func newFedLink(nc net.Conn, addr, vhost string) (*fedLink, error) {
+func newFedLink(nc net.Conn, addr, vhost string, hub *fedHub) (*fedLink, error) {
 	ctx := telemetry.Intern("link=" + addr)
 	l := &fedLink{
 		nc:       nc,
+		addr:     addr,
 		vhost:    vhost,
+		hub:      hub,
 		w:        wire.NewWriter(),
 		next:     1,
 		pending:  make(map[uint64]fedPending),
@@ -251,9 +307,12 @@ func (l *fedLink) isDead() bool {
 	return l.dead
 }
 
-// fail marks the link dead and nacks every outstanding forward so the
-// origin producers' confirm machinery retries them (at-least-once).
-func (l *fedLink) fail(err error) {
+// fail marks the link dead. With a hub attached, the outstanding forwards
+// get one bounded immediate replay on a freshly dialed link before being
+// nacked (retryOutstanding); hub-less links nack everything right away.
+func (l *fedLink) fail(err error) { l.failWith(err, true) }
+
+func (l *fedLink) failWith(err error, retry bool) {
 	l.mu.Lock()
 	if l.dead {
 		l.mu.Unlock()
@@ -266,19 +325,44 @@ func (l *fedLink) fail(err error) {
 	l.mu.Unlock()
 	l.nc.Close()
 	fedLinks.Add(-1)
-	for _, p := range pend {
-		if p.target != nil {
-			p.target.ClusterConfirm(p.seq, false)
+	if len(pend) == 0 {
+		return
+	}
+	if retry && l.hub != nil {
+		seqs := make([]uint64, 0, len(pend))
+		for s := range pend {
+			seqs = append(seqs, s)
 		}
+		sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+		// Replay off the read-loop goroutine: the redial and re-forwards
+		// must not block whatever failed the link.
+		go l.hub.retryOutstanding(l.addr, l.vhost, seqs, pend)
+		return
+	}
+	for _, p := range pend {
+		resolvePending(p, false)
 	}
 }
 
-// forward ships one publish across the link. The caller's reference on m
-// covers the call; the borrowed body segments are flushed (and therefore
-// done with) before forward returns, so no extra retain is needed. The
-// steady-state path allocates nothing: pooled writer buffer, borrowed
-// body iovecs, map slot reuse.
-func (l *fedLink) forward(queue string, m *broker.Message, target broker.ConfirmTarget, origSeq uint64) error {
+// forward ships one publish across the link under the wire envelope
+// (exchange, key) — "" + queue for an ordinary federated publish, a
+// "!mirror.*" pair for replication ships. The borrowed body segments are
+// flushed before forward returns; the message itself is retained in the
+// pending entry until its confirm resolves, so a link failure can replay
+// it. The steady-state path allocates nothing: pooled writer buffer,
+// borrowed body iovecs, map slot reuse, refcount adds.
+func (l *fedLink) forward(exchange, key string, m *broker.Message, target broker.ConfirmTarget, origSeq uint64) error {
+	m.Retain()
+	err := l.forwardPending(fedPending{target: target, seq: origSeq, msg: m, exchange: exchange, key: key})
+	if err != nil {
+		m.Release()
+	}
+	return err
+}
+
+// forwardPending ships one pending entry (fresh or replayed); on success
+// the entry's message reference is owned by the pending table.
+func (l *fedLink) forwardPending(p fedPending) error {
 	l.mu.Lock()
 	if l.dead {
 		err := l.err
@@ -286,9 +370,9 @@ func (l *fedLink) forward(queue string, m *broker.Message, target broker.Confirm
 		return err
 	}
 	l.seq++
-	l.pending[l.seq] = fedPending{target: target, seq: origSeq}
-	l.pub = wire.BasicPublish{RoutingKey: queue}
-	frames := l.w.AppendContentFramesZC(1, &l.pub, &m.Props, m.Body, l.frameMax)
+	l.pending[l.seq] = p
+	l.pub = wire.BasicPublish{Exchange: p.exchange, RoutingKey: p.key}
+	frames := l.w.AppendContentFramesZC(1, &l.pub, &p.msg.Props, p.msg.Body, l.frameMax)
 	err := l.w.FlushFrames(l.nc, frames)
 	if err != nil {
 		delete(l.pending, l.seq)
@@ -298,9 +382,9 @@ func (l *fedLink) forward(queue string, m *broker.Message, target broker.Confirm
 	}
 	l.mu.Unlock()
 	fedMsgs.Inc()
-	fedBytes.Add(int64(len(m.Body)))
+	fedBytes.Add(int64(len(p.msg.Body)))
 	l.msgsCtx.Inc()
-	l.bytesCtx.Add(int64(len(m.Body)))
+	l.bytesCtx.Add(int64(len(p.msg.Body)))
 	return nil
 }
 
@@ -390,8 +474,9 @@ func (l *fedLink) settle(tag uint64, multiple, ok bool) {
 		l.mu.Unlock()
 		return
 	}
-	// Resolve [from, tag] while holding targets aside; relay after unlock
-	// so a confirm write that blocks cannot stall the link's bookkeeping.
+	// Resolve [from, tag] while holding entries aside; relay (and drop the
+	// replay references) after unlock so a confirm write that blocks
+	// cannot stall the link's bookkeeping.
 	var single fedPending
 	var batch []fedPending
 	n := 0
@@ -401,9 +486,6 @@ func (l *fedLink) settle(tag uint64, multiple, ok bool) {
 			continue
 		}
 		delete(l.pending, t)
-		if p.target == nil {
-			continue
-		}
 		if n == 0 {
 			single = p
 		} else {
@@ -419,10 +501,10 @@ func (l *fedLink) settle(tag uint64, multiple, ok bool) {
 	}
 	l.mu.Unlock()
 	if n == 1 {
-		single.target.ClusterConfirm(single.seq, ok)
+		resolvePending(single, ok)
 		return
 	}
 	for _, p := range batch {
-		p.target.ClusterConfirm(p.seq, ok)
+		resolvePending(p, ok)
 	}
 }

@@ -11,16 +11,14 @@ import (
 	"ds2hpc/internal/wire"
 )
 
-// fakeMaster speaks just enough server-side AMQP to carry a federation
-// link: it completes the handshake, then acks every basic.publish it sees
-// by patching the delivery tag into one preallocated ack frame — the
-// steady state allocates nothing, so the benchmark's allocs/op measures
-// the forward path alone.
-func fakeMaster(nc net.Conn) {
-	defer nc.Close()
+// fakeHandshake completes the server side of a federation link handshake
+// on nc and returns the frame reader positioned after confirm.select-ok,
+// or nil on any failure. Shared by the benchmark's acking fakeMaster and
+// the retry test's connection-dropping variant.
+func fakeHandshake(nc net.Conn) *wire.FrameReader {
 	var hdr [8]byte
 	if _, err := io.ReadFull(nc, hdr[:]); err != nil {
-		return
+		return nil
 	}
 	fr := wire.NewFrameReader(nc, wire.DefaultFrameMax+1024)
 	w := wire.NewWriter()
@@ -40,33 +38,47 @@ func fakeMaster(nc net.Conn) {
 		}
 	}
 	if !send(0, &wire.ConnectionStart{VersionMajor: 0, VersionMinor: 9, Mechanisms: "PLAIN", Locales: "en_US"}) {
-		return
+		return nil
 	}
 	if !expect() { // start-ok
-		return
+		return nil
 	}
 	if !send(0, &wire.ConnectionTune{ChannelMax: 2047, FrameMax: wire.DefaultFrameMax}) {
-		return
+		return nil
 	}
 	if !expect() { // tune-ok
-		return
+		return nil
 	}
 	if !expect() { // open
-		return
+		return nil
 	}
 	if !send(0, &wire.ConnectionOpenOk{}) {
-		return
+		return nil
 	}
 	if !expect() { // channel.open
-		return
+		return nil
 	}
 	if !send(1, &wire.ChannelOpenOk{}) {
-		return
+		return nil
 	}
 	if !expect() { // confirm.select
-		return
+		return nil
 	}
 	if !send(1, &wire.ConfirmSelectOk{}) {
+		return nil
+	}
+	return fr
+}
+
+// fakeMaster speaks just enough server-side AMQP to carry a federation
+// link: it completes the handshake, then acks every basic.publish it sees
+// by patching the delivery tag into one preallocated ack frame — the
+// steady state allocates nothing, so the benchmark's allocs/op measures
+// the forward path alone.
+func fakeMaster(nc net.Conn) {
+	defer nc.Close()
+	fr := fakeHandshake(nc)
+	if fr == nil {
 		return
 	}
 
@@ -126,7 +138,7 @@ func BenchmarkFederationForward(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	l, err := newFedLink(cli, ln.Addr().String(), "/")
+	l, err := newFedLink(cli, ln.Addr().String(), "/", nil)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -141,7 +153,7 @@ func BenchmarkFederationForward(b *testing.B) {
 	b.SetBytes(bodySize)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := l.forward("bench-q", msg, nil, 0); err != nil {
+		if err := l.forward("", "bench-q", msg, nil, 0); err != nil {
 			b.Fatal(err)
 		}
 	}

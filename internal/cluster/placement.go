@@ -141,6 +141,35 @@ func (r *Ring) Owner(key string) (int, bool) {
 	return r.points[i].node, true
 }
 
+// Owners returns up to n distinct nodes for key, walking the ring
+// clockwise from the key's hash position — the replica placement walk.
+// The first element is the master (identical to Owner); the rest are the
+// successor nodes that host the key's mirrors, in ring order. Fewer than
+// n members yields every member. The result is nil on an empty ring.
+func (r *Ring) Owners(key string, n int) []int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.members) {
+		n = len(r.members)
+	}
+	h := keyHash(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]int, 0, n)
+	seen := make(map[int]bool, n)
+	for walked := 0; walked < len(r.points) && len(out) < n; walked++ {
+		p := r.points[(i+walked)%len(r.points)]
+		if seen[p.node] {
+			continue
+		}
+		seen[p.node] = true
+		out = append(out, p.node)
+	}
+	return out
+}
+
 // Version returns the topology version; it increments on every
 // membership change.
 func (r *Ring) Version() uint64 {

@@ -84,6 +84,12 @@ type Options struct {
 	// Off, the nodes are independent brokers that only share
 	// deterministic placement.
 	Federation bool
+	// ReplicationFactor R >= 2 gives every durable queue R-1 synchronous
+	// mirrors on distinct cluster nodes: producer confirms wait for the
+	// in-sync mirror set, and a queue-master kill promotes the
+	// most-advanced in-sync mirror instead of relocating segment logs.
+	// Requires Federation and DataDir.
+	ReplicationFactor int
 }
 
 func (o *Options) defaults() {

@@ -28,8 +28,9 @@ func DeployDTS(opts Options) (Deployment, error) {
 	// Federation links between DTS nodes cross the same AMQPS NodePorts
 	// clients use, so the hub dials with the cluster's client TLS config.
 	clOpts := cluster.Options{
-		Federation: opts.Federation,
-		FedDial:    transport.Path{transport.TLSClient(identity.ClientConfig("127.0.0.1"))}.Dial(),
+		Federation:        opts.Federation,
+		ReplicationFactor: opts.ReplicationFactor,
+		FedDial:           transport.Path{transport.TLSClient(identity.ClientConfig("127.0.0.1"))}.Dial(),
 	}
 	cl, err := cluster.StartWithOptions(opts.Nodes, clOpts, func(i int) broker.Config {
 		return broker.Config{

@@ -70,7 +70,7 @@ func DeployMSS(opts Options) (Deployment, error) {
 		},
 		// MSS broker pods speak plain AMQP behind the TLS-terminating LB,
 		// so inter-node federation links ride plain TCP.
-		Cluster: cluster.Options{Federation: opts.Federation},
+		Cluster: cluster.Options{Federation: opts.Federation, ReplicationFactor: opts.ReplicationFactor},
 	})
 	if err != nil {
 		lb.Close()

@@ -34,7 +34,7 @@ func DeployPRS(opts Options, tunnel scistream.Tunnel, numConn int) (Deployment, 
 	opts.defaults()
 	// PRS brokers speak plain AMQP (the SciStream tunnel carries TLS), so
 	// federation links between nodes ride plain TCP.
-	cl, err := cluster.StartWithOptions(opts.Nodes, cluster.Options{Federation: opts.Federation}, func(i int) broker.Config {
+	cl, err := cluster.StartWithOptions(opts.Nodes, cluster.Options{Federation: opts.Federation, ReplicationFactor: opts.ReplicationFactor}, func(i int) broker.Config {
 		return broker.Config{
 			Link:        opts.Profile.DSNLink(fmt.Sprintf("dsn-%d", i)),
 			MemoryLimit: opts.MemoryLimit,

@@ -23,6 +23,10 @@ import "ds2hpc/internal/telemetry"
 //     consecutive ticks while a run is live. Warn-only: a stall at the
 //     tail of a run is normal for one tick, three ticks is a wedged
 //     pipeline.
+//   - under-replicated: replicated queues running below their declared
+//     mirror count. One queue warns (a mirror is catching up or was
+//     evicted); confirms are still safe — they wait on the in-sync
+//     set — but another master kill could now lose availability.
 func DefaultHealthRules() []telemetry.HealthRule {
 	return []telemetry.HealthRule{
 		{
@@ -57,6 +61,12 @@ func DefaultHealthRules() []telemetry.HealthRule {
 			Kind:   telemetry.RuleBelow,
 			Warn:   0, Critical: 0, // equal thresholds: warn-only
 			For:    3,
+		},
+		{
+			Name:   "under-replicated",
+			Source: "underreplicated",
+			Kind:   telemetry.RuleAbove,
+			Warn:   1, Critical: 4,
 		},
 	}
 }

@@ -42,8 +42,17 @@ type Report struct {
 	// actually happened.
 	BrokerRestarts int
 	// NodeKills counts completed node-kill failovers (one queue-master
-	// hard-killed and its queues reassigned to survivors).
+	// hard-killed and its queues reassigned to survivors). Rolling kills
+	// count each completed step.
 	NodeKills int
+	// Promotions counts replicated-queue mirror promotions during the
+	// scenario: a master kill resolved by flipping an in-sync standby
+	// into the live queue instead of relocating segment logs.
+	Promotions int64
+	// MirrorCatchups counts mirrors that joined mid-stream and resynced
+	// from their master's log (a restarted or rebalanced node re-entering
+	// the replica set).
+	MirrorCatchups int64
 	// Redirects counts the connection-level master redirects clients
 	// followed during the scenario (re-dialing the address a broker's
 	// connection.close 302 named).
@@ -225,6 +234,25 @@ func (lm *liveMetrics) observe(agg *telemetry.Aggregator, inj *transport.Injecto
 	agg.ObserveGauge("queue_depth", func() int64 {
 		return telemetry.Default.SumGauges("broker.queue_depth")
 	})
+	// Replication sources: promotion/catch-up counters (baselined like
+	// the other process-cumulative counters) and the live mirror gauges
+	// the under-replicated health rule watches.
+	names = append(names,
+		"promotions", "mirror_catchups", "mirror_lag",
+		"insync_mirrors", "underreplicated")
+	promoted := telemetry.Default.Counter("cluster.promotions")
+	promBase := promoted.Load()
+	agg.ObserveGauge("promotions", func() int64 {
+		return promoted.Load() - promBase
+	})
+	catchups := telemetry.Default.Counter("cluster.mirror_catchups")
+	cuBase := catchups.Load()
+	agg.ObserveGauge("mirror_catchups", func() int64 {
+		return catchups.Load() - cuBase
+	})
+	agg.ObserveGauge("mirror_lag", telemetry.Default.Gauge("cluster.mirror_lag").Load)
+	agg.ObserveGauge("insync_mirrors", telemetry.Default.Gauge("cluster.insync_mirrors").Load)
+	agg.ObserveGauge("underreplicated", telemetry.Default.Gauge("cluster.underreplicated_queues").Load)
 	if inj != nil {
 		injBase := inj.Stats()
 		agg.ObserveGauge("flaps", func() int64 { return int64(inj.Stats().Flaps - injBase.Flaps) })
@@ -354,10 +382,14 @@ func runOn(ctx context.Context, dep core.Deployment, inj *transport.Injector, sp
 
 	restartFault := spec.brokerRestart()
 	killFault := spec.nodeKill()
+	rollingFault := spec.rollingNodeKill()
 	restarts, kills := 0, 0
 	redirects := metrics.Default.Counter("amqp.redirects")
 	federated := telemetry.Default.Counter("cluster.federation_msgs")
 	redirBase, fedBase := int64(redirects.Load()), federated.Load()
+	promoted := telemetry.Default.Counter("cluster.promotions")
+	catchups := telemetry.Default.Counter("cluster.mirror_catchups")
+	promBase, cuBase := promoted.Load(), catchups.Load()
 	var runs []*metrics.Result
 	for r := 0; r < spec.runs(); r++ {
 		if inj != nil {
@@ -389,6 +421,18 @@ func runOn(ctx context.Context, dep core.Deployment, inj *transport.Injector, sp
 			go func() {
 				defer close(done)
 				watchNodeKill(dep, *killFault, at,
+					func() int64 { return lm.consumed() - base }, stop, &kills)
+			}()
+			stopWatch = func() { close(stop); <-done }
+		}
+		if rollingFault != nil {
+			stop := make(chan struct{})
+			done := make(chan struct{})
+			base := lm.consumed()
+			total := spec.totalMessages()
+			go func() {
+				defer close(done)
+				watchRollingNodeKill(dep, *rollingFault, total,
 					func() int64 { return lm.consumed() - base }, stop, &kills)
 			}()
 			stopWatch = func() { close(stop); <-done }
@@ -426,6 +470,8 @@ func runOn(ctx context.Context, dep core.Deployment, inj *transport.Injector, sp
 	rep.NodeKills = kills
 	rep.Redirects = int64(redirects.Load()) - redirBase
 	rep.FederatedMsgs = federated.Load() - fedBase
+	rep.Promotions = promoted.Load() - promBase
+	rep.MirrorCatchups = catchups.Load() - cuBase
 	rep.HealthEvents = mon.Events()
 	if o.forwarder != nil {
 		o.forwarder.ForwardSnapshot(telemetry.Default.Snapshot())
@@ -499,6 +545,58 @@ func watchNodeKill(dep core.Deployment, f Fault, at int64,
 	}
 	if _, err := cl.Kill(victim); err == nil {
 		*kills++
+	}
+}
+
+// watchRollingNodeKill executes a rolling kill schedule: the k-th victim
+// dies once the run's consumed count crosses at_fraction + k·every_fraction
+// of the production budget. The first victim is the fault's explicit pick
+// or the busiest master; each subsequent victim is the node the previous
+// failover moved the most queues onto — the schedule chases the promoted
+// masters, the worst case for a replicated deployment. Killed nodes stay
+// down for the rest of the run. Each completed kill increments *kills.
+func watchRollingNodeKill(dep core.Deployment, f Fault, total int64,
+	consumed func() int64, stop <-chan struct{}, kills *int) {
+	cl := dep.Cluster()
+	tick := time.NewTicker(time.Millisecond)
+	defer tick.Stop()
+	victim := -1
+	if f.Node != nil {
+		victim = *f.Node
+	}
+	for k := 0; k < f.Count; k++ {
+		at := int64((f.AtFraction + float64(k)*f.EveryFraction) * float64(total))
+		for consumed() < at {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+			}
+		}
+		if victim < 0 {
+			busiest, ok := cl.Directory().Busiest()
+			if !ok {
+				return
+			}
+			victim = busiest
+		}
+		moved, err := cl.Kill(victim)
+		if err != nil {
+			return
+		}
+		*kills++
+		// The next victim is the node the failover promoted the most
+		// queues onto; -1 (nothing moved) falls back to the busiest
+		// master when the next threshold arrives.
+		counts := make(map[int]int)
+		victim = -1
+		best := 0
+		for _, q := range moved {
+			counts[q.Node]++
+			if counts[q.Node] > best {
+				victim, best = q.Node, counts[q.Node]
+			}
+		}
 	}
 }
 

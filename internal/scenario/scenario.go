@@ -97,6 +97,12 @@ type Deployment struct {
 	// Durability enables durable queue storage on every broker node,
 	// required by broker-restart faults and replay patterns.
 	Durability *Durability `json:"durability,omitempty"`
+	// ReplicationFactor R >= 2 gives every durable queue R-1 synchronous
+	// mirrors on distinct cluster nodes: producer confirms wait for the
+	// in-sync mirror set, and a master kill promotes the most-advanced
+	// in-sync mirror instead of relocating segment logs. Requires
+	// cluster_nodes >= R and durability.
+	ReplicationFactor int `json:"replication_factor,omitempty"`
 }
 
 // Durability mirrors seglog.Options in JSON-friendly units. Declaring it
@@ -178,6 +184,16 @@ const (
 	// moved queues replay their segment logs on the new master) and
 	// deployment.reconnect.
 	FaultNodeKill = "node-kill"
+	// FaultRollingNodeKill hard-kills Count broker nodes one after
+	// another: the first (the master of the most queues unless Node picks
+	// one) once consumed messages cross AtFraction of the production
+	// budget, then another every EveryFraction of the budget — each
+	// subsequent victim is the node the previous failover promoted the
+	// most queues onto, so the schedule chases the data. Killed nodes stay
+	// down. Requires deployment.replication_factor >= 2 (survival without
+	// the dead nodes' disks), deployment.cluster_nodes > Count (a survivor
+	// must remain), deployment.durability and deployment.reconnect.
+	FaultRollingNodeKill = "rolling-node-kill"
 )
 
 // Fault is one step of the scripted WAN fault sequence. Byte-triggered
@@ -312,6 +328,17 @@ func (s Spec) Validate() error {
 	default:
 		return bad("unknown placement policy %q (known: ring)", s.Deployment.Placement)
 	}
+	if rf := s.Deployment.ReplicationFactor; rf != 0 {
+		if rf < 2 {
+			return bad("deployment.replication_factor must be >= 2 (R-1 mirrors), got %d", rf)
+		}
+		if s.Deployment.ClusterNodes < rf {
+			return bad("deployment.replication_factor %d needs deployment.cluster_nodes >= %d (mirrors live on distinct nodes)", rf, rf)
+		}
+		if s.Deployment.Durability == nil {
+			return bad("deployment.replication_factor mirrors segment logs: deployment.durability is required")
+		}
+	}
 	flaps, restarts, kills := 0, 0, 0
 	for i, f := range s.Faults {
 		switch f.Kind {
@@ -360,6 +387,32 @@ func (s Spec) Validate() error {
 				return bad("faults[%d]: node-kill node %d out of range [0,%d)", i, *f.Node, s.Deployment.ClusterNodes)
 			}
 			kills++
+		case FaultRollingNodeKill:
+			if f.AtFraction <= 0 || f.AtFraction > 1 {
+				return bad("faults[%d]: rolling-node-kill needs at_fraction in (0,1]", i)
+			}
+			if f.EveryFraction <= 0 || f.EveryFraction > 1 {
+				return bad("faults[%d]: rolling-node-kill needs every_fraction in (0,1]", i)
+			}
+			if f.Count < 1 {
+				return bad("faults[%d]: rolling-node-kill needs count >= 1", i)
+			}
+			if f.Count >= s.Deployment.ClusterNodes {
+				return bad("faults[%d]: rolling-node-kill count %d needs deployment.cluster_nodes > %d (a survivor must remain)", i, f.Count, f.Count)
+			}
+			if s.Deployment.ReplicationFactor < 2 {
+				return bad("faults[%d]: rolling-node-kill survives on mirrors: deployment.replication_factor >= 2 is required", i)
+			}
+			if s.Deployment.Durability == nil {
+				return bad("faults[%d]: rolling-node-kill loses in-memory queues: deployment.durability is required", i)
+			}
+			if s.Deployment.Reconnect == nil {
+				return bad("faults[%d]: rolling-node-kill drops the nodes' clients: deployment.reconnect is required", i)
+			}
+			if f.Node != nil && (*f.Node < 0 || *f.Node >= s.Deployment.ClusterNodes) {
+				return bad("faults[%d]: rolling-node-kill node %d out of range [0,%d)", i, *f.Node, s.Deployment.ClusterNodes)
+			}
+			kills++
 		default:
 			return bad("faults[%d]: unknown kind %q", i, f.Kind)
 		}
@@ -369,7 +422,7 @@ func (s Spec) Validate() error {
 		return bad("at most one broker-restart fault per scenario")
 	}
 	if kills > 1 {
-		return bad("at most one node-kill fault per scenario")
+		return bad("at most one node-kill or rolling-node-kill fault per scenario")
 	}
 	// Both watchers would race on the same nodes (restart resurrecting
 	// the killed one mid-failover).
@@ -467,6 +520,7 @@ func (s Spec) options() core.Options {
 	if d.ClusterNodes > 0 {
 		opts.Nodes = d.ClusterNodes
 		opts.Federation = true
+		opts.ReplicationFactor = d.ReplicationFactor
 	}
 	if r := d.Reconnect; r != nil {
 		opts.Reconnect = &amqp.ReconnectPolicy{
@@ -512,11 +566,11 @@ func (s Spec) applyDurability(opts *core.Options) (cleanup func(), err error) {
 }
 
 // needsInjector reports whether any declared fault runs through the
-// transport injector (broker-restart and node-kill act on the cluster
-// directly).
+// transport injector (broker-restart and the node-kill family act on the
+// cluster directly).
 func (s Spec) needsInjector() bool {
 	for _, f := range s.Faults {
-		if f.Kind != FaultBrokerRestart && f.Kind != FaultNodeKill {
+		if f.Kind != FaultBrokerRestart && f.Kind != FaultNodeKill && f.Kind != FaultRollingNodeKill {
 			return true
 		}
 	}
@@ -537,6 +591,16 @@ func (s Spec) brokerRestart() *Fault {
 func (s Spec) nodeKill() *Fault {
 	for i := range s.Faults {
 		if s.Faults[i].Kind == FaultNodeKill {
+			return &s.Faults[i]
+		}
+	}
+	return nil
+}
+
+// rollingNodeKill returns the rolling-node-kill fault step, if declared.
+func (s Spec) rollingNodeKill() *Fault {
+	for i := range s.Faults {
+		if s.Faults[i].Kind == FaultRollingNodeKill {
 			return &s.Faults[i]
 		}
 	}
